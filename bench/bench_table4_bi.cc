@@ -1,0 +1,167 @@
+// Reproduces paper Table 4 (+ Figure 8): quality of BI-based methods (BI,
+// BIc, BI5, RBIcfp, RBIcxp) across the Table-1 functions: average WRAcc,
+// consistency, #restricted and #irrel, plus the post-hoc Friedman test of
+// RBIcxp vs BIc and the Spearman correlation between M and the relative
+// WRAcc improvement (paper reports 0.77 at N = 400).
+#include <cstdio>
+
+#include "exp/bench_flags.h"
+#include "exp/experiment.h"
+#include "stats/descriptive.h"
+#include "stats/tests.h"
+#include "util/table.h"
+
+namespace reds::exp {
+namespace {
+
+const std::vector<std::string> kMethods = {"BI", "BIc", "BI5", "RBIcfp",
+                                           "RBIcxp"};
+
+void PrintMetricTable(const Runner& runner, const char* title,
+                      double MetricSet::* field) {
+  TablePrinter table(title);
+  std::vector<std::string> header{"N"};
+  header.insert(header.end(), kMethods.begin(), kMethods.end());
+  table.SetHeader(header);
+  for (int n : runner.config().sizes) {
+    std::vector<double> row;
+    for (const auto& m : kMethods) {
+      row.push_back(stats::Mean(runner.FunctionMeans(m, n, field)));
+    }
+    table.AddRow(std::to_string(n), row, 2);
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int Main(int argc, char** argv) {
+  const BenchFlags flags = ParseBenchFlags(argc, argv);
+
+  ExperimentConfig config;
+  config.functions = PickFunctions(flags);
+  config.methods = kMethods;
+  config.sizes = flags.full ? std::vector<int>{200, 400, 800}
+                            : std::vector<int>{200, 400};
+  config.reps = PickReps(flags, 3, 50);
+  config.test_size = flags.full ? 20000 : 8000;
+  config.options.l_bi = flags.full ? 10000 : 5000;
+  config.options.tune_metamodel = flags.full;
+  config.options.budget =
+      flags.full ? ml::TuningBudget::kFull : ml::TuningBudget::kQuick;
+  config.threads = flags.threads;
+  config.seed = flags.seed;
+
+  std::printf("Table 4: BI-based methods, %zu functions, %d reps%s\n\n",
+              config.functions.size(), config.reps,
+              flags.full ? " (paper scale)" : " (quick mode; --full for paper scale)");
+
+  Runner runner(config);
+  runner.Run();
+
+  PrintMetricTable(runner, "(a) Average WRAcc", &MetricSet::wracc);
+  {
+    TablePrinter table("(b) Average consistency");
+    std::vector<std::string> header{"N"};
+    header.insert(header.end(), kMethods.begin(), kMethods.end());
+    table.SetHeader(header);
+    for (int n : config.sizes) {
+      std::vector<double> row;
+      for (const auto& m : kMethods) {
+        row.push_back(stats::Mean(runner.FunctionConsistencies(m, n)));
+      }
+      table.AddRow(std::to_string(n), row, 2);
+    }
+    table.Print();
+    std::printf("\n");
+  }
+  PrintMetricTable(runner, "(c) Average number of restricted inputs",
+                   &MetricSet::restricted);
+  PrintMetricTable(runner, "(d) Average number of irrelevantly restricted inputs",
+                   &MetricSet::irrel);
+
+  // Figure 8: relative quality change vs "BIc" at N = 400.
+  const int n_ref = 400;
+  {
+    TablePrinter fig8("Figure 8: change vs BIc at N=400, % (quartiles across functions)");
+    fig8.SetHeader({"metric / method", "q1", "median", "q3"});
+    for (const auto& m : std::vector<std::string>{"BI", "RBIcxp"}) {
+      for (const auto& [label, field] :
+           std::vector<std::pair<const char*, double MetricSet::*>>{
+               {"WRAcc", &MetricSet::wracc},
+               {"# restricted", &MetricSet::restricted}}) {
+        std::vector<double> changes;
+        for (const auto& f : config.functions) {
+          const double v = runner.cell(f, m, n_ref).Mean().*field;
+          const double base = runner.cell(f, "BIc", n_ref).Mean().*field;
+          if (base != 0.0) changes.push_back(RelativeChangePercent(v, base));
+        }
+        if (changes.empty()) continue;
+        const auto q = stats::ComputeQuartiles(changes);
+        fig8.AddRow(std::string(label) + " / " + m, {q.q1, q.median, q.q3}, 1);
+      }
+      std::vector<double> cons_changes;
+      for (const auto& f : config.functions) {
+        const double v = runner.cell(f, m, n_ref).consistency;
+        const double base = runner.cell(f, "BIc", n_ref).consistency;
+        if (base != 0.0) cons_changes.push_back(RelativeChangePercent(v, base));
+      }
+      if (!cons_changes.empty()) {
+        const auto q = stats::ComputeQuartiles(cons_changes);
+        fig8.AddRow(std::string("consistency / ") + m, {q.q1, q.median, q.q3},
+                    1);
+      }
+    }
+    fig8.Print();
+    std::printf("\n");
+  }
+
+  // Statistics at N = 400.
+  std::vector<std::vector<double>> blocks;
+  for (const auto& f : config.functions) {
+    std::vector<double> row;
+    for (const auto& m : kMethods) {
+      row.push_back(runner.cell(f, m, n_ref).Mean().wracc);
+    }
+    blocks.push_back(std::move(row));
+  }
+  const auto posthoc = stats::FriedmanPostHoc(blocks, /*RBIcxp=*/4, /*BIc=*/1);
+  std::printf("post-hoc Friedman RBIcxp vs BIc (WRAcc, N=400): z = %.2f, "
+              "p = %.2g\n",
+              posthoc.statistic, posthoc.p_value);
+
+  std::vector<double> dims, improvements;
+  for (const auto& f : config.functions) {
+    auto fn = fun::MakeFunction(f);
+    dims.push_back((*fn)->dim());
+    const double reds_val = runner.cell(f, "RBIcxp", n_ref).Mean().wracc;
+    const double base = runner.cell(f, "BIc", n_ref).Mean().wracc;
+    improvements.push_back(RelativeChangePercent(reds_val, base));
+  }
+  std::printf("Spearman corr(M, rel. WRAcc improvement RBIcxp vs BIc) = %.2f\n",
+              stats::SpearmanCorrelation(dims, improvements));
+
+  if (!flags.out_dir.empty()) {
+    CsvWriter csv({"n", "method", "wracc", "consistency", "restricted",
+                   "irrel"});
+    for (int n : config.sizes) {
+      for (size_t mi = 0; mi < kMethods.size(); ++mi) {
+        csv.AddRow({static_cast<double>(n), static_cast<double>(mi),
+                    stats::Mean(runner.FunctionMeans(kMethods[mi], n,
+                                                     &MetricSet::wracc)),
+                    stats::Mean(runner.FunctionConsistencies(kMethods[mi], n)),
+                    stats::Mean(runner.FunctionMeans(kMethods[mi], n,
+                                                     &MetricSet::restricted)),
+                    stats::Mean(runner.FunctionMeans(kMethods[mi], n,
+                                                     &MetricSet::irrel))});
+      }
+    }
+    (void)csv.WriteFile(flags.out_dir + "/table4.csv");
+  }
+  return 0;
+}
+
+}  // namespace reds::exp
+
+int main(int argc, char** argv) { return reds::exp::Main(argc, argv); }

@@ -1,0 +1,97 @@
+// Scenario discovery for power-grid stability -- the paper's "dsgc" model.
+//
+// The Decentral Smart Grid Control model asks: under which combinations of
+// reaction time tau, adaptation gain g, consumer load P and line coupling K
+// does the grid stay stable? Each "simulation" builds the linearized system
+// and checks its eigenvalues. We use REDS with a random-forest metamodel and
+// the covering approach to extract several stability scenarios, then report
+// them in physical units.
+//
+// Build & run:  ./build/examples/grid_stability
+#include <cstdio>
+
+#include "core/covering.h"
+#include "core/prim.h"
+#include "core/quality.h"
+#include "core/reds.h"
+#include "functions/datagen.h"
+#include "functions/dsgc.h"
+#include "functions/registry.h"
+
+namespace {
+
+// Pretty-print a unit-cube box in physical grid units.
+void PrintPhysicalRule(const reds::Box& box) {
+  const struct {
+    const char* name;
+    double lo, hi;
+  } ranges[12] = {
+      {"tau_producer", 0.5, 10},  {"tau_consumer1", 0.5, 10},
+      {"tau_consumer2", 0.5, 10}, {"tau_consumer3", 0.5, 10},
+      {"g_producer", 0.05, 0.5},  {"g_consumer1", 0.05, 0.5},
+      {"g_consumer2", 0.05, 0.5}, {"g_consumer3", 0.05, 0.5},
+      {"P1", -1.5, -0.5},         {"P2", -1.5, -0.5},
+      {"P3", -1.5, -0.5},         {"K", 1, 8},
+  };
+  for (int j = 0; j < 12; ++j) {
+    if (!box.IsRestricted(j)) continue;
+    const double span = ranges[j].hi - ranges[j].lo;
+    const double lo = std::isfinite(box.lo(j))
+                          ? ranges[j].lo + box.lo(j) * span
+                          : ranges[j].lo;
+    const double hi = std::isfinite(box.hi(j))
+                          ? ranges[j].lo + box.hi(j) * span
+                          : ranges[j].hi;
+    std::printf("    %.2f <= %s <= %.2f\n", lo, ranges[j].name, hi);
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace reds;
+
+  auto dsgc = fun::MakeFunction("dsgc").value();
+  // 500 grid simulations from a Halton design (the paper's choice for dsgc).
+  const Dataset train =
+      fun::MakeScenarioDataset(*dsgc, 500, fun::DesignKind::kHalton, 11);
+  std::printf("simulated %d grids; %.1f%% stable\n", train.num_rows(),
+              100.0 * train.PositiveShare());
+
+  // REDS: random-forest metamodel labels 20000 fresh parameter combinations.
+  RedsConfig config;
+  config.metamodel = ml::MetamodelKind::kRandomForest;
+  config.tune_metamodel = false;
+  config.num_new_points = 20000;
+  const RedsRelabeling relabeled = RedsRelabel(train, config, 13);
+
+  // Covering: extract up to three disjoint stability scenarios.
+  const CoveringResult scenarios = RunCovering(
+      relabeled.new_data,
+      [](const Dataset& d) {
+        PrimConfig prim;
+        prim.min_points = 200;
+        return RunPrim(d, d, prim).BestBox();
+      },
+      3, /*min_points=*/500);
+
+  std::printf("\ndiscovered %zu stability scenarios:\n", scenarios.boxes.size());
+  for (size_t i = 0; i < scenarios.boxes.size(); ++i) {
+    std::printf("  scenario %zu (precision %.2f, covers %.0f%% of stable "
+                "region):\n",
+                i + 1, scenarios.precision[i],
+                100.0 * scenarios.coverage_share[i]);
+    PrintPhysicalRule(scenarios.boxes[i]);
+  }
+
+  // Sanity check the first scenario against fresh simulations.
+  if (!scenarios.boxes.empty()) {
+    const Dataset test =
+        fun::MakeScenarioDataset(*dsgc, 5000, fun::DesignKind::kHalton, 17);
+    const BoxStats stats = ComputeBoxStats(test, scenarios.boxes.front());
+    std::printf("\nscenario 1 on 5000 fresh simulations: precision %.3f "
+                "(share of truly stable grids inside the rule)\n",
+                Precision(stats));
+  }
+  return 0;
+}

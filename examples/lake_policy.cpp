@@ -1,0 +1,66 @@
+// Scenario discovery from third-party data (paper Section 9.3): when only a
+// fixed dataset is available -- here the lake eutrophication table -- REDS
+// still helps by training a metamodel on the data and relabeling a large
+// synthetic sample for PRIM.
+//
+// Build & run:  ./build/examples/lake_policy
+#include <cstdio>
+
+#include "core/prim.h"
+#include "core/quality.h"
+#include "core/reds.h"
+#include "functions/thirdparty.h"
+#include "ml/tuning.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace reds;
+
+  const Dataset lake = fun::MakeLakeDataset();
+  std::printf("lake dataset: %d runs, 5 uncertainties, %.1f%% vulnerable\n",
+              lake.num_rows(), 100.0 * lake.PositiveShare());
+
+  // Split: 800 rows to discover scenarios, 200 held out for honest scoring.
+  std::vector<int> train_rows, test_rows;
+  for (int i = 0; i < lake.num_rows(); ++i) {
+    (i % 5 == 4 ? test_rows : train_rows).push_back(i);
+  }
+  const Dataset train = lake.SubsetRows(train_rows);
+  const Dataset test = lake.SubsetRows(test_rows);
+
+  // Plain PRIM on the raw 800 examples.
+  PrimConfig prim;
+  const PrimResult plain = RunPrim(train, train, prim);
+
+  // REDS: random forest on the 800 examples, then PRIM on 20000 relabeled
+  // points ("RPf" in the paper's naming).
+  RedsConfig config;
+  config.metamodel = ml::MetamodelKind::kRandomForest;
+  config.tune_metamodel = false;
+  config.num_new_points = 20000;
+  const RedsRelabeling relabeled = RedsRelabel(train, config, 23);
+  PrimConfig reds_prim;
+  reds_prim.min_points = 200;
+  const PrimResult with_reds = RunPrim(relabeled.new_data, relabeled.new_data,
+                                       reds_prim);
+
+  const std::vector<std::string> names{"b (removal rate)", "q (recycling)",
+                                       "inflow mean", "inflow stdev",
+                                       "delta (discount)"};
+  const auto report = [&](const char* label, const PrimResult& r) {
+    const BoxStats stats = ComputeBoxStats(test, r.BestBox());
+    std::printf("\n%s\n", label);
+    std::printf("  rule: IF %s\n", r.BestBox().ToString(names).c_str());
+    std::printf("  held-out precision %.3f, recall %.3f, PR AUC %.3f\n",
+                Precision(stats), Recall(stats, test.TotalPositive()),
+                PrAucOnData(r.ReturnedBoxes(), test));
+  };
+  report("plain PRIM:", plain);
+  report("REDS (RPf):", with_reds);
+
+  std::printf(
+      "\nThe vulnerable scenarios concentrate at low removal rate b and high "
+      "natural inflow -- exactly the lake-problem folklore. delta, which "
+      "does not affect the dynamics, should stay unrestricted.\n");
+  return 0;
+}

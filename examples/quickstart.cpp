@@ -1,0 +1,52 @@
+// Quickstart: the REDS workflow end to end on the paper's "ellipse" function.
+//
+//   1. Run N = 300 "simulations" (LHS design + labeling oracle).
+//   2. Discover a scenario with plain PRIM.
+//   3. Discover a scenario with REDS (gradient-boosted-tree metamodel,
+//      L = 20000 relabeled points) and compare both on independent test data.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/method.h"
+#include "core/quality.h"
+#include "functions/datagen.h"
+#include "functions/registry.h"
+
+int main() {
+  using namespace reds;
+
+  // 1. Simulate. "ellipse" has 15 inputs of which 10 matter; y = 1 inside an
+  // ellipsoidal region (about 22% of the space).
+  auto function = fun::MakeFunction("ellipse").value();
+  const Dataset train = fun::MakeScenarioDataset(
+      *function, /*n=*/300, fun::DesignKind::kLatinHypercube, /*seed=*/1);
+  const Dataset test = fun::MakeScenarioDataset(
+      *function, /*n=*/20000, fun::DesignKind::kLatinHypercube, /*seed=*/2);
+  std::printf("train: %d simulations, %.1f%% interesting\n", train.num_rows(),
+              100.0 * train.PositiveShare());
+
+  // 2/3. Run both methods through the unified method runner. "P" is plain
+  // PRIM; "RPx" is REDS with XGBoost-style trees relabeling L points.
+  RunOptions options;
+  options.l_prim = 20000;
+  options.tune_metamodel = false;  // keep the demo fast
+  options.seed = 3;
+
+  for (const char* name : {"P", "RPx"}) {
+    const MethodOutput out = RunMethod(*MethodSpec::Parse(name), train, options);
+    const BoxStats stats = ComputeBoxStats(test, out.last_box);
+    std::printf("\n%s:\n", name);
+    std::printf("  scenario: IF %s THEN y=1\n", out.last_box.ToString().c_str());
+    std::printf("  test precision %.3f, recall %.3f, PR AUC %.3f\n",
+                Precision(stats), Recall(stats, test.TotalPositive()),
+                PrAucOnData(out.trajectory, test));
+    std::printf("  restricted inputs: %d of %d  (runtime %.2fs)\n",
+                out.last_box.NumRestricted(), out.last_box.dim(),
+                out.runtime_seconds);
+  }
+  std::printf(
+      "\nREDS ('RPx') should dominate plain PRIM ('P') on precision and "
+      "PR AUC: the metamodel squeezes more out of the same 300 runs.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// REDS as a semi-supervised subgroup-discovery method (paper Sections 6.1
+// and 9.4): inputs need not be uniform -- here they follow a logit-normal
+// distribution -- and the unlabeled pool is given, not sampled.
+//
+// Build & run:  ./build/examples/semi_supervised
+#include <cstdio>
+
+#include "core/best_interval.h"
+#include "core/reds.h"
+#include "functions/datagen.h"
+#include "functions/registry.h"
+
+int main() {
+  using namespace reds;
+
+  auto function = fun::MakeFunction("hart4").value();
+
+  // 250 labeled examples with logit-normal(0, 1) inputs...
+  const Dataset labeled = fun::MakeScenarioDataset(
+      *function, 250, fun::DesignKind::kLogitNormal, 31);
+  // ...plus 8000 unlabeled points from the same distribution (e.g. logged
+  // operating conditions whose outcome was never measured).
+  Rng rng(32);
+  const int dim = function->dim();
+  std::vector<double> unlabeled(8000 * static_cast<size_t>(dim));
+  for (auto& v : unlabeled) v = rng.LogitNormal(0.0, 1.0);
+
+  std::printf("labeled: %d examples (%.1f%% positive), unlabeled pool: %zu\n",
+              labeled.num_rows(), 100.0 * labeled.PositiveShare(),
+              unlabeled.size() / static_cast<size_t>(dim));
+
+  // BI directly on the labeled data...
+  const BiResult direct = RunBi(labeled, {});
+
+  // ...versus BI on the metamodel-labeled pool (semi-supervised REDS).
+  RedsConfig config;
+  config.metamodel = ml::MetamodelKind::kGbt;
+  config.tune_metamodel = false;
+  config.probability_labels = true;
+  const RedsRelabeling relabeled = RedsRelabelPoints(labeled, unlabeled,
+                                                     config, 33);
+  const BiResult semi = RunBi(relabeled.new_data, {});
+
+  // Score both subgroups on fresh labeled data from the same distribution.
+  const Dataset test = fun::MakeScenarioDataset(
+      *function, 20000, fun::DesignKind::kLogitNormal, 34);
+  std::printf("\nBI on labeled data only:\n  %s\n  test WRAcc %.4f\n",
+              direct.box.ToString().c_str(), BoxWRAcc(test, direct.box));
+  std::printf("\nsemi-supervised REDS + BI:\n  %s\n  test WRAcc %.4f\n",
+              semi.box.ToString().c_str(), BoxWRAcc(test, semi.box));
+  std::printf("\nWith the metamodel transferring label information onto the "
+              "unlabeled pool, the subgroup is usually sharper.\n");
+  return 0;
+}

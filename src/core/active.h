@@ -1,0 +1,38 @@
+// Active-learning extension of REDS (paper Section 10, future work): instead
+// of spending the whole simulation budget on one space-filling design,
+// iteratively ask the metamodel which points it is least certain about and
+// simulate those. The resulting labeled set feeds REDS as usual.
+#ifndef REDS_CORE_ACTIVE_H_
+#define REDS_CORE_ACTIVE_H_
+
+#include <functional>
+
+#include "core/dataset.h"
+#include "ml/tuning.h"
+#include "sampling/design.h"
+
+namespace reds {
+
+/// One "simulation": returns the binary (or probabilistic) label of a point.
+/// The x pointer holds `dim` doubles.
+using LabelOracle = std::function<double(const double* x)>;
+
+struct ActiveSamplingConfig {
+  int initial_points = 100;   // seed design (LHS)
+  int batch_size = 50;        // simulations added per round
+  int rounds = 6;             // total budget = initial + batch * rounds
+  int pool_size = 4000;       // uncertainty candidates per round
+  ml::MetamodelKind metamodel = ml::MetamodelKind::kRandomForest;
+  /// Blend of uncertainty vs coverage: each round keeps the pool points with
+  /// the highest p(1-p) uncertainty under the current metamodel.
+  sampling::PointSampler sampler;  // defaults to uniform
+};
+
+/// Runs uncertainty-driven sequential sampling against the oracle and
+/// returns all labeled examples (initial design + queried batches).
+Dataset RunActiveSampling(int dim, const LabelOracle& oracle,
+                          const ActiveSamplingConfig& config, uint64_t seed);
+
+}  // namespace reds
+
+#endif  // REDS_CORE_ACTIVE_H_

@@ -1,0 +1,42 @@
+// PRIM with bumping (Kwakkel & Cunningham 2016; paper Algorithm 2):
+// Q bootstrap repetitions on random feature subsets, keeping the boxes not
+// dominated in (precision, recall) on the validation data.
+#ifndef REDS_CORE_BUMPING_H_
+#define REDS_CORE_BUMPING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/prim.h"
+
+namespace reds {
+
+struct BumpingConfig {
+  int q = 50;                 // bootstrap repetitions
+  int m = -1;                 // inputs per subset; -1: all M
+  PrimConfig prim;            // inner PRIM configuration
+};
+
+/// Pareto front of boxes over (recall, precision) on the validation data,
+/// sorted by decreasing recall (so the "last" box is the most precise one).
+struct BumpingResult {
+  std::vector<Box> boxes;
+  std::vector<PrPoint> val_curve;  // aligned with `boxes`
+
+  /// Highest-precision non-dominated box (ties: higher recall).
+  const Box& BestBox() const;
+  int BestIndex() const;
+};
+
+/// Runs PRIM with bumping. `seed` drives the bootstrap and feature subsets.
+BumpingResult RunPrimBumping(const Dataset& train, const Dataset& val,
+                             const BumpingConfig& config, uint64_t seed);
+
+/// Removes boxes dominated in (recall, precision); ties kept once. Exposed
+/// for tests.
+void ParetoFilter(std::vector<Box>* boxes, std::vector<PrPoint>* curve);
+
+}  // namespace reds
+
+#endif  // REDS_CORE_BUMPING_H_

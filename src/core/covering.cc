@@ -1,0 +1,40 @@
+#include "core/covering.h"
+
+#include "core/quality.h"
+
+namespace reds {
+
+CoveringResult RunCovering(const Dataset& d, const SingleBoxDiscoverer& discover,
+                           int max_subgroups, int min_points) {
+  CoveringResult result;
+  const double total_pos = d.TotalPositive();
+  std::vector<int> remaining;
+  remaining.reserve(static_cast<size_t>(d.num_rows()));
+  for (int r = 0; r < d.num_rows(); ++r) remaining.push_back(r);
+
+  for (int round = 0; round < max_subgroups; ++round) {
+    if (static_cast<int>(remaining.size()) < min_points) break;
+    Dataset current = d.SubsetRows(remaining);
+    if (current.TotalPositive() <= 0.0) break;
+
+    Box box = discover(current);
+    const BoxStats stats = ComputeBoxStats(current, box);
+    if (stats.n <= 0.0) break;  // nothing new covered
+
+    result.boxes.push_back(box);
+    result.precision.push_back(Precision(stats));
+    result.coverage_share.push_back(total_pos > 0.0 ? stats.n_pos / total_pos
+                                                    : 0.0);
+
+    std::vector<int> next;
+    next.reserve(remaining.size());
+    for (int r : remaining) {
+      if (!box.Contains(d.row(r))) next.push_back(r);
+    }
+    if (next.size() == remaining.size()) break;  // empty cover, no progress
+    remaining = std::move(next);
+  }
+  return result;
+}
+
+}  // namespace reds

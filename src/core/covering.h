@@ -1,0 +1,34 @@
+// The covering approach (paper Section 3.2): to find several subgroups, run
+// a scenario-discovery algorithm repeatedly, each time on the examples not
+// covered by previously discovered boxes.
+#ifndef REDS_CORE_COVERING_H_
+#define REDS_CORE_COVERING_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/box.h"
+#include "core/dataset.h"
+
+namespace reds {
+
+/// One scenario-discovery invocation: given a dataset, return a single box.
+using SingleBoxDiscoverer = std::function<Box(const Dataset&)>;
+
+struct CoveringResult {
+  std::vector<Box> boxes;
+  /// Per-box precision/recall measured on the *original* data (recall with
+  /// respect to the positives still uncovered when the box was found).
+  std::vector<double> precision;
+  std::vector<double> coverage_share;  // share of all positives each box adds
+};
+
+/// Runs `discover` up to `max_subgroups` times, removing covered examples
+/// after each round. Stops early when fewer than `min_points` examples or no
+/// positives remain, or when a discovered box covers nothing new.
+CoveringResult RunCovering(const Dataset& d, const SingleBoxDiscoverer& discover,
+                           int max_subgroups, int min_points = 20);
+
+}  // namespace reds
+
+#endif  // REDS_CORE_COVERING_H_

@@ -1,0 +1,68 @@
+#include "core/dataset.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace reds {
+
+Dataset::Dataset(int num_cols, std::vector<double> x, std::vector<double> y)
+    : num_cols_(num_cols), x_(std::move(x)), y_(std::move(y)) {
+  assert(num_cols_ > 0);
+  assert(x_.size() == y_.size() * static_cast<size_t>(num_cols_));
+}
+
+void Dataset::AddRow(const double* inputs, double target) {
+  x_.insert(x_.end(), inputs, inputs + num_cols_);
+  y_.push_back(target);
+}
+
+double Dataset::TotalPositive() const {
+  double s = 0.0;
+  for (double v : y_) s += v;
+  return s;
+}
+
+double Dataset::PositiveShare() const {
+  const int n = num_rows();
+  return n == 0 ? 0.0 : TotalPositive() / n;
+}
+
+Dataset Dataset::SubsetRows(const std::vector<int>& rows) const {
+  Dataset out(num_cols_);
+  out.Reserve(static_cast<int>(rows.size()));
+  for (int r : rows) out.AddRow(row(r), y(r));
+  return out;
+}
+
+Dataset Dataset::SelectColumns(const std::vector<int>& cols) const {
+  Dataset out(static_cast<int>(cols.size()));
+  out.Reserve(num_rows());
+  std::vector<double> buf(cols.size());
+  for (int r = 0; r < num_rows(); ++r) {
+    for (size_t j = 0; j < cols.size(); ++j) buf[j] = x(r, cols[j]);
+    out.AddRow(buf.data(), y(r));
+  }
+  return out;
+}
+
+void Dataset::ColumnRange(std::vector<double>* lo, std::vector<double>* hi) const {
+  lo->assign(static_cast<size_t>(num_cols_), std::numeric_limits<double>::infinity());
+  hi->assign(static_cast<size_t>(num_cols_), -std::numeric_limits<double>::infinity());
+  for (int r = 0; r < num_rows(); ++r) {
+    for (int c = 0; c < num_cols_; ++c) {
+      (*lo)[static_cast<size_t>(c)] = std::min((*lo)[static_cast<size_t>(c)], x(r, c));
+      (*hi)[static_cast<size_t>(c)] = std::max((*hi)[static_cast<size_t>(c)], x(r, c));
+    }
+  }
+  if (num_rows() == 0) {
+    lo->clear();
+    hi->clear();
+  }
+}
+
+void Dataset::Reserve(int rows) {
+  x_.reserve(static_cast<size_t>(rows) * static_cast<size_t>(num_cols_));
+  y_.reserve(static_cast<size_t>(rows));
+}
+
+}  // namespace reds

@@ -1,0 +1,85 @@
+// Dataset: the N x M input matrix plus a real-valued target column.
+// Targets are in [0, 1]; plain scenario data uses {0, 1}, while REDS's
+// probability-label variants ("RPxp", ...) store fractional labels, which
+// every downstream algorithm supports (n+ = sum of y generalizes counts).
+#ifndef REDS_CORE_DATASET_H_
+#define REDS_CORE_DATASET_H_
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace reds {
+
+/// Row-major table of M input columns and one target column.
+class Dataset {
+ public:
+  Dataset() : num_cols_(0) {}
+
+  /// Creates an empty dataset with `num_cols` input columns.
+  explicit Dataset(int num_cols) : num_cols_(num_cols) {
+    assert(num_cols >= 0);
+  }
+
+  /// Creates a dataset from a flat row-major input matrix and targets.
+  Dataset(int num_cols, std::vector<double> x, std::vector<double> y);
+
+  int num_rows() const {
+    return num_cols_ == 0 ? 0 : static_cast<int>(x_.size()) / num_cols_;
+  }
+  int num_cols() const { return num_cols_; }
+
+  double x(int row, int col) const {
+    assert(row >= 0 && row < num_rows() && col >= 0 && col < num_cols_);
+    return x_[static_cast<size_t>(row) * static_cast<size_t>(num_cols_) +
+              static_cast<size_t>(col)];
+  }
+  double y(int row) const {
+    assert(row >= 0 && row < num_rows());
+    return y_[static_cast<size_t>(row)];
+  }
+  void set_y(int row, double value) {
+    assert(row >= 0 && row < num_rows());
+    y_[static_cast<size_t>(row)] = value;
+  }
+
+  /// Pointer to the start of a row's inputs (contiguous, num_cols doubles).
+  const double* row(int r) const {
+    assert(r >= 0 && r < num_rows());
+    return x_.data() + static_cast<size_t>(r) * static_cast<size_t>(num_cols_);
+  }
+
+  /// Appends one example. `inputs` must hold num_cols() values.
+  void AddRow(const double* inputs, double target);
+  void AddRow(const std::vector<double>& inputs, double target) {
+    assert(static_cast<int>(inputs.size()) == num_cols_);
+    AddRow(inputs.data(), target);
+  }
+
+  /// Sum of targets ("number of interesting examples", N+ in the paper).
+  double TotalPositive() const;
+
+  /// Share of positive examples, N+/N; 0 when empty.
+  double PositiveShare() const;
+
+  /// New dataset containing the given rows (duplicates allowed, e.g. for
+  /// bootstrap samples).
+  Dataset SubsetRows(const std::vector<int>& rows) const;
+
+  /// New dataset containing only the given input columns (targets kept).
+  Dataset SelectColumns(const std::vector<int>& cols) const;
+
+  /// Per-column minimum/maximum of the inputs; both empty when no rows.
+  void ColumnRange(std::vector<double>* lo, std::vector<double>* hi) const;
+
+  void Reserve(int rows);
+
+ private:
+  int num_cols_;
+  std::vector<double> x_;
+  std::vector<double> y_;
+};
+
+}  // namespace reds
+
+#endif  // REDS_CORE_DATASET_H_

@@ -1,0 +1,291 @@
+#include "core/method.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cmath>
+
+#include "core/quality.h"
+#include "util/rng.h"
+
+namespace reds {
+
+namespace {
+
+const double kAlphaGrid[] = {0.03, 0.05, 0.07, 0.1, 0.13, 0.16, 0.2};
+
+// Train/holdout split pairs for k-fold CV, skipping degenerate folds.
+struct FoldSplit {
+  Dataset train;
+  Dataset holdout;
+};
+
+std::vector<FoldSplit> MakeFolds(const Dataset& d, int folds, uint64_t seed) {
+  const std::vector<int> fold = ml::FoldAssignment(d.num_rows(), folds, seed);
+  std::vector<FoldSplit> out;
+  for (int f = 0; f < folds; ++f) {
+    std::vector<int> train_rows, test_rows;
+    for (int i = 0; i < d.num_rows(); ++i) {
+      (fold[static_cast<size_t>(i)] == f ? test_rows : train_rows).push_back(i);
+    }
+    if (train_rows.empty() || test_rows.empty()) continue;
+    FoldSplit split{d.SubsetRows(train_rows), d.SubsetRows(test_rows)};
+    if (split.train.TotalPositive() <= 0.0 ||
+        split.holdout.TotalPositive() <= 0.0) {
+      continue;
+    }
+    out.push_back(std::move(split));
+  }
+  return out;
+}
+
+// Held-out WRAcc of the BI box, averaged over folds, for a given m.
+double CvWraccForM(const Dataset& d, int m, int beam_size, int folds,
+                   uint64_t seed) {
+  const auto splits = MakeFolds(d, folds, seed);
+  if (splits.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& split : splits) {
+    BiConfig config;
+    config.beam_size = beam_size;
+    config.max_restricted = m;
+    const BiResult r = RunBi(split.train, config);
+    total += BoxWRAcc(split.holdout, r.box);
+  }
+  return total / static_cast<double>(splits.size());
+}
+
+// Held-out PR AUC of the bumping Pareto set for a given m.
+double CvPrAucForBumpingM(const Dataset& d, int m, const BumpingConfig& base,
+                          int folds, uint64_t seed) {
+  const auto splits = MakeFolds(d, folds, seed);
+  if (splits.empty()) return 0.0;
+  double total = 0.0;
+  for (size_t f = 0; f < splits.size(); ++f) {
+    BumpingConfig config = base;
+    config.m = m;
+    const BumpingResult r =
+        RunPrimBumping(splits[f].train, splits[f].train, config,
+                       DeriveSeed(seed, 7000 + f));
+    total += PrAucOnData(r.boxes, splits[f].holdout);
+  }
+  return total / static_cast<double>(splits.size());
+}
+
+}  // namespace
+
+Result<MethodSpec> MethodSpec::Parse(const std::string& name) {
+  MethodSpec spec;
+  size_t pos = 0;
+  auto fail = [&name]() {
+    return Status::InvalidArgument("unrecognized method name: " + name);
+  };
+  if (pos < name.size() && name[pos] == 'R') {
+    spec.reds = true;
+    ++pos;
+  }
+  if (name.compare(pos, 2, "PB") == 0) {
+    spec.family = Family::kPrimBumping;
+    pos += 2;
+  } else if (name.compare(pos, 2, "BI") == 0) {
+    spec.family = Family::kBi;
+    pos += 2;
+    if (pos < name.size() && name[pos] >= '1' && name[pos] <= '9') {
+      spec.beam_size = name[pos] - '0';
+      ++pos;
+    }
+  } else if (pos < name.size() && name[pos] == 'P') {
+    spec.family = Family::kPrim;
+    ++pos;
+  } else {
+    return fail();
+  }
+  if (pos < name.size() && name[pos] == 'c') {
+    spec.tuned = true;
+    ++pos;
+  }
+  if (spec.reds) {
+    if (pos >= name.size()) return fail();
+    switch (name[pos]) {
+      case 'f':
+        spec.metamodel = ml::MetamodelKind::kRandomForest;
+        break;
+      case 'x':
+        spec.metamodel = ml::MetamodelKind::kGbt;
+        break;
+      case 's':
+        spec.metamodel = ml::MetamodelKind::kSvm;
+        break;
+      default:
+        return fail();
+    }
+    ++pos;
+    if (pos < name.size() && name[pos] == 'p') {
+      spec.probability_labels = true;
+      ++pos;
+    }
+  }
+  if (pos != name.size()) return fail();
+  return spec;
+}
+
+std::string MethodSpec::ToName() const {
+  std::string out;
+  if (reds) out += 'R';
+  switch (family) {
+    case Family::kPrim:
+      out += 'P';
+      break;
+    case Family::kPrimBumping:
+      out += "PB";
+      break;
+    case Family::kBi:
+      out += "BI";
+      if (beam_size != 1) out += std::to_string(beam_size);
+      break;
+  }
+  if (tuned) out += 'c';
+  if (reds) {
+    out += ml::MetamodelSuffix(metamodel);
+    if (probability_labels) out += 'p';
+  }
+  return out;
+}
+
+std::vector<int> MGrid(int num_inputs) {
+  const int step = (num_inputs + 5) / 6;  // ceil(M/6)
+  std::vector<int> grid;
+  for (int m = num_inputs; m > 0; m -= step) grid.push_back(m);
+  return grid;
+}
+
+double CrossValidateAlpha(const Dataset& d, const RunOptions& options,
+                          uint64_t seed) {
+  double best_alpha = options.default_alpha;
+  double best_score = -1.0;
+  const auto splits = MakeFolds(d, options.cv_folds, seed);
+  if (splits.empty()) return best_alpha;
+  for (double alpha : kAlphaGrid) {
+    double total = 0.0;
+    for (const auto& split : splits) {
+      PrimConfig config;
+      config.alpha = alpha;
+      config.min_points = options.min_points;
+      const PrimResult r = RunPrim(split.train, split.train, config);
+      total += PrAucOnData(r.ReturnedBoxes(), split.holdout);
+    }
+    const double score = total / static_cast<double>(splits.size());
+    if (score > best_score) {
+      best_score = score;
+      best_alpha = alpha;
+    }
+  }
+  return best_alpha;
+}
+
+MethodOutput RunMethod(const MethodSpec& spec, const Dataset& train,
+                       const RunOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  MethodOutput out;
+  const int dims = train.num_cols();
+
+  // Hyperparameters of the SD algorithm are always optimized on the original
+  // data D, not on REDS's relabeled D_new (paper Section 8.4.3).
+  double alpha = options.default_alpha;
+  int m = dims;
+  if (spec.tuned && spec.IsPrimFamily()) {
+    alpha = CrossValidateAlpha(train, options, DeriveSeed(options.seed, 11));
+  }
+  if (spec.tuned && spec.family == MethodSpec::Family::kBi) {
+    double best_score = -1e300;
+    for (int candidate : MGrid(dims)) {
+      const double score =
+          CvWraccForM(train, candidate, spec.beam_size, options.cv_folds,
+                      DeriveSeed(options.seed, 13));
+      if (score > best_score) {
+        best_score = score;
+        m = candidate;
+      }
+    }
+  }
+  if (spec.tuned && spec.family == MethodSpec::Family::kPrimBumping) {
+    BumpingConfig base;
+    base.q = options.bumping_q;
+    base.prim.alpha = alpha;
+    base.prim.min_points = options.min_points;
+    double best_score = -1e300;
+    for (int candidate : MGrid(dims)) {
+      const double score = CvPrAucForBumpingM(
+          train, candidate, base, options.cv_folds, DeriveSeed(options.seed, 17));
+      if (score > best_score) {
+        best_score = score;
+        m = candidate;
+      }
+    }
+  }
+  out.chosen_alpha = alpha;
+  out.chosen_m = m;
+
+  // REDS: replace the data the SD algorithm sees. The original simulated
+  // examples stay on as validation data, so box selection (and bumping's
+  // Pareto filter) is grounded in real labels rather than metamodel
+  // artifacts.
+  const Dataset* sd_data = &train;
+  const Dataset* sd_val = &train;
+  Dataset relabeled;
+  if (spec.reds) {
+    RedsConfig config;
+    config.metamodel = spec.metamodel;
+    config.tune_metamodel = options.tune_metamodel;
+    config.budget = options.budget;
+    config.probability_labels = spec.probability_labels;
+    config.num_new_points = spec.family == MethodSpec::Family::kBi
+                                ? options.l_bi
+                                : options.l_prim;
+    config.sampler = options.sampler;
+    RedsRelabeling relabeling =
+        RedsRelabel(train, config, DeriveSeed(options.seed, 23));
+    relabeled = std::move(relabeling.new_data);
+    sd_data = &relabeled;
+  }
+
+  switch (spec.family) {
+    case MethodSpec::Family::kPrim: {
+      PrimConfig config;
+      config.alpha = alpha;
+      config.min_points = options.min_points;
+      const PrimResult r = RunPrim(*sd_data, *sd_val, config);
+      out.trajectory = r.ReturnedBoxes();
+      out.last_box = r.BestBox();
+      break;
+    }
+    case MethodSpec::Family::kPrimBumping: {
+      BumpingConfig config;
+      config.q = options.bumping_q;
+      config.m = m;
+      config.prim.alpha = alpha;
+      config.prim.min_points = options.min_points;
+      const BumpingResult r = RunPrimBumping(*sd_data, *sd_val, config,
+                                             DeriveSeed(options.seed, 29));
+      out.trajectory = r.boxes;
+      out.last_box = r.BestBox();
+      break;
+    }
+    case MethodSpec::Family::kBi: {
+      BiConfig config;
+      config.beam_size = spec.beam_size;
+      config.max_restricted = m;
+      const BiResult r = RunBi(*sd_data, config);
+      out.trajectory = {r.box};
+      out.last_box = r.box;
+      break;
+    }
+  }
+
+  out.runtime_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return out;
+}
+
+}  // namespace reds

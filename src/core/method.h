@@ -1,0 +1,83 @@
+// Method specs: the paper's naming convention (Section 8.2) parsed into
+// runnable pipelines. "P"/"PB"/"BI" pick the subgroup-discovery family, a
+// "c" suffix turns on hyperparameter cross-validation, a leading "R" wraps
+// the method in REDS with metamodel "f"/"x"/"s" and optional probability
+// labels "p". Examples: "Pc", "PBc", "BI5", "RPx", "RPcxp", "RBIcxp".
+#ifndef REDS_CORE_METHOD_H_
+#define REDS_CORE_METHOD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/best_interval.h"
+#include "core/bumping.h"
+#include "core/prim.h"
+#include "core/reds.h"
+#include "ml/tuning.h"
+#include "sampling/design.h"
+#include "util/status.h"
+
+namespace reds {
+
+/// Parsed method name.
+struct MethodSpec {
+  enum class Family { kPrim, kPrimBumping, kBi };
+
+  Family family = Family::kPrim;
+  bool tuned = false;  // "c": cross-validated hyperparameters
+  int beam_size = 1;   // "BI5" -> 5
+  bool reds = false;   // "R" prefix
+  ml::MetamodelKind metamodel = ml::MetamodelKind::kGbt;
+  bool probability_labels = false;  // trailing "p"
+
+  /// Parses names like "P", "Pc", "PB", "PBc", "BI", "BI5", "BIc", "RPf",
+  /// "RPx", "RPs", "RPxp", "RPcxp", "RBIcfp", "RBIcxp".
+  static Result<MethodSpec> Parse(const std::string& name);
+
+  /// Renders back to the paper's naming convention.
+  std::string ToName() const;
+
+  bool IsPrimFamily() const { return family != Family::kBi; }
+};
+
+/// Knobs shared by all methods in one experiment (paper Table 2 defaults).
+struct RunOptions {
+  double default_alpha = 0.05;  // peeling fraction when not tuned
+  int min_points = 20;          // mp
+  int bumping_q = 50;           // Q
+  int l_prim = 100000;          // L when SD is PRIM-based
+  int l_bi = 10000;             // L when SD is BI
+  int cv_folds = 5;
+  bool tune_metamodel = true;
+  ml::TuningBudget budget = ml::TuningBudget::kQuick;
+  sampling::PointSampler sampler;  // REDS new-point distribution (default uniform)
+  uint64_t seed = 0;
+};
+
+/// What a method run produces: a trajectory of boxes to assess (nested
+/// sequence for PRIM, Pareto set for bumping, a single box for BI) and the
+/// "last"/selected box the per-box metrics use.
+struct MethodOutput {
+  std::vector<Box> trajectory;
+  Box last_box;
+  double chosen_alpha = 0.0;  // PRIM family
+  int chosen_m = 0;           // bumping / BI
+  double runtime_seconds = 0.0;
+};
+
+/// Runs the method on `train` (D_val = D as in the paper's experiments).
+MethodOutput RunMethod(const MethodSpec& spec, const Dataset& train,
+                       const RunOptions& options);
+
+/// Cross-validates the peeling fraction for plain PRIM over the paper's grid
+/// {0.03, 0.05, 0.07, 0.1, 0.13, 0.16, 0.2}, maximizing held-out PR AUC.
+double CrossValidateAlpha(const Dataset& d, const RunOptions& options,
+                          uint64_t seed);
+
+/// The paper's m grid {M - k * ceil(M/6) : k >= 0, value > 0}.
+std::vector<int> MGrid(int num_inputs);
+
+}  // namespace reds
+
+#endif  // REDS_CORE_METHOD_H_

@@ -1,0 +1,77 @@
+#include "core/pca_prim.h"
+
+#include <cassert>
+
+namespace reds {
+
+std::vector<double> PcaPrimResult::Project(const double* x) const {
+  const int dim = rotation.rows();
+  std::vector<double> centered(static_cast<size_t>(dim));
+  for (int j = 0; j < dim; ++j) {
+    centered[static_cast<size_t>(j)] = x[j] - center[static_cast<size_t>(j)];
+  }
+  // Rotated coordinate k = column k of R dotted with the centered point.
+  std::vector<double> out(static_cast<size_t>(dim), 0.0);
+  for (int k = 0; k < dim; ++k) {
+    double s = 0.0;
+    for (int j = 0; j < dim; ++j) s += rotation(j, k) * centered[static_cast<size_t>(j)];
+    out[static_cast<size_t>(k)] = s;
+  }
+  return out;
+}
+
+bool PcaPrimResult::Contains(const double* x) const {
+  const std::vector<double> projected = Project(x);
+  return prim.BestBox().Contains(projected.data());
+}
+
+Dataset ProjectDataset(const PcaPrimResult& result, const Dataset& d) {
+  Dataset out(d.num_cols());
+  out.Reserve(d.num_rows());
+  for (int i = 0; i < d.num_rows(); ++i) {
+    out.AddRow(result.Project(d.row(i)), d.y(i));
+  }
+  return out;
+}
+
+Result<PcaPrimResult> RunPcaPrim(const Dataset& train, const Dataset& val,
+                                 const PcaPrimConfig& config) {
+  assert(train.num_cols() == val.num_cols());
+  const int dim = train.num_cols();
+
+  // Collect the rows defining the rotation.
+  std::vector<double> basis_rows;
+  for (int i = 0; i < train.num_rows(); ++i) {
+    if (!config.class_conditional || train.y(i) > 0.5) {
+      basis_rows.insert(basis_rows.end(), train.row(i), train.row(i) + dim);
+    }
+  }
+  if (basis_rows.size() < 2 * static_cast<size_t>(dim)) {
+    return Status::FailedPrecondition(
+        "too few examples to estimate the PCA rotation");
+  }
+
+  auto cov = la::CovarianceMatrix(basis_rows, dim);
+  if (!cov.ok()) return cov.status();
+  auto eigen = la::SymmetricEigendecomposition(*cov);
+  if (!eigen.ok()) return eigen.status();
+
+  PcaPrimResult result;
+  result.rotation = std::move(eigen->vectors);
+  result.center.assign(static_cast<size_t>(dim), 0.0);
+  const int basis_n = static_cast<int>(basis_rows.size()) / dim;
+  for (int i = 0; i < basis_n; ++i) {
+    for (int j = 0; j < dim; ++j) {
+      result.center[static_cast<size_t>(j)] +=
+          basis_rows[static_cast<size_t>(i) * dim + j];
+    }
+  }
+  for (auto& c : result.center) c /= basis_n;
+
+  const Dataset rotated_train = ProjectDataset(result, train);
+  const Dataset rotated_val = ProjectDataset(result, val);
+  result.prim = RunPrim(rotated_train, rotated_val, config.prim);
+  return result;
+}
+
+}  // namespace reds

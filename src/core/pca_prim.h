@@ -1,0 +1,46 @@
+// PCA-PRIM (Dalal et al. 2013): rotate the input space along the principal
+// components of the interesting examples, run PRIM there, and report the
+// box together with the rotation. The paper (Section 2.1) lists PCA-PRIM as
+// compatible with REDS and orthogonal to its study; this module provides it
+// as an extension, including the REDS composition.
+#ifndef REDS_CORE_PCA_PRIM_H_
+#define REDS_CORE_PCA_PRIM_H_
+
+#include "core/dataset.h"
+#include "core/prim.h"
+#include "la/symmetric.h"
+
+namespace reds {
+
+struct PcaPrimConfig {
+  PrimConfig prim;
+  /// Rotate along the principal components of the positive examples only
+  /// (Dalal et al.'s choice); false: use all examples.
+  bool class_conditional = true;
+};
+
+/// A scenario in rotated coordinates: x is interesting iff
+/// box.Contains(R^T (x - center)), i.e. the box constrains linear
+/// combinations of the original inputs.
+struct PcaPrimResult {
+  la::Matrix rotation;          // columns = principal directions
+  std::vector<double> center;   // mean subtracted before rotating
+  PrimResult prim;              // trajectory in rotated coordinates
+
+  /// Projects a raw point into the rotated coordinates.
+  std::vector<double> Project(const double* x) const;
+  /// Membership of a raw point in the selected (best validation) box.
+  bool Contains(const double* x) const;
+};
+
+/// Runs PCA-PRIM; fails when the covariance is degenerate (fewer than two
+/// positive examples in class-conditional mode).
+Result<PcaPrimResult> RunPcaPrim(const Dataset& train, const Dataset& val,
+                                 const PcaPrimConfig& config);
+
+/// Rotates a dataset into the PCA coordinates of `result`.
+Dataset ProjectDataset(const PcaPrimResult& result, const Dataset& d);
+
+}  // namespace reds
+
+#endif  // REDS_CORE_PCA_PRIM_H_

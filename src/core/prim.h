@@ -1,0 +1,46 @@
+// PRIM: the Patient Rule Induction Method (Friedman & Fisher 1999), peeling
+// phase as in the paper's Algorithm 1 plus an optional pasting phase. Each
+// run yields a sequence of nested boxes (the peeling trajectory); the
+// returned prefix ends at the box with the highest validation precision.
+#ifndef REDS_CORE_PRIM_H_
+#define REDS_CORE_PRIM_H_
+
+#include <vector>
+
+#include "core/box.h"
+#include "core/dataset.h"
+#include "core/quality.h"
+
+namespace reds {
+
+struct PrimConfig {
+  double alpha = 0.05;   // peeling fraction removed per step
+  int min_points = 20;   // mp: peel while train and val boxes hold >= mp points
+  bool paste = false;    // run the pasting phase on the selected box
+  double paste_alpha = 0.01;  // expansion fraction per pasting step
+};
+
+/// Output of one PRIM run: the nested box sequence with train/validation
+/// precision and recall per box.
+struct PrimResult {
+  std::vector<Box> boxes;  // boxes[0] is unbounded; nested thereafter
+  std::vector<PrPoint> train_curve;
+  std::vector<PrPoint> val_curve;
+  int best_val_index = 0;  // box with max validation precision
+
+  /// The paper's "returned sequence": boxes[0 .. best_val_index].
+  std::vector<Box> ReturnedBoxes() const;
+  /// The paper's "last box" (maximum validation precision).
+  const Box& BestBox() const { return boxes[static_cast<size_t>(best_val_index)]; }
+};
+
+/// Runs PRIM peeling with `train` guiding the cuts and `val` both limiting
+/// the depth (min_points) and selecting the final box. Targets may be
+/// fractional (REDS probability labels). The paper's experiments use
+/// val == train.
+PrimResult RunPrim(const Dataset& train, const Dataset& val,
+                   const PrimConfig& config);
+
+}  // namespace reds
+
+#endif  // REDS_CORE_PRIM_H_

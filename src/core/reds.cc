@@ -1,0 +1,69 @@
+#include "core/reds.h"
+
+#include <cassert>
+
+#include "util/rng.h"
+
+namespace reds {
+
+namespace {
+
+std::unique_ptr<ml::Metamodel> FitMetamodel(const Dataset& d,
+                                            const RedsConfig& config,
+                                            uint64_t seed) {
+  if (config.tune_metamodel) {
+    ml::TuningConfig tuning;
+    tuning.budget = config.budget;
+    return ml::TuneAndFit(config.metamodel, d, seed, tuning);
+  }
+  return ml::FitDefault(config.metamodel, d, seed, config.budget);
+}
+
+Dataset LabelPoints(const ml::Metamodel& model, const std::vector<double>& x,
+                    int num_cols, bool probability_labels) {
+  assert(x.size() % static_cast<size_t>(num_cols) == 0);
+  const int n = static_cast<int>(x.size()) / num_cols;
+  Dataset out(num_cols);
+  out.Reserve(n);
+  for (int i = 0; i < n; ++i) {
+    const double* row = x.data() + static_cast<size_t>(i) * num_cols;
+    const double p = model.PredictProb(row);
+    out.AddRow(row, probability_labels ? p : (p > 0.5 ? 1.0 : 0.0));
+  }
+  return out;
+}
+
+}  // namespace
+
+RedsRelabeling RedsRelabel(const Dataset& d, const RedsConfig& config,
+                           uint64_t seed) {
+  assert(d.num_rows() > 0 && config.num_new_points > 0);
+  RedsRelabeling out;
+  out.metamodel = FitMetamodel(d, config, DeriveSeed(seed, 1));
+
+  const int m = d.num_cols();
+  sampling::PointSampler sampler =
+      config.sampler ? config.sampler : sampling::MakeUniformSampler();
+  Rng rng(DeriveSeed(seed, 2));
+  std::vector<double> x(static_cast<size_t>(config.num_new_points) *
+                        static_cast<size_t>(m));
+  for (int i = 0; i < config.num_new_points; ++i) {
+    sampler(&rng, m, x.data() + static_cast<size_t>(i) * m);
+  }
+  out.new_data =
+      LabelPoints(*out.metamodel, x, m, config.probability_labels);
+  return out;
+}
+
+RedsRelabeling RedsRelabelPoints(const Dataset& d,
+                                 const std::vector<double>& unlabeled_x,
+                                 const RedsConfig& config, uint64_t seed) {
+  assert(d.num_rows() > 0);
+  RedsRelabeling out;
+  out.metamodel = FitMetamodel(d, config, DeriveSeed(seed, 1));
+  out.new_data = LabelPoints(*out.metamodel, unlabeled_x, d.num_cols(),
+                             config.probability_labels);
+  return out;
+}
+
+}  // namespace reds

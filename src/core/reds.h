@@ -1,0 +1,48 @@
+// REDS (paper Algorithm 4): train a metamodel on the N simulated examples,
+// draw L fresh points from the same input distribution, label them with the
+// metamodel (hard labels via bnd, or probabilities for the "p" variants),
+// and hand the relabeled dataset to any scenario-discovery algorithm.
+#ifndef REDS_CORE_REDS_H_
+#define REDS_CORE_REDS_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "core/dataset.h"
+#include "ml/model.h"
+#include "ml/tuning.h"
+#include "sampling/design.h"
+
+namespace reds {
+
+struct RedsConfig {
+  ml::MetamodelKind metamodel = ml::MetamodelKind::kGbt;
+  bool tune_metamodel = true;         // caret-style CV grid (paper 8.4.3)
+  ml::TuningBudget budget = ml::TuningBudget::kQuick;
+  bool probability_labels = false;    // "p": y_new = f_am(x) in [0,1]
+  int num_new_points = 100000;        // L
+  sampling::PointSampler sampler;     // defaults to i.i.d. uniform
+};
+
+/// The relabeled dataset plus the trained metamodel (kept for inspection /
+/// semi-supervised reuse).
+struct RedsRelabeling {
+  Dataset new_data;
+  std::unique_ptr<ml::Metamodel> metamodel;
+};
+
+/// Steps 1-3 of Algorithm 4: fit the metamodel on d and produce D_new with
+/// L freshly sampled, metamodel-labeled points.
+RedsRelabeling RedsRelabel(const Dataset& d, const RedsConfig& config,
+                           uint64_t seed);
+
+/// Semi-supervised variant (paper Section 6.1/9.4): instead of sampling new
+/// points, label the given unlabeled inputs (row-major, num_cols columns)
+/// with the metamodel trained on d.
+RedsRelabeling RedsRelabelPoints(const Dataset& d,
+                                 const std::vector<double>& unlabeled_x,
+                                 const RedsConfig& config, uint64_t seed);
+
+}  // namespace reds
+
+#endif  // REDS_CORE_REDS_H_

@@ -1,0 +1,86 @@
+#include "core/trajectory.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace reds {
+
+namespace {
+
+// Slope of the PR curve between two trajectory points; vertical segments get
+// a large finite slope so curvature stays comparable.
+double SegmentSlope(const PrPoint& a, const PrPoint& b) {
+  const double dr = a.recall - b.recall;
+  const double dp = b.precision - a.precision;
+  if (std::fabs(dr) < 1e-12) return dp >= 0.0 ? 1e6 : -1e6;
+  return dp / dr;
+}
+
+}  // namespace
+
+std::vector<int> FindTrajectoryKnees(const std::vector<PrPoint>& curve,
+                                     int max_knees, int min_separation,
+                                     bool include_endpoints) {
+  std::vector<int> knees;
+  const int n = static_cast<int>(curve.size());
+  if (n < 3) {
+    if (include_endpoints && n > 0) {
+      knees.push_back(0);
+      if (n > 1) knees.push_back(n - 1);
+    }
+    return knees;
+  }
+
+  // Curvature proxy: change of slope at each interior point.
+  std::vector<std::pair<double, int>> scored;  // (|slope change|, index)
+  for (int i = 1; i + 1 < n; ++i) {
+    const double before = SegmentSlope(curve[static_cast<size_t>(i - 1)],
+                                       curve[static_cast<size_t>(i)]);
+    const double after = SegmentSlope(curve[static_cast<size_t>(i)],
+                                      curve[static_cast<size_t>(i + 1)]);
+    scored.emplace_back(std::fabs(after - before), i);
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  for (const auto& [score, index] : scored) {
+    if (static_cast<int>(knees.size()) >= max_knees) break;
+    bool too_close = false;
+    for (int k : knees) {
+      if (std::abs(k - index) < min_separation) too_close = true;
+    }
+    if (!too_close) knees.push_back(index);
+  }
+  std::sort(knees.begin(), knees.end());
+
+  if (include_endpoints) {
+    if (knees.empty() || knees.front() != 0) knees.insert(knees.begin(), 0);
+    if (knees.back() != n - 1) knees.push_back(n - 1);
+  }
+  return knees;
+}
+
+int MaxChordDistanceKnee(const std::vector<PrPoint>& curve) {
+  const int n = static_cast<int>(curve.size());
+  if (n < 3) return -1;
+  const PrPoint& a = curve.front();
+  const PrPoint& b = curve.back();
+  const double dx = b.recall - a.recall;
+  const double dy = b.precision - a.precision;
+  const double norm = std::sqrt(dx * dx + dy * dy);
+  if (norm < 1e-12) return -1;
+  int best = -1;
+  double best_dist = -1.0;
+  for (int i = 1; i + 1 < n; ++i) {
+    const double px = curve[static_cast<size_t>(i)].recall - a.recall;
+    const double py = curve[static_cast<size_t>(i)].precision - a.precision;
+    const double dist = std::fabs(px * dy - py * dx) / norm;
+    if (dist > best_dist) {
+      best_dist = dist;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace reds

@@ -1,0 +1,30 @@
+// Peeling-trajectory analytics (paper Section 5): PRIM's interactivity comes
+// from inspecting the precision-recall trajectory; interesting candidate
+// boxes "manifest themselves as sudden changes in the slope". This module
+// finds those knee points automatically, so non-interactive pipelines can
+// surface the same candidates a domain expert would pick.
+#ifndef REDS_CORE_TRAJECTORY_H_
+#define REDS_CORE_TRAJECTORY_H_
+
+#include <vector>
+
+#include "core/quality.h"
+
+namespace reds {
+
+/// Indices of knee points of a peeling trajectory: boxes where the slope of
+/// the precision-vs-recall curve changes the most (both endpoints included
+/// when `include_endpoints`). `min_separation` suppresses near-duplicate
+/// knees closer than that many boxes apart; `max_knees` caps the output.
+std::vector<int> FindTrajectoryKnees(const std::vector<PrPoint>& curve,
+                                     int max_knees = 3,
+                                     int min_separation = 2,
+                                     bool include_endpoints = false);
+
+/// The "elbow" of a curve by maximal distance to the chord between its
+/// endpoints (a classic knee definition); -1 for fewer than 3 points.
+int MaxChordDistanceKnee(const std::vector<PrPoint>& curve);
+
+}  // namespace reds
+
+#endif  // REDS_CORE_TRAJECTORY_H_

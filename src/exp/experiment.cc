@@ -1,0 +1,196 @@
+#include "exp/experiment.h"
+
+#include <cassert>
+#include <mutex>
+#include <stdexcept>
+
+#include "core/quality.h"
+#include "util/thread_pool.h"
+
+namespace reds::exp {
+
+MetricSet CellResult::Mean() const {
+  MetricSet mean;
+  if (reps.empty()) return mean;
+  for (const auto& m : reps) {
+    mean.pr_auc += m.pr_auc;
+    mean.precision += m.precision;
+    mean.recall += m.recall;
+    mean.wracc += m.wracc;
+    mean.restricted += m.restricted;
+    mean.irrel += m.irrel;
+    mean.runtime_seconds += m.runtime_seconds;
+  }
+  const double n = static_cast<double>(reps.size());
+  mean.pr_auc /= n;
+  mean.precision /= n;
+  mean.recall /= n;
+  mean.wracc /= n;
+  mean.restricted /= n;
+  mean.irrel /= n;
+  mean.runtime_seconds /= n;
+  return mean;
+}
+
+std::vector<double> CellResult::Collect(double MetricSet::* field) const {
+  std::vector<double> out;
+  out.reserve(reps.size());
+  for (const auto& m : reps) out.push_back(m.*field);
+  return out;
+}
+
+double RelativeChangePercent(double value, double baseline) {
+  if (baseline == 0.0) return 0.0;
+  return 100.0 * (value - baseline) / baseline;
+}
+
+std::string Runner::Key(const std::string& function, const std::string& method,
+                        int n) const {
+  return function + "|" + method + "|" + std::to_string(n);
+}
+
+const CellResult& Runner::cell(const std::string& function,
+                               const std::string& method, int n) const {
+  const auto it = cells_.find(Key(function, method, n));
+  if (it == cells_.end()) {
+    throw std::out_of_range("no cell " + Key(function, method, n));
+  }
+  return it->second;
+}
+
+std::vector<double> Runner::FunctionMeans(const std::string& method, int n,
+                                          double MetricSet::* field) const {
+  std::vector<double> out;
+  out.reserve(config_.functions.size());
+  for (const auto& f : config_.functions) {
+    const CellResult& c = cell(f, method, n);
+    double sum = 0.0;
+    for (const auto& m : c.reps) sum += m.*field;
+    out.push_back(c.reps.empty() ? 0.0 : sum / static_cast<double>(c.reps.size()));
+  }
+  return out;
+}
+
+std::vector<double> Runner::FunctionConsistencies(const std::string& method,
+                                                  int n) const {
+  std::vector<double> out;
+  out.reserve(config_.functions.size());
+  for (const auto& f : config_.functions) {
+    out.push_back(cell(f, method, n).consistency);
+  }
+  return out;
+}
+
+void Runner::Run() {
+  if (ran_) return;
+  ran_ = true;
+
+  struct FunctionContext {
+    std::unique_ptr<fun::TestFunction> function;
+    fun::DesignKind design;
+    Dataset test;
+    std::vector<bool> relevant;
+  };
+
+  // Instantiate functions and their shared test sets up front.
+  std::vector<FunctionContext> contexts;
+  contexts.reserve(config_.functions.size());
+  for (const auto& name : config_.functions) {
+    auto fn = fun::MakeFunction(name);
+    assert(fn.ok());
+    FunctionContext ctx;
+    ctx.function = std::move(*fn);
+    ctx.design = config_.design_override.value_or(
+        fun::DefaultDesignFor(*ctx.function));
+    ctx.relevant = ctx.function->relevant();
+    contexts.push_back(std::move(ctx));
+  }
+  {
+    ThreadPool pool(config_.threads);
+    for (size_t fi = 0; fi < contexts.size(); ++fi) {
+      pool.Submit([this, &contexts, fi] {
+        FunctionContext& ctx = contexts[fi];
+        // Test data: same input distribution, fresh labels.
+        ctx.test = fun::MakeScenarioDataset(
+            *ctx.function, config_.test_size, ctx.design,
+            DeriveSeed(config_.seed, 0x7e57ULL ^ (fi + 1)));
+      });
+    }
+    pool.Wait();
+  }
+
+  // Pre-create all cells so worker threads only write into their own slots.
+  for (const auto& f : config_.functions) {
+    for (const auto& m : config_.methods) {
+      for (int n : config_.sizes) {
+        CellResult& c = cells_[Key(f, m, n)];
+        c.reps.resize(static_cast<size_t>(config_.reps));
+        c.last_boxes.resize(static_cast<size_t>(config_.reps));
+      }
+    }
+  }
+
+  ThreadPool pool(config_.threads);
+  for (size_t fi = 0; fi < contexts.size(); ++fi) {
+    for (int n : config_.sizes) {
+      for (int rep = 0; rep < config_.reps; ++rep) {
+        for (size_t mi = 0; mi < config_.methods.size(); ++mi) {
+          pool.Submit([this, &contexts, fi, n, rep, mi] {
+            const FunctionContext& ctx = contexts[fi];
+            const std::string& method_name = config_.methods[mi];
+            auto spec = MethodSpec::Parse(method_name);
+            assert(spec.ok());
+
+            // Data seed depends on (function, N, rep) only: all methods see
+            // the same datasets (paired comparisons).
+            const uint64_t data_seed = DeriveSeed(
+                config_.seed,
+                (fi + 1) * 1000003ULL + static_cast<uint64_t>(n) * 131ULL +
+                    static_cast<uint64_t>(rep));
+            const Dataset train = fun::MakeScenarioDataset(
+                *ctx.function, n, ctx.design, data_seed);
+
+            RunOptions options = config_.options;
+            options.sampler = fun::SamplerFor(ctx.design);
+            options.seed = DeriveSeed(data_seed, 0x6d ^ (mi + 1));
+
+            const MethodOutput out = RunMethod(*spec, train, options);
+
+            MetricSet metrics;
+            metrics.pr_auc = 100.0 * PrAucOnData(out.trajectory, ctx.test);
+            const BoxStats stats = ComputeBoxStats(ctx.test, out.last_box);
+            metrics.precision = 100.0 * Precision(stats);
+            metrics.recall =
+                100.0 * Recall(stats, ctx.test.TotalPositive());
+            metrics.wracc = 100.0 * WRAcc(stats, ctx.test.num_rows(),
+                                          ctx.test.TotalPositive());
+            metrics.restricted = out.last_box.NumRestricted();
+            metrics.irrel = NumIrrelevantRestricted(out.last_box, ctx.relevant);
+            metrics.runtime_seconds = out.runtime_seconds;
+
+            CellResult& c =
+                cells_[Key(config_.functions[fi], method_name, n)];
+            c.reps[static_cast<size_t>(rep)] = metrics;
+            c.last_boxes[static_cast<size_t>(rep)] = out.last_box;
+          });
+        }
+      }
+    }
+  }
+  pool.Wait();
+
+  // Consistency: pairwise box overlap across repetitions; unit-cube domain.
+  for (size_t fi = 0; fi < contexts.size(); ++fi) {
+    const int dims = contexts[fi].function->dim();
+    const std::vector<double> lo(static_cast<size_t>(dims), 0.0);
+    const std::vector<double> hi(static_cast<size_t>(dims), 1.0);
+    for (const auto& m : config_.methods) {
+      for (int n : config_.sizes) {
+        CellResult& c = cells_[Key(config_.functions[fi], m, n)];
+        c.consistency = 100.0 * MeanPairwiseConsistency(c.last_boxes, lo, hi);
+      }
+    }
+  }
+}
+
+}  // namespace reds::exp

@@ -1,0 +1,94 @@
+// Experiment harness: runs a (function x method x N x repetition) matrix in
+// parallel, evaluating every run on an independent test set exactly as the
+// paper's methodology prescribes (Section 8: many datasets, optimized
+// hyperparameters, independent test data). Every bench binary is a thin
+// wrapper over this runner.
+#ifndef REDS_EXP_EXPERIMENT_H_
+#define REDS_EXP_EXPERIMENT_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/method.h"
+#include "functions/datagen.h"
+#include "functions/registry.h"
+
+namespace reds::exp {
+
+/// Per-repetition quality measurements (all on the independent test set,
+/// except runtime and the interpretability counts).
+struct MetricSet {
+  double pr_auc = 0.0;          // trajectory PR AUC on test data
+  double precision = 0.0;       // last box precision on test data
+  double recall = 0.0;          // last box recall on test data
+  double wracc = 0.0;           // last box WRAcc on test data (BI methods)
+  double restricted = 0.0;      // #restricted of the last box
+  double irrel = 0.0;           // #irrelevantly restricted of the last box
+  double runtime_seconds = 0.0;
+};
+
+/// All repetitions of one (function, method, N) cell.
+struct CellResult {
+  std::vector<MetricSet> reps;
+  std::vector<Box> last_boxes;
+  double consistency = 1.0;  // mean pairwise V_o/V_u of the last boxes
+
+  MetricSet Mean() const;
+  std::vector<double> Collect(double MetricSet::* field) const;
+};
+
+struct ExperimentConfig {
+  std::vector<std::string> functions;
+  std::vector<std::string> methods;
+  std::vector<int> sizes = {400};
+  int reps = 5;
+  int test_size = 20000;
+  /// Overrides the per-function default design (LHS / Halton), e.g. for the
+  /// mixed-input and semi-supervised experiments.
+  std::optional<fun::DesignKind> design_override;
+  RunOptions options;
+  int threads = 0;  // 0: hardware concurrency
+  uint64_t seed = 42;
+};
+
+/// Runs the full matrix. Datasets depend only on (function, N, repetition),
+/// so all methods see identical data -- enabling the paired Friedman tests.
+class Runner {
+ public:
+  explicit Runner(ExperimentConfig config) : config_(std::move(config)) {}
+
+  /// Executes all cells; idempotent.
+  void Run();
+
+  /// Result accessor (valid after Run()).
+  const CellResult& cell(const std::string& function, const std::string& method,
+                         int n) const;
+
+  const ExperimentConfig& config() const { return config_; }
+
+  /// Per-function mean of a metric for one method/N, across all configured
+  /// functions (a row of the paper's Tables 3/4).
+  std::vector<double> FunctionMeans(const std::string& method, int n,
+                                    double MetricSet::* field) const;
+
+  /// Mean consistency per function for one method/N.
+  std::vector<double> FunctionConsistencies(const std::string& method,
+                                            int n) const;
+
+ private:
+  std::string Key(const std::string& function, const std::string& method,
+                  int n) const;
+
+  ExperimentConfig config_;
+  std::map<std::string, CellResult> cells_;
+  bool ran_ = false;
+};
+
+/// Relative change in percent, the paper's figure axis: 100 * (v - base) / base.
+double RelativeChangePercent(double value, double baseline);
+
+}  // namespace reds::exp
+
+#endif  // REDS_EXP_EXPERIMENT_H_

@@ -1,0 +1,204 @@
+// Additive / low-interaction metamodeling benchmarks: the Linkletter 2006
+// family, Loeppky 2013, Moon 2010 functions, Williams 2006 and the paper's
+// own "ellipse" function. Where the original coefficients are not public,
+// these keep the published dimensionality, relevant-input count and
+// structural family (see the substitution table in DESIGN.md).
+#include <cmath>
+
+#include "functions/registry.h"
+
+namespace reds::fun {
+
+namespace {
+
+// --- linketal06dec: decreasing coefficients, 8 of 10 inputs active. ---
+class Link06Dec final : public DeterministicFunction {
+ public:
+  std::string name() const override { return "linketal06dec"; }
+  int dim() const override { return 10; }
+  std::vector<bool> relevant() const override {
+    std::vector<bool> rel(10, false);
+    for (int j = 0; j < 8; ++j) rel[static_cast<size_t>(j)] = true;
+    return rel;
+  }
+  double target_share() const override { return 0.253; }
+  double Raw(const double* x) const override {
+    double y = 0.0;
+    double coef = 0.2;
+    for (int j = 0; j < 8; ++j) {
+      y += coef * x[j];
+      coef /= 2.0;
+    }
+    return y;
+  }
+};
+
+// --- linketal06simple: equal weights on the first 4 of 10 inputs. ---
+class Link06Simple final : public DeterministicFunction {
+ public:
+  std::string name() const override { return "linketal06simple"; }
+  int dim() const override { return 10; }
+  std::vector<bool> relevant() const override {
+    std::vector<bool> rel(10, false);
+    for (int j = 0; j < 4; ++j) rel[static_cast<size_t>(j)] = true;
+    return rel;
+  }
+  double target_share() const override { return 0.285; }
+  double Raw(const double* x) const override {
+    return 0.5 * (x[0] + x[1] + x[2] + x[3]);
+  }
+};
+
+// --- linketal06sin: sine function, 2 of 10 inputs active. ---
+class Link06Sin final : public DeterministicFunction {
+ public:
+  std::string name() const override { return "linketal06sin"; }
+  int dim() const override { return 10; }
+  std::vector<bool> relevant() const override {
+    std::vector<bool> rel(10, false);
+    rel[0] = rel[1] = true;
+    return rel;
+  }
+  double target_share() const override { return 0.272; }
+  double Raw(const double* x) const override {
+    return std::sin(2.0 * M_PI * x[0]) + 2.0 * x[1];
+  }
+};
+
+// --- loepetal13: strong main effects plus pairwise interactions among the
+// first three inputs, weak tail; 7 of 10 inputs active. ---
+class Loeppky13 final : public DeterministicFunction {
+ public:
+  std::string name() const override { return "loepetal13"; }
+  int dim() const override { return 10; }
+  std::vector<bool> relevant() const override {
+    std::vector<bool> rel(10, false);
+    for (int j = 0; j < 7; ++j) rel[static_cast<size_t>(j)] = true;
+    return rel;
+  }
+  double target_share() const override { return 0.389; }
+  double Raw(const double* x) const override {
+    return 6.0 * x[0] + 4.0 * x[1] + 5.5 * x[2] + 3.0 * x[0] * x[1] +
+           2.2 * x[0] * x[2] + 1.4 * x[1] * x[2] + x[3] + 0.5 * x[4] +
+           0.2 * x[5] + 0.1 * x[6];
+  }
+};
+
+// --- moon10hd: high-dimensional, all 20 inputs active with alternating
+// signs and light interactions. ---
+class Moon10Hd final : public DeterministicFunction {
+ public:
+  std::string name() const override { return "moon10hd"; }
+  int dim() const override { return 20; }
+  std::vector<bool> relevant() const override {
+    return std::vector<bool>(20, true);
+  }
+  double target_share() const override { return 0.421; }
+  double Raw(const double* x) const override {
+    double y = 0.0;
+    for (int j = 0; j < 20; ++j) {
+      const double w = (j % 2 == 0 ? 1.0 : -1.0) * (0.4 + 0.06 * j);
+      y += w * x[j];
+    }
+    for (int j = 0; j + 1 < 20; j += 2) y += 0.35 * x[j] * x[j + 1];
+    return y;
+  }
+};
+
+// --- moon10hdc1: 20 inputs, only 5 active. ---
+class Moon10Hdc1 final : public DeterministicFunction {
+ public:
+  std::string name() const override { return "moon10hdc1"; }
+  int dim() const override { return 20; }
+  std::vector<bool> relevant() const override {
+    std::vector<bool> rel(20, false);
+    for (int j = 0; j < 5; ++j) rel[static_cast<size_t>(j)] = true;
+    return rel;
+  }
+  double target_share() const override { return 0.342; }
+  double Raw(const double* x) const override {
+    return 2.0 * x[0] + 1.6 * x[1] - 1.2 * x[2] + x[3] * x[4] +
+           0.8 * x[2] * x[2];
+  }
+};
+
+// --- moon10low: 3 inputs, all active, with one interaction. ---
+class Moon10Low final : public DeterministicFunction {
+ public:
+  std::string name() const override { return "moon10low"; }
+  int dim() const override { return 3; }
+  std::vector<bool> relevant() const override {
+    return std::vector<bool>(3, true);
+  }
+  double target_share() const override { return 0.456; }
+  double Raw(const double* x) const override {
+    return x[0] + 0.9 * x[1] + 0.6 * x[2] + 1.2 * x[0] * x[1];
+  }
+};
+
+// --- willetal06: 3 inputs, 2 active. ---
+class Williams06 final : public DeterministicFunction {
+ public:
+  std::string name() const override { return "willetal06"; }
+  int dim() const override { return 3; }
+  std::vector<bool> relevant() const override {
+    return {true, true, false};
+  }
+  double target_share() const override { return 0.249; }
+  double Raw(const double* x) const override {
+    return std::exp(1.5 * x[0]) * (x[1] + 0.4) - x[0];
+  }
+};
+
+// --- ellipse: the paper's own function, f = sum_{j<=10} w_j (x_j - c_j)^2
+// over 15 inputs, w_j = 0 beyond the tenth. Constants fixed by seed. ---
+class Ellipse final : public DeterministicFunction {
+ public:
+  Ellipse() {
+    Rng rng(0xe111b5eULL);
+    for (int j = 0; j < 15; ++j) {
+      w_[j] = j < 10 ? rng.Uniform(0.2, 1.0) : 0.0;
+      c_[j] = rng.Uniform(0.2, 0.8);
+    }
+  }
+  std::string name() const override { return "ellipse"; }
+  int dim() const override { return 15; }
+  std::vector<bool> relevant() const override {
+    std::vector<bool> rel(15, false);
+    for (int j = 0; j < 10; ++j) rel[static_cast<size_t>(j)] = true;
+    return rel;
+  }
+  double target_share() const override { return 0.225; }
+  double Raw(const double* x) const override {
+    double y = 0.0;
+    for (int j = 0; j < 15; ++j) {
+      const double diff = x[j] - c_[j];
+      y += w_[j] * diff * diff;
+    }
+    return y;
+  }
+
+ private:
+  double w_[15];
+  double c_[15];
+};
+
+}  // namespace
+
+std::unique_ptr<TestFunction> MakeLink06Dec() { return std::make_unique<Link06Dec>(); }
+std::unique_ptr<TestFunction> MakeLink06Simple() {
+  return std::make_unique<Link06Simple>();
+}
+std::unique_ptr<TestFunction> MakeLink06Sin() { return std::make_unique<Link06Sin>(); }
+std::unique_ptr<TestFunction> MakeLoeppky13() { return std::make_unique<Loeppky13>(); }
+std::unique_ptr<TestFunction> MakeMoon10Hd() { return std::make_unique<Moon10Hd>(); }
+std::unique_ptr<TestFunction> MakeMoon10Hdc1() {
+  return std::make_unique<Moon10Hdc1>();
+}
+std::unique_ptr<TestFunction> MakeMoon10Low() { return std::make_unique<Moon10Low>(); }
+std::unique_ptr<TestFunction> MakeWilliams06() {
+  return std::make_unique<Williams06>();
+}
+std::unique_ptr<TestFunction> MakeEllipse() { return std::make_unique<Ellipse>(); }
+
+}  // namespace reds::fun

@@ -1,0 +1,105 @@
+// Stochastic "noisy" functions standing in for Dalal et al. 2013's functions
+// 1-8 and 102 (the originals' formulas are not reproduced in the REDS paper;
+// see DESIGN.md). Each defines P(y=1|x) through a smooth ramp over a
+// low-dimensional geometric score with the published dimensionality,
+// relevant-input count and positive share.
+#include <algorithm>
+#include <cmath>
+
+#include "functions/registry.h"
+
+namespace reds::fun {
+
+namespace {
+
+// Shares from Table 1 for dalal1..dalal8.
+constexpr double kDalalShare[8] = {0.476, 0.257, 0.082, 0.18,
+                                   0.08,  0.081, 0.35,  0.109};
+
+class Dalal final : public StochasticFunction {
+ public:
+  explicit Dalal(int index) : index_(index) {}
+
+  std::string name() const override { return "dalal" + std::to_string(index_); }
+  int dim() const override { return 5; }
+  std::vector<bool> relevant() const override {
+    std::vector<bool> rel(5, false);
+    rel[0] = rel[1] = true;
+    return rel;
+  }
+  double target_share() const override { return kDalalShare[index_ - 1]; }
+
+ protected:
+  double Score(const double* x) const override {
+    const double a = x[0];
+    const double b = x[1];
+    switch (index_) {
+      case 1:  // linear boundary
+        return a + b;
+      case 2:  // square ring around the center
+        return std::max(std::fabs(a - 0.5), std::fabs(b - 0.5));
+      case 3:  // disc around (0.3, 0.7)
+        return (a - 0.3) * (a - 0.3) + (b - 0.7) * (b - 0.7);
+      case 4:  // hyperbolic corner
+        return a * b;
+      case 5:  // diagonal band
+        return std::fabs(a - b);
+      case 6:  // wavy horizontal band
+        return std::fabs(b - 0.5 - 0.25 * std::sin(3.0 * M_PI * a));
+      case 7:  // lower-left quadrant-ish region
+        return std::max(a, b);
+      case 8:  // elongated ellipse
+        return (a - 0.5) * (a - 0.5) + 4.0 * (b - 0.5) * (b - 0.5);
+      default:
+        return a;
+    }
+  }
+  double width() const override { return 0.04; }
+
+ private:
+  int index_;
+};
+
+// dalal102: 15 inputs, 9 relevant, share 67.2%.
+class Dalal102 final : public StochasticFunction {
+ public:
+  Dalal102() {
+    Rng rng(0xda1a1102ULL);
+    for (int j = 0; j < 9; ++j) {
+      w_[j] = rng.Uniform(0.4, 1.0);
+      c_[j] = rng.Uniform(0.25, 0.75);
+    }
+  }
+  std::string name() const override { return "dalal102"; }
+  int dim() const override { return 15; }
+  std::vector<bool> relevant() const override {
+    std::vector<bool> rel(15, false);
+    for (int j = 0; j < 9; ++j) rel[static_cast<size_t>(j)] = true;
+    return rel;
+  }
+  double target_share() const override { return 0.672; }
+
+ protected:
+  double Score(const double* x) const override {
+    double s = 0.0;
+    for (int j = 0; j < 9; ++j) s += w_[j] * std::fabs(x[j] - c_[j]);
+    return s;
+  }
+  double width() const override { return 0.12; }
+
+ private:
+  double w_[9];
+  double c_[9];
+};
+
+}  // namespace
+
+std::unique_ptr<TestFunction> MakeDalal(int index) {
+  return std::make_unique<Dalal>(index);
+}
+
+std::unique_ptr<TestFunction> MakeDalal102() {
+  return std::make_unique<Dalal102>();
+}
+
+}  // namespace reds::fun

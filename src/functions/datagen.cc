@@ -1,0 +1,69 @@
+#include "functions/datagen.h"
+
+#include <cassert>
+
+namespace reds::fun {
+
+DesignKind DefaultDesignFor(const TestFunction& f) {
+  return f.name() == "dsgc" ? DesignKind::kHalton : DesignKind::kLatinHypercube;
+}
+
+std::vector<double> MakeDesign(DesignKind kind, int n, int dim, uint64_t seed) {
+  Rng rng(seed);
+  switch (kind) {
+    case DesignKind::kLatinHypercube:
+      return sampling::LatinHypercube(n, dim, &rng);
+    case DesignKind::kHalton: {
+      // Random leap start so repetitions see different stretches of the
+      // sequence.
+      const int skip = 20 + static_cast<int>(rng.UniformInt(100000));
+      return sampling::HaltonDesign(n, dim, skip);
+    }
+    case DesignKind::kUniform:
+      return sampling::UniformDesign(n, dim, &rng);
+    case DesignKind::kLogitNormal:
+      return sampling::LogitNormalDesign(n, dim, 0.0, 1.0, &rng);
+    case DesignKind::kMixedDiscrete: {
+      std::vector<double> design = sampling::LatinHypercube(n, dim, &rng);
+      sampling::DiscretizeEvenColumns(&design, dim, &rng);
+      return design;
+    }
+  }
+  return {};
+}
+
+Dataset LabelDesign(const TestFunction& f, const std::vector<double>& design,
+                    uint64_t seed) {
+  const int dim = f.dim();
+  assert(design.size() % static_cast<size_t>(dim) == 0);
+  const int n = static_cast<int>(design.size()) / dim;
+  Rng rng(DeriveSeed(seed, 0x1abe1ULL));
+  Dataset d(dim);
+  d.Reserve(n);
+  for (int i = 0; i < n; ++i) {
+    const double* x = design.data() + static_cast<size_t>(i) * dim;
+    d.AddRow(x, f.Label(x, &rng));
+  }
+  return d;
+}
+
+Dataset MakeScenarioDataset(const TestFunction& f, int n, DesignKind kind,
+                            uint64_t seed) {
+  return LabelDesign(f, MakeDesign(kind, n, f.dim(), seed), seed);
+}
+
+sampling::PointSampler SamplerFor(DesignKind kind) {
+  switch (kind) {
+    case DesignKind::kLogitNormal:
+      return sampling::MakeLogitNormalSampler(0.0, 1.0);
+    case DesignKind::kMixedDiscrete:
+      return sampling::MakeMixedSampler();
+    case DesignKind::kLatinHypercube:
+    case DesignKind::kHalton:
+    case DesignKind::kUniform:
+      return sampling::MakeUniformSampler();
+  }
+  return sampling::MakeUniformSampler();
+}
+
+}  // namespace reds::fun

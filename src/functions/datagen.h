@@ -1,0 +1,43 @@
+// Glue between designs of experiments and labeling oracles: builds the
+// datasets D / D_test the experiments consume (paper Section 8.5).
+#ifndef REDS_FUNCTIONS_DATAGEN_H_
+#define REDS_FUNCTIONS_DATAGEN_H_
+
+#include <cstdint>
+
+#include "core/dataset.h"
+#include "functions/function.h"
+#include "sampling/design.h"
+
+namespace reds::fun {
+
+enum class DesignKind {
+  kLatinHypercube,  // default for all functions (paper Section 8.5)
+  kHalton,          // used for "dsgc"
+  kUniform,
+  kLogitNormal,     // semi-supervised experiment (Section 9.4)
+  kMixedDiscrete,   // even inputs in {0.1,...,0.9} (Section 9.1.2)
+};
+
+/// The paper's design choice for a function: Halton for "dsgc", LHS
+/// otherwise.
+DesignKind DefaultDesignFor(const TestFunction& f);
+
+/// n x dim row-major design of the requested kind.
+std::vector<double> MakeDesign(DesignKind kind, int n, int dim, uint64_t seed);
+
+/// Labels the design points with the function ("runs n simulations").
+Dataset LabelDesign(const TestFunction& f, const std::vector<double>& design,
+                    uint64_t seed);
+
+/// Convenience: MakeDesign + LabelDesign.
+Dataset MakeScenarioDataset(const TestFunction& f, int n, DesignKind kind,
+                            uint64_t seed);
+
+/// Point sampler matching the input distribution of a design kind; REDS must
+/// draw its L fresh points from the same p(x).
+sampling::PointSampler SamplerFor(DesignKind kind);
+
+}  // namespace reds::fun
+
+#endif  // REDS_FUNCTIONS_DATAGEN_H_

@@ -1,0 +1,109 @@
+#include "functions/dsgc.h"
+
+#include <cmath>
+
+#include "functions/registry.h"
+
+namespace reds::fun {
+
+namespace {
+
+constexpr double kBaseDamping = 0.1;  // inherent generator damping alpha
+
+double Scale(double u, double lo, double hi) { return lo + u * (hi - lo); }
+
+class Dsgc final : public DeterministicFunction {
+ public:
+  std::string name() const override { return "dsgc"; }
+  int dim() const override { return 12; }
+  std::vector<bool> relevant() const override {
+    return std::vector<bool>(12, true);
+  }
+  double target_share() const override { return 0.537; }
+  double Raw(const double* x) const override {
+    return DsgcSpectralAbscissa(DsgcParamsFromUnitCube(x));
+  }
+
+ protected:
+  // Stability has a physical cutoff: spectral abscissa 0.
+  bool use_fixed_threshold() const override { return true; }
+  double fixed_threshold() const override { return 0.0; }
+};
+
+}  // namespace
+
+DsgcParams DsgcParamsFromUnitCube(const double* x) {
+  DsgcParams p;
+  for (int j = 0; j < 4; ++j) p.tau[j] = Scale(x[j], 0.5, 10.0);
+  // Gain range chosen so roughly half the sampled grids are stable (the
+  // paper reports a 53.7% share for its dsgc configuration).
+  for (int j = 0; j < 4; ++j) p.g[j] = Scale(x[4 + j], 0.05, 0.5);
+  for (int j = 0; j < 3; ++j) p.p_consumer[j] = Scale(x[8 + j], -1.5, -0.5);
+  p.coupling = Scale(x[11], 1.0, 8.0);
+  return p;
+}
+
+Result<la::Matrix> DsgcJacobian(const DsgcParams& params) {
+  const double k = params.coupling;
+  // Synchronous fixed point: sin(theta_0 - theta_j) = -P_j / K for each
+  // consumer j (producer balance follows from sum P = 0).
+  double cos_phi[3];
+  for (int j = 0; j < 3; ++j) {
+    const double s = params.p_consumer[j] / k;  // sin(phi_j), negative
+    if (std::fabs(s) > 1.0) {
+      return Status::FailedPrecondition("no synchronous fixed point");
+    }
+    cos_phi[j] = std::sqrt(1.0 - s * s);  // stable branch |phi| < pi/2
+  }
+
+  // Each node's power adaptation responds to the delayed frequency
+  // d_j(t) ~ omega_j(t - tau_j), realized by a Pade(2,2) approximation:
+  // with D(s) = (tau^2/12) s^2 + (tau/2) s + 1 and w = omega / D(s),
+  //   d = omega - tau * dw/dt.
+  // Per node this adds states w_j and v_j = dw_j/dt with
+  //   dv/dt = (12/tau^2)(omega - w) - (6/tau) v.
+  //
+  // State order: phi_1..3 (0..2), omega_0..3 (3..6), w_0..3 (7..10),
+  // v_0..3 (11..14).
+  la::Matrix jac(15, 15);
+  for (int j = 0; j < 3; ++j) {
+    // d(phi_j)/dt = omega_j - omega_0.
+    jac(j, 3 + (j + 1)) = 1.0;
+    jac(j, 3) = -1.0;
+  }
+  // Node frequency dynamics: the adaptation term is -g_j * d_j =
+  // -g_j * (omega_j - tau_j v_j); coupling enters through the phases.
+  for (int node = 0; node < 4; ++node) {
+    const int row = 3 + node;
+    jac(row, row) = -kBaseDamping - params.g[node];
+    jac(row, 11 + node) = params.g[node] * params.tau[node];
+    if (node == 0) {
+      // Producer: + K sum_j cos(phi_j) phi_j.
+      for (int j = 0; j < 3; ++j) jac(row, j) = k * cos_phi[j];
+    } else {
+      // Consumer j: - K cos(phi_j) phi_j.
+      jac(row, node - 1) = -k * cos_phi[node - 1];
+    }
+  }
+  // Pade delay states.
+  for (int node = 0; node < 4; ++node) {
+    const double tau = params.tau[node];
+    jac(7 + node, 11 + node) = 1.0;  // dw/dt = v
+    jac(11 + node, 3 + node) = 12.0 / (tau * tau);
+    jac(11 + node, 7 + node) = -12.0 / (tau * tau);
+    jac(11 + node, 11 + node) = -6.0 / tau;
+  }
+  return jac;
+}
+
+double DsgcSpectralAbscissa(const DsgcParams& params) {
+  auto jac = DsgcJacobian(params);
+  if (!jac.ok()) return 1.0;  // infeasible -> maximally unstable
+  auto abscissa = la::SpectralAbscissa(*jac);
+  if (!abscissa.ok()) return 1.0;  // eigen solver failure counts as unstable
+  return *abscissa;
+}
+
+std::unique_ptr<TestFunction> MakeDsgc() { return std::make_unique<Dsgc>(); }
+
+}  // namespace reds::fun

@@ -1,0 +1,40 @@
+// Decentral Smart Grid Control stability model (Schaefer et al. 2015),
+// rebuilt as an ODE substrate: a 4-node star grid (1 producer, 3 consumers)
+// where each node adapts its power to the frequency deviation it measured
+// tau_j seconds ago. The reaction delay -- the destabilizing mechanism of
+// DSGC -- is realized by a second-order Pade approximation of e^{-s tau}
+// (two extra states per node; see DESIGN.md). The grid is stable iff every
+// eigenvalue of the Jacobian at the synchronous fixed point has negative
+// real part.
+#ifndef REDS_FUNCTIONS_DSGC_H_
+#define REDS_FUNCTIONS_DSGC_H_
+
+#include "functions/function.h"
+#include "la/matrix.h"
+
+namespace reds::fun {
+
+/// Physical parameters of one grid instance.
+struct DsgcParams {
+  double tau[4];        // price-averaging times, [0.5, 10] s
+  double g[4];          // price-adaptation gains, [0.05, 0.5]
+  double p_consumer[3]; // consumer powers (negative), [-1.5, -0.5]
+  double coupling;      // line coupling K, [1, 8]
+};
+
+/// Maps a point of [0,1]^12 to physical parameters
+/// (x = tau_0..3, g_0..3, P_1..3, K).
+DsgcParams DsgcParamsFromUnitCube(const double* x);
+
+/// Jacobian of the reduced 11-state system (3 relative phases, 4
+/// frequencies, 4 filter states) at the synchronous fixed point. Fails if no
+/// fixed point exists (|P_j| > K for some consumer).
+Result<la::Matrix> DsgcJacobian(const DsgcParams& params);
+
+/// Largest eigenvalue real part; +1.0 when no synchronous fixed point
+/// exists. Stable grids give negative values.
+double DsgcSpectralAbscissa(const DsgcParams& params);
+
+}  // namespace reds::fun
+
+#endif  // REDS_FUNCTIONS_DSGC_H_

@@ -1,0 +1,89 @@
+#include "functions/function.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <functional>
+
+namespace reds::fun {
+
+namespace {
+
+constexpr int kCalibrationPoints = 20000;
+constexpr uint64_t kCalibrationSeed = 0xca11b8a7e5eedULL;
+
+// Fixed Monte Carlo sample of raw values used for threshold calibration.
+std::vector<double> CalibrationValues(const TestFunction& f,
+                                      const std::function<double(const double*)>& eval) {
+  Rng rng(kCalibrationSeed);
+  std::vector<double> x(static_cast<size_t>(f.dim()));
+  std::vector<double> vals(kCalibrationPoints);
+  for (int i = 0; i < kCalibrationPoints; ++i) {
+    for (auto& v : x) v = rng.Uniform();
+    vals[static_cast<size_t>(i)] = eval(x.data());
+  }
+  return vals;
+}
+
+}  // namespace
+
+double TestFunction::Label(const double* x, Rng* rng) const {
+  const double p = ProbPositive(x);
+  if (p <= 0.0) return 0.0;
+  if (p >= 1.0) return 1.0;
+  return rng->Bernoulli(p) ? 1.0 : 0.0;
+}
+
+int TestFunction::NumRelevant() const {
+  int count = 0;
+  for (bool r : relevant()) count += r ? 1 : 0;
+  return count;
+}
+
+double DeterministicFunction::threshold() const {
+  std::call_once(once_, [this] {
+    if (use_fixed_threshold()) {
+      threshold_value_ = fixed_threshold();
+      return;
+    }
+    std::vector<double> vals = CalibrationValues(
+        *this, [this](const double* x) { return Raw(x); });
+    const auto k = static_cast<std::ptrdiff_t>(
+        std::clamp(target_share(), 0.001, 0.999) * vals.size());
+    std::nth_element(vals.begin(), vals.begin() + k, vals.end());
+    threshold_value_ = vals[static_cast<size_t>(k)];
+  });
+  return threshold_value_;
+}
+
+double StochasticFunction::ProbPositive(const double* x) const {
+  std::call_once(once_, [this] { offset_ = CalibrateOffset(); });
+  const double z = (offset_ - Score(x)) / width();
+  return 1.0 / (1.0 + std::exp(-z));
+}
+
+double StochasticFunction::CalibrateOffset() const {
+  const std::vector<double> scores = CalibrationValues(
+      *this, [this](const double* x) { return Score(x); });
+  const double w = width();
+  auto mean_prob = [&](double t) {
+    double sum = 0.0;
+    for (double s : scores) sum += 1.0 / (1.0 + std::exp((s - t) / w));
+    return sum / static_cast<double>(scores.size());
+  };
+  // Bisection on the monotone map t -> E[P(y=1)].
+  double lo = *std::min_element(scores.begin(), scores.end()) - 10.0 * w;
+  double hi = *std::max_element(scores.begin(), scores.end()) + 10.0 * w;
+  const double target = target_share();
+  for (int it = 0; it < 200; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (mean_prob(mid) < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace reds::fun

@@ -1,0 +1,96 @@
+// The simulation models / test functions of the paper's Table 1. Every
+// function maps [0,1]^M to a binary outcome: deterministic functions compare
+// a raw value against a threshold ("y = 1 iff output below thr"), stochastic
+// ones define P(y=1|x) directly. Thresholds are calibrated by Monte Carlo to
+// reproduce the positive share the paper reports (see DESIGN.md).
+#ifndef REDS_FUNCTIONS_FUNCTION_H_
+#define REDS_FUNCTIONS_FUNCTION_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+#include "util/rng.h"
+
+namespace reds::fun {
+
+/// A simulation model viewed as a labeling oracle over [0,1]^M.
+class TestFunction {
+ public:
+  virtual ~TestFunction() = default;
+
+  virtual std::string name() const = 0;
+  virtual int dim() const = 0;
+
+  /// Ground-truth relevance mask (Table 1's I column): relevant()[j] is true
+  /// iff input j affects the output. Drives the #irrel metric.
+  virtual std::vector<bool> relevant() const = 0;
+
+  /// Expected share of y = 1 under uniform inputs (Table 1's share column).
+  virtual double target_share() const = 0;
+
+  /// True for models whose output is random given x (Dalal et al. family).
+  virtual bool stochastic() const { return false; }
+
+  /// P(y = 1 | x); 0/1 for deterministic models.
+  virtual double ProbPositive(const double* x) const = 0;
+
+  /// Draws a binary label ("runs one simulation").
+  double Label(const double* x, Rng* rng) const;
+
+  /// Number of relevant inputs.
+  int NumRelevant() const;
+};
+
+/// Deterministic model: y = 1 iff Raw(x) < threshold(). The threshold is the
+/// target-share quantile of Raw over a fixed 20000-point Monte Carlo sample
+/// (computed once, thread-safe), unless the subclass pins a fixed threshold.
+class DeterministicFunction : public TestFunction {
+ public:
+  /// Raw simulation output; x in [0,1]^M (scaling to native domains happens
+  /// inside).
+  virtual double Raw(const double* x) const = 0;
+
+  double ProbPositive(const double* x) const override {
+    return Raw(x) < threshold() ? 1.0 : 0.0;
+  }
+
+  /// Binarization threshold (lazily calibrated).
+  double threshold() const;
+
+ protected:
+  /// Subclasses with a physically meaningful cutoff (e.g. stability = 0)
+  /// override this to skip calibration.
+  virtual bool use_fixed_threshold() const { return false; }
+  virtual double fixed_threshold() const { return 0.0; }
+
+ private:
+  mutable std::once_flag once_;
+  mutable double threshold_value_ = 0.0;
+};
+
+/// Stochastic model: P(y=1|x) = sigmoid((t - Score(x)) / width). The offset
+/// t is calibrated once so that E[P] matches the target share.
+class StochasticFunction : public TestFunction {
+ public:
+  bool stochastic() const override { return true; }
+  double ProbPositive(const double* x) const override;
+
+ protected:
+  /// Raw score; low scores mean "interesting".
+  virtual double Score(const double* x) const = 0;
+  /// Transition width of the probability ramp.
+  virtual double width() const { return 0.05; }
+
+ private:
+  double CalibrateOffset() const;
+
+  mutable std::once_flag once_;
+  mutable double offset_ = 0.0;
+};
+
+}  // namespace reds::fun
+
+#endif  // REDS_FUNCTIONS_FUNCTION_H_

@@ -1,0 +1,118 @@
+// Hartmann family (3-, 4- and rescaled 6-dimensional) and Ishigami: smooth
+// multimodal sensitivity-analysis standards with published constants.
+#include <cmath>
+
+#include "functions/registry.h"
+
+namespace reds::fun {
+
+namespace {
+
+// Shared Hartmann-6 constants; hart4 uses the first 4 columns (Surjanovic &
+// Bingham convention).
+constexpr double kAlpha6[4] = {1.0, 1.2, 3.0, 3.2};
+constexpr double kA6[4][6] = {{10.0, 3.0, 17.0, 3.5, 1.7, 8.0},
+                              {0.05, 10.0, 17.0, 0.1, 8.0, 14.0},
+                              {3.0, 3.5, 1.7, 10.0, 17.0, 8.0},
+                              {17.0, 8.0, 0.05, 10.0, 0.1, 14.0}};
+constexpr double kP6[4][6] = {
+    {0.1312, 0.1696, 0.5569, 0.0124, 0.8283, 0.5886},
+    {0.2329, 0.4135, 0.8307, 0.3736, 0.1004, 0.9991},
+    {0.2348, 0.1451, 0.3522, 0.2883, 0.3047, 0.6650},
+    {0.4047, 0.8828, 0.8732, 0.5743, 0.1091, 0.0381}};
+
+double HartmannSum(const double* x, int m) {
+  double outer = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    double inner = 0.0;
+    for (int j = 0; j < m; ++j) {
+      const double diff = x[j] - kP6[i][j];
+      inner += kA6[i][j] * diff * diff;
+    }
+    outer += kAlpha6[i] * std::exp(-inner);
+  }
+  return outer;
+}
+
+class Hart3 final : public DeterministicFunction {
+ public:
+  std::string name() const override { return "hart3"; }
+  int dim() const override { return 3; }
+  std::vector<bool> relevant() const override {
+    return std::vector<bool>(3, true);
+  }
+  double target_share() const override { return 0.335; }
+  double Raw(const double* x) const override {
+    static constexpr double a[4][3] = {{3.0, 10.0, 30.0},
+                                       {0.1, 10.0, 35.0},
+                                       {3.0, 10.0, 30.0},
+                                       {0.1, 10.0, 35.0}};
+    static constexpr double p[4][3] = {{0.3689, 0.1170, 0.2673},
+                                       {0.4699, 0.4387, 0.7470},
+                                       {0.1091, 0.8732, 0.5547},
+                                       {0.0381, 0.5743, 0.8828}};
+    double outer = 0.0;
+    for (int i = 0; i < 4; ++i) {
+      double inner = 0.0;
+      for (int j = 0; j < 3; ++j) {
+        const double diff = x[j] - p[i][j];
+        inner += a[i][j] * diff * diff;
+      }
+      outer += kAlpha6[i] * std::exp(-inner);
+    }
+    return -outer;
+  }
+};
+
+class Hart4 final : public DeterministicFunction {
+ public:
+  std::string name() const override { return "hart4"; }
+  int dim() const override { return 4; }
+  std::vector<bool> relevant() const override {
+    return std::vector<bool>(4, true);
+  }
+  double target_share() const override { return 0.301; }
+  double Raw(const double* x) const override {
+    return (1.1 - HartmannSum(x, 4)) / 0.839;
+  }
+};
+
+class Hart6Sc final : public DeterministicFunction {
+ public:
+  std::string name() const override { return "hart6sc"; }
+  int dim() const override { return 6; }
+  std::vector<bool> relevant() const override {
+    return std::vector<bool>(6, true);
+  }
+  double target_share() const override { return 0.226; }
+  double Raw(const double* x) const override {
+    return -(2.58 + HartmannSum(x, 6)) / 1.94;
+  }
+};
+
+class Ishigami final : public DeterministicFunction {
+ public:
+  std::string name() const override { return "ishigami"; }
+  int dim() const override { return 3; }
+  std::vector<bool> relevant() const override {
+    return std::vector<bool>(3, true);
+  }
+  double target_share() const override { return 0.255; }
+  double Raw(const double* x) const override {
+    const double x1 = -M_PI + 2.0 * M_PI * x[0];
+    const double x2 = -M_PI + 2.0 * M_PI * x[1];
+    const double x3 = -M_PI + 2.0 * M_PI * x[2];
+    const double s1 = std::sin(x1);
+    return s1 + 7.0 * std::sin(x2) * std::sin(x2) +
+           0.1 * x3 * x3 * x3 * x3 * s1;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<TestFunction> MakeHart3() { return std::make_unique<Hart3>(); }
+std::unique_ptr<TestFunction> MakeHart4() { return std::make_unique<Hart4>(); }
+std::unique_ptr<TestFunction> MakeHart6Sc() { return std::make_unique<Hart6Sc>(); }
+std::unique_ptr<TestFunction> MakeIshigami() { return std::make_unique<Ishigami>(); }
+
+}  // namespace reds::fun

@@ -1,0 +1,120 @@
+// Physical metamodeling benchmarks with fully published formulas
+// (Surjanovic & Bingham test-function library): borehole, OTL circuit,
+// piston, wing weight.
+#include <cmath>
+
+#include "functions/registry.h"
+
+namespace reds::fun {
+
+namespace {
+
+double Scale(double u, double lo, double hi) { return lo + u * (hi - lo); }
+
+class Borehole final : public DeterministicFunction {
+ public:
+  std::string name() const override { return "borehole"; }
+  int dim() const override { return 8; }
+  std::vector<bool> relevant() const override {
+    return std::vector<bool>(8, true);
+  }
+  double target_share() const override { return 0.309; }
+  double Raw(const double* x) const override {
+    const double rw = Scale(x[0], 0.05, 0.15);
+    const double r = Scale(x[1], 100.0, 50000.0);
+    const double tu = Scale(x[2], 63070.0, 115600.0);
+    const double hu = Scale(x[3], 990.0, 1110.0);
+    const double tl = Scale(x[4], 63.1, 116.0);
+    const double hl = Scale(x[5], 700.0, 820.0);
+    const double l = Scale(x[6], 1120.0, 1680.0);
+    const double kw = Scale(x[7], 9855.0, 12045.0);
+    const double log_r_rw = std::log(r / rw);
+    const double numerator = 2.0 * M_PI * tu * (hu - hl);
+    const double denominator =
+        log_r_rw * (1.0 + 2.0 * l * tu / (log_r_rw * rw * rw * kw) + tu / tl);
+    return numerator / denominator;
+  }
+};
+
+class OtlCircuit final : public DeterministicFunction {
+ public:
+  std::string name() const override { return "otlcircuit"; }
+  int dim() const override { return 6; }
+  std::vector<bool> relevant() const override {
+    return std::vector<bool>(6, true);
+  }
+  double target_share() const override { return 0.225; }
+  double Raw(const double* x) const override {
+    const double rb1 = Scale(x[0], 50.0, 150.0);
+    const double rb2 = Scale(x[1], 25.0, 70.0);
+    const double rf = Scale(x[2], 0.5, 3.0);
+    const double rc1 = Scale(x[3], 1.2, 2.5);
+    const double rc2 = Scale(x[4], 0.25, 1.2);
+    const double beta = Scale(x[5], 50.0, 300.0);
+    const double vb1 = 12.0 * rb2 / (rb1 + rb2);
+    const double bpr = beta * (rc2 + 9.0);
+    return (vb1 + 0.74) * bpr / (bpr + rf) + 11.35 * rf / (bpr + rf) +
+           0.74 * rf * bpr / ((bpr + rf) * rc1);
+  }
+};
+
+class Piston final : public DeterministicFunction {
+ public:
+  std::string name() const override { return "piston"; }
+  int dim() const override { return 7; }
+  std::vector<bool> relevant() const override {
+    return std::vector<bool>(7, true);
+  }
+  double target_share() const override { return 0.368; }
+  double Raw(const double* x) const override {
+    const double m = Scale(x[0], 30.0, 60.0);
+    const double s = Scale(x[1], 0.005, 0.020);
+    const double v0 = Scale(x[2], 0.002, 0.010);
+    const double k = Scale(x[3], 1000.0, 5000.0);
+    const double p0 = Scale(x[4], 90000.0, 110000.0);
+    const double ta = Scale(x[5], 290.0, 296.0);
+    const double t0 = Scale(x[6], 340.0, 360.0);
+    const double a = p0 * s + 19.62 * m - k * v0 / s;
+    const double v =
+        s / (2.0 * k) * (std::sqrt(a * a + 4.0 * k * p0 * v0 * ta / t0) - a);
+    return 2.0 * M_PI *
+           std::sqrt(m / (k + s * s * p0 * v0 * ta / (t0 * v * v)));
+  }
+};
+
+class WingWeight final : public DeterministicFunction {
+ public:
+  std::string name() const override { return "wingweight"; }
+  int dim() const override { return 10; }
+  std::vector<bool> relevant() const override {
+    return std::vector<bool>(10, true);
+  }
+  double target_share() const override { return 0.378; }
+  double Raw(const double* x) const override {
+    const double sw = Scale(x[0], 150.0, 200.0);
+    const double wfw = Scale(x[1], 220.0, 300.0);
+    const double a = Scale(x[2], 6.0, 10.0);
+    const double lam_deg = Scale(x[3], -10.0, 10.0);
+    const double q = Scale(x[4], 16.0, 45.0);
+    const double lam = Scale(x[5], 0.5, 1.0);
+    const double tc = Scale(x[6], 0.08, 0.18);
+    const double nz = Scale(x[7], 2.5, 6.0);
+    const double wdg = Scale(x[8], 1700.0, 2500.0);
+    const double wp = Scale(x[9], 0.025, 0.08);
+    const double cos_l = std::cos(lam_deg * M_PI / 180.0);
+    return 0.036 * std::pow(sw, 0.758) * std::pow(wfw, 0.0035) *
+               std::pow(a / (cos_l * cos_l), 0.6) * std::pow(q, 0.006) *
+               std::pow(lam, 0.04) * std::pow(100.0 * tc / cos_l, -0.3) *
+               std::pow(nz * wdg, 0.49) +
+           sw * wp;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<TestFunction> MakeBorehole() { return std::make_unique<Borehole>(); }
+std::unique_ptr<TestFunction> MakeOtlCircuit() { return std::make_unique<OtlCircuit>(); }
+std::unique_ptr<TestFunction> MakePiston() { return std::make_unique<Piston>(); }
+std::unique_ptr<TestFunction> MakeWingWeight() { return std::make_unique<WingWeight>(); }
+
+}  // namespace reds::fun

@@ -1,0 +1,68 @@
+#include "functions/registry.h"
+
+namespace reds::fun {
+
+std::vector<std::string> AllFunctionNames() {
+  std::vector<std::string> names;
+  for (int i = 1; i <= 8; ++i) names.push_back("dalal" + std::to_string(i));
+  names.push_back("dalal102");
+  names.push_back("borehole");
+  names.push_back("dsgc");
+  names.push_back("ellipse");
+  names.push_back("hart3");
+  names.push_back("hart4");
+  names.push_back("hart6sc");
+  names.push_back("ishigami");
+  names.push_back("linketal06dec");
+  names.push_back("linketal06simple");
+  names.push_back("linketal06sin");
+  names.push_back("loepetal13");
+  names.push_back("moon10hd");
+  names.push_back("moon10hdc1");
+  names.push_back("moon10low");
+  names.push_back("morretal06");
+  names.push_back("morris");
+  names.push_back("oakoh04");
+  names.push_back("otlcircuit");
+  names.push_back("piston");
+  names.push_back("soblev99");
+  names.push_back("sobol");
+  names.push_back("welchetal92");
+  names.push_back("willetal06");
+  names.push_back("wingweight");
+  return names;
+}
+
+Result<std::unique_ptr<TestFunction>> MakeFunction(const std::string& name) {
+  for (int i = 1; i <= 8; ++i) {
+    if (name == "dalal" + std::to_string(i)) return MakeDalal(i);
+  }
+  if (name == "dalal102") return MakeDalal102();
+  if (name == "borehole") return MakeBorehole();
+  if (name == "dsgc") return MakeDsgc();
+  if (name == "ellipse") return MakeEllipse();
+  if (name == "hart3") return MakeHart3();
+  if (name == "hart4") return MakeHart4();
+  if (name == "hart6sc") return MakeHart6Sc();
+  if (name == "ishigami") return MakeIshigami();
+  if (name == "linketal06dec") return MakeLink06Dec();
+  if (name == "linketal06simple") return MakeLink06Simple();
+  if (name == "linketal06sin") return MakeLink06Sin();
+  if (name == "loepetal13") return MakeLoeppky13();
+  if (name == "moon10hd") return MakeMoon10Hd();
+  if (name == "moon10hdc1") return MakeMoon10Hdc1();
+  if (name == "moon10low") return MakeMoon10Low();
+  if (name == "morretal06") return MakeMorris06();
+  if (name == "morris") return MakeMorris();
+  if (name == "oakoh04") return MakeOakleyOHagan04();
+  if (name == "otlcircuit") return MakeOtlCircuit();
+  if (name == "piston") return MakePiston();
+  if (name == "soblev99") return MakeSobolLevitan99();
+  if (name == "sobol") return MakeSobolG();
+  if (name == "welchetal92") return MakeWelch92();
+  if (name == "willetal06") return MakeWilliams06();
+  if (name == "wingweight") return MakeWingWeight();
+  return Status::InvalidArgument("unknown function: " + name);
+}
+
+}  // namespace reds::fun

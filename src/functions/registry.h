@@ -1,0 +1,58 @@
+// Factory registry for the 33 data sources of the paper's Table 1.
+#ifndef REDS_FUNCTIONS_REGISTRY_H_
+#define REDS_FUNCTIONS_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "functions/function.h"
+#include "util/status.h"
+
+namespace reds::fun {
+
+// Dalal et al. stochastic family (synthetic equivalents; see DESIGN.md).
+std::unique_ptr<TestFunction> MakeDalal(int index);  // 1..8
+std::unique_ptr<TestFunction> MakeDalal102();
+
+// Published-formula functions.
+std::unique_ptr<TestFunction> MakeBorehole();
+std::unique_ptr<TestFunction> MakeOtlCircuit();
+std::unique_ptr<TestFunction> MakePiston();
+std::unique_ptr<TestFunction> MakeWingWeight();
+std::unique_ptr<TestFunction> MakeHart3();
+std::unique_ptr<TestFunction> MakeHart4();
+std::unique_ptr<TestFunction> MakeHart6Sc();
+std::unique_ptr<TestFunction> MakeIshigami();
+std::unique_ptr<TestFunction> MakeMorris();
+std::unique_ptr<TestFunction> MakeSobolG();
+std::unique_ptr<TestFunction> MakeWelch92();
+
+// Faithful-structure implementations (see the substitution table in
+// DESIGN.md).
+std::unique_ptr<TestFunction> MakeLink06Dec();
+std::unique_ptr<TestFunction> MakeLink06Simple();
+std::unique_ptr<TestFunction> MakeLink06Sin();
+std::unique_ptr<TestFunction> MakeLoeppky13();
+std::unique_ptr<TestFunction> MakeMoon10Hd();
+std::unique_ptr<TestFunction> MakeMoon10Hdc1();
+std::unique_ptr<TestFunction> MakeMoon10Low();
+std::unique_ptr<TestFunction> MakeMorris06();
+std::unique_ptr<TestFunction> MakeOakleyOHagan04();
+std::unique_ptr<TestFunction> MakeSobolLevitan99();
+std::unique_ptr<TestFunction> MakeWilliams06();
+std::unique_ptr<TestFunction> MakeEllipse();
+
+// The decentral smart grid control stability model (12 inputs).
+std::unique_ptr<TestFunction> MakeDsgc();
+
+/// All 33 function names in Table 1 order (excluding the fixed third-party
+/// datasets "TGL" and "lake", which are tables, not oracles).
+std::vector<std::string> AllFunctionNames();
+
+/// Instantiates a function by name.
+Result<std::unique_ptr<TestFunction>> MakeFunction(const std::string& name);
+
+}  // namespace reds::fun
+
+#endif  // REDS_FUNCTIONS_REGISTRY_H_

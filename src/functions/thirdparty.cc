@@ -1,0 +1,118 @@
+#include "functions/thirdparty.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace reds::fun {
+
+namespace {
+
+constexpr int kLakeYears = 100;
+constexpr double kLakeRelease = 0.03;  // fixed anthropogenic pollution policy
+
+double Scale(double u, double lo, double hi) { return lo + u * (hi - lo); }
+
+}  // namespace
+
+double LakeCriticalLevel(double b, double q) {
+  // g(x) = x^q/(1+x^q) - b x: negative near 0; the first sign change is the
+  // tipping threshold between the clean and eutrophic basins.
+  auto g = [&](double x) {
+    const double xq = std::pow(x, q);
+    return xq / (1.0 + xq) - b * x;
+  };
+  double prev = 0.01;
+  for (double x = 0.02; x <= 3.0; x += 0.01) {
+    if (g(prev) < 0.0 && g(x) >= 0.0) {
+      // Bisection refine.
+      double lo = prev, hi = x;
+      for (int i = 0; i < 60; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        (g(mid) < 0.0 ? lo : hi) = mid;
+      }
+      return 0.5 * (lo + hi);
+    }
+    prev = x;
+  }
+  return 3.0;  // no interior tipping point: effectively always reliable
+}
+
+double SimulateLakeReliability(const double* x, uint64_t seed) {
+  const double b = Scale(x[0], 0.1, 0.45);
+  const double q = Scale(x[1], 2.0, 4.5);
+  const double mean = Scale(x[2], 0.01, 0.05);
+  const double stdev = Scale(x[3], 0.001, 0.005);
+  // x[4] is the discount rate delta: it affects the utility objective of the
+  // original problem but not the pollution dynamics, making it a genuinely
+  // irrelevant input for this outcome.
+
+  const double crit = LakeCriticalLevel(b, q);
+  // Lognormal natural inflow matching the given mean and stdev.
+  const double sigma2 = std::log(1.0 + stdev * stdev / (mean * mean));
+  const double mu = std::log(mean) - 0.5 * sigma2;
+  const double sigma = std::sqrt(sigma2);
+
+  Rng rng(seed);
+  double pollution = 0.0;
+  int below = 0;
+  for (int t = 0; t < kLakeYears; ++t) {
+    const double inflow = std::exp(mu + sigma * rng.Normal());
+    const double pq = std::pow(pollution, q);
+    pollution = pollution + kLakeRelease + pq / (1.0 + pq) - b * pollution +
+                inflow;
+    pollution = std::max(pollution, 0.0);
+    if (pollution < crit) ++below;
+  }
+  return static_cast<double>(below) / kLakeYears;
+}
+
+Dataset MakeLakeDataset() {
+  constexpr int kRows = 1000;
+  constexpr uint64_t kSeed = 0x1a6eULL;
+  Rng rng(kSeed);
+  std::vector<double> x(static_cast<size_t>(kRows) * 5);
+  for (auto& v : x) v = rng.Uniform();
+  std::vector<double> reliability(kRows);
+  for (int i = 0; i < kRows; ++i) {
+    reliability[static_cast<size_t>(i)] =
+        SimulateLakeReliability(x.data() + static_cast<size_t>(i) * 5,
+                                DeriveSeed(kSeed, static_cast<uint64_t>(i)));
+  }
+  // y = 1 for the ~33.5% least reliable runs.
+  std::vector<double> sorted = reliability;
+  const auto k = static_cast<std::ptrdiff_t>(0.335 * kRows);
+  std::nth_element(sorted.begin(), sorted.begin() + k, sorted.end());
+  const double threshold = sorted[static_cast<size_t>(k)];
+
+  Dataset d(5);
+  d.Reserve(kRows);
+  for (int i = 0; i < kRows; ++i) {
+    d.AddRow(x.data() + static_cast<size_t>(i) * 5,
+             reliability[static_cast<size_t>(i)] < threshold ? 1.0 : 0.0);
+  }
+  return d;
+}
+
+Dataset MakeTglDataset() {
+  constexpr int kRows = 882;
+  constexpr int kCols = 9;
+  Rng rng(0x791aULL);
+  Dataset d(kCols);
+  d.Reserve(kRows);
+  std::vector<double> x(kCols);
+  for (int i = 0; i < kRows; ++i) {
+    for (auto& v : x) v = rng.Uniform();
+    // Planted structure: a 3-dimensional box plus a weaker 2-dimensional one.
+    const bool in_box1 = x[0] >= 0.2 && x[0] <= 0.5 && x[2] >= 0.2 &&
+                         x[2] <= 0.5 && x[5] >= 0.2 && x[5] <= 0.5;
+    const bool in_box2 = x[1] >= 0.75 && x[3] <= 0.2;
+    double y = (in_box1 || in_box2) ? 1.0 : 0.0;
+    if (rng.Bernoulli(0.01)) y = 1.0 - y;  // label noise
+    d.AddRow(x, y);
+  }
+  return d;
+}
+
+}  // namespace reds::fun

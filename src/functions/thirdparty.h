@@ -1,0 +1,33 @@
+// Third-party scenario-discovery datasets (paper Section 9.3). The
+// originals ("TGL" from Bryant & Lempert 2010, "lake" from the exploratory
+// modeling workbench) are not redistributable offline, so we rebuild them:
+// "lake" by actually simulating the shallow-lake eutrophication model,
+// "TGL" as a seeded synthetic table with a planted noisy box structure.
+// Both keep the published size, dimensionality and positive share.
+#ifndef REDS_FUNCTIONS_THIRDPARTY_H_
+#define REDS_FUNCTIONS_THIRDPARTY_H_
+
+#include "core/dataset.h"
+
+namespace reds::fun {
+
+/// The 882 x 9 "TGL" stand-in, about 10% positives (fixed seed).
+Dataset MakeTglDataset();
+
+/// The 1000 x 5 "lake" dataset: inputs (b, q, inflow mean, inflow stdev,
+/// discount delta) in [0,1]-scaled ranges; y = 1 for the ~33.5% of runs with
+/// the lowest reliability (time below the eutrophication threshold).
+Dataset MakeLakeDataset();
+
+/// One lake-model run: returns the reliability (share of the 100 simulated
+/// years with pollution below the critical tipping level). `x` holds the 5
+/// unit-cube inputs; `seed` drives the lognormal natural inflows.
+double SimulateLakeReliability(const double* x, uint64_t seed);
+
+/// Critical pollution level: smallest positive root of
+/// x^q / (1 + x^q) = b * x (the basin boundary of the lake dynamics).
+double LakeCriticalLevel(double b, double q);
+
+}  // namespace reds::fun
+
+#endif  // REDS_FUNCTIONS_THIRDPARTY_H_

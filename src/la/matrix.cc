@@ -1,0 +1,322 @@
+#include "la/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace reds::la {
+
+Matrix Matrix::Identity(int n) {
+  Matrix m(n, n);
+  for (int i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix t(cols_, rows_);
+  for (int r = 0; r < rows_; ++r)
+    for (int c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  assert(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (int i = 0; i < rows_; ++i) {
+    for (int k = 0; k < cols_; ++k) {
+      const double aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      for (int j = 0; j < other.cols_; ++j) {
+        out(i, j) += aik * other(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::Multiply(const std::vector<double>& v) const {
+  assert(static_cast<int>(v.size()) == cols_);
+  std::vector<double> out(static_cast<size_t>(rows_), 0.0);
+  for (int i = 0; i < rows_; ++i) {
+    double s = 0.0;
+    for (int j = 0; j < cols_; ++j) s += (*this)(i, j) * v[static_cast<size_t>(j)];
+    out[static_cast<size_t>(i)] = s;
+  }
+  return out;
+}
+
+double Matrix::MaxAbs() const {
+  double m = 0.0;
+  for (int r = 0; r < rows_; ++r)
+    for (int c = 0; c < cols_; ++c) m = std::max(m, std::fabs((*this)(r, c)));
+  return m;
+}
+
+Result<std::vector<double>> SolveLinearSystem(Matrix a, std::vector<double> b) {
+  const int n = a.rows();
+  if (a.cols() != n) return Status::InvalidArgument("matrix not square");
+  if (static_cast<int>(b.size()) != n) {
+    return Status::InvalidArgument("rhs size mismatch");
+  }
+  for (int col = 0; col < n; ++col) {
+    int pivot = col;
+    for (int r = col + 1; r < n; ++r) {
+      if (std::fabs(a(r, col)) > std::fabs(a(pivot, col))) pivot = r;
+    }
+    if (std::fabs(a(pivot, col)) < 1e-300) {
+      return Status::FailedPrecondition("singular matrix in SolveLinearSystem");
+    }
+    if (pivot != col) {
+      for (int c = 0; c < n; ++c) std::swap(a(col, c), a(pivot, c));
+      std::swap(b[static_cast<size_t>(col)], b[static_cast<size_t>(pivot)]);
+    }
+    for (int r = col + 1; r < n; ++r) {
+      const double factor = a(r, col) / a(col, col);
+      if (factor == 0.0) continue;
+      a(r, col) = 0.0;
+      for (int c = col + 1; c < n; ++c) a(r, c) -= factor * a(col, c);
+      b[static_cast<size_t>(r)] -= factor * b[static_cast<size_t>(col)];
+    }
+  }
+  std::vector<double> x(static_cast<size_t>(n));
+  for (int r = n - 1; r >= 0; --r) {
+    double s = b[static_cast<size_t>(r)];
+    for (int c = r + 1; c < n; ++c) s -= a(r, c) * x[static_cast<size_t>(c)];
+    x[static_cast<size_t>(r)] = s / a(r, r);
+  }
+  return x;
+}
+
+namespace {
+
+// In-place balancing (Osborne): scales rows/columns by powers of 2 to reduce
+// the matrix norm; improves eigenvalue accuracy.
+void Balance(Matrix* a) {
+  const int n = a->rows();
+  const double radix = 2.0;
+  bool done = false;
+  while (!done) {
+    done = true;
+    for (int i = 0; i < n; ++i) {
+      double r = 0.0, c = 0.0;
+      for (int j = 0; j < n; ++j) {
+        if (j == i) continue;
+        c += std::fabs((*a)(j, i));
+        r += std::fabs((*a)(i, j));
+      }
+      if (c == 0.0 || r == 0.0) continue;
+      double g = r / radix;
+      double f = 1.0;
+      const double s = c + r;
+      while (c < g) {
+        f *= radix;
+        c *= radix * radix;
+      }
+      g = r * radix;
+      while (c > g) {
+        f /= radix;
+        c /= radix * radix;
+      }
+      if ((c + r) / f < 0.95 * s) {
+        done = false;
+        const double ginv = 1.0 / f;
+        for (int j = 0; j < n; ++j) (*a)(i, j) *= ginv;
+        for (int j = 0; j < n; ++j) (*a)(j, i) *= f;
+      }
+    }
+  }
+}
+
+// Reduction to upper Hessenberg form by stabilized elementary similarity
+// transformations (Numerical Recipes "elmhes").
+void HessenbergReduce(Matrix* a) {
+  const int n = a->rows();
+  for (int m = 1; m < n - 1; ++m) {
+    double x = 0.0;
+    int i = m;
+    for (int j = m; j < n; ++j) {
+      if (std::fabs((*a)(j, m - 1)) > std::fabs(x)) {
+        x = (*a)(j, m - 1);
+        i = j;
+      }
+    }
+    if (i != m) {
+      for (int j = m - 1; j < n; ++j) std::swap((*a)(i, j), (*a)(m, j));
+      for (int j = 0; j < n; ++j) std::swap((*a)(j, i), (*a)(j, m));
+    }
+    if (x != 0.0) {
+      for (i = m + 1; i < n; ++i) {
+        double y = (*a)(i, m - 1);
+        if (y == 0.0) continue;
+        y /= x;
+        (*a)(i, m - 1) = y;
+        for (int j = m; j < n; ++j) (*a)(i, j) -= y * (*a)(m, j);
+        for (int j = 0; j < n; ++j) (*a)(j, m) += y * (*a)(j, i);
+      }
+    }
+  }
+  // Zero the lower part below the first subdiagonal.
+  for (int r = 2; r < n; ++r)
+    for (int c = 0; c < r - 1; ++c) (*a)(r, c) = 0.0;
+}
+
+// Francis QR iteration on an upper Hessenberg matrix (Numerical Recipes
+// "hqr"). Returns false if convergence fails.
+bool HessenbergQr(Matrix* aptr, std::vector<std::complex<double>>* eig) {
+  Matrix& a = *aptr;
+  const int n = a.rows();
+  eig->clear();
+  eig->reserve(static_cast<size_t>(n));
+  double anorm = 0.0;
+  for (int i = 0; i < n; ++i)
+    for (int j = std::max(i - 1, 0); j < n; ++j) anorm += std::fabs(a(i, j));
+  if (anorm == 0.0) {
+    eig->assign(static_cast<size_t>(n), {0.0, 0.0});
+    return true;
+  }
+  int nn = n - 1;
+  double t = 0.0;
+  while (nn >= 0) {
+    int its = 0;
+    int l;
+    do {
+      for (l = nn; l >= 1; --l) {
+        const double s = std::fabs(a(l - 1, l - 1)) + std::fabs(a(l, l));
+        double ss = s == 0.0 ? anorm : s;
+        if (std::fabs(a(l, l - 1)) + ss == ss) {
+          a(l, l - 1) = 0.0;
+          break;
+        }
+      }
+      double x = a(nn, nn);
+      if (l == nn) {
+        eig->push_back({x + t, 0.0});
+        --nn;
+      } else {
+        double y = a(nn - 1, nn - 1);
+        double w = a(nn, nn - 1) * a(nn - 1, nn);
+        if (l == nn - 1) {
+          double p = 0.5 * (y - x);
+          double q = p * p + w;
+          double z = std::sqrt(std::fabs(q));
+          x += t;
+          if (q >= 0.0) {
+            z = p + (p >= 0.0 ? std::fabs(z) : -std::fabs(z));
+            eig->push_back({x + z, 0.0});
+            eig->push_back({z == 0.0 ? x : x - w / z, 0.0});
+          } else {
+            eig->push_back({x + p, z});
+            eig->push_back({x + p, -z});
+          }
+          nn -= 2;
+        } else {
+          if (its == 60) return false;
+          double p = 0.0, q = 0.0, z = 0.0, r = 0.0, s = 0.0;
+          if (its == 10 || its == 20) {
+            // Exceptional shift.
+            t += x;
+            for (int i = 0; i <= nn; ++i) a(i, i) -= x;
+            s = std::fabs(a(nn, nn - 1)) + std::fabs(a(nn - 1, nn - 2));
+            x = y = 0.75 * s;
+            w = -0.4375 * s * s;
+          }
+          ++its;
+          int m;
+          for (m = nn - 2; m >= l; --m) {
+            z = a(m, m);
+            r = x - z;
+            s = y - z;
+            p = (r * s - w) / a(m + 1, m) + a(m, m + 1);
+            q = a(m + 1, m + 1) - z - r - s;
+            r = a(m + 2, m + 1);
+            s = std::fabs(p) + std::fabs(q) + std::fabs(r);
+            p /= s;
+            q /= s;
+            r /= s;
+            if (m == l) break;
+            const double u = std::fabs(a(m, m - 1)) * (std::fabs(q) + std::fabs(r));
+            const double v = std::fabs(p) * (std::fabs(a(m - 1, m - 1)) +
+                                             std::fabs(z) + std::fabs(a(m + 1, m + 1)));
+            if (u + v == v) break;
+          }
+          for (int i = m + 2; i <= nn; ++i) {
+            a(i, i - 2) = 0.0;
+            if (i != m + 2) a(i, i - 3) = 0.0;
+          }
+          for (int k = m; k <= nn - 1; ++k) {
+            if (k != m) {
+              p = a(k, k - 1);
+              q = a(k + 1, k - 1);
+              r = k != nn - 1 ? a(k + 2, k - 1) : 0.0;
+              x = std::fabs(p) + std::fabs(q) + std::fabs(r);
+              if (x != 0.0) {
+                p /= x;
+                q /= x;
+                r /= x;
+              }
+            }
+            s = std::sqrt(p * p + q * q + r * r);
+            if (p < 0.0) s = -s;
+            if (s == 0.0) continue;
+            if (k == m) {
+              if (l != m) a(k, k - 1) = -a(k, k - 1);
+            } else {
+              a(k, k - 1) = -s * x;
+            }
+            p += s;
+            x = p / s;
+            y = q / s;
+            z = r / s;
+            q /= p;
+            r /= p;
+            for (int j = k; j <= nn; ++j) {
+              p = a(k, j) + q * a(k + 1, j);
+              if (k != nn - 1) {
+                p += r * a(k + 2, j);
+                a(k + 2, j) -= p * z;
+              }
+              a(k + 1, j) -= p * y;
+              a(k, j) -= p * x;
+            }
+            const int mmin = nn < k + 3 ? nn : k + 3;
+            for (int i = l; i <= mmin; ++i) {
+              p = x * a(i, k) + y * a(i, k + 1);
+              if (k != nn - 1) {
+                p += z * a(i, k + 2);
+                a(i, k + 2) -= p * r;
+              }
+              a(i, k + 1) -= p * q;
+              a(i, k) -= p;
+            }
+          }
+        }
+      }
+    } while (l < nn - 1 && nn >= 0);
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::vector<std::complex<double>>> Eigenvalues(Matrix a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("Eigenvalues requires a square matrix");
+  }
+  if (a.rows() == 0) return std::vector<std::complex<double>>{};
+  Balance(&a);
+  HessenbergReduce(&a);
+  std::vector<std::complex<double>> eig;
+  if (!HessenbergQr(&a, &eig)) {
+    return Status::RuntimeError("QR eigenvalue iteration did not converge");
+  }
+  return eig;
+}
+
+Result<double> SpectralAbscissa(const Matrix& a) {
+  auto eig = Eigenvalues(a);
+  if (!eig.ok()) return eig.status();
+  double best = -1e300;
+  for (const auto& z : *eig) best = std::max(best, z.real());
+  return best;
+}
+
+}  // namespace reds::la

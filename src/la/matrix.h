@@ -1,0 +1,74 @@
+// Small dense linear algebra: row-major matrices, LU solve, and a real
+// non-symmetric eigenvalue solver (Hessenberg reduction + shifted QR).
+// Sized for the library's needs (the 12x12 Jacobian of the DSGC grid model),
+// not for large-scale numerics.
+#ifndef REDS_LA_MATRIX_H_
+#define REDS_LA_MATRIX_H_
+
+#include <cassert>
+#include <complex>
+#include <vector>
+
+#include "util/status.h"
+
+namespace reds::la {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(int rows, int cols, double fill = 0.0)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows) * static_cast<size_t>(cols), fill) {
+    assert(rows >= 0 && cols >= 0);
+  }
+
+  static Matrix Identity(int n);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  double& operator()(int r, int c) {
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r) * static_cast<size_t>(cols_) +
+                 static_cast<size_t>(c)];
+  }
+  double operator()(int r, int c) const {
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r) * static_cast<size_t>(cols_) +
+                 static_cast<size_t>(c)];
+  }
+
+  Matrix Transpose() const;
+
+  /// Matrix product; requires cols() == other.rows().
+  Matrix Multiply(const Matrix& other) const;
+
+  /// Matrix-vector product; requires cols() == v.size().
+  std::vector<double> Multiply(const std::vector<double>& v) const;
+
+  /// Maximum absolute entry.
+  double MaxAbs() const;
+
+ private:
+  int rows_, cols_;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b with partial-pivoted LU. Fails if A is singular (to
+/// working precision) or dimensions mismatch.
+Result<std::vector<double>> SolveLinearSystem(Matrix a, std::vector<double> b);
+
+/// All eigenvalues of a real square matrix, as complex numbers, in no
+/// particular order. Uses balancing, Householder Hessenberg reduction and the
+/// Francis double-shift QR iteration. Fails if the iteration does not
+/// converge (rare; pathological inputs).
+Result<std::vector<std::complex<double>>> Eigenvalues(Matrix a);
+
+/// Largest real part among the eigenvalues of `a`. Convenience for stability
+/// analysis of linearized dynamical systems.
+Result<double> SpectralAbscissa(const Matrix& a);
+
+}  // namespace reds::la
+
+#endif  // REDS_LA_MATRIX_H_

@@ -1,0 +1,102 @@
+#include "la/symmetric.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace reds::la {
+
+Result<SymmetricEigen> SymmetricEigendecomposition(Matrix a) {
+  const int n = a.rows();
+  if (a.cols() != n) return Status::InvalidArgument("matrix not square");
+  Matrix v = Matrix::Identity(n);
+
+  // Cyclic Jacobi sweeps.
+  for (int sweep = 0; sweep < 100; ++sweep) {
+    double off = 0.0;
+    for (int p = 0; p < n; ++p) {
+      for (int q = p + 1; q < n; ++q) off += a(p, q) * a(p, q);
+    }
+    if (off < 1e-24) break;
+    for (int p = 0; p < n; ++p) {
+      for (int q = p + 1; q < n; ++q) {
+        if (std::fabs(a(p, q)) < 1e-300) continue;
+        const double theta = (a(q, q) - a(p, p)) / (2.0 * a(p, q));
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Rotate rows/columns p and q of a.
+        for (int k = 0; k < n; ++k) {
+          const double akp = a(k, p), akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (int k = 0; k < n; ++k) {
+          const double apk = a(p, k), aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        // Accumulate the rotation into v.
+        for (int k = 0; k < n; ++k) {
+          const double vkp = v(k, p), vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  SymmetricEigen out;
+  out.values.resize(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) out.values[static_cast<size_t>(i)] = a(i, i);
+  // Sort decreasing, permuting eigenvector columns along.
+  std::vector<int> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int x, int y) {
+    return out.values[static_cast<size_t>(x)] > out.values[static_cast<size_t>(y)];
+  });
+  SymmetricEigen sorted;
+  sorted.values.resize(static_cast<size_t>(n));
+  sorted.vectors = Matrix(n, n);
+  for (int j = 0; j < n; ++j) {
+    const int src = order[static_cast<size_t>(j)];
+    sorted.values[static_cast<size_t>(j)] = out.values[static_cast<size_t>(src)];
+    for (int i = 0; i < n; ++i) sorted.vectors(i, j) = v(i, src);
+  }
+  return sorted;
+}
+
+Result<Matrix> CovarianceMatrix(const std::vector<double>& data, int dim) {
+  if (dim <= 0 || data.size() % static_cast<size_t>(dim) != 0) {
+    return Status::InvalidArgument("bad data shape");
+  }
+  const int n = static_cast<int>(data.size()) / dim;
+  if (n < 2) return Status::InvalidArgument("need at least 2 rows");
+  std::vector<double> mean(static_cast<size_t>(dim), 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < dim; ++j) {
+      mean[static_cast<size_t>(j)] += data[static_cast<size_t>(i) * dim + j];
+    }
+  }
+  for (auto& m : mean) m /= n;
+  Matrix cov(dim, dim);
+  for (int i = 0; i < n; ++i) {
+    for (int a = 0; a < dim; ++a) {
+      const double da = data[static_cast<size_t>(i) * dim + a] - mean[static_cast<size_t>(a)];
+      for (int b = a; b < dim; ++b) {
+        const double db = data[static_cast<size_t>(i) * dim + b] - mean[static_cast<size_t>(b)];
+        cov(a, b) += da * db;
+      }
+    }
+  }
+  for (int a = 0; a < dim; ++a) {
+    for (int b = a; b < dim; ++b) {
+      cov(a, b) /= n - 1;
+      cov(b, a) = cov(a, b);
+    }
+  }
+  return cov;
+}
+
+}  // namespace reds::la

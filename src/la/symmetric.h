@@ -1,0 +1,27 @@
+// Symmetric eigendecomposition (cyclic Jacobi) and PCA helpers; used by
+// PCA-PRIM (Dalal et al. 2013), the rotation-based PRIM variant the paper
+// lists as compatible with REDS.
+#ifndef REDS_LA_SYMMETRIC_H_
+#define REDS_LA_SYMMETRIC_H_
+
+#include "la/matrix.h"
+
+namespace reds::la {
+
+/// Eigendecomposition of a symmetric matrix: a = V diag(values) V^T.
+/// Eigenvalues are sorted in decreasing order; V's columns are the matching
+/// orthonormal eigenvectors. Fails on non-square input; symmetry is assumed
+/// (the strictly lower triangle is ignored).
+struct SymmetricEigen {
+  std::vector<double> values;
+  Matrix vectors;  // column j is the eigenvector of values[j]
+};
+Result<SymmetricEigen> SymmetricEigendecomposition(Matrix a);
+
+/// Covariance matrix of row-major data (n x dim), with the 1/(n-1)
+/// normalization. Requires n >= 2.
+Result<Matrix> CovarianceMatrix(const std::vector<double>& data, int dim);
+
+}  // namespace reds::la
+
+#endif  // REDS_LA_SYMMETRIC_H_

@@ -1,0 +1,145 @@
+#include "ml/cart.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace reds::ml {
+
+namespace {
+
+struct SplitCandidate {
+  int feature = -1;
+  double threshold = 0.0;
+  double gain = 0.0;
+  int left_count = 0;
+};
+
+}  // namespace
+
+void RegressionTree::Fit(const Dataset& d, const std::vector<int>& rows,
+                         const TreeConfig& config, Rng* rng) {
+  nodes_.clear();
+  std::vector<int> work(rows);
+  assert(!work.empty());
+  Build(d, &work, 0, static_cast<int>(work.size()), 0, config, rng);
+}
+
+void RegressionTree::Fit(const Dataset& d, const TreeConfig& config, Rng* rng) {
+  std::vector<int> rows(static_cast<size_t>(d.num_rows()));
+  std::iota(rows.begin(), rows.end(), 0);
+  Fit(d, rows, config, rng);
+}
+
+int RegressionTree::Build(const Dataset& d, std::vector<int>* rows, int begin,
+                          int end, int depth, const TreeConfig& config,
+                          Rng* rng) {
+  const int n = end - begin;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = begin; i < end; ++i) {
+    const double y = d.y((*rows)[static_cast<size_t>(i)]);
+    sum += y;
+    sum_sq += y * y;
+  }
+  const double mean = sum / n;
+
+  const int node_index = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[static_cast<size_t>(node_index)].value = mean;
+
+  const bool depth_ok = config.max_depth < 0 || depth < config.max_depth;
+  const double sse = sum_sq - sum * sum / n;
+  if (!depth_ok || n < config.min_samples_split || sse <= config.min_gain) {
+    return node_index;
+  }
+
+  // Choose candidate features (mtry subsampling for forests).
+  const int num_features = d.num_cols();
+  std::vector<int> features;
+  if (config.mtry > 0 && config.mtry < num_features) {
+    features = rng->SampleWithoutReplacement(num_features, config.mtry);
+  } else {
+    features.resize(static_cast<size_t>(num_features));
+    std::iota(features.begin(), features.end(), 0);
+  }
+
+  SplitCandidate best;
+  std::vector<std::pair<double, double>> vals;  // (x, y) sorted by x
+  vals.reserve(static_cast<size_t>(n));
+  for (int f : features) {
+    vals.clear();
+    for (int i = begin; i < end; ++i) {
+      const int r = (*rows)[static_cast<size_t>(i)];
+      vals.emplace_back(d.x(r, f), d.y(r));
+    }
+    std::sort(vals.begin(), vals.end());
+    double left_sum = 0.0;
+    for (int i = 0; i + 1 < n; ++i) {
+      left_sum += vals[static_cast<size_t>(i)].second;
+      // A valid split point lies between distinct x values.
+      if (vals[static_cast<size_t>(i)].first ==
+          vals[static_cast<size_t>(i + 1)].first) {
+        continue;
+      }
+      const int nl = i + 1;
+      const int nr = n - nl;
+      if (nl < config.min_samples_leaf || nr < config.min_samples_leaf) continue;
+      const double right_sum = sum - left_sum;
+      // SSE reduction = sumL^2/nL + sumR^2/nR - sum^2/n (constant terms drop).
+      const double gain =
+          left_sum * left_sum / nl + right_sum * right_sum / nr - sum * sum / n;
+      if (gain > best.gain) {
+        best.feature = f;
+        best.threshold = 0.5 * (vals[static_cast<size_t>(i)].first +
+                                vals[static_cast<size_t>(i + 1)].first);
+        best.gain = gain;
+        best.left_count = nl;
+      }
+    }
+  }
+
+  if (best.feature < 0 || best.gain <= config.min_gain) return node_index;
+
+  // Partition rows in place: left part <= threshold.
+  auto mid_it = std::partition(
+      rows->begin() + begin, rows->begin() + end, [&](int r) {
+        return d.x(r, best.feature) <= best.threshold;
+      });
+  const int mid = static_cast<int>(mid_it - rows->begin());
+  assert(mid > begin && mid < end);
+
+  const int left = Build(d, rows, begin, mid, depth + 1, config, rng);
+  const int right = Build(d, rows, mid, end, depth + 1, config, rng);
+  nodes_[static_cast<size_t>(node_index)].feature = best.feature;
+  nodes_[static_cast<size_t>(node_index)].threshold = best.threshold;
+  nodes_[static_cast<size_t>(node_index)].left = left;
+  nodes_[static_cast<size_t>(node_index)].right = right;
+  return node_index;
+}
+
+double RegressionTree::Predict(const double* x) const {
+  assert(fitted());
+  int node = 0;
+  while (nodes_[static_cast<size_t>(node)].feature >= 0) {
+    const Node& nd = nodes_[static_cast<size_t>(node)];
+    node = x[nd.feature] <= nd.threshold ? nd.left : nd.right;
+  }
+  return nodes_[static_cast<size_t>(node)].value;
+}
+
+int RegressionTree::num_leaves() const {
+  int count = 0;
+  for (const Node& nd : nodes_) count += nd.feature < 0 ? 1 : 0;
+  return count;
+}
+
+int RegressionTree::DepthOf(int node) const {
+  const Node& nd = nodes_[static_cast<size_t>(node)];
+  if (nd.feature < 0) return 0;
+  return 1 + std::max(DepthOf(nd.left), DepthOf(nd.right));
+}
+
+int RegressionTree::depth() const { return nodes_.empty() ? 0 : DepthOf(0); }
+
+}  // namespace reds::ml

@@ -1,0 +1,61 @@
+// CART-style binary regression tree (exact greedy, variance-reduction
+// splitting). With {0,1} targets this is equivalent to Gini splitting; leaf
+// values are class-1 probabilities. Building block of the random forest.
+#ifndef REDS_ML_CART_H_
+#define REDS_ML_CART_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dataset.h"
+#include "util/rng.h"
+
+namespace reds::ml {
+
+/// Growth limits for a single tree.
+struct TreeConfig {
+  int max_depth = -1;        // -1: unlimited
+  int min_samples_leaf = 1;  // minimal rows per leaf
+  int min_samples_split = 2; // minimal rows to attempt a split
+  int mtry = -1;             // features sampled per split; -1: all
+  double min_gain = 1e-12;   // minimal SSE reduction to accept a split
+};
+
+/// A fitted regression tree. Nodes are stored in a flat array.
+class RegressionTree {
+ public:
+  /// Fits the tree on the given rows of d (duplicates allowed, enabling
+  /// bootstrap samples). `rng` drives mtry feature subsampling.
+  void Fit(const Dataset& d, const std::vector<int>& rows,
+           const TreeConfig& config, Rng* rng);
+
+  /// Convenience: fit on all rows.
+  void Fit(const Dataset& d, const TreeConfig& config, Rng* rng);
+
+  /// Mean target of the leaf containing x.
+  double Predict(const double* x) const;
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int num_leaves() const;
+  int depth() const;
+  bool fitted() const { return !nodes_.empty(); }
+
+ private:
+  struct Node {
+    int feature = -1;        // -1: leaf
+    double threshold = 0.0;  // go left iff x[feature] <= threshold
+    int left = -1;
+    int right = -1;
+    double value = 0.0;      // leaf prediction (mean target)
+  };
+
+  int Build(const Dataset& d, std::vector<int>* rows, int begin, int end,
+            int depth, const TreeConfig& config, Rng* rng);
+  int DepthOf(int node) const;
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace reds::ml
+
+#endif  // REDS_ML_CART_H_

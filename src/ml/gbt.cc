@@ -1,0 +1,168 @@
+#include "ml/gbt.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace reds::ml {
+
+namespace {
+
+double Sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+// Newton gain of a candidate child: G^2 / (H + lambda).
+double LeafScore(double g, double h, double lambda) {
+  return g * g / (h + lambda);
+}
+
+}  // namespace
+
+double GradientBoostedTrees::Tree::Predict(const double* x) const {
+  int node = 0;
+  while (nodes[static_cast<size_t>(node)].feature >= 0) {
+    const Node& nd = nodes[static_cast<size_t>(node)];
+    node = x[nd.feature] <= nd.threshold ? nd.left : nd.right;
+  }
+  return nodes[static_cast<size_t>(node)].weight;
+}
+
+int GradientBoostedTrees::BuildNode(const Dataset& d,
+                                    const std::vector<double>& grad,
+                                    const std::vector<double>& hess,
+                                    std::vector<int>* rows, int begin, int end,
+                                    int depth,
+                                    const std::vector<int>& features,
+                                    Tree* tree) const {
+  double g_sum = 0.0, h_sum = 0.0;
+  for (int i = begin; i < end; ++i) {
+    const int r = (*rows)[static_cast<size_t>(i)];
+    g_sum += grad[static_cast<size_t>(r)];
+    h_sum += hess[static_cast<size_t>(r)];
+  }
+
+  const int node_index = static_cast<int>(tree->nodes.size());
+  tree->nodes.emplace_back();
+  tree->nodes[static_cast<size_t>(node_index)].weight =
+      -config_.eta * g_sum / (h_sum + config_.lambda);
+
+  if (depth >= config_.max_depth || end - begin < 2) return node_index;
+
+  // Exact greedy split search over the candidate features.
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  double best_gain = 0.0;
+  const double parent_score = LeafScore(g_sum, h_sum, config_.lambda);
+  std::vector<std::pair<double, int>> order;  // (x value, row id)
+  order.reserve(static_cast<size_t>(end - begin));
+  for (int f : features) {
+    order.clear();
+    for (int i = begin; i < end; ++i) {
+      const int r = (*rows)[static_cast<size_t>(i)];
+      order.emplace_back(d.x(r, f), r);
+    }
+    std::sort(order.begin(), order.end());
+    double gl = 0.0, hl = 0.0;
+    for (size_t i = 0; i + 1 < order.size(); ++i) {
+      gl += grad[static_cast<size_t>(order[i].second)];
+      hl += hess[static_cast<size_t>(order[i].second)];
+      if (order[i].first == order[i + 1].first) continue;
+      const double gr = g_sum - gl;
+      const double hr = h_sum - hl;
+      if (hl < config_.min_child_weight || hr < config_.min_child_weight) {
+        continue;
+      }
+      const double gain = 0.5 * (LeafScore(gl, hl, config_.lambda) +
+                                 LeafScore(gr, hr, config_.lambda) -
+                                 parent_score) -
+                          config_.gamma;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = f;
+        best_threshold = 0.5 * (order[i].first + order[i + 1].first);
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_index;
+
+  auto mid_it =
+      std::partition(rows->begin() + begin, rows->begin() + end, [&](int r) {
+        return d.x(r, best_feature) <= best_threshold;
+      });
+  const int mid = static_cast<int>(mid_it - rows->begin());
+  if (mid == begin || mid == end) return node_index;  // degenerate (ties)
+
+  const int left =
+      BuildNode(d, grad, hess, rows, begin, mid, depth + 1, features, tree);
+  const int right =
+      BuildNode(d, grad, hess, rows, mid, end, depth + 1, features, tree);
+  Node& nd = tree->nodes[static_cast<size_t>(node_index)];
+  nd.feature = best_feature;
+  nd.threshold = best_threshold;
+  nd.left = left;
+  nd.right = right;
+  return node_index;
+}
+
+void GradientBoostedTrees::Fit(const Dataset& d, uint64_t seed) {
+  assert(d.num_rows() > 0);
+  num_features_ = d.num_cols();
+  const int n = d.num_rows();
+  base_margin_ = std::log(config_.base_score / (1.0 - config_.base_score));
+  std::vector<double> margin(static_cast<size_t>(n), base_margin_);
+  std::vector<double> grad(static_cast<size_t>(n));
+  std::vector<double> hess(static_cast<size_t>(n));
+  trees_.clear();
+  trees_.reserve(static_cast<size_t>(config_.num_rounds));
+
+  Rng rng(DeriveSeed(seed, 0x67627400ULL));
+  for (int round = 0; round < config_.num_rounds; ++round) {
+    for (int i = 0; i < n; ++i) {
+      const double p = Sigmoid(margin[static_cast<size_t>(i)]);
+      grad[static_cast<size_t>(i)] = p - d.y(i);
+      hess[static_cast<size_t>(i)] = std::max(p * (1.0 - p), 1e-16);
+    }
+
+    // Row subsample for this round.
+    std::vector<int> rows;
+    rows.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      if (config_.subsample >= 1.0 || rng.Bernoulli(config_.subsample)) {
+        rows.push_back(i);
+      }
+    }
+    if (rows.empty()) rows.push_back(static_cast<int>(rng.UniformInt(n)));
+
+    // Feature subsample for this round.
+    std::vector<int> features;
+    if (config_.colsample < 1.0) {
+      const int k = std::max(
+          1, static_cast<int>(std::lround(config_.colsample * d.num_cols())));
+      features = rng.SampleWithoutReplacement(d.num_cols(), k);
+    } else {
+      features.resize(static_cast<size_t>(d.num_cols()));
+      std::iota(features.begin(), features.end(), 0);
+    }
+
+    Tree tree;
+    BuildNode(d, grad, hess, &rows, 0, static_cast<int>(rows.size()), 0,
+              features, &tree);
+    for (int i = 0; i < n; ++i) {
+      margin[static_cast<size_t>(i)] += tree.Predict(d.row(i));
+    }
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double GradientBoostedTrees::PredictMargin(const double* x) const {
+  double m = base_margin_;
+  for (const auto& tree : trees_) m += tree.Predict(x);
+  return m;
+}
+
+double GradientBoostedTrees::PredictProb(const double* x) const {
+  return Sigmoid(PredictMargin(x));
+}
+
+}  // namespace reds::ml

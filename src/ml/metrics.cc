@@ -1,0 +1,67 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace reds::ml {
+
+double Accuracy(const std::vector<double>& prob, const std::vector<double>& y) {
+  assert(prob.size() == y.size() && !prob.empty());
+  int correct = 0;
+  for (size_t i = 0; i < prob.size(); ++i) {
+    correct += (prob[i] > 0.5) == (y[i] > 0.5) ? 1 : 0;
+  }
+  return static_cast<double>(correct) / static_cast<double>(prob.size());
+}
+
+double LogLoss(const std::vector<double>& prob, const std::vector<double>& y) {
+  assert(prob.size() == y.size() && !prob.empty());
+  double sum = 0.0;
+  for (size_t i = 0; i < prob.size(); ++i) {
+    const double p = std::clamp(prob[i], 1e-12, 1.0 - 1e-12);
+    sum += -(y[i] * std::log(p) + (1.0 - y[i]) * std::log(1.0 - p));
+  }
+  return sum / static_cast<double>(prob.size());
+}
+
+double BrierScore(const std::vector<double>& prob, const std::vector<double>& y) {
+  assert(prob.size() == y.size() && !prob.empty());
+  double sum = 0.0;
+  for (size_t i = 0; i < prob.size(); ++i) {
+    const double diff = prob[i] - y[i];
+    sum += diff * diff;
+  }
+  return sum / static_cast<double>(prob.size());
+}
+
+double RocAuc(const std::vector<double>& score, const std::vector<double>& y) {
+  assert(score.size() == y.size() && !score.empty());
+  std::vector<size_t> order(score.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return score[a] < score[b]; });
+  // Rank-sum with midranks for ties.
+  std::vector<double> rank(score.size());
+  size_t i = 0;
+  while (i < order.size()) {
+    size_t j = i;
+    while (j + 1 < order.size() && score[order[j + 1]] == score[order[i]]) ++j;
+    const double mid = 0.5 * (static_cast<double>(i) + static_cast<double>(j)) + 1.0;
+    for (size_t k = i; k <= j; ++k) rank[order[k]] = mid;
+    i = j + 1;
+  }
+  double pos = 0.0, rank_sum = 0.0;
+  for (size_t k = 0; k < y.size(); ++k) {
+    if (y[k] > 0.5) {
+      pos += 1.0;
+      rank_sum += rank[k];
+    }
+  }
+  const double neg = static_cast<double>(y.size()) - pos;
+  if (pos == 0.0 || neg == 0.0) return 0.5;
+  return (rank_sum - pos * (pos + 1.0) / 2.0) / (pos * neg);
+}
+
+}  // namespace reds::ml

@@ -1,0 +1,25 @@
+// Classification metrics used by metamodel tuning and tests.
+#ifndef REDS_ML_METRICS_H_
+#define REDS_ML_METRICS_H_
+
+#include <vector>
+
+namespace reds::ml {
+
+/// Share of correct hard predictions (probabilities thresholded at 0.5,
+/// targets at 0.5).
+double Accuracy(const std::vector<double>& prob, const std::vector<double>& y);
+
+/// Mean binary cross-entropy; probabilities are clipped to [1e-12, 1-1e-12].
+double LogLoss(const std::vector<double>& prob, const std::vector<double>& y);
+
+/// Mean squared error of probabilities against targets.
+double BrierScore(const std::vector<double>& prob, const std::vector<double>& y);
+
+/// Area under the ROC curve (rank statistic; ties get half credit).
+/// Returns 0.5 when one class is absent.
+double RocAuc(const std::vector<double>& score, const std::vector<double>& y);
+
+}  // namespace reds::ml
+
+#endif  // REDS_ML_METRICS_H_

@@ -1,0 +1,51 @@
+// Metamodel interface: the intermediate machine-learning model REDS fits on
+// the N simulation results and then uses to label L >> N fresh points
+// (paper Algorithm 4, lines 2 and 5).
+#ifndef REDS_ML_MODEL_H_
+#define REDS_ML_MODEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+
+namespace reds::ml {
+
+/// Metamodel families used in the paper ("f", "x", "s" suffixes).
+enum class MetamodelKind {
+  kRandomForest,  // "f"
+  kGbt,           // "x" (XGBoost-style gradient boosted trees)
+  kSvm,           // "s" (RBF-kernel SVM)
+};
+
+/// Returns "f"/"x"/"s", matching the paper's method-name suffixes.
+std::string MetamodelSuffix(MetamodelKind kind);
+
+/// Trained probabilistic binary classifier over [0,1]^M inputs.
+class Metamodel {
+ public:
+  virtual ~Metamodel() = default;
+
+  /// Fits the model on d (targets may be fractional; they are binarized at
+  /// 0.5 where the learner needs hard labels).
+  virtual void Fit(const Dataset& d, uint64_t seed) = 0;
+
+  /// Estimated P(y = 1 | x); always in [0, 1]. `x` holds num_features()
+  /// doubles.
+  virtual double PredictProb(const double* x) const = 0;
+
+  /// Number of input features the model was fit on.
+  virtual int num_features() const = 0;
+
+  /// Hard label: PredictProb(x) > 0.5 (the paper's `bnd`, expressed on the
+  /// probability scale for every model family).
+  double PredictLabel(const double* x) const {
+    return PredictProb(x) > 0.5 ? 1.0 : 0.0;
+  }
+};
+
+}  // namespace reds::ml
+
+#endif  // REDS_ML_MODEL_H_

@@ -1,0 +1,127 @@
+#include "ml/random_forest.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace reds::ml {
+
+std::string MetamodelSuffix(MetamodelKind kind) {
+  switch (kind) {
+    case MetamodelKind::kRandomForest:
+      return "f";
+    case MetamodelKind::kGbt:
+      return "x";
+    case MetamodelKind::kSvm:
+      return "s";
+  }
+  return "?";
+}
+
+void RandomForest::Fit(const Dataset& d, uint64_t seed) {
+  assert(d.num_rows() > 0);
+  num_features_ = d.num_cols();
+  TreeConfig tree_config;
+  tree_config.mtry = config_.mtry > 0
+                         ? config_.mtry
+                         : std::max(1, static_cast<int>(std::sqrt(
+                                           static_cast<double>(d.num_cols()))));
+  tree_config.min_samples_leaf = config_.min_samples_leaf;
+  tree_config.min_samples_split = std::max(2, 2 * config_.min_samples_leaf);
+  tree_config.max_depth = config_.max_depth;
+
+  const int bag_size = std::max(
+      1, static_cast<int>(std::lround(config_.sample_fraction * d.num_rows())));
+
+  trees_.assign(static_cast<size_t>(config_.num_trees), RegressionTree());
+  in_bag_counts_.assign(static_cast<size_t>(config_.num_trees),
+                        std::vector<int>(static_cast<size_t>(d.num_rows()), 0));
+  for (int t = 0; t < config_.num_trees; ++t) {
+    Rng rng(DeriveSeed(seed, static_cast<uint64_t>(t)));
+    std::vector<int> rows(static_cast<size_t>(bag_size));
+    for (auto& r : rows) {
+      r = static_cast<int>(rng.UniformInt(static_cast<uint64_t>(d.num_rows())));
+      in_bag_counts_[static_cast<size_t>(t)][static_cast<size_t>(r)]++;
+    }
+    trees_[static_cast<size_t>(t)].Fit(d, rows, tree_config, &rng);
+  }
+}
+
+std::vector<double> RandomForest::OobPredictions(const Dataset& d) const {
+  assert(!trees_.empty());
+  assert(in_bag_counts_.front().size() == static_cast<size_t>(d.num_rows()));
+  std::vector<double> sum(static_cast<size_t>(d.num_rows()), 0.0);
+  std::vector<int> votes(static_cast<size_t>(d.num_rows()), 0);
+  for (size_t t = 0; t < trees_.size(); ++t) {
+    for (int i = 0; i < d.num_rows(); ++i) {
+      if (in_bag_counts_[t][static_cast<size_t>(i)] == 0) {
+        sum[static_cast<size_t>(i)] += trees_[t].Predict(d.row(i));
+        votes[static_cast<size_t>(i)]++;
+      }
+    }
+  }
+  std::vector<double> out(static_cast<size_t>(d.num_rows()));
+  for (int i = 0; i < d.num_rows(); ++i) {
+    out[static_cast<size_t>(i)] =
+        votes[static_cast<size_t>(i)] > 0
+            ? sum[static_cast<size_t>(i)] / votes[static_cast<size_t>(i)]
+            : PredictProb(d.row(i));
+  }
+  return out;
+}
+
+double RandomForest::OobError(const Dataset& d) const {
+  const std::vector<double> prob = OobPredictions(d);
+  int wrong = 0;
+  for (int i = 0; i < d.num_rows(); ++i) {
+    wrong += (prob[static_cast<size_t>(i)] > 0.5) != (d.y(i) > 0.5) ? 1 : 0;
+  }
+  return static_cast<double>(wrong) / d.num_rows();
+}
+
+std::vector<double> RandomForest::PermutationImportance(const Dataset& d,
+                                                        uint64_t seed) const {
+  const double baseline = OobError(d);
+  std::vector<double> importance(static_cast<size_t>(d.num_cols()), 0.0);
+  Rng rng(DeriveSeed(seed, 0x19f0));
+  std::vector<double> row(static_cast<size_t>(d.num_cols()));
+  for (int j = 0; j < d.num_cols(); ++j) {
+    // Shuffled copy of column j.
+    std::vector<double> column(static_cast<size_t>(d.num_rows()));
+    for (int i = 0; i < d.num_rows(); ++i) column[static_cast<size_t>(i)] = d.x(i, j);
+    rng.Shuffle(&column);
+    // OOB error with the permuted column.
+    std::vector<double> sum(static_cast<size_t>(d.num_rows()), 0.0);
+    std::vector<int> votes(static_cast<size_t>(d.num_rows()), 0);
+    for (size_t t = 0; t < trees_.size(); ++t) {
+      for (int i = 0; i < d.num_rows(); ++i) {
+        if (in_bag_counts_[t][static_cast<size_t>(i)] != 0) continue;
+        for (int c = 0; c < d.num_cols(); ++c) row[static_cast<size_t>(c)] = d.x(i, c);
+        row[static_cast<size_t>(j)] = column[static_cast<size_t>(i)];
+        sum[static_cast<size_t>(i)] += trees_[t].Predict(row.data());
+        votes[static_cast<size_t>(i)]++;
+      }
+    }
+    int wrong = 0, counted = 0;
+    for (int i = 0; i < d.num_rows(); ++i) {
+      if (votes[static_cast<size_t>(i)] == 0) continue;
+      ++counted;
+      const double p = sum[static_cast<size_t>(i)] / votes[static_cast<size_t>(i)];
+      wrong += (p > 0.5) != (d.y(i) > 0.5) ? 1 : 0;
+    }
+    const double permuted_error =
+        counted > 0 ? static_cast<double>(wrong) / counted : baseline;
+    importance[static_cast<size_t>(j)] = permuted_error - baseline;
+  }
+  return importance;
+}
+
+double RandomForest::PredictProb(const double* x) const {
+  assert(!trees_.empty());
+  double sum = 0.0;
+  for (const auto& tree : trees_) sum += tree.Predict(x);
+  const double p = sum / static_cast<double>(trees_.size());
+  return std::clamp(p, 0.0, 1.0);
+}
+
+}  // namespace reds::ml

@@ -1,0 +1,57 @@
+// Random forest (Breiman 2001): bagged fully-grown CART trees with per-split
+// feature subsampling. PredictProb averages leaf means, approximating
+// P(y=1|x) -- exactly what REDS's "RPf"/"RPfp" variants need.
+#ifndef REDS_ML_RANDOM_FOREST_H_
+#define REDS_ML_RANDOM_FOREST_H_
+
+#include <vector>
+
+#include "ml/cart.h"
+#include "ml/model.h"
+
+namespace reds::ml {
+
+struct RandomForestConfig {
+  int num_trees = 200;
+  int mtry = -1;             // -1: floor(sqrt(M)), the classification default
+  int min_samples_leaf = 1;  // fully grown trees, as in Breiman's classifier
+  int max_depth = -1;
+  double sample_fraction = 1.0;  // bootstrap sample size as share of N
+};
+
+class RandomForest : public Metamodel {
+ public:
+  explicit RandomForest(RandomForestConfig config = {}) : config_(config) {}
+
+  void Fit(const Dataset& d, uint64_t seed) override;
+  double PredictProb(const double* x) const override;
+  int num_features() const override { return num_features_; }
+
+  int num_trees() const { return static_cast<int>(trees_.size()); }
+  const RandomForestConfig& config() const { return config_; }
+
+  /// Out-of-bag probability estimates for the training rows: row i is
+  /// averaged over the trees whose bootstrap sample missed i. Rows that were
+  /// in every bag get the full-forest prediction. `d` must be the training
+  /// dataset passed to Fit.
+  std::vector<double> OobPredictions(const Dataset& d) const;
+
+  /// Out-of-bag misclassification rate (targets binarized at 0.5).
+  double OobError(const Dataset& d) const;
+
+  /// Permutation importance: mean increase in out-of-bag misclassification
+  /// when feature j's values are shuffled. One entry per feature; higher
+  /// means more important. `seed` drives the permutations.
+  std::vector<double> PermutationImportance(const Dataset& d,
+                                            uint64_t seed) const;
+
+ private:
+  RandomForestConfig config_;
+  std::vector<RegressionTree> trees_;
+  std::vector<std::vector<int>> in_bag_counts_;  // per tree, per training row
+  int num_features_ = 0;
+};
+
+}  // namespace reds::ml
+
+#endif  // REDS_ML_RANDOM_FOREST_H_

@@ -1,0 +1,171 @@
+#include "ml/tuning.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "ml/gbt.h"
+#include "ml/metrics.h"
+#include "ml/random_forest.h"
+#include "ml/svm.h"
+#include "util/rng.h"
+
+namespace reds::ml {
+
+std::vector<int> FoldAssignment(int n, int k, uint64_t seed) {
+  Rng rng(DeriveSeed(seed, 0xf01d5ULL));
+  std::vector<int> perm(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) perm[static_cast<size_t>(i)] = i;
+  rng.Shuffle(&perm);
+  std::vector<int> fold(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    fold[static_cast<size_t>(perm[static_cast<size_t>(i)])] = i % k;
+  }
+  return fold;
+}
+
+namespace {
+
+using ModelFactory = std::function<std::unique_ptr<Metamodel>()>;
+
+// Mean CV log-loss of a model configuration.
+double CrossValidate(const ModelFactory& factory, const Dataset& d, int folds,
+                     uint64_t seed) {
+  const int n = d.num_rows();
+  const std::vector<int> fold = FoldAssignment(n, folds, seed);
+  double total = 0.0;
+  for (int f = 0; f < folds; ++f) {
+    std::vector<int> train_rows, test_rows;
+    for (int i = 0; i < n; ++i) {
+      (fold[static_cast<size_t>(i)] == f ? test_rows : train_rows).push_back(i);
+    }
+    if (train_rows.empty() || test_rows.empty()) continue;
+    const Dataset train = d.SubsetRows(train_rows);
+    auto model = factory();
+    model->Fit(train, DeriveSeed(seed, static_cast<uint64_t>(f) + 101));
+    std::vector<double> prob, y;
+    prob.reserve(test_rows.size());
+    y.reserve(test_rows.size());
+    for (int r : test_rows) {
+      prob.push_back(model->PredictProb(d.row(r)));
+      y.push_back(d.y(r) > 0.5 ? 1.0 : 0.0);
+    }
+    total += LogLoss(prob, y);
+  }
+  return total / folds;
+}
+
+std::unique_ptr<Metamodel> PickBest(const std::vector<ModelFactory>& grid,
+                                    const Dataset& d, uint64_t seed,
+                                    const TuningConfig& config) {
+  double best_loss = std::numeric_limits<double>::infinity();
+  size_t best = 0;
+  for (size_t g = 0; g < grid.size(); ++g) {
+    const double loss = CrossValidate(grid[g], d, config.folds,
+                                      DeriveSeed(seed, static_cast<uint64_t>(g)));
+    if (loss < best_loss) {
+      best_loss = loss;
+      best = g;
+    }
+  }
+  auto model = grid[best]();
+  model->Fit(d, DeriveSeed(seed, 0xf17ULL));
+  return model;
+}
+
+int DefaultMtry(int m) {
+  return std::max(1, static_cast<int>(std::sqrt(static_cast<double>(m))));
+}
+
+}  // namespace
+
+std::unique_ptr<Metamodel> FitDefault(MetamodelKind kind, const Dataset& d,
+                                      uint64_t seed, TuningBudget budget) {
+  const bool full = budget == TuningBudget::kFull;
+  switch (kind) {
+    case MetamodelKind::kRandomForest: {
+      RandomForestConfig config;
+      config.num_trees = full ? 500 : 100;
+      auto model = std::make_unique<RandomForest>(config);
+      model->Fit(d, seed);
+      return model;
+    }
+    case MetamodelKind::kGbt: {
+      GbtConfig config;
+      config.num_rounds = full ? 150 : 80;
+      config.max_depth = 4;
+      config.eta = 0.3;
+      auto model = std::make_unique<GradientBoostedTrees>(config);
+      model->Fit(d, seed);
+      return model;
+    }
+    case MetamodelKind::kSvm: {
+      SvmConfig config;
+      auto model = std::make_unique<SvmRbf>(config);
+      model->Fit(d, seed);
+      return model;
+    }
+  }
+  return nullptr;
+}
+
+std::unique_ptr<Metamodel> TuneAndFit(MetamodelKind kind, const Dataset& d,
+                                      uint64_t seed,
+                                      const TuningConfig& config) {
+  const bool full = config.budget == TuningBudget::kFull;
+  const int m = d.num_cols();
+  std::vector<ModelFactory> grid;
+  switch (kind) {
+    case MetamodelKind::kRandomForest: {
+      std::vector<int> mtry_grid = {DefaultMtry(m), std::max(1, m / 3),
+                                    std::max(1, 2 * m / 3)};
+      std::sort(mtry_grid.begin(), mtry_grid.end());
+      mtry_grid.erase(std::unique(mtry_grid.begin(), mtry_grid.end()),
+                      mtry_grid.end());
+      for (int mtry : mtry_grid) {
+        RandomForestConfig c;
+        c.num_trees = full ? 500 : 100;
+        c.mtry = mtry;
+        grid.push_back([c] { return std::make_unique<RandomForest>(c); });
+      }
+      break;
+    }
+    case MetamodelKind::kGbt: {
+      const std::vector<int> depths = full ? std::vector<int>{2, 4, 6}
+                                           : std::vector<int>{2, 4};
+      const std::vector<int> rounds = full ? std::vector<int>{50, 150}
+                                           : std::vector<int>{50, 100};
+      const std::vector<double> etas = full ? std::vector<double>{0.1, 0.3}
+                                            : std::vector<double>{0.3};
+      for (int depth : depths) {
+        for (int nr : rounds) {
+          for (double eta : etas) {
+            GbtConfig c;
+            c.max_depth = depth;
+            c.num_rounds = nr;
+            c.eta = eta;
+            grid.push_back(
+                [c] { return std::make_unique<GradientBoostedTrees>(c); });
+          }
+        }
+      }
+      break;
+    }
+    case MetamodelKind::kSvm: {
+      const std::vector<double> cs =
+          full ? std::vector<double>{0.25, 1.0, 4.0, 16.0}
+               : std::vector<double>{1.0, 4.0};
+      for (double c_val : cs) {
+        SvmConfig c;
+        c.c = c_val;
+        grid.push_back([c] { return std::make_unique<SvmRbf>(c); });
+      }
+      break;
+    }
+  }
+  return PickBest(grid, d, seed, config);
+}
+
+}  // namespace reds::ml

@@ -1,0 +1,41 @@
+// k-fold cross-validated grid tuning for the metamodels, mimicking the
+// paper's use of caret's default hyperparameter optimization (Section 8.4.3)
+// at laptop scale.
+#ifndef REDS_ML_TUNING_H_
+#define REDS_ML_TUNING_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "core/dataset.h"
+#include "ml/model.h"
+
+namespace reds::ml {
+
+/// Grid sizes for tuning: kQuick shrinks grids and ensemble sizes so the
+/// default bench runs stay fast; kFull approximates the paper's setting.
+enum class TuningBudget { kQuick, kFull };
+
+struct TuningConfig {
+  TuningBudget budget = TuningBudget::kQuick;
+  int folds = 5;
+};
+
+/// Splits rows into k folds (round-robin over a shuffled permutation) and
+/// returns fold ids per row.
+std::vector<int> FoldAssignment(int n, int k, uint64_t seed);
+
+/// Tunes the given metamodel family by grid search with k-fold CV on
+/// log-loss, then refits the winning configuration on all of d.
+std::unique_ptr<Metamodel> TuneAndFit(MetamodelKind kind, const Dataset& d,
+                                      uint64_t seed,
+                                      const TuningConfig& config = {});
+
+/// Fits the family with library defaults (no tuning).
+std::unique_ptr<Metamodel> FitDefault(MetamodelKind kind, const Dataset& d,
+                                      uint64_t seed,
+                                      TuningBudget budget = TuningBudget::kQuick);
+
+}  // namespace reds::ml
+
+#endif  // REDS_ML_TUNING_H_

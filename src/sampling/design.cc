@@ -1,0 +1,122 @@
+#include "sampling/design.h"
+
+#include <cassert>
+
+namespace reds::sampling {
+
+std::vector<double> LatinHypercube(int n, int dim, Rng* rng) {
+  assert(n > 0 && dim > 0);
+  std::vector<double> out(static_cast<size_t>(n) * static_cast<size_t>(dim));
+  std::vector<int> perm(static_cast<size_t>(n));
+  for (int j = 0; j < dim; ++j) {
+    for (int i = 0; i < n; ++i) perm[static_cast<size_t>(i)] = i;
+    rng->Shuffle(&perm);
+    for (int i = 0; i < n; ++i) {
+      const double u = rng->Uniform();
+      out[static_cast<size_t>(i) * static_cast<size_t>(dim) +
+          static_cast<size_t>(j)] =
+          (static_cast<double>(perm[static_cast<size_t>(i)]) + u) / n;
+    }
+  }
+  return out;
+}
+
+std::vector<double> UniformDesign(int n, int dim, Rng* rng) {
+  std::vector<double> out(static_cast<size_t>(n) * static_cast<size_t>(dim));
+  for (auto& v : out) v = rng->Uniform();
+  return out;
+}
+
+double RadicalInverse(int index, int base) {
+  double result = 0.0;
+  double f = 1.0 / base;
+  int i = index;
+  while (i > 0) {
+    result += f * (i % base);
+    i /= base;
+    f /= base;
+  }
+  return result;
+}
+
+std::vector<int> FirstPrimes(int n) {
+  std::vector<int> primes;
+  primes.reserve(static_cast<size_t>(n));
+  int candidate = 2;
+  while (static_cast<int>(primes.size()) < n) {
+    bool is_prime = true;
+    for (int p : primes) {
+      if (p * p > candidate) break;
+      if (candidate % p == 0) {
+        is_prime = false;
+        break;
+      }
+    }
+    if (is_prime) primes.push_back(candidate);
+    ++candidate;
+  }
+  return primes;
+}
+
+std::vector<double> HaltonDesign(int n, int dim, int skip) {
+  const std::vector<int> primes = FirstPrimes(dim);
+  std::vector<double> out(static_cast<size_t>(n) * static_cast<size_t>(dim));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < dim; ++j) {
+      out[static_cast<size_t>(i) * static_cast<size_t>(dim) +
+          static_cast<size_t>(j)] =
+          RadicalInverse(i + skip, primes[static_cast<size_t>(j)]);
+    }
+  }
+  return out;
+}
+
+std::vector<double> LogitNormalDesign(int n, int dim, double mu, double sigma,
+                                      Rng* rng) {
+  std::vector<double> out(static_cast<size_t>(n) * static_cast<size_t>(dim));
+  for (auto& v : out) v = rng->LogitNormal(mu, sigma);
+  return out;
+}
+
+namespace {
+
+constexpr double kDiscreteLevels[] = {0.1, 0.3, 0.5, 0.7, 0.9};
+
+double RandomDiscreteLevel(Rng* rng) {
+  return kDiscreteLevels[rng->UniformInt(5)];
+}
+
+}  // namespace
+
+void DiscretizeEvenColumns(std::vector<double>* design, int dim, Rng* rng) {
+  assert(design->size() % static_cast<size_t>(dim) == 0);
+  const size_t n = design->size() / static_cast<size_t>(dim);
+  for (size_t i = 0; i < n; ++i) {
+    for (int j = 1; j < dim; j += 2) {
+      (*design)[i * static_cast<size_t>(dim) + static_cast<size_t>(j)] =
+          RandomDiscreteLevel(rng);
+    }
+  }
+}
+
+PointSampler MakeUniformSampler() {
+  return [](Rng* rng, int dim, double* out) {
+    for (int j = 0; j < dim; ++j) out[j] = rng->Uniform();
+  };
+}
+
+PointSampler MakeLogitNormalSampler(double mu, double sigma) {
+  return [mu, sigma](Rng* rng, int dim, double* out) {
+    for (int j = 0; j < dim; ++j) out[j] = rng->LogitNormal(mu, sigma);
+  };
+}
+
+PointSampler MakeMixedSampler() {
+  return [](Rng* rng, int dim, double* out) {
+    for (int j = 0; j < dim; ++j) {
+      out[j] = (j % 2 == 1) ? RandomDiscreteLevel(rng) : rng->Uniform();
+    }
+  };
+}
+
+}  // namespace reds::sampling

@@ -1,0 +1,58 @@
+// Designs of experiments over the unit hypercube [0,1)^M: Latin hypercube,
+// Halton quasi-random sequences, plain i.i.d. uniform, and the logit-normal
+// sampler used in the paper's semi-supervised experiment (Section 9.4).
+#ifndef REDS_SAMPLING_DESIGN_H_
+#define REDS_SAMPLING_DESIGN_H_
+
+#include <functional>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace reds::sampling {
+
+/// A point generator: fills `out` (dim doubles) with one point in [0,1)^M.
+/// REDS uses this to draw its L fresh points from the same p(x) as the
+/// original design.
+using PointSampler = std::function<void(Rng* rng, int dim, double* out)>;
+
+/// n x dim row-major Latin hypercube sample: each column is stratified into
+/// n equal bins, one point per bin, random within-bin offsets and random
+/// stratum permutations.
+std::vector<double> LatinHypercube(int n, int dim, Rng* rng);
+
+/// n x dim i.i.d. uniform sample.
+std::vector<double> UniformDesign(int n, int dim, Rng* rng);
+
+/// n x dim Halton sequence (bases = first `dim` primes), starting at `skip`
+/// (a burn-in of 20 is customary to drop the degenerate prefix).
+std::vector<double> HaltonDesign(int n, int dim, int skip = 20);
+
+/// n x dim i.i.d. logit-normal(mu, sigma) sample; support (0, 1).
+std::vector<double> LogitNormalDesign(int n, int dim, double mu, double sigma,
+                                      Rng* rng);
+
+/// Radical inverse of `index` in the given base (one Halton coordinate).
+double RadicalInverse(int index, int base);
+
+/// First n primes (2, 3, 5, ...).
+std::vector<int> FirstPrimes(int n);
+
+/// Replaces every even-indexed column (0-based columns 1, 3, ... matching the
+/// paper's "even inputs" a_2, a_4, ...) with i.i.d. draws from
+/// {0.1, 0.3, 0.5, 0.7, 0.9}, producing mixed continuous/discrete designs
+/// (Section 9.1.2).
+void DiscretizeEvenColumns(std::vector<double>* design, int dim, Rng* rng);
+
+/// PointSampler drawing i.i.d. uniform points.
+PointSampler MakeUniformSampler();
+
+/// PointSampler drawing i.i.d. logit-normal(mu, sigma) points.
+PointSampler MakeLogitNormalSampler(double mu, double sigma);
+
+/// PointSampler matching DiscretizeEvenColumns' mixed distribution.
+PointSampler MakeMixedSampler();
+
+}  // namespace reds::sampling
+
+#endif  // REDS_SAMPLING_DESIGN_H_

@@ -1,0 +1,58 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace reds::stats {
+
+double Mean(const std::vector<double>& v) {
+  assert(!v.empty());
+  return std::accumulate(v.begin(), v.end(), 0.0) / static_cast<double>(v.size());
+}
+
+double Variance(const std::vector<double>& v) {
+  assert(v.size() >= 2);
+  const double m = Mean(v);
+  double s = 0.0;
+  for (double x : v) s += (x - m) * (x - m);
+  return s / static_cast<double>(v.size() - 1);
+}
+
+double StdDev(const std::vector<double>& v) { return std::sqrt(Variance(v)); }
+
+double Quantile(std::vector<double> v, double p) {
+  assert(!v.empty() && p >= 0.0 && p <= 1.0);
+  std::sort(v.begin(), v.end());
+  const double h = (static_cast<double>(v.size()) - 1.0) * p;
+  const auto lo = static_cast<size_t>(std::floor(h));
+  const auto hi = static_cast<size_t>(std::ceil(h));
+  return v[lo] + (h - std::floor(h)) * (v[hi] - v[lo]);
+}
+
+double Median(std::vector<double> v) { return Quantile(std::move(v), 0.5); }
+
+Quartiles ComputeQuartiles(const std::vector<double>& v) {
+  return {Quantile(v, 0.25), Quantile(v, 0.5), Quantile(v, 0.75)};
+}
+
+std::vector<double> Ranks(const std::vector<double>& v) {
+  const size_t n = v.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return v[a] < v[b]; });
+  std::vector<double> rank(n);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && v[order[j + 1]] == v[order[i]]) ++j;
+    const double mid = 0.5 * (static_cast<double>(i) + static_cast<double>(j)) + 1.0;
+    for (size_t k = i; k <= j; ++k) rank[order[k]] = mid;
+    i = j + 1;
+  }
+  return rank;
+}
+
+}  // namespace reds::stats

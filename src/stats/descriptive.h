@@ -1,0 +1,31 @@
+// Descriptive statistics used by the experiment harness and benches.
+#ifndef REDS_STATS_DESCRIPTIVE_H_
+#define REDS_STATS_DESCRIPTIVE_H_
+
+#include <vector>
+
+namespace reds::stats {
+
+double Mean(const std::vector<double>& v);
+double Variance(const std::vector<double>& v);  // sample variance (n-1)
+double StdDev(const std::vector<double>& v);
+double Median(std::vector<double> v);
+
+/// Empirical quantile with linear interpolation (type-7, R default);
+/// p in [0, 1].
+double Quantile(std::vector<double> v, double p);
+
+/// First and third quartiles.
+struct Quartiles {
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+};
+Quartiles ComputeQuartiles(const std::vector<double>& v);
+
+/// Ranks with midranks for ties (1-based).
+std::vector<double> Ranks(const std::vector<double>& v);
+
+}  // namespace reds::stats
+
+#endif  // REDS_STATS_DESCRIPTIVE_H_

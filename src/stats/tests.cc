@@ -1,0 +1,127 @@
+#include "stats/tests.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "stats/descriptive.h"
+#include "util/special.h"
+
+namespace reds::stats {
+
+TestResult WilcoxonRankSum(const std::vector<double>& a,
+                           const std::vector<double>& b) {
+  const double n1 = static_cast<double>(a.size());
+  const double n2 = static_cast<double>(b.size());
+  assert(n1 > 0 && n2 > 0);
+  std::vector<double> pooled = a;
+  pooled.insert(pooled.end(), b.begin(), b.end());
+  const std::vector<double> rank = Ranks(pooled);
+  double r1 = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) r1 += rank[i];
+  const double u = r1 - n1 * (n1 + 1.0) / 2.0;
+  const double mean_u = n1 * n2 / 2.0;
+
+  // Tie correction for the variance.
+  std::vector<double> sorted = pooled;
+  std::sort(sorted.begin(), sorted.end());
+  double tie_term = 0.0;
+  const double n = n1 + n2;
+  for (size_t i = 0; i < sorted.size();) {
+    size_t j = i;
+    while (j + 1 < sorted.size() && sorted[j + 1] == sorted[i]) ++j;
+    const double t = static_cast<double>(j - i + 1);
+    tie_term += t * t * t - t;
+    i = j + 1;
+  }
+  const double var_u =
+      n1 * n2 / 12.0 * ((n + 1.0) - tie_term / (n * (n - 1.0)));
+  if (var_u <= 0.0) return {0.0, 1.0};
+  const double z = (u - mean_u) / std::sqrt(var_u);
+  return {z, TwoSidedNormalPValue(z)};
+}
+
+TestResult WilcoxonSignedRank(const std::vector<double>& a,
+                              const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  std::vector<double> abs_diff;
+  std::vector<int> sign;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    if (d == 0.0) continue;
+    abs_diff.push_back(std::fabs(d));
+    sign.push_back(d > 0.0 ? 1 : -1);
+  }
+  const double n = static_cast<double>(abs_diff.size());
+  if (n < 1.0) return {0.0, 1.0};
+  const std::vector<double> rank = Ranks(abs_diff);
+  double w_plus = 0.0;
+  for (size_t i = 0; i < rank.size(); ++i) {
+    if (sign[i] > 0) w_plus += rank[i];
+  }
+  const double mean_w = n * (n + 1.0) / 4.0;
+  const double var_w = n * (n + 1.0) * (2.0 * n + 1.0) / 24.0;
+  if (var_w <= 0.0) return {0.0, 1.0};
+  const double z = (w_plus - mean_w) / std::sqrt(var_w);
+  return {z, TwoSidedNormalPValue(z)};
+}
+
+std::vector<double> FriedmanMeanRanks(
+    const std::vector<std::vector<double>>& blocks) {
+  assert(!blocks.empty());
+  const size_t k = blocks.front().size();
+  std::vector<double> mean_rank(k, 0.0);
+  for (const auto& row : blocks) {
+    assert(row.size() == k);
+    const std::vector<double> rank = Ranks(row);
+    for (size_t j = 0; j < k; ++j) mean_rank[j] += rank[j];
+  }
+  for (auto& r : mean_rank) r /= static_cast<double>(blocks.size());
+  return mean_rank;
+}
+
+TestResult FriedmanTest(const std::vector<std::vector<double>>& blocks) {
+  const double n = static_cast<double>(blocks.size());
+  const double k = static_cast<double>(blocks.front().size());
+  assert(n >= 2 && k >= 2);
+  const std::vector<double> mean_rank = FriedmanMeanRanks(blocks);
+  double sum_sq = 0.0;
+  for (double r : mean_rank) {
+    const double diff = r - (k + 1.0) / 2.0;
+    sum_sq += diff * diff;
+  }
+  const double chi2 = 12.0 * n / (k * (k + 1.0)) * sum_sq;
+  const double p = 1.0 - ChiSquaredCdf(chi2, k - 1.0);
+  return {chi2, p};
+}
+
+TestResult FriedmanPostHoc(const std::vector<std::vector<double>>& blocks,
+                           int method_i, int method_j) {
+  const double n = static_cast<double>(blocks.size());
+  const double k = static_cast<double>(blocks.front().size());
+  const std::vector<double> mean_rank = FriedmanMeanRanks(blocks);
+  const double se = std::sqrt(k * (k + 1.0) / (6.0 * n));
+  const double z = (mean_rank[static_cast<size_t>(method_i)] -
+                    mean_rank[static_cast<size_t>(method_j)]) /
+                   se;
+  return {z, TwoSidedNormalPValue(z)};
+}
+
+double SpearmanCorrelation(const std::vector<double>& a,
+                           const std::vector<double>& b) {
+  assert(a.size() == b.size() && a.size() >= 2);
+  const std::vector<double> ra = Ranks(a);
+  const std::vector<double> rb = Ranks(b);
+  const double ma = Mean(ra);
+  const double mb = Mean(rb);
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (size_t i = 0; i < ra.size(); ++i) {
+    cov += (ra[i] - ma) * (rb[i] - mb);
+    va += (ra[i] - ma) * (ra[i] - ma);
+    vb += (rb[i] - mb) * (rb[i] - mb);
+  }
+  if (va <= 0.0 || vb <= 0.0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+}  // namespace reds::stats

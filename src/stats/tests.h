@@ -1,0 +1,48 @@
+// Nonparametric hypothesis tests used in the paper's evaluation:
+// Wilcoxon-Mann-Whitney (Figure 11), Wilcoxon signed-rank, the Friedman test
+// with pairwise post-hoc comparisons (Sections 9.1-9.2), and Spearman
+// correlation (dimensionality vs improvement).
+#ifndef REDS_STATS_TESTS_H_
+#define REDS_STATS_TESTS_H_
+
+#include <vector>
+
+namespace reds::stats {
+
+struct TestResult {
+  double statistic = 0.0;
+  double p_value = 1.0;
+};
+
+/// Two-sided Wilcoxon-Mann-Whitney rank-sum test (normal approximation with
+/// tie correction).
+TestResult WilcoxonRankSum(const std::vector<double>& a,
+                           const std::vector<double>& b);
+
+/// Two-sided Wilcoxon signed-rank test for paired samples (zeros dropped,
+/// normal approximation).
+TestResult WilcoxonSignedRank(const std::vector<double>& a,
+                              const std::vector<double>& b);
+
+/// Friedman test: `blocks` is a (datasets x methods) matrix of quality
+/// values; higher is better. Returns the chi-squared statistic and p-value.
+TestResult FriedmanTest(const std::vector<std::vector<double>>& blocks);
+
+/// Mean rank per method across blocks (1 = worst with higher-is-better
+/// values ranked ascending; we rank so that the best method has the highest
+/// mean rank).
+std::vector<double> FriedmanMeanRanks(
+    const std::vector<std::vector<double>>& blocks);
+
+/// Post-hoc pairwise comparison of methods i and j after a Friedman test
+/// (Nemenyi-style z-test on mean-rank difference).
+TestResult FriedmanPostHoc(const std::vector<std::vector<double>>& blocks,
+                           int method_i, int method_j);
+
+/// Spearman rank correlation coefficient.
+double SpearmanCorrelation(const std::vector<double>& a,
+                           const std::vector<double>& b);
+
+}  // namespace reds::stats
+
+#endif  // REDS_STATS_TESTS_H_

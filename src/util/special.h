@@ -1,0 +1,28 @@
+// Special functions and distribution CDFs needed by the statistics module.
+#ifndef REDS_UTIL_SPECIAL_H_
+#define REDS_UTIL_SPECIAL_H_
+
+namespace reds {
+
+/// Regularized lower incomplete gamma function P(a, x), a > 0, x >= 0.
+double RegularizedGammaP(double a, double x);
+
+/// Regularized upper incomplete gamma function Q(a, x) = 1 - P(a, x).
+double RegularizedGammaQ(double a, double x);
+
+/// Standard normal cumulative distribution function.
+double NormalCdf(double z);
+
+/// Inverse of the standard normal CDF (Acklam's rational approximation,
+/// |relative error| < 1.15e-9).
+double NormalQuantile(double p);
+
+/// Chi-squared CDF with k degrees of freedom.
+double ChiSquaredCdf(double x, double k);
+
+/// Two-sided p-value for a standard normal test statistic z.
+double TwoSidedNormalPValue(double z);
+
+}  // namespace reds
+
+#endif  // REDS_UTIL_SPECIAL_H_

@@ -1,0 +1,131 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace reds {
+
+std::string FormatDouble(double value, int digits) {
+  if (std::isnan(value)) return "nan";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  std::string s(buf);
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+  }
+  if (s == "-0") s = "0";
+  return s;
+}
+
+void TablePrinter::AddRow(const std::string& label,
+                          const std::vector<double>& values, int digits) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (double v : values) row.push_back(FormatDouble(v, digits));
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::ToString() const {
+  size_t cols = header_.size();
+  for (const auto& r : rows_) cols = std::max(cols, r.size());
+  std::vector<size_t> width(cols, 0);
+  auto measure = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      width[i] = std::max(width[i], row[i].size());
+    }
+  };
+  measure(header_);
+  for (const auto& r : rows_) measure(r);
+
+  std::ostringstream out;
+  if (!title_.empty()) out << "== " << title_ << " ==\n";
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < cols; ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      out << cell << std::string(width[i] - cell.size(), ' ');
+      if (i + 1 < cols) out << "  ";
+    }
+    out << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    size_t total = 0;
+    for (size_t i = 0; i < cols; ++i) total += width[i] + (i + 1 < cols ? 2 : 0);
+    out << std::string(total, '-') << '\n';
+  }
+  for (const auto& r : rows_) emit(r);
+  return out.str();
+}
+
+void TablePrinter::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+Result<CsvTable> ReadCsvFile(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return Status::IoError("cannot open " + path);
+  CsvTable table;
+  std::string line;
+  auto split = [](const std::string& s) {
+    std::vector<std::string> cells;
+    size_t begin = 0;
+    while (begin <= s.size()) {
+      size_t end = s.find(',', begin);
+      if (end == std::string::npos) end = s.size();
+      cells.push_back(s.substr(begin, end - begin));
+      begin = end + 1;
+    }
+    return cells;
+  };
+  if (!std::getline(f, line)) return Status::IoError("empty file: " + path);
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  table.header = split(line);
+  int line_no = 1;
+  while (std::getline(f, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    const auto cells = split(line);
+    if (cells.size() != table.header.size()) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": ragged row");
+    }
+    std::vector<double> row;
+    row.reserve(cells.size());
+    for (const auto& cell : cells) {
+      char* end = nullptr;
+      const double v = std::strtod(cell.c_str(), &end);
+      if (end == cell.c_str() || *end != '\0') {
+        return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                       ": non-numeric cell '" + cell + "'");
+      }
+      row.push_back(v);
+    }
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+Status CsvWriter::WriteFile(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return Status::IoError("cannot open " + path);
+  for (size_t i = 0; i < header_.size(); ++i) {
+    if (i) f << ',';
+    f << header_[i];
+  }
+  f << '\n';
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i) f << ',';
+      f << row[i];
+    }
+    f << '\n';
+  }
+  if (!f) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace reds

@@ -1,0 +1,70 @@
+// Console table printer used by the benchmark harness to emit the paper's
+// tables, plus a CSV writer for figure series.
+#ifndef REDS_UTIL_TABLE_H_
+#define REDS_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace reds {
+
+/// Formats a double with `digits` significant decimals, trimming trailing
+/// zeros ("41.3", "0.08", "7").
+std::string FormatDouble(double value, int digits = 3);
+
+/// Accumulates rows of strings and prints them with aligned columns.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::string title = "") : title_(std::move(title)) {}
+
+  void SetHeader(std::vector<std::string> header) { header_ = std::move(header); }
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Convenience: first cell is a label, the rest are formatted doubles.
+  void AddRow(const std::string& label, const std::vector<double>& values,
+              int digits = 3);
+
+  /// Renders the table (title, header, separator, rows) to a string.
+  std::string ToString() const;
+
+  /// Prints ToString() to stdout.
+  void Print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Parsed CSV contents: a header line plus numeric rows.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<double>> rows;
+};
+
+/// Reads a numeric CSV file (first line headers, comma separated, no
+/// quoting). Fails on missing files, ragged rows or non-numeric cells.
+Result<CsvTable> ReadCsvFile(const std::string& path);
+
+/// Writes rows of doubles to a CSV file with a header line. Used to dump the
+/// series behind each reproduced figure.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void AddRow(const std::vector<double>& row) { rows_.push_back(row); }
+
+  /// Writes the accumulated rows to `path`.
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<double>> rows_;
+};
+
+}  // namespace reds
+
+#endif  // REDS_UTIL_TABLE_H_

@@ -1,0 +1,55 @@
+// Minimal fixed-size thread pool with a ParallelFor helper; the experiment
+// harness uses it to run (method x function x repetition) cells concurrently.
+#ifndef REDS_UTIL_THREAD_POOL_H_
+#define REDS_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace reds {
+
+/// Fixed-size worker pool. Tasks are void() callables; Wait() blocks until
+/// the queue drains and all in-flight tasks finish.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (defaults to hardware
+  /// concurrency; always at least one).
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have completed.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  int active_ = 0;
+  bool stop_ = false;
+};
+
+/// Runs body(i) for i in [begin, end) across `num_threads` workers. Spawns a
+/// private pool; intended for coarse-grained outer loops.
+void ParallelFor(int begin, int end, const std::function<void(int)>& body,
+                 int num_threads = 0);
+
+}  // namespace reds
+
+#endif  // REDS_UTIL_THREAD_POOL_H_

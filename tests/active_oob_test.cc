@@ -1,0 +1,172 @@
+// Tests for the active-learning extension and the random-forest OOB /
+// permutation-importance machinery backing it.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/active.h"
+#include "ml/random_forest.h"
+#include "util/rng.h"
+
+namespace reds {
+namespace {
+
+Dataset StepData(int n, uint64_t seed) {
+  Rng rng(seed);
+  Dataset d(3);
+  for (int i = 0; i < n; ++i) {
+    const double x[3] = {rng.Uniform(), rng.Uniform(), rng.Uniform()};
+    d.AddRow(x, x[0] > 0.5 ? 1.0 : 0.0);  // only x0 matters
+  }
+  return d;
+}
+
+TEST(OobTest, OobErrorIsSmallOnLearnableData) {
+  const Dataset d = StepData(400, 1);
+  ml::RandomForest rf;
+  rf.Fit(d, 2);
+  EXPECT_LT(rf.OobError(d), 0.1);
+}
+
+TEST(OobTest, OobPredictionsInUnitInterval) {
+  const Dataset d = StepData(200, 3);
+  ml::RandomForest rf;
+  rf.Fit(d, 4);
+  for (double p : rf.OobPredictions(d)) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(OobTest, OobErrorExceedsTrainError) {
+  // Training-set predictions are nearly perfect for a fully grown forest;
+  // the OOB estimate must be the honest (larger) one.
+  Rng rng(5);
+  Dataset d(3);
+  for (int i = 0; i < 300; ++i) {
+    const double x[3] = {rng.Uniform(), rng.Uniform(), rng.Uniform()};
+    // Noisy labels: 15% flipped.
+    double y = x[0] > 0.5 ? 1.0 : 0.0;
+    if (rng.Bernoulli(0.15)) y = 1.0 - y;
+    d.AddRow(x, y);
+  }
+  ml::RandomForest rf;
+  rf.Fit(d, 6);
+  int train_wrong = 0;
+  for (int i = 0; i < d.num_rows(); ++i) {
+    train_wrong += (rf.PredictProb(d.row(i)) > 0.5) != (d.y(i) > 0.5) ? 1 : 0;
+  }
+  const double train_error = static_cast<double>(train_wrong) / d.num_rows();
+  EXPECT_GT(rf.OobError(d), train_error);
+}
+
+TEST(ImportanceTest, RelevantFeatureDominates) {
+  const Dataset d = StepData(400, 7);
+  ml::RandomForest rf;
+  rf.Fit(d, 8);
+  const auto importance = rf.PermutationImportance(d, 9);
+  ASSERT_EQ(importance.size(), 3u);
+  EXPECT_GT(importance[0], importance[1] + 0.05);
+  EXPECT_GT(importance[0], importance[2] + 0.05);
+  EXPECT_GT(importance[0], 0.1);
+}
+
+TEST(ImportanceTest, IrrelevantFeaturesNearZero) {
+  const Dataset d = StepData(400, 10);
+  ml::RandomForest rf;
+  rf.Fit(d, 11);
+  const auto importance = rf.PermutationImportance(d, 12);
+  EXPECT_NEAR(importance[1], 0.0, 0.05);
+  EXPECT_NEAR(importance[2], 0.0, 0.05);
+}
+
+TEST(ActiveTest, ReturnsFullBudget) {
+  Rng oracle_rng(13);
+  ActiveSamplingConfig config;
+  config.initial_points = 60;
+  config.batch_size = 20;
+  config.rounds = 3;
+  config.pool_size = 500;
+  const Dataset d = RunActiveSampling(
+      2, [&](const double* x) { return x[0] > 0.5 ? 1.0 : 0.0; }, config, 14);
+  EXPECT_EQ(d.num_rows(), 60 + 3 * 20);
+  EXPECT_EQ(d.num_cols(), 2);
+}
+
+TEST(ActiveTest, QueriesConcentrateNearBoundary) {
+  // Oracle: y = 1 iff x0 > 0.5; the active batches should crowd x0 ~ 0.5.
+  ActiveSamplingConfig config;
+  config.initial_points = 100;
+  config.batch_size = 50;
+  config.rounds = 4;
+  config.pool_size = 2000;
+  const Dataset d = RunActiveSampling(
+      2, [&](const double* x) { return x[0] > 0.5 ? 1.0 : 0.0; }, config, 15);
+  // Average distance of queried (post-initial) points to the boundary must
+  // be well below the 0.25 expected under uniform sampling.
+  double mean_dist = 0.0;
+  int count = 0;
+  for (int i = config.initial_points; i < d.num_rows(); ++i) {
+    mean_dist += std::fabs(d.x(i, 0) - 0.5);
+    ++count;
+  }
+  mean_dist /= count;
+  EXPECT_LT(mean_dist, 0.18);
+}
+
+TEST(ActiveTest, DeterministicForSeed) {
+  ActiveSamplingConfig config;
+  config.initial_points = 40;
+  config.batch_size = 10;
+  config.rounds = 2;
+  config.pool_size = 200;
+  auto oracle = [](const double* x) { return x[0] + x[1] > 1.0 ? 1.0 : 0.0; };
+  const Dataset a = RunActiveSampling(2, oracle, config, 16);
+  const Dataset b = RunActiveSampling(2, oracle, config, 16);
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  for (int i = 0; i < a.num_rows(); ++i) {
+    EXPECT_DOUBLE_EQ(a.x(i, 0), b.x(i, 0));
+    EXPECT_DOUBLE_EQ(a.y(i), b.y(i));
+  }
+}
+
+TEST(ActiveTest, BetterMetamodelThanUniformAtEqualBudget) {
+  // With the same number of oracle calls, a forest trained on actively
+  // sampled data should classify the boundary region at least as well.
+  auto oracle = [](const double* x) {
+    return (x[0] - 0.5) * (x[0] - 0.5) + (x[1] - 0.5) * (x[1] - 0.5) < 0.09
+               ? 1.0
+               : 0.0;
+  };
+  ActiveSamplingConfig config;
+  config.initial_points = 150;
+  config.batch_size = 50;
+  config.rounds = 3;
+  const Dataset active = RunActiveSampling(2, oracle, config, 17);
+
+  Rng rng(18);
+  Dataset uniform(2);
+  for (int i = 0; i < active.num_rows(); ++i) {
+    const double x[2] = {rng.Uniform(), rng.Uniform()};
+    uniform.AddRow(x, oracle(x));
+  }
+
+  ml::RandomForest rf_active, rf_uniform;
+  rf_active.Fit(active, 19);
+  rf_uniform.Fit(uniform, 19);
+  int active_correct = 0, uniform_correct = 0;
+  Rng test_rng(20);
+  const int n_test = 4000;
+  for (int i = 0; i < n_test; ++i) {
+    const double x[2] = {test_rng.Uniform(), test_rng.Uniform()};
+    const bool truth = oracle(x) > 0.5;
+    active_correct += (rf_active.PredictProb(x) > 0.5) == truth ? 1 : 0;
+    uniform_correct += (rf_uniform.PredictProb(x) > 0.5) == truth ? 1 : 0;
+  }
+  EXPECT_GE(active_correct + n_test / 100, uniform_correct)
+      << "active sampling should not be clearly worse";
+}
+
+}  // namespace
+}  // namespace reds

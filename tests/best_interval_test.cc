@@ -1,0 +1,195 @@
+// Tests for the BI algorithm: the linear-time BestIntervalWRAcc subroutine
+// against a brute-force reference, beam search behavior, and WRAcc
+// optimality properties.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/best_interval.h"
+#include "core/quality.h"
+#include "util/rng.h"
+
+namespace reds {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+Dataset RandomData(int n, int dim, uint64_t seed, double pos_share = 0.4) {
+  Rng rng(seed);
+  Dataset d(dim);
+  std::vector<double> x(static_cast<size_t>(dim));
+  for (int i = 0; i < n; ++i) {
+    for (auto& v : x) v = rng.Uniform();
+    d.AddRow(x, rng.Bernoulli(pos_share) ? 1.0 : 0.0);
+  }
+  return d;
+}
+
+// O(n^2) reference: try every pair of distinct data values as bounds (and
+// open sides) for dimension `dim`.
+double BruteForceBestIntervalWracc(const Dataset& d, const Box& box, int dim) {
+  std::vector<double> values;
+  for (int r = 0; r < d.num_rows(); ++r) values.push_back(d.x(r, dim));
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  std::vector<double> lows = values;
+  lows.push_back(-kInf);
+  std::vector<double> highs = values;
+  highs.push_back(kInf);
+  double best = -1e300;
+  for (double lo : lows) {
+    for (double hi : highs) {
+      if (lo != -kInf && hi != kInf && lo > hi) continue;
+      Box candidate = box;
+      candidate.set_lo(dim, lo);
+      candidate.set_hi(dim, hi);
+      best = std::max(best, BoxWRAcc(d, candidate));
+    }
+  }
+  return best;
+}
+
+TEST(BestIntervalTest, MatchesBruteForceUnrestrictedBox) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    const Dataset d = RandomData(60, 2, seed);
+    const Box base = Box::Unbounded(2);
+    for (int dim = 0; dim < 2; ++dim) {
+      const Box fast = BestIntervalForDimension(d, base, dim);
+      EXPECT_NEAR(BoxWRAcc(d, fast), BruteForceBestIntervalWracc(d, base, dim),
+                  1e-12)
+          << "seed " << seed << " dim " << dim;
+    }
+  }
+}
+
+TEST(BestIntervalTest, MatchesBruteForceRestrictedBox) {
+  for (uint64_t seed = 11; seed <= 15; ++seed) {
+    const Dataset d = RandomData(80, 3, seed);
+    Box base = Box::Unbounded(3);
+    base.set_lo(1, 0.25);
+    base.set_hi(1, 0.9);
+    const Box fast = BestIntervalForDimension(d, base, 0);
+    EXPECT_NEAR(BoxWRAcc(d, fast), BruteForceBestIntervalWracc(d, base, 0),
+                1e-12)
+        << "seed " << seed;
+  }
+}
+
+TEST(BestIntervalTest, HandlesTiedValues) {
+  // Many duplicated coordinates: groups must move together.
+  Dataset d(1);
+  const double xs[] = {0.1, 0.1, 0.1, 0.5, 0.5, 0.9, 0.9, 0.9};
+  const double ys[] = {1, 1, 0, 1, 1, 0, 0, 0};
+  for (int i = 0; i < 8; ++i) d.AddRow(&xs[i], ys[i]);
+  const Box out = BestIntervalForDimension(d, Box::Unbounded(1), 0);
+  EXPECT_NEAR(BoxWRAcc(d, out),
+              BruteForceBestIntervalWracc(d, Box::Unbounded(1), 0), 1e-12);
+  // Optimal: keep {0.1, 0.5}, drop 0.9 -> upper bound at 0.5, lower open.
+  EXPECT_DOUBLE_EQ(out.hi(0), 0.5);
+  EXPECT_DOUBLE_EQ(out.lo(0), -kInf);
+}
+
+TEST(BestIntervalTest, FullRangeStaysUnrestricted) {
+  // All positives: best interval is everything -> no restriction.
+  Dataset d(1);
+  for (int i = 0; i < 10; ++i) {
+    const double x = i / 10.0;
+    d.AddRow(&x, 1.0);
+  }
+  const Box out = BestIntervalForDimension(d, Box::Unbounded(1), 0);
+  EXPECT_EQ(out.NumRestricted(), 0);
+}
+
+TEST(BiTest, FindsPlantedInterval1D) {
+  Rng rng(3);
+  Dataset d(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Uniform();
+    d.AddRow(&x, (x >= 0.3 && x <= 0.6) ? 1.0 : 0.0);
+  }
+  const BiResult r = RunBi(d, {});
+  EXPECT_NEAR(r.box.lo(0), 0.3, 0.03);
+  EXPECT_NEAR(r.box.hi(0), 0.6, 0.03);
+  EXPECT_GT(r.wracc, 0.2);
+}
+
+TEST(BiTest, FindsPlanted2DBox) {
+  Rng rng(4);
+  Dataset d(3);
+  for (int i = 0; i < 1500; ++i) {
+    const double x[3] = {rng.Uniform(), rng.Uniform(), rng.Uniform()};
+    d.AddRow(x, (x[0] < 0.5 && x[1] > 0.5) ? 1.0 : 0.0);
+  }
+  const BiResult r = RunBi(d, {});
+  EXPECT_TRUE(r.box.IsRestricted(0));
+  EXPECT_TRUE(r.box.IsRestricted(1));
+  EXPECT_FALSE(r.box.IsRestricted(2));
+}
+
+TEST(BiTest, MaxRestrictedLimitsRuleLength) {
+  Rng rng(5);
+  Dataset d(4);
+  for (int i = 0; i < 800; ++i) {
+    const double x[4] = {rng.Uniform(), rng.Uniform(), rng.Uniform(),
+                         rng.Uniform()};
+    d.AddRow(x, (x[0] < 0.5 && x[1] < 0.5 && x[2] < 0.5) ? 1.0 : 0.0);
+  }
+  BiConfig config;
+  config.max_restricted = 2;
+  const BiResult r = RunBi(d, config);
+  EXPECT_LE(r.box.NumRestricted(), 2);
+}
+
+TEST(BiTest, WiderBeamNeverHurtsWracc) {
+  for (uint64_t seed = 21; seed <= 24; ++seed) {
+    const Dataset d = RandomData(300, 4, seed, 0.3);
+    BiConfig b1, b5;
+    b1.beam_size = 1;
+    b5.beam_size = 5;
+    const double w1 = RunBi(d, b1).wracc;
+    const double w5 = RunBi(d, b5).wracc;
+    EXPECT_GE(w5 + 1e-12, w1) << "seed " << seed;
+  }
+}
+
+TEST(BiTest, WraccNonNegativeForDiscoveredBox) {
+  // The unbounded box has WRAcc 0, so the best box can never be worse.
+  const Dataset d = RandomData(200, 3, 31);
+  const BiResult r = RunBi(d, {});
+  EXPECT_GE(r.wracc, 0.0);
+}
+
+TEST(BiTest, FractionalLabels) {
+  Rng rng(6);
+  Dataset d(2);
+  for (int i = 0; i < 600; ++i) {
+    const double x[2] = {rng.Uniform(), rng.Uniform()};
+    d.AddRow(x, x[0] > 0.6 ? 0.85 : 0.15);
+  }
+  const BiResult r = RunBi(d, {});
+  EXPECT_TRUE(r.box.IsRestricted(0));
+  EXPECT_GT(r.box.lo(0), 0.4);
+}
+
+TEST(BiTest, ExampleFromSection5) {
+  // f(a) = 1 on [0,1), a-1 on [1,2], 0 on (2,h]. With h < 3, WRAcc favors
+  // [0,1]; with h > 3, [0,2] (paper Example 5.1). We verify the crossover.
+  auto make_data = [](double h) {
+    Dataset d(1);
+    const int n = 6000;
+    for (int i = 0; i < n; ++i) {
+      const double a = h * (i + 0.5) / n;
+      double p = a < 1.0 ? 1.0 : (a <= 2.0 ? a - 1.0 : 0.0);
+      d.AddRow(&a, p);  // expected label = probability (fractional target)
+    }
+    return d;
+  };
+  const BiResult narrow = RunBi(make_data(2.5), {});
+  const BiResult wide = RunBi(make_data(4.0), {});
+  EXPECT_LT(narrow.box.hi(0), 1.3);  // close to [0, 1]
+  EXPECT_GT(wide.box.hi(0), 1.7);    // close to [0, 2]
+}
+
+}  // namespace
+}  // namespace reds

@@ -1,0 +1,254 @@
+// Tests for Dataset, Box geometry and the quality measures of Section 4.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/box.h"
+#include "core/dataset.h"
+#include "core/quality.h"
+
+namespace reds {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+Dataset MakeToyData() {
+  // 2-D grid; positives in the lower-left quadrant.
+  Dataset d(2);
+  for (int i = 0; i < 10; ++i) {
+    for (int j = 0; j < 10; ++j) {
+      const double x[2] = {i / 10.0, j / 10.0};
+      d.AddRow(x, (x[0] < 0.5 && x[1] < 0.5) ? 1.0 : 0.0);
+    }
+  }
+  return d;
+}
+
+TEST(DatasetTest, BasicAccessors) {
+  Dataset d(3);
+  EXPECT_EQ(d.num_rows(), 0);
+  const double r1[3] = {0.1, 0.2, 0.3};
+  d.AddRow(r1, 1.0);
+  d.AddRow(std::vector<double>{0.4, 0.5, 0.6}, 0.25);
+  EXPECT_EQ(d.num_rows(), 2);
+  EXPECT_DOUBLE_EQ(d.x(1, 2), 0.6);
+  EXPECT_DOUBLE_EQ(d.y(1), 0.25);
+  EXPECT_DOUBLE_EQ(d.TotalPositive(), 1.25);
+  EXPECT_DOUBLE_EQ(d.PositiveShare(), 0.625);
+}
+
+TEST(DatasetTest, SubsetRowsAllowsDuplicates) {
+  Dataset d = MakeToyData();
+  const Dataset sub = d.SubsetRows({0, 0, 5});
+  EXPECT_EQ(sub.num_rows(), 3);
+  EXPECT_DOUBLE_EQ(sub.x(0, 0), sub.x(1, 0));
+}
+
+TEST(DatasetTest, SelectColumnsKeepsTargets) {
+  Dataset d = MakeToyData();
+  const Dataset sub = d.SelectColumns({1});
+  EXPECT_EQ(sub.num_cols(), 1);
+  EXPECT_EQ(sub.num_rows(), d.num_rows());
+  EXPECT_DOUBLE_EQ(sub.TotalPositive(), d.TotalPositive());
+  EXPECT_DOUBLE_EQ(sub.x(3, 0), d.x(3, 1));
+}
+
+TEST(DatasetTest, ColumnRange) {
+  Dataset d = MakeToyData();
+  std::vector<double> lo, hi;
+  d.ColumnRange(&lo, &hi);
+  EXPECT_DOUBLE_EQ(lo[0], 0.0);
+  EXPECT_DOUBLE_EQ(hi[0], 0.9);
+}
+
+TEST(BoxTest, UnboundedContainsEverything) {
+  const Box b = Box::Unbounded(3);
+  EXPECT_EQ(b.NumRestricted(), 0);
+  const double x[3] = {-1e30, 0.0, 1e30};
+  EXPECT_TRUE(b.Contains(x));
+}
+
+TEST(BoxTest, ContainsIsInclusive) {
+  Box b = Box::Unbounded(2);
+  b.set_lo(0, 0.2);
+  b.set_hi(0, 0.8);
+  const double on_lo[2] = {0.2, 0.0};
+  const double below[2] = {0.19999, 0.0};
+  EXPECT_TRUE(b.Contains(on_lo));
+  EXPECT_FALSE(b.Contains(below));
+}
+
+TEST(BoxTest, NumRestrictedCountsEitherSide) {
+  Box b = Box::Unbounded(4);
+  b.set_lo(0, 0.1);
+  b.set_hi(2, 0.9);
+  b.set_lo(3, 0.2);
+  b.set_hi(3, 0.7);
+  EXPECT_EQ(b.NumRestricted(), 3);
+}
+
+TEST(BoxTest, ClampedVolumeClampsInfinities) {
+  Box b = Box::Unbounded(2);
+  b.set_lo(0, 0.5);  // [0.5, inf) x (-inf, inf) over [0,1]^2 -> 0.5
+  const std::vector<double> lo{0.0, 0.0}, hi{1.0, 1.0};
+  EXPECT_NEAR(b.ClampedVolume(lo, hi), 0.5, 1e-12);
+}
+
+TEST(BoxTest, IntersectCanBeEmpty) {
+  Box a = Box::Unbounded(1);
+  a.set_hi(0, 0.3);
+  Box b = Box::Unbounded(1);
+  b.set_lo(0, 0.6);
+  const std::vector<double> lo{0.0}, hi{1.0};
+  EXPECT_DOUBLE_EQ(a.Intersect(b).ClampedVolume(lo, hi), 0.0);
+}
+
+TEST(BoxTest, LiftToFullSpace) {
+  Box sub = Box::Unbounded(2);
+  sub.set_lo(0, 0.1);
+  sub.set_hi(1, 0.9);
+  const Box full = sub.LiftToFullSpace(5, {1, 3});
+  EXPECT_EQ(full.dim(), 5);
+  EXPECT_DOUBLE_EQ(full.lo(1), 0.1);
+  EXPECT_DOUBLE_EQ(full.hi(3), 0.9);
+  EXPECT_FALSE(full.IsRestricted(0));
+  EXPECT_FALSE(full.IsRestricted(2));
+  EXPECT_FALSE(full.IsRestricted(4));
+}
+
+TEST(BoxTest, ToStringRendersRule) {
+  Box b = Box::Unbounded(3);
+  b.set_lo(0, 0.25);
+  b.set_hi(0, 0.75);
+  b.set_hi(2, 0.5);
+  const std::string s = b.ToString();
+  EXPECT_NE(s.find("a1"), std::string::npos);
+  EXPECT_NE(s.find("AND"), std::string::npos);
+  EXPECT_EQ(Box::Unbounded(2).ToString(), "(any)");
+}
+
+TEST(QualityTest, PrecisionRecallOnToyData) {
+  Dataset d = MakeToyData();
+  Box b = Box::Unbounded(2);
+  b.set_hi(0, 0.45);
+  b.set_hi(1, 0.45);
+  const BoxStats stats = ComputeBoxStats(d, b);
+  EXPECT_DOUBLE_EQ(stats.n, 25.0);
+  EXPECT_DOUBLE_EQ(stats.n_pos, 25.0);
+  EXPECT_DOUBLE_EQ(Precision(stats), 1.0);
+  EXPECT_DOUBLE_EQ(Recall(stats, d.TotalPositive()), 1.0);
+}
+
+TEST(QualityTest, FractionalTargetsSupported) {
+  Dataset d(1);
+  const double x0[1] = {0.1}, x1[1] = {0.9};
+  d.AddRow(x0, 0.75);
+  d.AddRow(x1, 0.25);
+  Box b = Box::Unbounded(1);
+  b.set_hi(0, 0.5);
+  const BoxStats stats = ComputeBoxStats(d, b);
+  EXPECT_DOUBLE_EQ(stats.n, 1.0);
+  EXPECT_DOUBLE_EQ(stats.n_pos, 0.75);
+  EXPECT_DOUBLE_EQ(Precision(stats), 0.75);
+  EXPECT_DOUBLE_EQ(Recall(stats, d.TotalPositive()), 0.75);
+}
+
+TEST(QualityTest, WraccMatchesDefinition) {
+  Dataset d = MakeToyData();  // N = 100, N+ = 25
+  Box b = Box::Unbounded(2);
+  b.set_hi(0, 0.45);
+  b.set_hi(1, 0.45);
+  const BoxStats stats = ComputeBoxStats(d, b);
+  // WRAcc = n/N (n+/n - N+/N) = 0.25 * (1 - 0.25).
+  EXPECT_NEAR(WRAcc(stats, 100.0, 25.0), 0.1875, 1e-12);
+  EXPECT_DOUBLE_EQ(WRAcc({0.0, 0.0}, 100.0, 25.0), 0.0);
+}
+
+TEST(QualityTest, WraccOfFullBoxIsZero) {
+  Dataset d = MakeToyData();
+  EXPECT_NEAR(WRAcc(ComputeBoxStats(d, Box::Unbounded(2)), 100.0, 25.0), 0.0,
+              1e-12);
+}
+
+TEST(QualityTest, PrAucOfPerfectCurve) {
+  // Constant precision 1 from recall 0 to 1 -> area 1.
+  const double auc = PrAuc({{1.0, 1.0}, {0.5, 1.0}, {0.1, 1.0}});
+  EXPECT_NEAR(auc, 1.0, 1e-12);
+}
+
+TEST(QualityTest, PrAucTrapezoid) {
+  // Two points: (recall 1, prec 0.5), (recall 0.5, prec 1).
+  // Left extension: 0.5 * 1.0 = 0.5; trapezoid 0.5..1: 0.5 * 0.75 = 0.375.
+  const double auc = PrAuc({{1.0, 0.5}, {0.5, 1.0}});
+  EXPECT_NEAR(auc, 0.875, 1e-12);
+}
+
+TEST(QualityTest, PrAucEmptyIsZero) { EXPECT_DOUBLE_EQ(PrAuc({}), 0.0); }
+
+TEST(QualityTest, ConsistencyIdenticalBoxes) {
+  Box b = Box::Unbounded(2);
+  b.set_lo(0, 0.2);
+  b.set_hi(0, 0.8);
+  const std::vector<double> lo{0.0, 0.0}, hi{1.0, 1.0};
+  EXPECT_NEAR(Consistency(b, b, lo, hi), 1.0, 1e-12);
+}
+
+TEST(QualityTest, ConsistencyDisjointBoxesIsZero) {
+  Box a = Box::Unbounded(1);
+  a.set_hi(0, 0.3);
+  Box b = Box::Unbounded(1);
+  b.set_lo(0, 0.6);
+  EXPECT_DOUBLE_EQ(Consistency(a, b, {0.0}, {1.0}), 0.0);
+}
+
+TEST(QualityTest, ConsistencyPartialOverlap) {
+  Box a = Box::Unbounded(1);
+  a.set_lo(0, 0.0);
+  a.set_hi(0, 0.6);
+  Box b = Box::Unbounded(1);
+  b.set_lo(0, 0.4);
+  b.set_hi(0, 1.0);
+  // overlap 0.2, union 1.0.
+  EXPECT_NEAR(Consistency(a, b, {0.0}, {1.0}), 0.2, 1e-12);
+}
+
+TEST(QualityTest, ConsistencyIsSymmetric) {
+  Box a = Box::Unbounded(2);
+  a.set_hi(0, 0.7);
+  Box b = Box::Unbounded(2);
+  b.set_lo(1, 0.2);
+  const std::vector<double> lo{0.0, 0.0}, hi{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(Consistency(a, b, lo, hi), Consistency(b, a, lo, hi));
+}
+
+TEST(QualityTest, MeanPairwiseConsistencySingleBoxIsOne) {
+  EXPECT_DOUBLE_EQ(
+      MeanPairwiseConsistency({Box::Unbounded(1)}, {0.0}, {1.0}), 1.0);
+}
+
+TEST(QualityTest, IrrelevantRestrictedCount) {
+  Box b = Box::Unbounded(4);
+  b.set_lo(0, 0.1);
+  b.set_lo(1, 0.1);
+  b.set_lo(3, 0.1);
+  const std::vector<bool> relevant{true, false, true, false};
+  EXPECT_EQ(NumIrrelevantRestricted(b, relevant), 2);
+}
+
+TEST(QualityTest, PrAucOnDataMatchesManual) {
+  Dataset d = MakeToyData();
+  Box b1 = Box::Unbounded(2);
+  Box b2 = b1;
+  b2.set_hi(0, 0.45);
+  b2.set_hi(1, 0.45);
+  const double auc = PrAucOnData({b1, b2}, d);
+  // Points: (1, 0.25) and (1, 1)?? b2 has recall 1 precision 1 -> curve is
+  // dominated by (1,1); left extension 1*1 = 1 but the (1, 0.25) point also
+  // sits at recall 1. Sorted by recall both at 1 -> area = 1*precision_first.
+  EXPECT_GT(auc, 0.9);
+  EXPECT_LE(auc, 1.0 + 1e-12);
+}
+
+}  // namespace
+}  // namespace reds

@@ -1,0 +1,136 @@
+// Tests for PRIM with bumping (Pareto filtering, feature subsets) and the
+// covering approach.
+#include <gtest/gtest.h>
+
+#include "core/bumping.h"
+#include "core/covering.h"
+#include "core/prim.h"
+#include "core/quality.h"
+#include "util/rng.h"
+
+namespace reds {
+namespace {
+
+Dataset TwoBoxData(int n, uint64_t seed) {
+  // Two planted boxes in 3-D: x0 < 0.3 (strong) and x1 > 0.8 (smaller).
+  Rng rng(seed);
+  Dataset d(3);
+  for (int i = 0; i < n; ++i) {
+    const double x[3] = {rng.Uniform(), rng.Uniform(), rng.Uniform()};
+    const bool pos = x[0] < 0.3 || x[1] > 0.8;
+    d.AddRow(x, pos ? 1.0 : 0.0);
+  }
+  return d;
+}
+
+TEST(ParetoFilterTest, RemovesDominatedBoxes) {
+  std::vector<Box> boxes(3, Box::Unbounded(1));
+  std::vector<PrPoint> curve{{0.9, 0.5}, {0.5, 0.4}, {0.3, 0.9}};
+  // The middle point is dominated by the first (lower recall AND precision).
+  ParetoFilter(&boxes, &curve);
+  ASSERT_EQ(curve.size(), 2u);
+  EXPECT_DOUBLE_EQ(curve[0].recall, 0.9);
+  EXPECT_DOUBLE_EQ(curve[1].recall, 0.3);
+}
+
+TEST(ParetoFilterTest, KeepsIncomparablePoints) {
+  std::vector<Box> boxes(2, Box::Unbounded(1));
+  std::vector<PrPoint> curve{{0.9, 0.5}, {0.5, 0.8}};
+  ParetoFilter(&boxes, &curve);
+  EXPECT_EQ(curve.size(), 2u);
+}
+
+TEST(ParetoFilterTest, DeduplicatesEqualPoints) {
+  std::vector<Box> boxes(3, Box::Unbounded(1));
+  std::vector<PrPoint> curve{{0.5, 0.5}, {0.5, 0.5}, {0.5, 0.5}};
+  ParetoFilter(&boxes, &curve);
+  EXPECT_EQ(curve.size(), 1u);
+}
+
+TEST(BumpingTest, CurveIsParetoAndSortedByRecall) {
+  const Dataset d = TwoBoxData(500, 1);
+  BumpingConfig config;
+  config.q = 15;
+  const BumpingResult r = RunPrimBumping(d, d, config, 7);
+  ASSERT_FALSE(r.boxes.empty());
+  for (size_t i = 1; i < r.val_curve.size(); ++i) {
+    EXPECT_LE(r.val_curve[i].recall, r.val_curve[i - 1].recall);
+    // On a Pareto front sorted by decreasing recall, precision increases.
+    EXPECT_GE(r.val_curve[i].precision + 1e-12, r.val_curve[i - 1].precision);
+  }
+}
+
+TEST(BumpingTest, FeatureSubsetsRestrictOnlyChosenColumns) {
+  const Dataset d = TwoBoxData(400, 2);
+  BumpingConfig config;
+  config.q = 10;
+  config.m = 1;  // every box may restrict at most one input
+  const BumpingResult r = RunPrimBumping(d, d, config, 8);
+  for (const Box& b : r.boxes) EXPECT_LE(b.NumRestricted(), 1);
+}
+
+TEST(BumpingTest, BestBoxHasHighestPrecision) {
+  const Dataset d = TwoBoxData(500, 3);
+  BumpingConfig config;
+  config.q = 12;
+  const BumpingResult r = RunPrimBumping(d, d, config, 9);
+  const int best = r.BestIndex();
+  for (const auto& p : r.val_curve) {
+    EXPECT_LE(p.precision,
+              r.val_curve[static_cast<size_t>(best)].precision + 1e-12);
+  }
+}
+
+TEST(BumpingTest, DeterministicForSameSeed) {
+  const Dataset d = TwoBoxData(300, 4);
+  BumpingConfig config;
+  config.q = 8;
+  const BumpingResult a = RunPrimBumping(d, d, config, 42);
+  const BumpingResult b = RunPrimBumping(d, d, config, 42);
+  ASSERT_EQ(a.boxes.size(), b.boxes.size());
+  for (size_t i = 0; i < a.boxes.size(); ++i) {
+    EXPECT_TRUE(a.boxes[i] == b.boxes[i]);
+  }
+}
+
+TEST(CoveringTest, FindsBothPlantedSubgroups) {
+  const Dataset d = TwoBoxData(1500, 5);
+  PrimConfig prim;
+  const CoveringResult r = RunCovering(
+      d,
+      [&prim](const Dataset& data) {
+        return RunPrim(data, data, prim).BestBox();
+      },
+      3);
+  ASSERT_GE(r.boxes.size(), 2u);
+  // Together the first two boxes should cover most positives.
+  EXPECT_GT(r.coverage_share[0] + r.coverage_share[1], 0.7);
+  // Each discovered subgroup is fairly pure.
+  EXPECT_GT(r.precision[0], 0.8);
+}
+
+TEST(CoveringTest, StopsWhenNoPositivesRemain) {
+  Rng rng(6);
+  Dataset d(2);
+  for (int i = 0; i < 200; ++i) {
+    const double x[2] = {rng.Uniform(), rng.Uniform()};
+    d.AddRow(x, x[0] < 0.2 ? 1.0 : 0.0);
+  }
+  const CoveringResult r = RunCovering(
+      d,
+      [](const Dataset& data) { return RunPrim(data, data, {}).BestBox(); },
+      10);
+  EXPECT_LT(r.boxes.size(), 10u);
+}
+
+TEST(CoveringTest, RespectsMaxSubgroups) {
+  const Dataset d = TwoBoxData(800, 7);
+  const CoveringResult r = RunCovering(
+      d,
+      [](const Dataset& data) { return RunPrim(data, data, {}).BestBox(); },
+      1);
+  EXPECT_EQ(r.boxes.size(), 1u);
+}
+
+}  // namespace
+}  // namespace reds

@@ -1,0 +1,143 @@
+// Tests for the CART regression tree.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/cart.h"
+#include "util/rng.h"
+
+namespace reds::ml {
+namespace {
+
+Dataset StepData(int n, uint64_t seed) {
+  // y = 1 iff x0 > 0.5, one clean axis-aligned step.
+  Rng rng(seed);
+  Dataset d(2);
+  for (int i = 0; i < n; ++i) {
+    const double x[2] = {rng.Uniform(), rng.Uniform()};
+    d.AddRow(x, x[0] > 0.5 ? 1.0 : 0.0);
+  }
+  return d;
+}
+
+TEST(CartTest, LearnsSingleSplit) {
+  const Dataset d = StepData(200, 1);
+  RegressionTree tree;
+  Rng rng(2);
+  TreeConfig config;
+  config.max_depth = 1;
+  tree.Fit(d, config, &rng);
+  const double left[2] = {0.2, 0.5};
+  const double right[2] = {0.8, 0.5};
+  EXPECT_LT(tree.Predict(left), 0.2);
+  EXPECT_GT(tree.Predict(right), 0.8);
+  EXPECT_EQ(tree.num_leaves(), 2);
+}
+
+TEST(CartTest, PureNodeBecomesLeaf) {
+  Dataset d(1);
+  for (int i = 0; i < 50; ++i) {
+    const double x = i / 50.0;
+    d.AddRow(&x, 1.0);
+  }
+  RegressionTree tree;
+  Rng rng(3);
+  tree.Fit(d, {}, &rng);
+  EXPECT_EQ(tree.num_nodes(), 1);
+  const double x = 0.5;
+  EXPECT_DOUBLE_EQ(tree.Predict(&x), 1.0);
+}
+
+TEST(CartTest, FitsXorWithDepthTwo) {
+  Rng rng(4);
+  Dataset d(2);
+  for (int i = 0; i < 400; ++i) {
+    const double x[2] = {rng.Uniform(), rng.Uniform()};
+    const bool pos = (x[0] > 0.5) != (x[1] > 0.5);
+    d.AddRow(x, pos ? 1.0 : 0.0);
+  }
+  RegressionTree tree;
+  Rng rng2(5);
+  tree.Fit(d, {}, &rng2);
+  int correct = 0;
+  Rng rng3(6);
+  for (int i = 0; i < 500; ++i) {
+    const double x[2] = {rng3.Uniform(), rng3.Uniform()};
+    const bool pos = (x[0] > 0.5) != (x[1] > 0.5);
+    const bool pred = tree.Predict(x) > 0.5;
+    correct += pred == pos ? 1 : 0;
+  }
+  EXPECT_GT(correct, 450);
+}
+
+TEST(CartTest, MaxDepthIsRespected) {
+  const Dataset d = StepData(500, 7);
+  RegressionTree tree;
+  Rng rng(8);
+  TreeConfig config;
+  config.max_depth = 3;
+  tree.Fit(d, config, &rng);
+  EXPECT_LE(tree.depth(), 3);
+}
+
+TEST(CartTest, MinSamplesLeafIsRespected) {
+  Rng data_rng(9);
+  Dataset d(1);
+  for (int i = 0; i < 100; ++i) {
+    const double x = data_rng.Uniform();
+    d.AddRow(&x, data_rng.Bernoulli(0.5) ? 1.0 : 0.0);
+  }
+  RegressionTree tree;
+  Rng rng(10);
+  TreeConfig config;
+  config.min_samples_leaf = 20;
+  tree.Fit(d, config, &rng);
+  // With n = 100 and leaves >= 20 points, at most 5 leaves are possible.
+  EXPECT_LE(tree.num_leaves(), 5);
+}
+
+TEST(CartTest, FitOnRowSubset) {
+  const Dataset d = StepData(300, 11);
+  std::vector<int> rows;
+  for (int i = 0; i < 100; ++i) rows.push_back(i);
+  RegressionTree tree;
+  Rng rng(12);
+  tree.Fit(d, rows, {}, &rng);
+  EXPECT_TRUE(tree.fitted());
+  const double left[2] = {0.1, 0.1};
+  EXPECT_LT(tree.Predict(left), 0.3);
+}
+
+TEST(CartTest, MtryOneStillSplits) {
+  const Dataset d = StepData(300, 13);
+  RegressionTree tree;
+  Rng rng(14);
+  TreeConfig config;
+  config.mtry = 1;
+  tree.Fit(d, config, &rng);
+  EXPECT_GT(tree.num_nodes(), 1);
+}
+
+TEST(CartTest, RegressionTargetsApproximated) {
+  // Smooth target: tree mean prediction error should be small.
+  Rng rng(15);
+  Dataset d(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Uniform();
+    d.AddRow(&x, x * x);
+  }
+  RegressionTree tree;
+  Rng rng2(16);
+  TreeConfig config;
+  config.min_samples_leaf = 10;
+  tree.Fit(d, config, &rng2);
+  double err = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const double x = (i + 0.5) / 100.0;
+    err += std::fabs(tree.Predict(&x) - x * x);
+  }
+  EXPECT_LT(err / 100.0, 0.05);
+}
+
+}  // namespace
+}  // namespace reds::ml

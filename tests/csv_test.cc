@@ -1,0 +1,74 @@
+// Tests for the CSV reader/writer round trip used by the bench figure dumps
+// and the csv_discovery tool.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/table.h"
+
+namespace reds {
+namespace {
+
+class CsvIoTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  void WriteRaw(const std::string& content) {
+    std::ofstream f(path_);
+    f << content;
+  }
+  const std::string path_ = "/tmp/reds_csv_io_test.csv";
+};
+
+TEST_F(CsvIoTest, RoundTrip) {
+  CsvWriter writer({"x", "y", "label"});
+  writer.AddRow({0.25, -1.5, 1.0});
+  writer.AddRow({0.75, 2.0, 0.0});
+  ASSERT_TRUE(writer.WriteFile(path_).ok());
+
+  const auto table = ReadCsvFile(path_);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->header, (std::vector<std::string>{"x", "y", "label"}));
+  ASSERT_EQ(table->rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(table->rows[0][1], -1.5);
+  EXPECT_DOUBLE_EQ(table->rows[1][0], 0.75);
+}
+
+TEST_F(CsvIoTest, MissingFileFails) {
+  const auto table = ReadCsvFile("/tmp/definitely_not_there_reds.csv");
+  EXPECT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), Status::Code::kIoError);
+}
+
+TEST_F(CsvIoTest, RaggedRowFails) {
+  WriteRaw("a,b\n1,2\n3\n");
+  const auto table = ReadCsvFile(path_);
+  EXPECT_FALSE(table.ok());
+  EXPECT_NE(table.status().message().find(":3"), std::string::npos);
+}
+
+TEST_F(CsvIoTest, NonNumericCellFails) {
+  WriteRaw("a,b\n1,hello\n");
+  const auto table = ReadCsvFile(path_);
+  EXPECT_FALSE(table.ok());
+  EXPECT_NE(table.status().message().find("hello"), std::string::npos);
+}
+
+TEST_F(CsvIoTest, HandlesCrLfAndBlankLines) {
+  WriteRaw("a,b\r\n1,2\r\n\r\n3,4\r\n");
+  const auto table = ReadCsvFile(path_);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(table->rows[1][1], 4.0);
+}
+
+TEST_F(CsvIoTest, ScientificNotationParses) {
+  WriteRaw("v\n1e-3\n-2.5E+2\n");
+  const auto table = ReadCsvFile(path_);
+  ASSERT_TRUE(table.ok());
+  EXPECT_DOUBLE_EQ(table->rows[0][0], 0.001);
+  EXPECT_DOUBLE_EQ(table->rows[1][0], -250.0);
+}
+
+}  // namespace
+}  // namespace reds

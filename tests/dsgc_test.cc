@@ -1,0 +1,116 @@
+// Tests for the DSGC grid-stability substrate: fixed-point feasibility,
+// Jacobian structure, physically expected stability behavior.
+#include <gtest/gtest.h>
+
+#include "functions/dsgc.h"
+#include "util/rng.h"
+
+namespace reds::fun {
+namespace {
+
+DsgcParams BaseParams() {
+  DsgcParams p;
+  for (int j = 0; j < 4; ++j) {
+    p.tau[j] = 2.0;
+    p.g[j] = 0.1;
+  }
+  p.p_consumer[0] = p.p_consumer[1] = p.p_consumer[2] = -1.0;
+  p.coupling = 8.0;
+  return p;
+}
+
+TEST(DsgcTest, ParamsFromUnitCubeInRange) {
+  double x[12];
+  for (auto& v : x) v = 0.5;
+  const DsgcParams p = DsgcParamsFromUnitCube(x);
+  for (int j = 0; j < 4; ++j) {
+    EXPECT_GE(p.tau[j], 0.5);
+    EXPECT_LE(p.tau[j], 10.0);
+    EXPECT_GE(p.g[j], 0.05);
+    EXPECT_LE(p.g[j], 0.5);
+  }
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_GE(p.p_consumer[j], -1.5);
+    EXPECT_LE(p.p_consumer[j], -0.5);
+  }
+  EXPECT_GE(p.coupling, 1.0);
+  EXPECT_LE(p.coupling, 8.0);
+}
+
+TEST(DsgcTest, JacobianHasExpectedSize) {
+  auto jac = DsgcJacobian(BaseParams());
+  ASSERT_TRUE(jac.ok());
+  EXPECT_EQ(jac->rows(), 15);
+  EXPECT_EQ(jac->cols(), 15);
+}
+
+TEST(DsgcTest, InfeasiblePowerFlowDetected) {
+  DsgcParams p = BaseParams();
+  p.coupling = 0.5;  // |P_j| = 1.0 > K: no synchronous state
+  EXPECT_FALSE(DsgcJacobian(p).ok());
+  EXPECT_GT(DsgcSpectralAbscissa(p), 0.0);
+}
+
+TEST(DsgcTest, WellDampedGridIsStable) {
+  // Short delay, strong coupling, moderate gain: classic stable regime.
+  DsgcParams p = BaseParams();
+  for (int j = 0; j < 4; ++j) p.tau[j] = 0.5;
+  EXPECT_LT(DsgcSpectralAbscissa(p), 0.0);
+}
+
+TEST(DsgcTest, AggressiveAdaptationDestabilizes) {
+  // Raising the adaptation gain at an unfavorable delay must eventually
+  // destabilize the grid (the DSGC resonance phenomenon).
+  DsgcParams p = BaseParams();
+  for (int j = 0; j < 4; ++j) p.tau[j] = 2.0;
+  double low_gain, high_gain;
+  for (int j = 0; j < 4; ++j) p.g[j] = 0.02;
+  low_gain = DsgcSpectralAbscissa(p);
+  for (int j = 0; j < 4; ++j) p.g[j] = 1.5;
+  high_gain = DsgcSpectralAbscissa(p);
+  EXPECT_LT(low_gain, 0.0);
+  EXPECT_GT(high_gain, low_gain);
+  EXPECT_GT(high_gain, 0.0);
+}
+
+TEST(DsgcTest, HeavierLoadIsLessStable) {
+  // Loading the lines (larger |P|/K) reduces the stability margin.
+  DsgcParams light = BaseParams();
+  DsgcParams heavy = BaseParams();
+  for (int j = 0; j < 3; ++j) {
+    light.p_consumer[j] = -0.5;
+    heavy.p_consumer[j] = -1.5;
+  }
+  light.coupling = heavy.coupling = 1.6;
+  EXPECT_LT(DsgcSpectralAbscissa(light), DsgcSpectralAbscissa(heavy));
+}
+
+TEST(DsgcTest, SpectralAbscissaIsContinuousInCoupling) {
+  DsgcParams p = BaseParams();
+  double prev = DsgcSpectralAbscissa(p);
+  for (double k = 8.0; k >= 2.0; k -= 0.5) {
+    p.coupling = k;
+    const double cur = DsgcSpectralAbscissa(p);
+    EXPECT_LT(std::fabs(cur - prev), 1.0) << "jump at K=" << k;
+    prev = cur;
+  }
+}
+
+TEST(DsgcTest, ShareIsBalanced) {
+  // The configured input ranges give a roughly balanced stability share
+  // (the paper reports 53.7%).
+  Rng rng(7);
+  int stable = 0;
+  const int n = 2000;
+  double x[12];
+  for (int i = 0; i < n; ++i) {
+    for (auto& v : x) v = rng.Uniform();
+    if (DsgcSpectralAbscissa(DsgcParamsFromUnitCube(x)) < 0.0) ++stable;
+  }
+  const double share = static_cast<double>(stable) / n;
+  EXPECT_GT(share, 0.35);
+  EXPECT_LT(share, 0.7);
+}
+
+}  // namespace
+}  // namespace reds::fun

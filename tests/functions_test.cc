@@ -1,0 +1,203 @@
+// Parameterized tests over all 33 Table-1 data sources: dimensionality,
+// relevance masks, probability ranges, positive-share calibration, and
+// irrelevant-input invariance.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "functions/datagen.h"
+#include "functions/registry.h"
+
+namespace reds::fun {
+namespace {
+
+class FunctionTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  std::unique_ptr<TestFunction> MakeParamFunction() {
+    auto f = MakeFunction(GetParam());
+    EXPECT_TRUE(f.ok());
+    return std::move(*f);
+  }
+};
+
+TEST_P(FunctionTest, BasicShape) {
+  auto f = MakeParamFunction();
+  EXPECT_EQ(f->name(), GetParam());
+  EXPECT_GT(f->dim(), 0);
+  EXPECT_EQ(static_cast<int>(f->relevant().size()), f->dim());
+  EXPECT_GE(f->NumRelevant(), 1);
+  EXPECT_LE(f->NumRelevant(), f->dim());
+  EXPECT_GT(f->target_share(), 0.0);
+  EXPECT_LT(f->target_share(), 1.0);
+}
+
+TEST_P(FunctionTest, ProbabilitiesAreValid) {
+  auto f = MakeParamFunction();
+  Rng rng(1);
+  std::vector<double> x(static_cast<size_t>(f->dim()));
+  for (int i = 0; i < 200; ++i) {
+    for (auto& v : x) v = rng.Uniform();
+    const double p = f->ProbPositive(x.data());
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    const double label = f->Label(x.data(), &rng);
+    EXPECT_TRUE(label == 0.0 || label == 1.0);
+  }
+}
+
+TEST_P(FunctionTest, ShareMatchesTable1) {
+  auto f = MakeParamFunction();
+  Rng rng(2);
+  std::vector<double> x(static_cast<size_t>(f->dim()));
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    for (auto& v : x) v = rng.Uniform();
+    sum += f->ProbPositive(x.data());
+  }
+  const double share = sum / n;
+  // Calibrated functions must land close to the published share; "dsgc" has
+  // a physical (uncalibrated) stability threshold, so allow a wide band.
+  const double tol = GetParam() == "dsgc" ? 0.25 : 0.03;
+  EXPECT_NEAR(share, f->target_share(), tol);
+}
+
+TEST_P(FunctionTest, IrrelevantInputsDoNotChangeOutput) {
+  auto f = MakeParamFunction();
+  if (f->stochastic()) {
+    // For stochastic functions, check P(y=1|x) instead of labels.
+  }
+  const std::vector<bool> rel = f->relevant();
+  Rng rng(3);
+  std::vector<double> x(static_cast<size_t>(f->dim()));
+  for (int trial = 0; trial < 20; ++trial) {
+    for (auto& v : x) v = rng.Uniform();
+    const double p0 = f->ProbPositive(x.data());
+    std::vector<double> x2 = x;
+    bool changed_any = false;
+    for (int j = 0; j < f->dim(); ++j) {
+      if (!rel[static_cast<size_t>(j)]) {
+        x2[static_cast<size_t>(j)] = rng.Uniform();
+        changed_any = true;
+      }
+    }
+    if (!changed_any) break;
+    EXPECT_DOUBLE_EQ(f->ProbPositive(x2.data()), p0)
+        << "irrelevant inputs changed the outcome";
+  }
+}
+
+TEST_P(FunctionTest, RelevantInputsActuallyMatter) {
+  // At least one relevant input must influence P(y=1|x) somewhere.
+  auto f = MakeParamFunction();
+  Rng rng(4);
+  std::vector<double> x(static_cast<size_t>(f->dim()));
+  bool any_effect = false;
+  for (int trial = 0; trial < 2000 && !any_effect; ++trial) {
+    for (auto& v : x) v = rng.Uniform();
+    const double p0 = f->ProbPositive(x.data());
+    for (int j = 0; j < f->dim() && !any_effect; ++j) {
+      if (!f->relevant()[static_cast<size_t>(j)]) continue;
+      std::vector<double> x2 = x;
+      x2[static_cast<size_t>(j)] = rng.Uniform();
+      if (std::fabs(f->ProbPositive(x2.data()) - p0) > 1e-9) any_effect = true;
+    }
+  }
+  EXPECT_TRUE(any_effect);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFunctions, FunctionTest,
+                         ::testing::ValuesIn(AllFunctionNames()),
+                         [](const auto& info) { return info.param; });
+
+TEST(RegistryTest, AllNamesConstructible) {
+  const auto names = AllFunctionNames();
+  EXPECT_EQ(names.size(), 33u);
+  for (const auto& n : names) {
+    EXPECT_TRUE(MakeFunction(n).ok()) << n;
+  }
+}
+
+TEST(RegistryTest, UnknownNameFails) {
+  EXPECT_FALSE(MakeFunction("nope").ok());
+}
+
+TEST(RegistryTest, Table1Dimensions) {
+  const struct {
+    const char* name;
+    int m;
+    int i;
+  } expected[] = {
+      {"dalal1", 5, 2},        {"dalal102", 15, 9},
+      {"borehole", 8, 8},      {"dsgc", 12, 12},
+      {"ellipse", 15, 10},     {"hart3", 3, 3},
+      {"hart4", 4, 4},         {"hart6sc", 6, 6},
+      {"ishigami", 3, 3},      {"linketal06dec", 10, 8},
+      {"linketal06simple", 10, 4}, {"linketal06sin", 10, 2},
+      {"loepetal13", 10, 7},   {"moon10hd", 20, 20},
+      {"moon10hdc1", 20, 5},   {"moon10low", 3, 3},
+      {"morretal06", 30, 10},  {"morris", 20, 20},
+      {"oakoh04", 15, 15},     {"otlcircuit", 6, 6},
+      {"piston", 7, 7},        {"soblev99", 20, 19},
+      {"sobol", 8, 8},         {"welchetal92", 20, 18},
+      {"willetal06", 3, 2},    {"wingweight", 10, 10},
+  };
+  for (const auto& e : expected) {
+    auto f = MakeFunction(e.name);
+    ASSERT_TRUE(f.ok()) << e.name;
+    EXPECT_EQ((*f)->dim(), e.m) << e.name;
+    EXPECT_EQ((*f)->NumRelevant(), e.i) << e.name;
+  }
+}
+
+TEST(DatagenTest, DatasetHasRequestedShape) {
+  auto f = MakeFunction("borehole");
+  ASSERT_TRUE(f.ok());
+  const Dataset d = MakeScenarioDataset(**f, 200, DesignKind::kLatinHypercube, 1);
+  EXPECT_EQ(d.num_rows(), 200);
+  EXPECT_EQ(d.num_cols(), 8);
+  for (int i = 0; i < d.num_rows(); ++i) {
+    EXPECT_TRUE(d.y(i) == 0.0 || d.y(i) == 1.0);
+  }
+}
+
+TEST(DatagenTest, DeterministicForSeed) {
+  auto f = MakeFunction("ishigami");
+  ASSERT_TRUE(f.ok());
+  const Dataset a = MakeScenarioDataset(**f, 50, DesignKind::kLatinHypercube, 9);
+  const Dataset b = MakeScenarioDataset(**f, 50, DesignKind::kLatinHypercube, 9);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(a.x(i, 0), b.x(i, 0));
+    EXPECT_DOUBLE_EQ(a.y(i), b.y(i));
+  }
+}
+
+TEST(DatagenTest, DefaultDesignHaltonForDsgc) {
+  auto dsgc = MakeFunction("dsgc");
+  auto borehole = MakeFunction("borehole");
+  ASSERT_TRUE(dsgc.ok() && borehole.ok());
+  EXPECT_EQ(DefaultDesignFor(**dsgc), DesignKind::kHalton);
+  EXPECT_EQ(DefaultDesignFor(**borehole), DesignKind::kLatinHypercube);
+}
+
+TEST(DatagenTest, MixedDesignDiscretizesEvenInputs) {
+  auto f = MakeFunction("borehole");
+  ASSERT_TRUE(f.ok());
+  const Dataset d =
+      MakeScenarioDataset(**f, 100, DesignKind::kMixedDiscrete, 11);
+  for (int i = 0; i < d.num_rows(); ++i) {
+    const double v = d.x(i, 1);
+    EXPECT_TRUE(v == 0.1 || v == 0.3 || v == 0.5 || v == 0.7 || v == 0.9);
+  }
+}
+
+TEST(DatagenTest, ShareOnLhsSampleIsCloseToTarget) {
+  auto f = MakeFunction("sobol");
+  ASSERT_TRUE(f.ok());
+  const Dataset d =
+      MakeScenarioDataset(**f, 5000, DesignKind::kLatinHypercube, 13);
+  EXPECT_NEAR(d.PositiveShare(), (*f)->target_share(), 0.05);
+}
+
+}  // namespace
+}  // namespace reds::fun

@@ -1,0 +1,213 @@
+// Randomized property sweeps over the core geometry and quality primitives:
+// invariants that must hold for arbitrary boxes, curves and datasets.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/bumping.h"
+#include "core/quality.h"
+#include "util/rng.h"
+
+namespace reds {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+Box RandomBox(int dim, Rng* rng) {
+  Box b = Box::Unbounded(dim);
+  for (int j = 0; j < dim; ++j) {
+    const double roll = rng->Uniform();
+    if (roll < 0.25) continue;  // leave unrestricted
+    double lo = rng->Uniform(), hi = rng->Uniform();
+    if (lo > hi) std::swap(lo, hi);
+    if (roll < 0.5) {
+      b.set_lo(j, lo);
+    } else if (roll < 0.75) {
+      b.set_hi(j, hi);
+    } else {
+      b.set_lo(j, lo);
+      b.set_hi(j, hi);
+    }
+  }
+  return b;
+}
+
+class BoxPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BoxPropertyTest, IntersectionIsCommutativeAndIdempotent) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  const int dim = 1 + GetParam() % 5;
+  const std::vector<double> lo(static_cast<size_t>(dim), 0.0);
+  const std::vector<double> hi(static_cast<size_t>(dim), 1.0);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Box a = RandomBox(dim, &rng);
+    const Box b = RandomBox(dim, &rng);
+    EXPECT_TRUE(a.Intersect(b) == b.Intersect(a));
+    EXPECT_TRUE(a.Intersect(a) == a);
+    // Volume of the intersection never exceeds either volume.
+    const double va = a.ClampedVolume(lo, hi);
+    const double vi = a.Intersect(b).ClampedVolume(lo, hi);
+    EXPECT_LE(vi, va + 1e-12);
+  }
+}
+
+TEST_P(BoxPropertyTest, ContainmentConsistentWithIntersection) {
+  Rng rng(1000 + static_cast<uint64_t>(GetParam()));
+  const int dim = 1 + GetParam() % 4;
+  std::vector<double> x(static_cast<size_t>(dim));
+  for (int trial = 0; trial < 100; ++trial) {
+    const Box a = RandomBox(dim, &rng);
+    const Box b = RandomBox(dim, &rng);
+    const Box inter = a.Intersect(b);
+    for (auto& v : x) v = rng.Uniform();
+    EXPECT_EQ(inter.Contains(x.data()),
+              a.Contains(x.data()) && b.Contains(x.data()));
+  }
+}
+
+TEST_P(BoxPropertyTest, ConsistencyBoundsAndIdentity) {
+  Rng rng(2000 + static_cast<uint64_t>(GetParam()));
+  const int dim = 1 + GetParam() % 5;
+  const std::vector<double> lo(static_cast<size_t>(dim), 0.0);
+  const std::vector<double> hi(static_cast<size_t>(dim), 1.0);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Box a = RandomBox(dim, &rng);
+    const Box b = RandomBox(dim, &rng);
+    const double c = Consistency(a, b, lo, hi);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0 + 1e-12);
+    // Self-consistency is exactly 1 (empty boxes count as identical).
+    EXPECT_NEAR(Consistency(a, a, lo, hi), 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(c, Consistency(b, a, lo, hi));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoxPropertyTest, ::testing::Range(1, 6));
+
+TEST(PrAucPropertyTest, InvariantUnderPointOrder) {
+  Rng rng(7);
+  std::vector<PrPoint> curve;
+  for (int i = 0; i < 20; ++i) curve.push_back({rng.Uniform(), rng.Uniform()});
+  const double base = PrAuc(curve);
+  for (int shuffle = 0; shuffle < 5; ++shuffle) {
+    rng.Shuffle(&curve);
+    EXPECT_NEAR(PrAuc(curve), base, 1e-12);
+  }
+}
+
+TEST(PrAucPropertyTest, MonotoneInPrecision) {
+  Rng rng(8);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<PrPoint> low, high;
+    for (int i = 0; i < 10; ++i) {
+      const double r = rng.Uniform();
+      const double p = rng.Uniform(0.0, 0.5);
+      low.push_back({r, p});
+      high.push_back({r, p + 0.3});
+    }
+    EXPECT_GE(PrAuc(high), PrAuc(low));
+  }
+}
+
+TEST(PrAucPropertyTest, BoundedByUnitSquare) {
+  Rng rng(9);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<PrPoint> curve;
+    for (int i = 0; i < 8; ++i) curve.push_back({rng.Uniform(), rng.Uniform()});
+    const double auc = PrAuc(curve);
+    EXPECT_GE(auc, 0.0);
+    EXPECT_LE(auc, 1.0 + 1e-12);
+  }
+}
+
+TEST(WraccPropertyTest, BoundedByQuarter) {
+  // |WRAcc| <= p0 (1 - p0) <= 1/4 for any feasible subgroup: one whose
+  // positive and negative counts do not exceed the dataset's.
+  Rng rng(10);
+  for (int trial = 0; trial < 200; ++trial) {
+    const double total_pos = rng.Uniform() * 500.0;
+    const double total_neg = rng.Uniform() * 500.0;
+    const double total_n = total_pos + total_neg;
+    if (total_n < 1.0) continue;
+    const double n_pos = rng.Uniform() * total_pos;
+    const double n_neg = rng.Uniform() * total_neg;
+    const double w = WRAcc({n_pos + n_neg, n_pos}, total_n, total_pos);
+    EXPECT_LE(std::fabs(w), 0.25 + 1e-12);
+  }
+}
+
+TEST(ParetoPropertyTest, FilterIsIdempotentAndClean) {
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Box> boxes;
+    std::vector<PrPoint> curve;
+    const int n = 2 + static_cast<int>(rng.UniformInt(30));
+    for (int i = 0; i < n; ++i) {
+      boxes.push_back(Box::Unbounded(2));
+      curve.push_back({rng.Uniform(), rng.Uniform()});
+    }
+    ParetoFilter(&boxes, &curve);
+    // No remaining point dominates another.
+    for (size_t i = 0; i < curve.size(); ++i) {
+      for (size_t j = 0; j < curve.size(); ++j) {
+        if (i == j) continue;
+        const bool dominates = curve[j].recall >= curve[i].recall &&
+                               curve[j].precision >= curve[i].precision &&
+                               (curve[j].recall > curve[i].recall ||
+                                curve[j].precision > curve[i].precision);
+        EXPECT_FALSE(dominates);
+      }
+    }
+    // Idempotence.
+    auto boxes2 = boxes;
+    auto curve2 = curve;
+    ParetoFilter(&boxes2, &curve2);
+    EXPECT_EQ(curve2.size(), curve.size());
+  }
+}
+
+TEST(BoxStatsPropertyTest, StatsAreAdditiveOverDisjointBoxes) {
+  Rng rng(12);
+  Dataset d(1);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.Uniform();
+    d.AddRow(&x, rng.Bernoulli(0.4) ? 1.0 : 0.0);
+  }
+  Box left = Box::Unbounded(1);
+  left.set_hi(0, 0.5);
+  Box right = Box::Unbounded(1);
+  right.set_lo(0, std::nextafter(0.5, 1.0));
+  const BoxStats sl = ComputeBoxStats(d, left);
+  const BoxStats sr = ComputeBoxStats(d, right);
+  EXPECT_DOUBLE_EQ(sl.n + sr.n, d.num_rows());
+  EXPECT_DOUBLE_EQ(sl.n_pos + sr.n_pos, d.TotalPositive());
+}
+
+TEST(BoxStatsPropertyTest, MonotoneUnderShrinking) {
+  Rng rng(13);
+  Dataset d(3);
+  for (int i = 0; i < 300; ++i) {
+    const double x[3] = {rng.Uniform(), rng.Uniform(), rng.Uniform()};
+    d.AddRow(x, rng.Bernoulli(0.3) ? 1.0 : 0.0);
+  }
+  for (int trial = 0; trial < 30; ++trial) {
+    const Box outer = RandomBox(3, &rng);
+    Box inner = outer;
+    // Shrink one random dimension.
+    const int j = static_cast<int>(rng.UniformInt(3));
+    const double lo = std::isfinite(inner.lo(j)) ? inner.lo(j) : 0.0;
+    const double hi = std::isfinite(inner.hi(j)) ? inner.hi(j) : 1.0;
+    inner.set_lo(j, lo + 0.25 * (hi - lo));
+    inner.set_hi(j, hi - 0.25 * (hi - lo));
+    if (inner.lo(j) > inner.hi(j)) continue;
+    const BoxStats so = ComputeBoxStats(d, outer);
+    const BoxStats si = ComputeBoxStats(d, inner);
+    EXPECT_LE(si.n, so.n);
+    EXPECT_LE(si.n_pos, so.n_pos);
+  }
+}
+
+}  // namespace
+}  // namespace reds

@@ -1,0 +1,168 @@
+// Tests for the dense linear algebra module: LU solve and the QR eigenvalue
+// solver against matrices with known spectra.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+
+#include "la/matrix.h"
+#include "util/rng.h"
+
+namespace reds::la {
+namespace {
+
+std::vector<double> SortedRealParts(const std::vector<std::complex<double>>& eig) {
+  std::vector<double> re;
+  re.reserve(eig.size());
+  for (const auto& z : eig) re.push_back(z.real());
+  std::sort(re.begin(), re.end());
+  return re;
+}
+
+TEST(MatrixTest, IdentityAndMultiply) {
+  Matrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(0, 2) = 3;
+  a(1, 0) = 4;
+  a(1, 1) = 5;
+  a(1, 2) = 6;
+  const Matrix i3 = Matrix::Identity(3);
+  const Matrix prod = a.Multiply(i3);
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(prod(r, c), a(r, c));
+  }
+  const auto v = a.Multiply(std::vector<double>{1.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(v[0], 6.0);
+  EXPECT_DOUBLE_EQ(v[1], 15.0);
+}
+
+TEST(MatrixTest, TransposeRoundTrip) {
+  Matrix a(2, 3);
+  a(0, 2) = 5.0;
+  a(1, 0) = -2.0;
+  const Matrix t = a.Transpose();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_DOUBLE_EQ(t(2, 0), 5.0);
+  EXPECT_DOUBLE_EQ(t(0, 1), -2.0);
+}
+
+TEST(SolveTest, SolvesKnownSystem) {
+  Matrix a(3, 3);
+  a(0, 0) = 2;  a(0, 1) = 1;  a(0, 2) = -1;
+  a(1, 0) = -3; a(1, 1) = -1; a(1, 2) = 2;
+  a(2, 0) = -2; a(2, 1) = 1;  a(2, 2) = 2;
+  auto x = SolveLinearSystem(a, {8.0, -11.0, -3.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 2.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-12);
+  EXPECT_NEAR((*x)[2], -1.0, 1e-12);
+}
+
+TEST(SolveTest, DetectsSingularMatrix) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 4;
+  const auto x = SolveLinearSystem(a, {1.0, 2.0});
+  EXPECT_FALSE(x.ok());
+}
+
+TEST(EigenTest, DiagonalMatrix) {
+  Matrix a(3, 3);
+  a(0, 0) = 3.0;
+  a(1, 1) = -1.0;
+  a(2, 2) = 0.5;
+  auto eig = Eigenvalues(a);
+  ASSERT_TRUE(eig.ok());
+  const auto re = SortedRealParts(*eig);
+  EXPECT_NEAR(re[0], -1.0, 1e-9);
+  EXPECT_NEAR(re[1], 0.5, 1e-9);
+  EXPECT_NEAR(re[2], 3.0, 1e-9);
+}
+
+TEST(EigenTest, RotationHasComplexPair) {
+  // [[cos, -sin], [sin, cos]] has eigenvalues cos +- i sin.
+  const double c = std::cos(0.7), s = std::sin(0.7);
+  Matrix a(2, 2);
+  a(0, 0) = c;
+  a(0, 1) = -s;
+  a(1, 0) = s;
+  a(1, 1) = c;
+  auto eig = Eigenvalues(a);
+  ASSERT_TRUE(eig.ok());
+  ASSERT_EQ(eig->size(), 2u);
+  for (const auto& z : *eig) {
+    EXPECT_NEAR(z.real(), c, 1e-9);
+    EXPECT_NEAR(std::fabs(z.imag()), s, 1e-9);
+  }
+}
+
+TEST(EigenTest, CompanionMatrixRoots) {
+  // Companion matrix of p(x) = x^3 - 6x^2 + 11x - 6 with roots 1, 2, 3.
+  Matrix a(3, 3);
+  a(0, 0) = 6.0;
+  a(0, 1) = -11.0;
+  a(0, 2) = 6.0;
+  a(1, 0) = 1.0;
+  a(2, 1) = 1.0;
+  auto eig = Eigenvalues(a);
+  ASSERT_TRUE(eig.ok());
+  const auto re = SortedRealParts(*eig);
+  EXPECT_NEAR(re[0], 1.0, 1e-8);
+  EXPECT_NEAR(re[1], 2.0, 1e-8);
+  EXPECT_NEAR(re[2], 3.0, 1e-8);
+}
+
+TEST(EigenTest, TraceAndDeterminantConsistency) {
+  // Eigenvalue sum equals trace; product equals determinant (checked on a
+  // random 8x8 via characteristic invariants).
+  Rng rng(99);
+  Matrix a(8, 8);
+  for (int r = 0; r < 8; ++r)
+    for (int c = 0; c < 8; ++c) a(r, c) = rng.Uniform(-1.0, 1.0);
+  double trace = 0.0;
+  for (int i = 0; i < 8; ++i) trace += a(i, i);
+  auto eig = Eigenvalues(a);
+  ASSERT_TRUE(eig.ok());
+  std::complex<double> sum{0.0, 0.0};
+  for (const auto& z : *eig) sum += z;
+  EXPECT_NEAR(sum.real(), trace, 1e-7);
+  EXPECT_NEAR(sum.imag(), 0.0, 1e-7);
+}
+
+TEST(EigenTest, SpectralAbscissaOfStableSystem) {
+  // -I has abscissa -1.
+  Matrix a(4, 4);
+  for (int i = 0; i < 4; ++i) a(i, i) = -1.0;
+  auto s = SpectralAbscissa(a);
+  ASSERT_TRUE(s.ok());
+  EXPECT_NEAR(*s, -1.0, 1e-10);
+}
+
+TEST(EigenTest, LargerRandomMatrixSumsToTrace) {
+  Rng rng(12345);
+  const int n = 12;
+  Matrix a(n, n);
+  for (int r = 0; r < n; ++r)
+    for (int c = 0; c < n; ++c) a(r, c) = rng.Normal();
+  double trace = 0.0;
+  for (int i = 0; i < n; ++i) trace += a(i, i);
+  auto eig = Eigenvalues(a);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_EQ(eig->size(), static_cast<size_t>(n));
+  std::complex<double> sum{0.0, 0.0};
+  for (const auto& z : *eig) sum += z;
+  EXPECT_NEAR(sum.real(), trace, 1e-6);
+}
+
+TEST(EigenTest, RejectsNonSquare) {
+  Matrix a(2, 3);
+  EXPECT_FALSE(Eigenvalues(a).ok());
+}
+
+}  // namespace
+}  // namespace reds::la

@@ -1,0 +1,232 @@
+// Tests for the metamodels (random forest, gradient boosted trees, RBF-SVM),
+// the classification metrics and the CV tuning harness.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/gbt.h"
+#include "ml/metrics.h"
+#include "ml/random_forest.h"
+#include "ml/svm.h"
+#include "ml/tuning.h"
+#include "util/rng.h"
+
+namespace reds::ml {
+namespace {
+
+Dataset CircleData(int n, uint64_t seed) {
+  // Positive inside a disc of radius 0.35 around the center.
+  Rng rng(seed);
+  Dataset d(2);
+  for (int i = 0; i < n; ++i) {
+    const double x[2] = {rng.Uniform(), rng.Uniform()};
+    const double r2 =
+        (x[0] - 0.5) * (x[0] - 0.5) + (x[1] - 0.5) * (x[1] - 0.5);
+    d.AddRow(x, r2 < 0.35 * 0.35 ? 1.0 : 0.0);
+  }
+  return d;
+}
+
+double HoldoutAccuracy(const Metamodel& model, const Dataset& test) {
+  int correct = 0;
+  for (int i = 0; i < test.num_rows(); ++i) {
+    const bool pred = model.PredictProb(test.row(i)) > 0.5;
+    correct += pred == (test.y(i) > 0.5) ? 1 : 0;
+  }
+  return static_cast<double>(correct) / test.num_rows();
+}
+
+TEST(RandomForestTest, LearnsCircle) {
+  const Dataset train = CircleData(600, 1);
+  const Dataset test = CircleData(1000, 2);
+  RandomForestConfig config;
+  config.num_trees = 100;
+  RandomForest rf(config);
+  rf.Fit(train, 3);
+  EXPECT_GT(HoldoutAccuracy(rf, test), 0.9);
+}
+
+TEST(RandomForestTest, ProbabilitiesAreCalibratedToClassShare) {
+  const Dataset train = CircleData(800, 4);
+  RandomForest rf;
+  rf.Fit(train, 5);
+  Rng rng(6);
+  double mean_prob = 0.0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    const double x[2] = {rng.Uniform(), rng.Uniform()};
+    mean_prob += rf.PredictProb(x);
+  }
+  mean_prob /= n;
+  EXPECT_NEAR(mean_prob, 0.35 * 0.35 * M_PI, 0.06);
+}
+
+TEST(RandomForestTest, ProbabilitiesInUnitInterval) {
+  const Dataset train = CircleData(200, 7);
+  RandomForest rf;
+  rf.Fit(train, 8);
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    const double x[2] = {rng.Uniform(), rng.Uniform()};
+    const double p = rf.PredictProb(x);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(RandomForestTest, DeterministicForSeed) {
+  const Dataset train = CircleData(200, 10);
+  RandomForest a, b;
+  a.Fit(train, 42);
+  b.Fit(train, 42);
+  const double x[2] = {0.4, 0.6};
+  EXPECT_DOUBLE_EQ(a.PredictProb(x), b.PredictProb(x));
+}
+
+TEST(GbtTest, LearnsCircle) {
+  const Dataset train = CircleData(600, 11);
+  const Dataset test = CircleData(1000, 12);
+  GbtConfig config;
+  config.num_rounds = 120;
+  config.max_depth = 4;
+  GradientBoostedTrees gbt(config);
+  gbt.Fit(train, 13);
+  EXPECT_GT(HoldoutAccuracy(gbt, test), 0.9);
+}
+
+TEST(GbtTest, MoreRoundsReduceTrainLoss) {
+  const Dataset train = CircleData(400, 14);
+  GbtConfig few, many;
+  few.num_rounds = 5;
+  many.num_rounds = 100;
+  GradientBoostedTrees m_few(few), m_many(many);
+  m_few.Fit(train, 15);
+  m_many.Fit(train, 15);
+  std::vector<double> p_few, p_many, y;
+  for (int i = 0; i < train.num_rows(); ++i) {
+    p_few.push_back(m_few.PredictProb(train.row(i)));
+    p_many.push_back(m_many.PredictProb(train.row(i)));
+    y.push_back(train.y(i));
+  }
+  EXPECT_LT(LogLoss(p_many, y), LogLoss(p_few, y));
+}
+
+TEST(GbtTest, SubsamplingStillLearns) {
+  const Dataset train = CircleData(600, 16);
+  const Dataset test = CircleData(500, 17);
+  GbtConfig config;
+  config.subsample = 0.7;
+  config.colsample = 0.5;
+  config.num_rounds = 150;
+  GradientBoostedTrees gbt(config);
+  gbt.Fit(train, 18);
+  EXPECT_GT(HoldoutAccuracy(gbt, test), 0.85);
+}
+
+TEST(GbtTest, MarginIsLogOddsOfProb) {
+  const Dataset train = CircleData(300, 19);
+  GradientBoostedTrees gbt;
+  gbt.Fit(train, 20);
+  const double x[2] = {0.5, 0.5};
+  const double margin = gbt.PredictMargin(x);
+  const double p = gbt.PredictProb(x);
+  EXPECT_NEAR(p, 1.0 / (1.0 + std::exp(-margin)), 1e-12);
+}
+
+TEST(SvmTest, LearnsCircle) {
+  const Dataset train = CircleData(400, 21);
+  const Dataset test = CircleData(800, 22);
+  SvmConfig config;
+  config.c = 4.0;
+  SvmRbf svm(config);
+  svm.Fit(train, 23);
+  EXPECT_GT(HoldoutAccuracy(svm, test), 0.85);
+}
+
+TEST(SvmTest, DecisionSignMatchesProbability) {
+  const Dataset train = CircleData(300, 24);
+  SvmRbf svm;
+  svm.Fit(train, 25);
+  Rng rng(26);
+  for (int i = 0; i < 100; ++i) {
+    const double x[2] = {rng.Uniform(), rng.Uniform()};
+    EXPECT_EQ(svm.Decision(x) > 0.0, svm.PredictProb(x) > 0.5);
+  }
+}
+
+TEST(SvmTest, KeepsOnlySupportVectors) {
+  const Dataset train = CircleData(400, 27);
+  SvmRbf svm;
+  svm.Fit(train, 28);
+  EXPECT_GT(svm.num_support_vectors(), 0);
+  EXPECT_LT(svm.num_support_vectors(), train.num_rows());
+}
+
+TEST(MetricsTest, AccuracyAndBrier) {
+  const std::vector<double> prob{0.9, 0.2, 0.6, 0.4};
+  const std::vector<double> y{1.0, 0.0, 0.0, 1.0};
+  EXPECT_DOUBLE_EQ(Accuracy(prob, y), 0.5);
+  const double expected_brier =
+      (0.01 + 0.04 + 0.36 + 0.36) / 4.0;
+  EXPECT_NEAR(BrierScore(prob, y), expected_brier, 1e-12);
+}
+
+TEST(MetricsTest, LogLossPerfectAndWorst) {
+  EXPECT_NEAR(LogLoss({1.0, 0.0}, {1.0, 0.0}), 0.0, 1e-9);
+  EXPECT_GT(LogLoss({0.0, 1.0}, {1.0, 0.0}), 10.0);
+}
+
+TEST(MetricsTest, RocAucPerfectRanking) {
+  EXPECT_DOUBLE_EQ(RocAuc({0.1, 0.2, 0.8, 0.9}, {0.0, 0.0, 1.0, 1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(RocAuc({0.9, 0.8, 0.2, 0.1}, {0.0, 0.0, 1.0, 1.0}), 0.0);
+}
+
+TEST(MetricsTest, RocAucTiesGetHalfCredit) {
+  EXPECT_DOUBLE_EQ(RocAuc({0.5, 0.5, 0.5, 0.5}, {0.0, 1.0, 0.0, 1.0}), 0.5);
+}
+
+TEST(TuningTest, FoldAssignmentIsBalanced) {
+  const auto fold = FoldAssignment(103, 5, 1);
+  std::vector<int> counts(5, 0);
+  for (int f : fold) {
+    ASSERT_GE(f, 0);
+    ASSERT_LT(f, 5);
+    counts[static_cast<size_t>(f)]++;
+  }
+  for (int c : counts) {
+    EXPECT_GE(c, 20);
+    EXPECT_LE(c, 21);
+  }
+}
+
+TEST(TuningTest, TuneAndFitReturnsWorkingModel) {
+  const Dataset train = CircleData(300, 30);
+  const Dataset test = CircleData(500, 31);
+  for (MetamodelKind kind : {MetamodelKind::kRandomForest, MetamodelKind::kGbt,
+                             MetamodelKind::kSvm}) {
+    auto model = TuneAndFit(kind, train, 32);
+    ASSERT_NE(model, nullptr);
+    EXPECT_GT(HoldoutAccuracy(*model, test), 0.8)
+        << MetamodelSuffix(kind);
+  }
+}
+
+TEST(TuningTest, FitDefaultReturnsWorkingModel) {
+  const Dataset train = CircleData(300, 33);
+  const Dataset test = CircleData(500, 34);
+  for (MetamodelKind kind : {MetamodelKind::kRandomForest, MetamodelKind::kGbt,
+                             MetamodelKind::kSvm}) {
+    auto model = FitDefault(kind, train, 35);
+    ASSERT_NE(model, nullptr);
+    EXPECT_GT(HoldoutAccuracy(*model, test), 0.8) << MetamodelSuffix(kind);
+  }
+}
+
+TEST(TuningTest, MetamodelSuffixNames) {
+  EXPECT_EQ(MetamodelSuffix(MetamodelKind::kRandomForest), "f");
+  EXPECT_EQ(MetamodelSuffix(MetamodelKind::kGbt), "x");
+  EXPECT_EQ(MetamodelSuffix(MetamodelKind::kSvm), "s");
+}
+
+}  // namespace
+}  // namespace reds::ml

@@ -1,0 +1,109 @@
+// Parameterized property sweep over every method spec the paper names:
+// shared invariants that must hold for any (method, data) combination.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/method.h"
+#include "core/quality.h"
+#include "functions/datagen.h"
+#include "functions/registry.h"
+
+namespace reds {
+namespace {
+
+const std::string kAllMethods[] = {"P",    "Pc",   "PB",    "PBc",    "BI",
+                                   "BI5",  "BIc",  "RPf",   "RPx",    "RPs",
+                                   "RPxp", "RPfp", "RPcxp", "RBIcfp", "RBIcxp"};
+
+class MethodSweepTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  static const Dataset& TrainData() {
+    static const Dataset d = [] {
+      auto f = fun::MakeFunction("ellipse");
+      return fun::MakeScenarioDataset(**f, 250,
+                                      fun::DesignKind::kLatinHypercube, 3);
+    }();
+    return d;
+  }
+  static RunOptions QuickOptions() {
+    RunOptions o;
+    o.l_prim = 1500;
+    o.l_bi = 800;
+    o.bumping_q = 8;
+    o.cv_folds = 3;
+    o.tune_metamodel = false;
+    o.seed = 11;
+    return o;
+  }
+};
+
+TEST_P(MethodSweepTest, ProducesValidOutput) {
+  const auto spec = MethodSpec::Parse(GetParam());
+  ASSERT_TRUE(spec.ok());
+  const MethodOutput out = RunMethod(*spec, TrainData(), QuickOptions());
+
+  ASSERT_FALSE(out.trajectory.empty());
+  EXPECT_EQ(out.last_box.dim(), TrainData().num_cols());
+  for (const Box& b : out.trajectory) {
+    EXPECT_EQ(b.dim(), TrainData().num_cols());
+    EXPECT_LE(b.NumRestricted(), TrainData().num_cols());
+  }
+  EXPECT_GE(out.runtime_seconds, 0.0);
+  EXPECT_GT(out.chosen_alpha, 0.0);
+  EXPECT_LT(out.chosen_alpha, 0.5);
+}
+
+TEST_P(MethodSweepTest, DeterministicForSameSeed) {
+  const auto spec = MethodSpec::Parse(GetParam());
+  ASSERT_TRUE(spec.ok());
+  const MethodOutput a = RunMethod(*spec, TrainData(), QuickOptions());
+  const MethodOutput b = RunMethod(*spec, TrainData(), QuickOptions());
+  EXPECT_TRUE(a.last_box == b.last_box) << GetParam();
+  ASSERT_EQ(a.trajectory.size(), b.trajectory.size());
+}
+
+TEST_P(MethodSweepTest, LastBoxBelongsToTrajectory) {
+  const auto spec = MethodSpec::Parse(GetParam());
+  ASSERT_TRUE(spec.ok());
+  const MethodOutput out = RunMethod(*spec, TrainData(), QuickOptions());
+  bool found = false;
+  for (const Box& b : out.trajectory) found = found || b == out.last_box;
+  EXPECT_TRUE(found);
+}
+
+TEST_P(MethodSweepTest, TrajectoryIsUsableForPrAuc) {
+  const auto spec = MethodSpec::Parse(GetParam());
+  ASSERT_TRUE(spec.ok());
+  const MethodOutput out = RunMethod(*spec, TrainData(), QuickOptions());
+  const double auc = PrAucOnData(out.trajectory, TrainData());
+  EXPECT_GE(auc, 0.0);
+  EXPECT_LE(auc, 1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, MethodSweepTest,
+                         ::testing::ValuesIn(kAllMethods),
+                         [](const auto& info) { return info.param; });
+
+// PRIM-family-specific invariant: trajectories are nested for plain PRIM
+// (bumping's Pareto set is not nested, BI has one box).
+class PrimFamilySweepTest : public MethodSweepTest {};
+
+TEST_P(PrimFamilySweepTest, TrajectoryBoxesShrink) {
+  const auto spec = MethodSpec::Parse(GetParam());
+  ASSERT_TRUE(spec.ok());
+  const MethodOutput out = RunMethod(*spec, TrainData(), QuickOptions());
+  for (size_t i = 1; i < out.trajectory.size(); ++i) {
+    for (int j = 0; j < out.trajectory[i].dim(); ++j) {
+      EXPECT_LE(out.trajectory[i - 1].lo(j), out.trajectory[i].lo(j));
+      EXPECT_GE(out.trajectory[i - 1].hi(j), out.trajectory[i].hi(j));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PrimMethods, PrimFamilySweepTest,
+                         ::testing::Values("P", "Pc", "RPf", "RPx", "RPxp"),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace reds

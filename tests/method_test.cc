@@ -1,0 +1,143 @@
+// Tests for the method-spec parser and the unified method runner.
+#include <gtest/gtest.h>
+
+#include "core/method.h"
+#include "functions/datagen.h"
+#include "functions/registry.h"
+
+namespace reds {
+namespace {
+
+TEST(MethodSpecTest, ParsesPaperNames) {
+  const struct {
+    const char* name;
+    MethodSpec::Family family;
+    bool tuned, reds, prob;
+    int beam;
+  } cases[] = {
+      {"P", MethodSpec::Family::kPrim, false, false, false, 1},
+      {"Pc", MethodSpec::Family::kPrim, true, false, false, 1},
+      {"PB", MethodSpec::Family::kPrimBumping, false, false, false, 1},
+      {"PBc", MethodSpec::Family::kPrimBumping, true, false, false, 1},
+      {"BI", MethodSpec::Family::kBi, false, false, false, 1},
+      {"BI5", MethodSpec::Family::kBi, false, false, false, 5},
+      {"BIc", MethodSpec::Family::kBi, true, false, false, 1},
+      {"RPf", MethodSpec::Family::kPrim, false, true, false, 1},
+      {"RPx", MethodSpec::Family::kPrim, false, true, false, 1},
+      {"RPs", MethodSpec::Family::kPrim, false, true, false, 1},
+      {"RPxp", MethodSpec::Family::kPrim, false, true, true, 1},
+      {"RPcxp", MethodSpec::Family::kPrim, true, true, true, 1},
+      {"RBIcxp", MethodSpec::Family::kBi, true, true, true, 1},
+      {"RBIcfp", MethodSpec::Family::kBi, true, true, true, 1},
+  };
+  for (const auto& c : cases) {
+    auto spec = MethodSpec::Parse(c.name);
+    ASSERT_TRUE(spec.ok()) << c.name;
+    EXPECT_EQ(spec->family, c.family) << c.name;
+    EXPECT_EQ(spec->tuned, c.tuned) << c.name;
+    EXPECT_EQ(spec->reds, c.reds) << c.name;
+    EXPECT_EQ(spec->probability_labels, c.prob) << c.name;
+    EXPECT_EQ(spec->beam_size, c.beam) << c.name;
+    EXPECT_EQ(spec->ToName(), c.name) << "round trip";
+  }
+}
+
+TEST(MethodSpecTest, MetamodelLetters) {
+  EXPECT_EQ(MethodSpec::Parse("RPf")->metamodel,
+            ml::MetamodelKind::kRandomForest);
+  EXPECT_EQ(MethodSpec::Parse("RPx")->metamodel, ml::MetamodelKind::kGbt);
+  EXPECT_EQ(MethodSpec::Parse("RPs")->metamodel, ml::MetamodelKind::kSvm);
+}
+
+TEST(MethodSpecTest, RejectsGarbage) {
+  for (const char* bad : {"", "Q", "Rp", "RP", "Pcc", "BIx", "PBq", "RPz",
+                          "Pp", "RPxq"}) {
+    EXPECT_FALSE(MethodSpec::Parse(bad).ok()) << bad;
+  }
+}
+
+TEST(MGridTest, MatchesPaperFormula) {
+  // M = 20: ceil(20/6) = 4 -> {20, 16, 12, 8, 4}.
+  EXPECT_EQ(MGrid(20), (std::vector<int>{20, 16, 12, 8, 4}));
+  // M = 5: ceil(5/6) = 1 -> {5, 4, 3, 2, 1}.
+  EXPECT_EQ(MGrid(5), (std::vector<int>{5, 4, 3, 2, 1}));
+}
+
+class MethodRunTest : public ::testing::Test {
+ protected:
+  static Dataset MakeData() {
+    auto f = fun::MakeFunction("ellipse");
+    return fun::MakeScenarioDataset(**f, 300, fun::DesignKind::kLatinHypercube,
+                                    17);
+  }
+  static RunOptions QuickOptions() {
+    RunOptions o;
+    o.l_prim = 2000;
+    o.l_bi = 1000;
+    o.bumping_q = 10;
+    o.cv_folds = 3;
+    o.budget = ml::TuningBudget::kQuick;
+    o.tune_metamodel = false;
+    o.seed = 5;
+    return o;
+  }
+};
+
+TEST_F(MethodRunTest, PlainPrimProducesTrajectory) {
+  const Dataset d = MakeData();
+  const MethodOutput out = RunMethod(*MethodSpec::Parse("P"), d, QuickOptions());
+  EXPECT_GT(out.trajectory.size(), 3u);
+  EXPECT_DOUBLE_EQ(out.chosen_alpha, 0.05);
+  EXPECT_GT(out.runtime_seconds, 0.0);
+}
+
+TEST_F(MethodRunTest, TunedPrimPicksAlphaFromGrid) {
+  const Dataset d = MakeData();
+  const MethodOutput out =
+      RunMethod(*MethodSpec::Parse("Pc"), d, QuickOptions());
+  const std::vector<double> grid{0.03, 0.05, 0.07, 0.1, 0.13, 0.16, 0.2};
+  bool found = false;
+  for (double a : grid) found = found || a == out.chosen_alpha;
+  EXPECT_TRUE(found) << out.chosen_alpha;
+}
+
+TEST_F(MethodRunTest, BumpingReturnsParetoBoxes) {
+  const Dataset d = MakeData();
+  const MethodOutput out =
+      RunMethod(*MethodSpec::Parse("PB"), d, QuickOptions());
+  EXPECT_FALSE(out.trajectory.empty());
+}
+
+TEST_F(MethodRunTest, BiReturnsSingleBox) {
+  const Dataset d = MakeData();
+  const MethodOutput out =
+      RunMethod(*MethodSpec::Parse("BI"), d, QuickOptions());
+  EXPECT_EQ(out.trajectory.size(), 1u);
+}
+
+TEST_F(MethodRunTest, RedsPrimRunsOnRelabeledData) {
+  const Dataset d = MakeData();
+  const MethodOutput out =
+      RunMethod(*MethodSpec::Parse("RPx"), d, QuickOptions());
+  EXPECT_GT(out.trajectory.size(), 3u);
+  EXPECT_EQ(out.last_box.dim(), d.num_cols());
+}
+
+TEST_F(MethodRunTest, RedsBiWithProbabilityLabels) {
+  const Dataset d = MakeData();
+  RunOptions o = QuickOptions();
+  const MethodOutput out = RunMethod(*MethodSpec::Parse("RBIcxp"), d, o);
+  EXPECT_EQ(out.trajectory.size(), 1u);
+  EXPECT_GE(out.chosen_m, 1);
+  EXPECT_LE(out.last_box.NumRestricted(), out.chosen_m);
+}
+
+TEST_F(MethodRunTest, DeterministicForSameSeed) {
+  const Dataset d = MakeData();
+  const auto a = RunMethod(*MethodSpec::Parse("RPf"), d, QuickOptions());
+  const auto b = RunMethod(*MethodSpec::Parse("RPf"), d, QuickOptions());
+  EXPECT_TRUE(a.last_box == b.last_box);
+}
+
+}  // namespace
+}  // namespace reds

@@ -1,0 +1,69 @@
+// Parameterized sweep: PRIM and REDS invariants across a representative set
+// of Table-1 functions (different dimensionalities, stochasticity, and
+// structure).
+#include <gtest/gtest.h>
+
+#include "core/prim.h"
+#include "core/quality.h"
+#include "core/reds.h"
+#include "functions/datagen.h"
+#include "functions/registry.h"
+
+namespace reds {
+namespace {
+
+class PrimFunctionSweepTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PrimFunctionSweepTest, TrajectoryInvariants) {
+  auto f = fun::MakeFunction(GetParam()).value();
+  const Dataset d =
+      fun::MakeScenarioDataset(*f, 300, fun::DefaultDesignFor(*f), 5);
+  if (d.TotalPositive() < 5.0) GTEST_SKIP() << "too few positives";
+  const PrimResult r = RunPrim(d, d, {});
+
+  // Curves are aligned with boxes; recall decreases along the peel.
+  ASSERT_EQ(r.boxes.size(), r.train_curve.size());
+  ASSERT_EQ(r.boxes.size(), r.val_curve.size());
+  for (size_t i = 1; i < r.train_curve.size(); ++i) {
+    EXPECT_LE(r.train_curve[i].recall, r.train_curve[i - 1].recall + 1e-12);
+  }
+  // The selected box has the maximal validation precision.
+  for (const auto& p : r.val_curve) {
+    EXPECT_LE(p.precision,
+              r.val_curve[static_cast<size_t>(r.best_val_index)].precision +
+                  1e-12);
+  }
+  // Precision of the selected box is at least the base rate.
+  EXPECT_GE(r.val_curve[static_cast<size_t>(r.best_val_index)].precision,
+            d.PositiveShare() - 1e-12);
+}
+
+TEST_P(PrimFunctionSweepTest, RedsRelabelSharesAreSane) {
+  auto f = fun::MakeFunction(GetParam()).value();
+  const Dataset d =
+      fun::MakeScenarioDataset(*f, 300, fun::DefaultDesignFor(*f), 7);
+  if (d.TotalPositive() < 10.0 ||
+      d.TotalPositive() > d.num_rows() - 10.0) {
+    GTEST_SKIP() << "degenerate class balance";
+  }
+  RedsConfig config;
+  config.metamodel = ml::MetamodelKind::kRandomForest;
+  config.tune_metamodel = false;
+  config.num_new_points = 2000;
+  const RedsRelabeling r = RedsRelabel(d, config, 9);
+  // The metamodel's positive share should be in the same ballpark as the
+  // data's (within 0.2 absolute) -- a gross mismatch means a broken model.
+  EXPECT_NEAR(r.new_data.PositiveShare(), d.PositiveShare(), 0.2)
+      << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(RepresentativeFunctions, PrimFunctionSweepTest,
+                         ::testing::Values("dalal1", "dalal3", "dalal102",
+                                           "borehole", "ellipse", "hart3",
+                                           "ishigami", "linketal06sin",
+                                           "morris", "sobol", "welchetal92",
+                                           "wingweight", "dsgc"),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace reds

@@ -1,0 +1,175 @@
+// Tests for PRIM peeling (+ pasting): invariants of the trajectory and
+// recovery of planted boxes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/prim.h"
+#include "sampling/design.h"
+#include "util/rng.h"
+
+namespace reds {
+namespace {
+
+// Points uniform in [0,1]^dim; positives exactly inside `box`.
+Dataset PlantedBoxData(int n, int dim, const Box& box, uint64_t seed,
+                       double noise = 0.0) {
+  Rng rng(seed);
+  Dataset d(dim);
+  std::vector<double> x(static_cast<size_t>(dim));
+  for (int i = 0; i < n; ++i) {
+    for (auto& v : x) v = rng.Uniform();
+    double y = box.Contains(x.data()) ? 1.0 : 0.0;
+    if (noise > 0.0 && rng.Bernoulli(noise)) y = 1.0 - y;
+    d.AddRow(x, y);
+  }
+  return d;
+}
+
+Box TargetBox2D() {
+  Box b = Box::Unbounded(2);
+  b.set_lo(0, 0.2);
+  b.set_hi(0, 0.6);
+  b.set_lo(1, 0.3);
+  b.set_hi(1, 0.7);
+  return b;
+}
+
+TEST(PrimTest, TrajectoryStartsUnbounded) {
+  const Dataset d = PlantedBoxData(400, 2, TargetBox2D(), 1);
+  const PrimResult r = RunPrim(d, d, {});
+  ASSERT_FALSE(r.boxes.empty());
+  EXPECT_EQ(r.boxes.front().NumRestricted(), 0);
+  EXPECT_NEAR(r.train_curve.front().recall, 1.0, 1e-12);
+}
+
+TEST(PrimTest, BoxesAreNested) {
+  const Dataset d = PlantedBoxData(500, 3, TargetBox2D().LiftToFullSpace(3, {0, 1}), 2);
+  const PrimResult r = RunPrim(d, d, {});
+  for (size_t i = 1; i < r.boxes.size(); ++i) {
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_LE(r.boxes[i - 1].lo(j), r.boxes[i].lo(j));
+      EXPECT_GE(r.boxes[i - 1].hi(j), r.boxes[i].hi(j));
+    }
+  }
+}
+
+TEST(PrimTest, TrainRecallIsNonIncreasing) {
+  const Dataset d = PlantedBoxData(600, 2, TargetBox2D(), 3, 0.05);
+  const PrimResult r = RunPrim(d, d, {});
+  for (size_t i = 1; i < r.train_curve.size(); ++i) {
+    EXPECT_LE(r.train_curve[i].recall, r.train_curve[i - 1].recall + 1e-12);
+  }
+}
+
+TEST(PrimTest, RecoversPlantedBoxApproximately) {
+  const Box target = TargetBox2D();
+  const Dataset d = PlantedBoxData(2000, 2, target, 4);
+  PrimConfig config;
+  config.alpha = 0.05;
+  const PrimResult r = RunPrim(d, d, config);
+  const Box& best = r.BestBox();
+  // The selected box should sit close to the planted one.
+  EXPECT_NEAR(best.lo(0), 0.2, 0.08);
+  EXPECT_NEAR(best.hi(0), 0.6, 0.08);
+  EXPECT_NEAR(best.lo(1), 0.3, 0.08);
+  EXPECT_NEAR(best.hi(1), 0.7, 0.08);
+  // And be (nearly) pure on training data.
+  EXPECT_GT(r.val_curve[static_cast<size_t>(r.best_val_index)].precision, 0.95);
+}
+
+TEST(PrimTest, RespectsMinPoints) {
+  const Dataset d = PlantedBoxData(300, 2, TargetBox2D(), 5, 0.2);
+  PrimConfig config;
+  config.min_points = 50;
+  const PrimResult r = RunPrim(d, d, config);
+  // Every box except possibly the last must hold at least min_points points;
+  // the peel stops once support would drop below the bound.
+  for (size_t i = 0; i + 1 < r.boxes.size(); ++i) {
+    EXPECT_GE(ComputeBoxStats(d, r.boxes[i]).n, 50.0);
+  }
+}
+
+TEST(PrimTest, SmallerAlphaPeelsMorePatiently) {
+  const Dataset d = PlantedBoxData(800, 2, TargetBox2D(), 6, 0.05);
+  PrimConfig coarse, fine;
+  coarse.alpha = 0.2;
+  fine.alpha = 0.03;
+  const auto r_coarse = RunPrim(d, d, coarse);
+  const auto r_fine = RunPrim(d, d, fine);
+  EXPECT_GT(r_fine.boxes.size(), r_coarse.boxes.size());
+}
+
+TEST(PrimTest, FractionalLabelsWork) {
+  // Fractional targets: probability ramp along dimension 0.
+  Rng rng(7);
+  Dataset d(2);
+  for (int i = 0; i < 500; ++i) {
+    const double x[2] = {rng.Uniform(), rng.Uniform()};
+    d.AddRow(x, x[0] < 0.4 ? 0.9 : 0.1);
+  }
+  const PrimResult r = RunPrim(d, d, {});
+  const Box& best = r.BestBox();
+  // The dense region x0 < 0.4 should be found.
+  EXPECT_TRUE(best.IsRestricted(0));
+  EXPECT_LT(best.hi(0), 0.55);
+}
+
+TEST(PrimTest, ReturnedBoxesEndAtBestValidationBox) {
+  const Dataset d = PlantedBoxData(600, 2, TargetBox2D(), 8, 0.1);
+  const PrimResult r = RunPrim(d, d, {});
+  const auto returned = r.ReturnedBoxes();
+  EXPECT_EQ(static_cast<int>(returned.size()), r.best_val_index + 1);
+  EXPECT_TRUE(returned.back() == r.BestBox());
+}
+
+TEST(PrimTest, SeparateValidationDataSelectsBox) {
+  const Box target = TargetBox2D();
+  const Dataset train = PlantedBoxData(400, 2, target, 9, 0.1);
+  const Dataset val = PlantedBoxData(400, 2, target, 10, 0.1);
+  const PrimResult r = RunPrim(train, val, {});
+  EXPECT_GE(r.best_val_index, 0);
+  EXPECT_LT(r.best_val_index, static_cast<int>(r.boxes.size()));
+}
+
+TEST(PrimTest, ConstantInputsCannotBeCut) {
+  // Dimension 1 is constant; PRIM must only restrict dimension 0.
+  Rng rng(11);
+  Dataset d(2);
+  for (int i = 0; i < 300; ++i) {
+    const double x[2] = {rng.Uniform(), 0.5};
+    d.AddRow(x, x[0] > 0.7 ? 1.0 : 0.0);
+  }
+  const PrimResult r = RunPrim(d, d, {});
+  for (const Box& b : r.boxes) EXPECT_FALSE(b.IsRestricted(1));
+}
+
+TEST(PrimTest, PastingExpandsOverPeeledBox) {
+  const Box target = TargetBox2D();
+  const Dataset d = PlantedBoxData(1500, 2, target, 12);
+  PrimConfig no_paste, paste;
+  paste.paste = true;
+  paste.paste_alpha = 0.02;
+  const PrimResult r0 = RunPrim(d, d, no_paste);
+  const PrimResult r1 = RunPrim(d, d, paste);
+  const BoxStats s0 = ComputeBoxStats(d, r0.BestBox());
+  const BoxStats s1 = ComputeBoxStats(d, r1.BestBox());
+  // Pasting never loses training precision and can only grow the box.
+  EXPECT_GE(Precision(s1) + 1e-9, Precision(s0));
+  EXPECT_GE(s1.n, s0.n);
+}
+
+TEST(PrimTest, AllPositiveDataStaysFullBox) {
+  Rng rng(13);
+  Dataset d(2);
+  for (int i = 0; i < 100; ++i) {
+    const double x[2] = {rng.Uniform(), rng.Uniform()};
+    d.AddRow(x, 1.0);
+  }
+  const PrimResult r = RunPrim(d, d, {});
+  // Precision is 1 everywhere; the first (largest) box wins.
+  EXPECT_EQ(r.best_val_index, 0);
+}
+
+}  // namespace
+}  // namespace reds

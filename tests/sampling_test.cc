@@ -1,0 +1,145 @@
+// Tests for designs of experiments: LHS stratification, Halton properties,
+// logit-normal support, mixed discretization.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "sampling/design.h"
+
+namespace reds::sampling {
+namespace {
+
+TEST(LhsTest, OnePointPerStratumInEveryDimension) {
+  Rng rng(5);
+  const int n = 40, dim = 6;
+  const auto design = LatinHypercube(n, dim, &rng);
+  for (int j = 0; j < dim; ++j) {
+    std::vector<bool> stratum(static_cast<size_t>(n), false);
+    for (int i = 0; i < n; ++i) {
+      const double v = design[static_cast<size_t>(i) * dim + j];
+      ASSERT_GE(v, 0.0);
+      ASSERT_LT(v, 1.0);
+      const int s = static_cast<int>(v * n);
+      EXPECT_FALSE(stratum[static_cast<size_t>(s)])
+          << "duplicate stratum " << s << " in dim " << j;
+      stratum[static_cast<size_t>(s)] = true;
+    }
+  }
+}
+
+TEST(LhsTest, DifferentSeedsGiveDifferentDesigns) {
+  Rng a(1), b(2);
+  const auto d1 = LatinHypercube(10, 3, &a);
+  const auto d2 = LatinHypercube(10, 3, &b);
+  EXPECT_NE(d1, d2);
+}
+
+TEST(HaltonTest, RadicalInverseBase2) {
+  EXPECT_DOUBLE_EQ(RadicalInverse(1, 2), 0.5);
+  EXPECT_DOUBLE_EQ(RadicalInverse(2, 2), 0.25);
+  EXPECT_DOUBLE_EQ(RadicalInverse(3, 2), 0.75);
+  EXPECT_DOUBLE_EQ(RadicalInverse(4, 2), 0.125);
+}
+
+TEST(HaltonTest, RadicalInverseBase3) {
+  EXPECT_NEAR(RadicalInverse(1, 3), 1.0 / 3.0, 1e-15);
+  EXPECT_NEAR(RadicalInverse(2, 3), 2.0 / 3.0, 1e-15);
+  EXPECT_NEAR(RadicalInverse(3, 3), 1.0 / 9.0, 1e-15);
+}
+
+TEST(HaltonTest, FirstPrimes) {
+  const auto p = FirstPrimes(8);
+  EXPECT_EQ(p, (std::vector<int>{2, 3, 5, 7, 11, 13, 17, 19}));
+}
+
+TEST(HaltonTest, CoversUnitCubeEvenly) {
+  const int n = 1000, dim = 4;
+  const auto design = HaltonDesign(n, dim);
+  for (int j = 0; j < dim; ++j) {
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) sum += design[static_cast<size_t>(i) * dim + j];
+    EXPECT_NEAR(sum / n, 0.5, 0.03) << "dim " << j;
+  }
+}
+
+TEST(HaltonTest, SkipShiftsSequence) {
+  const auto a = HaltonDesign(5, 2, 0);
+  const auto b = HaltonDesign(5, 2, 100);
+  EXPECT_NE(a, b);
+}
+
+TEST(UniformTest, MeanIsHalf) {
+  Rng rng(3);
+  const auto design = UniformDesign(5000, 2, &rng);
+  double sum = 0.0;
+  for (double v : design) sum += v;
+  EXPECT_NEAR(sum / static_cast<double>(design.size()), 0.5, 0.01);
+}
+
+TEST(LogitNormalTest, SupportAndCentering) {
+  Rng rng(9);
+  const auto design = LogitNormalDesign(20000, 1, 0.0, 1.0, &rng);
+  double sum = 0.0;
+  for (double v : design) {
+    ASSERT_GT(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  // Symmetric around 0.5 for mu = 0.
+  EXPECT_NEAR(sum / static_cast<double>(design.size()), 0.5, 0.01);
+}
+
+TEST(MixedTest, EvenColumnsAreDiscretized) {
+  Rng rng(11);
+  auto design = LatinHypercube(200, 5, &rng);
+  DiscretizeEvenColumns(&design, 5, &rng);
+  const std::set<double> levels{0.1, 0.3, 0.5, 0.7, 0.9};
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(levels.count(design[static_cast<size_t>(i) * 5 + 1]) == 1);
+    EXPECT_TRUE(levels.count(design[static_cast<size_t>(i) * 5 + 3]) == 1);
+    // Odd (0-based even) columns remain continuous with probability 1.
+    EXPECT_EQ(levels.count(design[static_cast<size_t>(i) * 5 + 0]), 0u);
+  }
+}
+
+TEST(SamplerTest, UniformSamplerFillsDim) {
+  auto sampler = MakeUniformSampler();
+  Rng rng(1);
+  double x[7];
+  sampler(&rng, 7, x);
+  for (double v : x) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(SamplerTest, MixedSamplerDiscretizesEvenInputs) {
+  auto sampler = MakeMixedSampler();
+  Rng rng(2);
+  const std::set<double> levels{0.1, 0.3, 0.5, 0.7, 0.9};
+  double x[6];
+  for (int rep = 0; rep < 50; ++rep) {
+    sampler(&rng, 6, x);
+    EXPECT_EQ(levels.count(x[1]), 1u);
+    EXPECT_EQ(levels.count(x[3]), 1u);
+    EXPECT_EQ(levels.count(x[5]), 1u);
+  }
+}
+
+TEST(SamplerTest, LogitNormalSamplerInUnitInterval) {
+  auto sampler = MakeLogitNormalSampler(0.0, 1.0);
+  Rng rng(3);
+  double x[4];
+  for (int rep = 0; rep < 100; ++rep) {
+    sampler(&rng, 4, x);
+    for (double v : x) {
+      EXPECT_GT(v, 0.0);
+      EXPECT_LT(v, 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace reds::sampling

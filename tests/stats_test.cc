@@ -1,0 +1,136 @@
+// Tests for descriptive statistics and the nonparametric tests used in the
+// evaluation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/descriptive.h"
+#include "stats/tests.h"
+#include "util/rng.h"
+
+namespace reds::stats {
+namespace {
+
+TEST(DescriptiveTest, MeanVarianceStd) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 5.0);
+  EXPECT_NEAR(Variance(v), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(StdDev(v), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(DescriptiveTest, MedianAndQuantiles) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Median(v), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 4.0);
+  // R type-7: quantile(c(1,2,3,4), 0.25) = 1.75.
+  EXPECT_NEAR(Quantile(v, 0.25), 1.75, 1e-12);
+}
+
+TEST(DescriptiveTest, QuartilesOrdered) {
+  Rng rng(1);
+  std::vector<double> v;
+  for (int i = 0; i < 200; ++i) v.push_back(rng.Normal());
+  const Quartiles q = ComputeQuartiles(v);
+  EXPECT_LT(q.q1, q.median);
+  EXPECT_LT(q.median, q.q3);
+}
+
+TEST(DescriptiveTest, RanksWithTies) {
+  const std::vector<double> v{10.0, 20.0, 20.0, 30.0};
+  const auto r = Ranks(v);
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+  EXPECT_DOUBLE_EQ(r[1], 2.5);
+  EXPECT_DOUBLE_EQ(r[2], 2.5);
+  EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(WilcoxonTest, RankSumDetectsShift) {
+  Rng rng(2);
+  std::vector<double> a, b;
+  for (int i = 0; i < 60; ++i) {
+    a.push_back(rng.Normal(0.0, 1.0));
+    b.push_back(rng.Normal(1.5, 1.0));
+  }
+  const TestResult r = WilcoxonRankSum(a, b);
+  EXPECT_LT(r.p_value, 0.001);
+}
+
+TEST(WilcoxonTest, RankSumNullIsInsignificant) {
+  Rng rng(3);
+  std::vector<double> a, b;
+  for (int i = 0; i < 60; ++i) {
+    a.push_back(rng.Normal());
+    b.push_back(rng.Normal());
+  }
+  const TestResult r = WilcoxonRankSum(a, b);
+  EXPECT_GT(r.p_value, 0.05);
+}
+
+TEST(WilcoxonTest, SignedRankDetectsPairedShift) {
+  Rng rng(4);
+  std::vector<double> a, b;
+  for (int i = 0; i < 50; ++i) {
+    const double base = rng.Normal();
+    a.push_back(base + 0.5 + 0.1 * rng.Normal());
+    b.push_back(base);
+  }
+  const TestResult r = WilcoxonSignedRank(a, b);
+  EXPECT_LT(r.p_value, 0.001);
+  EXPECT_GT(r.statistic, 0.0);
+}
+
+TEST(WilcoxonTest, SignedRankAllEqualGivesPValueOne) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const TestResult r = WilcoxonSignedRank(a, a);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+}
+
+TEST(FriedmanTest, DetectsDominantMethod) {
+  // Method 2 always best, method 0 always worst across 20 "datasets".
+  Rng rng(5);
+  std::vector<std::vector<double>> blocks;
+  for (int i = 0; i < 20; ++i) {
+    const double base = rng.Uniform();
+    blocks.push_back({base, base + 0.5, base + 1.0});
+  }
+  const TestResult r = FriedmanTest(blocks);
+  EXPECT_LT(r.p_value, 1e-6);
+  const auto ranks = FriedmanMeanRanks(blocks);
+  EXPECT_LT(ranks[0], ranks[1]);
+  EXPECT_LT(ranks[1], ranks[2]);
+  const TestResult posthoc = FriedmanPostHoc(blocks, 2, 0);
+  EXPECT_LT(posthoc.p_value, 1e-6);
+  EXPECT_GT(posthoc.statistic, 0.0);
+}
+
+TEST(FriedmanTest, NullIsInsignificant) {
+  Rng rng(6);
+  std::vector<std::vector<double>> blocks;
+  for (int i = 0; i < 30; ++i) {
+    blocks.push_back({rng.Uniform(), rng.Uniform(), rng.Uniform()});
+  }
+  const TestResult r = FriedmanTest(blocks);
+  EXPECT_GT(r.p_value, 0.01);
+}
+
+TEST(SpearmanTest, PerfectMonotone) {
+  const std::vector<double> a{1.0, 2.0, 3.0, 4.0, 5.0};
+  const std::vector<double> b{2.0, 4.0, 8.0, 16.0, 32.0};  // monotone in a
+  EXPECT_NEAR(SpearmanCorrelation(a, b), 1.0, 1e-12);
+  std::vector<double> c{5.0, 4.0, 3.0, 2.0, 1.0};
+  EXPECT_NEAR(SpearmanCorrelation(a, c), -1.0, 1e-12);
+}
+
+TEST(SpearmanTest, IndependentIsNearZero) {
+  Rng rng(7);
+  std::vector<double> a, b;
+  for (int i = 0; i < 500; ++i) {
+    a.push_back(rng.Uniform());
+    b.push_back(rng.Uniform());
+  }
+  EXPECT_NEAR(SpearmanCorrelation(a, b), 0.0, 0.1);
+}
+
+}  // namespace
+}  // namespace reds::stats

@@ -1,0 +1,104 @@
+// Tests for the third-party dataset substitutes: lake simulation physics and
+// the TGL/lake tables' published shapes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "functions/thirdparty.h"
+
+namespace reds::fun {
+namespace {
+
+TEST(LakeModelTest, CriticalLevelRisesWithRemovalRate) {
+  // A higher natural removal rate b lets the lake absorb more pollution
+  // before tipping: for fixed q, larger b moves the unstable root upward.
+  const double low_b = LakeCriticalLevel(0.15, 3.0);
+  const double high_b = LakeCriticalLevel(0.4, 3.0);
+  EXPECT_GT(high_b, low_b);
+}
+
+TEST(LakeModelTest, CriticalLevelIsRootOfBalance) {
+  const double b = 0.3, q = 3.0;
+  const double x = LakeCriticalLevel(b, q);
+  ASSERT_LT(x, 3.0);
+  const double xq = std::pow(x, q);
+  EXPECT_NEAR(xq / (1.0 + xq), b * x, 1e-9);
+}
+
+TEST(LakeModelTest, ReliabilityInUnitInterval) {
+  const double x[5] = {0.5, 0.5, 0.5, 0.5, 0.5};
+  const double r = SimulateLakeReliability(x, 1);
+  EXPECT_GE(r, 0.0);
+  EXPECT_LE(r, 1.0);
+}
+
+TEST(LakeModelTest, HighInflowIsLessReliable) {
+  // Averaged over noise seeds, higher mean natural inflow gives lower
+  // reliability.
+  double low = 0.0, high = 0.0;
+  for (uint64_t seed = 0; seed < 30; ++seed) {
+    const double x_low[5] = {0.5, 0.5, 0.0, 0.5, 0.5};
+    const double x_high[5] = {0.5, 0.5, 1.0, 0.5, 0.5};
+    low += SimulateLakeReliability(x_low, seed);
+    high += SimulateLakeReliability(x_high, seed);
+  }
+  EXPECT_GE(low, high);
+}
+
+TEST(LakeModelTest, DeterministicForSeed) {
+  const double x[5] = {0.3, 0.7, 0.2, 0.9, 0.1};
+  EXPECT_DOUBLE_EQ(SimulateLakeReliability(x, 5),
+                   SimulateLakeReliability(x, 5));
+}
+
+TEST(LakeDatasetTest, PublishedShape) {
+  const Dataset d = MakeLakeDataset();
+  EXPECT_EQ(d.num_rows(), 1000);
+  EXPECT_EQ(d.num_cols(), 5);
+  EXPECT_NEAR(d.PositiveShare(), 0.335, 0.05);
+}
+
+TEST(LakeDatasetTest, Reproducible) {
+  const Dataset a = MakeLakeDataset();
+  const Dataset b = MakeLakeDataset();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.y(i), b.y(i));
+    EXPECT_DOUBLE_EQ(a.x(i, 0), b.x(i, 0));
+  }
+}
+
+TEST(TglDatasetTest, PublishedShape) {
+  const Dataset d = MakeTglDataset();
+  EXPECT_EQ(d.num_rows(), 882);
+  EXPECT_EQ(d.num_cols(), 9);
+  EXPECT_NEAR(d.PositiveShare(), 0.101, 0.04);
+}
+
+TEST(TglDatasetTest, InputsInUnitCube) {
+  const Dataset d = MakeTglDataset();
+  for (int i = 0; i < d.num_rows(); ++i) {
+    for (int j = 0; j < d.num_cols(); ++j) {
+      EXPECT_GE(d.x(i, j), 0.0);
+      EXPECT_LT(d.x(i, j), 1.0);
+    }
+  }
+}
+
+TEST(TglDatasetTest, HasDiscoverableStructure) {
+  // The positives concentrate in the planted region: precision inside the
+  // first planted box must be far above the base rate.
+  const Dataset d = MakeTglDataset();
+  double n = 0.0, pos = 0.0;
+  for (int i = 0; i < d.num_rows(); ++i) {
+    if (d.x(i, 0) >= 0.2 && d.x(i, 0) <= 0.5 && d.x(i, 2) >= 0.2 &&
+        d.x(i, 2) <= 0.5 && d.x(i, 5) >= 0.2 && d.x(i, 5) <= 0.5) {
+      n += 1.0;
+      pos += d.y(i);
+    }
+  }
+  ASSERT_GT(n, 0.0);
+  EXPECT_GT(pos / n, 0.8);
+}
+
+}  // namespace
+}  // namespace reds::fun

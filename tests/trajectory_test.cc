@@ -1,0 +1,86 @@
+// Tests for peeling-trajectory knee detection (Section 5's "sudden changes
+// in the slope" made algorithmic), including the paper's Example 5.1.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/prim.h"
+#include "core/trajectory.h"
+#include "util/rng.h"
+
+namespace reds {
+namespace {
+
+TEST(KneeTest, TooShortCurves) {
+  EXPECT_TRUE(FindTrajectoryKnees({}).empty());
+  EXPECT_TRUE(FindTrajectoryKnees({{1.0, 0.3}}).empty());
+  EXPECT_EQ(MaxChordDistanceKnee({{1.0, 0.3}, {0.5, 0.6}}), -1);
+}
+
+TEST(KneeTest, SingleSharpKneeIsFound) {
+  // Precision flat at 0.5 until recall 0.5, then jumps along a steep rise.
+  std::vector<PrPoint> curve;
+  for (int i = 0; i <= 5; ++i) curve.push_back({1.0 - 0.1 * i, 0.5});
+  for (int i = 1; i <= 5; ++i) curve.push_back({0.5 - 0.1 * i, 0.5 + 0.1 * i});
+  const auto knees = FindTrajectoryKnees(curve, 1);
+  ASSERT_EQ(knees.size(), 1u);
+  EXPECT_EQ(knees[0], 5);  // the corner point
+}
+
+TEST(KneeTest, MinSeparationSuppressesNeighbors) {
+  std::vector<PrPoint> curve;
+  for (int i = 0; i <= 10; ++i) {
+    const double r = 1.0 - 0.1 * i;
+    curve.push_back({r, r < 0.55 ? 1.0 - r : 0.45});
+  }
+  const auto knees = FindTrajectoryKnees(curve, 5, 3);
+  for (size_t i = 1; i < knees.size(); ++i) {
+    EXPECT_GE(knees[i] - knees[i - 1], 3);
+  }
+}
+
+TEST(KneeTest, EndpointsOptional) {
+  std::vector<PrPoint> curve{{1.0, 0.3}, {0.8, 0.4}, {0.6, 0.8}, {0.4, 0.85}};
+  const auto with = FindTrajectoryKnees(curve, 2, 1, true);
+  EXPECT_EQ(with.front(), 0);
+  EXPECT_EQ(with.back(), 3);
+}
+
+TEST(KneeTest, ChordDistanceFindsElbow) {
+  // Right-angle curve: elbow at the corner.
+  std::vector<PrPoint> curve{{1.0, 0.2}, {0.5, 0.2}, {0.5, 0.9}};
+  EXPECT_EQ(MaxChordDistanceKnee(curve), 1);
+}
+
+TEST(KneeTest, Example51TwoIntervalsAppearAsKnees) {
+  // The paper's Example 5.1: f = 1 on [0,1), a-1 on [1,2], 0 on (2,h].
+  // PRIM's trajectory changes slope where the box reaches a ~ 2 (all
+  // positives inside) and again near a ~ 1 (pure box). Knee detection should
+  // flag boxes whose upper bound sits near those two locations.
+  const double h = 4.0;
+  Rng rng(1);
+  Dataset d(1);
+  for (int i = 0; i < 4000; ++i) {
+    const double a = rng.Uniform(0.0, h);
+    const double p = a < 1.0 ? 1.0 : (a <= 2.0 ? a - 1.0 : 0.0);
+    d.AddRow(&a, rng.Bernoulli(p) ? 1.0 : 0.0);
+  }
+  PrimConfig config;
+  config.alpha = 0.03;
+  const PrimResult r = RunPrim(d, d, config);
+  const auto knees = FindTrajectoryKnees(r.val_curve, 3, 3);
+  ASSERT_FALSE(knees.empty());
+  // At least one knee's box boundary lies near a = 2 or a = 1.
+  bool near_interval_edge = false;
+  for (int k : knees) {
+    const double hi = r.boxes[static_cast<size_t>(k)].hi(0);
+    if (std::isfinite(hi) && (std::fabs(hi - 2.0) < 0.4 ||
+                              std::fabs(hi - 1.0) < 0.4)) {
+      near_interval_edge = true;
+    }
+  }
+  EXPECT_TRUE(near_interval_edge);
+}
+
+}  // namespace
+}  // namespace reds
