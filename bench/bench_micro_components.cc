@@ -7,6 +7,7 @@
 #include "core/best_interval.h"
 #include "core/prim.h"
 #include "core/reds.h"
+#include "engine/discovery_engine.h"
 #include "functions/dsgc.h"
 #include "functions/registry.h"
 #include "la/matrix.h"
@@ -136,6 +137,44 @@ void BM_RedsRelabel(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RedsRelabel)->Range(1024, 32768);
+
+// Discovery-engine batch of three REDS variants sharing one GBT metamodel
+// ("RPx", "RPxp", "RBIx" on the same data). With the cache on, the
+// metamodel is fit once and reused; with it off, every request fits its
+// own. The ratio of these two benchmarks is the cache's amortization win.
+void RunEngineThreeVariantBatch(benchmark::State& state,
+                                bool cache_metamodels) {
+  const auto d = std::make_shared<const Dataset>(RandomData(400, 10, 15));
+  RunOptions options;
+  options.l_prim = 4000;
+  options.l_bi = 2000;
+  options.tune_metamodel = false;
+  for (auto _ : state) {
+    engine::EngineConfig config;
+    config.threads = 1;  // serialize so the fit cost is not hidden by cores
+    config.cache_metamodels = cache_metamodels;
+    engine::DiscoveryEngine eng(config);
+    for (const char* method : {"RPx", "RPxp", "RBIx"}) {
+      engine::DiscoveryRequest request;
+      request.train = d;
+      request.method = method;
+      request.options = options;
+      eng.Submit(std::move(request));
+    }
+    eng.WaitAll();
+    benchmark::DoNotOptimize(eng.metamodel_cache().fit_count());
+  }
+}
+
+void BM_EngineBatch3VariantsUncached(benchmark::State& state) {
+  RunEngineThreeVariantBatch(state, false);
+}
+BENCHMARK(BM_EngineBatch3VariantsUncached)->Unit(benchmark::kMillisecond);
+
+void BM_EngineBatch3VariantsCached(benchmark::State& state) {
+  RunEngineThreeVariantBatch(state, true);
+}
+BENCHMARK(BM_EngineBatch3VariantsCached)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace reds

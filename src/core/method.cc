@@ -243,6 +243,7 @@ MethodOutput RunMethod(const MethodSpec& spec, const Dataset& train,
                                 ? options.l_bi
                                 : options.l_prim;
     config.sampler = options.sampler;
+    config.metamodel_provider = options.metamodel_provider;
     RedsRelabeling relabeling =
         RedsRelabel(train, config, DeriveSeed(options.seed, 23));
     relabeled = std::move(relabeling.new_data);

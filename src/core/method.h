@@ -53,6 +53,10 @@ struct RunOptions {
   ml::TuningBudget budget = ml::TuningBudget::kQuick;
   sampling::PointSampler sampler;  // REDS new-point distribution (default uniform)
   uint64_t seed = 0;
+  /// Optional engine hook: REDS methods obtain their metamodel from this
+  /// provider (e.g. the DiscoveryEngine's cross-request cache) instead of
+  /// fitting inline.
+  MetamodelProvider metamodel_provider;
 };
 
 /// What a method run produces: a trajectory of boxes to assess (nested

@@ -8,15 +8,16 @@ namespace reds {
 
 namespace {
 
-std::unique_ptr<ml::Metamodel> FitMetamodel(const Dataset& d,
-                                            const RedsConfig& config,
-                                            uint64_t seed) {
-  if (config.tune_metamodel) {
-    ml::TuningConfig tuning;
-    tuning.budget = config.budget;
-    return ml::TuneAndFit(config.metamodel, d, seed, tuning);
+std::shared_ptr<const ml::Metamodel> FitMetamodel(const Dataset& d,
+                                                  const RedsConfig& config,
+                                                  uint64_t seed) {
+  if (config.metamodel_provider) {
+    return config.metamodel_provider(d, config.metamodel,
+                                     config.tune_metamodel, config.budget,
+                                     seed);
   }
-  return ml::FitDefault(config.metamodel, d, seed, config.budget);
+  return ml::FitMetamodel(config.metamodel, d, seed, config.tune_metamodel,
+                          config.budget);
 }
 
 Dataset LabelPoints(const ml::Metamodel& model, const std::vector<double>& x,

@@ -6,6 +6,7 @@
 #define REDS_CORE_REDS_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 
 #include "core/dataset.h"
@@ -15,6 +16,13 @@
 
 namespace reds {
 
+/// Supplies the trained metamodel for a REDS run. The discovery engine
+/// installs one backed by its cross-request cache; when empty, REDS fits
+/// inline with TuneAndFit/FitDefault.
+using MetamodelProvider = std::function<std::shared_ptr<const ml::Metamodel>(
+    const Dataset& train, ml::MetamodelKind kind, bool tune,
+    ml::TuningBudget budget, uint64_t seed)>;
+
 struct RedsConfig {
   ml::MetamodelKind metamodel = ml::MetamodelKind::kGbt;
   bool tune_metamodel = true;         // caret-style CV grid (paper 8.4.3)
@@ -22,13 +30,15 @@ struct RedsConfig {
   bool probability_labels = false;    // "p": y_new = f_am(x) in [0,1]
   int num_new_points = 100000;        // L
   sampling::PointSampler sampler;     // defaults to i.i.d. uniform
+  MetamodelProvider metamodel_provider;  // optional engine cache hook
 };
 
 /// The relabeled dataset plus the trained metamodel (kept for inspection /
-/// semi-supervised reuse).
+/// semi-supervised reuse; shared so a cache can hand out one model to many
+/// concurrent requests).
 struct RedsRelabeling {
   Dataset new_data;
-  std::unique_ptr<ml::Metamodel> metamodel;
+  std::shared_ptr<const ml::Metamodel> metamodel;
 };
 
 /// Steps 1-3 of Algorithm 4: fit the metamodel on d and produce D_new with

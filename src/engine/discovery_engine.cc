@@ -1,0 +1,179 @@
+#include "engine/discovery_engine.h"
+
+#include <stdexcept>
+
+#include "core/quality.h"
+#include "engine/fingerprint.h"
+#include "util/rng.h"
+
+namespace reds::engine {
+
+namespace {
+
+// Mixes the engine seed with the cache-key identity so every distinct
+// metamodel gets its own reproducible stream, independent of which request
+// triggers the fit.
+uint64_t CanonicalSeed(uint64_t engine_seed, const MetamodelKey& key) {
+  uint64_t stream = key.fingerprint;
+  stream = DeriveSeed(stream, 0x11ULL + static_cast<uint64_t>(key.kind));
+  stream = DeriveSeed(stream, 0x23ULL + (key.tuned ? 1ULL : 0ULL));
+  stream = DeriveSeed(stream, 0x31ULL + static_cast<uint64_t>(key.budget));
+  return DeriveSeed(engine_seed, stream);
+}
+
+}  // namespace
+
+JobState Job::state() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return state_;
+}
+
+void Job::Wait() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_.wait(lock, [this] {
+    return state_ == JobState::kDone || state_ == JobState::kFailed;
+  });
+}
+
+bool Job::Finished() const {
+  const JobState s = state();
+  return s == JobState::kDone || s == JobState::kFailed;
+}
+
+const MethodOutput& Job::output() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (state_ != JobState::kDone) {
+    throw std::logic_error("Job::output() read on a job that is not done");
+  }
+  return output_;
+}
+
+const MetricSet& Job::metrics() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (state_ != JobState::kDone) {
+    throw std::logic_error("Job::metrics() read on a job that is not done");
+  }
+  return metrics_;
+}
+
+const std::string& Job::error() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (state_ != JobState::kFailed) {
+    throw std::logic_error("Job::error() read on a job that has not failed");
+  }
+  return error_;
+}
+
+void Job::MarkRunning() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  state_ = JobState::kRunning;
+}
+
+void Job::MarkDone(MethodOutput output, MetricSet metrics) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    output_ = std::move(output);
+    metrics_ = metrics;
+    state_ = JobState::kDone;
+  }
+  done_.notify_all();
+}
+
+void Job::MarkFailed(std::string error) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    error_ = std::move(error);
+    state_ = JobState::kFailed;
+  }
+  done_.notify_all();
+}
+
+DiscoveryEngine::DiscoveryEngine(EngineConfig config)
+    : config_(config), pool_(config.threads) {}
+
+JobHandle DiscoveryEngine::Submit(DiscoveryRequest request) {
+  auto job = std::make_shared<Job>(std::move(request));
+  pool_.Submit([this, job] { Execute(job); });
+  return job;
+}
+
+std::vector<JobHandle> DiscoveryEngine::SubmitBatch(
+    std::vector<DiscoveryRequest> requests) {
+  std::vector<JobHandle> handles;
+  handles.reserve(requests.size());
+  for (auto& r : requests) handles.push_back(Submit(std::move(r)));
+  return handles;
+}
+
+void DiscoveryEngine::WaitAll() { pool_.Wait(); }
+
+MetamodelProvider DiscoveryEngine::MakeCachingProvider() {
+  return [this](const Dataset& train, ml::MetamodelKind kind, bool tune,
+                ml::TuningBudget budget,
+                uint64_t /*request_seed*/) -> std::shared_ptr<const ml::Metamodel> {
+    MetamodelKey key;
+    key.fingerprint = FingerprintDataset(train);
+    key.kind = kind;
+    key.tuned = tune;
+    key.budget = budget;
+    key.seed = CanonicalSeed(config_.seed, key);
+    return cache_.GetOrFit(key, [&train, kind, tune, budget, &key] {
+      return std::shared_ptr<const ml::Metamodel>(
+          ml::FitMetamodel(kind, train, key.seed, tune, budget));
+    });
+  };
+}
+
+void DiscoveryEngine::Execute(const JobHandle& job) {
+  job->MarkRunning();
+  try {
+    const DiscoveryRequest& req = job->request();
+    if (!req.train && !req.make_train) {
+      throw std::invalid_argument("discovery request has no training data");
+    }
+    if (req.train && req.make_train) {
+      throw std::invalid_argument(
+          "discovery request sets both train and make_train");
+    }
+    const auto spec = MethodSpec::Parse(req.method);
+    if (!spec.ok()) throw std::invalid_argument(spec.status().ToString());
+
+    Dataset generated;
+    if (!req.train) generated = req.make_train();
+    const Dataset& train = req.train ? *req.train : generated;
+
+    RunOptions options = req.options;
+    if (config_.cache_metamodels && spec->reds && !options.metamodel_provider) {
+      options.metamodel_provider = MakeCachingProvider();
+    }
+    MethodOutput out = RunMethod(*spec, train, options);
+
+    MetricSet metrics;
+    metrics.restricted = out.last_box.NumRestricted();
+    metrics.runtime_seconds = out.runtime_seconds;
+    if (req.test) {
+      metrics.pr_auc = 100.0 * PrAucOnData(out.trajectory, *req.test);
+      const BoxStats stats = ComputeBoxStats(*req.test, out.last_box);
+      metrics.precision = 100.0 * Precision(stats);
+      metrics.recall = 100.0 * Recall(stats, req.test->TotalPositive());
+      metrics.wracc = 100.0 * WRAcc(stats, req.test->num_rows(),
+                                    req.test->TotalPositive());
+    }
+    if (req.relevant) {
+      metrics.irrel = NumIrrelevantRestricted(out.last_box, *req.relevant);
+    }
+    store_.Record(req.cell.empty() ? req.method : req.cell, req.rep, metrics,
+                  out.last_box);
+    if (!req.keep_output) {
+      out.trajectory.clear();
+      out.trajectory.shrink_to_fit();
+    }
+    job->MarkDone(std::move(out), metrics);
+  } catch (const std::exception& e) {
+    job->MarkFailed(e.what());
+  } catch (...) {
+    job->MarkFailed("unknown error in discovery job");
+  }
+}
+
+}  // namespace reds::engine

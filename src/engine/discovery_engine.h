@@ -1,0 +1,147 @@
+// DiscoveryEngine: a batched scenario-discovery service. Clients submit
+// DiscoveryRequests (dataset + method name + options); the engine executes
+// them asynchronously on a shared thread pool and returns job handles for
+// status polling and result retrieval. REDS requests obtain their metamodel
+// through a shared cross-request cache, so a batch running many variants
+// over the same data trains each (data, kind, tuning) metamodel exactly
+// once. Completed metrics accumulate in a ResultStore for table/CSV export.
+#ifndef REDS_ENGINE_DISCOVERY_ENGINE_H_
+#define REDS_ENGINE_DISCOVERY_ENGINE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/method.h"
+#include "engine/metamodel_cache.h"
+#include "engine/result_store.h"
+#include "util/thread_pool.h"
+
+namespace reds::engine {
+
+struct EngineConfig {
+  int threads = 0;              // 0: hardware concurrency
+  bool cache_metamodels = true;
+  /// Root seed for the canonical metamodel fits. The engine re-seeds each
+  /// metamodel from (this seed, cache key) instead of the per-request seed,
+  /// so results are bit-identical whether a request hits or misses the
+  /// cache, and independent of scheduling order and thread count.
+  uint64_t seed = 42;
+};
+
+/// One unit of work: run `method` on `train` (or on the dataset produced by
+/// `make_train`), optionally evaluating the discovered scenario on `test`.
+struct DiscoveryRequest {
+  /// Training data. Exactly one of `train` / `make_train` must be set:
+  /// `make_train` is invoked lazily on the worker thread, keeping peak
+  /// memory bounded for large matrices. Factories must be deterministic --
+  /// requests producing bitwise-equal datasets share metamodel cache
+  /// entries.
+  std::shared_ptr<const Dataset> train;
+  std::function<Dataset()> make_train;
+
+  std::string method;  // MethodSpec grammar, e.g. "Pc", "RPxp", "RBIcxp"
+  RunOptions options;
+
+  /// When false, the raw MethodOutput (trajectory boxes) is discarded after
+  /// metric evaluation; only the result store keeps the metrics + last box.
+  /// Big experiment matrices set this to bound memory.
+  bool keep_output = true;
+
+  /// Optional independent test data; when set, the job computes the full
+  /// MetricSet (PR AUC, precision, recall, WRAcc) on it.
+  std::shared_ptr<const Dataset> test;
+  /// Optional ground-truth relevance mask for the #irrel metric.
+  std::shared_ptr<const std::vector<bool>> relevant;
+
+  /// Result-store cell this job records into (defaults to the method name).
+  std::string cell;
+  int rep = 0;  // repetition slot within the cell
+};
+
+enum class JobState { kQueued, kRunning, kDone, kFailed };
+
+/// Handle to one submitted request. Thread-safe; Wait() blocks until the
+/// job reaches kDone or kFailed.
+class Job {
+ public:
+  explicit Job(DiscoveryRequest request) : request_(std::move(request)) {}
+
+  JobState state() const;
+  void Wait() const;
+  bool Finished() const;
+
+  /// The method's raw output (valid once state() == kDone).
+  const MethodOutput& output() const;
+
+  /// Evaluated metrics; PR AUC etc. are meaningful only when the request
+  /// carried test data (valid once state() == kDone).
+  const MetricSet& metrics() const;
+
+  /// Failure description (valid once state() == kFailed).
+  const std::string& error() const;
+
+  const DiscoveryRequest& request() const { return request_; }
+
+ private:
+  friend class DiscoveryEngine;
+
+  void MarkRunning();
+  void MarkDone(MethodOutput output, MetricSet metrics);
+  void MarkFailed(std::string error);
+
+  DiscoveryRequest request_;
+  mutable std::mutex mutex_;
+  mutable std::condition_variable done_;
+  JobState state_ = JobState::kQueued;
+  MethodOutput output_;
+  MetricSet metrics_;
+  std::string error_;
+};
+
+using JobHandle = std::shared_ptr<Job>;
+
+class DiscoveryEngine {
+ public:
+  explicit DiscoveryEngine(EngineConfig config = {});
+
+  DiscoveryEngine(const DiscoveryEngine&) = delete;
+  DiscoveryEngine& operator=(const DiscoveryEngine&) = delete;
+
+  /// Enqueues one request; returns immediately.
+  JobHandle Submit(DiscoveryRequest request);
+
+  /// Enqueues a batch; handles are in request order.
+  std::vector<JobHandle> SubmitBatch(std::vector<DiscoveryRequest> requests);
+
+  /// Blocks until every submitted job has finished.
+  void WaitAll();
+
+  ResultStore& results() { return store_; }
+  const ResultStore& results() const { return store_; }
+  const MetamodelCache& metamodel_cache() const { return cache_; }
+
+  /// Drops all cached metamodels (fit/hit counters are preserved). Call
+  /// after a batch completes when the engine outlives it; finished
+  /// one-shot matrices otherwise keep every fitted model resident.
+  void ClearMetamodelCache() { cache_.Clear(); }
+  const EngineConfig& config() const { return config_; }
+  int threads() const { return pool_.num_threads(); }
+
+ private:
+  void Execute(const JobHandle& job);
+  MetamodelProvider MakeCachingProvider();
+
+  EngineConfig config_;
+  MetamodelCache cache_;
+  ResultStore store_;
+  ThreadPool pool_;  // last member: drains before the fields above die
+};
+
+}  // namespace reds::engine
+
+#endif  // REDS_ENGINE_DISCOVERY_ENGINE_H_

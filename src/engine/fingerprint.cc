@@ -1,0 +1,39 @@
+#include "engine/fingerprint.h"
+
+#include <cstring>
+
+namespace reds::engine {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+void HashValue(uint64_t* h, uint64_t v) {
+  for (int byte = 0; byte < 8; ++byte) {
+    *h ^= (v >> (8 * byte)) & 0xffULL;
+    *h *= kFnvPrime;
+  }
+}
+
+void HashDouble(uint64_t* h, double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  HashValue(h, bits);
+}
+
+}  // namespace
+
+uint64_t FingerprintDataset(const Dataset& d) {
+  uint64_t h = kFnvOffset;
+  HashValue(&h, static_cast<uint64_t>(d.num_cols()));
+  HashValue(&h, static_cast<uint64_t>(d.num_rows()));
+  for (int r = 0; r < d.num_rows(); ++r) {
+    const double* row = d.row(r);
+    for (int c = 0; c < d.num_cols(); ++c) HashDouble(&h, row[c]);
+    HashDouble(&h, d.y(r));
+  }
+  return h;
+}
+
+}  // namespace reds::engine

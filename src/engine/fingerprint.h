@@ -1,0 +1,20 @@
+// Content fingerprints for datasets: the metamodel cache key must identify
+// "the same data" across requests without holding a reference to it, so the
+// engine hashes the full bit pattern of inputs and targets.
+#ifndef REDS_ENGINE_FINGERPRINT_H_
+#define REDS_ENGINE_FINGERPRINT_H_
+
+#include <cstdint>
+
+#include "core/dataset.h"
+
+namespace reds::engine {
+
+/// 64-bit FNV-1a over shape and the exact bit patterns of every input and
+/// target value. Equal datasets (bitwise) always collide; distinct datasets
+/// collide with probability ~2^-64.
+uint64_t FingerprintDataset(const Dataset& d);
+
+}  // namespace reds::engine
+
+#endif  // REDS_ENGINE_FINGERPRINT_H_

@@ -1,0 +1,49 @@
+#include "engine/metamodel_cache.h"
+
+namespace reds::engine {
+
+std::shared_ptr<const ml::Metamodel> MetamodelCache::GetOrFit(
+    const MetamodelKey& key, const FitFn& fit) {
+  std::promise<std::shared_ptr<const ml::Metamodel>> promise;
+  std::shared_ptr<Entry> mine;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      hits_.fetch_add(1);
+      const std::shared_ptr<Entry> entry = it->second;
+      lock.unlock();
+      return entry->get();  // blocks while the owning fit is in flight
+    }
+    mine = std::make_shared<Entry>(promise.get_future().share());
+    entries_.emplace(key, mine);
+    fits_.fetch_add(1);
+  }
+  try {
+    std::shared_ptr<const ml::Metamodel> model = fit();
+    promise.set_value(model);
+    return model;
+  } catch (...) {
+    {
+      // Erase only this attempt's entry: after a concurrent Clear(), the
+      // slot may already hold a successor's in-flight fit.
+      std::unique_lock<std::mutex> lock(mutex_);
+      const auto it = entries_.find(key);
+      if (it != entries_.end() && it->second == mine) entries_.erase(it);
+    }
+    promise.set_exception(std::current_exception());
+    throw;
+  }
+}
+
+int MetamodelCache::size() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return static_cast<int>(entries_.size());
+}
+
+void MetamodelCache::Clear() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  entries_.clear();
+}
+
+}  // namespace reds::engine

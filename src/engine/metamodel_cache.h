@@ -1,0 +1,80 @@
+// Thread-safe metamodel cache: the heaviest step of a REDS request is
+// training (and especially CV-tuning) the metamodel, yet batches routinely
+// run many method variants ("RPx", "RPxp", "RBIcxp", ...) over the same
+// dataset. Keyed by (dataset fingerprint, metamodel kind, tuning flag,
+// tuning budget, seed), each distinct metamodel is fit exactly once per
+// cache; concurrent requests for the same key block on the first fit
+// instead of duplicating it.
+#ifndef REDS_ENGINE_METAMODEL_CACHE_H_
+#define REDS_ENGINE_METAMODEL_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+
+#include "ml/model.h"
+#include "ml/tuning.h"
+
+namespace reds::engine {
+
+/// Identity of one trained metamodel.
+struct MetamodelKey {
+  uint64_t fingerprint = 0;  // FingerprintDataset of the training data
+  ml::MetamodelKind kind = ml::MetamodelKind::kGbt;
+  bool tuned = false;
+  ml::TuningBudget budget = ml::TuningBudget::kQuick;
+  uint64_t seed = 0;
+
+  friend bool operator<(const MetamodelKey& a, const MetamodelKey& b) {
+    return std::tie(a.fingerprint, a.kind, a.tuned, a.budget, a.seed) <
+           std::tie(b.fingerprint, b.kind, b.tuned, b.budget, b.seed);
+  }
+};
+
+/// Shared cache of trained metamodels. Get-or-fit is deduplicating: when two
+/// threads race on the same key, one runs the fit and the other waits on a
+/// shared future, so the fit count per key is exactly one.
+class MetamodelCache {
+ public:
+  using FitFn = std::function<std::shared_ptr<const ml::Metamodel>()>;
+
+  /// Returns the cached model for `key`, running `fit` (at most once per
+  /// key) on a miss. A `fit` that throws is not cached; the exception
+  /// propagates to every waiter of that attempt and the next GetOrFit
+  /// retries.
+  std::shared_ptr<const ml::Metamodel> GetOrFit(const MetamodelKey& key,
+                                                const FitFn& fit);
+
+  /// Number of fits actually executed (cache misses that ran training).
+  int fit_count() const { return fits_.load(); }
+
+  /// Number of requests served without training (including waits on an
+  /// in-flight fit for the same key).
+  int hit_count() const { return hits_.load(); }
+
+  /// Number of distinct models currently cached.
+  int size() const;
+
+  /// Drops all entries; counters are preserved.
+  void Clear();
+
+ private:
+  // Entries are held by shared_ptr so the failure path can erase exactly
+  // the attempt it owns (identity compare), never a successor inserted
+  // after a concurrent Clear().
+  using Entry = std::shared_future<std::shared_ptr<const ml::Metamodel>>;
+
+  mutable std::mutex mutex_;
+  std::map<MetamodelKey, std::shared_ptr<Entry>> entries_;
+  std::atomic<int> fits_{0};
+  std::atomic<int> hits_{0};
+};
+
+}  // namespace reds::engine
+
+#endif  // REDS_ENGINE_METAMODEL_CACHE_H_

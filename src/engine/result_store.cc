@@ -1,0 +1,123 @@
+#include "engine/result_store.h"
+
+#include <stdexcept>
+
+#include "core/quality.h"
+
+namespace reds::engine {
+
+MetricSet CellResult::Mean() const {
+  MetricSet mean;
+  if (reps.empty()) return mean;
+  for (const auto& m : reps) {
+    mean.pr_auc += m.pr_auc;
+    mean.precision += m.precision;
+    mean.recall += m.recall;
+    mean.wracc += m.wracc;
+    mean.restricted += m.restricted;
+    mean.irrel += m.irrel;
+    mean.runtime_seconds += m.runtime_seconds;
+  }
+  const double n = static_cast<double>(reps.size());
+  mean.pr_auc /= n;
+  mean.precision /= n;
+  mean.recall /= n;
+  mean.wracc /= n;
+  mean.restricted /= n;
+  mean.irrel /= n;
+  mean.runtime_seconds /= n;
+  return mean;
+}
+
+std::vector<double> CellResult::Collect(double MetricSet::* field) const {
+  std::vector<double> out;
+  out.reserve(reps.size());
+  for (const auto& m : reps) out.push_back(m.*field);
+  return out;
+}
+
+void ResultStore::Reserve(const std::string& cell, int reps) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  CellResult& c = cells_[cell];
+  if (static_cast<int>(c.reps.size()) < reps) {
+    c.reps.resize(static_cast<size_t>(reps));
+    c.last_boxes.resize(static_cast<size_t>(reps));
+  }
+}
+
+void ResultStore::Record(const std::string& cell, int rep,
+                         const MetricSet& metrics, const Box& last_box) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  CellResult& c = cells_[cell];
+  if (rep >= static_cast<int>(c.reps.size())) {
+    c.reps.resize(static_cast<size_t>(rep) + 1);
+    c.last_boxes.resize(static_cast<size_t>(rep) + 1);
+  }
+  c.reps[static_cast<size_t>(rep)] = metrics;
+  c.last_boxes[static_cast<size_t>(rep)] = last_box;
+}
+
+const CellResult& ResultStore::cell(const std::string& name) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto it = cells_.find(name);
+  if (it == cells_.end()) throw std::out_of_range("no cell " + name);
+  return it->second;
+}
+
+bool ResultStore::Contains(const std::string& name) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return cells_.find(name) != cells_.end();
+}
+
+std::vector<std::string> ResultStore::CellNames() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(cells_.size());
+  for (const auto& [name, cell] : cells_) names.push_back(name);
+  return names;
+}
+
+void ResultStore::ComputeConsistency(const std::string& cell,
+                                     const std::vector<double>& domain_lo,
+                                     const std::vector<double>& domain_hi) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto it = cells_.find(cell);
+  if (it == cells_.end()) throw std::out_of_range("no cell " + cell);
+  it->second.consistency =
+      100.0 * MeanPairwiseConsistency(it->second.last_boxes, domain_lo,
+                                      domain_hi);
+}
+
+TablePrinter ResultStore::SummaryTable(const std::string& title) const {
+  TablePrinter table(title);
+  table.SetHeader({"cell", "reps", "pr_auc", "precision", "recall",
+                   "restricted", "runtime_s"});
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (const auto& [name, cell] : cells_) {
+    const MetricSet mean = cell.Mean();
+    table.AddRow({name, std::to_string(cell.reps.size()),
+                  FormatDouble(mean.pr_auc), FormatDouble(mean.precision),
+                  FormatDouble(mean.recall), FormatDouble(mean.restricted),
+                  FormatDouble(mean.runtime_seconds)});
+  }
+  return table;
+}
+
+Status ResultStore::WriteCsv(const std::string& path) const {
+  CsvWriter csv({"cell_index", "rep", "pr_auc", "precision", "recall",
+                 "wracc", "restricted", "irrel", "runtime_seconds"});
+  std::unique_lock<std::mutex> lock(mutex_);
+  double cell_index = 0.0;
+  for (const auto& [name, cell] : cells_) {
+    for (size_t r = 0; r < cell.reps.size(); ++r) {
+      const MetricSet& m = cell.reps[r];
+      csv.AddRow({cell_index, static_cast<double>(r), m.pr_auc, m.precision,
+                  m.recall, m.wracc, m.restricted, m.irrel,
+                  m.runtime_seconds});
+    }
+    cell_index += 1.0;
+  }
+  return csv.WriteFile(path);
+}
+
+}  // namespace reds::engine

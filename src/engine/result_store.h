@@ -1,0 +1,79 @@
+// Result store: thread-safe accumulation of per-repetition discovery
+// metrics into named cells, with aggregation (means, consistency) and export
+// through the existing table/CSV utilities. The experiment Runner and every
+// bench binary read their numbers from here.
+#ifndef REDS_ENGINE_RESULT_STORE_H_
+#define REDS_ENGINE_RESULT_STORE_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/box.h"
+#include "util/status.h"
+#include "util/table.h"
+
+namespace reds::engine {
+
+/// Per-repetition quality measurements (all on the independent test set,
+/// except runtime and the interpretability counts).
+struct MetricSet {
+  double pr_auc = 0.0;          // trajectory PR AUC on test data
+  double precision = 0.0;       // last box precision on test data
+  double recall = 0.0;          // last box recall on test data
+  double wracc = 0.0;           // last box WRAcc on test data (BI methods)
+  double restricted = 0.0;      // #restricted of the last box
+  double irrel = 0.0;           // #irrelevantly restricted of the last box
+  double runtime_seconds = 0.0;
+};
+
+/// All repetitions of one cell, e.g. one (function, method, N) combination.
+struct CellResult {
+  std::vector<MetricSet> reps;
+  std::vector<Box> last_boxes;
+  double consistency = 1.0;  // mean pairwise V_o/V_u of the last boxes
+
+  MetricSet Mean() const;
+  std::vector<double> Collect(double MetricSet::* field) const;
+};
+
+/// Accumulates CellResults under string keys. Record() is thread-safe; the
+/// read accessors are meant for use after the producing jobs finished.
+class ResultStore {
+ public:
+  /// Pre-sizes a cell to `reps` repetitions so results land in stable slots
+  /// regardless of completion order.
+  void Reserve(const std::string& cell, int reps);
+
+  /// Stores one repetition's metrics/box. Grows the cell as needed; each
+  /// (cell, rep) slot is expected to be written once.
+  void Record(const std::string& cell, int rep, const MetricSet& metrics,
+              const Box& last_box);
+
+  /// Read access; throws std::out_of_range for unknown cells.
+  const CellResult& cell(const std::string& name) const;
+  bool Contains(const std::string& name) const;
+  std::vector<std::string> CellNames() const;
+
+  /// Recomputes a cell's consistency as the mean pairwise overlap of its
+  /// last boxes, clamped to the given domain.
+  void ComputeConsistency(const std::string& cell,
+                          const std::vector<double>& domain_lo,
+                          const std::vector<double>& domain_hi);
+
+  /// Human-readable per-cell summary (mean metrics per cell).
+  TablePrinter SummaryTable(const std::string& title = "results") const;
+
+  /// Dumps one row per (cell, rep) via CsvWriter; `cell_index` columns refer
+  /// to CellNames() order.
+  Status WriteCsv(const std::string& path) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, CellResult> cells_;
+};
+
+}  // namespace reds::engine
+
+#endif  // REDS_ENGINE_RESULT_STORE_H_

@@ -1,43 +1,10 @@
 #include "exp/experiment.h"
 
-#include <cassert>
-#include <mutex>
 #include <stdexcept>
 
-#include "core/quality.h"
 #include "util/thread_pool.h"
 
 namespace reds::exp {
-
-MetricSet CellResult::Mean() const {
-  MetricSet mean;
-  if (reps.empty()) return mean;
-  for (const auto& m : reps) {
-    mean.pr_auc += m.pr_auc;
-    mean.precision += m.precision;
-    mean.recall += m.recall;
-    mean.wracc += m.wracc;
-    mean.restricted += m.restricted;
-    mean.irrel += m.irrel;
-    mean.runtime_seconds += m.runtime_seconds;
-  }
-  const double n = static_cast<double>(reps.size());
-  mean.pr_auc /= n;
-  mean.precision /= n;
-  mean.recall /= n;
-  mean.wracc /= n;
-  mean.restricted /= n;
-  mean.irrel /= n;
-  mean.runtime_seconds /= n;
-  return mean;
-}
-
-std::vector<double> CellResult::Collect(double MetricSet::* field) const {
-  std::vector<double> out;
-  out.reserve(reps.size());
-  for (const auto& m : reps) out.push_back(m.*field);
-  return out;
-}
 
 double RelativeChangePercent(double value, double baseline) {
   if (baseline == 0.0) return 0.0;
@@ -51,11 +18,11 @@ std::string Runner::Key(const std::string& function, const std::string& method,
 
 const CellResult& Runner::cell(const std::string& function,
                                const std::string& method, int n) const {
-  const auto it = cells_.find(Key(function, method, n));
-  if (it == cells_.end()) {
-    throw std::out_of_range("no cell " + Key(function, method, n));
+  if (engine_ == nullptr) {
+    throw std::out_of_range("no cell " + Key(function, method, n) +
+                            " (Run() not called)");
   }
-  return it->second;
+  return engine_->results().cell(Key(function, method, n));
 }
 
 std::vector<double> Runner::FunctionMeans(const std::string& method, int n,
@@ -83,13 +50,22 @@ std::vector<double> Runner::FunctionConsistencies(const std::string& method,
 
 void Runner::Run() {
   if (ran_) return;
-  ran_ = true;
+  try {
+    RunImpl();
+    ran_ = true;
+  } catch (...) {
+    // Leave no partially populated result store behind a "ran" flag.
+    engine_.reset();
+    throw;
+  }
+}
 
+void Runner::RunImpl() {
   struct FunctionContext {
     std::unique_ptr<fun::TestFunction> function;
     fun::DesignKind design;
-    Dataset test;
-    std::vector<bool> relevant;
+    std::shared_ptr<const Dataset> test;
+    std::shared_ptr<const std::vector<bool>> relevant;
   };
 
   // Instantiate functions and their shared test sets up front.
@@ -97,12 +73,16 @@ void Runner::Run() {
   contexts.reserve(config_.functions.size());
   for (const auto& name : config_.functions) {
     auto fn = fun::MakeFunction(name);
-    assert(fn.ok());
+    if (!fn.ok()) {
+      throw std::invalid_argument("unknown function '" + name +
+                                  "': " + fn.status().ToString());
+    }
     FunctionContext ctx;
     ctx.function = std::move(*fn);
     ctx.design = config_.design_override.value_or(
         fun::DefaultDesignFor(*ctx.function));
-    ctx.relevant = ctx.function->relevant();
+    ctx.relevant =
+        std::make_shared<const std::vector<bool>>(ctx.function->relevant());
     contexts.push_back(std::move(ctx));
   }
   {
@@ -111,73 +91,78 @@ void Runner::Run() {
       pool.Submit([this, &contexts, fi] {
         FunctionContext& ctx = contexts[fi];
         // Test data: same input distribution, fresh labels.
-        ctx.test = fun::MakeScenarioDataset(
+        ctx.test = std::make_shared<const Dataset>(fun::MakeScenarioDataset(
             *ctx.function, config_.test_size, ctx.design,
-            DeriveSeed(config_.seed, 0x7e57ULL ^ (fi + 1)));
+            DeriveSeed(config_.seed, 0x7e57ULL ^ (fi + 1))));
       });
     }
     pool.Wait();
   }
 
-  // Pre-create all cells so worker threads only write into their own slots.
+  // All cells run as discovery requests on a shared engine; REDS metamodels
+  // are cached across method variants of the same (function, N, rep)
+  // dataset.
+  engine::EngineConfig engine_config;
+  engine_config.threads = config_.threads;
+  engine_config.seed = config_.seed;
+  engine_ = std::make_unique<engine::DiscoveryEngine>(engine_config);
+
+  // Pre-size all cells so results land in stable slots.
   for (const auto& f : config_.functions) {
     for (const auto& m : config_.methods) {
       for (int n : config_.sizes) {
-        CellResult& c = cells_[Key(f, m, n)];
-        c.reps.resize(static_cast<size_t>(config_.reps));
-        c.last_boxes.resize(static_cast<size_t>(config_.reps));
+        engine_->results().Reserve(Key(f, m, n), config_.reps);
       }
     }
   }
 
-  ThreadPool pool(config_.threads);
-  for (size_t fi = 0; fi < contexts.size(); ++fi) {
-    for (int n : config_.sizes) {
-      for (int rep = 0; rep < config_.reps; ++rep) {
-        for (size_t mi = 0; mi < config_.methods.size(); ++mi) {
-          pool.Submit([this, &contexts, fi, n, rep, mi] {
-            const FunctionContext& ctx = contexts[fi];
-            const std::string& method_name = config_.methods[mi];
-            auto spec = MethodSpec::Parse(method_name);
-            assert(spec.ok());
-
-            // Data seed depends on (function, N, rep) only: all methods see
-            // the same datasets (paired comparisons).
-            const uint64_t data_seed = DeriveSeed(
-                config_.seed,
-                (fi + 1) * 1000003ULL + static_cast<uint64_t>(n) * 131ULL +
-                    static_cast<uint64_t>(rep));
-            const Dataset train = fun::MakeScenarioDataset(
-                *ctx.function, n, ctx.design, data_seed);
-
-            RunOptions options = config_.options;
-            options.sampler = fun::SamplerFor(ctx.design);
-            options.seed = DeriveSeed(data_seed, 0x6d ^ (mi + 1));
-
-            const MethodOutput out = RunMethod(*spec, train, options);
-
-            MetricSet metrics;
-            metrics.pr_auc = 100.0 * PrAucOnData(out.trajectory, ctx.test);
-            const BoxStats stats = ComputeBoxStats(ctx.test, out.last_box);
-            metrics.precision = 100.0 * Precision(stats);
-            metrics.recall =
-                100.0 * Recall(stats, ctx.test.TotalPositive());
-            metrics.wracc = 100.0 * WRAcc(stats, ctx.test.num_rows(),
-                                          ctx.test.TotalPositive());
-            metrics.restricted = out.last_box.NumRestricted();
-            metrics.irrel = NumIrrelevantRestricted(out.last_box, ctx.relevant);
-            metrics.runtime_seconds = out.runtime_seconds;
-
-            CellResult& c =
-                cells_[Key(config_.functions[fi], method_name, n)];
-            c.reps[static_cast<size_t>(rep)] = metrics;
-            c.last_boxes[static_cast<size_t>(rep)] = out.last_box;
-          });
+  // Submission order: method outermost, so consecutive jobs target
+  // *different* datasets. Were the M method variants of one dataset
+  // adjacent, the first worker to start a REDS job would fit the shared
+  // metamodel while its neighbours block on the same cache entry instead
+  // of working on other cells.
+  std::vector<engine::JobHandle> jobs;
+  jobs.reserve(contexts.size() * config_.methods.size() *
+               config_.sizes.size() * static_cast<size_t>(config_.reps));
+  for (size_t mi = 0; mi < config_.methods.size(); ++mi) {
+    for (size_t fi = 0; fi < contexts.size(); ++fi) {
+      const FunctionContext& ctx = contexts[fi];
+      for (int n : config_.sizes) {
+        for (int rep = 0; rep < config_.reps; ++rep) {
+          // Data seed depends on (function, N, rep) only: all methods see
+          // the same datasets (paired comparisons), and the engine's
+          // metamodel cache fits each (dataset, metamodel kind)
+          // combination once.
+          const uint64_t data_seed = DeriveSeed(
+              config_.seed,
+              (fi + 1) * 1000003ULL + static_cast<uint64_t>(n) * 131ULL +
+                  static_cast<uint64_t>(rep));
+          engine::DiscoveryRequest request;
+          request.make_train = [&ctx, n, data_seed] {
+            return fun::MakeScenarioDataset(*ctx.function, n, ctx.design,
+                                            data_seed);
+          };
+          request.method = config_.methods[mi];
+          request.options = config_.options;
+          request.options.sampler = fun::SamplerFor(ctx.design);
+          request.options.seed = DeriveSeed(data_seed, 0x6d ^ (mi + 1));
+          request.test = ctx.test;
+          request.relevant = ctx.relevant;
+          request.cell = Key(config_.functions[fi], config_.methods[mi], n);
+          request.rep = rep;
+          request.keep_output = false;
+          jobs.push_back(engine_->Submit(std::move(request)));
         }
       }
     }
   }
-  pool.Wait();
+  engine_->WaitAll();
+  for (const auto& job : jobs) {
+    if (job->state() == engine::JobState::kFailed) {
+      throw std::runtime_error("discovery job '" + job->request().cell +
+                               "' failed: " + job->error());
+    }
+  }
 
   // Consistency: pairwise box overlap across repetitions; unit-cube domain.
   for (size_t fi = 0; fi < contexts.size(); ++fi) {
@@ -186,11 +171,15 @@ void Runner::Run() {
     const std::vector<double> hi(static_cast<size_t>(dims), 1.0);
     for (const auto& m : config_.methods) {
       for (int n : config_.sizes) {
-        CellResult& c = cells_[Key(config_.functions[fi], m, n)];
-        c.consistency = 100.0 * MeanPairwiseConsistency(c.last_boxes, lo, hi);
+        engine_->results().ComputeConsistency(Key(config_.functions[fi], m, n),
+                                              lo, hi);
       }
     }
   }
+
+  // The engine outlives Run() (it owns the result store the accessors
+  // read); the fitted metamodels are dead weight from here on.
+  engine_->ClearMetamodelCache();
 }
 
 }  // namespace reds::exp

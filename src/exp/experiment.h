@@ -1,43 +1,28 @@
-// Experiment harness: runs a (function x method x N x repetition) matrix in
-// parallel, evaluating every run on an independent test set exactly as the
-// paper's methodology prescribes (Section 8: many datasets, optimized
-// hyperparameters, independent test data). Every bench binary is a thin
-// wrapper over this runner.
+// Experiment harness: runs a (function x method x N x repetition) matrix
+// through the DiscoveryEngine, evaluating every run on an independent test
+// set exactly as the paper's methodology prescribes (Section 8: many
+// datasets, optimized hyperparameters, independent test data). Every bench
+// binary is a thin wrapper over this runner.
 #ifndef REDS_EXP_EXPERIMENT_H_
 #define REDS_EXP_EXPERIMENT_H_
 
-#include <map>
+#include <memory>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "core/method.h"
+#include "engine/discovery_engine.h"
 #include "functions/datagen.h"
 #include "functions/registry.h"
 
 namespace reds::exp {
 
-/// Per-repetition quality measurements (all on the independent test set,
-/// except runtime and the interpretability counts).
-struct MetricSet {
-  double pr_auc = 0.0;          // trajectory PR AUC on test data
-  double precision = 0.0;       // last box precision on test data
-  double recall = 0.0;          // last box recall on test data
-  double wracc = 0.0;           // last box WRAcc on test data (BI methods)
-  double restricted = 0.0;      // #restricted of the last box
-  double irrel = 0.0;           // #irrelevantly restricted of the last box
-  double runtime_seconds = 0.0;
-};
-
-/// All repetitions of one (function, method, N) cell.
-struct CellResult {
-  std::vector<MetricSet> reps;
-  std::vector<Box> last_boxes;
-  double consistency = 1.0;  // mean pairwise V_o/V_u of the last boxes
-
-  MetricSet Mean() const;
-  std::vector<double> Collect(double MetricSet::* field) const;
-};
+/// Metric containers live in the engine's result store; the historical exp
+/// names stay valid for the bench binaries.
+using MetricSet = engine::MetricSet;
+using CellResult = engine::CellResult;
 
 struct ExperimentConfig {
   std::vector<std::string> functions;
@@ -77,12 +62,22 @@ class Runner {
   std::vector<double> FunctionConsistencies(const std::string& method,
                                             int n) const;
 
+  /// The engine that executed the matrix (valid after Run()); exposes the
+  /// result store and metamodel-cache statistics.
+  const engine::DiscoveryEngine& discovery_engine() const {
+    if (engine_ == nullptr) {
+      throw std::logic_error("discovery_engine() before Run()");
+    }
+    return *engine_;
+  }
+
  private:
+  void RunImpl();
   std::string Key(const std::string& function, const std::string& method,
                   int n) const;
 
   ExperimentConfig config_;
-  std::map<std::string, CellResult> cells_;
+  std::unique_ptr<engine::DiscoveryEngine> engine_;
   bool ran_ = false;
 };
 

@@ -168,4 +168,15 @@ std::unique_ptr<Metamodel> TuneAndFit(MetamodelKind kind, const Dataset& d,
   return PickBest(grid, d, seed, config);
 }
 
+std::unique_ptr<Metamodel> FitMetamodel(MetamodelKind kind, const Dataset& d,
+                                        uint64_t seed, bool tune,
+                                        TuningBudget budget) {
+  if (tune) {
+    TuningConfig config;
+    config.budget = budget;
+    return TuneAndFit(kind, d, seed, config);
+  }
+  return FitDefault(kind, d, seed, budget);
+}
+
 }  // namespace reds::ml

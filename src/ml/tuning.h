@@ -36,6 +36,13 @@ std::unique_ptr<Metamodel> FitDefault(MetamodelKind kind, const Dataset& d,
                                       uint64_t seed,
                                       TuningBudget budget = TuningBudget::kQuick);
 
+/// TuneAndFit when `tune`, else FitDefault: the single dispatch both the
+/// inline REDS path and the engine's metamodel cache use, so cached and
+/// uncached fits cannot drift apart.
+std::unique_ptr<Metamodel> FitMetamodel(MetamodelKind kind, const Dataset& d,
+                                        uint64_t seed, bool tune,
+                                        TuningBudget budget);
+
 }  // namespace reds::ml
 
 #endif  // REDS_ML_TUNING_H_

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <iomanip>
+#include <limits>
 #include <sstream>
 
 namespace reds {
@@ -112,6 +114,10 @@ Result<CsvTable> ReadCsvFile(const std::string& path) {
 Status CsvWriter::WriteFile(const std::string& path) const {
   std::ofstream f(path);
   if (!f) return Status::IoError("cannot open " + path);
+  // max_digits10 makes the decimal text round-trip to the exact double; the
+  // default stream precision (6 significant digits) silently corrupts
+  // figure series on re-read.
+  f << std::setprecision(std::numeric_limits<double>::max_digits10);
   for (size_t i = 0; i < header_.size(); ++i) {
     if (i) f << ',';
     f << header_[i];

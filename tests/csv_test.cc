@@ -34,6 +34,22 @@ TEST_F(CsvIoTest, RoundTrip) {
   EXPECT_DOUBLE_EQ(table->rows[1][0], 0.75);
 }
 
+TEST_F(CsvIoTest, RoundTripPreservesFullDoublePrecision) {
+  const double values[] = {1.0 / 3.0, 0.1234567890123456789, 6.62607015e-34,
+                           -123456789.123456789, 2.0 / 7.0};
+  CsvWriter writer({"v1", "v2", "v3", "v4", "v5"});
+  writer.AddRow({values[0], values[1], values[2], values[3], values[4]});
+  ASSERT_TRUE(writer.WriteFile(path_).ok());
+
+  const auto table = ReadCsvFile(path_);
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table->rows.size(), 1u);
+  for (size_t i = 0; i < 5; ++i) {
+    // Bitwise round trip: max_digits10 decimal digits identify the double.
+    EXPECT_EQ(table->rows[0][i], values[i]) << "column " << i;
+  }
+}
+
 TEST_F(CsvIoTest, MissingFileFails) {
   const auto table = ReadCsvFile("/tmp/definitely_not_there_reds.csv");
   EXPECT_FALSE(table.ok());
