@@ -1,0 +1,296 @@
+// Perf-regression harness for the columnar hot paths: times the reference
+// scalar kernels against the sorted-index/presorted implementations on the
+// paper-scale shapes (PRIM peeling over L relabeled points, GBT/RF
+// metamodel fits on the train matrix, BI beam search) and emits
+// machine-readable JSON, establishing the BENCH_*.json trajectory.
+//
+//   bench_perf_kernels            # paper scale: n=10k, L=100k, d=10
+//   bench_perf_kernels --quick    # CI smoke: tiny sizes, seconds not minutes
+//   bench_perf_kernels --out BENCH_pr2.json
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/best_interval.h"
+#include "core/prim.h"
+#include "ml/gbt.h"
+#include "ml/random_forest.h"
+#include "util/rng.h"
+
+namespace reds {
+namespace {
+
+struct PerfFlags {
+  bool quick = false;
+  int n_train = 10000;   // metamodel training size (paper Fig. 9 scale)
+  int l_points = 100000; // relabeled dataset size L
+  int dims = 10;
+  int reps = 3;          // timing repetitions; best is reported
+  int threads = 4;       // for the *_parallel kernels
+  uint64_t seed = 42;
+  std::string out;       // JSON path; empty: stdout only
+};
+
+PerfFlags ParseFlags(int argc, char** argv) {
+  PerfFlags flags;
+  auto next_value = [&](int* i) -> const char* {
+    if (*i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", argv[*i]);
+      std::exit(2);
+    }
+    return argv[++*i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      flags.quick = true;
+    } else if (arg == "--full") {
+      flags.quick = false;
+    } else if (arg == "--n") {
+      flags.n_train = std::atoi(next_value(&i));
+    } else if (arg == "--l") {
+      flags.l_points = std::atoi(next_value(&i));
+    } else if (arg == "--d") {
+      flags.dims = std::atoi(next_value(&i));
+    } else if (arg == "--reps") {
+      flags.reps = std::atoi(next_value(&i));
+    } else if (arg == "--threads") {
+      flags.threads = std::atoi(next_value(&i));
+    } else if (arg == "--seed") {
+      flags.seed = static_cast<uint64_t>(std::atoll(next_value(&i)));
+    } else if (arg == "--out") {
+      flags.out = next_value(&i);
+    } else if (arg == "--help") {
+      std::printf(
+          "usage: bench_perf_kernels [--quick|--full] [--n N] [--l L] "
+          "[--d D] [--reps R] [--threads T] [--seed S] [--out file.json]\n");
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown flag %s (see --help)\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  if (flags.quick) {
+    flags.n_train = 600;
+    flags.l_points = 3000;
+    flags.dims = 6;
+    flags.reps = 1;
+  }
+  return flags;
+}
+
+Dataset RandomData(int n, int dim, uint64_t seed) {
+  Rng rng(seed);
+  Dataset d(dim);
+  d.Reserve(n);
+  std::vector<double> x(static_cast<size_t>(dim));
+  for (int i = 0; i < n; ++i) {
+    for (auto& v : x) v = rng.Uniform();
+    const double p = (x[0] < 0.45 && x[1] > 0.3) ? 0.8 : 0.15;
+    d.AddRow(x, rng.Bernoulli(p) ? 1.0 : 0.0);
+  }
+  return d;
+}
+
+struct KernelResult {
+  std::string name;
+  std::string detail;
+  double reference_seconds = 0.0;
+  double optimized_seconds = 0.0;
+  bool identical = true;  // optimized output matched the reference
+
+  double Speedup() const {
+    return optimized_seconds > 0.0 ? reference_seconds / optimized_seconds
+                                   : 0.0;
+  }
+};
+
+// Best-of-reps wall time of fn().
+double TimeBest(int reps, const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const double s = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    best = std::min(best, s);
+  }
+  return best;
+}
+
+KernelResult BenchPrimPeel(const PerfFlags& flags, bool paste) {
+  KernelResult result;
+  result.name = paste ? "prim_paste" : "prim_peel";
+  const Dataset d = RandomData(flags.l_points, flags.dims, flags.seed);
+  PrimConfig config;
+  config.alpha = 0.05;
+  config.paste = paste;
+  result.detail = "L=" + std::to_string(flags.l_points) +
+                  " d=" + std::to_string(flags.dims) + " alpha=0.05" +
+                  (paste ? " +pasting" : "");
+
+  PrimResult ref, opt;
+  result.reference_seconds =
+      TimeBest(flags.reps, [&] { ref = RunPrimReference(d, d, config); });
+  result.optimized_seconds =
+      TimeBest(flags.reps, [&] { opt = RunPrim(d, d, config); });
+  result.identical = ref.boxes.size() == opt.boxes.size() &&
+                     ref.best_val_index == opt.best_val_index &&
+                     ref.BestBox() == opt.BestBox();
+  return result;
+}
+
+KernelResult BenchGbtFit(const PerfFlags& flags, int threads) {
+  KernelResult result;
+  result.name = threads > 1 ? "gbt_fit_parallel" : "gbt_fit";
+  const Dataset d = RandomData(flags.n_train, flags.dims, flags.seed + 1);
+  const Dataset probe = RandomData(256, flags.dims, flags.seed + 2);
+  ml::GbtConfig config;
+  config.num_rounds = flags.quick ? 20 : 100;
+  config.max_depth = 4;
+  result.detail = "n=" + std::to_string(flags.n_train) +
+                  " d=" + std::to_string(flags.dims) +
+                  " rounds=" + std::to_string(config.num_rounds) +
+                  (threads > 1 ? " threads=" + std::to_string(threads) : "");
+
+  ml::GbtConfig ref_config = config;
+  ref_config.presorted = false;
+  ml::GbtConfig opt_config = config;
+  opt_config.threads = threads;
+
+  ml::GradientBoostedTrees ref(ref_config), opt(opt_config);
+  result.reference_seconds =
+      TimeBest(flags.reps, [&] { ref.Fit(d, flags.seed + 3); });
+  result.optimized_seconds =
+      TimeBest(flags.reps, [&] { opt.Fit(d, flags.seed + 3); });
+  for (int i = 0; i < probe.num_rows() && result.identical; ++i) {
+    result.identical =
+        ref.PredictMargin(probe.row(i)) == opt.PredictMargin(probe.row(i));
+  }
+  return result;
+}
+
+KernelResult BenchRfFit(const PerfFlags& flags) {
+  KernelResult result;
+  result.name = "rf_fit";
+  const Dataset d = RandomData(flags.n_train, flags.dims, flags.seed + 4);
+  const Dataset probe = RandomData(256, flags.dims, flags.seed + 5);
+  ml::RandomForestConfig config;
+  config.num_trees = flags.quick ? 10 : 50;
+  result.detail = "n=" + std::to_string(flags.n_train) +
+                  " d=" + std::to_string(flags.dims) +
+                  " trees=" + std::to_string(config.num_trees);
+
+  ml::RandomForestConfig ref_config = config;
+  ref_config.presorted = false;
+  ml::RandomForest ref(ref_config), opt(config);
+  result.reference_seconds =
+      TimeBest(flags.reps, [&] { ref.Fit(d, flags.seed + 6); });
+  result.optimized_seconds =
+      TimeBest(flags.reps, [&] { opt.Fit(d, flags.seed + 6); });
+  for (int i = 0; i < probe.num_rows() && result.identical; ++i) {
+    result.identical =
+        ref.PredictProb(probe.row(i)) == opt.PredictProb(probe.row(i));
+  }
+  return result;
+}
+
+KernelResult BenchBi(const PerfFlags& flags) {
+  KernelResult result;
+  result.name = "bi_search";
+  // BI runs on the smaller L (paper: l_bi = 10k).
+  const int n = std::max(200, flags.l_points / 10);
+  const Dataset d = RandomData(n, flags.dims, flags.seed + 7);
+  BiConfig config;
+  result.detail = "L=" + std::to_string(n) + " d=" +
+                  std::to_string(flags.dims) + " beam=1";
+
+  BiResult ref, opt;
+  result.reference_seconds =
+      TimeBest(flags.reps, [&] { ref = RunBiReference(d, config); });
+  result.optimized_seconds =
+      TimeBest(flags.reps, [&] { opt = RunBi(d, config); });
+  result.identical = ref.box == opt.box;
+  return result;
+}
+
+void WriteJson(const PerfFlags& flags, const std::vector<KernelResult>& results,
+               std::FILE* stream) {
+  std::fprintf(stream, "{\n");
+  std::fprintf(stream, "  \"bench\": \"bench_perf_kernels\",\n");
+  std::fprintf(stream, "  \"mode\": \"%s\",\n", flags.quick ? "quick" : "full");
+  std::fprintf(stream,
+               "  \"config\": {\"n_train\": %d, \"l_points\": %d, \"dims\": "
+               "%d, \"reps\": %d, \"threads\": %d, \"seed\": %llu},\n",
+               flags.n_train, flags.l_points, flags.dims, flags.reps,
+               flags.threads, static_cast<unsigned long long>(flags.seed));
+  std::fprintf(stream, "  \"kernels\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const KernelResult& r = results[i];
+    std::fprintf(stream,
+                 "    {\"name\": \"%s\", \"detail\": \"%s\", "
+                 "\"reference_seconds\": %.6f, \"optimized_seconds\": %.6f, "
+                 "\"speedup\": %.3f, \"identical\": %s}%s\n",
+                 r.name.c_str(), r.detail.c_str(), r.reference_seconds,
+                 r.optimized_seconds, r.Speedup(),
+                 r.identical ? "true" : "false",
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(stream, "  ]\n}\n");
+}
+
+}  // namespace
+}  // namespace reds
+
+int main(int argc, char** argv) {
+  using namespace reds;
+  const PerfFlags flags = ParseFlags(argc, argv);
+
+  std::vector<KernelResult> results;
+  std::printf("== bench_perf_kernels (%s mode) ==\n",
+              flags.quick ? "quick" : "full");
+  auto run = [&](KernelResult r) {
+    std::printf("%-18s %-36s ref %8.3fs  opt %8.3fs  speedup %6.2fx  %s\n",
+                r.name.c_str(), r.detail.c_str(), r.reference_seconds,
+                r.optimized_seconds, r.Speedup(),
+                r.identical ? "identical" : "MISMATCH");
+    std::fflush(stdout);
+    results.push_back(std::move(r));
+  };
+
+  run(BenchPrimPeel(flags, /*paste=*/false));
+  run(BenchPrimPeel(flags, /*paste=*/true));
+  run(BenchGbtFit(flags, /*threads=*/1));
+  run(BenchGbtFit(flags, flags.threads));
+  run(BenchRfFit(flags));
+  run(BenchBi(flags));
+
+  bool all_identical = true;
+  for (const auto& r : results) all_identical = all_identical && r.identical;
+
+  if (!flags.out.empty()) {
+    std::FILE* f = std::fopen(flags.out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", flags.out.c_str());
+      return 1;
+    }
+    WriteJson(flags, results, f);
+    std::fclose(f);
+    std::printf("wrote %s\n", flags.out.c_str());
+  } else {
+    WriteJson(flags, results, stdout);
+  }
+  if (!all_identical) {
+    std::fprintf(stderr, "ERROR: optimized kernel output diverged\n");
+    return 1;
+  }
+  return 0;
+}

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
+#include <memory>
+#include <utility>
 
 #include "core/quality.h"
 
@@ -23,47 +25,31 @@ std::vector<double> BoxKey(const Box& b) {
   return key;
 }
 
-}  // namespace
-
-double BoxWRAcc(const Dataset& d, const Box& box) {
-  const BoxStats stats = ComputeBoxStats(d, box);
-  return WRAcc(stats, d.num_rows(), d.TotalPositive());
-}
-
-Box BestIntervalForDimension(const Dataset& d, const Box& box, int dim) {
-  assert(dim >= 0 && dim < d.num_cols());
-  const double p0 = d.PositiveShare();
-
-  // Points inside the box when dimension `dim` is ignored.
-  std::vector<std::pair<double, double>> pts;  // (x_dim, weight)
-  for (int r = 0; r < d.num_rows(); ++r) {
-    const double* x = d.row(r);
-    bool inside = true;
-    for (int j = 0; j < d.num_cols() && inside; ++j) {
-      if (j == dim) continue;
-      inside = x[j] >= box.lo(j) && x[j] <= box.hi(j);
-    }
-    if (inside) pts.emplace_back(x[dim], d.y(r) - p0);
-  }
-
+// Shared tail of the per-dimension refinement: ties grouped, Kadane over the
+// groups, widening over zero-weight neighbors, bounds at data values. `pts`
+// is the (x_dim, y - p0) list of points inside the box when `dim` is
+// ignored; it is sorted here so both gather strategies feed identical
+// sequences into the group sums.
+Box BestIntervalFromPoints(std::vector<std::pair<double, double>>* pts,
+                           const Box& box, int dim) {
   Box out = box;
   out.set_lo(dim, -kInf);
   out.set_hi(dim, kInf);
-  if (pts.empty()) return out;
+  if (pts->empty()) return out;
 
-  std::sort(pts.begin(), pts.end());
+  std::sort(pts->begin(), pts->end());
 
   // Group ties: interval bounds must separate distinct values.
   std::vector<double> value;
   std::vector<double> weight;
-  for (size_t i = 0; i < pts.size();) {
+  for (size_t i = 0; i < pts->size();) {
     size_t j = i;
     double w = 0.0;
-    while (j < pts.size() && pts[j].first == pts[i].first) {
-      w += pts[j].second;
+    while (j < pts->size() && (*pts)[j].first == (*pts)[i].first) {
+      w += (*pts)[j].second;
       ++j;
     }
-    value.push_back(pts[i].first);
+    value.push_back((*pts)[i].first);
     weight.push_back(w);
     i = j;
   }
@@ -100,7 +86,11 @@ Box BestIntervalForDimension(const Dataset& d, const Box& box, int dim) {
   return out;
 }
 
-BiResult RunBi(const Dataset& d, const BiConfig& config) {
+// Beam search shared by the indexed and reference entry points; when
+// `index` is null every refinement falls back to the scalar per-dimension
+// rescan.
+BiResult RunBiImpl(const Dataset& d, const BiConfig& config,
+                   const ColumnIndex* index) {
   assert(d.num_rows() > 0);
   const int dims = d.num_cols();
   const int max_restricted =
@@ -129,8 +119,14 @@ BiResult RunBi(const Dataset& d, const BiConfig& config) {
     for (const auto& s : candidates) keys.push_back(BoxKey(s.box));
 
     for (const auto& s : beam) {
+      // One violation-count pass serves all of this box's refinements.
+      std::vector<int> viol;
+      if (index != nullptr) viol = CountBoundViolations(*index, s.box);
       for (int j = 0; j < dims; ++j) {
-        Box refined = BestIntervalForDimension(d, s.box, j);
+        Box refined =
+            index != nullptr
+                ? BestIntervalForDimensionIndexed(d, *index, s.box, j, viol)
+                : BestIntervalForDimension(d, s.box, j);
         if (refined.NumRestricted() > max_restricted) continue;
         auto key = BoxKey(refined);
         if (std::find(keys.begin(), keys.end(), key) != keys.end()) continue;
@@ -153,6 +149,73 @@ BiResult RunBi(const Dataset& d, const BiConfig& config) {
   result.box = beam.front().box;
   result.wracc = beam.front().wracc;
   return result;
+}
+
+}  // namespace
+
+double BoxWRAcc(const Dataset& d, const Box& box) {
+  const BoxStats stats = ComputeBoxStats(d, box);
+  return WRAcc(stats, d.num_rows(), d.TotalPositive());
+}
+
+Box BestIntervalForDimension(const Dataset& d, const Box& box, int dim) {
+  assert(dim >= 0 && dim < d.num_cols());
+  const double p0 = d.PositiveShare();
+
+  // Points inside the box when dimension `dim` is ignored.
+  std::vector<std::pair<double, double>> pts;  // (x_dim, weight)
+  for (int r = 0; r < d.num_rows(); ++r) {
+    const double* x = d.row(r);
+    bool inside = true;
+    for (int j = 0; j < d.num_cols() && inside; ++j) {
+      if (j == dim) continue;
+      inside = x[j] >= box.lo(j) && x[j] <= box.hi(j);
+    }
+    if (inside) pts.emplace_back(x[dim], d.y(r) - p0);
+  }
+  return BestIntervalFromPoints(&pts, box, dim);
+}
+
+Box BestIntervalForDimensionIndexed(const Dataset& d, const ColumnIndex& index,
+                                    const Box& box, int dim,
+                                    const std::vector<int>& viol) {
+  assert(dim >= 0 && dim < d.num_cols());
+  assert(static_cast<int>(viol.size()) == d.num_rows());
+  const double p0 = d.PositiveShare();
+
+  // Walking dimension `dim`'s permutation splits the rows into three rank
+  // ranges: below lo (the row violates dim's low bound), within [lo, hi]
+  // (no dim violation), above hi (high-bound violation). "Inside the box
+  // ignoring dim" is then a violation-count test per range.
+  const std::vector<int>& s = index.sorted_rows(dim);
+  const int n = index.num_rows();
+  const int lo_rank = index.LowerBoundRank(dim, box.lo(dim));
+  const int hi_rank = index.UpperBoundRank(dim, box.hi(dim));
+
+  std::vector<std::pair<double, double>> pts;  // (x_dim, weight)
+  for (int i = 0; i < n; ++i) {
+    const int r = s[static_cast<size_t>(i)];
+    const int required = (i < lo_rank || i >= hi_rank) ? 1 : 0;
+    if (viol[static_cast<size_t>(r)] != required) continue;
+    pts.emplace_back(d.x(r, dim), d.y(r) - p0);
+  }
+  return BestIntervalFromPoints(&pts, box, dim);
+}
+
+BiResult RunBi(const Dataset& d, const BiConfig& config,
+               const ColumnIndex* index) {
+  std::shared_ptr<const ColumnIndex> owned;
+  if (index == nullptr) {
+    owned = ColumnIndex::Build(d);
+    index = owned.get();
+  }
+  assert(index->num_rows() == d.num_rows());
+  assert(index->num_cols() == d.num_cols());
+  return RunBiImpl(d, config, index);
+}
+
+BiResult RunBiReference(const Dataset& d, const BiConfig& config) {
+  return RunBiImpl(d, config, nullptr);
 }
 
 }  // namespace reds

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/box.h"
+#include "core/column_index.h"
 #include "core/dataset.h"
 
 namespace reds {
@@ -28,14 +29,30 @@ struct BiResult {
 };
 
 /// Runs BI on d (targets may be fractional) and returns the box with the
-/// highest WRAcc.
-BiResult RunBi(const Dataset& d, const BiConfig& config);
+/// highest WRAcc. The beam's per-dimension refinements enumerate candidate
+/// points through per-column sorted permutations and a violation-count
+/// array (one O(N M) pass per beam box) instead of an O(N M) scan per
+/// dimension. Pass a prebuilt index of `d` to amortize it across runs; when
+/// null, a private one is built.
+BiResult RunBi(const Dataset& d, const BiConfig& config,
+               const ColumnIndex* index = nullptr);
+
+/// The original per-dimension-rescan implementation; golden reference for
+/// equivalence tests and the perf harness baseline. Same results as RunBi.
+BiResult RunBiReference(const Dataset& d, const BiConfig& config);
 
 /// BestIntervalWRAcc: given a box, returns a copy with dimension `dim`'s
 /// bounds replaced by the WRAcc-optimal interval (bounds at data values;
 /// sides touching the in-box extremes become unbounded). Exposed for tests
 /// against a brute-force reference.
 Box BestIntervalForDimension(const Dataset& d, const Box& box, int dim);
+
+/// As BestIntervalForDimension, but gathers the "inside when `dim` is
+/// ignored" points from the sorted permutation of `dim` guarded by
+/// `viol = CountBoundViolations(index, box)`. Identical output.
+Box BestIntervalForDimensionIndexed(const Dataset& d, const ColumnIndex& index,
+                                    const Box& box, int dim,
+                                    const std::vector<int>& viol);
 
 /// WRAcc of a box on d (= (n+ - n * N+/N) / N).
 double BoxWRAcc(const Dataset& d, const Box& box);

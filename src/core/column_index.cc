@@ -1,0 +1,75 @@
+#include "core/column_index.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace reds {
+
+std::shared_ptr<const ColumnIndex> ColumnIndex::Build(const Dataset& d) {
+  auto index = std::shared_ptr<ColumnIndex>(new ColumnIndex());
+  const int n = d.num_rows();
+  const int m = d.num_cols();
+  index->num_rows_ = n;
+  index->num_cols_ = m;
+  index->columns_.resize(static_cast<size_t>(m));
+  index->sorted_.resize(static_cast<size_t>(m));
+  for (int j = 0; j < m; ++j) {
+    std::vector<double>& col = index->columns_[static_cast<size_t>(j)];
+    col.resize(static_cast<size_t>(n));
+    for (int r = 0; r < n; ++r) col[static_cast<size_t>(r)] = d.x(r, j);
+
+    std::vector<int>& order = index->sorted_[static_cast<size_t>(j)];
+    order.resize(static_cast<size_t>(n));
+    for (int r = 0; r < n; ++r) order[static_cast<size_t>(r)] = r;
+    std::sort(order.begin(), order.end(), [&col](int a, int b) {
+      const double va = col[static_cast<size_t>(a)];
+      const double vb = col[static_cast<size_t>(b)];
+      return va < vb || (va == vb && a < b);
+    });
+  }
+  return index;
+}
+
+int LowerBoundRank(const std::vector<int>& sorted_rows,
+                   const std::vector<double>& column, double v) {
+  const auto it = std::partition_point(
+      sorted_rows.begin(), sorted_rows.end(),
+      [&](int r) { return column[static_cast<size_t>(r)] < v; });
+  return static_cast<int>(it - sorted_rows.begin());
+}
+
+int UpperBoundRank(const std::vector<int>& sorted_rows,
+                   const std::vector<double>& column, double v) {
+  const auto it = std::partition_point(
+      sorted_rows.begin(), sorted_rows.end(),
+      [&](int r) { return column[static_cast<size_t>(r)] <= v; });
+  return static_cast<int>(it - sorted_rows.begin());
+}
+
+int ColumnIndex::LowerBoundRank(int j, double v) const {
+  return reds::LowerBoundRank(sorted_rows(j), column(j), v);
+}
+
+int ColumnIndex::UpperBoundRank(int j, double v) const {
+  return reds::UpperBoundRank(sorted_rows(j), column(j), v);
+}
+
+std::vector<int> CountBoundViolations(const ColumnIndex& index,
+                                      const Box& box) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const int n = index.num_rows();
+  std::vector<int> viol(static_cast<size_t>(n), 0);
+  for (int j = 0; j < index.num_cols(); ++j) {
+    const double lo = box.lo(j);
+    const double hi = box.hi(j);
+    if (lo == -kInf && hi == kInf) continue;
+    const std::vector<double>& col = index.column(j);
+    for (int r = 0; r < n; ++r) {
+      const double x = col[static_cast<size_t>(r)];
+      if (x < lo || x > hi) ++viol[static_cast<size_t>(r)];
+    }
+  }
+  return viol;
+}
+
+}  // namespace reds

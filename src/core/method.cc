@@ -39,18 +39,28 @@ std::vector<FoldSplit> MakeFolds(const Dataset& d, int folds, uint64_t seed) {
   return out;
 }
 
+// One columnar index per fold's training data, shared across every grid
+// candidate the CV loops evaluate on that fold.
+std::vector<std::shared_ptr<const ColumnIndex>> IndexFolds(
+    const std::vector<FoldSplit>& splits) {
+  std::vector<std::shared_ptr<const ColumnIndex>> indexes;
+  indexes.reserve(splits.size());
+  for (const auto& split : splits) indexes.push_back(ColumnIndex::Build(split.train));
+  return indexes;
+}
+
 // Held-out WRAcc of the BI box, averaged over folds, for a given m.
-double CvWraccForM(const Dataset& d, int m, int beam_size, int folds,
-                   uint64_t seed) {
-  const auto splits = MakeFolds(d, folds, seed);
+double CvWraccForM(const std::vector<FoldSplit>& splits,
+                   const std::vector<std::shared_ptr<const ColumnIndex>>& indexes,
+                   int m, int beam_size) {
   if (splits.empty()) return 0.0;
   double total = 0.0;
-  for (const auto& split : splits) {
+  for (size_t f = 0; f < splits.size(); ++f) {
     BiConfig config;
     config.beam_size = beam_size;
     config.max_restricted = m;
-    const BiResult r = RunBi(split.train, config);
-    total += BoxWRAcc(split.holdout, r.box);
+    const BiResult r = RunBi(splits[f].train, config, indexes[f].get());
+    total += BoxWRAcc(splits[f].holdout, r.box);
   }
   return total / static_cast<double>(splits.size());
 }
@@ -165,14 +175,17 @@ double CrossValidateAlpha(const Dataset& d, const RunOptions& options,
   double best_score = -1.0;
   const auto splits = MakeFolds(d, options.cv_folds, seed);
   if (splits.empty()) return best_alpha;
+  // Each fold is peeled once per alpha candidate: index it once.
+  const auto indexes = IndexFolds(splits);
   for (double alpha : kAlphaGrid) {
     double total = 0.0;
-    for (const auto& split : splits) {
+    for (size_t f = 0; f < splits.size(); ++f) {
       PrimConfig config;
       config.alpha = alpha;
       config.min_points = options.min_points;
-      const PrimResult r = RunPrim(split.train, split.train, config);
-      total += PrAucOnData(r.ReturnedBoxes(), split.holdout);
+      const PrimResult r = RunPrim(splits[f].train, splits[f].train, config,
+                                   indexes[f].get());
+      total += PrAucOnData(r.ReturnedBoxes(), splits[f].holdout);
     }
     const double score = total / static_cast<double>(splits.size());
     if (score > best_score) {
@@ -197,11 +210,15 @@ MethodOutput RunMethod(const MethodSpec& spec, const Dataset& train,
     alpha = CrossValidateAlpha(train, options, DeriveSeed(options.seed, 11));
   }
   if (spec.tuned && spec.family == MethodSpec::Family::kBi) {
+    // Folds (and their indexes) are identical for every m candidate: build
+    // them once for the whole grid.
+    const auto splits =
+        MakeFolds(train, options.cv_folds, DeriveSeed(options.seed, 13));
+    const auto indexes = IndexFolds(splits);
     double best_score = -1e300;
     for (int candidate : MGrid(dims)) {
       const double score =
-          CvWraccForM(train, candidate, spec.beam_size, options.cv_folds,
-                      DeriveSeed(options.seed, 13));
+          CvWraccForM(splits, indexes, candidate, spec.beam_size);
       if (score > best_score) {
         best_score = score;
         m = candidate;
@@ -250,12 +267,24 @@ MethodOutput RunMethod(const MethodSpec& spec, const Dataset& train,
     sd_data = &relabeled;
   }
 
+  // Index the SD dataset once; PRIM and BI scan it column-wise for every
+  // peel/refinement. Only the original dataset goes through the provider
+  // (it is shared across a batch's method variants); REDS-relabeled data is
+  // request-local, so the kernels build a private index for it instead of
+  // churning the engine cache. Bumping indexes its per-replicate feature
+  // subsets internally.
+  std::shared_ptr<const ColumnIndex> sd_index;
+  if (options.column_index_provider && !spec.reds &&
+      spec.family != MethodSpec::Family::kPrimBumping) {
+    sd_index = options.column_index_provider(*sd_data);
+  }
+
   switch (spec.family) {
     case MethodSpec::Family::kPrim: {
       PrimConfig config;
       config.alpha = alpha;
       config.min_points = options.min_points;
-      const PrimResult r = RunPrim(*sd_data, *sd_val, config);
+      const PrimResult r = RunPrim(*sd_data, *sd_val, config, sd_index.get());
       out.trajectory = r.ReturnedBoxes();
       out.last_box = r.BestBox();
       break;
@@ -276,7 +305,7 @@ MethodOutput RunMethod(const MethodSpec& spec, const Dataset& train,
       BiConfig config;
       config.beam_size = spec.beam_size;
       config.max_restricted = m;
-      const BiResult r = RunBi(*sd_data, config);
+      const BiResult r = RunBi(*sd_data, config, sd_index.get());
       out.trajectory = {r.box};
       out.last_box = r.box;
       break;

@@ -57,6 +57,11 @@ struct RunOptions {
   /// provider (e.g. the DiscoveryEngine's cross-request cache) instead of
   /// fitting inline.
   MetamodelProvider metamodel_provider;
+  /// Optional engine hook: the dataset the SD algorithm scans is indexed
+  /// through this provider (e.g. the DiscoveryEngine's fingerprint-keyed
+  /// ColumnIndex cache) so a batch over the same data indexes it once.
+  /// When empty, kernels build private indexes.
+  ColumnIndexProvider column_index_provider;
 };
 
 /// What a method run produces: a trajectory of boxes to assess (nested

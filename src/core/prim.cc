@@ -1,15 +1,22 @@
+// Sorted-index PRIM. Peel candidates are rank selections on per-column
+// sorted permutations of the in-box points, maintained incrementally across
+// peels (apply = drop a prefix/suffix of the peeled column, compact the
+// others through a bitmask); the pasting phase enumerates "outside through
+// one bound" points from the full-data permutations guarded by a
+// per-dimension violation-count array. Produces the same box sequences as
+// the original full-rescan implementation, preserved in prim_reference.cc
+// and asserted equivalent in tests/prim_equivalence_test.cc.
 #include "core/prim.h"
 
 #include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <utility>
 
 namespace reds {
 
 namespace {
-
-constexpr double kInf = std::numeric_limits<double>::infinity();
 
 // A candidate peel: restrict dimension `dim` on one side to `bound`.
 struct Peel {
@@ -21,103 +28,124 @@ struct Peel {
   double precision_after = -1.0;
 };
 
-// Values of in-box points along one dimension.
-void GatherColumn(const Dataset& d, const std::vector<int>& rows, int dim,
-                  std::vector<double>* out) {
-  out->clear();
-  out->reserve(rows.size());
-  for (int r : rows) out->push_back(d.x(r, dim));
-}
-
-// Smallest element strictly greater than v, or +inf if none.
-double NextDistinctAbove(const std::vector<double>& vals, double v) {
-  double best = kInf;
-  for (double x : vals) {
-    if (x > v && x < best) best = x;
-  }
-  return best;
-}
-
-// Largest element strictly smaller than v, or -inf if none.
-double NextDistinctBelow(const std::vector<double>& vals, double v) {
-  double best = -kInf;
-  for (double x : vals) {
-    if (x < v && x > best) best = x;
-  }
-  return best;
-}
-
-// Builds the low- or high-side candidate peel for one dimension, cutting off
-// roughly an alpha share of the in-box train points. Returns dim = -1 when no
-// valid cut exists (e.g. all values equal).
-Peel MakeCandidate(const Dataset& train, const std::vector<int>& in_rows,
-                   const BoxStats& in_stats, int dim, bool low_side,
-                   double alpha, std::vector<double>* scratch) {
-  Peel peel;
-  const int n = static_cast<int>(in_rows.size());
-  const int k = std::max(1, static_cast<int>(std::floor(alpha * n)));
-  if (k >= n) return peel;  // would empty the box
-
-  GatherColumn(train, in_rows, dim, scratch);
-  std::vector<double>& vals = *scratch;
-  double bound;
-  if (low_side) {
-    std::nth_element(vals.begin(), vals.begin() + k, vals.end());
-    bound = vals[static_cast<size_t>(k)];  // (k+1)-th smallest
-  } else {
-    std::nth_element(vals.begin(), vals.begin() + (n - 1 - k), vals.end());
-    bound = vals[static_cast<size_t>(n - 1 - k)];  // (k+1)-th largest
+// Per-dimension sorted views of the in-box training points. sorted_[j]
+// holds exactly the rows currently inside the box, ascending by column j
+// (ties by row id, inherited from the ColumnIndex permutation).
+class PeelState {
+ public:
+  PeelState(const Dataset& train, const ColumnIndex& index)
+      : train_(train),
+        index_(index),
+        in_box_(static_cast<size_t>(train.num_rows()), 1) {
+    sorted_.reserve(static_cast<size_t>(train.num_cols()));
+    for (int j = 0; j < train.num_cols(); ++j) {
+      sorted_.push_back(index.sorted_rows(j));
+    }
   }
 
-  // Count what the cut removes; points equal to the bound stay inside.
-  auto count_removed = [&](double b) {
-    double rn = 0.0, rp = 0.0;
-    for (int r : in_rows) {
-      const double x = train.x(r, dim);
-      if (low_side ? x < b : x > b) {
-        rn += 1.0;
-        rp += train.y(r);
+  // Builds the low- or high-side candidate peel for one dimension, cutting
+  // off roughly an alpha share of the in-box train points. Returns dim = -1
+  // when no valid cut exists (e.g. all values equal). Semantics match the
+  // reference MakeCandidate: the bound is the (k+1)-th order statistic,
+  // points equal to the bound stay inside, and a cut swallowed by ties moves
+  // past the tied block.
+  Peel MakeCandidate(int dim, bool low_side, double alpha,
+                     const BoxStats& in_stats) const {
+    Peel peel;
+    const std::vector<int>& s = sorted_[static_cast<size_t>(dim)];
+    const std::vector<double>& col = index_.column(dim);
+    const int n = static_cast<int>(s.size());
+    const int k = std::max(1, static_cast<int>(std::floor(alpha * n)));
+    if (k >= n) return peel;  // would empty the box
+
+    double bound;
+    double removed_n = 0.0;
+    double removed_pos = 0.0;
+    if (low_side) {
+      bound = col[static_cast<size_t>(s[static_cast<size_t>(k)])];
+      // Points removed: the prefix with value < bound.
+      int p = LowerBoundRank(s, col, bound);
+      if (p == 0) {
+        // Ties swallowed the whole cut: move past the tied block.
+        const int q = UpperBoundRank(s, col, bound);
+        if (q >= n) return peel;  // dimension is constant in box
+        bound = col[static_cast<size_t>(s[static_cast<size_t>(q)])];
+        p = q;  // no values lie strictly between the old and new bound
+      }
+      removed_n = p;
+      for (int i = 0; i < p; ++i) {
+        removed_pos += train_.y(s[static_cast<size_t>(i)]);
+      }
+    } else {
+      bound = col[static_cast<size_t>(s[static_cast<size_t>(n - 1 - k)])];
+      // Points removed: the suffix with value > bound.
+      int q = UpperBoundRank(s, col, bound);
+      if (q >= n) {
+        const int p = LowerBoundRank(s, col, bound);
+        if (p == 0) return peel;  // dimension is constant in box
+        bound = col[static_cast<size_t>(s[static_cast<size_t>(p - 1)])];
+        q = p;  // suffix > new bound starts where values >= old bound began
+      }
+      removed_n = n - q;
+      for (int i = q; i < n; ++i) {
+        removed_pos += train_.y(s[static_cast<size_t>(i)]);
       }
     }
-    peel.removed_n = rn;
-    peel.removed_pos = rp;
-  };
-  count_removed(bound);
+    if (removed_n >= n) return peel;  // would empty the box
 
-  if (peel.removed_n == 0.0) {
-    // Ties swallowed the whole cut: move the bound past the tied block.
-    bound = low_side ? NextDistinctAbove(vals, bound)
-                     : NextDistinctBelow(vals, bound);
-    if (!std::isfinite(bound)) return peel;  // dimension is constant in box
-    count_removed(bound);
+    peel.dim = dim;
+    peel.low_side = low_side;
+    peel.bound = bound;
+    peel.removed_n = removed_n;
+    peel.removed_pos = removed_pos;
+    peel.precision_after =
+        (in_stats.n_pos - removed_pos) / (in_stats.n - removed_n);
+    return peel;
   }
-  if (peel.removed_n >= n) return peel;  // would empty the box
 
-  peel.dim = dim;
-  peel.low_side = low_side;
-  peel.bound = bound;
-  peel.precision_after =
-      (in_stats.n_pos - peel.removed_pos) / (in_stats.n - peel.removed_n);
-  return peel;
-}
-
-// Drops rows violating the peel from `rows`, updating `stats`.
-void ApplyPeel(const Dataset& d, const Peel& peel, std::vector<int>* rows,
-               BoxStats* stats) {
-  size_t kept = 0;
-  for (size_t i = 0; i < rows->size(); ++i) {
-    const int r = (*rows)[i];
-    const double x = d.x(r, peel.dim);
-    const bool removed = peel.low_side ? x < peel.bound : x > peel.bound;
-    if (removed) {
-      stats->n -= 1.0;
-      stats->n_pos -= d.y(r);
+  // Drops the rows violating the peel, updating `stats`. The peeled
+  // dimension loses a prefix/suffix; every other dimension is compacted
+  // through the bitmask, so all views stay exact in-box row sets.
+  void Apply(const Peel& peel, BoxStats* stats) {
+    std::vector<int>& s = sorted_[static_cast<size_t>(peel.dim)];
+    const std::vector<double>& col = index_.column(peel.dim);
+    const int n = static_cast<int>(s.size());
+    if (peel.low_side) {
+      const int p = LowerBoundRank(s, col, peel.bound);
+      for (int i = 0; i < p; ++i) {
+        in_box_[static_cast<size_t>(s[static_cast<size_t>(i)])] = 0;
+      }
+      s.erase(s.begin(), s.begin() + p);
     } else {
-      (*rows)[kept++] = r;
+      const int q = UpperBoundRank(s, col, peel.bound);
+      for (int i = q; i < n; ++i) {
+        in_box_[static_cast<size_t>(s[static_cast<size_t>(i)])] = 0;
+      }
+      s.resize(static_cast<size_t>(q));
+    }
+    stats->n -= peel.removed_n;
+    stats->n_pos -= peel.removed_pos;
+    for (int j = 0; j < static_cast<int>(sorted_.size()); ++j) {
+      if (j == peel.dim) continue;
+      Compact(&sorted_[static_cast<size_t>(j)]);
     }
   }
-  rows->resize(kept);
-}
+
+ private:
+  void Compact(std::vector<int>* s) const {
+    size_t kept = 0;
+    for (size_t i = 0; i < s->size(); ++i) {
+      const int r = (*s)[i];
+      if (in_box_[static_cast<size_t>(r)]) (*s)[kept++] = r;
+    }
+    s->resize(kept);
+  }
+
+  const Dataset& train_;
+  const ColumnIndex& index_;
+  std::vector<std::vector<int>> sorted_;  // [dim] -> in-box rows by value
+  std::vector<uint8_t> in_box_;           // by row id
+};
 
 // One pasting expansion candidate: move a bound outward to re-admit roughly
 // a paste_alpha share of the current box population.
@@ -129,6 +157,101 @@ struct Paste {
   double added_n = 0.0;
 };
 
+// Pasting phase (Friedman & Fisher): greedily re-expand the selected box
+// while train precision does not drop. Candidate enumeration walks the
+// full-data sorted permutation beyond one bound, keeping rows whose only
+// violation is that bound (viol == 1); selection and accounting are
+// identical to the reference implementation.
+void RunPastePhase(const Dataset& train, const Dataset& val,
+                   const ColumnIndex& index, const PrimConfig& config,
+                   double total_train_pos, double total_val_pos,
+                   PrimResult* result) {
+  const int dims = train.num_cols();
+  Box pasted = result->BestBox();
+  BoxStats stats = ComputeBoxStats(train, pasted);
+  std::vector<int> viol = CountBoundViolations(index, pasted);
+  std::vector<std::pair<double, double>> outside;  // (x_j, y)
+
+  bool improved = true;
+  while (improved && stats.n > 0.0) {
+    improved = false;
+    Paste best_paste;
+    const int grow = std::max(
+        1, static_cast<int>(std::floor(config.paste_alpha * stats.n)));
+    for (int j = 0; j < dims; ++j) {
+      const std::vector<int>& s = index.sorted_rows(j);
+      for (bool low : {true, false}) {
+        const double cur = low ? pasted.lo(j) : pasted.hi(j);
+        if (!std::isfinite(cur)) continue;
+        // Points outside only through this one bound.
+        outside.clear();
+        if (low) {
+          const int end = index.LowerBoundRank(j, cur);
+          for (int i = 0; i < end; ++i) {
+            const int r = s[static_cast<size_t>(i)];
+            if (viol[static_cast<size_t>(r)] != 1) continue;
+            outside.emplace_back(train.x(r, j), train.y(r));
+          }
+        } else {
+          const int begin = index.UpperBoundRank(j, cur);
+          for (int i = begin; i < index.num_rows(); ++i) {
+            const int r = s[static_cast<size_t>(i)];
+            if (viol[static_cast<size_t>(r)] != 1) continue;
+            outside.emplace_back(train.x(r, j), train.y(r));
+          }
+        }
+        if (outside.empty()) continue;
+        std::sort(outside.begin(), outside.end());
+        if (!low) std::reverse(outside.begin(), outside.end());
+        const int take = std::min<int>(grow, static_cast<int>(outside.size()));
+        double add_n = 0.0, add_pos = 0.0;
+        for (int t = 0; t < take; ++t) {
+          add_n += 1.0;
+          add_pos += outside[static_cast<size_t>(t)].second;
+        }
+        const double new_bound = outside[static_cast<size_t>(take - 1)].first;
+        const double precision_after =
+            (stats.n_pos + add_pos) / (stats.n + add_n);
+        if (precision_after > best_paste.precision_after) {
+          best_paste = {j, low, new_bound, precision_after, add_n};
+        }
+      }
+    }
+    const double current_precision = Precision(stats);
+    if (best_paste.dim >= 0 &&
+        best_paste.precision_after >= current_precision &&
+        best_paste.added_n > 0.0) {
+      const int j = best_paste.dim;
+      const std::vector<int>& s = index.sorted_rows(j);
+      // Rows admitted by the moved bound lose their dimension-j violation.
+      int begin, end;
+      if (best_paste.low_side) {
+        begin = index.LowerBoundRank(j, best_paste.bound);
+        end = index.LowerBoundRank(j, pasted.lo(j));
+        pasted.set_lo(j, best_paste.bound);
+      } else {
+        begin = index.UpperBoundRank(j, pasted.hi(j));
+        end = index.UpperBoundRank(j, best_paste.bound);
+        pasted.set_hi(j, best_paste.bound);
+      }
+      for (int i = begin; i < end; ++i) {
+        --viol[static_cast<size_t>(s[static_cast<size_t>(i)])];
+      }
+      stats = ComputeBoxStats(train, pasted);
+      improved = true;
+    }
+  }
+
+  if (!(pasted == result->BestBox())) {
+    result->boxes.push_back(pasted);
+    const BoxStats tr = ComputeBoxStats(train, pasted);
+    const BoxStats va = ComputeBoxStats(val, pasted);
+    result->train_curve.push_back({Recall(tr, total_train_pos), Precision(tr)});
+    result->val_curve.push_back({Recall(va, total_val_pos), Precision(va)});
+    result->best_val_index = static_cast<int>(result->boxes.size()) - 1;
+  }
+}
+
 }  // namespace
 
 std::vector<Box> PrimResult::ReturnedBoxes() const {
@@ -137,9 +260,17 @@ std::vector<Box> PrimResult::ReturnedBoxes() const {
 }
 
 PrimResult RunPrim(const Dataset& train, const Dataset& val,
-                   const PrimConfig& config) {
+                   const PrimConfig& config, const ColumnIndex* train_index) {
   assert(train.num_cols() == val.num_cols());
   assert(train.num_rows() > 0 && val.num_rows() > 0);
+  std::shared_ptr<const ColumnIndex> owned;
+  if (train_index == nullptr) {
+    owned = ColumnIndex::Build(train);
+    train_index = owned.get();
+  }
+  assert(train_index->num_rows() == train.num_rows());
+  assert(train_index->num_cols() == train.num_cols());
+
   const int dims = train.num_cols();
   const double total_train_pos = train.TotalPositive();
   const double total_val_pos = val.TotalPositive();
@@ -147,9 +278,7 @@ PrimResult RunPrim(const Dataset& train, const Dataset& val,
   PrimResult result;
   Box box = Box::Unbounded(dims);
 
-  std::vector<int> train_rows(static_cast<size_t>(train.num_rows()));
   std::vector<int> val_rows(static_cast<size_t>(val.num_rows()));
-  for (int i = 0; i < train.num_rows(); ++i) train_rows[static_cast<size_t>(i)] = i;
   for (int i = 0; i < val.num_rows(); ++i) val_rows[static_cast<size_t>(i)] = i;
   BoxStats train_stats{static_cast<double>(train.num_rows()), total_train_pos};
   BoxStats val_stats{static_cast<double>(val.num_rows()), total_val_pos};
@@ -163,13 +292,12 @@ PrimResult RunPrim(const Dataset& train, const Dataset& val,
   };
   record();
 
-  std::vector<double> scratch;
+  PeelState state(train, *train_index);
   while (train_stats.n >= config.min_points && val_stats.n >= config.min_points) {
     Peel best;
     for (int j = 0; j < dims; ++j) {
       for (bool low : {true, false}) {
-        const Peel cand = MakeCandidate(train, train_rows, train_stats, j, low,
-                                        config.alpha, &scratch);
+        const Peel cand = state.MakeCandidate(j, low, config.alpha, train_stats);
         if (cand.dim < 0) continue;
         // Highest precision wins; break ties patiently (remove fewer points).
         if (cand.precision_after > best.precision_after ||
@@ -186,7 +314,7 @@ PrimResult RunPrim(const Dataset& train, const Dataset& val,
     } else {
       box.set_hi(best.dim, std::min(box.hi(best.dim), best.bound));
     }
-    ApplyPeel(train, best, &train_rows, &train_stats);
+    state.Apply(best, &train_stats);
     // Apply the same geometric cut to the validation points.
     {
       size_t kept = 0;
@@ -223,71 +351,8 @@ PrimResult RunPrim(const Dataset& train, const Dataset& val,
   result.best_val_index = best_index;
 
   if (config.paste) {
-    // Pasting phase (Friedman & Fisher): greedily re-expand the selected box
-    // while train precision does not drop.
-    Box pasted = result.BestBox();
-    BoxStats stats = ComputeBoxStats(train, pasted);
-    bool improved = true;
-    while (improved && stats.n > 0.0) {
-      improved = false;
-      Paste best_paste;
-      const int grow = std::max(
-          1, static_cast<int>(std::floor(config.paste_alpha * stats.n)));
-      for (int j = 0; j < dims; ++j) {
-        for (bool low : {true, false}) {
-          const double cur = low ? pasted.lo(j) : pasted.hi(j);
-          if (!std::isfinite(cur)) continue;
-          // Points outside only through this one bound.
-          std::vector<std::pair<double, double>> outside;  // (x_j, y)
-          for (int r = 0; r < train.num_rows(); ++r) {
-            const double* x = train.row(r);
-            bool inside_others = true;
-            for (int jj = 0; jj < dims && inside_others; ++jj) {
-              if (jj == j) continue;
-              inside_others = x[jj] >= pasted.lo(jj) && x[jj] <= pasted.hi(jj);
-            }
-            if (!inside_others) continue;
-            if (low ? x[j] < cur : x[j] > cur) outside.emplace_back(x[j], train.y(r));
-          }
-          if (outside.empty()) continue;
-          std::sort(outside.begin(), outside.end());
-          if (!low) std::reverse(outside.begin(), outside.end());
-          const int take = std::min<int>(grow, static_cast<int>(outside.size()));
-          double add_n = 0.0, add_pos = 0.0;
-          for (int t = 0; t < take; ++t) {
-            add_n += 1.0;
-            add_pos += outside[static_cast<size_t>(t)].second;
-          }
-          const double new_bound = outside[static_cast<size_t>(take - 1)].first;
-          const double precision_after =
-              (stats.n_pos + add_pos) / (stats.n + add_n);
-          if (precision_after > best_paste.precision_after) {
-            best_paste = {j, low, new_bound, precision_after, add_n};
-          }
-        }
-      }
-      const double current_precision = Precision(stats);
-      if (best_paste.dim >= 0 &&
-          best_paste.precision_after >= current_precision &&
-          best_paste.added_n > 0.0) {
-        if (best_paste.low_side) {
-          pasted.set_lo(best_paste.dim, best_paste.bound);
-        } else {
-          pasted.set_hi(best_paste.dim, best_paste.bound);
-        }
-        stats = ComputeBoxStats(train, pasted);
-        improved = true;
-      }
-    }
-    if (!(pasted == result.BestBox())) {
-      result.boxes.push_back(pasted);
-      const BoxStats tr = ComputeBoxStats(train, pasted);
-      const BoxStats va = ComputeBoxStats(val, pasted);
-      result.train_curve.push_back(
-          {Recall(tr, total_train_pos), Precision(tr)});
-      result.val_curve.push_back({Recall(va, total_val_pos), Precision(va)});
-      result.best_val_index = static_cast<int>(result.boxes.size()) - 1;
-    }
+    RunPastePhase(train, val, *train_index, config, total_train_pos,
+                  total_val_pos, &result);
   }
 
   return result;

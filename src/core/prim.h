@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/box.h"
+#include "core/column_index.h"
 #include "core/dataset.h"
 #include "core/quality.h"
 
@@ -38,8 +39,20 @@ struct PrimResult {
 /// the depth (min_points) and selecting the final box. Targets may be
 /// fractional (REDS probability labels). The paper's experiments use
 /// val == train.
+///
+/// The peel candidates are found by rank selection on per-column sorted
+/// permutations (an in-box subset of `train_index`, maintained incrementally
+/// across peels) instead of per-candidate rescans. Pass a prebuilt index of
+/// `train` to amortize it across runs; when null, a private one is built.
 PrimResult RunPrim(const Dataset& train, const Dataset& val,
-                   const PrimConfig& config);
+                   const PrimConfig& config,
+                   const ColumnIndex* train_index = nullptr);
+
+/// The original scalar implementation (full rescan per peel candidate).
+/// Kept as the golden reference for equivalence tests and as the baseline
+/// the perf harness measures speedups against. Same results as RunPrim.
+PrimResult RunPrimReference(const Dataset& train, const Dataset& val,
+                            const PrimConfig& config);
 
 }  // namespace reds
 

@@ -1,0 +1,295 @@
+// Reference scalar PRIM: the original full-rescan implementation, kept as
+// the golden baseline the sorted-index kernel in prim.cc is verified against
+// (tests/prim_equivalence_test.cc) and benchmarked against
+// (bench/bench_perf_kernels.cc). Not used on any production path.
+#include "core/prim.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace reds {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// A candidate peel: restrict dimension `dim` on one side to `bound`.
+struct Peel {
+  int dim = -1;
+  bool low_side = true;   // true: raise lo to `bound`; false: drop hi
+  double bound = 0.0;
+  double removed_n = 0.0;
+  double removed_pos = 0.0;
+  double precision_after = -1.0;
+};
+
+// Values of in-box points along one dimension.
+void GatherColumn(const Dataset& d, const std::vector<int>& rows, int dim,
+                  std::vector<double>* out) {
+  out->clear();
+  out->reserve(rows.size());
+  for (int r : rows) out->push_back(d.x(r, dim));
+}
+
+// Smallest element strictly greater than v, or +inf if none.
+double NextDistinctAbove(const std::vector<double>& vals, double v) {
+  double best = kInf;
+  for (double x : vals) {
+    if (x > v && x < best) best = x;
+  }
+  return best;
+}
+
+// Largest element strictly smaller than v, or -inf if none.
+double NextDistinctBelow(const std::vector<double>& vals, double v) {
+  double best = -kInf;
+  for (double x : vals) {
+    if (x < v && x > best) best = x;
+  }
+  return best;
+}
+
+// Builds the low- or high-side candidate peel for one dimension, cutting off
+// roughly an alpha share of the in-box train points. Returns dim = -1 when no
+// valid cut exists (e.g. all values equal).
+Peel MakeCandidate(const Dataset& train, const std::vector<int>& in_rows,
+                   const BoxStats& in_stats, int dim, bool low_side,
+                   double alpha, std::vector<double>* scratch) {
+  Peel peel;
+  const int n = static_cast<int>(in_rows.size());
+  const int k = std::max(1, static_cast<int>(std::floor(alpha * n)));
+  if (k >= n) return peel;  // would empty the box
+
+  GatherColumn(train, in_rows, dim, scratch);
+  std::vector<double>& vals = *scratch;
+  double bound;
+  if (low_side) {
+    std::nth_element(vals.begin(), vals.begin() + k, vals.end());
+    bound = vals[static_cast<size_t>(k)];  // (k+1)-th smallest
+  } else {
+    std::nth_element(vals.begin(), vals.begin() + (n - 1 - k), vals.end());
+    bound = vals[static_cast<size_t>(n - 1 - k)];  // (k+1)-th largest
+  }
+
+  // Count what the cut removes; points equal to the bound stay inside.
+  auto count_removed = [&](double b) {
+    double rn = 0.0, rp = 0.0;
+    for (int r : in_rows) {
+      const double x = train.x(r, dim);
+      if (low_side ? x < b : x > b) {
+        rn += 1.0;
+        rp += train.y(r);
+      }
+    }
+    peel.removed_n = rn;
+    peel.removed_pos = rp;
+  };
+  count_removed(bound);
+
+  if (peel.removed_n == 0.0) {
+    // Ties swallowed the whole cut: move the bound past the tied block.
+    bound = low_side ? NextDistinctAbove(vals, bound)
+                     : NextDistinctBelow(vals, bound);
+    if (!std::isfinite(bound)) return peel;  // dimension is constant in box
+    count_removed(bound);
+  }
+  if (peel.removed_n >= n) return peel;  // would empty the box
+
+  peel.dim = dim;
+  peel.low_side = low_side;
+  peel.bound = bound;
+  peel.precision_after =
+      (in_stats.n_pos - peel.removed_pos) / (in_stats.n - peel.removed_n);
+  return peel;
+}
+
+// Drops rows violating the peel from `rows`, updating `stats`.
+void ApplyPeel(const Dataset& d, const Peel& peel, std::vector<int>* rows,
+               BoxStats* stats) {
+  size_t kept = 0;
+  for (size_t i = 0; i < rows->size(); ++i) {
+    const int r = (*rows)[i];
+    const double x = d.x(r, peel.dim);
+    const bool removed = peel.low_side ? x < peel.bound : x > peel.bound;
+    if (removed) {
+      stats->n -= 1.0;
+      stats->n_pos -= d.y(r);
+    } else {
+      (*rows)[kept++] = r;
+    }
+  }
+  rows->resize(kept);
+}
+
+// One pasting expansion candidate: move a bound outward to re-admit roughly
+// a paste_alpha share of the current box population.
+struct Paste {
+  int dim = -1;
+  bool low_side = true;
+  double bound = 0.0;
+  double precision_after = -1.0;
+  double added_n = 0.0;
+};
+
+}  // namespace
+
+PrimResult RunPrimReference(const Dataset& train, const Dataset& val,
+                            const PrimConfig& config) {
+  assert(train.num_cols() == val.num_cols());
+  assert(train.num_rows() > 0 && val.num_rows() > 0);
+  const int dims = train.num_cols();
+  const double total_train_pos = train.TotalPositive();
+  const double total_val_pos = val.TotalPositive();
+
+  PrimResult result;
+  Box box = Box::Unbounded(dims);
+
+  std::vector<int> train_rows(static_cast<size_t>(train.num_rows()));
+  std::vector<int> val_rows(static_cast<size_t>(val.num_rows()));
+  for (int i = 0; i < train.num_rows(); ++i) train_rows[static_cast<size_t>(i)] = i;
+  for (int i = 0; i < val.num_rows(); ++i) val_rows[static_cast<size_t>(i)] = i;
+  BoxStats train_stats{static_cast<double>(train.num_rows()), total_train_pos};
+  BoxStats val_stats{static_cast<double>(val.num_rows()), total_val_pos};
+
+  auto record = [&]() {
+    result.boxes.push_back(box);
+    result.train_curve.push_back(
+        {Recall(train_stats, total_train_pos), Precision(train_stats)});
+    result.val_curve.push_back(
+        {Recall(val_stats, total_val_pos), Precision(val_stats)});
+  };
+  record();
+
+  std::vector<double> scratch;
+  while (train_stats.n >= config.min_points && val_stats.n >= config.min_points) {
+    Peel best;
+    for (int j = 0; j < dims; ++j) {
+      for (bool low : {true, false}) {
+        const Peel cand = MakeCandidate(train, train_rows, train_stats, j, low,
+                                        config.alpha, &scratch);
+        if (cand.dim < 0) continue;
+        // Highest precision wins; break ties patiently (remove fewer points).
+        if (cand.precision_after > best.precision_after ||
+            (cand.precision_after == best.precision_after &&
+             best.dim >= 0 && cand.removed_n < best.removed_n)) {
+          best = cand;
+        }
+      }
+    }
+    if (best.dim < 0) break;  // box is a single point block in every dimension
+
+    if (best.low_side) {
+      box.set_lo(best.dim, std::max(box.lo(best.dim), best.bound));
+    } else {
+      box.set_hi(best.dim, std::min(box.hi(best.dim), best.bound));
+    }
+    ApplyPeel(train, best, &train_rows, &train_stats);
+    // Apply the same geometric cut to the validation points.
+    {
+      size_t kept = 0;
+      for (size_t i = 0; i < val_rows.size(); ++i) {
+        const int r = val_rows[i];
+        const double x = val.x(r, best.dim);
+        const bool removed = best.low_side ? x < best.bound : x > best.bound;
+        if (removed) {
+          val_stats.n -= 1.0;
+          val_stats.n_pos -= val.y(r);
+        } else {
+          val_rows[kept++] = r;
+        }
+      }
+      val_rows.resize(kept);
+    }
+    if (train_stats.n == 0.0 || val_stats.n == 0.0) {
+      // Validation support vanished; the last recorded box stands.
+      break;
+    }
+    record();
+  }
+
+  // Select the box with the highest validation precision; first occurrence
+  // (the largest box) wins ties, favoring recall.
+  int best_index = 0;
+  double best_precision = -1.0;
+  for (size_t i = 0; i < result.val_curve.size(); ++i) {
+    if (result.val_curve[i].precision > best_precision) {
+      best_precision = result.val_curve[i].precision;
+      best_index = static_cast<int>(i);
+    }
+  }
+  result.best_val_index = best_index;
+
+  if (config.paste) {
+    // Pasting phase (Friedman & Fisher): greedily re-expand the selected box
+    // while train precision does not drop.
+    Box pasted = result.BestBox();
+    BoxStats stats = ComputeBoxStats(train, pasted);
+    bool improved = true;
+    while (improved && stats.n > 0.0) {
+      improved = false;
+      Paste best_paste;
+      const int grow = std::max(
+          1, static_cast<int>(std::floor(config.paste_alpha * stats.n)));
+      for (int j = 0; j < dims; ++j) {
+        for (bool low : {true, false}) {
+          const double cur = low ? pasted.lo(j) : pasted.hi(j);
+          if (!std::isfinite(cur)) continue;
+          // Points outside only through this one bound.
+          std::vector<std::pair<double, double>> outside;  // (x_j, y)
+          for (int r = 0; r < train.num_rows(); ++r) {
+            const double* x = train.row(r);
+            bool inside_others = true;
+            for (int jj = 0; jj < dims && inside_others; ++jj) {
+              if (jj == j) continue;
+              inside_others = x[jj] >= pasted.lo(jj) && x[jj] <= pasted.hi(jj);
+            }
+            if (!inside_others) continue;
+            if (low ? x[j] < cur : x[j] > cur) outside.emplace_back(x[j], train.y(r));
+          }
+          if (outside.empty()) continue;
+          std::sort(outside.begin(), outside.end());
+          if (!low) std::reverse(outside.begin(), outside.end());
+          const int take = std::min<int>(grow, static_cast<int>(outside.size()));
+          double add_n = 0.0, add_pos = 0.0;
+          for (int t = 0; t < take; ++t) {
+            add_n += 1.0;
+            add_pos += outside[static_cast<size_t>(t)].second;
+          }
+          const double new_bound = outside[static_cast<size_t>(take - 1)].first;
+          const double precision_after =
+              (stats.n_pos + add_pos) / (stats.n + add_n);
+          if (precision_after > best_paste.precision_after) {
+            best_paste = {j, low, new_bound, precision_after, add_n};
+          }
+        }
+      }
+      const double current_precision = Precision(stats);
+      if (best_paste.dim >= 0 &&
+          best_paste.precision_after >= current_precision &&
+          best_paste.added_n > 0.0) {
+        if (best_paste.low_side) {
+          pasted.set_lo(best_paste.dim, best_paste.bound);
+        } else {
+          pasted.set_hi(best_paste.dim, best_paste.bound);
+        }
+        stats = ComputeBoxStats(train, pasted);
+        improved = true;
+      }
+    }
+    if (!(pasted == result.BestBox())) {
+      result.boxes.push_back(pasted);
+      const BoxStats tr = ComputeBoxStats(train, pasted);
+      const BoxStats va = ComputeBoxStats(val, pasted);
+      result.train_curve.push_back(
+          {Recall(tr, total_train_pos), Precision(tr)});
+      result.val_curve.push_back({Recall(va, total_val_pos), Precision(va)});
+      result.best_val_index = static_cast<int>(result.boxes.size()) - 1;
+    }
+  }
+
+  return result;
+}
+
+}  // namespace reds

@@ -89,7 +89,10 @@ void Job::MarkFailed(std::string error) {
 }
 
 DiscoveryEngine::DiscoveryEngine(EngineConfig config)
-    : config_(config), pool_(config.threads) {}
+    : config_(config),
+      cache_(config.metamodel_cache_capacity),
+      column_indexes_(config.column_index_cache_capacity),
+      pool_(config.threads) {}
 
 JobHandle DiscoveryEngine::Submit(DiscoveryRequest request) {
   auto job = std::make_shared<Job>(std::move(request));
@@ -107,6 +110,34 @@ std::vector<JobHandle> DiscoveryEngine::SubmitBatch(
 
 void DiscoveryEngine::WaitAll() { pool_.Wait(); }
 
+void DiscoveryEngine::Shutdown() { pool_.Shutdown(); }
+
+std::shared_ptr<const ColumnIndex> DiscoveryEngine::GetColumnIndex(
+    const Dataset& d) {
+  const uint64_t fingerprint = FingerprintInputs(d);
+  {
+    std::unique_lock<std::mutex> lock(column_index_mutex_);
+    if (auto* found = column_indexes_.Get(fingerprint)) return *found;
+  }
+  // Build outside the lock: indexing a large relabeled matrix takes long
+  // enough that serializing it would stall unrelated jobs. A rare race
+  // builds twice and keeps one.
+  std::shared_ptr<const ColumnIndex> index = ColumnIndex::Build(d);
+  std::unique_lock<std::mutex> lock(column_index_mutex_);
+  if (auto* found = column_indexes_.Get(fingerprint)) return *found;
+  column_indexes_.Put(fingerprint, index);
+  return index;
+}
+
+int DiscoveryEngine::column_index_cache_size() const {
+  std::unique_lock<std::mutex> lock(column_index_mutex_);
+  return static_cast<int>(column_indexes_.size());
+}
+
+ColumnIndexProvider DiscoveryEngine::MakeColumnIndexProvider() {
+  return [this](const Dataset& d) { return GetColumnIndex(d); };
+}
+
 MetamodelProvider DiscoveryEngine::MakeCachingProvider() {
   return [this](const Dataset& train, ml::MetamodelKind kind, bool tune,
                 ml::TuningBudget budget,
@@ -117,9 +148,16 @@ MetamodelProvider DiscoveryEngine::MakeCachingProvider() {
     key.tuned = tune;
     key.budget = budget;
     key.seed = CanonicalSeed(config_.seed, key);
-    return cache_.GetOrFit(key, [&train, kind, tune, budget, &key] {
+    return cache_.GetOrFit(key, [this, &train, kind, tune, budget, &key] {
+      // Untuned tree metamodels reuse the engine's shared columnar index of
+      // the training data for their presorted split search.
+      std::shared_ptr<const ColumnIndex> index;
+      if (config_.cache_column_indexes && !tune &&
+          kind != ml::MetamodelKind::kSvm) {
+        index = GetColumnIndex(train);
+      }
       return std::shared_ptr<const ml::Metamodel>(
-          ml::FitMetamodel(kind, train, key.seed, tune, budget));
+          ml::FitMetamodel(kind, train, key.seed, tune, budget, index.get()));
     });
   };
 }
@@ -145,6 +183,9 @@ void DiscoveryEngine::Execute(const JobHandle& job) {
     RunOptions options = req.options;
     if (config_.cache_metamodels && spec->reds && !options.metamodel_provider) {
       options.metamodel_provider = MakeCachingProvider();
+    }
+    if (config_.cache_column_indexes && !options.column_index_provider) {
+      options.column_index_provider = MakeColumnIndexProvider();
     }
     MethodOutput out = RunMethod(*spec, train, options);
 

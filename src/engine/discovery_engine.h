@@ -16,9 +16,11 @@
 #include <string>
 #include <vector>
 
+#include "core/column_index.h"
 #include "core/method.h"
 #include "engine/metamodel_cache.h"
 #include "engine/result_store.h"
+#include "util/lru_map.h"
 #include "util/thread_pool.h"
 
 namespace reds::engine {
@@ -26,6 +28,13 @@ namespace reds::engine {
 struct EngineConfig {
   int threads = 0;              // 0: hardware concurrency
   bool cache_metamodels = true;
+  /// Max metamodels kept resident (LRU eviction beyond it); 0 = unbounded.
+  size_t metamodel_cache_capacity = 128;
+  /// Shared per-dataset ColumnIndex cache: a batch of method variants over
+  /// the same inputs builds the columnar index (column copies + sorted
+  /// permutations) once. Keyed by the input-only fingerprint.
+  bool cache_column_indexes = true;
+  size_t column_index_cache_capacity = 32;  // LRU bound; 0 = unbounded
   /// Root seed for the canonical metamodel fits. The engine re-seeds each
   /// metamodel from (this seed, cache key) instead of the per-request seed,
   /// so results are bit-identical whether a request hits or misses the
@@ -121,6 +130,12 @@ class DiscoveryEngine {
   /// Blocks until every submitted job has finished.
   void WaitAll();
 
+  /// Drains the queue and joins/releases the worker pool. The engine stays
+  /// readable (results, cache statistics) but accepts no further Submits.
+  /// Idempotent; call when a batch owner outlives its engine use so idle
+  /// workers do not linger.
+  void Shutdown();
+
   ResultStore& results() { return store_; }
   const ResultStore& results() const { return store_; }
   const MetamodelCache& metamodel_cache() const { return cache_; }
@@ -132,12 +147,22 @@ class DiscoveryEngine {
   const EngineConfig& config() const { return config_; }
   int threads() const { return pool_.num_threads(); }
 
+  /// Number of distinct column indexes currently cached.
+  int column_index_cache_size() const;
+
+  /// The engine's shared per-dataset index (building and caching it on
+  /// demand); also exposed to jobs through RunOptions.
+  std::shared_ptr<const ColumnIndex> GetColumnIndex(const Dataset& d);
+
  private:
   void Execute(const JobHandle& job);
   MetamodelProvider MakeCachingProvider();
+  ColumnIndexProvider MakeColumnIndexProvider();
 
   EngineConfig config_;
   MetamodelCache cache_;
+  mutable std::mutex column_index_mutex_;
+  LruMap<uint64_t, std::shared_ptr<const ColumnIndex>> column_indexes_;
   ResultStore store_;
   ThreadPool pool_;  // last member: drains before the fields above die
 };

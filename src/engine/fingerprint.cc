@@ -36,4 +36,18 @@ uint64_t FingerprintDataset(const Dataset& d) {
   return h;
 }
 
+uint64_t FingerprintInputs(const Dataset& d) {
+  uint64_t h = kFnvOffset;
+  // A distinct salt keeps input-only and full fingerprints from colliding
+  // on datasets that happen to serialize identically.
+  HashValue(&h, 0x785f6f6e6c79ULL);  // "x_only"
+  HashValue(&h, static_cast<uint64_t>(d.num_cols()));
+  HashValue(&h, static_cast<uint64_t>(d.num_rows()));
+  for (int r = 0; r < d.num_rows(); ++r) {
+    const double* row = d.row(r);
+    for (int c = 0; c < d.num_cols(); ++c) HashDouble(&h, row[c]);
+  }
+  return h;
+}
+
 }  // namespace reds::engine

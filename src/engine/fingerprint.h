@@ -15,6 +15,11 @@ namespace reds::engine {
 /// collide with probability ~2^-64.
 uint64_t FingerprintDataset(const Dataset& d);
 
+/// As FingerprintDataset but over the inputs only (targets excluded): the
+/// identity of a ColumnIndex, which never looks at y, so relabeled variants
+/// of the same input matrix share one index.
+uint64_t FingerprintInputs(const Dataset& d);
+
 }  // namespace reds::engine
 
 #endif  // REDS_ENGINE_FINGERPRINT_H_

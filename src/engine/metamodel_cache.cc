@@ -8,42 +8,78 @@ std::shared_ptr<const ml::Metamodel> MetamodelCache::GetOrFit(
   std::shared_ptr<Entry> mine;
   {
     std::unique_lock<std::mutex> lock(mutex_);
-    const auto it = entries_.find(key);
-    if (it != entries_.end()) {
+    if (std::shared_ptr<Entry>* found = entries_.Get(key)) {
       hits_.fetch_add(1);
-      const std::shared_ptr<Entry> entry = it->second;
+      return (*found)->get();  // completed: no blocking under the lock
+    }
+    const auto running = in_flight_.find(key);
+    if (running != in_flight_.end()) {
+      hits_.fetch_add(1);
+      const std::shared_ptr<Entry> entry = running->second;
       lock.unlock();
-      return entry->get();  // blocks while the owning fit is in flight
+      return entry->get();  // blocks until the owning fit finishes
     }
     mine = std::make_shared<Entry>(promise.get_future().share());
-    entries_.emplace(key, mine);
+    in_flight_.emplace(key, mine);
     fits_.fetch_add(1);
   }
   try {
     std::shared_ptr<const ml::Metamodel> model = fit();
     promise.set_value(model);
+    {
+      // Promote this attempt from the pinned in-flight set into the LRU.
+      // After a concurrent Clear() the slot may be gone (or a successor's):
+      // then the model is returned but not cached, as before.
+      std::unique_lock<std::mutex> lock(mutex_);
+      const auto it = in_flight_.find(key);
+      if (it != in_flight_.end() && it->second == mine) {
+        in_flight_.erase(it);
+        entries_.Put(key, mine);
+      }
+    }
     return model;
   } catch (...) {
     {
-      // Erase only this attempt's entry: after a concurrent Clear(), the
-      // slot may already hold a successor's in-flight fit.
+      // Erase only this attempt's entry, never a successor's.
       std::unique_lock<std::mutex> lock(mutex_);
-      const auto it = entries_.find(key);
-      if (it != entries_.end() && it->second == mine) entries_.erase(it);
+      const auto it = in_flight_.find(key);
+      if (it != in_flight_.end() && it->second == mine) in_flight_.erase(it);
     }
     promise.set_exception(std::current_exception());
     throw;
   }
 }
 
+uint64_t MetamodelCache::eviction_count() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return entries_.evictions();
+}
+
 int MetamodelCache::size() const {
   std::unique_lock<std::mutex> lock(mutex_);
-  return static_cast<int>(entries_.size());
+  return static_cast<int>(entries_.size() + in_flight_.size());
+}
+
+size_t MetamodelCache::capacity() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return entries_.capacity();
+}
+
+MetamodelCacheStats MetamodelCache::stats() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  MetamodelCacheStats s;
+  s.fits = fits_.load();
+  s.hits = hits_.load();
+  s.evictions = entries_.evictions();
+  s.size = static_cast<int>(entries_.size() + in_flight_.size());
+  s.capacity = entries_.capacity();
+  return s;
 }
 
 void MetamodelCache::Clear() {
   std::unique_lock<std::mutex> lock(mutex_);
-  entries_.clear();
+  entries_.Clear();
+  in_flight_.clear();
 }
 
 }  // namespace reds::engine

@@ -4,7 +4,11 @@
 // dataset. Keyed by (dataset fingerprint, metamodel kind, tuning flag,
 // tuning budget, seed), each distinct metamodel is fit exactly once per
 // cache; concurrent requests for the same key block on the first fit
-// instead of duplicating it.
+// instead of duplicating it. The cache is bounded: beyond `capacity`
+// entries, the least-recently-used *completed* models are evicted (counted
+// in stats), so long-lived engines cannot accumulate every model ever fit.
+// In-flight fits are pinned outside the LRU until they finish, so eviction
+// pressure can never trigger a duplicate concurrent fit of the same key.
 #ifndef REDS_ENGINE_METAMODEL_CACHE_H_
 #define REDS_ENGINE_METAMODEL_CACHE_H_
 
@@ -19,6 +23,7 @@
 
 #include "ml/model.h"
 #include "ml/tuning.h"
+#include "util/lru_map.h"
 
 namespace reds::engine {
 
@@ -36,12 +41,24 @@ struct MetamodelKey {
   }
 };
 
+/// Point-in-time cache counters.
+struct MetamodelCacheStats {
+  int fits = 0;        // misses that ran training
+  int hits = 0;        // requests served without training
+  uint64_t evictions = 0;
+  int size = 0;        // entries currently cached
+  size_t capacity = 0; // max entries; 0 = unbounded
+};
+
 /// Shared cache of trained metamodels. Get-or-fit is deduplicating: when two
 /// threads race on the same key, one runs the fit and the other waits on a
 /// shared future, so the fit count per key is exactly one.
 class MetamodelCache {
  public:
   using FitFn = std::function<std::shared_ptr<const ml::Metamodel>()>;
+
+  /// `capacity` bounds the number of cached models (LRU); 0 = unbounded.
+  explicit MetamodelCache(size_t capacity = 0) : entries_(capacity) {}
 
   /// Returns the cached model for `key`, running `fit` (at most once per
   /// key) on a miss. A `fit` that throws is not cached; the exception
@@ -57,20 +74,33 @@ class MetamodelCache {
   /// in-flight fit for the same key).
   int hit_count() const { return hits_.load(); }
 
+  /// Number of entries dropped by LRU eviction.
+  uint64_t eviction_count() const;
+
   /// Number of distinct models currently cached.
   int size() const;
 
-  /// Drops all entries; counters are preserved.
+  size_t capacity() const;
+
+  /// All counters plus size/capacity in one consistent snapshot.
+  MetamodelCacheStats stats() const;
+
+  /// Drops all entries; counters are preserved (drops do not count as
+  /// evictions).
   void Clear();
 
  private:
-  // Entries are held by shared_ptr so the failure path can erase exactly
-  // the attempt it owns (identity compare), never a successor inserted
-  // after a concurrent Clear().
+  // Entries are held by shared_ptr so the completion/failure paths can act
+  // on exactly the attempt they own (identity compare), never a successor
+  // inserted after a concurrent Clear().
   using Entry = std::shared_future<std::shared_ptr<const ml::Metamodel>>;
 
   mutable std::mutex mutex_;
-  std::map<MetamodelKey, std::shared_ptr<Entry>> entries_;
+  // Fits currently running: pinned (never evicted) so racing requests for
+  // the same key always find and wait on the one in-flight attempt.
+  std::map<MetamodelKey, std::shared_ptr<Entry>> in_flight_;
+  // Completed models, LRU-bounded.
+  LruMap<MetamodelKey, std::shared_ptr<Entry>> entries_;
   std::atomic<int> fits_{0};
   std::atomic<int> hits_{0};
 };

@@ -106,16 +106,20 @@ TablePrinter ResultStore::SummaryTable(const std::string& title) const {
 Status ResultStore::WriteCsv(const std::string& path) const {
   CsvWriter csv({"cell_index", "rep", "pr_auc", "precision", "recall",
                  "wracc", "restricted", "irrel", "runtime_seconds"});
-  std::unique_lock<std::mutex> lock(mutex_);
-  double cell_index = 0.0;
-  for (const auto& [name, cell] : cells_) {
-    for (size_t r = 0; r < cell.reps.size(); ++r) {
-      const MetricSet& m = cell.reps[r];
-      csv.AddRow({cell_index, static_cast<double>(r), m.pr_auc, m.precision,
-                  m.recall, m.wracc, m.restricted, m.irrel,
-                  m.runtime_seconds});
+  // Snapshot the rows under the lock, write after releasing it: file I/O
+  // must not stall concurrent Record() calls from in-flight jobs.
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    double cell_index = 0.0;
+    for (const auto& [name, cell] : cells_) {
+      for (size_t r = 0; r < cell.reps.size(); ++r) {
+        const MetricSet& m = cell.reps[r];
+        csv.AddRow({cell_index, static_cast<double>(r), m.pr_auc, m.precision,
+                    m.recall, m.wracc, m.restricted, m.irrel,
+                    m.runtime_seconds});
+      }
+      cell_index += 1.0;
     }
-    cell_index += 1.0;
   }
   return csv.WriteFile(path);
 }

@@ -178,8 +178,10 @@ void Runner::RunImpl() {
   }
 
   // The engine outlives Run() (it owns the result store the accessors
-  // read); the fitted metamodels are dead weight from here on.
+  // read); the fitted metamodels are dead weight from here on, and the
+  // worker pool would otherwise idle for the Runner's remaining lifetime.
   engine_->ClearMetamodelCache();
+  engine_->Shutdown();
 }
 
 }  // namespace reds::exp

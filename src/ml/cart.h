@@ -1,12 +1,18 @@
 // CART-style binary regression tree (exact greedy, variance-reduction
 // splitting). With {0,1} targets this is equivalent to Gini splitting; leaf
 // values are class-1 probabilities. Building block of the random forest.
+//
+// Split search runs on presorted per-feature index arrays partitioned down
+// the tree (the classic presorted-index trick), eliminating the per-node
+// O(n log n) sort; the original sort-per-node path is kept behind
+// TreeConfig::presorted = false as the equivalence/benchmark reference.
 #ifndef REDS_ML_CART_H_
 #define REDS_ML_CART_H_
 
 #include <cstdint>
 #include <vector>
 
+#include "core/column_index.h"
 #include "core/dataset.h"
 #include "util/rng.h"
 
@@ -19,18 +25,25 @@ struct TreeConfig {
   int min_samples_split = 2; // minimal rows to attempt a split
   int mtry = -1;             // features sampled per split; -1: all
   double min_gain = 1e-12;   // minimal SSE reduction to accept a split
+  bool presorted = true;     // false: reference sort-per-node split search
+  int threads = 1;           // feature-parallel split search when > 1
 };
 
 /// A fitted regression tree. Nodes are stored in a flat array.
 class RegressionTree {
  public:
   /// Fits the tree on the given rows of d (duplicates allowed, enabling
-  /// bootstrap samples). `rng` drives mtry feature subsampling.
+  /// bootstrap samples). `rng` drives mtry feature subsampling. Pass a
+  /// prebuilt ColumnIndex of d to derive the per-feature sorted orders by
+  /// counting instead of comparison sorts (the forest shares one index
+  /// across all trees); when null, orders are sorted per fit.
   void Fit(const Dataset& d, const std::vector<int>& rows,
-           const TreeConfig& config, Rng* rng);
+           const TreeConfig& config, Rng* rng,
+           const ColumnIndex* index = nullptr);
 
   /// Convenience: fit on all rows.
-  void Fit(const Dataset& d, const TreeConfig& config, Rng* rng);
+  void Fit(const Dataset& d, const TreeConfig& config, Rng* rng,
+           const ColumnIndex* index = nullptr);
 
   /// Mean target of the leaf containing x.
   double Predict(const double* x) const;
@@ -49,8 +62,11 @@ class RegressionTree {
     double value = 0.0;      // leaf prediction (mean target)
   };
 
-  int Build(const Dataset& d, std::vector<int>* rows, int begin, int end,
-            int depth, const TreeConfig& config, Rng* rng);
+  struct FitContext;
+
+  int Build(FitContext* ctx, int begin, int end, int depth);
+  int BuildReference(const Dataset& d, std::vector<int>* rows, int begin,
+                     int end, int depth, const TreeConfig& config, Rng* rng);
   int DepthOf(int node) const;
 
   std::vector<Node> nodes_;

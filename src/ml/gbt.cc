@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <memory>
 #include <numeric>
+
+#include "ml/order_partition.h"
+#include "util/thread_pool.h"
 
 namespace reds::ml {
 
@@ -17,6 +21,29 @@ double LeafScore(double g, double h, double lambda) {
 }
 
 }  // namespace
+
+// Per-round presorted state: for each of the round's candidate features, the
+// in-bag rows ascending by that feature's value (derived from the shared
+// ColumnIndex permutation, partitioned stably down the tree). `rows` mirrors
+// the reference implementation's row array -- partitioned unstably with the
+// same boolean sequence -- so node gradient sums accumulate in the exact
+// same order and the fitted model is bit-identical to the reference.
+struct GradientBoostedTrees::RoundContext {
+  const ColumnIndex* index = nullptr;
+  const std::vector<double>* grad = nullptr;
+  const std::vector<double>* hess = nullptr;
+  const std::vector<int>* features = nullptr;  // this round's candidates
+  std::vector<std::vector<int>> order;         // per candidate: rows by value
+  std::vector<int> rows;                       // reference-order row list
+  std::vector<uint8_t> goes_left;              // by row id
+  std::vector<int> scratch;
+  ThreadPool* pool = nullptr;
+  double min_child_weight = 1.0;
+  double lambda = 1.0;
+  double gamma = 0.0;
+  double eta = 0.3;
+  int max_depth = 4;
+};
 
 double GradientBoostedTrees::Tree::Predict(const double* x) const {
   int node = 0;
@@ -105,7 +132,109 @@ int GradientBoostedTrees::BuildNode(const Dataset& d,
   return node_index;
 }
 
+int GradientBoostedTrees::BuildNodeSorted(RoundContext* ctx, int begin,
+                                          int end, int depth,
+                                          Tree* tree) const {
+  const std::vector<double>& grad = *ctx->grad;
+  const std::vector<double>& hess = *ctx->hess;
+  double g_sum = 0.0, h_sum = 0.0;
+  for (int i = begin; i < end; ++i) {
+    const int r = ctx->rows[static_cast<size_t>(i)];
+    g_sum += grad[static_cast<size_t>(r)];
+    h_sum += hess[static_cast<size_t>(r)];
+  }
+
+  const int node_index = static_cast<int>(tree->nodes.size());
+  tree->nodes.emplace_back();
+  tree->nodes[static_cast<size_t>(node_index)].weight =
+      -ctx->eta * g_sum / (h_sum + ctx->lambda);
+
+  if (depth >= ctx->max_depth || end - begin < 2) return node_index;
+
+  const int n = end - begin;
+  const double parent_score = LeafScore(g_sum, h_sum, ctx->lambda);
+  const std::vector<int>& features = *ctx->features;
+
+  struct Candidate {
+    int feature = -1;
+    double threshold = 0.0;
+    double gain = 0.0;
+  };
+  // Walks one candidate feature's value-ordered rows; same accumulation
+  // order and gain math as the reference's sorted (value, row) pairs.
+  auto search_feature = [&](size_t fi) {
+    Candidate cand;
+    const int f = features[fi];
+    const std::vector<int>& ord = ctx->order[fi];
+    const std::vector<double>& col = ctx->index->column(f);
+    double gl = 0.0, hl = 0.0;
+    for (int i = begin; i + 1 < end; ++i) {
+      const int r = ord[static_cast<size_t>(i)];
+      gl += grad[static_cast<size_t>(r)];
+      hl += hess[static_cast<size_t>(r)];
+      const int next = ord[static_cast<size_t>(i + 1)];
+      if (col[static_cast<size_t>(r)] == col[static_cast<size_t>(next)]) {
+        continue;
+      }
+      const double gr = g_sum - gl;
+      const double hr = h_sum - hl;
+      if (hl < ctx->min_child_weight || hr < ctx->min_child_weight) continue;
+      const double gain = 0.5 * (LeafScore(gl, hl, ctx->lambda) +
+                                 LeafScore(gr, hr, ctx->lambda) -
+                                 parent_score) -
+                          ctx->gamma;
+      if (gain > cand.gain) {
+        cand.gain = gain;
+        cand.feature = f;
+        cand.threshold = 0.5 * (col[static_cast<size_t>(r)] +
+                                col[static_cast<size_t>(next)]);
+      }
+    }
+    return cand;
+  };
+
+  const Candidate best = BestSplitOverFeatures<Candidate>(
+      ctx->pool, features.size(), n, search_feature);
+
+  if (best.feature < 0) return node_index;
+
+  const std::vector<double>& best_col = ctx->index->column(best.feature);
+  int nl = 0;
+  for (int i = begin; i < end; ++i) {
+    const int r = ctx->rows[static_cast<size_t>(i)];
+    const uint8_t left =
+        best_col[static_cast<size_t>(r)] <= best.threshold ? 1 : 0;
+    ctx->goes_left[static_cast<size_t>(r)] = left;
+    nl += left;
+  }
+  const int mid = begin + nl;
+  if (mid == begin || mid == end) return node_index;  // degenerate (ties)
+
+  // rows partitions unstably with the reference's boolean sequence; the
+  // per-feature orders partition stably to stay value-sorted.
+  std::partition(ctx->rows.data() + begin, ctx->rows.data() + end,
+                 [&](int r) {
+                   return ctx->goes_left[static_cast<size_t>(r)] != 0;
+                 });
+  StablePartitionOrders(&ctx->order, begin, end, ctx->goes_left,
+                        &ctx->scratch);
+
+  const int left = BuildNodeSorted(ctx, begin, mid, depth + 1, tree);
+  const int right = BuildNodeSorted(ctx, mid, end, depth + 1, tree);
+  Node& nd = tree->nodes[static_cast<size_t>(node_index)];
+  nd.feature = best.feature;
+  nd.threshold = best.threshold;
+  nd.left = left;
+  nd.right = right;
+  return node_index;
+}
+
 void GradientBoostedTrees::Fit(const Dataset& d, uint64_t seed) {
+  Fit(d, seed, nullptr);
+}
+
+void GradientBoostedTrees::Fit(const Dataset& d, uint64_t seed,
+                               const ColumnIndex* index) {
   assert(d.num_rows() > 0);
   num_features_ = d.num_cols();
   const int n = d.num_rows();
@@ -115,6 +244,19 @@ void GradientBoostedTrees::Fit(const Dataset& d, uint64_t seed) {
   std::vector<double> hess(static_cast<size_t>(n));
   trees_.clear();
   trees_.reserve(static_cast<size_t>(config_.num_rounds));
+
+  std::shared_ptr<const ColumnIndex> owned;
+  if (config_.presorted && index == nullptr) {
+    owned = ColumnIndex::Build(d);
+    index = owned.get();
+  }
+  assert(index == nullptr || (index->num_rows() == d.num_rows() &&
+                              index->num_cols() == d.num_cols()));
+  std::unique_ptr<ThreadPool> pool;
+  if (config_.presorted && config_.threads > 1 && d.num_cols() > 1) {
+    pool = std::make_unique<ThreadPool>(config_.threads);
+  }
+  std::vector<uint8_t> in_bag;  // reused per round
 
   Rng rng(DeriveSeed(seed, 0x67627400ULL));
   for (int round = 0; round < config_.num_rounds; ++round) {
@@ -146,8 +288,43 @@ void GradientBoostedTrees::Fit(const Dataset& d, uint64_t seed) {
     }
 
     Tree tree;
-    BuildNode(d, grad, hess, &rows, 0, static_cast<int>(rows.size()), 0,
-              features, &tree);
+    if (!config_.presorted) {
+      BuildNode(d, grad, hess, &rows, 0, static_cast<int>(rows.size()), 0,
+                features, &tree);
+    } else {
+      RoundContext ctx;
+      ctx.index = index;
+      ctx.grad = &grad;
+      ctx.hess = &hess;
+      ctx.features = &features;
+      ctx.pool = pool.get();
+      ctx.min_child_weight = config_.min_child_weight;
+      ctx.lambda = config_.lambda;
+      ctx.gamma = config_.gamma;
+      ctx.eta = config_.eta;
+      ctx.max_depth = config_.max_depth;
+      const int in_round = static_cast<int>(rows.size());
+      ctx.order.resize(features.size());
+      if (in_round == n) {
+        for (size_t fi = 0; fi < features.size(); ++fi) {
+          ctx.order[fi] = index->sorted_rows(features[fi]);
+        }
+      } else {
+        in_bag.assign(static_cast<size_t>(n), 0);
+        for (int r : rows) in_bag[static_cast<size_t>(r)] = 1;
+        for (size_t fi = 0; fi < features.size(); ++fi) {
+          std::vector<int>& ord = ctx.order[fi];
+          ord.reserve(static_cast<size_t>(in_round));
+          for (int r : index->sorted_rows(features[fi])) {
+            if (in_bag[static_cast<size_t>(r)]) ord.push_back(r);
+          }
+        }
+      }
+      ctx.rows = std::move(rows);
+      ctx.goes_left.resize(static_cast<size_t>(n));
+      ctx.scratch.resize(static_cast<size_t>(in_round));
+      BuildNodeSorted(&ctx, 0, in_round, 0, &tree);
+    }
     for (int i = 0; i < n; ++i) {
       margin[static_cast<size_t>(i)] += tree.Predict(d.row(i));
     }

@@ -2,11 +2,17 @@
 // L2 leaf regularization and exact greedy split finding -- the XGBoost
 // recipe (Chen & Guestrin 2016) reimplemented from scratch. Backs the "x"
 // metamodel variants ("RPx", "RPxp", "RBIcxp", ...).
+//
+// Split search runs on presorted per-feature row orders derived once per
+// round from a shared ColumnIndex and partitioned down the tree, replacing
+// the per-node O(n log n) sort; the original path is kept behind
+// GbtConfig::presorted = false as the equivalence/benchmark reference.
 #ifndef REDS_ML_GBT_H_
 #define REDS_ML_GBT_H_
 
 #include <vector>
 
+#include "core/column_index.h"
 #include "ml/model.h"
 #include "util/rng.h"
 
@@ -22,6 +28,8 @@ struct GbtConfig {
   double subsample = 1.0;        // row subsampling per round
   double colsample = 1.0;        // feature subsampling per round
   double base_score = 0.5;       // initial probability
+  bool presorted = true;         // false: reference sort-per-node split search
+  int threads = 1;               // feature-parallel split search when > 1
 };
 
 class GradientBoostedTrees : public Metamodel {
@@ -29,6 +37,11 @@ class GradientBoostedTrees : public Metamodel {
   explicit GradientBoostedTrees(GbtConfig config = {}) : config_(config) {}
 
   void Fit(const Dataset& d, uint64_t seed) override;
+
+  /// As Fit, reusing a prebuilt ColumnIndex of d (e.g. the discovery
+  /// engine's shared per-dataset index) instead of building one per fit.
+  void Fit(const Dataset& d, uint64_t seed, const ColumnIndex* index);
+
   double PredictProb(const double* x) const override;
   int num_features() const override { return num_features_; }
 
@@ -50,11 +63,14 @@ class GradientBoostedTrees : public Metamodel {
     std::vector<Node> nodes;
     double Predict(const double* x) const;
   };
+  struct RoundContext;
 
   int BuildNode(const Dataset& d, const std::vector<double>& grad,
                 const std::vector<double>& hess, std::vector<int>* rows,
                 int begin, int end, int depth,
                 const std::vector<int>& features, Tree* tree) const;
+  int BuildNodeSorted(RoundContext* ctx, int begin, int end, int depth,
+                      Tree* tree) const;
 
   GbtConfig config_;
   std::vector<Tree> trees_;

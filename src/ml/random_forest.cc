@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <memory>
+
+#include "util/thread_pool.h"
 
 namespace reds::ml {
 
@@ -19,6 +22,11 @@ std::string MetamodelSuffix(MetamodelKind kind) {
 }
 
 void RandomForest::Fit(const Dataset& d, uint64_t seed) {
+  Fit(d, seed, nullptr);
+}
+
+void RandomForest::Fit(const Dataset& d, uint64_t seed,
+                       const ColumnIndex* index) {
   assert(d.num_rows() > 0);
   num_features_ = d.num_cols();
   TreeConfig tree_config;
@@ -29,6 +37,16 @@ void RandomForest::Fit(const Dataset& d, uint64_t seed) {
   tree_config.min_samples_leaf = config_.min_samples_leaf;
   tree_config.min_samples_split = std::max(2, 2 * config_.min_samples_leaf);
   tree_config.max_depth = config_.max_depth;
+  tree_config.presorted = config_.presorted;
+
+  // One columnar index serves every tree; each derives its bootstrap
+  // sample's per-feature orders from the shared permutations by counting.
+  std::shared_ptr<const ColumnIndex> owned;
+  if (config_.presorted && index == nullptr) {
+    owned = ColumnIndex::Build(d);
+    index = owned.get();
+  }
+  if (!config_.presorted) index = nullptr;
 
   const int bag_size = std::max(
       1, static_cast<int>(std::lround(config_.sample_fraction * d.num_rows())));
@@ -36,14 +54,21 @@ void RandomForest::Fit(const Dataset& d, uint64_t seed) {
   trees_.assign(static_cast<size_t>(config_.num_trees), RegressionTree());
   in_bag_counts_.assign(static_cast<size_t>(config_.num_trees),
                         std::vector<int>(static_cast<size_t>(d.num_rows()), 0));
-  for (int t = 0; t < config_.num_trees; ++t) {
+  auto fit_tree = [&](int t) {
     Rng rng(DeriveSeed(seed, static_cast<uint64_t>(t)));
     std::vector<int> rows(static_cast<size_t>(bag_size));
     for (auto& r : rows) {
       r = static_cast<int>(rng.UniformInt(static_cast<uint64_t>(d.num_rows())));
       in_bag_counts_[static_cast<size_t>(t)][static_cast<size_t>(r)]++;
     }
-    trees_[static_cast<size_t>(t)].Fit(d, rows, tree_config, &rng);
+    trees_[static_cast<size_t>(t)].Fit(d, rows, tree_config, &rng, index);
+  };
+  if (config_.fit_threads > 1) {
+    // Trees are seeded independently, so the parallel fit is deterministic
+    // and identical to the serial one.
+    ParallelFor(0, config_.num_trees, fit_tree, config_.fit_threads);
+  } else {
+    for (int t = 0; t < config_.num_trees; ++t) fit_tree(t);
   }
 }
 

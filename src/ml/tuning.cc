@@ -82,14 +82,15 @@ int DefaultMtry(int m) {
 }  // namespace
 
 std::unique_ptr<Metamodel> FitDefault(MetamodelKind kind, const Dataset& d,
-                                      uint64_t seed, TuningBudget budget) {
+                                      uint64_t seed, TuningBudget budget,
+                                      const ColumnIndex* index) {
   const bool full = budget == TuningBudget::kFull;
   switch (kind) {
     case MetamodelKind::kRandomForest: {
       RandomForestConfig config;
       config.num_trees = full ? 500 : 100;
       auto model = std::make_unique<RandomForest>(config);
-      model->Fit(d, seed);
+      model->Fit(d, seed, index);
       return model;
     }
     case MetamodelKind::kGbt: {
@@ -98,7 +99,7 @@ std::unique_ptr<Metamodel> FitDefault(MetamodelKind kind, const Dataset& d,
       config.max_depth = 4;
       config.eta = 0.3;
       auto model = std::make_unique<GradientBoostedTrees>(config);
-      model->Fit(d, seed);
+      model->Fit(d, seed, index);
       return model;
     }
     case MetamodelKind::kSvm: {
@@ -170,13 +171,14 @@ std::unique_ptr<Metamodel> TuneAndFit(MetamodelKind kind, const Dataset& d,
 
 std::unique_ptr<Metamodel> FitMetamodel(MetamodelKind kind, const Dataset& d,
                                         uint64_t seed, bool tune,
-                                        TuningBudget budget) {
+                                        TuningBudget budget,
+                                        const ColumnIndex* index) {
   if (tune) {
     TuningConfig config;
     config.budget = budget;
     return TuneAndFit(kind, d, seed, config);
   }
-  return FitDefault(kind, d, seed, budget);
+  return FitDefault(kind, d, seed, budget, index);
 }
 
 }  // namespace reds::ml

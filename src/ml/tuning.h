@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "core/column_index.h"
 #include "core/dataset.h"
 #include "ml/model.h"
 
@@ -31,17 +32,22 @@ std::unique_ptr<Metamodel> TuneAndFit(MetamodelKind kind, const Dataset& d,
                                       uint64_t seed,
                                       const TuningConfig& config = {});
 
-/// Fits the family with library defaults (no tuning).
+/// Fits the family with library defaults (no tuning). A prebuilt
+/// ColumnIndex of d (e.g. the engine's shared per-dataset index) feeds the
+/// tree learners' presorted split search; when null they build their own.
 std::unique_ptr<Metamodel> FitDefault(MetamodelKind kind, const Dataset& d,
                                       uint64_t seed,
-                                      TuningBudget budget = TuningBudget::kQuick);
+                                      TuningBudget budget = TuningBudget::kQuick,
+                                      const ColumnIndex* index = nullptr);
 
 /// TuneAndFit when `tune`, else FitDefault: the single dispatch both the
 /// inline REDS path and the engine's metamodel cache use, so cached and
-/// uncached fits cannot drift apart.
+/// uncached fits cannot drift apart. `index` is used on the untuned path;
+/// tuned fits run on CV-fold subsets with their own indexes.
 std::unique_ptr<Metamodel> FitMetamodel(MetamodelKind kind, const Dataset& d,
                                         uint64_t seed, bool tune,
-                                        TuningBudget budget);
+                                        TuningBudget budget,
+                                        const ColumnIndex* index = nullptr);
 
 }  // namespace reds::ml
 

@@ -1,6 +1,7 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace reds {
 
@@ -15,18 +16,26 @@ ThreadPool::ThreadPool(int num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     std::unique_lock<std::mutex> lock(mutex_);
+    if (stop_) return;  // already shut down (workers drain before exiting)
     stop_ = true;
   }
   task_available_.notify_all();
-  for (auto& w : workers_) w.join();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mutex_);
+    if (stop_) {
+      throw std::logic_error("ThreadPool::Submit after Shutdown");
+    }
     tasks_.push(std::move(task));
   }
   task_available_.notify_one();

@@ -25,11 +25,17 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task for execution.
+  /// Enqueues a task for execution. Throws std::logic_error after
+  /// Shutdown().
   void Submit(std::function<void()> task);
 
   /// Blocks until all submitted tasks have completed.
   void Wait();
+
+  /// Drains the queue, then stops and joins every worker thread, releasing
+  /// their stacks and OS handles. Idempotent; the destructor calls it.
+  /// After Shutdown() the pool accepts no further tasks.
+  void Shutdown();
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 

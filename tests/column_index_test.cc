@@ -1,0 +1,135 @@
+// ColumnIndex invariants: the per-column sorted permutations (ordering,
+// ties, constant columns), rank queries, violation counts, and columnar
+// copies that the sorted-index PRIM/BI/CART kernels rely on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "core/column_index.h"
+#include "util/rng.h"
+
+namespace reds {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+Dataset MakeData(int n, int dim, uint64_t seed, int distinct_values = 0) {
+  Rng rng(seed);
+  Dataset d(dim);
+  std::vector<double> x(static_cast<size_t>(dim));
+  for (int i = 0; i < n; ++i) {
+    for (auto& v : x) {
+      v = distinct_values > 0
+              ? static_cast<double>(rng.UniformInt(
+                    static_cast<uint64_t>(distinct_values))) /
+                    distinct_values
+              : rng.Uniform();
+    }
+    d.AddRow(x, rng.Bernoulli(0.4) ? 1.0 : 0.0);
+  }
+  return d;
+}
+
+TEST(ColumnIndexTest, ColumnsMatchDatasetValues) {
+  const Dataset d = MakeData(200, 5, 1);
+  const auto index = ColumnIndex::Build(d);
+  ASSERT_EQ(index->num_rows(), 200);
+  ASSERT_EQ(index->num_cols(), 5);
+  for (int j = 0; j < 5; ++j) {
+    for (int r = 0; r < 200; ++r) {
+      EXPECT_EQ(index->column(j)[static_cast<size_t>(r)], d.x(r, j));
+    }
+  }
+}
+
+TEST(ColumnIndexTest, SortedRowsIsAPermutationSortedByValueThenRow) {
+  // Heavy ties: only 7 distinct values per column.
+  const Dataset d = MakeData(300, 4, 2, 7);
+  const auto index = ColumnIndex::Build(d);
+  for (int j = 0; j < 4; ++j) {
+    const std::vector<int>& s = index->sorted_rows(j);
+    ASSERT_EQ(s.size(), 300u);
+    std::vector<bool> seen(300, false);
+    for (int r : s) {
+      ASSERT_GE(r, 0);
+      ASSERT_LT(r, 300);
+      EXPECT_FALSE(seen[static_cast<size_t>(r)]) << "duplicate row " << r;
+      seen[static_cast<size_t>(r)] = true;
+    }
+    for (size_t i = 1; i < s.size(); ++i) {
+      const double prev = d.x(s[i - 1], j);
+      const double cur = d.x(s[i], j);
+      EXPECT_LE(prev, cur);
+      if (prev == cur) {
+        EXPECT_LT(s[i - 1], s[i]) << "ties must be ordered by row id";
+      }
+    }
+  }
+}
+
+TEST(ColumnIndexTest, ConstantColumnIsHandled) {
+  Dataset d(2);
+  for (int i = 0; i < 50; ++i) {
+    const double x[2] = {0.5, static_cast<double>(i)};
+    d.AddRow(x, i % 2 == 0 ? 1.0 : 0.0);
+  }
+  const auto index = ColumnIndex::Build(d);
+  const std::vector<int>& s = index->sorted_rows(0);
+  // All values equal: the permutation degenerates to row-id order.
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(s[static_cast<size_t>(i)], i);
+  EXPECT_EQ(index->LowerBoundRank(0, 0.5), 0);
+  EXPECT_EQ(index->UpperBoundRank(0, 0.5), 50);
+  EXPECT_EQ(index->LowerBoundRank(0, 0.6), 50);
+  EXPECT_EQ(index->UpperBoundRank(0, 0.4), 0);
+}
+
+TEST(ColumnIndexTest, RankQueriesMatchLinearCounts) {
+  const Dataset d = MakeData(250, 3, 3, 11);
+  const auto index = ColumnIndex::Build(d);
+  for (int j = 0; j < 3; ++j) {
+    for (double v : {-kInf, 0.0, 0.3, 5.0 / 11.0, 0.9999, 1.5, kInf}) {
+      int below = 0, at_or_below = 0;
+      for (int r = 0; r < 250; ++r) {
+        below += d.x(r, j) < v ? 1 : 0;
+        at_or_below += d.x(r, j) <= v ? 1 : 0;
+      }
+      EXPECT_EQ(index->LowerBoundRank(j, v), below);
+      EXPECT_EQ(index->UpperBoundRank(j, v), at_or_below);
+    }
+  }
+}
+
+TEST(ColumnIndexTest, ValueAtRankIsTheOrderStatistic) {
+  const Dataset d = MakeData(100, 2, 4);
+  const auto index = ColumnIndex::Build(d);
+  std::vector<double> col(100);
+  for (int r = 0; r < 100; ++r) col[static_cast<size_t>(r)] = d.x(r, 1);
+  std::sort(col.begin(), col.end());
+  for (int k = 0; k < 100; ++k) {
+    EXPECT_EQ(index->ValueAtRank(1, k), col[static_cast<size_t>(k)]);
+  }
+}
+
+TEST(ColumnIndexTest, CountBoundViolationsMatchesBruteForce) {
+  const Dataset d = MakeData(300, 4, 5, 9);
+  const auto index = ColumnIndex::Build(d);
+  Box box = Box::Unbounded(4);
+  box.set_lo(0, 0.25);
+  box.set_hi(1, 0.75);
+  box.set_lo(2, 0.4);
+  box.set_hi(2, 0.6);
+  const std::vector<int> viol = CountBoundViolations(*index, box);
+  ASSERT_EQ(viol.size(), 300u);
+  for (int r = 0; r < 300; ++r) {
+    int expected = 0;
+    for (int j = 0; j < 4; ++j) {
+      if (d.x(r, j) < box.lo(j) || d.x(r, j) > box.hi(j)) ++expected;
+    }
+    EXPECT_EQ(viol[static_cast<size_t>(r)], expected) << "row " << r;
+  }
+}
+
+}  // namespace
+}  // namespace reds
