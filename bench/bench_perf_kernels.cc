@@ -1,14 +1,20 @@
-// Perf-regression harness for the columnar hot paths: times the reference
-// scalar kernels against the sorted-index/presorted implementations on the
-// paper-scale shapes (PRIM peeling over L relabeled points, GBT/RF
-// metamodel fits on the train matrix, BI beam search) and emits
-// machine-readable JSON, establishing the BENCH_*.json trajectory.
+// Perf-regression harness for the columnar and quantized hot paths: times
+// the exact scalar kernels, the PR 2 sorted/presorted kernels, and the PR 3
+// binned/histogram kernels against each other on the paper-scale shapes
+// (PRIM peeling over L relabeled points, GBT/RF metamodel fits, BI beam
+// search) and emits machine-readable JSON, extending the BENCH_*.json
+// trajectory. Exact kernels must reproduce their reference bit-for-bit;
+// approximate kernels (histogram trees beyond the bin budget) must stay
+// within a small training-quality delta.
 //
 //   bench_perf_kernels            # paper scale: n=10k, L=100k, d=10
 //   bench_perf_kernels --quick    # CI smoke: tiny sizes, seconds not minutes
-//   bench_perf_kernels --out BENCH_pr2.json
+//   bench_perf_kernels --out BENCH_pr3.json
+//   bench_perf_kernels --quick --check-against bench/quick_reference.json
+//                                 # fail when timings regress > 3x
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -16,11 +22,13 @@
 #include <fstream>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/best_interval.h"
 #include "core/prim.h"
 #include "ml/gbt.h"
+#include "ml/metrics.h"
 #include "ml/random_forest.h"
 #include "util/rng.h"
 
@@ -35,7 +43,9 @@ struct PerfFlags {
   int reps = 3;          // timing repetitions; best is reported
   int threads = 4;       // for the *_parallel kernels
   uint64_t seed = 42;
-  std::string out;       // JSON path; empty: stdout only
+  std::string out;           // JSON path; empty: stdout only
+  std::string check_against; // reference JSON; empty: no regression gate
+  double check_tolerance = 3.0;
 };
 
 PerfFlags ParseFlags(int argc, char** argv) {
@@ -67,10 +77,15 @@ PerfFlags ParseFlags(int argc, char** argv) {
       flags.seed = static_cast<uint64_t>(std::atoll(next_value(&i)));
     } else if (arg == "--out") {
       flags.out = next_value(&i);
+    } else if (arg == "--check-against") {
+      flags.check_against = next_value(&i);
+    } else if (arg == "--check-tolerance") {
+      flags.check_tolerance = std::atof(next_value(&i));
     } else if (arg == "--help") {
       std::printf(
           "usage: bench_perf_kernels [--quick|--full] [--n N] [--l L] "
-          "[--d D] [--reps R] [--threads T] [--seed S] [--out file.json]\n");
+          "[--d D] [--reps R] [--threads T] [--seed S] [--out file.json] "
+          "[--check-against ref.json] [--check-tolerance X]\n");
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown flag %s (see --help)\n", arg.c_str());
@@ -104,11 +119,19 @@ struct KernelResult {
   std::string detail;
   double reference_seconds = 0.0;
   double optimized_seconds = 0.0;
-  bool identical = true;  // optimized output matched the reference
+  bool identical = true;      // optimized output matched the reference
+  bool approximate = false;   // histogram kernels: identity not required
+  double quality_delta = 0.0; // |train quality gap| for approximate kernels
+
+  /// Training-quality tolerance (log-loss gap) for approximate kernels.
+  static constexpr double kQualityTolerance = 0.05;
 
   double Speedup() const {
     return optimized_seconds > 0.0 ? reference_seconds / optimized_seconds
                                    : 0.0;
+  }
+  bool Ok() const {
+    return approximate ? quality_delta <= kQualityTolerance : identical;
   }
 };
 
@@ -126,6 +149,27 @@ double TimeBest(int reps, const std::function<void()>& fn) {
   return best;
 }
 
+bool SamePrimResult(const PrimResult& a, const PrimResult& b) {
+  if (a.boxes.size() != b.boxes.size()) return false;
+  if (a.best_val_index != b.best_val_index) return false;
+  for (size_t i = 0; i < a.boxes.size(); ++i) {
+    if (!(a.boxes[i] == b.boxes[i])) return false;
+  }
+  return true;
+}
+
+double TrainLogLoss(const ml::Metamodel& model, const Dataset& d) {
+  std::vector<double> prob, y;
+  prob.reserve(static_cast<size_t>(d.num_rows()));
+  y.reserve(static_cast<size_t>(d.num_rows()));
+  for (int i = 0; i < d.num_rows(); ++i) {
+    prob.push_back(model.PredictProb(d.row(i)));
+    y.push_back(d.y(i) > 0.5 ? 1.0 : 0.0);
+  }
+  return ml::LogLoss(prob, y);
+}
+
+// --- PRIM: scalar reference vs sorted-index kernel (the PR 2 pair). ------
 KernelResult BenchPrimPeel(const PerfFlags& flags, bool paste) {
   KernelResult result;
   result.name = paste ? "prim_paste" : "prim_peel";
@@ -133,6 +177,7 @@ KernelResult BenchPrimPeel(const PerfFlags& flags, bool paste) {
   PrimConfig config;
   config.alpha = 0.05;
   config.paste = paste;
+  config.backend = PrimPeelBackend::kSorted;
   result.detail = "L=" + std::to_string(flags.l_points) +
                   " d=" + std::to_string(flags.dims) + " alpha=0.05" +
                   (paste ? " +pasting" : "");
@@ -142,12 +187,39 @@ KernelResult BenchPrimPeel(const PerfFlags& flags, bool paste) {
       TimeBest(flags.reps, [&] { ref = RunPrimReference(d, d, config); });
   result.optimized_seconds =
       TimeBest(flags.reps, [&] { opt = RunPrim(d, d, config); });
-  result.identical = ref.boxes.size() == opt.boxes.size() &&
-                     ref.best_val_index == opt.best_val_index &&
-                     ref.BestBox() == opt.BestBox();
+  result.identical = SamePrimResult(ref, opt);
   return result;
 }
 
+// --- PRIM: sorted-index kernel vs binned kernel (the PR 3 pair). Both ----
+// get prebuilt indexes, so the timing isolates the peel loops themselves.
+KernelResult BenchPrimBinned(const PerfFlags& flags, int threads) {
+  KernelResult result;
+  result.name = threads > 1 ? "prim_peel_binned_parallel" : "prim_peel_binned";
+  const Dataset d = RandomData(flags.l_points, flags.dims, flags.seed);
+  const auto index = ColumnIndex::Build(d);
+  const auto binned = BinnedIndex::Build(*index);
+  PrimConfig sorted_config;
+  sorted_config.alpha = 0.05;
+  sorted_config.backend = PrimPeelBackend::kSorted;
+  PrimConfig binned_config = sorted_config;
+  binned_config.backend = PrimPeelBackend::kBinned;
+  binned_config.threads = threads;
+  result.detail = "L=" + std::to_string(flags.l_points) +
+                  " d=" + std::to_string(flags.dims) + " alpha=0.05" +
+                  (threads > 1 ? " threads=" + std::to_string(threads) : "");
+
+  PrimResult ref, opt;
+  result.reference_seconds = TimeBest(
+      flags.reps, [&] { ref = RunPrim(d, d, sorted_config, index.get()); });
+  result.optimized_seconds = TimeBest(flags.reps, [&] {
+    opt = RunPrim(d, d, binned_config, index.get(), binned.get());
+  });
+  result.identical = SamePrimResult(ref, opt);
+  return result;
+}
+
+// --- GBT: scalar reference vs presorted (PR 2 pair). ---------------------
 KernelResult BenchGbtFit(const PerfFlags& flags, int threads) {
   KernelResult result;
   result.name = threads > 1 ? "gbt_fit_parallel" : "gbt_fit";
@@ -162,7 +234,7 @@ KernelResult BenchGbtFit(const PerfFlags& flags, int threads) {
                   (threads > 1 ? " threads=" + std::to_string(threads) : "");
 
   ml::GbtConfig ref_config = config;
-  ref_config.presorted = false;
+  ref_config.backend = ml::SplitBackend::kExact;
   ml::GbtConfig opt_config = config;
   opt_config.threads = threads;
 
@@ -178,6 +250,39 @@ KernelResult BenchGbtFit(const PerfFlags& flags, int threads) {
   return result;
 }
 
+// --- GBT: presorted vs histogram (PR 3 pair, approximate). Both fits -----
+// get the prebuilt shared indexes, isolating the split-search cost.
+KernelResult BenchGbtHist(const PerfFlags& flags, int threads) {
+  KernelResult result;
+  result.name = threads > 1 ? "gbt_fit_hist_parallel" : "gbt_fit_hist";
+  result.approximate = true;
+  const Dataset d = RandomData(flags.n_train, flags.dims, flags.seed + 1);
+  ml::GbtConfig config;
+  config.num_rounds = flags.quick ? 20 : 100;
+  config.max_depth = 4;
+  config.threads = threads;
+  result.detail = "n=" + std::to_string(flags.n_train) +
+                  " d=" + std::to_string(flags.dims) +
+                  " rounds=" + std::to_string(config.num_rounds) +
+                  (threads > 1 ? " threads=" + std::to_string(threads) : "");
+
+  const auto index = ColumnIndex::Build(d);
+  const auto binned = BinnedIndex::Build(*index);
+  ml::GbtConfig hist_config = config;
+  hist_config.backend = ml::SplitBackend::kHistogram;
+
+  ml::GradientBoostedTrees ref(config), opt(hist_config);
+  result.reference_seconds = TimeBest(
+      flags.reps, [&] { ref.Fit(d, flags.seed + 3, index.get()); });
+  result.optimized_seconds = TimeBest(flags.reps, [&] {
+    opt.Fit(d, flags.seed + 3, index.get(), binned.get());
+  });
+  result.quality_delta = std::fabs(TrainLogLoss(ref, d) - TrainLogLoss(opt, d));
+  result.identical = result.quality_delta == 0.0;
+  return result;
+}
+
+// --- RF: scalar reference vs presorted (PR 2 pair). ----------------------
 KernelResult BenchRfFit(const PerfFlags& flags) {
   KernelResult result;
   result.name = "rf_fit";
@@ -190,7 +295,7 @@ KernelResult BenchRfFit(const PerfFlags& flags) {
                   " trees=" + std::to_string(config.num_trees);
 
   ml::RandomForestConfig ref_config = config;
-  ref_config.presorted = false;
+  ref_config.backend = ml::SplitBackend::kExact;
   ml::RandomForest ref(ref_config), opt(config);
   result.reference_seconds =
       TimeBest(flags.reps, [&] { ref.Fit(d, flags.seed + 6); });
@@ -200,6 +305,33 @@ KernelResult BenchRfFit(const PerfFlags& flags) {
     result.identical =
         ref.PredictProb(probe.row(i)) == opt.PredictProb(probe.row(i));
   }
+  return result;
+}
+
+// --- RF: presorted vs histogram (PR 3 pair, approximate). ----------------
+KernelResult BenchRfHist(const PerfFlags& flags) {
+  KernelResult result;
+  result.name = "rf_fit_hist";
+  result.approximate = true;
+  const Dataset d = RandomData(flags.n_train, flags.dims, flags.seed + 4);
+  ml::RandomForestConfig config;
+  config.num_trees = flags.quick ? 10 : 50;
+  result.detail = "n=" + std::to_string(flags.n_train) +
+                  " d=" + std::to_string(flags.dims) +
+                  " trees=" + std::to_string(config.num_trees);
+
+  const auto index = ColumnIndex::Build(d);
+  const auto binned = BinnedIndex::Build(*index);
+  ml::RandomForestConfig hist_config = config;
+  hist_config.backend = ml::SplitBackend::kHistogram;
+  ml::RandomForest ref(config), opt(hist_config);
+  result.reference_seconds = TimeBest(
+      flags.reps, [&] { ref.Fit(d, flags.seed + 6, index.get()); });
+  result.optimized_seconds = TimeBest(flags.reps, [&] {
+    opt.Fit(d, flags.seed + 6, index.get(), binned.get());
+  });
+  result.quality_delta = std::fabs(TrainLogLoss(ref, d) - TrainLogLoss(opt, d));
+  result.identical = result.quality_delta == 0.0;
   return result;
 }
 
@@ -238,13 +370,82 @@ void WriteJson(const PerfFlags& flags, const std::vector<KernelResult>& results,
     std::fprintf(stream,
                  "    {\"name\": \"%s\", \"detail\": \"%s\", "
                  "\"reference_seconds\": %.6f, \"optimized_seconds\": %.6f, "
-                 "\"speedup\": %.3f, \"identical\": %s}%s\n",
+                 "\"speedup\": %.3f, \"identical\": %s, \"approximate\": %s, "
+                 "\"quality_delta\": %.6f, \"ok\": %s}%s\n",
                  r.name.c_str(), r.detail.c_str(), r.reference_seconds,
                  r.optimized_seconds, r.Speedup(),
                  r.identical ? "true" : "false",
+                 r.approximate ? "true" : "false", r.quality_delta,
+                 r.Ok() ? "true" : "false",
                  i + 1 < results.size() ? "," : "");
   }
   std::fprintf(stream, "  ]\n}\n");
+}
+
+// Minimal extraction of {name -> optimized_seconds} from a JSON file this
+// harness wrote earlier (one kernel object per line).
+bool LoadReferenceTimings(const std::string& path,
+                          std::vector<std::pair<std::string, double>>* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t name_key = line.find("\"name\": \"");
+    if (name_key == std::string::npos) continue;
+    const size_t name_begin = name_key + std::strlen("\"name\": \"");
+    const size_t name_end = line.find('"', name_begin);
+    if (name_end == std::string::npos) continue;
+    const size_t opt_key = line.find("\"optimized_seconds\": ");
+    if (opt_key == std::string::npos) continue;
+    const double seconds =
+        std::atof(line.c_str() + opt_key +
+                  std::strlen("\"optimized_seconds\": "));
+    out->emplace_back(line.substr(name_begin, name_end - name_begin), seconds);
+  }
+  return !out->empty();
+}
+
+// Regression gate: every kernel in the committed reference must be present
+// and not slower than tolerance x its reference timing (plus a small
+// absolute slack -- smoke timings are milliseconds and jittery).
+bool CheckAgainstReference(const PerfFlags& flags,
+                           const std::vector<KernelResult>& results) {
+  std::vector<std::pair<std::string, double>> reference;
+  if (!LoadReferenceTimings(flags.check_against, &reference)) {
+    std::fprintf(stderr, "cannot read reference timings from %s\n",
+                 flags.check_against.c_str());
+    return false;
+  }
+  constexpr double kAbsoluteSlack = 0.05;  // seconds
+  bool ok = true;
+  for (const auto& [name, ref_seconds] : reference) {
+    const KernelResult* current = nullptr;
+    for (const KernelResult& r : results) {
+      if (r.name == name) {
+        current = &r;
+        break;
+      }
+    }
+    if (current == nullptr) {
+      std::fprintf(stderr, "CHECK FAIL: kernel %s missing from this run\n",
+                   name.c_str());
+      ok = false;
+      continue;
+    }
+    const double limit = ref_seconds * flags.check_tolerance + kAbsoluteSlack;
+    if (current->optimized_seconds > limit) {
+      std::fprintf(stderr,
+                   "CHECK FAIL: %s took %.3fs, reference %.3fs "
+                   "(limit %.3fs at %.1fx)\n",
+                   name.c_str(), current->optimized_seconds, ref_seconds,
+                   limit, flags.check_tolerance);
+      ok = false;
+    } else {
+      std::printf("check ok: %-26s %.3fs <= %.3fs\n", name.c_str(),
+                  current->optimized_seconds, limit);
+    }
+  }
+  return ok;
 }
 
 }  // namespace
@@ -258,23 +459,30 @@ int main(int argc, char** argv) {
   std::printf("== bench_perf_kernels (%s mode) ==\n",
               flags.quick ? "quick" : "full");
   auto run = [&](KernelResult r) {
-    std::printf("%-18s %-36s ref %8.3fs  opt %8.3fs  speedup %6.2fx  %s\n",
+    std::printf("%-26s %-36s ref %8.3fs  opt %8.3fs  speedup %6.2fx  %s\n",
                 r.name.c_str(), r.detail.c_str(), r.reference_seconds,
                 r.optimized_seconds, r.Speedup(),
-                r.identical ? "identical" : "MISMATCH");
+                r.approximate
+                    ? (r.Ok() ? "quality ok" : "QUALITY MISMATCH")
+                    : (r.identical ? "identical" : "MISMATCH"));
     std::fflush(stdout);
     results.push_back(std::move(r));
   };
 
   run(BenchPrimPeel(flags, /*paste=*/false));
   run(BenchPrimPeel(flags, /*paste=*/true));
+  run(BenchPrimBinned(flags, /*threads=*/1));
+  run(BenchPrimBinned(flags, flags.threads));
   run(BenchGbtFit(flags, /*threads=*/1));
   run(BenchGbtFit(flags, flags.threads));
+  run(BenchGbtHist(flags, /*threads=*/1));
+  run(BenchGbtHist(flags, flags.threads));
   run(BenchRfFit(flags));
+  run(BenchRfHist(flags));
   run(BenchBi(flags));
 
-  bool all_identical = true;
-  for (const auto& r : results) all_identical = all_identical && r.identical;
+  bool all_ok = true;
+  for (const auto& r : results) all_ok = all_ok && r.Ok();
 
   if (!flags.out.empty()) {
     std::FILE* f = std::fopen(flags.out.c_str(), "w");
@@ -288,8 +496,13 @@ int main(int argc, char** argv) {
   } else {
     WriteJson(flags, results, stdout);
   }
-  if (!all_identical) {
-    std::fprintf(stderr, "ERROR: optimized kernel output diverged\n");
+  if (!all_ok) {
+    std::fprintf(stderr, "ERROR: a kernel diverged from its reference\n");
+    return 1;
+  }
+  if (!flags.check_against.empty() &&
+      !CheckAgainstReference(flags, results)) {
+    std::fprintf(stderr, "ERROR: smoke timings regressed past tolerance\n");
     return 1;
   }
   return 0;

@@ -1,0 +1,123 @@
+#include "core/binned_index.h"
+
+#include <algorithm>
+
+namespace reds {
+
+namespace {
+
+// One maximal run of equal values in a sorted column: ranks [begin, end).
+struct ValueRun {
+  int begin = 0;
+  int end = 0;
+};
+
+// Greedy quantile packing of value runs into at most max_bins bins. Each
+// bin closes once it holds at least the current equal-share target
+// (remaining rows / remaining bins), so skewed columns cannot starve later
+// bins; runs are atomic, so ties never straddle a bin boundary. Returns the
+// rank offsets of the bin starts (size num_bins + 1).
+std::vector<int> PackRuns(const std::vector<ValueRun>& runs, int n,
+                          int max_bins) {
+  std::vector<int> begins;
+  if (static_cast<int>(runs.size()) <= max_bins) {
+    // One bin per distinct value: histogram kernels become exact.
+    begins.reserve(runs.size() + 1);
+    for (const ValueRun& run : runs) begins.push_back(run.begin);
+    begins.push_back(n);
+    return begins;
+  }
+  begins.push_back(0);
+  int bins_left = max_bins;
+  int rows_left = n;
+  int current = 0;  // rows in the open bin
+  for (const ValueRun& run : runs) {
+    const int run_len = run.end - run.begin;
+    // Close the open bin before this run when it already met its share and
+    // further bins remain; the final bin absorbs everything left.
+    if (bins_left > 1 && current > 0 &&
+        static_cast<double>(current) * bins_left >= rows_left) {
+      begins.push_back(run.begin);
+      --bins_left;
+      rows_left -= current;
+      current = 0;
+    }
+    current += run_len;
+  }
+  begins.push_back(n);
+  return begins;
+}
+
+}  // namespace
+
+std::shared_ptr<const BinnedIndex> BinnedIndex::Build(const ColumnIndex& index,
+                                                      int max_bins) {
+  assert(max_bins >= 1 && max_bins <= kMaxBins);
+  auto binned = std::shared_ptr<BinnedIndex>(new BinnedIndex());
+  const int n = index.num_rows();
+  const int m = index.num_cols();
+  binned->num_rows_ = n;
+  binned->num_cols_ = m;
+  binned->max_bins_ = max_bins;
+  binned->num_bins_.resize(static_cast<size_t>(m));
+  binned->codes_.resize(static_cast<size_t>(m));
+  binned->bin_first_.resize(static_cast<size_t>(m));
+  binned->bin_last_.resize(static_cast<size_t>(m));
+  binned->bin_begin_rank_.resize(static_cast<size_t>(m));
+
+  std::vector<ValueRun> runs;
+  for (int j = 0; j < m; ++j) {
+    const std::vector<double>& col = index.column(j);
+    const std::vector<int>& sorted = index.sorted_rows(j);
+
+    runs.clear();
+    int begin = 0;
+    for (int r = 1; r <= n; ++r) {
+      if (r == n || col[static_cast<size_t>(sorted[static_cast<size_t>(r)])] !=
+                        col[static_cast<size_t>(
+                            sorted[static_cast<size_t>(begin)])]) {
+        runs.push_back({begin, r});
+        begin = r;
+      }
+    }
+
+    std::vector<int>& begins = binned->bin_begin_rank_[static_cast<size_t>(j)];
+    begins = PackRuns(runs, n, max_bins);
+    const int num_bins = static_cast<int>(begins.size()) - 1;
+    binned->num_bins_[static_cast<size_t>(j)] = num_bins;
+
+    std::vector<double>& first = binned->bin_first_[static_cast<size_t>(j)];
+    std::vector<double>& last = binned->bin_last_[static_cast<size_t>(j)];
+    std::vector<uint8_t>& codes = binned->codes_[static_cast<size_t>(j)];
+    first.resize(static_cast<size_t>(num_bins));
+    last.resize(static_cast<size_t>(num_bins));
+    codes.resize(static_cast<size_t>(n));
+    for (int b = 0; b < num_bins; ++b) {
+      const int lo = begins[static_cast<size_t>(b)];
+      const int hi = begins[static_cast<size_t>(b) + 1];
+      first[static_cast<size_t>(b)] =
+          col[static_cast<size_t>(sorted[static_cast<size_t>(lo)])];
+      last[static_cast<size_t>(b)] =
+          col[static_cast<size_t>(sorted[static_cast<size_t>(hi - 1)])];
+      for (int r = lo; r < hi; ++r) {
+        codes[static_cast<size_t>(sorted[static_cast<size_t>(r)])] =
+            static_cast<uint8_t>(b);
+      }
+    }
+  }
+  return binned;
+}
+
+std::shared_ptr<const BinnedIndex> BinnedIndex::Build(const Dataset& d,
+                                                      int max_bins) {
+  return Build(*ColumnIndex::Build(d), max_bins);
+}
+
+int BinnedIndex::BinOf(int j, double v) const {
+  const std::vector<double>& last = bin_last_[static_cast<size_t>(j)];
+  const auto it = std::lower_bound(last.begin(), last.end(), v);
+  if (it == last.end()) return num_bins(j) - 1;
+  return static_cast<int>(it - last.begin());
+}
+
+}  // namespace reds

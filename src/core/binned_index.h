@@ -1,0 +1,110 @@
+// BinnedIndex: the quantized data plane. Each feature of a dataset is
+// quantized into at most 256 quantile bins -- uint8_t codes stored
+// column-major plus, per bin, the smallest/largest data value it covers and
+// its offset into the ColumnIndex sorted permutation. Built once per dataset
+// from the ColumnIndex (O(M N), no extra sort) and cached by the discovery
+// engine under the same input-only fingerprint, it backs the histogram
+// split search in ml/ (CART/GBT/RF) and the binned PRIM peeling in core/:
+// scans touch contiguous byte codes and O(bins) aggregates instead of N
+// exact doubles, with the sorted permutation available for the exact
+// in-bin refinements that keep results identical to the unbinned kernels.
+#ifndef REDS_CORE_BINNED_INDEX_H_
+#define REDS_CORE_BINNED_INDEX_H_
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/column_index.h"
+#include "core/dataset.h"
+
+namespace reds {
+
+/// Immutable per-dataset feature quantization. Thread-safe to share.
+class BinnedIndex {
+ public:
+  /// Hard cap on bins per feature, dictated by the uint8_t codes.
+  static constexpr int kMaxBins = 256;
+
+  /// Quantizes every column of `index` into at most `max_bins` quantile
+  /// bins. Tied values always land in the same bin; when a column has at
+  /// most `max_bins` distinct values, every distinct value gets a bin of
+  /// its own (making downstream histogram kernels exact).
+  static std::shared_ptr<const BinnedIndex> Build(const ColumnIndex& index,
+                                                  int max_bins = kMaxBins);
+
+  /// Convenience: builds a private ColumnIndex of d first.
+  static std::shared_ptr<const BinnedIndex> Build(const Dataset& d,
+                                                  int max_bins = kMaxBins);
+
+  int num_rows() const { return num_rows_; }
+  int num_cols() const { return num_cols_; }
+  int max_bins() const { return max_bins_; }
+
+  /// Number of non-empty bins of column j (1 <= num_bins <= max_bins).
+  int num_bins(int j) const {
+    assert(j >= 0 && j < num_cols_);
+    return num_bins_[static_cast<size_t>(j)];
+  }
+
+  /// Bin codes of column j, indexed by row id.
+  const std::vector<uint8_t>& codes(int j) const {
+    assert(j >= 0 && j < num_cols_);
+    return codes_[static_cast<size_t>(j)];
+  }
+
+  /// Bin of row r in column j.
+  int code(int j, int r) const {
+    return codes(j)[static_cast<size_t>(r)];
+  }
+
+  /// Smallest data value in bin b of column j.
+  double bin_first(int j, int b) const {
+    assert(b >= 0 && b < num_bins(j));
+    return bin_first_[static_cast<size_t>(j)][static_cast<size_t>(b)];
+  }
+
+  /// Largest data value in bin b of column j.
+  double bin_last(int j, int b) const {
+    assert(b >= 0 && b < num_bins(j));
+    return bin_last_[static_cast<size_t>(j)][static_cast<size_t>(b)];
+  }
+
+  /// First rank of bin b in ColumnIndex::sorted_rows(j); bins tile the
+  /// permutation, so bin b spans ranks [bin_begin_rank(j, b),
+  /// bin_begin_rank(j, b + 1)). bin_begin_rank(j, num_bins(j)) == N.
+  int bin_begin_rank(int j, int b) const {
+    assert(b >= 0 && b <= num_bins(j));
+    return bin_begin_rank_[static_cast<size_t>(j)][static_cast<size_t>(b)];
+  }
+
+  /// Bin of an arbitrary value: the first bin whose largest value is >= v,
+  /// clamped to the last bin for v beyond the data maximum. For data values
+  /// this inverts the codes: BinOf(j, x(r, j)) == code(j, r).
+  int BinOf(int j, double v) const;
+
+ private:
+  BinnedIndex() = default;
+
+  int num_rows_ = 0;
+  int num_cols_ = 0;
+  int max_bins_ = kMaxBins;
+  std::vector<int> num_bins_;                    // [col]
+  std::vector<std::vector<uint8_t>> codes_;      // [col][row] -> bin
+  std::vector<std::vector<double>> bin_first_;   // [col][bin] smallest value
+  std::vector<std::vector<double>> bin_last_;    // [col][bin] largest value
+  std::vector<std::vector<int>> bin_begin_rank_; // [col][bin] perm offset
+};
+
+/// Supplies a (possibly cached) BinnedIndex for a dataset. The discovery
+/// engine installs one backed by its fingerprint-keyed cache so a batch of
+/// method variants and every CV fold quantize the data once; when empty,
+/// kernels build a private quantization.
+using BinnedIndexProvider =
+    std::function<std::shared_ptr<const BinnedIndex>(const Dataset&)>;
+
+}  // namespace reds
+
+#endif  // REDS_CORE_BINNED_INDEX_H_

@@ -39,19 +39,30 @@ std::vector<FoldSplit> MakeFolds(const Dataset& d, int folds, uint64_t seed) {
   return out;
 }
 
-// One columnar index per fold's training data, shared across every grid
-// candidate the CV loops evaluate on that fold.
-std::vector<std::shared_ptr<const ColumnIndex>> IndexFolds(
-    const std::vector<FoldSplit>& splits) {
-  std::vector<std::shared_ptr<const ColumnIndex>> indexes;
+// Per-fold shared views of the training data: the columnar index (and, for
+// PRIM's binned peeling, the quantization derived from it), built once and
+// shared across every grid candidate the CV loops evaluate on that fold.
+struct FoldIndexes {
+  std::shared_ptr<const ColumnIndex> index;
+  std::shared_ptr<const BinnedIndex> binned;
+};
+
+std::vector<FoldIndexes> IndexFolds(const std::vector<FoldSplit>& splits,
+                                    bool binned) {
+  std::vector<FoldIndexes> indexes;
   indexes.reserve(splits.size());
-  for (const auto& split : splits) indexes.push_back(ColumnIndex::Build(split.train));
+  for (const auto& split : splits) {
+    FoldIndexes fold;
+    fold.index = ColumnIndex::Build(split.train);
+    if (binned) fold.binned = BinnedIndex::Build(*fold.index);
+    indexes.push_back(std::move(fold));
+  }
   return indexes;
 }
 
 // Held-out WRAcc of the BI box, averaged over folds, for a given m.
 double CvWraccForM(const std::vector<FoldSplit>& splits,
-                   const std::vector<std::shared_ptr<const ColumnIndex>>& indexes,
+                   const std::vector<FoldIndexes>& indexes,
                    int m, int beam_size) {
   if (splits.empty()) return 0.0;
   double total = 0.0;
@@ -59,7 +70,7 @@ double CvWraccForM(const std::vector<FoldSplit>& splits,
     BiConfig config;
     config.beam_size = beam_size;
     config.max_restricted = m;
-    const BiResult r = RunBi(splits[f].train, config, indexes[f].get());
+    const BiResult r = RunBi(splits[f].train, config, indexes[f].index.get());
     total += BoxWRAcc(splits[f].holdout, r.box);
   }
   return total / static_cast<double>(splits.size());
@@ -175,8 +186,9 @@ double CrossValidateAlpha(const Dataset& d, const RunOptions& options,
   double best_score = -1.0;
   const auto splits = MakeFolds(d, options.cv_folds, seed);
   if (splits.empty()) return best_alpha;
-  // Each fold is peeled once per alpha candidate: index it once.
-  const auto indexes = IndexFolds(splits);
+  // Each fold is peeled once per alpha candidate: index and quantize it
+  // once for the whole grid.
+  const auto indexes = IndexFolds(splits, /*binned=*/true);
   for (double alpha : kAlphaGrid) {
     double total = 0.0;
     for (size_t f = 0; f < splits.size(); ++f) {
@@ -184,7 +196,8 @@ double CrossValidateAlpha(const Dataset& d, const RunOptions& options,
       config.alpha = alpha;
       config.min_points = options.min_points;
       const PrimResult r = RunPrim(splits[f].train, splits[f].train, config,
-                                   indexes[f].get());
+                                   indexes[f].index.get(),
+                                   indexes[f].binned.get());
       total += PrAucOnData(r.ReturnedBoxes(), splits[f].holdout);
     }
     const double score = total / static_cast<double>(splits.size());
@@ -214,7 +227,7 @@ MethodOutput RunMethod(const MethodSpec& spec, const Dataset& train,
     // them once for the whole grid.
     const auto splits =
         MakeFolds(train, options.cv_folds, DeriveSeed(options.seed, 13));
-    const auto indexes = IndexFolds(splits);
+    const auto indexes = IndexFolds(splits, /*binned=*/false);
     double best_score = -1e300;
     for (int candidate : MGrid(dims)) {
       const double score =
@@ -259,6 +272,7 @@ MethodOutput RunMethod(const MethodSpec& spec, const Dataset& train,
     config.num_new_points = spec.family == MethodSpec::Family::kBi
                                 ? options.l_bi
                                 : options.l_prim;
+    config.split_backend = options.split_backend;
     config.sampler = options.sampler;
     config.metamodel_provider = options.metamodel_provider;
     RedsRelabeling relabeling =
@@ -274,9 +288,14 @@ MethodOutput RunMethod(const MethodSpec& spec, const Dataset& train,
   // churning the engine cache. Bumping indexes its per-replicate feature
   // subsets internally.
   std::shared_ptr<const ColumnIndex> sd_index;
+  std::shared_ptr<const BinnedIndex> sd_binned;
   if (options.column_index_provider && !spec.reds &&
       spec.family != MethodSpec::Family::kPrimBumping) {
     sd_index = options.column_index_provider(*sd_data);
+    if (options.binned_index_provider &&
+        spec.family == MethodSpec::Family::kPrim) {
+      sd_binned = options.binned_index_provider(*sd_data);
+    }
   }
 
   switch (spec.family) {
@@ -284,7 +303,8 @@ MethodOutput RunMethod(const MethodSpec& spec, const Dataset& train,
       PrimConfig config;
       config.alpha = alpha;
       config.min_points = options.min_points;
-      const PrimResult r = RunPrim(*sd_data, *sd_val, config, sd_index.get());
+      const PrimResult r =
+          RunPrim(*sd_data, *sd_val, config, sd_index.get(), sd_binned.get());
       out.trajectory = r.ReturnedBoxes();
       out.last_box = r.BestBox();
       break;

@@ -51,6 +51,9 @@ struct RunOptions {
   int cv_folds = 5;
   bool tune_metamodel = true;
   ml::TuningBudget budget = ml::TuningBudget::kQuick;
+  /// Split-search kernel of the tree metamodels (REDS "f"/"x" variants),
+  /// threaded through FitDefault and the tuning grid alike.
+  ml::SplitBackend split_backend = ml::SplitBackend::kPresorted;
   sampling::PointSampler sampler;  // REDS new-point distribution (default uniform)
   uint64_t seed = 0;
   /// Optional engine hook: REDS methods obtain their metamodel from this
@@ -62,6 +65,11 @@ struct RunOptions {
   /// ColumnIndex cache) so a batch over the same data indexes it once.
   /// When empty, kernels build private indexes.
   ColumnIndexProvider column_index_provider;
+  /// Optional engine hook for the quantized layer: PRIM's binned peeling
+  /// obtains the dataset's BinnedIndex here (same fingerprint key as the
+  /// ColumnIndex cache) so a batch quantizes once. When empty, kernels
+  /// quantize privately.
+  BinnedIndexProvider binned_index_provider;
 };
 
 /// What a method run produces: a trajectory of boxes to assess (nested

@@ -12,7 +12,10 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <utility>
+
+#include "util/thread_pool.h"
 
 namespace reds {
 
@@ -147,6 +150,352 @@ class PeelState {
   std::vector<uint8_t> in_box_;           // by row id
 };
 
+// Binned peel state: the quantized counterpart of PeelState. No per-dim
+// sorted in-box views are maintained; instead a per-dimension histogram of
+// in-box counts per BinnedIndex bin locates each peel's boundary bin in
+// O(bins), and short scans of the full-data sorted permutation inside that
+// bin (filtered through the in-box bitmask) refine the exact bound, counts,
+// and removed-mass sums -- in the same value-then-row-id order as the
+// sorted kernel, so every Peel it produces is bit-identical to PeelState's.
+// Applying a peel walks only the window of newly removed rows and
+// decrements M histogram counters per row: O(removed x M) against the
+// sorted kernel's O(N x M) view compaction.
+class BinnedPeelState {
+ public:
+  BinnedPeelState(const Dataset& train, const ColumnIndex& index,
+                  const BinnedIndex& binned)
+      : train_(train),
+        index_(index),
+        binned_(binned),
+        in_box_(static_cast<size_t>(train.num_rows()), 1),
+        n_(train.num_rows()) {
+    const int m = train.num_cols();
+    const int n = train.num_rows();
+    lo_rank_.assign(static_cast<size_t>(m), 0);
+    hi_rank_.assign(static_cast<size_t>(m), n);
+    // Hard {0,1} labels make every y sum integer-exact regardless of
+    // accumulation order, so removed-mass sums may come straight from the
+    // per-bin aggregates (O(bins) per candidate). Fractional labels fall
+    // back to ordered scans that replicate the sorted kernel's exact
+    // floating-point accumulation sequence.
+    integral_labels_ = true;
+    for (int r = 0; r < n && integral_labels_; ++r) {
+      const double y = train.y(r);
+      integral_labels_ = y == 0.0 || y == 1.0;
+    }
+    bin_count_.resize(static_cast<size_t>(m));
+    bin_pos_.resize(static_cast<size_t>(m));
+    for (int j = 0; j < m; ++j) {
+      std::vector<int>& counts = bin_count_[static_cast<size_t>(j)];
+      std::vector<double>& pos = bin_pos_[static_cast<size_t>(j)];
+      counts.resize(static_cast<size_t>(binned.num_bins(j)));
+      pos.assign(static_cast<size_t>(binned.num_bins(j)), 0.0);
+      const std::vector<int>& sorted = index.sorted_rows(j);
+      for (int b = 0; b < binned.num_bins(j); ++b) {
+        counts[static_cast<size_t>(b)] =
+            binned.bin_begin_rank(j, b + 1) - binned.bin_begin_rank(j, b);
+        for (int rank = binned.bin_begin_rank(j, b);
+             rank < binned.bin_begin_rank(j, b + 1); ++rank) {
+          pos[static_cast<size_t>(b)] +=
+              train.y(sorted[static_cast<size_t>(rank)]);
+        }
+      }
+    }
+  }
+
+  // Mirrors PeelState::MakeCandidate decision for decision: the bound is
+  // the same order statistic, tie-swallowed cuts advance past tied blocks
+  // the same way, and removed sums accumulate in the same order.
+  Peel MakeCandidate(int dim, bool low_side, double alpha,
+                     const BoxStats& in_stats) const {
+    Peel peel;
+    const int n = n_;
+    const int k = std::max(1, static_cast<int>(std::floor(alpha * n)));
+    if (k >= n) return peel;  // would empty the box
+
+    double bound;
+    double removed_n = 0.0;
+    double removed_pos = 0.0;
+    if (low_side) {
+      bound = ValueAtInBoxRank(dim, k);
+      int p = CountLess(dim, bound);
+      if (p == 0) {
+        // Ties swallowed the whole cut: move past the tied block.
+        const int q = CountLessEq(dim, bound);
+        if (q >= n) return peel;  // dimension is constant in box
+        bound = ValueAtInBoxRank(dim, q);
+        p = q;
+      }
+      removed_n = p;
+      removed_pos =
+          integral_labels_ ? PrefixSumFast(dim, p) : SumYFirst(dim, p);
+    } else {
+      bound = ValueAtInBoxRank(dim, n - 1 - k);
+      int q = CountLessEq(dim, bound);
+      if (q >= n) {
+        const int p = CountLess(dim, bound);
+        if (p == 0) return peel;  // dimension is constant in box
+        bound = ValueAtInBoxRank(dim, p - 1);
+        q = p;
+      }
+      removed_n = n - q;
+      // Integral labels: the suffix sum is the exact in-box total minus the
+      // exact prefix sum (both integers).
+      removed_pos = integral_labels_
+                        ? in_stats.n_pos - PrefixSumFast(dim, q)
+                        : SumYTail(dim, q);
+    }
+    if (removed_n >= n) return peel;  // would empty the box
+
+    peel.dim = dim;
+    peel.low_side = low_side;
+    peel.bound = bound;
+    peel.removed_n = removed_n;
+    peel.removed_pos = removed_pos;
+    peel.precision_after =
+        (in_stats.n_pos - removed_pos) / (in_stats.n - removed_n);
+    return peel;
+  }
+
+  // Drops the rows the peel cuts off: only the removed window of the peeled
+  // dimension's permutation is walked, and each removed row decrements one
+  // histogram counter per dimension.
+  void Apply(const Peel& peel, BoxStats* stats) {
+    const std::vector<int>& sorted = index_.sorted_rows(peel.dim);
+    const std::vector<double>& col = index_.column(peel.dim);
+    if (peel.low_side) {
+      const int new_lo = reds::LowerBoundRank(sorted, col, peel.bound);
+      for (int pos = lo_rank_[static_cast<size_t>(peel.dim)]; pos < new_lo;
+           ++pos) {
+        Remove(sorted[static_cast<size_t>(pos)]);
+      }
+      lo_rank_[static_cast<size_t>(peel.dim)] = new_lo;
+    } else {
+      const int new_hi = reds::UpperBoundRank(sorted, col, peel.bound);
+      for (int pos = new_hi; pos < hi_rank_[static_cast<size_t>(peel.dim)];
+           ++pos) {
+        Remove(sorted[static_cast<size_t>(pos)]);
+      }
+      hi_rank_[static_cast<size_t>(peel.dim)] = new_hi;
+    }
+    stats->n -= peel.removed_n;
+    stats->n_pos -= peel.removed_pos;
+    // Trim every dimension's window past leading/trailing holes so later
+    // scans start at a live row; amortized O(N) per dimension over the run.
+    for (size_t j = 0; j < bin_count_.size(); ++j) {
+      const std::vector<int>& s = index_.sorted_rows(static_cast<int>(j));
+      int& lo = lo_rank_[j];
+      int& hi = hi_rank_[j];
+      while (lo < hi && !in_box_[static_cast<size_t>(
+                            s[static_cast<size_t>(lo)])]) {
+        ++lo;
+      }
+      while (hi > lo && !in_box_[static_cast<size_t>(
+                            s[static_cast<size_t>(hi - 1)])]) {
+        --hi;
+      }
+    }
+  }
+
+ private:
+  void Remove(int r) {
+    if (!in_box_[static_cast<size_t>(r)]) return;
+    in_box_[static_cast<size_t>(r)] = 0;
+    --n_;
+    const double y = train_.y(r);
+    for (size_t j = 0; j < bin_count_.size(); ++j) {
+      const int b = binned_.code(static_cast<int>(j), r);
+      --bin_count_[j][static_cast<size_t>(b)];
+      bin_pos_[j][static_cast<size_t>(b)] -= y;
+    }
+  }
+
+  // Sum of y over the first `count` in-box rows of `dim` in value order,
+  // assembled from whole-bin aggregates plus an exact scan of the boundary
+  // bin. Only valid for integral labels, where the result equals the
+  // sequential prefix sum bit-for-bit.
+  double PrefixSumFast(int dim, int count) const {
+    const std::vector<int>& counts = bin_count_[static_cast<size_t>(dim)];
+    const std::vector<double>& pos_sums = bin_pos_[static_cast<size_t>(dim)];
+    const std::vector<int>& sorted = index_.sorted_rows(dim);
+    int cum = 0;
+    double sum = 0.0;
+    for (size_t b = 0; b < counts.size(); ++b) {
+      if (cum + counts[b] <= count) {
+        cum += counts[b];
+        sum += pos_sums[b];
+        if (cum == count) return sum;
+        continue;
+      }
+      int need = count - cum;
+      const int begin =
+          std::max(binned_.bin_begin_rank(dim, static_cast<int>(b)),
+                   lo_rank_[static_cast<size_t>(dim)]);
+      for (int pos = begin; need > 0; ++pos) {
+        const int r = sorted[static_cast<size_t>(pos)];
+        if (!in_box_[static_cast<size_t>(r)]) continue;
+        sum += train_.y(r);
+        --need;
+      }
+      return sum;
+    }
+    return sum;
+  }
+
+  // Value of the rank-th in-box row of `dim` (ascending by value, ties by
+  // row id): prefix counts over the bin histogram pick the bin, then a scan
+  // of its permutation segment finds the row.
+  double ValueAtInBoxRank(int dim, int rank) const {
+    const std::vector<int>& counts = bin_count_[static_cast<size_t>(dim)];
+    const std::vector<int>& sorted = index_.sorted_rows(dim);
+    const std::vector<double>& col = index_.column(dim);
+    int cum = 0;
+    for (size_t b = 0; b < counts.size(); ++b) {
+      const int c = counts[b];
+      if (cum + c <= rank) {
+        cum += c;
+        continue;
+      }
+      int need = rank - cum;
+      const int begin =
+          std::max(binned_.bin_begin_rank(dim, static_cast<int>(b)),
+                   lo_rank_[static_cast<size_t>(dim)]);
+      const int end =
+          std::min(binned_.bin_begin_rank(dim, static_cast<int>(b) + 1),
+                   hi_rank_[static_cast<size_t>(dim)]);
+      for (int pos = begin; pos < end; ++pos) {
+        const int r = sorted[static_cast<size_t>(pos)];
+        if (!in_box_[static_cast<size_t>(r)]) continue;
+        if (need == 0) return col[static_cast<size_t>(r)];
+        --need;
+      }
+      break;
+    }
+    assert(false && "in-box rank out of range");
+    return 0.0;
+  }
+
+  // Number of in-box rows of `dim` with value < v (v is a data value):
+  // whole bins below v come from the histogram, the boundary bin from an
+  // exact scan.
+  int CountLess(int dim, double v) const {
+    const std::vector<int>& counts = bin_count_[static_cast<size_t>(dim)];
+    const std::vector<int>& sorted = index_.sorted_rows(dim);
+    const std::vector<double>& col = index_.column(dim);
+    int cum = 0;
+    for (size_t b = 0; b < counts.size(); ++b) {
+      if (binned_.bin_last(dim, static_cast<int>(b)) >= v) {
+        if (binned_.bin_first(dim, static_cast<int>(b)) >= v) return cum;
+        const int begin =
+            std::max(binned_.bin_begin_rank(dim, static_cast<int>(b)),
+                     lo_rank_[static_cast<size_t>(dim)]);
+        const int end =
+            std::min(binned_.bin_begin_rank(dim, static_cast<int>(b) + 1),
+                     hi_rank_[static_cast<size_t>(dim)]);
+        for (int pos = begin; pos < end; ++pos) {
+          const int r = sorted[static_cast<size_t>(pos)];
+          if (col[static_cast<size_t>(r)] >= v) break;  // segment is sorted
+          if (in_box_[static_cast<size_t>(r)]) ++cum;
+        }
+        return cum;
+      }
+      cum += counts[b];
+    }
+    return cum;
+  }
+
+  // Number of in-box rows of `dim` with value <= v.
+  int CountLessEq(int dim, double v) const {
+    const std::vector<int>& counts = bin_count_[static_cast<size_t>(dim)];
+    const std::vector<int>& sorted = index_.sorted_rows(dim);
+    const std::vector<double>& col = index_.column(dim);
+    int cum = 0;
+    for (size_t b = 0; b < counts.size(); ++b) {
+      if (binned_.bin_last(dim, static_cast<int>(b)) >= v) {
+        if (binned_.bin_first(dim, static_cast<int>(b)) > v) return cum;
+        const int begin =
+            std::max(binned_.bin_begin_rank(dim, static_cast<int>(b)),
+                     lo_rank_[static_cast<size_t>(dim)]);
+        const int end =
+            std::min(binned_.bin_begin_rank(dim, static_cast<int>(b) + 1),
+                     hi_rank_[static_cast<size_t>(dim)]);
+        for (int pos = begin; pos < end; ++pos) {
+          const int r = sorted[static_cast<size_t>(pos)];
+          if (col[static_cast<size_t>(r)] > v) break;  // segment is sorted
+          if (in_box_[static_cast<size_t>(r)]) ++cum;
+        }
+        return cum;
+      }
+      cum += counts[b];
+    }
+    return cum;
+  }
+
+  // Sum of y over the first `count` in-box rows of `dim` in value order --
+  // the exact accumulation order of the sorted kernel's prefix sums.
+  double SumYFirst(int dim, int count) const {
+    const std::vector<int>& sorted = index_.sorted_rows(dim);
+    double sum = 0.0;
+    int seen = 0;
+    for (int pos = lo_rank_[static_cast<size_t>(dim)]; seen < count; ++pos) {
+      const int r = sorted[static_cast<size_t>(pos)];
+      if (!in_box_[static_cast<size_t>(r)]) continue;
+      sum += train_.y(r);
+      ++seen;
+    }
+    return sum;
+  }
+
+  // Sum of y over in-box rows of `dim` from in-box rank `from_rank` to the
+  // top, accumulated ascending like the sorted kernel's suffix sums.
+  double SumYTail(int dim, int from_rank) const {
+    const std::vector<int>& counts = bin_count_[static_cast<size_t>(dim)];
+    const std::vector<int>& sorted = index_.sorted_rows(dim);
+    // Locate the permutation position of in-box rank from_rank, then sum
+    // ascending through the remaining window.
+    int cum = 0;
+    int start = hi_rank_[static_cast<size_t>(dim)];
+    for (size_t b = 0; b < counts.size(); ++b) {
+      const int c = counts[b];
+      if (cum + c <= from_rank) {
+        cum += c;
+        continue;
+      }
+      int need = from_rank - cum;
+      const int begin =
+          std::max(binned_.bin_begin_rank(dim, static_cast<int>(b)),
+                   lo_rank_[static_cast<size_t>(dim)]);
+      for (int pos = begin;; ++pos) {
+        const int r = sorted[static_cast<size_t>(pos)];
+        if (!in_box_[static_cast<size_t>(r)]) continue;
+        if (need == 0) {
+          start = pos;
+          break;
+        }
+        --need;
+      }
+      break;
+    }
+    double sum = 0.0;
+    for (int pos = start; pos < hi_rank_[static_cast<size_t>(dim)]; ++pos) {
+      const int r = sorted[static_cast<size_t>(pos)];
+      if (in_box_[static_cast<size_t>(r)]) sum += train_.y(r);
+    }
+    return sum;
+  }
+
+  const Dataset& train_;
+  const ColumnIndex& index_;
+  const BinnedIndex& binned_;
+  std::vector<uint8_t> in_box_;            // by row id
+  int n_ = 0;                              // rows currently in box
+  bool integral_labels_ = false;           // every y is exactly 0 or 1
+  std::vector<int> lo_rank_;               // [dim] first in-window perm rank
+  std::vector<int> hi_rank_;               // [dim] one past last window rank
+  std::vector<std::vector<int>> bin_count_;   // [dim][bin] in-box rows
+  std::vector<std::vector<double>> bin_pos_;  // [dim][bin] in-box y sum
+};
+
 // One pasting expansion candidate: move a bound outward to re-admit roughly
 // a paste_alpha share of the current box population.
 struct Paste {
@@ -259,18 +608,13 @@ std::vector<Box> PrimResult::ReturnedBoxes() const {
                           boxes.begin() + best_val_index + 1);
 }
 
-PrimResult RunPrim(const Dataset& train, const Dataset& val,
-                   const PrimConfig& config, const ColumnIndex* train_index) {
-  assert(train.num_cols() == val.num_cols());
-  assert(train.num_rows() > 0 && val.num_rows() > 0);
-  std::shared_ptr<const ColumnIndex> owned;
-  if (train_index == nullptr) {
-    owned = ColumnIndex::Build(train);
-    train_index = owned.get();
-  }
-  assert(train_index->num_rows() == train.num_rows());
-  assert(train_index->num_cols() == train.num_cols());
+namespace {
 
+// The peeling loop, generic over the peel-state backend (both expose the
+// same MakeCandidate/Apply interface and produce bit-identical Peels).
+template <typename State>
+PrimResult RunPeelingPhase(const Dataset& train, const Dataset& val,
+                           const PrimConfig& config, State* state) {
   const int dims = train.num_cols();
   const double total_train_pos = train.TotalPositive();
   const double total_val_pos = val.TotalPositive();
@@ -292,18 +636,41 @@ PrimResult RunPrim(const Dataset& train, const Dataset& val,
   };
   record();
 
-  PeelState state(train, *train_index);
+  std::unique_ptr<ThreadPool> pool;
+  std::vector<Peel> candidates;
   while (train_stats.n >= config.min_points && val_stats.n >= config.min_points) {
     Peel best;
-    for (int j = 0; j < dims; ++j) {
-      for (bool low : {true, false}) {
-        const Peel cand = state.MakeCandidate(j, low, config.alpha, train_stats);
-        if (cand.dim < 0) continue;
-        // Highest precision wins; break ties patiently (remove fewer points).
-        if (cand.precision_after > best.precision_after ||
-            (cand.precision_after == best.precision_after &&
-             best.dim >= 0 && cand.removed_n < best.removed_n)) {
-          best = cand;
+    // Highest precision wins; break ties patiently (remove fewer points).
+    auto consider = [&best](const Peel& cand) {
+      if (cand.dim < 0) return;
+      if (cand.precision_after > best.precision_after ||
+          (cand.precision_after == best.precision_after &&
+           best.dim >= 0 && cand.removed_n < best.removed_n)) {
+        best = cand;
+      }
+    };
+    const bool parallel = config.threads > 1 && dims > 1 &&
+                          train_stats.n * dims >= kPrimParallelMinWork;
+    if (parallel) {
+      // Block-parallel candidate evaluation: one task per dimension, then
+      // a serial selection pass in dimension order, so the chosen peel is
+      // exactly the serial loop's.
+      if (pool == nullptr) pool = std::make_unique<ThreadPool>(config.threads);
+      candidates.assign(static_cast<size_t>(2 * dims), Peel());
+      for (int j = 0; j < dims; ++j) {
+        pool->Submit([state, j, &config, &train_stats, &candidates] {
+          candidates[static_cast<size_t>(2 * j)] =
+              state->MakeCandidate(j, true, config.alpha, train_stats);
+          candidates[static_cast<size_t>(2 * j + 1)] =
+              state->MakeCandidate(j, false, config.alpha, train_stats);
+        });
+      }
+      pool->Wait();
+      for (const Peel& cand : candidates) consider(cand);
+    } else {
+      for (int j = 0; j < dims; ++j) {
+        for (bool low : {true, false}) {
+          consider(state->MakeCandidate(j, low, config.alpha, train_stats));
         }
       }
     }
@@ -314,7 +681,7 @@ PrimResult RunPrim(const Dataset& train, const Dataset& val,
     } else {
       box.set_hi(best.dim, std::min(box.hi(best.dim), best.bound));
     }
-    state.Apply(best, &train_stats);
+    state->Apply(best, &train_stats);
     // Apply the same geometric cut to the validation points.
     {
       size_t kept = 0;
@@ -349,12 +716,44 @@ PrimResult RunPrim(const Dataset& train, const Dataset& val,
     }
   }
   result.best_val_index = best_index;
+  return result;
+}
 
-  if (config.paste) {
-    RunPastePhase(train, val, *train_index, config, total_train_pos,
-                  total_val_pos, &result);
+}  // namespace
+
+PrimResult RunPrim(const Dataset& train, const Dataset& val,
+                   const PrimConfig& config, const ColumnIndex* train_index,
+                   const BinnedIndex* train_binned) {
+  assert(train.num_cols() == val.num_cols());
+  assert(train.num_rows() > 0 && val.num_rows() > 0);
+  std::shared_ptr<const ColumnIndex> owned;
+  if (train_index == nullptr) {
+    owned = ColumnIndex::Build(train);
+    train_index = owned.get();
+  }
+  assert(train_index->num_rows() == train.num_rows());
+  assert(train_index->num_cols() == train.num_cols());
+
+  PrimResult result;
+  if (config.backend == PrimPeelBackend::kBinned) {
+    std::shared_ptr<const BinnedIndex> owned_binned;
+    if (train_binned == nullptr) {
+      owned_binned = BinnedIndex::Build(*train_index);
+      train_binned = owned_binned.get();
+    }
+    assert(train_binned->num_rows() == train.num_rows());
+    assert(train_binned->num_cols() == train.num_cols());
+    BinnedPeelState state(train, *train_index, *train_binned);
+    result = RunPeelingPhase(train, val, config, &state);
+  } else {
+    PeelState state(train, *train_index);
+    result = RunPeelingPhase(train, val, config, &state);
   }
 
+  if (config.paste) {
+    RunPastePhase(train, val, *train_index, config, train.TotalPositive(),
+                  val.TotalPositive(), &result);
+  }
   return result;
 }
 

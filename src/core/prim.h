@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "core/binned_index.h"
 #include "core/box.h"
 #include "core/column_index.h"
 #include "core/dataset.h"
@@ -14,12 +15,32 @@
 
 namespace reds {
 
+/// Peel-candidate kernel.
+///   kSorted: rank selection on per-column sorted in-box views, compacted
+///            through a bitmask on every peel (the PR 2 kernel).
+///   kBinned: per-dimension in-box bin histograms over a BinnedIndex locate
+///            each peel bin in O(bins); an exact scan inside that bin
+///            refines the boundary, and applying a peel touches only the
+///            removed rows (O(removed x M)) instead of compacting every
+///            view (O(N x M)). Produces bit-identical box sequences.
+enum class PrimPeelBackend { kSorted, kBinned };
+
 struct PrimConfig {
   double alpha = 0.05;   // peeling fraction removed per step
   int min_points = 20;   // mp: peel while train and val boxes hold >= mp points
   bool paste = false;    // run the pasting phase on the selected box
   double paste_alpha = 0.01;  // expansion fraction per pasting step
+  PrimPeelBackend backend = PrimPeelBackend::kBinned;
+  /// Evaluate the 2M per-dimension peel candidates on a thread pool when
+  /// > 1 and the in-box workload is large enough (kPrimParallelMinWork);
+  /// candidate selection stays in dimension order, so the result is
+  /// identical to the serial evaluation.
+  int threads = 1;
 };
+
+/// In-box points x dimensions below which parallel candidate evaluation is
+/// skipped even when PrimConfig::threads > 1 (dispatch would dominate).
+inline constexpr double kPrimParallelMinWork = 32768.0;
 
 /// Output of one PRIM run: the nested box sequence with train/validation
 /// precision and recall per box.
@@ -40,13 +61,15 @@ struct PrimResult {
 /// fractional (REDS probability labels). The paper's experiments use
 /// val == train.
 ///
-/// The peel candidates are found by rank selection on per-column sorted
-/// permutations (an in-box subset of `train_index`, maintained incrementally
-/// across peels) instead of per-candidate rescans. Pass a prebuilt index of
-/// `train` to amortize it across runs; when null, a private one is built.
+/// The peel candidates are found through the backend selected in `config`
+/// (sorted in-box views or binned histograms + exact in-bin refinement;
+/// identical results either way). Pass prebuilt indexes of `train` to
+/// amortize them across runs; when null, private ones are built
+/// (`train_binned` is only consulted by the kBinned backend).
 PrimResult RunPrim(const Dataset& train, const Dataset& val,
                    const PrimConfig& config,
-                   const ColumnIndex* train_index = nullptr);
+                   const ColumnIndex* train_index = nullptr,
+                   const BinnedIndex* train_binned = nullptr);
 
 /// The original scalar implementation (full rescan per peel candidate).
 /// Kept as the golden reference for equivalence tests and as the baseline

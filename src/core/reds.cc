@@ -14,10 +14,11 @@ std::shared_ptr<const ml::Metamodel> FitMetamodel(const Dataset& d,
   if (config.metamodel_provider) {
     return config.metamodel_provider(d, config.metamodel,
                                      config.tune_metamodel, config.budget,
-                                     seed);
+                                     config.split_backend, seed);
   }
   return ml::FitMetamodel(config.metamodel, d, seed, config.tune_metamodel,
-                          config.budget);
+                          config.budget, nullptr, nullptr,
+                          config.split_backend);
 }
 
 Dataset LabelPoints(const ml::Metamodel& model, const std::vector<double>& x,

@@ -10,6 +10,7 @@
 #include <memory>
 
 #include "core/dataset.h"
+#include "ml/histogram.h"
 #include "ml/model.h"
 #include "ml/tuning.h"
 #include "sampling/design.h"
@@ -18,15 +19,20 @@ namespace reds {
 
 /// Supplies the trained metamodel for a REDS run. The discovery engine
 /// installs one backed by its cross-request cache; when empty, REDS fits
-/// inline with TuneAndFit/FitDefault.
+/// inline with TuneAndFit/FitDefault. `backend` selects the tree learners'
+/// split-search kernel and is part of the trained model's identity.
 using MetamodelProvider = std::function<std::shared_ptr<const ml::Metamodel>(
     const Dataset& train, ml::MetamodelKind kind, bool tune,
-    ml::TuningBudget budget, uint64_t seed)>;
+    ml::TuningBudget budget, ml::SplitBackend backend, uint64_t seed)>;
 
 struct RedsConfig {
   ml::MetamodelKind metamodel = ml::MetamodelKind::kGbt;
   bool tune_metamodel = true;         // caret-style CV grid (paper 8.4.3)
   ml::TuningBudget budget = ml::TuningBudget::kQuick;
+  /// Split search of the tree metamodels ("f"/"x"). Presorted is exact;
+  /// histogram trades exactness beyond 256 distinct values per feature for
+  /// O(bins) split scans.
+  ml::SplitBackend split_backend = ml::SplitBackend::kPresorted;
   bool probability_labels = false;    // "p": y_new = f_am(x) in [0,1]
   int num_new_points = 100000;        // L
   sampling::PointSampler sampler;     // defaults to i.i.d. uniform

@@ -18,6 +18,7 @@ uint64_t CanonicalSeed(uint64_t engine_seed, const MetamodelKey& key) {
   stream = DeriveSeed(stream, 0x11ULL + static_cast<uint64_t>(key.kind));
   stream = DeriveSeed(stream, 0x23ULL + (key.tuned ? 1ULL : 0ULL));
   stream = DeriveSeed(stream, 0x31ULL + static_cast<uint64_t>(key.budget));
+  stream = DeriveSeed(stream, 0x41ULL + static_cast<uint64_t>(key.backend));
   return DeriveSeed(engine_seed, stream);
 }
 
@@ -92,6 +93,7 @@ DiscoveryEngine::DiscoveryEngine(EngineConfig config)
     : config_(config),
       cache_(config.metamodel_cache_capacity),
       column_indexes_(config.column_index_cache_capacity),
+      binned_indexes_(config.binned_index_cache_capacity),
       pool_(config.threads) {}
 
 JobHandle DiscoveryEngine::Submit(DiscoveryRequest request) {
@@ -114,7 +116,11 @@ void DiscoveryEngine::Shutdown() { pool_.Shutdown(); }
 
 std::shared_ptr<const ColumnIndex> DiscoveryEngine::GetColumnIndex(
     const Dataset& d) {
-  const uint64_t fingerprint = FingerprintInputs(d);
+  return GetColumnIndex(d, FingerprintInputs(d));
+}
+
+std::shared_ptr<const ColumnIndex> DiscoveryEngine::GetColumnIndex(
+    const Dataset& d, uint64_t fingerprint) {
   {
     std::unique_lock<std::mutex> lock(column_index_mutex_);
     if (auto* found = column_indexes_.Get(fingerprint)) return *found;
@@ -129,35 +135,71 @@ std::shared_ptr<const ColumnIndex> DiscoveryEngine::GetColumnIndex(
   return index;
 }
 
+std::shared_ptr<const BinnedIndex> DiscoveryEngine::GetBinnedIndex(
+    const Dataset& d) {
+  const uint64_t fingerprint = FingerprintInputs(d);
+  {
+    std::unique_lock<std::mutex> lock(binned_index_mutex_);
+    if (auto* found = binned_indexes_.Get(fingerprint)) return *found;
+  }
+  // Derive from the (cached) columnar index outside the lock, reusing the
+  // fingerprint already computed above; a rare race quantizes twice and
+  // keeps one.
+  std::shared_ptr<const BinnedIndex> binned =
+      BinnedIndex::Build(*GetColumnIndex(d, fingerprint));
+  std::unique_lock<std::mutex> lock(binned_index_mutex_);
+  if (auto* found = binned_indexes_.Get(fingerprint)) return *found;
+  binned_indexes_.Put(fingerprint, binned);
+  return binned;
+}
+
 int DiscoveryEngine::column_index_cache_size() const {
   std::unique_lock<std::mutex> lock(column_index_mutex_);
   return static_cast<int>(column_indexes_.size());
+}
+
+int DiscoveryEngine::binned_index_cache_size() const {
+  std::unique_lock<std::mutex> lock(binned_index_mutex_);
+  return static_cast<int>(binned_indexes_.size());
 }
 
 ColumnIndexProvider DiscoveryEngine::MakeColumnIndexProvider() {
   return [this](const Dataset& d) { return GetColumnIndex(d); };
 }
 
+BinnedIndexProvider DiscoveryEngine::MakeBinnedIndexProvider() {
+  return [this](const Dataset& d) { return GetBinnedIndex(d); };
+}
+
 MetamodelProvider DiscoveryEngine::MakeCachingProvider() {
   return [this](const Dataset& train, ml::MetamodelKind kind, bool tune,
-                ml::TuningBudget budget,
+                ml::TuningBudget budget, ml::SplitBackend backend,
                 uint64_t /*request_seed*/) -> std::shared_ptr<const ml::Metamodel> {
     MetamodelKey key;
     key.fingerprint = FingerprintDataset(train);
     key.kind = kind;
     key.tuned = tune;
     key.budget = budget;
+    key.backend = backend;
     key.seed = CanonicalSeed(config_.seed, key);
-    return cache_.GetOrFit(key, [this, &train, kind, tune, budget, &key] {
-      // Untuned tree metamodels reuse the engine's shared columnar index of
-      // the training data for their presorted split search.
+    return cache_.GetOrFit(key, [this, &train, kind, tune, budget, backend,
+                                 &key] {
+      // Untuned tree metamodels reuse the engine's shared columnar index
+      // (and quantization, under the histogram backend) of the training
+      // data for their split search.
       std::shared_ptr<const ColumnIndex> index;
+      std::shared_ptr<const BinnedIndex> binned;
       if (config_.cache_column_indexes && !tune &&
           kind != ml::MetamodelKind::kSvm) {
         index = GetColumnIndex(train);
+        if (config_.cache_binned_indexes &&
+            backend == ml::SplitBackend::kHistogram) {
+          binned = GetBinnedIndex(train);
+        }
       }
       return std::shared_ptr<const ml::Metamodel>(
-          ml::FitMetamodel(kind, train, key.seed, tune, budget, index.get()));
+          ml::FitMetamodel(kind, train, key.seed, tune, budget, index.get(),
+                           binned.get(), backend));
     });
   };
 }
@@ -186,6 +228,9 @@ void DiscoveryEngine::Execute(const JobHandle& job) {
     }
     if (config_.cache_column_indexes && !options.column_index_provider) {
       options.column_index_provider = MakeColumnIndexProvider();
+    }
+    if (config_.cache_binned_indexes && !options.binned_index_provider) {
+      options.binned_index_provider = MakeBinnedIndexProvider();
     }
     MethodOutput out = RunMethod(*spec, train, options);
 

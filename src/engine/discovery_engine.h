@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "core/binned_index.h"
 #include "core/column_index.h"
 #include "core/method.h"
 #include "engine/metamodel_cache.h"
@@ -35,6 +36,11 @@ struct EngineConfig {
   /// permutations) once. Keyed by the input-only fingerprint.
   bool cache_column_indexes = true;
   size_t column_index_cache_capacity = 32;  // LRU bound; 0 = unbounded
+  /// Shared per-dataset BinnedIndex cache (the quantized data plane):
+  /// binned PRIM peeling and histogram tree fits over the same inputs
+  /// quantize once. Keyed by the same input-only fingerprint.
+  bool cache_binned_indexes = true;
+  size_t binned_index_cache_capacity = 32;  // LRU bound; 0 = unbounded
   /// Root seed for the canonical metamodel fits. The engine re-seeds each
   /// metamodel from (this seed, cache key) instead of the per-request seed,
   /// so results are bit-identical whether a request hits or misses the
@@ -150,19 +156,31 @@ class DiscoveryEngine {
   /// Number of distinct column indexes currently cached.
   int column_index_cache_size() const;
 
+  /// Number of distinct binned indexes currently cached.
+  int binned_index_cache_size() const;
+
   /// The engine's shared per-dataset index (building and caching it on
   /// demand); also exposed to jobs through RunOptions.
   std::shared_ptr<const ColumnIndex> GetColumnIndex(const Dataset& d);
+
+  /// The engine's shared per-dataset quantization (derived from the cached
+  /// ColumnIndex on demand); also exposed to jobs through RunOptions.
+  std::shared_ptr<const BinnedIndex> GetBinnedIndex(const Dataset& d);
 
  private:
   void Execute(const JobHandle& job);
   MetamodelProvider MakeCachingProvider();
   ColumnIndexProvider MakeColumnIndexProvider();
+  BinnedIndexProvider MakeBinnedIndexProvider();
+  std::shared_ptr<const ColumnIndex> GetColumnIndex(const Dataset& d,
+                                                    uint64_t fingerprint);
 
   EngineConfig config_;
   MetamodelCache cache_;
   mutable std::mutex column_index_mutex_;
   LruMap<uint64_t, std::shared_ptr<const ColumnIndex>> column_indexes_;
+  mutable std::mutex binned_index_mutex_;
+  LruMap<uint64_t, std::shared_ptr<const BinnedIndex>> binned_indexes_;
   ResultStore store_;
   ThreadPool pool_;  // last member: drains before the fields above die
 };

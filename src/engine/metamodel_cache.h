@@ -27,17 +27,22 @@
 
 namespace reds::engine {
 
-/// Identity of one trained metamodel.
+/// Identity of one trained metamodel. The split backend is part of the
+/// identity: histogram-trained trees differ from presorted/exact ones
+/// beyond 256 distinct values per feature, so they must not share entries.
 struct MetamodelKey {
   uint64_t fingerprint = 0;  // FingerprintDataset of the training data
   ml::MetamodelKind kind = ml::MetamodelKind::kGbt;
   bool tuned = false;
   ml::TuningBudget budget = ml::TuningBudget::kQuick;
+  ml::SplitBackend backend = ml::SplitBackend::kPresorted;
   uint64_t seed = 0;
 
   friend bool operator<(const MetamodelKey& a, const MetamodelKey& b) {
-    return std::tie(a.fingerprint, a.kind, a.tuned, a.budget, a.seed) <
-           std::tie(b.fingerprint, b.kind, b.tuned, b.budget, b.seed);
+    return std::tie(a.fingerprint, a.kind, a.tuned, a.budget, a.backend,
+                    a.seed) <
+           std::tie(b.fingerprint, b.kind, b.tuned, b.budget, b.backend,
+                    b.seed);
   }
 };
 

@@ -41,14 +41,20 @@ struct RegressionTree::FitContext {
   std::vector<uint8_t> goes_left;       // per position, scratch
   std::vector<int> scratch;             // partition scratch
   std::unique_ptr<ThreadPool> pool;     // feature-parallel split search
+  // Histogram backend only:
+  const BinnedIndex* binned = nullptr;
+  std::vector<uint8_t> codes;           // codes[f * n + p]: bin of x(rows[p], f)
+  int hist_stride = 0;                  // bins reserved per feature slot
+  bool subtract = false;                // parent-minus-sibling (off under mtry)
+  std::unique_ptr<HistogramPool> hist_pool;
 };
 
 void RegressionTree::Fit(const Dataset& d, const std::vector<int>& rows,
                          const TreeConfig& config, Rng* rng,
-                         const ColumnIndex* index) {
+                         const ColumnIndex* index, const BinnedIndex* binned) {
   nodes_.clear();
   assert(!rows.empty());
-  if (!config.presorted) {
+  if (config.backend == SplitBackend::kExact) {
     std::vector<int> work(rows);
     BuildReference(d, &work, 0, static_cast<int>(work.size()), 0, config, rng);
     return;
@@ -75,6 +81,43 @@ void RegressionTree::Fit(const Dataset& d, const std::vector<int>& rows,
     } else {
       for (int p = 0; p < n; ++p) col[p] = d.x(rows[static_cast<size_t>(p)], f);
     }
+  }
+
+  if (config.backend == SplitBackend::kHistogram) {
+    // Bin codes per position instead of per-feature sorted orders: node
+    // histograms are rebuilt (or subtracted) down the tree, so no order
+    // arrays need to be partitioned.
+    std::shared_ptr<const BinnedIndex> owned_binned;
+    if (binned == nullptr) {
+      owned_binned = index != nullptr ? BinnedIndex::Build(*index)
+                                      : BinnedIndex::Build(d);
+      binned = owned_binned.get();
+    }
+    assert(binned->num_rows() == d.num_rows() &&
+           binned->num_cols() == d.num_cols());
+    ctx.binned = binned;
+    ctx.codes.resize(static_cast<size_t>(ctx.num_features) *
+                     static_cast<size_t>(n));
+    for (int f = 0; f < ctx.num_features; ++f) {
+      uint8_t* col = &ctx.codes[static_cast<size_t>(f) * static_cast<size_t>(n)];
+      const std::vector<uint8_t>& src = binned->codes(f);
+      for (int p = 0; p < n; ++p) {
+        col[p] = src[static_cast<size_t>(rows[static_cast<size_t>(p)])];
+      }
+    }
+    ctx.hist_stride = binned->max_bins();
+    ctx.subtract = !(config.mtry > 0 && config.mtry < ctx.num_features);
+    ctx.hist_pool = std::make_unique<HistogramPool>(
+        static_cast<size_t>(ctx.num_features) *
+        static_cast<size_t>(ctx.hist_stride));
+    ctx.pos_of.resize(static_cast<size_t>(n));
+    std::iota(ctx.pos_of.begin(), ctx.pos_of.end(), 0);
+    ctx.goes_left.resize(static_cast<size_t>(n));
+    if (config.threads > 1 && ctx.num_features > 1) {
+      ctx.pool = std::make_unique<ThreadPool>(config.threads);
+    }
+    BuildHistogram(&ctx, 0, n, 0, {});
+    return;
   }
 
   ctx.order.resize(static_cast<size_t>(ctx.num_features));
@@ -139,10 +182,10 @@ void RegressionTree::Fit(const Dataset& d, const std::vector<int>& rows,
 }
 
 void RegressionTree::Fit(const Dataset& d, const TreeConfig& config, Rng* rng,
-                         const ColumnIndex* index) {
+                         const ColumnIndex* index, const BinnedIndex* binned) {
   std::vector<int> rows(static_cast<size_t>(d.num_rows()));
   std::iota(rows.begin(), rows.end(), 0);
-  Fit(d, rows, config, rng, index);
+  Fit(d, rows, config, rng, index, binned);
 }
 
 int RegressionTree::Build(FitContext* ctx, int begin, int end, int depth) {
@@ -239,6 +282,170 @@ int RegressionTree::Build(FitContext* ctx, int begin, int end, int depth) {
 
   const int left = Build(ctx, begin, mid, depth + 1);
   const int right = Build(ctx, mid, end, depth + 1);
+  nodes_[static_cast<size_t>(node_index)].feature = best.feature;
+  nodes_[static_cast<size_t>(node_index)].threshold = best.threshold;
+  nodes_[static_cast<size_t>(node_index)].left = left;
+  nodes_[static_cast<size_t>(node_index)].right = right;
+  return node_index;
+}
+
+// Histogram split search. The node's per-feature histograms (target sum +
+// count per BinnedIndex bin) come from one contiguous uint8_t scan of the
+// node's positions -- or, for the larger child, from subtracting the
+// sibling's histogram from the parent's. Split candidates are evaluated
+// between consecutive non-empty bins; when every bin holds one distinct
+// value this enumerates exactly the exact search's candidates with the same
+// thresholds, so the fitted tree is bit-identical to the exact/presorted
+// backends (integer-exact sums), and a bounded-quality approximation
+// otherwise. `hist` is this node's prebuilt histogram buffer; empty means
+// build-by-scan.
+int RegressionTree::BuildHistogram(FitContext* ctx, int begin, int end,
+                                   int depth, std::vector<HistBin> hist) {
+  const TreeConfig& config = *ctx->config;
+  const int n = end - begin;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = begin; i < end; ++i) {
+    const double y =
+        ctx->yv[static_cast<size_t>(ctx->pos_of[static_cast<size_t>(i)])];
+    sum += y;
+    sum_sq += y * y;
+  }
+  const double mean = sum / n;
+
+  const int node_index = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[static_cast<size_t>(node_index)].value = mean;
+
+  const bool depth_ok = config.max_depth < 0 || depth < config.max_depth;
+  const double sse = sum_sq - sum * sum / n;
+  if (!depth_ok || n < config.min_samples_split || sse <= config.min_gain) {
+    if (!hist.empty()) ctx->hist_pool->Release(std::move(hist));
+    return node_index;
+  }
+
+  const int num_features = ctx->num_features;
+  std::vector<int> features;
+  if (config.mtry > 0 && config.mtry < num_features) {
+    features = ctx->rng->SampleWithoutReplacement(num_features, config.mtry);
+  } else {
+    features.resize(static_cast<size_t>(num_features));
+    std::iota(features.begin(), features.end(), 0);
+  }
+
+  const size_t stride = static_cast<size_t>(ctx->hist_stride);
+  if (hist.empty()) {
+    hist = ctx->hist_pool->Acquire();
+    const int* ids = ctx->pos_of.data() + begin;
+    for (int f : features) {
+      HistBin* slot = hist.data() + static_cast<size_t>(f) * stride;
+      std::fill_n(slot, ctx->binned->num_bins(f), HistBin{});
+      AccumulateHistogram(
+          &ctx->codes[static_cast<size_t>(f) * static_cast<size_t>(ctx->n)],
+          ids, n, ctx->yv.data(), slot);
+    }
+  }
+
+  auto search_feature = [&](size_t fi) {
+    SplitCandidate cand;
+    const int f = features[fi];
+    const HistBin* hb = hist.data() + static_cast<size_t>(f) * stride;
+    const int num_bins = ctx->binned->num_bins(f);
+    double left_sum = 0.0;
+    int left_count = 0;
+    int prev = -1;  // last non-empty bin folded into the left side
+    for (int b = 0; b < num_bins; ++b) {
+      if (hb[b].count == 0) continue;
+      if (prev >= 0) {
+        const int nl = left_count;
+        const int nr = n - nl;
+        if (nl >= config.min_samples_leaf && nr >= config.min_samples_leaf) {
+          const double right_sum = sum - left_sum;
+          const double gain = left_sum * left_sum / nl +
+                              right_sum * right_sum / nr - sum * sum / n;
+          if (gain > cand.gain) {
+            cand.feature = f;
+            // Midpoint between the adjacent non-empty bins, matching the
+            // exact search's between-distinct-values threshold when bins
+            // are single values.
+            cand.threshold = 0.5 * (ctx->binned->bin_last(f, prev) +
+                                    ctx->binned->bin_first(f, b));
+            cand.gain = gain;
+            cand.left_count = nl;
+          }
+        }
+      }
+      left_sum += hb[b].g;
+      left_count += hb[b].count;
+      prev = b;
+    }
+    return cand;
+  };
+
+  const SplitCandidate best = BestSplitOverFeatures<SplitCandidate>(
+      ctx->pool.get(), features.size(), n, search_feature);
+
+  if (best.feature < 0 || best.gain <= config.min_gain) {
+    ctx->hist_pool->Release(std::move(hist));
+    return node_index;
+  }
+
+  // Partition by value against the recorded threshold (not by bin code), so
+  // training membership always matches Predict's descent rule.
+  const double* best_col =
+      &ctx->xv[static_cast<size_t>(best.feature) * static_cast<size_t>(ctx->n)];
+  int nl = 0;
+  for (int i = begin; i < end; ++i) {
+    const int pos = ctx->pos_of[static_cast<size_t>(i)];
+    const uint8_t left = best_col[pos] <= best.threshold ? 1 : 0;
+    ctx->goes_left[static_cast<size_t>(pos)] = left;
+    nl += left;
+  }
+  const int mid = begin + nl;
+  if (mid == begin || mid == end) {
+    ctx->hist_pool->Release(std::move(hist));
+    return node_index;  // degenerate (ties)
+  }
+
+  std::partition(ctx->pos_of.data() + begin, ctx->pos_of.data() + end,
+                 [&](int pos) {
+                   return ctx->goes_left[static_cast<size_t>(pos)] != 0;
+                 });
+
+  int left, right;
+  if (!ctx->subtract) {
+    // mtry changes the candidate set per node, so the parent histogram
+    // lacks the children's features; rebuild by scan instead.
+    ctx->hist_pool->Release(std::move(hist));
+    left = BuildHistogram(ctx, begin, mid, depth + 1, {});
+    right = BuildHistogram(ctx, mid, end, depth + 1, {});
+  } else {
+    // Scan only the smaller child; the larger child's histogram is the
+    // parent's minus the sibling's, reusing the parent's buffer.
+    const bool left_small = mid - begin <= end - mid;
+    const int small_begin = left_small ? begin : mid;
+    const int small_n = left_small ? mid - begin : end - mid;
+    std::vector<HistBin> small = ctx->hist_pool->Acquire();
+    const int* ids = ctx->pos_of.data() + small_begin;
+    for (int f : features) {
+      HistBin* slot = small.data() + static_cast<size_t>(f) * stride;
+      std::fill_n(slot, ctx->binned->num_bins(f), HistBin{});
+      AccumulateHistogram(
+          &ctx->codes[static_cast<size_t>(f) * static_cast<size_t>(ctx->n)],
+          ids, small_n, ctx->yv.data(), slot);
+    }
+    for (int f : features) {
+      HistBin* parent = hist.data() + static_cast<size_t>(f) * stride;
+      SubtractHistogram(parent,
+                        small.data() + static_cast<size_t>(f) * stride,
+                        parent, ctx->binned->num_bins(f));
+    }
+    std::vector<HistBin> left_hist = left_small ? std::move(small)
+                                                : std::move(hist);
+    std::vector<HistBin> right_hist = left_small ? std::move(hist)
+                                                 : std::move(small);
+    left = BuildHistogram(ctx, begin, mid, depth + 1, std::move(left_hist));
+    right = BuildHistogram(ctx, mid, end, depth + 1, std::move(right_hist));
+  }
   nodes_[static_cast<size_t>(node_index)].feature = best.feature;
   nodes_[static_cast<size_t>(node_index)].threshold = best.threshold;
   nodes_[static_cast<size_t>(node_index)].left = left;

@@ -2,18 +2,23 @@
 // splitting). With {0,1} targets this is equivalent to Gini splitting; leaf
 // values are class-1 probabilities. Building block of the random forest.
 //
-// Split search runs on presorted per-feature index arrays partitioned down
-// the tree (the classic presorted-index trick), eliminating the per-node
-// O(n log n) sort; the original sort-per-node path is kept behind
-// TreeConfig::presorted = false as the equivalence/benchmark reference.
+// Split search runs on one of three backends (TreeConfig::backend): the
+// reference sort-per-node scan (kExact), presorted per-feature index arrays
+// partitioned down the tree (kPresorted, bit-identical to exact), or binned
+// gradient histograms over a BinnedIndex (kHistogram: O(bins) scans with
+// parent-minus-sibling subtraction; identical to exact for {0,1} targets
+// whenever every feature has at most 256 distinct values -- see
+// ml/histogram.h for the precise equivalence contract).
 #ifndef REDS_ML_CART_H_
 #define REDS_ML_CART_H_
 
 #include <cstdint>
 #include <vector>
 
+#include "core/binned_index.h"
 #include "core/column_index.h"
 #include "core/dataset.h"
+#include "ml/histogram.h"
 #include "util/rng.h"
 
 namespace reds::ml {
@@ -25,7 +30,7 @@ struct TreeConfig {
   int min_samples_split = 2; // minimal rows to attempt a split
   int mtry = -1;             // features sampled per split; -1: all
   double min_gain = 1e-12;   // minimal SSE reduction to accept a split
-  bool presorted = true;     // false: reference sort-per-node split search
+  SplitBackend backend = SplitBackend::kPresorted;
   int threads = 1;           // feature-parallel split search when > 1
 };
 
@@ -36,14 +41,18 @@ class RegressionTree {
   /// bootstrap samples). `rng` drives mtry feature subsampling. Pass a
   /// prebuilt ColumnIndex of d to derive the per-feature sorted orders by
   /// counting instead of comparison sorts (the forest shares one index
-  /// across all trees); when null, orders are sorted per fit.
+  /// across all trees); when null, orders are sorted per fit. The
+  /// histogram backend additionally takes the dataset's BinnedIndex
+  /// (built privately when null).
   void Fit(const Dataset& d, const std::vector<int>& rows,
            const TreeConfig& config, Rng* rng,
-           const ColumnIndex* index = nullptr);
+           const ColumnIndex* index = nullptr,
+           const BinnedIndex* binned = nullptr);
 
   /// Convenience: fit on all rows.
   void Fit(const Dataset& d, const TreeConfig& config, Rng* rng,
-           const ColumnIndex* index = nullptr);
+           const ColumnIndex* index = nullptr,
+           const BinnedIndex* binned = nullptr);
 
   /// Mean target of the leaf containing x.
   double Predict(const double* x) const;
@@ -65,6 +74,8 @@ class RegressionTree {
   struct FitContext;
 
   int Build(FitContext* ctx, int begin, int end, int depth);
+  int BuildHistogram(FitContext* ctx, int begin, int end, int depth,
+                     std::vector<HistBin> hist);
   int BuildReference(const Dataset& d, std::vector<int>* rows, int begin,
                      int end, int depth, const TreeConfig& config, Rng* rng);
   int DepthOf(int node) const;

@@ -43,6 +43,11 @@ struct GradientBoostedTrees::RoundContext {
   double gamma = 0.0;
   double eta = 0.3;
   int max_depth = 4;
+  // Histogram backend only: codes are read from `binned` by row id, so no
+  // per-round gathering or order derivation is needed at all.
+  const BinnedIndex* binned = nullptr;
+  int hist_stride = 0;         // bins reserved per candidate slot
+  HistogramPool* hist_pool = nullptr;
 };
 
 double GradientBoostedTrees::Tree::Predict(const double* x) const {
@@ -127,6 +132,154 @@ int GradientBoostedTrees::BuildNode(const Dataset& d,
   Node& nd = tree->nodes[static_cast<size_t>(node_index)];
   nd.feature = best_feature;
   nd.threshold = best_threshold;
+  nd.left = left;
+  nd.right = right;
+  return node_index;
+}
+
+// Histogram split search: per-candidate gradient/hessian histograms over
+// the shared BinnedIndex codes, parent-minus-sibling subtraction for the
+// larger child, O(bins) candidate scans between consecutive non-empty bins.
+// Node aggregates and the row partition run exactly like the presorted
+// path, so leaf weights and tree shape differ from it only where the
+// binning coarsens the candidate thresholds.
+int GradientBoostedTrees::BuildNodeHistogram(RoundContext* ctx, int begin,
+                                             int end, int depth,
+                                             std::vector<HistBin> hist,
+                                             Tree* tree) const {
+  const std::vector<double>& grad = *ctx->grad;
+  const std::vector<double>& hess = *ctx->hess;
+  double g_sum = 0.0, h_sum = 0.0;
+  for (int i = begin; i < end; ++i) {
+    const int r = ctx->rows[static_cast<size_t>(i)];
+    g_sum += grad[static_cast<size_t>(r)];
+    h_sum += hess[static_cast<size_t>(r)];
+  }
+
+  const int node_index = static_cast<int>(tree->nodes.size());
+  tree->nodes.emplace_back();
+  tree->nodes[static_cast<size_t>(node_index)].weight =
+      -ctx->eta * g_sum / (h_sum + ctx->lambda);
+
+  if (depth >= ctx->max_depth || end - begin < 2) {
+    if (!hist.empty()) ctx->hist_pool->Release(std::move(hist));
+    return node_index;
+  }
+
+  const int n = end - begin;
+  const double parent_score = LeafScore(g_sum, h_sum, ctx->lambda);
+  const std::vector<int>& features = *ctx->features;
+  const size_t stride = static_cast<size_t>(ctx->hist_stride);
+
+  if (hist.empty()) {
+    hist = ctx->hist_pool->Acquire();
+    const int* ids = ctx->rows.data() + begin;
+    for (size_t fi = 0; fi < features.size(); ++fi) {
+      HistBin* slot = hist.data() + fi * stride;
+      std::fill_n(slot, ctx->binned->num_bins(features[fi]), HistBin{});
+      AccumulateHistogram(ctx->binned->codes(features[fi]).data(), ids, n,
+                          grad.data(), hess.data(), slot);
+    }
+  }
+
+  struct Candidate {
+    int feature = -1;
+    double threshold = 0.0;
+    double gain = 0.0;
+  };
+  auto search_feature = [&](size_t fi) {
+    Candidate cand;
+    const int f = features[fi];
+    const HistBin* hb = hist.data() + fi * stride;
+    const int num_bins = ctx->binned->num_bins(f);
+    double gl = 0.0, hl = 0.0;
+    int prev = -1;  // last non-empty bin folded into the left side
+    for (int b = 0; b < num_bins; ++b) {
+      if (hb[b].count == 0) continue;
+      if (prev >= 0) {
+        const double gr = g_sum - gl;
+        const double hr = h_sum - hl;
+        if (hl >= ctx->min_child_weight && hr >= ctx->min_child_weight) {
+          const double gain = 0.5 * (LeafScore(gl, hl, ctx->lambda) +
+                                     LeafScore(gr, hr, ctx->lambda) -
+                                     parent_score) -
+                              ctx->gamma;
+          if (gain > cand.gain) {
+            cand.gain = gain;
+            cand.feature = f;
+            cand.threshold = 0.5 * (ctx->binned->bin_last(f, prev) +
+                                    ctx->binned->bin_first(f, b));
+          }
+        }
+      }
+      gl += hb[b].g;
+      hl += hb[b].h;
+      prev = b;
+    }
+    return cand;
+  };
+
+  const Candidate best = BestSplitOverFeatures<Candidate>(
+      ctx->pool, features.size(), n, search_feature);
+
+  if (best.feature < 0) {
+    ctx->hist_pool->Release(std::move(hist));
+    return node_index;
+  }
+
+  // Partition by value against the recorded threshold (not by bin code), so
+  // training membership always matches Predict's descent rule.
+  const std::vector<double>& best_col = ctx->index->column(best.feature);
+  int nl = 0;
+  for (int i = begin; i < end; ++i) {
+    const int r = ctx->rows[static_cast<size_t>(i)];
+    const uint8_t left =
+        best_col[static_cast<size_t>(r)] <= best.threshold ? 1 : 0;
+    ctx->goes_left[static_cast<size_t>(r)] = left;
+    nl += left;
+  }
+  const int mid = begin + nl;
+  if (mid == begin || mid == end) {
+    ctx->hist_pool->Release(std::move(hist));
+    return node_index;  // degenerate (ties)
+  }
+
+  std::partition(ctx->rows.data() + begin, ctx->rows.data() + end,
+                 [&](int r) {
+                   return ctx->goes_left[static_cast<size_t>(r)] != 0;
+                 });
+
+  // Scan only the smaller child; the larger child's histogram is the
+  // parent's minus the sibling's, reusing the parent's buffer. The round's
+  // candidate features are fixed across the tree, so subtraction is always
+  // valid (unlike CART under per-node mtry).
+  const bool left_small = mid - begin <= end - mid;
+  const int small_begin = left_small ? begin : mid;
+  const int small_n = left_small ? mid - begin : end - mid;
+  std::vector<HistBin> small = ctx->hist_pool->Acquire();
+  const int* ids = ctx->rows.data() + small_begin;
+  for (size_t fi = 0; fi < features.size(); ++fi) {
+    HistBin* slot = small.data() + fi * stride;
+    std::fill_n(slot, ctx->binned->num_bins(features[fi]), HistBin{});
+    AccumulateHistogram(ctx->binned->codes(features[fi]).data(), ids, small_n,
+                        grad.data(), hess.data(), slot);
+  }
+  for (size_t fi = 0; fi < features.size(); ++fi) {
+    HistBin* parent = hist.data() + fi * stride;
+    SubtractHistogram(parent, small.data() + fi * stride, parent,
+                      ctx->binned->num_bins(features[fi]));
+  }
+  std::vector<HistBin> left_hist = left_small ? std::move(small)
+                                              : std::move(hist);
+  std::vector<HistBin> right_hist = left_small ? std::move(hist)
+                                               : std::move(small);
+  const int left =
+      BuildNodeHistogram(ctx, begin, mid, depth + 1, std::move(left_hist), tree);
+  const int right =
+      BuildNodeHistogram(ctx, mid, end, depth + 1, std::move(right_hist), tree);
+  Node& nd = tree->nodes[static_cast<size_t>(node_index)];
+  nd.feature = best.feature;
+  nd.threshold = best.threshold;
   nd.left = left;
   nd.right = right;
   return node_index;
@@ -230,11 +383,12 @@ int GradientBoostedTrees::BuildNodeSorted(RoundContext* ctx, int begin,
 }
 
 void GradientBoostedTrees::Fit(const Dataset& d, uint64_t seed) {
-  Fit(d, seed, nullptr);
+  Fit(d, seed, nullptr, nullptr);
 }
 
 void GradientBoostedTrees::Fit(const Dataset& d, uint64_t seed,
-                               const ColumnIndex* index) {
+                               const ColumnIndex* index,
+                               const BinnedIndex* binned) {
   assert(d.num_rows() > 0);
   num_features_ = d.num_cols();
   const int n = d.num_rows();
@@ -245,16 +399,33 @@ void GradientBoostedTrees::Fit(const Dataset& d, uint64_t seed,
   trees_.clear();
   trees_.reserve(static_cast<size_t>(config_.num_rounds));
 
+  // Both indexed backends need the column-major values (split search or
+  // partition); the histogram backend additionally needs the quantization.
   std::shared_ptr<const ColumnIndex> owned;
-  if (config_.presorted && index == nullptr) {
+  if (config_.backend != SplitBackend::kExact && index == nullptr) {
     owned = ColumnIndex::Build(d);
     index = owned.get();
   }
   assert(index == nullptr || (index->num_rows() == d.num_rows() &&
                               index->num_cols() == d.num_cols()));
+  std::shared_ptr<const BinnedIndex> owned_binned;
+  if (config_.backend == SplitBackend::kHistogram && binned == nullptr) {
+    owned_binned = BinnedIndex::Build(*index);
+    binned = owned_binned.get();
+  }
+  assert(config_.backend != SplitBackend::kHistogram ||
+         (binned->num_rows() == d.num_rows() &&
+          binned->num_cols() == d.num_cols()));
   std::unique_ptr<ThreadPool> pool;
-  if (config_.presorted && config_.threads > 1 && d.num_cols() > 1) {
+  if (config_.backend != SplitBackend::kExact && config_.threads > 1 &&
+      d.num_cols() > 1) {
     pool = std::make_unique<ThreadPool>(config_.threads);
+  }
+  std::unique_ptr<HistogramPool> hist_pool;
+  if (config_.backend == SplitBackend::kHistogram) {
+    hist_pool = std::make_unique<HistogramPool>(
+        static_cast<size_t>(d.num_cols()) *
+        static_cast<size_t>(binned->max_bins()));
   }
   std::vector<uint8_t> in_bag;  // reused per round
 
@@ -288,7 +459,7 @@ void GradientBoostedTrees::Fit(const Dataset& d, uint64_t seed,
     }
 
     Tree tree;
-    if (!config_.presorted) {
+    if (config_.backend == SplitBackend::kExact) {
       BuildNode(d, grad, hess, &rows, 0, static_cast<int>(rows.size()), 0,
                 features, &tree);
     } else {
@@ -304,26 +475,37 @@ void GradientBoostedTrees::Fit(const Dataset& d, uint64_t seed,
       ctx.eta = config_.eta;
       ctx.max_depth = config_.max_depth;
       const int in_round = static_cast<int>(rows.size());
-      ctx.order.resize(features.size());
-      if (in_round == n) {
-        for (size_t fi = 0; fi < features.size(); ++fi) {
-          ctx.order[fi] = index->sorted_rows(features[fi]);
-        }
+      if (config_.backend == SplitBackend::kHistogram) {
+        // Codes are read straight from the shared BinnedIndex by row id:
+        // no per-round gather, no order derivation, no in-bag filtering.
+        ctx.binned = binned;
+        ctx.hist_stride = binned->max_bins();
+        ctx.hist_pool = hist_pool.get();
+        ctx.rows = std::move(rows);
+        ctx.goes_left.resize(static_cast<size_t>(n));
+        BuildNodeHistogram(&ctx, 0, in_round, 0, {}, &tree);
       } else {
-        in_bag.assign(static_cast<size_t>(n), 0);
-        for (int r : rows) in_bag[static_cast<size_t>(r)] = 1;
-        for (size_t fi = 0; fi < features.size(); ++fi) {
-          std::vector<int>& ord = ctx.order[fi];
-          ord.reserve(static_cast<size_t>(in_round));
-          for (int r : index->sorted_rows(features[fi])) {
-            if (in_bag[static_cast<size_t>(r)]) ord.push_back(r);
+        ctx.order.resize(features.size());
+        if (in_round == n) {
+          for (size_t fi = 0; fi < features.size(); ++fi) {
+            ctx.order[fi] = index->sorted_rows(features[fi]);
+          }
+        } else {
+          in_bag.assign(static_cast<size_t>(n), 0);
+          for (int r : rows) in_bag[static_cast<size_t>(r)] = 1;
+          for (size_t fi = 0; fi < features.size(); ++fi) {
+            std::vector<int>& ord = ctx.order[fi];
+            ord.reserve(static_cast<size_t>(in_round));
+            for (int r : index->sorted_rows(features[fi])) {
+              if (in_bag[static_cast<size_t>(r)]) ord.push_back(r);
+            }
           }
         }
+        ctx.rows = std::move(rows);
+        ctx.goes_left.resize(static_cast<size_t>(n));
+        ctx.scratch.resize(static_cast<size_t>(in_round));
+        BuildNodeSorted(&ctx, 0, in_round, 0, &tree);
       }
-      ctx.rows = std::move(rows);
-      ctx.goes_left.resize(static_cast<size_t>(n));
-      ctx.scratch.resize(static_cast<size_t>(in_round));
-      BuildNodeSorted(&ctx, 0, in_round, 0, &tree);
     }
     for (int i = 0; i < n; ++i) {
       margin[static_cast<size_t>(i)] += tree.Predict(d.row(i));

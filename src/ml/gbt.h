@@ -3,16 +3,20 @@
 // recipe (Chen & Guestrin 2016) reimplemented from scratch. Backs the "x"
 // metamodel variants ("RPx", "RPxp", "RBIcxp", ...).
 //
-// Split search runs on presorted per-feature row orders derived once per
-// round from a shared ColumnIndex and partitioned down the tree, replacing
-// the per-node O(n log n) sort; the original path is kept behind
-// GbtConfig::presorted = false as the equivalence/benchmark reference.
+// Split search runs on one of three backends (GbtConfig::backend): the
+// reference sort-per-node scan (kExact), presorted per-feature row orders
+// derived once per round from a shared ColumnIndex and partitioned down the
+// tree (kPresorted, bit-identical to exact), or binned gradient/hessian
+// histograms over a shared BinnedIndex (kHistogram: O(bins) scans with
+// parent-minus-sibling subtraction, LightGBM-style).
 #ifndef REDS_ML_GBT_H_
 #define REDS_ML_GBT_H_
 
 #include <vector>
 
+#include "core/binned_index.h"
 #include "core/column_index.h"
+#include "ml/histogram.h"
 #include "ml/model.h"
 #include "util/rng.h"
 
@@ -28,7 +32,7 @@ struct GbtConfig {
   double subsample = 1.0;        // row subsampling per round
   double colsample = 1.0;        // feature subsampling per round
   double base_score = 0.5;       // initial probability
-  bool presorted = true;         // false: reference sort-per-node split search
+  SplitBackend backend = SplitBackend::kPresorted;
   int threads = 1;               // feature-parallel split search when > 1
 };
 
@@ -38,9 +42,11 @@ class GradientBoostedTrees : public Metamodel {
 
   void Fit(const Dataset& d, uint64_t seed) override;
 
-  /// As Fit, reusing a prebuilt ColumnIndex of d (e.g. the discovery
-  /// engine's shared per-dataset index) instead of building one per fit.
-  void Fit(const Dataset& d, uint64_t seed, const ColumnIndex* index);
+  /// As Fit, reusing prebuilt indexes of d (e.g. the discovery engine's
+  /// shared per-dataset caches) instead of building them per fit. The
+  /// histogram backend uses `binned`; the presorted backend uses `index`.
+  void Fit(const Dataset& d, uint64_t seed, const ColumnIndex* index,
+           const BinnedIndex* binned = nullptr) override;
 
   double PredictProb(const double* x) const override;
   int num_features() const override { return num_features_; }
@@ -71,6 +77,8 @@ class GradientBoostedTrees : public Metamodel {
                 const std::vector<int>& features, Tree* tree) const;
   int BuildNodeSorted(RoundContext* ctx, int begin, int end, int depth,
                       Tree* tree) const;
+  int BuildNodeHistogram(RoundContext* ctx, int begin, int end, int depth,
+                         std::vector<HistBin> hist, Tree* tree) const;
 
   GbtConfig config_;
   std::vector<Tree> trees_;

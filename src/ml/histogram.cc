@@ -1,0 +1,39 @@
+#include "ml/histogram.h"
+
+#include <algorithm>
+
+namespace reds::ml {
+
+const char* SplitBackendName(SplitBackend backend) {
+  switch (backend) {
+    case SplitBackend::kExact:
+      return "exact";
+    case SplitBackend::kPresorted:
+      return "presorted";
+    case SplitBackend::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+void SubtractHistogram(const HistBin* parent, const HistBin* child,
+                       HistBin* out, int num_bins) {
+  for (int b = 0; b < num_bins; ++b) {
+    out[b].g = parent[b].g - child[b].g;
+    out[b].h = parent[b].h - child[b].h;
+    out[b].count = parent[b].count - child[b].count;
+  }
+}
+
+std::vector<HistBin> HistogramPool::Acquire() {
+  if (free_.empty()) return std::vector<HistBin>(buffer_size_);
+  std::vector<HistBin> buffer = std::move(free_.back());
+  free_.pop_back();
+  return buffer;
+}
+
+void HistogramPool::Release(std::vector<HistBin> buffer) {
+  free_.push_back(std::move(buffer));
+}
+
+}  // namespace reds::ml

@@ -1,0 +1,105 @@
+// Histogram split search support for the tree learners (feature binning a
+// la LightGBM). A node's per-feature histogram accumulates gradient (or
+// target) sums and counts per BinnedIndex bin with one contiguous uint8_t
+// scan; split candidates are then evaluated between consecutive non-empty
+// bins in O(bins) instead of O(n) exact values, and one child per split is
+// derived by parent-minus-sibling subtraction instead of a rescan. The
+// SplitBackend enum selects between the reference sort-per-node search, the
+// PR 2 presorted-order search, and this histogram search in every tree
+// config (CartParams/GbtParams/RfParams equivalents).
+#ifndef REDS_ML_HISTOGRAM_H_
+#define REDS_ML_HISTOGRAM_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/binned_index.h"
+
+namespace reds::ml {
+
+/// Which split-search kernel a tree learner runs.
+///   kExact:     sort-per-node reference (the seed implementation).
+///   kPresorted: per-feature sorted orders partitioned down the tree (PR 2).
+///   kHistogram: binned gradient histograms over a BinnedIndex (this PR).
+/// Exact and presorted produce bit-identical trees. Histogram trees
+/// evaluate the same candidate set with the same thresholds whenever every
+/// feature has at most BinnedIndex::kMaxBins distinct values -- and are
+/// then bit-identical for {0,1} targets (integer-exact sums) or for
+/// all-distinct values (one row per bin); fractional targets with ties may
+/// differ in final ulps because bin sums accumulate in row order rather
+/// than value order. Beyond the bin budget the histogram backend is a
+/// bounded-quality approximation.
+enum class SplitBackend { kExact, kPresorted, kHistogram };
+
+/// Returns "exact"/"presorted"/"histogram".
+const char* SplitBackendName(SplitBackend backend);
+
+/// One histogram bin: gradient-like and hessian-like sums plus a count.
+/// CART uses g = sum of targets (h unused); GBT uses g/h = gradient and
+/// hessian sums.
+struct HistBin {
+  double g = 0.0;
+  double h = 0.0;
+  int count = 0;
+};
+
+/// Accumulates the g-sums and counts of `ids` (positions or row ids,
+/// whatever `codes`/`g` are indexed by) into `bins`. The codes array is
+/// contiguous uint8_t, so the loop is a tight gather-and-bump that modern
+/// compilers unroll well.
+inline void AccumulateHistogram(const uint8_t* codes, const int* ids, int n,
+                                const double* g, HistBin* bins) {
+  for (int i = 0; i < n; ++i) {
+    const int id = ids[i];
+    HistBin& bin = bins[codes[id]];
+    bin.g += g[id];
+    ++bin.count;
+  }
+}
+
+/// As above with hessian sums (the GBT variant).
+inline void AccumulateHistogram(const uint8_t* codes, const int* ids, int n,
+                                const double* g, const double* h,
+                                HistBin* bins) {
+  for (int i = 0; i < n; ++i) {
+    const int id = ids[i];
+    HistBin& bin = bins[codes[id]];
+    bin.g += g[id];
+    bin.h += h[id];
+    ++bin.count;
+  }
+}
+
+/// out[b] = parent[b] - child[b]. `out` may alias `parent` (the common
+/// in-place use: the parent's buffer becomes the larger child's).
+void SubtractHistogram(const HistBin* parent, const HistBin* child,
+                       HistBin* out, int num_bins);
+
+/// Reusable node-histogram buffers for the parent-minus-sibling recursion:
+/// at any moment one buffer per level of the active root-to-node path is
+/// live, so buffers are recycled through a free list instead of allocated
+/// per node. All buffers share one size (features x max_bins).
+class HistogramPool {
+ public:
+  explicit HistogramPool(size_t buffer_size) : buffer_size_(buffer_size) {}
+
+  /// A buffer of buffer_size() bins with unspecified contents: callers
+  /// zero exactly the per-feature slots they accumulate into (each
+  /// feature's live prefix is its num_bins, not the uniform stride), so
+  /// sparse candidate sets don't pay a full-buffer clear.
+  std::vector<HistBin> Acquire();
+
+  /// Returns a buffer to the free list (contents irrelevant).
+  void Release(std::vector<HistBin> buffer);
+
+  size_t buffer_size() const { return buffer_size_; }
+
+ private:
+  size_t buffer_size_;
+  std::vector<std::vector<HistBin>> free_;
+};
+
+}  // namespace reds::ml
+
+#endif  // REDS_ML_HISTOGRAM_H_

@@ -11,6 +11,11 @@
 
 #include "core/dataset.h"
 
+namespace reds {
+class ColumnIndex;
+class BinnedIndex;
+}  // namespace reds
+
 namespace reds::ml {
 
 /// Metamodel families used in the paper ("f", "x", "s" suffixes).
@@ -31,6 +36,18 @@ class Metamodel {
   /// Fits the model on d (targets may be fractional; they are binarized at
   /// 0.5 where the learner needs hard labels).
   virtual void Fit(const Dataset& d, uint64_t seed) = 0;
+
+  /// As Fit, optionally reusing prebuilt per-dataset indexes (e.g. the
+  /// engine's or a CV loop's shared views of d): tree learners feed them
+  /// to the presorted/histogram split search; families without columnar
+  /// kernels ignore them. Results are identical either way.
+  virtual void Fit(const Dataset& d, uint64_t seed,
+                   const ColumnIndex* index,
+                   const BinnedIndex* binned = nullptr) {
+    (void)index;
+    (void)binned;
+    Fit(d, seed);
+  }
 
   /// Estimated P(y = 1 | x); always in [0, 1]. `x` holds num_features()
   /// doubles.

@@ -22,11 +22,11 @@ std::string MetamodelSuffix(MetamodelKind kind) {
 }
 
 void RandomForest::Fit(const Dataset& d, uint64_t seed) {
-  Fit(d, seed, nullptr);
+  Fit(d, seed, nullptr, nullptr);
 }
 
 void RandomForest::Fit(const Dataset& d, uint64_t seed,
-                       const ColumnIndex* index) {
+                       const ColumnIndex* index, const BinnedIndex* binned) {
   assert(d.num_rows() > 0);
   num_features_ = d.num_cols();
   TreeConfig tree_config;
@@ -37,16 +37,25 @@ void RandomForest::Fit(const Dataset& d, uint64_t seed,
   tree_config.min_samples_leaf = config_.min_samples_leaf;
   tree_config.min_samples_split = std::max(2, 2 * config_.min_samples_leaf);
   tree_config.max_depth = config_.max_depth;
-  tree_config.presorted = config_.presorted;
+  tree_config.backend = config_.backend;
 
-  // One columnar index serves every tree; each derives its bootstrap
-  // sample's per-feature orders from the shared permutations by counting.
+  // One columnar index (and, for the histogram backend, one quantization)
+  // serves every tree; each derives its bootstrap sample's views from the
+  // shared structures instead of rebuilding them.
   std::shared_ptr<const ColumnIndex> owned;
-  if (config_.presorted && index == nullptr) {
+  if (config_.backend != SplitBackend::kExact && index == nullptr) {
     owned = ColumnIndex::Build(d);
     index = owned.get();
   }
-  if (!config_.presorted) index = nullptr;
+  std::shared_ptr<const BinnedIndex> owned_binned;
+  if (config_.backend == SplitBackend::kHistogram && binned == nullptr) {
+    owned_binned = BinnedIndex::Build(*index);
+    binned = owned_binned.get();
+  }
+  if (config_.backend == SplitBackend::kExact) {
+    index = nullptr;
+    binned = nullptr;
+  }
 
   const int bag_size = std::max(
       1, static_cast<int>(std::lround(config_.sample_fraction * d.num_rows())));
@@ -61,7 +70,8 @@ void RandomForest::Fit(const Dataset& d, uint64_t seed,
       r = static_cast<int>(rng.UniformInt(static_cast<uint64_t>(d.num_rows())));
       in_bag_counts_[static_cast<size_t>(t)][static_cast<size_t>(r)]++;
     }
-    trees_[static_cast<size_t>(t)].Fit(d, rows, tree_config, &rng, index);
+    trees_[static_cast<size_t>(t)].Fit(d, rows, tree_config, &rng, index,
+                                       binned);
   };
   if (config_.fit_threads > 1) {
     // Trees are seeded independently, so the parallel fit is deterministic

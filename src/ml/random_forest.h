@@ -17,7 +17,7 @@ struct RandomForestConfig {
   int min_samples_leaf = 1;  // fully grown trees, as in Breiman's classifier
   int max_depth = -1;
   double sample_fraction = 1.0;  // bootstrap sample size as share of N
-  bool presorted = true;     // false: reference sort-per-node trees
+  SplitBackend backend = SplitBackend::kPresorted;
   int fit_threads = 1;       // trees fit in parallel when > 1 (each tree has
                              // its own seed stream, so results are identical)
 };
@@ -28,10 +28,12 @@ class RandomForest : public Metamodel {
 
   void Fit(const Dataset& d, uint64_t seed) override;
 
-  /// As Fit, reusing a prebuilt ColumnIndex of d (e.g. the discovery
-  /// engine's shared per-dataset index); all trees derive their presorted
-  /// feature orders from it by counting instead of sorting.
-  void Fit(const Dataset& d, uint64_t seed, const ColumnIndex* index);
+  /// As Fit, reusing prebuilt indexes of d (e.g. the discovery engine's
+  /// shared per-dataset caches); all trees derive their presorted feature
+  /// orders from `index` by counting instead of sorting, or share the
+  /// `binned` quantization under the histogram backend.
+  void Fit(const Dataset& d, uint64_t seed, const ColumnIndex* index,
+           const BinnedIndex* binned = nullptr) override;
   double PredictProb(const double* x) const override;
   int num_features() const override { return num_features_; }
 

@@ -30,40 +30,77 @@ namespace {
 
 using ModelFactory = std::function<std::unique_ptr<Metamodel>()>;
 
-// Mean CV log-loss of a model configuration.
-double CrossValidate(const ModelFactory& factory, const Dataset& d, int folds,
-                     uint64_t seed) {
+// One CV fold, prepared once per tuning run: the training subset, the
+// held-out row ids, and the subset's columnar (and, under the histogram
+// backend, binned) views shared by every grid candidate fit on the fold.
+struct CvFold {
+  Dataset train;
+  std::vector<int> test_rows;
+  std::shared_ptr<const ColumnIndex> index;
+  std::shared_ptr<const BinnedIndex> binned;
+};
+
+// Builds the fold datasets and their indexes. The fold membership mask,
+// subset copies, and per-fold views used to be re-derived for every grid
+// point; sharing them also means every candidate is scored on identical
+// folds (caret's protocol), making the grid comparison apples-to-apples.
+std::vector<CvFold> BuildCvFolds(const Dataset& d, int folds, uint64_t seed,
+                                 SplitBackend backend, bool tree_family) {
   const int n = d.num_rows();
   const std::vector<int> fold = FoldAssignment(n, folds, seed);
-  double total = 0.0;
+  std::vector<CvFold> out;
   for (int f = 0; f < folds; ++f) {
-    std::vector<int> train_rows, test_rows;
+    CvFold cv;
+    std::vector<int> train_rows;
     for (int i = 0; i < n; ++i) {
-      (fold[static_cast<size_t>(i)] == f ? test_rows : train_rows).push_back(i);
+      (fold[static_cast<size_t>(i)] == f ? cv.test_rows : train_rows)
+          .push_back(i);
     }
-    if (train_rows.empty() || test_rows.empty()) continue;
-    const Dataset train = d.SubsetRows(train_rows);
+    if (train_rows.empty() || cv.test_rows.empty()) continue;
+    cv.train = d.SubsetRows(train_rows);
+    if (tree_family) {
+      cv.index = ColumnIndex::Build(cv.train);
+      if (backend == SplitBackend::kHistogram) {
+        cv.binned = BinnedIndex::Build(*cv.index);
+      }
+    }
+    out.push_back(std::move(cv));
+  }
+  return out;
+}
+
+// Mean CV log-loss of a model configuration over the shared folds.
+double CrossValidate(const ModelFactory& factory, const Dataset& d,
+                     const std::vector<CvFold>& folds, int num_folds,
+                     uint64_t seed) {
+  double total = 0.0;
+  for (size_t f = 0; f < folds.size(); ++f) {
+    const CvFold& cv = folds[f];
     auto model = factory();
-    model->Fit(train, DeriveSeed(seed, static_cast<uint64_t>(f) + 101));
+    model->Fit(cv.train, DeriveSeed(seed, static_cast<uint64_t>(f) + 101),
+               cv.index.get(), cv.binned.get());
     std::vector<double> prob, y;
-    prob.reserve(test_rows.size());
-    y.reserve(test_rows.size());
-    for (int r : test_rows) {
+    prob.reserve(cv.test_rows.size());
+    y.reserve(cv.test_rows.size());
+    for (int r : cv.test_rows) {
       prob.push_back(model->PredictProb(d.row(r)));
       y.push_back(d.y(r) > 0.5 ? 1.0 : 0.0);
     }
     total += LogLoss(prob, y);
   }
-  return total / folds;
+  return total / num_folds;
 }
 
 std::unique_ptr<Metamodel> PickBest(const std::vector<ModelFactory>& grid,
                                     const Dataset& d, uint64_t seed,
-                                    const TuningConfig& config) {
+                                    const TuningConfig& config,
+                                    bool tree_family) {
+  const std::vector<CvFold> folds =
+      BuildCvFolds(d, config.folds, seed, config.backend, tree_family);
   double best_loss = std::numeric_limits<double>::infinity();
   size_t best = 0;
   for (size_t g = 0; g < grid.size(); ++g) {
-    const double loss = CrossValidate(grid[g], d, config.folds,
+    const double loss = CrossValidate(grid[g], d, folds, config.folds,
                                       DeriveSeed(seed, static_cast<uint64_t>(g)));
     if (loss < best_loss) {
       best_loss = loss;
@@ -83,14 +120,17 @@ int DefaultMtry(int m) {
 
 std::unique_ptr<Metamodel> FitDefault(MetamodelKind kind, const Dataset& d,
                                       uint64_t seed, TuningBudget budget,
-                                      const ColumnIndex* index) {
+                                      const ColumnIndex* index,
+                                      const BinnedIndex* binned,
+                                      SplitBackend backend) {
   const bool full = budget == TuningBudget::kFull;
   switch (kind) {
     case MetamodelKind::kRandomForest: {
       RandomForestConfig config;
       config.num_trees = full ? 500 : 100;
+      config.backend = backend;
       auto model = std::make_unique<RandomForest>(config);
-      model->Fit(d, seed, index);
+      model->Fit(d, seed, index, binned);
       return model;
     }
     case MetamodelKind::kGbt: {
@@ -98,8 +138,9 @@ std::unique_ptr<Metamodel> FitDefault(MetamodelKind kind, const Dataset& d,
       config.num_rounds = full ? 150 : 80;
       config.max_depth = 4;
       config.eta = 0.3;
+      config.backend = backend;
       auto model = std::make_unique<GradientBoostedTrees>(config);
-      model->Fit(d, seed, index);
+      model->Fit(d, seed, index, binned);
       return model;
     }
     case MetamodelKind::kSvm: {
@@ -129,6 +170,7 @@ std::unique_ptr<Metamodel> TuneAndFit(MetamodelKind kind, const Dataset& d,
         RandomForestConfig c;
         c.num_trees = full ? 500 : 100;
         c.mtry = mtry;
+        c.backend = config.backend;
         grid.push_back([c] { return std::make_unique<RandomForest>(c); });
       }
       break;
@@ -147,6 +189,7 @@ std::unique_ptr<Metamodel> TuneAndFit(MetamodelKind kind, const Dataset& d,
             c.max_depth = depth;
             c.num_rounds = nr;
             c.eta = eta;
+            c.backend = config.backend;
             grid.push_back(
                 [c] { return std::make_unique<GradientBoostedTrees>(c); });
           }
@@ -166,19 +209,22 @@ std::unique_ptr<Metamodel> TuneAndFit(MetamodelKind kind, const Dataset& d,
       break;
     }
   }
-  return PickBest(grid, d, seed, config);
+  return PickBest(grid, d, seed, config, kind != MetamodelKind::kSvm);
 }
 
 std::unique_ptr<Metamodel> FitMetamodel(MetamodelKind kind, const Dataset& d,
                                         uint64_t seed, bool tune,
                                         TuningBudget budget,
-                                        const ColumnIndex* index) {
+                                        const ColumnIndex* index,
+                                        const BinnedIndex* binned,
+                                        SplitBackend backend) {
   if (tune) {
     TuningConfig config;
     config.budget = budget;
+    config.backend = backend;
     return TuneAndFit(kind, d, seed, config);
   }
-  return FitDefault(kind, d, seed, budget, index);
+  return FitDefault(kind, d, seed, budget, index, binned, backend);
 }
 
 }  // namespace reds::ml

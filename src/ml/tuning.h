@@ -1,14 +1,18 @@
 // k-fold cross-validated grid tuning for the metamodels, mimicking the
 // paper's use of caret's default hyperparameter optimization (Section 8.4.3)
-// at laptop scale.
+// at laptop scale. Folds -- and the per-fold columnar/binned views the tree
+// learners scan -- are built once per tuning run and shared by the whole
+// grid, caret-style, instead of being re-derived per grid point.
 #ifndef REDS_ML_TUNING_H_
 #define REDS_ML_TUNING_H_
 
 #include <cstdint>
 #include <memory>
 
+#include "core/binned_index.h"
 #include "core/column_index.h"
 #include "core/dataset.h"
+#include "ml/histogram.h"
 #include "ml/model.h"
 
 namespace reds::ml {
@@ -20,6 +24,8 @@ enum class TuningBudget { kQuick, kFull };
 struct TuningConfig {
   TuningBudget budget = TuningBudget::kQuick;
   int folds = 5;
+  /// Split-search kernel every tree candidate in the grid runs on.
+  SplitBackend backend = SplitBackend::kPresorted;
 };
 
 /// Splits rows into k folds (round-robin over a shuffled permutation) and
@@ -27,27 +33,36 @@ struct TuningConfig {
 std::vector<int> FoldAssignment(int n, int k, uint64_t seed);
 
 /// Tunes the given metamodel family by grid search with k-fold CV on
-/// log-loss, then refits the winning configuration on all of d.
+/// log-loss, then refits the winning configuration on all of d. Every grid
+/// candidate is evaluated on the same folds, whose training subsets are
+/// indexed (ColumnIndex, plus BinnedIndex under the histogram backend)
+/// exactly once.
 std::unique_ptr<Metamodel> TuneAndFit(MetamodelKind kind, const Dataset& d,
                                       uint64_t seed,
                                       const TuningConfig& config = {});
 
-/// Fits the family with library defaults (no tuning). A prebuilt
-/// ColumnIndex of d (e.g. the engine's shared per-dataset index) feeds the
-/// tree learners' presorted split search; when null they build their own.
+/// Fits the family with library defaults (no tuning). Prebuilt indexes of d
+/// (e.g. the engine's shared per-dataset caches) feed the tree learners'
+/// presorted/histogram split search; when null they build their own.
 std::unique_ptr<Metamodel> FitDefault(MetamodelKind kind, const Dataset& d,
                                       uint64_t seed,
                                       TuningBudget budget = TuningBudget::kQuick,
-                                      const ColumnIndex* index = nullptr);
+                                      const ColumnIndex* index = nullptr,
+                                      const BinnedIndex* binned = nullptr,
+                                      SplitBackend backend =
+                                          SplitBackend::kPresorted);
 
 /// TuneAndFit when `tune`, else FitDefault: the single dispatch both the
 /// inline REDS path and the engine's metamodel cache use, so cached and
-/// uncached fits cannot drift apart. `index` is used on the untuned path;
-/// tuned fits run on CV-fold subsets with their own indexes.
+/// uncached fits cannot drift apart. `index`/`binned` are used on the
+/// untuned path; tuned fits run on CV-fold subsets with their own indexes.
 std::unique_ptr<Metamodel> FitMetamodel(MetamodelKind kind, const Dataset& d,
                                         uint64_t seed, bool tune,
                                         TuningBudget budget,
-                                        const ColumnIndex* index = nullptr);
+                                        const ColumnIndex* index = nullptr,
+                                        const BinnedIndex* binned = nullptr,
+                                        SplitBackend backend =
+                                            SplitBackend::kPresorted);
 
 }  // namespace reds::ml
 

@@ -1,0 +1,156 @@
+// BinnedIndex invariants: bin boundaries are quantiles (balanced in-bin
+// counts), codes round-trip through BinOf and the bin value ranges, tied
+// values share a bin, distinct values get their own bin when they fit, and
+// degenerate/constant columns collapse to a single bin.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/binned_index.h"
+#include "util/rng.h"
+
+namespace reds {
+namespace {
+
+Dataset MakeData(int n, int dim, uint64_t seed, int distinct_values = 0) {
+  Rng rng(seed);
+  Dataset d(dim);
+  std::vector<double> x(static_cast<size_t>(dim));
+  for (int i = 0; i < n; ++i) {
+    for (auto& v : x) {
+      v = distinct_values > 0
+              ? static_cast<double>(rng.UniformInt(
+                    static_cast<uint64_t>(distinct_values))) /
+                    distinct_values
+              : rng.Uniform();
+    }
+    d.AddRow(x, rng.Bernoulli(0.4) ? 1.0 : 0.0);
+  }
+  return d;
+}
+
+TEST(BinnedIndexTest, CodesRoundTripThroughBinRanges) {
+  const Dataset d = MakeData(2000, 4, 1);
+  const auto index = ColumnIndex::Build(d);
+  const auto binned = BinnedIndex::Build(*index);
+  ASSERT_EQ(binned->num_rows(), 2000);
+  ASSERT_EQ(binned->num_cols(), 4);
+  for (int j = 0; j < 4; ++j) {
+    ASSERT_LE(binned->num_bins(j), BinnedIndex::kMaxBins);
+    for (int r = 0; r < 2000; ++r) {
+      const int b = binned->code(j, r);
+      ASSERT_GE(b, 0);
+      ASSERT_LT(b, binned->num_bins(j));
+      // The row's value lies inside its bin's [first, last] range ...
+      EXPECT_GE(d.x(r, j), binned->bin_first(j, b));
+      EXPECT_LE(d.x(r, j), binned->bin_last(j, b));
+      // ... and BinOf inverts the code.
+      EXPECT_EQ(binned->BinOf(j, d.x(r, j)), b);
+    }
+    // Bin value ranges are disjoint and increasing.
+    for (int b = 1; b < binned->num_bins(j); ++b) {
+      EXPECT_LT(binned->bin_last(j, b - 1), binned->bin_first(j, b));
+      EXPECT_LE(binned->bin_first(j, b), binned->bin_last(j, b));
+    }
+  }
+}
+
+TEST(BinnedIndexTest, BinBoundariesAreQuantiles) {
+  // Continuous column, all values distinct: greedy quantile packing must
+  // keep every bin within a factor of ~2 of the equal share N / bins.
+  const int n = 25600;
+  const Dataset d = MakeData(n, 2, 2);
+  const auto binned = BinnedIndex::Build(*ColumnIndex::Build(d));
+  for (int j = 0; j < 2; ++j) {
+    ASSERT_EQ(binned->num_bins(j), BinnedIndex::kMaxBins);
+    const double share = static_cast<double>(n) / BinnedIndex::kMaxBins;
+    for (int b = 0; b < binned->num_bins(j); ++b) {
+      const int count =
+          binned->bin_begin_rank(j, b + 1) - binned->bin_begin_rank(j, b);
+      EXPECT_GE(count, 1);
+      EXPECT_LE(count, static_cast<int>(2.0 * share) + 1)
+          << "bin " << b << " holds " << count << " rows";
+    }
+  }
+}
+
+TEST(BinnedIndexTest, RanksTileTheSortedPermutation) {
+  const Dataset d = MakeData(500, 3, 3, 37);
+  const auto index = ColumnIndex::Build(d);
+  const auto binned = BinnedIndex::Build(*index);
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_EQ(binned->bin_begin_rank(j, 0), 0);
+    EXPECT_EQ(binned->bin_begin_rank(j, binned->num_bins(j)), 500);
+    for (int b = 0; b < binned->num_bins(j); ++b) {
+      const int begin = binned->bin_begin_rank(j, b);
+      const int end = binned->bin_begin_rank(j, b + 1);
+      ASSERT_LT(begin, end);
+      for (int rank = begin; rank < end; ++rank) {
+        const int r = index->sorted_rows(j)[static_cast<size_t>(rank)];
+        EXPECT_EQ(binned->code(j, r), b) << "rank " << rank;
+      }
+    }
+  }
+}
+
+TEST(BinnedIndexTest, FewDistinctValuesGetOneBinEach) {
+  for (int distinct : {2, 7, 64}) {
+    const Dataset d = MakeData(800, 2, 4 + distinct, distinct);
+    const auto binned = BinnedIndex::Build(*ColumnIndex::Build(d));
+    for (int j = 0; j < 2; ++j) {
+      // Every realized distinct value gets a bin of its own, and the bin is
+      // a single point: first == last.
+      std::vector<double> values;
+      for (int r = 0; r < 800; ++r) values.push_back(d.x(r, j));
+      std::sort(values.begin(), values.end());
+      values.erase(std::unique(values.begin(), values.end()), values.end());
+      ASSERT_EQ(binned->num_bins(j), static_cast<int>(values.size()));
+      for (int b = 0; b < binned->num_bins(j); ++b) {
+        EXPECT_EQ(binned->bin_first(j, b), binned->bin_last(j, b));
+        EXPECT_EQ(binned->bin_first(j, b), values[static_cast<size_t>(b)]);
+      }
+    }
+  }
+}
+
+TEST(BinnedIndexTest, TiedValuesNeverStraddleBins) {
+  // 300 distinct values over 3000 rows: more distinct values than rows per
+  // bin share, so bins must merge runs -- but never split one.
+  const Dataset d = MakeData(3000, 2, 5, 300);
+  const auto binned = BinnedIndex::Build(*ColumnIndex::Build(d), 16);
+  for (int j = 0; j < 2; ++j) {
+    ASSERT_LE(binned->num_bins(j), 16);
+    for (int a = 0; a < 3000; ++a) {
+      for (int b = a + 1; b < std::min(3000, a + 50); ++b) {
+        if (d.x(a, j) == d.x(b, j)) {
+          EXPECT_EQ(binned->code(j, a), binned->code(j, b));
+        }
+      }
+    }
+  }
+}
+
+TEST(BinnedIndexTest, ConstantColumnCollapsesToOneBin) {
+  Dataset d(2);
+  for (int i = 0; i < 50; ++i) {
+    const double x[2] = {0.5, static_cast<double>(i)};
+    d.AddRow(x, i % 2 == 0 ? 1.0 : 0.0);
+  }
+  const auto binned = BinnedIndex::Build(*ColumnIndex::Build(d));
+  EXPECT_EQ(binned->num_bins(0), 1);
+  EXPECT_EQ(binned->bin_first(0, 0), 0.5);
+  EXPECT_EQ(binned->bin_last(0, 0), 0.5);
+  for (int r = 0; r < 50; ++r) EXPECT_EQ(binned->code(0, r), 0);
+  EXPECT_EQ(binned->num_bins(1), 50);  // all distinct
+}
+
+TEST(BinnedIndexTest, BinOfClampsBeyondTheDataRange) {
+  const Dataset d = MakeData(100, 1, 6);
+  const auto binned = BinnedIndex::Build(*ColumnIndex::Build(d));
+  EXPECT_EQ(binned->BinOf(0, -10.0), 0);
+  EXPECT_EQ(binned->BinOf(0, 10.0), binned->num_bins(0) - 1);
+}
+
+}  // namespace
+}  // namespace reds

@@ -88,6 +88,43 @@ TEST(MetamodelCacheTest, BitwiseEqualDatasetObjectsShareOneFit) {
   EXPECT_EQ(engine.metamodel_cache().hit_count(), 1);
 }
 
+TEST(BinnedIndexCacheTest, BatchOverOneDatasetQuantizesOnce) {
+  // Plain PRIM jobs route both the columnar index and its quantization
+  // through the engine's fingerprint-keyed caches: three jobs over the same
+  // data leave exactly one entry in each.
+  const auto train = MakeData(300, 4, 11);
+  DiscoveryEngine engine({/*threads=*/4});
+  for (int rep = 0; rep < 3; ++rep) {
+    auto request = MakeRequest(train, "P");
+    request.rep = rep;
+    engine.Submit(std::move(request));
+  }
+  engine.WaitAll();
+  EXPECT_EQ(engine.column_index_cache_size(), 1);
+  EXPECT_EQ(engine.binned_index_cache_size(), 1);
+  // The cached quantization is the one the provider hands out.
+  const auto binned = engine.GetBinnedIndex(*train);
+  ASSERT_NE(binned, nullptr);
+  EXPECT_EQ(binned->num_rows(), train->num_rows());
+  EXPECT_EQ(engine.binned_index_cache_size(), 1);
+}
+
+TEST(BinnedIndexCacheTest, HistogramBackendKeysMetamodelsSeparately) {
+  // The same dataset fit with presorted vs histogram split search must not
+  // share a metamodel cache entry.
+  const auto train = MakeData(200, 4, 12);
+  DiscoveryEngine engine({/*threads=*/2});
+  auto presorted = MakeRequest(train, "RPx");
+  auto histogram = MakeRequest(train, "RPx");
+  histogram.options.split_backend = ml::SplitBackend::kHistogram;
+  histogram.cell = "RPx-hist";
+  engine.Submit(std::move(presorted));
+  engine.Submit(std::move(histogram));
+  engine.WaitAll();
+  EXPECT_EQ(engine.metamodel_cache().fit_count(), 2);
+  EXPECT_EQ(engine.metamodel_cache().hit_count(), 0);
+}
+
 TEST(DiscoveryEngineTest, ConcurrentSubmissionStress) {
   const auto train_a = MakeData(180, 4, 3);
   const auto train_b = MakeData(180, 4, 4);

@@ -124,6 +124,71 @@ TEST(PrimEquivalenceTest, SeparateValidationData) {
   ExpectSamePrimResult(ref, opt, "train != val");
 }
 
+TEST(PrimEquivalenceTest, BinnedBackendMatchesSortedBitForBit) {
+  // The quantized peel state must reproduce the sorted-index kernel's boxes
+  // and curves exactly -- including fractional labels, where the in-bin
+  // exact refinement keeps the removed-mass sums in the same accumulation
+  // order -- across continuous, tie-heavy, and pasted runs.
+  for (uint64_t seed : {121u, 122u, 123u}) {
+    for (bool fractional : {false, true}) {
+      for (int distinct : {0, 6}) {
+        const Dataset d = MakeData(700, 5, seed, fractional, distinct);
+        PrimConfig sorted_config;
+        sorted_config.backend = PrimPeelBackend::kSorted;
+        sorted_config.paste = true;
+        PrimConfig binned_config = sorted_config;
+        binned_config.backend = PrimPeelBackend::kBinned;
+        const PrimResult sorted_run = RunPrim(d, d, sorted_config);
+        const PrimResult binned_run = RunPrim(d, d, binned_config);
+        ExpectSamePrimResult(sorted_run, binned_run,
+                             "seed=" + std::to_string(seed) +
+                                 " fractional=" + std::to_string(fractional) +
+                                 " distinct=" + std::to_string(distinct));
+      }
+    }
+  }
+}
+
+TEST(PrimEquivalenceTest, BinnedBackendWithMoreRowsThanBins) {
+  // More rows than bins forces real quantization (multiple values per bin),
+  // exercising the in-bin refinement on every peel.
+  const Dataset d = MakeData(3000, 4, 131, /*fractional=*/true);
+  PrimConfig sorted_config;
+  sorted_config.backend = PrimPeelBackend::kSorted;
+  PrimConfig binned_config = sorted_config;
+  binned_config.backend = PrimPeelBackend::kBinned;
+  const PrimResult sorted_run = RunPrim(d, d, sorted_config);
+  const PrimResult binned_run = RunPrim(d, d, binned_config);
+  ExpectSamePrimResult(sorted_run, binned_run, "3000 rows");
+}
+
+TEST(PrimEquivalenceTest, PrebuiltBinnedIndexMatchesPrivateBuild) {
+  const Dataset d = MakeData(500, 4, 141, /*fractional=*/false);
+  const auto index = ColumnIndex::Build(d);
+  const auto binned = BinnedIndex::Build(*index);
+  PrimConfig config;
+  const PrimResult with_indexes = RunPrim(d, d, config, index.get(),
+                                          binned.get());
+  const PrimResult without = RunPrim(d, d, config);
+  ExpectSamePrimResult(with_indexes, without, "prebuilt binned index");
+}
+
+TEST(PrimEquivalenceTest, ParallelCandidateEvaluationMatchesSerial) {
+  // Enough rows that the in-box workload clears kPrimParallelMinWork for
+  // many peels; the parallel path must select the identical peel sequence.
+  const Dataset d = MakeData(9000, 6, 151, /*fractional=*/false);
+  for (PrimPeelBackend backend :
+       {PrimPeelBackend::kSorted, PrimPeelBackend::kBinned}) {
+    PrimConfig serial_config;
+    serial_config.backend = backend;
+    PrimConfig parallel_config = serial_config;
+    parallel_config.threads = 4;
+    const PrimResult serial_run = RunPrim(d, d, serial_config);
+    const PrimResult parallel_run = RunPrim(d, d, parallel_config);
+    ExpectSamePrimResult(serial_run, parallel_run, "parallel candidates");
+  }
+}
+
 TEST(BiEquivalenceTest, SameBoxAcrossSeedsAndBeamSizes) {
   for (uint64_t seed : {51u, 52u, 53u}) {
     for (int beam : {1, 3}) {
@@ -167,7 +232,7 @@ TEST(CartEquivalenceTest, PresortedTreeMatchesReference) {
   ml::RegressionTree reference;
   {
     ml::TreeConfig ref_config = config;
-    ref_config.presorted = false;
+    ref_config.backend = ml::SplitBackend::kExact;
     Rng rng(99);
     reference.Fit(d, rows, ref_config, &rng);
   }
@@ -203,7 +268,7 @@ TEST(CartEquivalenceTest, PresortedMatchesReferenceOnFractionalTies) {
     ml::RegressionTree reference;
     {
       ml::TreeConfig ref_config = config;
-      ref_config.presorted = false;
+      ref_config.backend = ml::SplitBackend::kExact;
       Rng rng(3);
       reference.Fit(d, ref_config, &rng);
     }
@@ -285,7 +350,7 @@ TEST(GbtEquivalenceTest, PresortedFitMatchesReference) {
   config.colsample = 0.8;
 
   ml::GbtConfig ref_config = config;
-  ref_config.presorted = false;
+  ref_config.backend = ml::SplitBackend::kExact;
   ml::GradientBoostedTrees reference(ref_config);
   reference.Fit(d, 7);
   ml::GradientBoostedTrees sorted_fit(config);
@@ -330,7 +395,7 @@ TEST(RandomForestEquivalenceTest, PresortedForestMatchesReference) {
   config.num_trees = 25;
 
   ml::RandomForestConfig ref_config = config;
-  ref_config.presorted = false;
+  ref_config.backend = ml::SplitBackend::kExact;
   ml::RandomForest reference(ref_config);
   reference.Fit(d, 13);
   ml::RandomForest sorted_fit(config);
