@@ -153,6 +153,9 @@ void RunEngineThreeVariantBatch(benchmark::State& state,
     engine::EngineConfig config;
     config.threads = 1;  // serialize so the fit cost is not hidden by cores
     config.cache_metamodels = cache_metamodels;
+    // Measure real fits: a developer's REDS_CACHE_DIR must not turn the
+    // uncached arm into warm disk loads.
+    config.enable_persistent_cache = false;
     engine::DiscoveryEngine eng(config);
     for (const char* method : {"RPx", "RPxp", "RBIx"}) {
       engine::DiscoveryRequest request;

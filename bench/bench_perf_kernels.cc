@@ -26,8 +26,10 @@
 #include <vector>
 
 #include "core/best_interval.h"
+#include "core/dataset_source.h"
 #include "core/prim.h"
 #include "ml/gbt.h"
+#include "ml/histogram.h"
 #include "ml/metrics.h"
 #include "ml/random_forest.h"
 #include "util/rng.h"
@@ -101,13 +103,19 @@ PerfFlags ParseFlags(int argc, char** argv) {
   return flags;
 }
 
-Dataset RandomData(int n, int dim, uint64_t seed) {
+Dataset RandomData(int n, int dim, uint64_t seed, int distinct_values = 0) {
   Rng rng(seed);
   Dataset d(dim);
   d.Reserve(n);
   std::vector<double> x(static_cast<size_t>(dim));
   for (int i = 0; i < n; ++i) {
-    for (auto& v : x) v = rng.Uniform();
+    for (auto& v : x) {
+      v = distinct_values > 0
+              ? static_cast<double>(rng.UniformInt(
+                    static_cast<uint64_t>(distinct_values))) /
+                    distinct_values
+              : rng.Uniform();
+    }
     const double p = (x[0] < 0.45 && x[1] > 0.3) ? 0.8 : 0.15;
     d.AddRow(x, rng.Bernoulli(p) ? 1.0 : 0.0);
   }
@@ -335,6 +343,136 @@ KernelResult BenchRfHist(const PerfFlags& flags) {
   return result;
 }
 
+// --- Histogram accumulation: scalar reference vs 4-row unrolled gather ---
+// (the PR 4 SIMD-friendly kernel). Repeated passes over one node-sized id
+// set amortize timer granularity; bins must match bit for bit.
+KernelResult BenchHistAccumulate(const PerfFlags& flags) {
+  KernelResult result;
+  result.name = "hist_accumulate";
+  const int n = flags.l_points;
+  Rng rng(flags.seed + 8);
+  std::vector<uint8_t> codes(static_cast<size_t>(n));
+  std::vector<double> g(static_cast<size_t>(n)), h(static_cast<size_t>(n));
+  std::vector<int> ids(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    codes[static_cast<size_t>(i)] = static_cast<uint8_t>(rng.UniformInt(256));
+    g[static_cast<size_t>(i)] = rng.Normal();
+    h[static_cast<size_t>(i)] = rng.Uniform();
+    ids[static_cast<size_t>(i)] = i;
+  }
+  rng.Shuffle(&ids);  // gather pattern, as in a partitioned tree node
+  const int passes = flags.quick ? 50 : 200;
+  result.detail = "n=" + std::to_string(n) + " bins=256 passes=" +
+                  std::to_string(passes);
+
+  std::vector<ml::HistBin> ref_bins(256), opt_bins(256);
+  result.reference_seconds = TimeBest(flags.reps, [&] {
+    for (int p = 0; p < passes; ++p) {
+      std::fill(ref_bins.begin(), ref_bins.end(), ml::HistBin());
+      ml::AccumulateHistogramReference(codes.data(), ids.data(), n, g.data(),
+                                       h.data(), ref_bins.data());
+    }
+  });
+  result.optimized_seconds = TimeBest(flags.reps, [&] {
+    for (int p = 0; p < passes; ++p) {
+      std::fill(opt_bins.begin(), opt_bins.end(), ml::HistBin());
+      ml::AccumulateHistogram(codes.data(), ids.data(), n, g.data(), h.data(),
+                              opt_bins.data());
+    }
+  });
+  for (int b = 0; b < 256 && result.identical; ++b) {
+    result.identical = ref_bins[static_cast<size_t>(b)].g ==
+                           opt_bins[static_cast<size_t>(b)].g &&
+                       ref_bins[static_cast<size_t>(b)].h ==
+                           opt_bins[static_cast<size_t>(b)].h &&
+                       ref_bins[static_cast<size_t>(b)].count ==
+                           opt_bins[static_cast<size_t>(b)].count;
+  }
+  return result;
+}
+
+// --- Streaming build path: in-memory exact quantization (ColumnIndex + ---
+// BinnedIndex) vs the two-pass sketch-binned streaming build. Approximate:
+// the two packings place boundaries differently (greedy equal-share vs
+// exact-rank quantiles), so the quality delta is the worst bin-balance
+// deviation -- max |bin population - n/bins| / n, which the sketch's rank
+// error bounds on this continuous (tie-free) data.
+KernelResult BenchStreamedBuild(const PerfFlags& flags, int threads) {
+  KernelResult result;
+  result.name = threads > 1 ? "binned_build_streamed_parallel"
+                            : "binned_build_streamed";
+  result.approximate = true;
+  const auto data = std::make_shared<Dataset>(
+      RandomData(flags.l_points, flags.dims, flags.seed + 9));
+  result.detail = "L=" + std::to_string(flags.l_points) +
+                  " d=" + std::to_string(flags.dims) +
+                  (threads > 1 ? " threads=" + std::to_string(threads) : "");
+
+  std::shared_ptr<const BinnedIndex> exact;
+  result.reference_seconds = TimeBest(flags.reps, [&] {
+    exact = BinnedIndex::Build(*ColumnIndex::Build(*data));
+  });
+  Result<StreamedDataset> streamed = Status::RuntimeError("not run");
+  result.optimized_seconds = TimeBest(flags.reps, [&] {
+    MatrixSource source(data);
+    StreamedBuildOptions options;
+    options.threads = threads;
+    streamed = BinnedIndex::BuildStreamed(&source, options);
+  });
+  if (!streamed.ok()) {
+    result.identical = false;
+    result.quality_delta = 1.0;
+    return result;
+  }
+  const double n = static_cast<double>(data->num_rows());
+  double worst = 0.0;
+  for (int j = 0; j < flags.dims; ++j) {
+    const BinnedIndex& index = *streamed->index;
+    const double share = n / index.num_bins(j);
+    for (int b = 0; b < index.num_bins(j); ++b) {
+      const double population =
+          index.bin_begin_rank(j, b + 1) - index.bin_begin_rank(j, b);
+      worst = std::max(worst, std::fabs(population - share) / n);
+    }
+  }
+  result.quality_delta = worst;
+  result.identical = exact->codes(0) == streamed->index->codes(0);
+  return result;
+}
+
+// --- Streamed PRIM: the sorted-index kernel on the materialized matrix ---
+// vs RunPrimStreamed on codes alone. Discrete-valued data keeps both in
+// the exact regime, so the boxes must be bit-identical; both get prebuilt
+// indexes, isolating the peel loops.
+KernelResult BenchPrimStreamed(const PerfFlags& flags) {
+  KernelResult result;
+  result.name = "prim_peel_streamed";
+  const auto data = std::make_shared<Dataset>(
+      RandomData(flags.l_points, flags.dims, flags.seed, /*distinct=*/128));
+  const auto index = ColumnIndex::Build(*data);
+  MatrixSource source(data);
+  auto streamed = BinnedIndex::BuildStreamed(&source);
+  PrimConfig sorted_config;
+  sorted_config.alpha = 0.05;
+  sorted_config.backend = PrimPeelBackend::kSorted;
+  result.detail = "L=" + std::to_string(flags.l_points) +
+                  " d=" + std::to_string(flags.dims) +
+                  " alpha=0.05 128-distinct";
+  if (!streamed.ok()) {
+    result.identical = false;
+    return result;
+  }
+
+  PrimResult ref, opt;
+  result.reference_seconds = TimeBest(
+      flags.reps, [&] { ref = RunPrim(*data, *data, sorted_config, index.get()); });
+  result.optimized_seconds = TimeBest(flags.reps, [&] {
+    opt = RunPrimStreamed(*streamed->index, streamed->y, sorted_config);
+  });
+  result.identical = SamePrimResult(ref, opt);
+  return result;
+}
+
 KernelResult BenchBi(const PerfFlags& flags) {
   KernelResult result;
   result.name = "bi_search";
@@ -480,6 +618,10 @@ int main(int argc, char** argv) {
   run(BenchRfFit(flags));
   run(BenchRfHist(flags));
   run(BenchBi(flags));
+  run(BenchHistAccumulate(flags));
+  run(BenchStreamedBuild(flags, /*threads=*/1));
+  run(BenchStreamedBuild(flags, flags.threads));
+  run(BenchPrimStreamed(flags));
 
   bool all_ok = true;
   for (const auto& r : results) all_ok = all_ok && r.Ok();

@@ -1,6 +1,12 @@
 #include "core/binned_index.h"
 
 #include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "core/quantile_sketch.h"
+#include "util/fingerprint.h"
+#include "util/thread_pool.h"
 
 namespace reds {
 
@@ -48,6 +54,65 @@ std::vector<int> PackRuns(const std::vector<ValueRun>& runs, int n,
   return begins;
 }
 
+// Per-column accumulator of the streaming sketch pass: a mergeable quantile
+// sketch plus exact distinct-value tracking up to the bin budget, so
+// columns with few distinct values get exactly one bin per value (the
+// equivalence case) without consulting the sketch at all.
+struct ColumnSketch {
+  QuantileSketch sketch;
+  std::vector<double> distinct;  // sorted unique; valid until overflow
+  bool overflow = false;
+
+  explicit ColumnSketch(double eps) : sketch(eps) {}
+
+  void AddValue(double v, int cap) {
+    sketch.Add(v);
+    if (overflow) return;
+    const auto it = std::lower_bound(distinct.begin(), distinct.end(), v);
+    if (it != distinct.end() && *it == v) return;
+    if (static_cast<int>(distinct.size()) >= cap) {
+      overflow = true;
+      distinct.clear();
+      distinct.shrink_to_fit();
+      return;
+    }
+    distinct.insert(it, v);
+  }
+
+  void MergeFrom(const ColumnSketch& other, int cap) {
+    sketch.Merge(other.sketch);
+    if (overflow) return;
+    if (other.overflow) {
+      overflow = true;
+      distinct.clear();
+      distinct.shrink_to_fit();
+      return;
+    }
+    std::vector<double> merged;
+    merged.reserve(distinct.size() + other.distinct.size());
+    std::merge(distinct.begin(), distinct.end(), other.distinct.begin(),
+               other.distinct.end(), std::back_inserter(merged));
+    merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+    if (static_cast<int>(merged.size()) > cap) {
+      overflow = true;
+      distinct.clear();
+      distinct.shrink_to_fit();
+      return;
+    }
+    distinct = std::move(merged);
+  }
+};
+
+void SketchBlock(const double* x, int rows, int m, int cap,
+                 std::vector<ColumnSketch>* cols) {
+  for (int j = 0; j < m; ++j) {
+    ColumnSketch& col = (*cols)[static_cast<size_t>(j)];
+    for (int r = 0; r < rows; ++r) {
+      col.AddValue(x[static_cast<size_t>(r) * m + j], cap);
+    }
+  }
+}
+
 }  // namespace
 
 std::shared_ptr<const BinnedIndex> BinnedIndex::Build(const ColumnIndex& index,
@@ -59,6 +124,7 @@ std::shared_ptr<const BinnedIndex> BinnedIndex::Build(const ColumnIndex& index,
   binned->num_rows_ = n;
   binned->num_cols_ = m;
   binned->max_bins_ = max_bins;
+  binned->kind_ = BuildKind::kExactPack;
   binned->num_bins_.resize(static_cast<size_t>(m));
   binned->codes_.resize(static_cast<size_t>(m));
   binned->bin_first_.resize(static_cast<size_t>(m));
@@ -113,11 +179,352 @@ std::shared_ptr<const BinnedIndex> BinnedIndex::Build(const Dataset& d,
   return Build(*ColumnIndex::Build(d), max_bins);
 }
 
+Result<StreamedDataset> BinnedIndex::BuildStreamed(
+    DatasetSource* source, const StreamedBuildOptions& options) {
+  if (options.max_bins < 1 || options.max_bins > kMaxBins) {
+    return Status::InvalidArgument("max_bins out of [1, 256]");
+  }
+  if (options.block_rows < 1) {
+    return Status::InvalidArgument("block_rows must be >= 1");
+  }
+  if (!(options.sketch_eps > 0.0) || options.sketch_eps >= 0.5) {
+    return Status::InvalidArgument("sketch_eps out of (0, 0.5)");
+  }
+  const int m = source->num_cols();
+  if (m <= 0) return Status::InvalidArgument("source has no input columns");
+  const int cap = options.max_bins;
+  const int threads = std::max(1, options.threads);
+
+  // --- Pass 1: sketches, distinct tracking, fingerprints, labels. --------
+  util::DatasetHasher input_hasher(util::DatasetHasher::Scope::kInputs, m);
+  util::DatasetHasher full_hasher(util::DatasetHasher::Scope::kFull, m);
+  std::vector<double> y;
+  std::vector<ColumnSketch> acc(static_cast<size_t>(m),
+                                ColumnSketch(options.sketch_eps));
+
+  Status reset = source->Reset();
+  if (!reset.ok()) return reset;
+
+  // One slot-based loop for every thread count: batches of up to `threads`
+  // blocks are copied into private slots (block views die on the next
+  // NextBlock call), sketched into per-block summaries -- concurrently
+  // when a pool exists, inline otherwise -- and folded into the
+  // accumulator in block order. Thread count therefore cannot change the
+  // result; only block_rows can move sketch boundaries.
+  {
+    std::unique_ptr<ThreadPool> pool;
+    if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+    struct Slot {
+      std::vector<double> x, y;
+      int rows = 0;
+      std::vector<ColumnSketch> local;
+    };
+    std::vector<Slot> slots(static_cast<size_t>(threads));
+    bool done = false;
+    while (!done) {
+      int filled = 0;
+      while (filled < threads) {
+        Result<RowBlock> block = source->NextBlock(options.block_rows);
+        if (!block.ok()) return block.status();
+        if (block->empty()) {
+          done = true;
+          break;
+        }
+        Slot& slot = slots[static_cast<size_t>(filled)];
+        const int rows = block->num_rows();
+        slot.rows = rows;
+        slot.x.assign(block->x.data(),
+                      block->x.data() + static_cast<size_t>(rows) * m);
+        slot.y.assign(block->y, block->y + rows);
+        input_hasher.AddRows(slot.x.data(), nullptr, rows);
+        full_hasher.AddRows(slot.x.data(), slot.y.data(), rows);
+        y.insert(y.end(), slot.y.begin(), slot.y.end());
+        ++filled;
+      }
+      for (int s = 0; s < filled; ++s) {
+        Slot& slot = slots[static_cast<size_t>(s)];
+        slot.local.assign(static_cast<size_t>(m),
+                          ColumnSketch(options.sketch_eps));
+        auto sketch_slot = [&slot, m, cap] {
+          SketchBlock(slot.x.data(), slot.rows, m, cap, &slot.local);
+        };
+        if (pool != nullptr) {
+          pool->Submit(sketch_slot);
+        } else {
+          sketch_slot();
+        }
+      }
+      if (pool != nullptr) pool->Wait();
+      for (int s = 0; s < filled; ++s) {
+        for (int j = 0; j < m; ++j) {
+          acc[static_cast<size_t>(j)].MergeFrom(
+              slots[static_cast<size_t>(s)].local[static_cast<size_t>(j)],
+              cap);
+        }
+      }
+    }
+  }
+
+  const int64_t n64 = input_hasher.rows();
+  if (n64 == 0) return Status::InvalidArgument("dataset stream is empty");
+  if (n64 > std::numeric_limits<int>::max()) {
+    return Status::InvalidArgument("dataset stream exceeds 2^31 rows");
+  }
+  const int n = static_cast<int>(n64);
+
+  // --- Bin boundaries: distinct values when they fit, sketch quantiles ---
+  // otherwise. upper[j] holds ascending bin upper bounds; a value's code is
+  // the first bin whose upper bound is >= it.
+  std::vector<std::vector<double>> upper(static_cast<size_t>(m));
+  bool any_sketch = false;
+  for (int j = 0; j < m; ++j) {
+    ColumnSketch& cs = acc[static_cast<size_t>(j)];
+    std::vector<double>& ub = upper[static_cast<size_t>(j)];
+    if (!cs.overflow) {
+      ub = std::move(cs.distinct);
+      continue;
+    }
+    any_sketch = true;
+    for (int b = 1; b < cap; ++b) {
+      const int64_t rank = static_cast<int64_t>(b) * n / cap;
+      const double v = cs.sketch.QueryRank(rank);
+      if (ub.empty() || v > ub.back()) ub.push_back(v);
+    }
+    // Catch-all last bin; its recorded bounds come from the coding pass.
+    ub.push_back(std::numeric_limits<double>::infinity());
+  }
+
+  // --- Pass 2: code every row chunk by chunk, tracking per-bin counts ----
+  // and exact min/max values.
+  reset = source->Reset();
+  if (!reset.ok()) return reset;
+
+  auto binned = std::shared_ptr<BinnedIndex>(new BinnedIndex());
+  binned->num_rows_ = n;
+  binned->num_cols_ = m;
+  binned->max_bins_ = cap;
+  binned->kind_ = any_sketch ? BuildKind::kSketch : BuildKind::kExactPack;
+  binned->codes_.resize(static_cast<size_t>(m));
+  std::vector<std::vector<int>> counts(static_cast<size_t>(m));
+  std::vector<std::vector<double>> vmin(static_cast<size_t>(m));
+  std::vector<std::vector<double>> vmax(static_cast<size_t>(m));
+  for (int j = 0; j < m; ++j) {
+    const size_t bins = upper[static_cast<size_t>(j)].size();
+    binned->codes_[static_cast<size_t>(j)].reserve(static_cast<size_t>(n));
+    counts[static_cast<size_t>(j)].assign(bins, 0);
+    vmin[static_cast<size_t>(j)].assign(
+        bins, std::numeric_limits<double>::infinity());
+    vmax[static_cast<size_t>(j)].assign(
+        bins, -std::numeric_limits<double>::infinity());
+  }
+
+  std::unique_ptr<ThreadPool> code_pool;
+  if (threads > 1 && m > 1) code_pool = std::make_unique<ThreadPool>(threads);
+  int64_t seen = 0;
+  for (;;) {
+    Result<RowBlock> block = source->NextBlock(options.block_rows);
+    if (!block.ok()) return block.status();
+    if (block->empty()) break;
+    const int rows = block->num_rows();
+    seen += rows;
+    if (seen > n64) {
+      return Status::FailedPrecondition(
+          "dataset source yielded extra rows on the second pass");
+    }
+    const double* x = block->x.data();
+    auto code_column = [&, x, rows](int j) {
+      const std::vector<double>& ub = upper[static_cast<size_t>(j)];
+      std::vector<uint8_t>& codes = binned->codes_[static_cast<size_t>(j)];
+      std::vector<int>& count = counts[static_cast<size_t>(j)];
+      std::vector<double>& lo = vmin[static_cast<size_t>(j)];
+      std::vector<double>& hi = vmax[static_cast<size_t>(j)];
+      for (int r = 0; r < rows; ++r) {
+        const double v = x[static_cast<size_t>(r) * m + j];
+        size_t b = static_cast<size_t>(
+            std::lower_bound(ub.begin(), ub.end(), v) - ub.begin());
+        if (b == ub.size()) --b;  // non-deterministic source; clamp
+        codes.push_back(static_cast<uint8_t>(b));
+        ++count[b];
+        lo[b] = std::min(lo[b], v);
+        hi[b] = std::max(hi[b], v);
+      }
+    };
+    if (code_pool != nullptr) {
+      for (int j = 0; j < m; ++j) {
+        code_pool->Submit([&code_column, j] { code_column(j); });
+      }
+      code_pool->Wait();
+    } else {
+      for (int j = 0; j < m; ++j) code_column(j);
+    }
+  }
+  if (seen != n64) {
+    return Status::FailedPrecondition(
+        "dataset source yielded fewer rows on the second pass");
+  }
+
+  // --- Assemble: drop empty bins, exact bounds, rank offsets, own perm. --
+  binned->num_bins_.resize(static_cast<size_t>(m));
+  binned->bin_first_.resize(static_cast<size_t>(m));
+  binned->bin_last_.resize(static_cast<size_t>(m));
+  binned->bin_begin_rank_.resize(static_cast<size_t>(m));
+  for (int j = 0; j < m; ++j) {
+    const std::vector<int>& count = counts[static_cast<size_t>(j)];
+    std::vector<uint8_t> remap(count.size(), 0);
+    int live = 0;
+    for (size_t b = 0; b < count.size(); ++b) {
+      remap[b] = static_cast<uint8_t>(live);
+      if (count[b] > 0) ++live;
+    }
+    binned->num_bins_[static_cast<size_t>(j)] = live;
+    std::vector<double>& first = binned->bin_first_[static_cast<size_t>(j)];
+    std::vector<double>& last = binned->bin_last_[static_cast<size_t>(j)];
+    std::vector<int>& begins = binned->bin_begin_rank_[static_cast<size_t>(j)];
+    first.reserve(static_cast<size_t>(live));
+    last.reserve(static_cast<size_t>(live));
+    begins.assign(static_cast<size_t>(live) + 1, 0);
+    int rank = 0, out = 0;
+    for (size_t b = 0; b < count.size(); ++b) {
+      if (count[b] == 0) continue;
+      first.push_back(vmin[static_cast<size_t>(j)][b]);
+      last.push_back(vmax[static_cast<size_t>(j)][b]);
+      begins[static_cast<size_t>(out)] = rank;
+      rank += count[b];
+      ++out;
+    }
+    begins[static_cast<size_t>(live)] = n;
+    if (live != static_cast<int>(count.size())) {
+      for (uint8_t& c : binned->codes_[static_cast<size_t>(j)]) c = remap[c];
+    }
+  }
+  binned->BuildOwnPermutation();
+
+  StreamedDataset out;
+  out.index = binned;
+  out.y = std::move(y);
+  out.input_fingerprint = input_hasher.Finalize();
+  out.fingerprint = full_hasher.Finalize();
+  return out;
+}
+
+// Stable counting sort of each column's rows by bin code: rows ascending by
+// (code, row id) -- exactly the ColumnIndex sort order whenever every bin
+// holds a single distinct value.
+void BinnedIndex::BuildOwnPermutation() {
+  sorted_.assign(static_cast<size_t>(num_cols_), {});
+  for (int j = 0; j < num_cols_; ++j) {
+    std::vector<int>& perm = sorted_[static_cast<size_t>(j)];
+    perm.resize(static_cast<size_t>(num_rows_));
+    std::vector<int> offset(bin_begin_rank_[static_cast<size_t>(j)].begin(),
+                            bin_begin_rank_[static_cast<size_t>(j)].end() - 1);
+    const std::vector<uint8_t>& codes = codes_[static_cast<size_t>(j)];
+    for (int r = 0; r < num_rows_; ++r) {
+      perm[static_cast<size_t>(offset[codes[static_cast<size_t>(r)]]++)] = r;
+    }
+  }
+}
+
 int BinnedIndex::BinOf(int j, double v) const {
   const std::vector<double>& last = bin_last_[static_cast<size_t>(j)];
   const auto it = std::lower_bound(last.begin(), last.end(), v);
   if (it == last.end()) return num_bins(j) - 1;
   return static_cast<int>(it - last.begin());
+}
+
+namespace {
+constexpr uint32_t kBinnedIndexVersion = 1;
+}  // namespace
+
+void BinnedIndex::Serialize(util::ByteWriter* out) const {
+  out->U32(kBinnedIndexVersion);
+  out->U8(static_cast<uint8_t>(kind_));
+  out->U8(has_sorted_rows() ? 1 : 0);
+  out->I32(num_rows_);
+  out->I32(num_cols_);
+  out->I32(max_bins_);
+  for (int j = 0; j < num_cols_; ++j) {
+    out->VecU8(codes_[static_cast<size_t>(j)]);
+    out->VecF64(bin_first_[static_cast<size_t>(j)]);
+    out->VecF64(bin_last_[static_cast<size_t>(j)]);
+    out->VecI32(bin_begin_rank_[static_cast<size_t>(j)]);
+  }
+}
+
+Result<std::shared_ptr<const BinnedIndex>> BinnedIndex::Deserialize(
+    util::ByteReader* in) {
+  const auto corrupt = [](const char* what) {
+    return Status::InvalidArgument(std::string("corrupt BinnedIndex: ") +
+                                   what);
+  };
+  if (in->U32() != kBinnedIndexVersion) return corrupt("version");
+  const uint8_t kind = in->U8();
+  if (kind > static_cast<uint8_t>(BuildKind::kSketch)) return corrupt("kind");
+  const uint8_t has_sorted = in->U8();
+  if (has_sorted > 1) return corrupt("sorted flag");
+  auto binned = std::shared_ptr<BinnedIndex>(new BinnedIndex());
+  binned->kind_ = static_cast<BuildKind>(kind);
+  binned->num_rows_ = in->I32();
+  binned->num_cols_ = in->I32();
+  binned->max_bins_ = in->I32();
+  if (!in->ok() || binned->num_rows_ <= 0 || binned->num_cols_ <= 0 ||
+      binned->max_bins_ < 1 || binned->max_bins_ > kMaxBins) {
+    return corrupt("header");
+  }
+  const int n = binned->num_rows_;
+  const int m = binned->num_cols_;
+  binned->num_bins_.resize(static_cast<size_t>(m));
+  binned->codes_.resize(static_cast<size_t>(m));
+  binned->bin_first_.resize(static_cast<size_t>(m));
+  binned->bin_last_.resize(static_cast<size_t>(m));
+  binned->bin_begin_rank_.resize(static_cast<size_t>(m));
+  for (int j = 0; j < m; ++j) {
+    std::vector<uint8_t>& codes = binned->codes_[static_cast<size_t>(j)];
+    std::vector<double>& first = binned->bin_first_[static_cast<size_t>(j)];
+    std::vector<double>& last = binned->bin_last_[static_cast<size_t>(j)];
+    std::vector<int>& begins = binned->bin_begin_rank_[static_cast<size_t>(j)];
+    codes = in->VecU8();
+    first = in->VecF64();
+    last = in->VecF64();
+    begins = in->VecI32();
+    if (!in->ok()) return corrupt("truncated column payload");
+    const int bins = static_cast<int>(first.size());
+    binned->num_bins_[static_cast<size_t>(j)] = bins;
+    if (bins < 1 || bins > binned->max_bins_ ||
+        last.size() != static_cast<size_t>(bins) ||
+        codes.size() != static_cast<size_t>(n) ||
+        begins.size() != static_cast<size_t>(bins) + 1) {
+      return corrupt("column shape");
+    }
+    if (begins.front() != 0 || begins.back() != n) return corrupt("bin ranks");
+    for (int b = 0; b < bins; ++b) {
+      if (begins[static_cast<size_t>(b)] >= begins[static_cast<size_t>(b) + 1]) {
+        return corrupt("bin ranks");
+      }
+      if (first[static_cast<size_t>(b)] > last[static_cast<size_t>(b)]) {
+        return corrupt("bin bounds");
+      }
+      if (b > 0 && !(first[static_cast<size_t>(b)] >
+                     last[static_cast<size_t>(b) - 1])) {
+        return corrupt("bin bounds");
+      }
+    }
+    // Codes must be in range and their per-bin totals must reproduce the
+    // rank offsets -- a cheap full-consistency pass that catches payload
+    // bit flips the structural checks above would miss.
+    std::vector<int> count(static_cast<size_t>(bins), 0);
+    for (uint8_t c : codes) {
+      if (c >= bins) return corrupt("code out of range");
+      ++count[c];
+    }
+    for (int b = 0; b < bins; ++b) {
+      if (count[static_cast<size_t>(b)] != begins[static_cast<size_t>(b) + 1] -
+                                               begins[static_cast<size_t>(b)]) {
+        return corrupt("code counts");
+      }
+    }
+  }
+  if (has_sorted) binned->BuildOwnPermutation();
+  return std::shared_ptr<const BinnedIndex>(std::move(binned));
 }
 
 }  // namespace reds

@@ -1,13 +1,29 @@
 // BinnedIndex: the quantized data plane. Each feature of a dataset is
 // quantized into at most 256 quantile bins -- uint8_t codes stored
 // column-major plus, per bin, the smallest/largest data value it covers and
-// its offset into the ColumnIndex sorted permutation. Built once per dataset
-// from the ColumnIndex (O(M N), no extra sort) and cached by the discovery
-// engine under the same input-only fingerprint, it backs the histogram
+// its offset into the sorted-by-value permutation. It backs the histogram
 // split search in ml/ (CART/GBT/RF) and the binned PRIM peeling in core/:
 // scans touch contiguous byte codes and O(bins) aggregates instead of N
-// exact doubles, with the sorted permutation available for the exact
-// in-bin refinements that keep results identical to the unbinned kernels.
+// exact doubles.
+//
+// Two build paths produce one:
+//   * Build(ColumnIndex): the exact in-memory path -- value runs packed
+//     into equal-share quantile bins from the sorted permutation.
+//   * BuildStreamed(DatasetSource): the streaming path -- bin boundaries
+//     come from one-pass mergeable quantile sketches and codes are emitted
+//     chunk by chunk, so the raw N x M double matrix is never materialized:
+//     resident state is the uint8 codes (N x M bytes), the labels (N
+//     doubles), and O(block) doubles in flight. The streamed index carries
+//     its own
+//     code-ordered row permutation (stable counting sort, no comparison
+//     sort) and both fingerprints of the stream. When every column has at
+//     most max_bins distinct values the streamed bins equal the exact
+//     path's bit for bit (BuildKind::kExactPack); otherwise boundaries are
+//     within the sketch's rank-error bound (BuildKind::kSketch).
+//
+// The discovery engine caches indexes under the input-only fingerprint, in
+// memory (LRU) and optionally on disk (engine/persistent_cache), for which
+// BinnedIndex serializes to a stable little-endian byte layout.
 #ifndef REDS_CORE_BINNED_INDEX_H_
 #define REDS_CORE_BINNED_INDEX_H_
 
@@ -19,14 +35,55 @@
 
 #include "core/column_index.h"
 #include "core/dataset.h"
+#include "core/dataset_source.h"
+#include "util/serialize.h"
+#include "util/status.h"
 
 namespace reds {
+
+/// Knobs of the streaming build.
+struct StreamedBuildOptions {
+  int max_bins = 256;      // <= BinnedIndex::kMaxBins
+  int block_rows = 8192;   // rows pulled per source block
+  /// Rank-error target of the per-column quantile sketches, as a fraction
+  /// of the stream length; bin boundaries on >max_bins-distinct columns
+  /// deviate from exact quantiles by at most this share of rows.
+  double sketch_eps = 1.0 / 2048.0;
+  /// Blocks sketched concurrently on a private pool when > 1. Every block
+  /// is sketched privately and folded in block order on any thread count
+  /// (the serial path is the parallel path with one slot), so for a given
+  /// block_rows the result is bit-identical regardless of threads.
+  /// Changing block_rows may move sketch-binned boundaries (within the
+  /// rank-error bound either way).
+  int threads = 1;
+};
+
+class BinnedIndex;
+
+/// What streaming ingestion yields: the quantized index, the label vector,
+/// and both fingerprints hashed incrementally over the chunk stream --
+/// never the raw double matrix.
+struct StreamedDataset {
+  std::shared_ptr<const BinnedIndex> index;
+  std::vector<double> y;
+  uint64_t input_fingerprint = 0;  // == engine::FingerprintInputs
+  uint64_t fingerprint = 0;        // == engine::FingerprintDataset
+};
 
 /// Immutable per-dataset feature quantization. Thread-safe to share.
 class BinnedIndex {
  public:
   /// Hard cap on bins per feature, dictated by the uint8_t codes.
   static constexpr int kMaxBins = 256;
+
+  /// How the bin boundaries were derived. Indexes of different kinds must
+  /// not share cache entries: beyond max_bins distinct values per column
+  /// the two packings differ.
+  enum class BuildKind : uint8_t {
+    kExactPack,  // exact value-run packing (or streamed with all columns
+                 // <= max_bins distinct: identical result)
+    kSketch,     // streamed, at least one column binned from the sketch
+  };
 
   /// Quantizes every column of `index` into at most `max_bins` quantile
   /// bins. Tied values always land in the same bin; when a column has at
@@ -39,9 +96,17 @@ class BinnedIndex {
   static std::shared_ptr<const BinnedIndex> Build(const Dataset& d,
                                                   int max_bins = kMaxBins);
 
+  /// Streaming build: two passes over `source` (sketch pass, coding pass),
+  /// consuming fixed-size row blocks. See the file comment for the
+  /// equivalence contract. The source must yield the identical row
+  /// sequence on both passes.
+  static Result<StreamedDataset> BuildStreamed(
+      DatasetSource* source, const StreamedBuildOptions& options = {});
+
   int num_rows() const { return num_rows_; }
   int num_cols() const { return num_cols_; }
   int max_bins() const { return max_bins_; }
+  BuildKind kind() const { return kind_; }
 
   /// Number of non-empty bins of column j (1 <= num_bins <= max_bins).
   int num_bins(int j) const {
@@ -72,7 +137,7 @@ class BinnedIndex {
     return bin_last_[static_cast<size_t>(j)][static_cast<size_t>(b)];
   }
 
-  /// First rank of bin b in ColumnIndex::sorted_rows(j); bins tile the
+  /// First rank of bin b in the sorted-by-value permutation; bins tile the
   /// permutation, so bin b spans ranks [bin_begin_rank(j, b),
   /// bin_begin_rank(j, b + 1)). bin_begin_rank(j, num_bins(j)) == N.
   int bin_begin_rank(int j, int b) const {
@@ -80,22 +145,53 @@ class BinnedIndex {
     return bin_begin_rank_[static_cast<size_t>(j)][static_cast<size_t>(b)];
   }
 
+  /// True when the index carries its own code-ordered permutation
+  /// (streamed builds do; ColumnIndex-derived builds share the
+  /// ColumnIndex's instead).
+  bool has_sorted_rows() const { return !sorted_.empty(); }
+
+  /// Row ids ascending by (bin code, row id) -- identical to
+  /// ColumnIndex::sorted_rows whenever bins are single values. Only valid
+  /// when has_sorted_rows().
+  const std::vector<int>& sorted_rows(int j) const {
+    assert(has_sorted_rows());
+    assert(j >= 0 && j < num_cols_);
+    return sorted_[static_cast<size_t>(j)];
+  }
+
   /// Bin of an arbitrary value: the first bin whose largest value is >= v,
   /// clamped to the last bin for v beyond the data maximum. For data values
   /// this inverts the codes: BinOf(j, x(r, j)) == code(j, r).
   int BinOf(int j, double v) const;
 
+  /// Appends the index to `out` in the stable little-endian cache layout
+  /// (version tag + dims + per-column bins/codes). The permutation is not
+  /// written; Deserialize rebuilds it by counting when the index carried
+  /// one.
+  void Serialize(util::ByteWriter* out) const;
+
+  /// Parses a serialized index, validating structure (dims, monotone bin
+  /// ranks, code ranges) so truncated or corrupted payloads are rejected
+  /// rather than trusted.
+  static Result<std::shared_ptr<const BinnedIndex>> Deserialize(
+      util::ByteReader* in);
+
  private:
   BinnedIndex() = default;
+
+  void BuildOwnPermutation();
 
   int num_rows_ = 0;
   int num_cols_ = 0;
   int max_bins_ = kMaxBins;
+  BuildKind kind_ = BuildKind::kExactPack;
   std::vector<int> num_bins_;                    // [col]
   std::vector<std::vector<uint8_t>> codes_;      // [col][row] -> bin
   std::vector<std::vector<double>> bin_first_;   // [col][bin] smallest value
   std::vector<std::vector<double>> bin_last_;    // [col][bin] largest value
   std::vector<std::vector<int>> bin_begin_rank_; // [col][bin] perm offset
+  std::vector<std::vector<int>> sorted_;         // [col][rank] -> row; may
+                                                 // be empty (see above)
 };
 
 /// Supplies a (possibly cached) BinnedIndex for a dataset. The discovery

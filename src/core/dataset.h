@@ -49,6 +49,10 @@ class Dataset {
     return x_.data() + static_cast<size_t>(r) * static_cast<size_t>(num_cols_);
   }
 
+  /// The contiguous target column (num_rows doubles). Streaming sources
+  /// slice blocks out of it without copying.
+  const double* y_data() const { return y_.data(); }
+
   /// Appends one example. `inputs` must hold num_cols() values.
   void AddRow(const double* inputs, double target);
   void AddRow(const std::vector<double>& inputs, double target) {

@@ -1,0 +1,157 @@
+#include "core/dataset_source.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "util/table.h"
+
+namespace reds {
+
+Result<Dataset> ReadAll(DatasetSource* source, int block_rows) {
+  Dataset out(source->num_cols());
+  const int64_t hint = source->num_rows_hint();
+  if (hint > 0) out.Reserve(static_cast<int>(hint));
+  Status reset = source->Reset();
+  if (!reset.ok()) return reset;
+  for (;;) {
+    Result<RowBlock> block = source->NextBlock(block_rows);
+    if (!block.ok()) return block.status();
+    if (block->empty()) break;
+    for (int r = 0; r < block->num_rows(); ++r) {
+      out.AddRow(block->x.row(r), block->y[r]);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// MatrixSource
+// ---------------------------------------------------------------------------
+
+MatrixSource::MatrixSource(std::shared_ptr<const Dataset> data)
+    : data_(std::move(data)) {
+  assert(data_ != nullptr);
+}
+
+Status MatrixSource::Reset() {
+  cursor_ = 0;
+  return Status::OK();
+}
+
+Result<RowBlock> MatrixSource::NextBlock(int max_rows) {
+  if (max_rows <= 0) {
+    return Status::InvalidArgument("NextBlock needs max_rows >= 1");
+  }
+  RowBlock block;
+  const int n = data_->num_rows();
+  const int take = std::min(max_rows, n - cursor_);
+  if (take <= 0) return block;
+  block.x = la::ConstMatrixView(data_->row(cursor_), take, data_->num_cols());
+  block.y = data_->y_data() + cursor_;
+  cursor_ += take;
+  return block;
+}
+
+// ---------------------------------------------------------------------------
+// CsvFileSource
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<CsvFileSource>> CsvFileSource::Open(
+    const std::string& path) {
+  std::unique_ptr<CsvFileSource> source(new CsvFileSource());
+  source->path_ = path;
+  const Status reset = source->Reset();
+  if (!reset.ok()) return reset;
+  return source;
+}
+
+Status CsvFileSource::Reset() {
+  file_.close();
+  file_.clear();
+  file_.open(path_);
+  if (!file_) return Status::IoError("cannot open " + path_);
+  std::string line;
+  if (!std::getline(file_, line)) {
+    return Status::IoError("empty file: " + path_);
+  }
+  StripTrailingCr(&line);
+  std::vector<std::string> header;
+  SplitCsvLine(line, &header);
+  if (header.size() < 2) {
+    return Status::InvalidArgument(
+        path_ + ": need at least one input column and the target");
+  }
+  num_cols_ = static_cast<int>(header.size()) - 1;
+  names_.assign(header.begin(), header.end() - 1);
+  target_name_ = header.back();
+  line_no_ = 1;
+  return Status::OK();
+}
+
+Result<RowBlock> CsvFileSource::NextBlock(int max_rows) {
+  if (max_rows <= 0) {
+    return Status::InvalidArgument("NextBlock needs max_rows >= 1");
+  }
+  x_buf_.resize(static_cast<size_t>(max_rows) * num_cols_);
+  y_buf_.resize(static_cast<size_t>(max_rows));
+  int rows = 0;
+  std::string line;
+  std::vector<std::string> cells;
+  while (rows < max_rows && std::getline(file_, line)) {
+    ++line_no_;
+    StripTrailingCr(&line);
+    if (line.empty()) continue;
+    SplitCsvLine(line, &cells);
+    if (static_cast<int>(cells.size()) != num_cols_ + 1) {
+      return Status::InvalidArgument(path_ + ":" + std::to_string(line_no_) +
+                                     ": ragged row");
+    }
+    double* row = x_buf_.data() + static_cast<size_t>(rows) * num_cols_;
+    for (int c = 0; c <= num_cols_; ++c) {
+      const std::string& cell = cells[static_cast<size_t>(c)];
+      char* end = nullptr;
+      const double v = std::strtod(cell.c_str(), &end);
+      // Non-finite values would poison the binning downstream (NaN breaks
+      // the sketch's sort ordering and distinct-value dedup), so reject
+      // them at the gate alongside non-numeric cells.
+      if (end == cell.c_str() || *end != '\0' || !std::isfinite(v)) {
+        return Status::InvalidArgument(path_ + ":" + std::to_string(line_no_) +
+                                       ": non-numeric cell '" + cell + "'");
+      }
+      if (c < num_cols_) {
+        row[c] = v;
+      } else {
+        y_buf_[static_cast<size_t>(rows)] = v;
+      }
+    }
+    ++rows;
+  }
+  // getline also returns false on I/O errors; distinguish them from EOF so
+  // a flaky read cannot silently truncate the stream.
+  if (file_.bad()) return Status::IoError(path_ + ": read error");
+  RowBlock block;
+  if (rows == 0) return block;
+  block.x = la::ConstMatrixView(x_buf_.data(), rows, num_cols_);
+  block.y = y_buf_.data();
+  return block;
+}
+
+// ---------------------------------------------------------------------------
+// LabelingSource
+// ---------------------------------------------------------------------------
+
+Result<RowBlock> LabelingSource::NextBlock(int max_rows) {
+  Result<RowBlock> inner = inner_->NextBlock(max_rows);
+  if (!inner.ok() || inner->empty()) return inner;
+  y_buf_.resize(static_cast<size_t>(inner->num_rows()));
+  for (int r = 0; r < inner->num_rows(); ++r) {
+    y_buf_[static_cast<size_t>(r)] = label_fn_(inner->x.row(r));
+  }
+  RowBlock block;
+  block.x = inner->x;
+  block.y = y_buf_.data();
+  return block;
+}
+
+}  // namespace reds

@@ -26,6 +26,7 @@ struct Peel {
   int dim = -1;
   bool low_side = true;   // true: raise lo to `bound`; false: drop hi
   double bound = 0.0;
+  int bin = -1;           // boundary bin (quantized kernels only)
   double removed_n = 0.0;
   double removed_pos = 0.0;
   double precision_after = -1.0;
@@ -496,6 +497,233 @@ class BinnedPeelState {
   std::vector<std::vector<double>> bin_pos_;  // [dim][bin] in-box y sum
 };
 
+// Streamed peel state: PRIM on the quantized plane alone. The dataset
+// exists only as BinnedIndex codes, the index's own code-ordered
+// permutation, and the label vector -- no raw doubles, no ColumnIndex.
+// Candidates treat bins as atomic value blocks: the boundary bin replaces
+// the exact order statistic and bounds snap to bin_first/bin_last. With
+// one distinct value per bin this reproduces PeelState's decisions exactly
+// (same candidate counts, same tie handling, same removed sums); with
+// wider bins every cut is within the binning's rank error of the exact
+// kernel's. Apply mirrors BinnedPeelState: walk only the removed window of
+// the peeled dimension's permutation, decrementing per-bin aggregates.
+class CodePeelState {
+ public:
+  CodePeelState(const BinnedIndex& binned, const std::vector<double>& y)
+      : binned_(binned),
+        y_(y),
+        in_box_(static_cast<size_t>(binned.num_rows()), 1),
+        n_(binned.num_rows()) {
+    assert(binned.has_sorted_rows());
+    const int m = binned.num_cols();
+    const int n = binned.num_rows();
+    lo_rank_.assign(static_cast<size_t>(m), 0);
+    hi_rank_.assign(static_cast<size_t>(m), n);
+    // As in BinnedPeelState: integral {0,1} labels make every removed-mass
+    // sum integer-exact from per-bin aggregates; fractional labels fall
+    // back to ordered permutation scans, which accumulate in (bin, row id)
+    // order -- the sorted kernel's exact order when bins are single values.
+    integral_labels_ = true;
+    for (int r = 0; r < n && integral_labels_; ++r) {
+      integral_labels_ = y[static_cast<size_t>(r)] == 0.0 ||
+                         y[static_cast<size_t>(r)] == 1.0;
+    }
+    bin_count_.resize(static_cast<size_t>(m));
+    bin_pos_.resize(static_cast<size_t>(m));
+    for (int j = 0; j < m; ++j) {
+      std::vector<int>& counts = bin_count_[static_cast<size_t>(j)];
+      std::vector<double>& pos = bin_pos_[static_cast<size_t>(j)];
+      counts.resize(static_cast<size_t>(binned.num_bins(j)));
+      pos.assign(static_cast<size_t>(binned.num_bins(j)), 0.0);
+      const std::vector<int>& sorted = binned.sorted_rows(j);
+      for (int b = 0; b < binned.num_bins(j); ++b) {
+        counts[static_cast<size_t>(b)] =
+            binned.bin_begin_rank(j, b + 1) - binned.bin_begin_rank(j, b);
+        for (int rank = binned.bin_begin_rank(j, b);
+             rank < binned.bin_begin_rank(j, b + 1); ++rank) {
+          pos[static_cast<size_t>(b)] +=
+              y[static_cast<size_t>(sorted[static_cast<size_t>(rank)])];
+        }
+      }
+    }
+  }
+
+  Peel MakeCandidate(int dim, bool low_side, double alpha,
+                     const BoxStats& in_stats) const {
+    Peel peel;
+    const int n = n_;
+    const int k = std::max(1, static_cast<int>(std::floor(alpha * n)));
+    if (k >= n) return peel;  // would empty the box
+
+    double removed_n = 0.0;
+    double removed_pos = 0.0;
+    int b;
+    if (low_side) {
+      b = BinAtInBoxRank(dim, k);
+      int p;
+      double pos_below;
+      PrefixBelow(dim, b, &p, &pos_below);
+      if (p == 0) {
+        // The cut was swallowed by the boundary bin: move past it, exactly
+        // like the exact kernel moves past a tied block.
+        const int q =
+            p + bin_count_[static_cast<size_t>(dim)][static_cast<size_t>(b)];
+        if (q >= n) return peel;  // dimension is constant in box
+        b = BinAtInBoxRank(dim, q);
+        PrefixBelow(dim, b, &p, &pos_below);
+      }
+      removed_n = p;
+      removed_pos = integral_labels_ ? pos_below : SumYFirst(dim, p);
+      peel.bound = binned_.bin_first(dim, b);
+    } else {
+      b = BinAtInBoxRank(dim, n - 1 - k);
+      int q;
+      double pos_through;
+      PrefixThrough(dim, b, &q, &pos_through);
+      if (q >= n) {
+        int p;
+        double ignored;
+        PrefixBelow(dim, b, &p, &ignored);
+        if (p == 0) return peel;  // dimension is constant in box
+        b = BinAtInBoxRank(dim, p - 1);
+        PrefixThrough(dim, b, &q, &pos_through);
+      }
+      removed_n = n - q;
+      removed_pos = integral_labels_ ? in_stats.n_pos - pos_through
+                                     : SumYTail(dim, q);
+      peel.bound = binned_.bin_last(dim, b);
+    }
+    if (removed_n >= n) return peel;  // would empty the box
+
+    peel.dim = dim;
+    peel.low_side = low_side;
+    peel.bin = b;
+    peel.removed_n = removed_n;
+    peel.removed_pos = removed_pos;
+    peel.precision_after =
+        (in_stats.n_pos - removed_pos) / (in_stats.n - removed_n);
+    return peel;
+  }
+
+  void Apply(const Peel& peel, BoxStats* stats) {
+    const std::vector<int>& sorted = binned_.sorted_rows(peel.dim);
+    if (peel.low_side) {
+      const int new_lo = binned_.bin_begin_rank(peel.dim, peel.bin);
+      for (int pos = lo_rank_[static_cast<size_t>(peel.dim)]; pos < new_lo;
+           ++pos) {
+        Remove(sorted[static_cast<size_t>(pos)]);
+      }
+      lo_rank_[static_cast<size_t>(peel.dim)] = new_lo;
+    } else {
+      const int new_hi = binned_.bin_begin_rank(peel.dim, peel.bin + 1);
+      for (int pos = new_hi; pos < hi_rank_[static_cast<size_t>(peel.dim)];
+           ++pos) {
+        Remove(sorted[static_cast<size_t>(pos)]);
+      }
+      hi_rank_[static_cast<size_t>(peel.dim)] = new_hi;
+    }
+    stats->n -= peel.removed_n;
+    stats->n_pos -= peel.removed_pos;
+    for (size_t j = 0; j < bin_count_.size(); ++j) {
+      const std::vector<int>& s = binned_.sorted_rows(static_cast<int>(j));
+      int& lo = lo_rank_[j];
+      int& hi = hi_rank_[j];
+      while (lo < hi && !in_box_[static_cast<size_t>(
+                            s[static_cast<size_t>(lo)])]) {
+        ++lo;
+      }
+      while (hi > lo && !in_box_[static_cast<size_t>(
+                            s[static_cast<size_t>(hi - 1)])]) {
+        --hi;
+      }
+    }
+  }
+
+ private:
+  void Remove(int r) {
+    if (!in_box_[static_cast<size_t>(r)]) return;
+    in_box_[static_cast<size_t>(r)] = 0;
+    --n_;
+    const double y = y_[static_cast<size_t>(r)];
+    for (size_t j = 0; j < bin_count_.size(); ++j) {
+      const int b = binned_.code(static_cast<int>(j), r);
+      --bin_count_[j][static_cast<size_t>(b)];
+      bin_pos_[j][static_cast<size_t>(b)] -= y;
+    }
+  }
+
+  // Bin holding the rank-th in-box row of `dim` (ascending by bin).
+  int BinAtInBoxRank(int dim, int rank) const {
+    const std::vector<int>& counts = bin_count_[static_cast<size_t>(dim)];
+    int cum = 0;
+    for (size_t b = 0; b < counts.size(); ++b) {
+      cum += counts[b];
+      if (cum > rank) return static_cast<int>(b);
+    }
+    assert(false && "in-box rank out of range");
+    return static_cast<int>(counts.size()) - 1;
+  }
+
+  // In-box rows and label mass in bins strictly below b.
+  void PrefixBelow(int dim, int b, int* count, double* pos) const {
+    const std::vector<int>& counts = bin_count_[static_cast<size_t>(dim)];
+    const std::vector<double>& pos_sums = bin_pos_[static_cast<size_t>(dim)];
+    *count = 0;
+    *pos = 0.0;
+    for (int i = 0; i < b; ++i) {
+      *count += counts[static_cast<size_t>(i)];
+      *pos += pos_sums[static_cast<size_t>(i)];
+    }
+  }
+
+  // In-box rows and label mass in bins up to and including b.
+  void PrefixThrough(int dim, int b, int* count, double* pos) const {
+    PrefixBelow(dim, b + 1, count, pos);
+  }
+
+  // Sum of y over the first `count` in-box rows of `dim` in (bin, row id)
+  // order -- the sorted kernel's exact accumulation order for single-value
+  // bins. Fractional-label path only.
+  double SumYFirst(int dim, int count) const {
+    const std::vector<int>& sorted = binned_.sorted_rows(dim);
+    double sum = 0.0;
+    int seen = 0;
+    for (int pos = lo_rank_[static_cast<size_t>(dim)]; seen < count; ++pos) {
+      const int r = sorted[static_cast<size_t>(pos)];
+      if (!in_box_[static_cast<size_t>(r)]) continue;
+      sum += y_[static_cast<size_t>(r)];
+      ++seen;
+    }
+    return sum;
+  }
+
+  // Sum of y over in-box rows of `dim` from in-box rank `from_rank` up,
+  // accumulated ascending. Fractional-label path only.
+  double SumYTail(int dim, int from_rank) const {
+    const std::vector<int>& sorted = binned_.sorted_rows(dim);
+    double sum = 0.0;
+    int seen = 0;
+    for (int pos = lo_rank_[static_cast<size_t>(dim)];
+         pos < hi_rank_[static_cast<size_t>(dim)]; ++pos) {
+      const int r = sorted[static_cast<size_t>(pos)];
+      if (!in_box_[static_cast<size_t>(r)]) continue;
+      if (seen >= from_rank) sum += y_[static_cast<size_t>(r)];
+      ++seen;
+    }
+    return sum;
+  }
+
+  const BinnedIndex& binned_;
+  const std::vector<double>& y_;
+  std::vector<uint8_t> in_box_;            // by row id
+  int n_ = 0;                              // rows currently in box
+  bool integral_labels_ = false;           // every y is exactly 0 or 1
+  std::vector<int> lo_rank_;               // [dim] first in-window perm rank
+  std::vector<int> hi_rank_;               // [dim] one past last window rank
+  std::vector<std::vector<int>> bin_count_;   // [dim][bin] in-box rows
+  std::vector<std::vector<double>> bin_pos_;  // [dim][bin] in-box y sum
+};
+
 // One pasting expansion candidate: move a bound outward to re-admit roughly
 // a paste_alpha share of the current box population.
 struct Paste {
@@ -754,6 +982,72 @@ PrimResult RunPrim(const Dataset& train, const Dataset& val,
     RunPastePhase(train, val, *train_index, config, train.TotalPositive(),
                   val.TotalPositive(), &result);
   }
+  return result;
+}
+
+PrimResult RunPrimStreamed(const BinnedIndex& binned,
+                           const std::vector<double>& y,
+                           const PrimConfig& config) {
+  assert(binned.has_sorted_rows() &&
+         "RunPrimStreamed needs a streamed/deserialized index with its own "
+         "permutation");
+  assert(static_cast<int>(y.size()) == binned.num_rows());
+  assert(binned.num_rows() > 0);
+  const int dims = binned.num_cols();
+  double total_pos = 0.0;
+  for (double v : y) total_pos += v;
+
+  // The peeling loop of RunPeelingPhase with D_val = D: validation stats
+  // are the training stats, and the geometric validation cut is exactly
+  // the applied peel. Pasting needs raw values, so it is skipped.
+  CodePeelState state(binned, y);
+  PrimResult result;
+  Box box = Box::Unbounded(dims);
+  BoxStats stats{static_cast<double>(binned.num_rows()), total_pos};
+
+  auto record = [&]() {
+    result.boxes.push_back(box);
+    result.train_curve.push_back(
+        {Recall(stats, total_pos), Precision(stats)});
+    result.val_curve.push_back({Recall(stats, total_pos), Precision(stats)});
+  };
+  record();
+
+  while (stats.n >= config.min_points) {
+    Peel best;
+    // Highest precision wins; break ties patiently (remove fewer points).
+    for (int j = 0; j < dims; ++j) {
+      for (bool low : {true, false}) {
+        const Peel cand = state.MakeCandidate(j, low, config.alpha, stats);
+        if (cand.dim < 0) continue;
+        if (cand.precision_after > best.precision_after ||
+            (cand.precision_after == best.precision_after && best.dim >= 0 &&
+             cand.removed_n < best.removed_n)) {
+          best = cand;
+        }
+      }
+    }
+    if (best.dim < 0) break;  // box is a single bin block in every dimension
+
+    if (best.low_side) {
+      box.set_lo(best.dim, std::max(box.lo(best.dim), best.bound));
+    } else {
+      box.set_hi(best.dim, std::min(box.hi(best.dim), best.bound));
+    }
+    state.Apply(best, &stats);
+    if (stats.n == 0.0) break;  // support vanished; last recorded box stands
+    record();
+  }
+
+  int best_index = 0;
+  double best_precision = -1.0;
+  for (size_t i = 0; i < result.val_curve.size(); ++i) {
+    if (result.val_curve[i].precision > best_precision) {
+      best_precision = result.val_curve[i].precision;
+      best_index = static_cast<int>(i);
+    }
+  }
+  result.best_val_index = best_index;
   return result;
 }
 

@@ -77,6 +77,22 @@ PrimResult RunPrim(const Dataset& train, const Dataset& val,
 PrimResult RunPrimReference(const Dataset& train, const Dataset& val,
                             const PrimConfig& config);
 
+/// PRIM peeling entirely on the quantized plane: candidates, counts and
+/// removed-mass sums come from BinnedIndex codes, per-bin aggregates and
+/// the index's own code-ordered permutation -- no raw matrix and no
+/// ColumnIndex, so it runs on streamed datasets whose doubles were never
+/// materialized (BinnedIndex::BuildStreamed). Box bounds snap to bin
+/// boundaries (bin_first for lower bounds, bin_last for upper bounds):
+/// bit-identical to RunPrim whenever every feature has at most max_bins
+/// distinct values (each bin is one value), within the sketch's rank-error
+/// bound otherwise. `y` holds one label per row. Validation data is the
+/// training data (the paper's D_val = D); the pasting phase and
+/// PrimConfig::threads are not supported on this path. Requires
+/// binned.has_sorted_rows().
+PrimResult RunPrimStreamed(const BinnedIndex& binned,
+                           const std::vector<double>& y,
+                           const PrimConfig& config);
+
 }  // namespace reds
 
 #endif  // REDS_CORE_PRIM_H_

@@ -1,0 +1,161 @@
+#include "core/quantile_sketch.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace reds {
+
+QuantileSketch::QuantileSketch(double eps) : eps_(eps) {
+  assert(eps > 0.0 && eps < 0.5);
+  buffer_cap_ = std::max<size_t>(16, static_cast<size_t>(1.0 / (2.0 * eps)));
+  buffer_.reserve(buffer_cap_);
+}
+
+int64_t QuantileSketch::GapBudget(int64_t n) const {
+  return std::max<int64_t>(1, static_cast<int64_t>(2.0 * eps_ *
+                                                   static_cast<double>(n)));
+}
+
+void QuantileSketch::Add(double v) {
+  buffer_.push_back(v);
+  if (buffer_.size() >= buffer_cap_) {
+    Flush();
+    Compress();
+  }
+}
+
+// Folds the sorted insert buffer into the tuple list. Equivalent to
+// inserting the buffered values one at a time in ascending order: each
+// lands as (v, g=1, delta) where delta is its successor's g + delta - 1
+// (the classic GK insertion bound), or 0 when it is the running minimum or
+// maximum -- so the extremes stay exact.
+void QuantileSketch::Flush() const {
+  if (buffer_.empty()) return;
+  std::sort(buffer_.begin(), buffer_.end());
+  std::vector<Tuple> merged;
+  merged.reserve(tuples_.size() + buffer_.size());
+  size_t i = 0, j = 0;
+  while (i < tuples_.size() || j < buffer_.size()) {
+    // Existing tuples win ties so an equal-valued insert sees them as its
+    // successor (conservative and deterministic).
+    if (i < tuples_.size() &&
+        (j >= buffer_.size() || tuples_[i].v <= buffer_[j])) {
+      merged.push_back(tuples_[i]);
+      ++i;
+    } else {
+      Tuple t;
+      t.v = buffer_[j];
+      t.g = 1;
+      t.delta = i < tuples_.size()
+                    ? tuples_[i].g + tuples_[i].delta - 1
+                    : 0;  // running maximum (everything seen so far is <= v)
+      if (merged.empty()) t.delta = 0;  // running minimum
+      merged.push_back(t);
+      ++j;
+    }
+  }
+  n_ += static_cast<int64_t>(buffer_.size());
+  buffer_.clear();
+  tuples_ = std::move(merged);
+}
+
+// One forward pass that greedily merges a tuple into its right neighbor
+// whenever the combined gap stays within the budget. The first and last
+// tuples always survive, keeping the stream minimum and maximum exact.
+void QuantileSketch::Compress() const {
+  if (tuples_.size() < 3) return;
+  const int64_t budget = GapBudget(n_);
+  std::vector<Tuple> out;
+  out.reserve(tuples_.size());
+  out.push_back(tuples_[0]);
+  Tuple pending = tuples_[1];
+  for (size_t i = 2; i < tuples_.size(); ++i) {
+    Tuple next = tuples_[i];
+    if (pending.g + next.g + next.delta <= budget) {
+      next.g += pending.g;  // absorb: next keeps its value and delta
+      pending = next;
+    } else {
+      out.push_back(pending);
+      pending = next;
+    }
+  }
+  out.push_back(pending);
+  tuples_ = std::move(out);
+}
+
+void QuantileSketch::Merge(const QuantileSketch& other) {
+  assert(eps_ == other.eps_ && "merged sketches must share eps");
+  other.Flush();
+  Flush();
+  if (other.tuples_.empty()) return;
+  if (tuples_.empty()) {
+    tuples_ = other.tuples_;
+    n_ = other.n_;
+    return;
+  }
+  // Merge-walk by value. A tuple keeps its g; its delta grows by the gap of
+  // its successor in the *other* summary (the other stream may interleave
+  // that many values before it), which preserves the combined gap budget:
+  // g + delta' <= 2*eps*n_a + 2*eps*n_b = 2*eps*n.
+  std::vector<Tuple> merged;
+  merged.reserve(tuples_.size() + other.tuples_.size());
+  const std::vector<Tuple>& a = tuples_;
+  const std::vector<Tuple>& b = other.tuples_;
+  size_t i = 0, j = 0;
+  while (i < a.size() || j < b.size()) {
+    const bool take_a =
+        i < a.size() && (j >= b.size() || a[i].v <= b[j].v);
+    const std::vector<Tuple>& self = take_a ? a : b;
+    const std::vector<Tuple>& peer = take_a ? b : a;
+    size_t& k = take_a ? i : j;
+    const size_t peer_k = take_a ? j : i;
+    Tuple t = self[k];
+    if (peer_k < peer.size()) {
+      t.delta += peer[peer_k].g + peer[peer_k].delta - 1;
+    }
+    merged.push_back(t);
+    ++k;
+  }
+  tuples_ = std::move(merged);
+  n_ += other.n_;
+  Compress();
+}
+
+double QuantileSketch::QueryRank(int64_t rank) const {
+  Flush();
+  if (tuples_.empty()) return 0.0;
+  const int64_t r1 =
+      std::clamp<int64_t>(rank, 0, n_ - 1) + 1;  // 1-based target
+  // The first and last tuples are the exact stream extremes (delta 0,
+  // never compressed away); answer extreme ranks from them directly.
+  if (r1 <= 1) return tuples_.front().v;
+  if (r1 >= n_) return tuples_.back().v;
+  const double allowed = eps_ * static_cast<double>(n_);
+  int64_t rmin = 0;
+  double prev = tuples_[0].v;
+  for (const Tuple& t : tuples_) {
+    rmin += t.g;
+    const int64_t rmax = rmin + t.delta;
+    if (static_cast<double>(rmax) > static_cast<double>(r1) + allowed) {
+      return prev;
+    }
+    prev = t.v;
+  }
+  return tuples_.back().v;
+}
+
+double QuantileSketch::QueryQuantile(double q) const {
+  const int64_t n = count();
+  if (n == 0) return 0.0;
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  return QueryRank(
+      static_cast<int64_t>(std::llround(clamped * static_cast<double>(n - 1))));
+}
+
+size_t QuantileSketch::SummarySize() const {
+  Flush();
+  return tuples_.size();
+}
+
+}  // namespace reds

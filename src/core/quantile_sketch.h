@@ -1,0 +1,74 @@
+// Streaming quantile summary (Greenwald & Khanna 2001) for the sketch-based
+// binning of the streaming data plane. The sketch keeps a small set of
+// tuples (value, g, delta) such that any rank query is answered within
+// eps * n of the true rank, in O((1/eps) * log(eps * n)) space, over one
+// pass of the data. Sketches are mergeable: Merge() combines two summaries
+// built over disjoint streams into a summary of the concatenation that
+// still satisfies the eps bound relative to the combined count -- the gap
+// invariant max(g_i + delta_i) <= floor(2 * eps * n) is preserved because a
+// merged tuple's uncertainty grows by at most the other summary's largest
+// gap, and the two gap budgets 2*eps*n_a + 2*eps*n_b sum to the combined
+// budget 2*eps*n. The ThreadPool therefore sketches row blocks in parallel
+// and folds the per-block sketches in deterministic block order.
+//
+// Everything is deterministic: same input sequence (and merge order), same
+// summary -- a requirement for reproducible bin boundaries and cache keys.
+#ifndef REDS_CORE_QUANTILE_SKETCH_H_
+#define REDS_CORE_QUANTILE_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace reds {
+
+class QuantileSketch {
+ public:
+  /// `eps` is the guaranteed rank-error bound as a fraction of the stream
+  /// length: QueryRank(r) returns a value whose true rank interval lies
+  /// within eps * count() of r.
+  explicit QuantileSketch(double eps = 1.0 / 2048.0);
+
+  void Add(double v);
+
+  /// Folds `other` (a summary of a disjoint stream) into this sketch.
+  /// Both must share the same eps.
+  void Merge(const QuantileSketch& other);
+
+  /// Observations summarized so far.
+  int64_t count() const { return n_ + static_cast<int64_t>(buffer_.size()); }
+
+  /// A value whose rank is within eps * count() of `rank` (0-based,
+  /// clamped to [0, count()-1]). The stream minimum and maximum are exact.
+  double QueryRank(int64_t rank) const;
+
+  /// QueryRank at q * (count() - 1), q in [0, 1].
+  double QueryQuantile(double q) const;
+
+  double eps() const { return eps_; }
+
+  /// Tuples currently retained (after flushing the insert buffer);
+  /// sub-linear in count() -- the whole point.
+  size_t SummarySize() const;
+
+ private:
+  struct Tuple {
+    double v = 0.0;
+    int64_t g = 0;      // rmin(i) = sum of g_j for j <= i
+    int64_t delta = 0;  // rmax(i) = rmin(i) + delta
+  };
+
+  int64_t GapBudget(int64_t n) const;
+  void Flush() const;    // sort + fold the insert buffer into tuples_
+  void Compress() const; // merge adjacent tuples within the gap budget
+
+  double eps_;
+  mutable int64_t n_ = 0;               // observations inside tuples_
+  mutable std::vector<Tuple> tuples_;   // sorted by v
+  mutable std::vector<double> buffer_;  // unsorted recent inserts
+  size_t buffer_cap_;
+};
+
+}  // namespace reds
+
+#endif  // REDS_CORE_QUANTILE_SKETCH_H_

@@ -1,5 +1,6 @@
 #include "engine/discovery_engine.h"
 
+#include <cstdlib>
 #include <stdexcept>
 
 #include "core/quality.h"
@@ -89,12 +90,27 @@ void Job::MarkFailed(std::string error) {
   done_.notify_all();
 }
 
+namespace {
+
+std::string ResolveCacheDir(const std::string& configured) {
+  if (!configured.empty()) return configured;
+  const char* env = std::getenv("REDS_CACHE_DIR");
+  return env != nullptr ? std::string(env) : std::string();
+}
+
+}  // namespace
+
 DiscoveryEngine::DiscoveryEngine(EngineConfig config)
     : config_(config),
       cache_(config.metamodel_cache_capacity),
       column_indexes_(config.column_index_cache_capacity),
       binned_indexes_(config.binned_index_cache_capacity),
-      pool_(config.threads) {}
+      pool_(config.threads) {
+  if (config.enable_persistent_cache) {
+    const std::string dir = ResolveCacheDir(config.cache_dir);
+    if (!dir.empty()) disk_ = std::make_unique<PersistentCache>(dir);
+  }
+}
 
 JobHandle DiscoveryEngine::Submit(DiscoveryRequest request) {
   auto job = std::make_shared<Job>(std::move(request));
@@ -142,15 +158,30 @@ std::shared_ptr<const BinnedIndex> DiscoveryEngine::GetBinnedIndex(
     std::unique_lock<std::mutex> lock(binned_index_mutex_);
     if (auto* found = binned_indexes_.Get(fingerprint)) return *found;
   }
-  // Derive from the (cached) columnar index outside the lock, reusing the
-  // fingerprint already computed above; a rare race quantizes twice and
-  // keeps one.
-  std::shared_ptr<const BinnedIndex> binned =
-      BinnedIndex::Build(*GetColumnIndex(d, fingerprint));
+  // Memory miss: try the disk tier, then build. Both happen outside the
+  // lock -- quantizing a large relabeled matrix takes long enough that
+  // serializing it would stall unrelated jobs. A rare race builds twice
+  // and keeps one. Only exact-pack indexes live under this key; sketch
+  // indexes (streamed builds) are filed separately and never returned
+  // here, so cold and warm runs see identical bins.
+  std::shared_ptr<const BinnedIndex> binned;
+  if (disk_ != nullptr) {
+    binned = disk_->LoadBinnedIndex(fingerprint,
+                                    BinnedIndex::BuildKind::kExactPack,
+                                    d.num_rows(), d.num_cols());
+  }
+  if (binned == nullptr) {
+    binned = BinnedIndex::Build(*GetColumnIndex(d, fingerprint));
+    if (disk_ != nullptr) disk_->StoreBinnedIndex(fingerprint, *binned);
+  }
   std::unique_lock<std::mutex> lock(binned_index_mutex_);
   if (auto* found = binned_indexes_.Get(fingerprint)) return *found;
   binned_indexes_.Put(fingerprint, binned);
   return binned;
+}
+
+PersistentCacheStats DiscoveryEngine::persistent_cache_stats() const {
+  return disk_ != nullptr ? disk_->stats() : PersistentCacheStats();
 }
 
 int DiscoveryEngine::column_index_cache_size() const {
@@ -184,6 +215,16 @@ MetamodelProvider DiscoveryEngine::MakeCachingProvider() {
     key.seed = CanonicalSeed(config_.seed, key);
     return cache_.GetOrFit(key, [this, &train, kind, tune, budget, backend,
                                  &key] {
+      // Disk tier first: a model trained by an earlier engine process (or
+      // a previous run of this one) reloads instead of refitting. The
+      // canonical seed in the key makes the reloaded model bit-identical
+      // to what this fit would have produced.
+      if (disk_ != nullptr) {
+        if (std::shared_ptr<const ml::Metamodel> loaded =
+                disk_->LoadMetamodel(key)) {
+          return loaded;
+        }
+      }
       // Untuned tree metamodels reuse the engine's shared columnar index
       // (and quantization, under the histogram backend) of the training
       // data for their split search.
@@ -197,9 +238,11 @@ MetamodelProvider DiscoveryEngine::MakeCachingProvider() {
           binned = GetBinnedIndex(train);
         }
       }
-      return std::shared_ptr<const ml::Metamodel>(
+      std::shared_ptr<const ml::Metamodel> model(
           ml::FitMetamodel(kind, train, key.seed, tune, budget, index.get(),
                            binned.get(), backend));
+      if (disk_ != nullptr) disk_->StoreMetamodel(key, *model);
+      return model;
     });
   };
 }

@@ -20,6 +20,7 @@
 #include "core/column_index.h"
 #include "core/method.h"
 #include "engine/metamodel_cache.h"
+#include "engine/persistent_cache.h"
 #include "engine/result_store.h"
 #include "util/lru_map.h"
 #include "util/thread_pool.h"
@@ -46,6 +47,17 @@ struct EngineConfig {
   /// so results are bit-identical whether a request hits or misses the
   /// cache, and independent of scheduling order and thread count.
   uint64_t seed = 42;
+  /// Directory of the persistent cache tier, shared across engine
+  /// processes: BinnedIndexes and trained metamodels are serialized here
+  /// under the dataset fingerprint, so a warm engine (or a second process)
+  /// skips quantization and training. Empty: the REDS_CACHE_DIR
+  /// environment variable is consulted; still empty disables the tier.
+  std::string cache_dir;
+  /// Master switch for the disk tier. Set false to guarantee a
+  /// self-contained engine regardless of cache_dir or the environment --
+  /// e.g. tests and benchmarks that must measure real fits, not warm
+  /// loads from whatever a developer's REDS_CACHE_DIR holds.
+  bool enable_persistent_cache = true;
 };
 
 /// One unit of work: run `method` on `train` (or on the dataset produced by
@@ -164,8 +176,18 @@ class DiscoveryEngine {
   std::shared_ptr<const ColumnIndex> GetColumnIndex(const Dataset& d);
 
   /// The engine's shared per-dataset quantization (derived from the cached
-  /// ColumnIndex on demand); also exposed to jobs through RunOptions.
+  /// ColumnIndex on demand, or reloaded from the persistent tier); also
+  /// exposed to jobs through RunOptions.
   std::shared_ptr<const BinnedIndex> GetBinnedIndex(const Dataset& d);
+
+  /// True when the on-disk cache tier is active (EngineConfig::cache_dir or
+  /// REDS_CACHE_DIR resolved to a directory).
+  bool persistent_cache_enabled() const { return disk_ != nullptr; }
+
+  /// Counters of the disk tier; all zero when disabled. model_hits > 0
+  /// proves a metamodel was reloaded instead of trained; index_hits > 0
+  /// proves an index build was skipped.
+  PersistentCacheStats persistent_cache_stats() const;
 
  private:
   void Execute(const JobHandle& job);
@@ -177,6 +199,7 @@ class DiscoveryEngine {
 
   EngineConfig config_;
   MetamodelCache cache_;
+  std::unique_ptr<PersistentCache> disk_;  // null: tier disabled
   mutable std::mutex column_index_mutex_;
   LruMap<uint64_t, std::shared_ptr<const ColumnIndex>> column_indexes_;
   mutable std::mutex binned_index_mutex_;

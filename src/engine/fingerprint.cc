@@ -1,53 +1,30 @@
 #include "engine/fingerprint.h"
 
-#include <cstring>
+#include "util/fingerprint.h"
 
 namespace reds::engine {
 
 namespace {
 
-constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
-constexpr uint64_t kFnvPrime = 1099511628211ULL;
-
-void HashValue(uint64_t* h, uint64_t v) {
-  for (int byte = 0; byte < 8; ++byte) {
-    *h ^= (v >> (8 * byte)) & 0xffULL;
-    *h *= kFnvPrime;
+// The Dataset's row() pointers expose the contiguous row-major storage, so
+// hashing chunk-at-a-time (here: row-at-a-time) costs no copies and matches
+// the streamed layout exactly.
+uint64_t Hash(const Dataset& d, util::DatasetHasher::Scope scope) {
+  util::DatasetHasher hasher(scope, d.num_cols());
+  for (int r = 0; r < d.num_rows(); ++r) {
+    hasher.AddRow(d.row(r), d.y(r));
   }
-}
-
-void HashDouble(uint64_t* h, double v) {
-  uint64_t bits = 0;
-  std::memcpy(&bits, &v, sizeof(bits));
-  HashValue(h, bits);
+  return hasher.Finalize();
 }
 
 }  // namespace
 
 uint64_t FingerprintDataset(const Dataset& d) {
-  uint64_t h = kFnvOffset;
-  HashValue(&h, static_cast<uint64_t>(d.num_cols()));
-  HashValue(&h, static_cast<uint64_t>(d.num_rows()));
-  for (int r = 0; r < d.num_rows(); ++r) {
-    const double* row = d.row(r);
-    for (int c = 0; c < d.num_cols(); ++c) HashDouble(&h, row[c]);
-    HashDouble(&h, d.y(r));
-  }
-  return h;
+  return Hash(d, util::DatasetHasher::Scope::kFull);
 }
 
 uint64_t FingerprintInputs(const Dataset& d) {
-  uint64_t h = kFnvOffset;
-  // A distinct salt keeps input-only and full fingerprints from colliding
-  // on datasets that happen to serialize identically.
-  HashValue(&h, 0x785f6f6e6c79ULL);  // "x_only"
-  HashValue(&h, static_cast<uint64_t>(d.num_cols()));
-  HashValue(&h, static_cast<uint64_t>(d.num_rows()));
-  for (int r = 0; r < d.num_rows(); ++r) {
-    const double* row = d.row(r);
-    for (int c = 0; c < d.num_cols(); ++c) HashDouble(&h, row[c]);
-  }
-  return h;
+  return Hash(d, util::DatasetHasher::Scope::kInputs);
 }
 
 }  // namespace reds::engine

@@ -1,6 +1,10 @@
 // Content fingerprints for datasets: the metamodel cache key must identify
-// "the same data" across requests without holding a reference to it, so the
-// engine hashes the full bit pattern of inputs and targets.
+// "the same data" across requests -- and, for the persistent cache tier,
+// across engine processes -- without holding a reference to it. Both
+// functions are thin wrappers over util::DatasetHasher, which defines the
+// stable byte layout; the streaming ingestion path feeds the same hasher
+// chunk-at-a-time, so fingerprints of streamed and in-memory datasets agree
+// by construction (asserted in tests/dataset_source_test.cc).
 #ifndef REDS_ENGINE_FINGERPRINT_H_
 #define REDS_ENGINE_FINGERPRINT_H_
 
@@ -11,13 +15,15 @@
 namespace reds::engine {
 
 /// 64-bit FNV-1a over shape and the exact bit patterns of every input and
-/// target value. Equal datasets (bitwise) always collide; distinct datasets
-/// collide with probability ~2^-64.
+/// target value (util::DatasetHasher, Scope::kFull). Equal datasets
+/// (bitwise) always collide; distinct datasets collide with probability
+/// ~2^-64.
 uint64_t FingerprintDataset(const Dataset& d);
 
-/// As FingerprintDataset but over the inputs only (targets excluded): the
-/// identity of a ColumnIndex, which never looks at y, so relabeled variants
-/// of the same input matrix share one index.
+/// As FingerprintDataset but over the inputs only (targets excluded,
+/// Scope::kInputs): the identity of a ColumnIndex or BinnedIndex, which
+/// never look at y, so relabeled variants of the same input matrix share
+/// one index.
 uint64_t FingerprintInputs(const Dataset& d);
 
 }  // namespace reds::engine

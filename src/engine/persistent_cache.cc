@@ -1,0 +1,261 @@
+#include "engine/persistent_cache.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "ml/serialize.h"
+
+namespace reds::engine {
+
+namespace {
+
+// File layout: magic, format version, algorithm revision, payload size,
+// payload, FNV-64 of the payload. The payload itself opens with an echo of
+// the cache key.
+constexpr uint64_t kIndexMagic = 0x5245445342494458ULL;   // "REDSBIDX"
+constexpr uint64_t kModelMagic = 0x524544534d4f444cULL;   // "REDSMODL"
+constexpr uint32_t kFormatVersion = 1;
+
+// Revision of the *producing algorithms* (quantile packing, metamodel
+// training), not the wire layout: a cached artifact is only valid if the
+// current binary would have produced the identical bytes, because the
+// engine promises warm and cold runs bit-identical results. Bump this
+// whenever a change alters what Build/Fit computes for the same inputs
+// (as PR 2's presorted and PR 3's histogram rework did) -- every stale
+// cache entry is then rejected and rebuilt instead of silently served.
+constexpr uint32_t kAlgorithmRevision = 1;
+
+std::string Hex16(uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+void WriteKeyEcho(const MetamodelKey& key, util::ByteWriter* out) {
+  out->U64(key.fingerprint);
+  out->U8(static_cast<uint8_t>(key.kind));
+  out->U8(key.tuned ? 1 : 0);
+  out->U8(static_cast<uint8_t>(key.budget));
+  out->U8(static_cast<uint8_t>(key.backend));
+  out->U64(key.seed);
+}
+
+// File-name hash over exactly the bytes WriteKeyEcho emits, so a new
+// MetamodelKey field added there automatically reaches the name too (a
+// name/echo drift would make two keys thrash one file).
+uint64_t HashKey(const MetamodelKey& key) {
+  util::ByteWriter w;
+  WriteKeyEcho(key, &w);
+  return util::Fnv64(w.data().data(), w.data().size());
+}
+
+bool ReadKeyEchoMatches(const MetamodelKey& key, util::ByteReader* in) {
+  const uint64_t fingerprint = in->U64();
+  const uint8_t kind = in->U8();
+  const uint8_t tuned = in->U8();
+  const uint8_t budget = in->U8();
+  const uint8_t backend = in->U8();
+  const uint64_t seed = in->U64();
+  return in->ok() && fingerprint == key.fingerprint &&
+         kind == static_cast<uint8_t>(key.kind) &&
+         tuned == (key.tuned ? 1 : 0) &&
+         budget == static_cast<uint8_t>(key.budget) &&
+         backend == static_cast<uint8_t>(key.backend) && seed == key.seed;
+}
+
+}  // namespace
+
+PersistentCache::PersistentCache(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  // Best-effort: an unwritable directory just makes every lookup miss and
+  // every store a no-op; the engine falls back to building/fitting.
+}
+
+std::string PersistentCache::IndexPath(uint64_t input_fingerprint,
+                                       BinnedIndex::BuildKind kind) const {
+  const char* tag =
+      kind == BinnedIndex::BuildKind::kExactPack ? "exact" : "sketch";
+  return dir_ + "/bidx-" + tag + "-" + Hex16(input_fingerprint) + ".bin";
+}
+
+std::string PersistentCache::ModelPath(const MetamodelKey& key) const {
+  return dir_ + "/model-" + Hex16(HashKey(key)) + ".bin";
+}
+
+bool PersistentCache::ReadPayload(const std::string& path,
+                                  uint64_t expected_magic, std::string* raw,
+                                  size_t* payload_begin,
+                                  size_t* payload_size) {
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  if (!f) return false;  // plain miss, not a rejection
+  // One sized read: payloads are O(N x M) bytes and sit on the warm-start
+  // path, so no per-character extraction.
+  const std::streamoff file_size = f.tellg();
+  if (file_size < 0) return false;
+  raw->assign(static_cast<size_t>(file_size), '\0');
+  f.seekg(0);
+  f.read(raw->data(), file_size);
+  if (!f) return false;
+  util::ByteReader header(*raw);
+  const uint64_t magic = header.U64();
+  const uint32_t version = header.U32();
+  const uint32_t revision = header.U32();
+  const uint64_t size = header.U64();
+  bool valid = header.ok() && magic == expected_magic &&
+               version == kFormatVersion &&
+               revision == kAlgorithmRevision && header.remaining() >= 8 &&
+               size == header.remaining() - 8;
+  if (valid) {
+    *payload_begin = raw->size() - header.remaining();
+    *payload_size = static_cast<size_t>(size);
+    const uint64_t checksum =
+        util::Fnv64(raw->data() + *payload_begin, *payload_size);
+    util::ByteReader trailer(raw->data() + *payload_begin + *payload_size, 8);
+    valid = checksum == trailer.U64();
+  }
+  if (!valid) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ++stats_.rejected;
+  }
+  return valid;
+}
+
+bool PersistentCache::WritePayload(const std::string& path, uint64_t magic,
+                                   const std::string& payload) {
+  util::ByteWriter header;
+  header.U64(magic);
+  header.U32(kFormatVersion);
+  header.U32(kAlgorithmRevision);
+  header.U64(payload.size());
+  util::ByteWriter trailer;
+  trailer.U64(util::Fnv64(payload.data(), payload.size()));
+
+  // Write-then-rename: concurrent readers (and other engine processes)
+  // only ever see complete files. The temp name carries both the pid and
+  // the thread id so two processes (or threads) racing on one entry never
+  // interleave writes into the same temp file.
+  const std::string tmp =
+      path + ".tmp-" + std::to_string(static_cast<long long>(::getpid())) +
+      "-" + std::to_string(static_cast<long long>(
+                std::hash<std::thread::id>{}(std::this_thread::get_id()) &
+                0xffffffULL));
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f) return false;
+    f.write(header.data().data(),
+            static_cast<std::streamsize>(header.size()));
+    f.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    f.write(trailer.data().data(),
+            static_cast<std::streamsize>(trailer.size()));
+    if (!f) {
+      // Don't leave partial temp files behind (e.g. on a full disk); the
+      // directory has no eviction, so orphans would accumulate forever.
+      f.close();
+      std::error_code cleanup;
+      std::filesystem::remove(tmp, cleanup);
+      return false;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
+std::shared_ptr<const BinnedIndex> PersistentCache::LoadBinnedIndex(
+    uint64_t input_fingerprint, BinnedIndex::BuildKind kind, int expect_rows,
+    int expect_cols) {
+  std::string raw;
+  size_t begin = 0, size = 0;
+  if (!ReadPayload(IndexPath(input_fingerprint, kind), kIndexMagic, &raw,
+                   &begin, &size)) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ++stats_.index_misses;
+    return nullptr;
+  }
+  util::ByteReader in(raw.data() + begin, size);
+  const uint64_t echoed = in.U64();
+  Result<std::shared_ptr<const BinnedIndex>> index =
+      BinnedIndex::Deserialize(&in);
+  const bool valid = in.ok() && index.ok() && echoed == input_fingerprint &&
+                     (*index)->kind() == kind &&
+                     (*index)->num_rows() == expect_rows &&
+                     (*index)->num_cols() == expect_cols;
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (!valid) {
+    ++stats_.rejected;
+    ++stats_.index_misses;
+    return nullptr;
+  }
+  ++stats_.index_hits;
+  return *std::move(index);
+}
+
+void PersistentCache::StoreBinnedIndex(uint64_t input_fingerprint,
+                                       const BinnedIndex& index) {
+  util::ByteWriter payload;
+  payload.U64(input_fingerprint);
+  index.Serialize(&payload);
+  // Only completed writes count: an unwritable directory or full disk
+  // must read as "nothing stored", not as a populated cache.
+  if (!WritePayload(IndexPath(input_fingerprint, index.kind()), kIndexMagic,
+                    payload.data())) {
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  ++stats_.index_writes;
+}
+
+std::shared_ptr<const ml::Metamodel> PersistentCache::LoadMetamodel(
+    const MetamodelKey& key) {
+  std::string raw;
+  size_t begin = 0, size = 0;
+  if (!ReadPayload(ModelPath(key), kModelMagic, &raw, &begin, &size)) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ++stats_.model_misses;
+    return nullptr;
+  }
+  util::ByteReader in(raw.data() + begin, size);
+  if (!ReadKeyEchoMatches(key, &in)) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ++stats_.rejected;
+    ++stats_.model_misses;
+    return nullptr;
+  }
+  Result<std::shared_ptr<const ml::Metamodel>> model =
+      ml::DeserializeMetamodel(&in, key.kind);
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (!model.ok()) {
+    ++stats_.rejected;
+    ++stats_.model_misses;
+    return nullptr;
+  }
+  ++stats_.model_hits;
+  return *std::move(model);
+}
+
+void PersistentCache::StoreMetamodel(const MetamodelKey& key,
+                                     const ml::Metamodel& model) {
+  util::ByteWriter payload;
+  WriteKeyEcho(key, &payload);
+  ml::SerializeMetamodel(model, key.kind, &payload);
+  if (!WritePayload(ModelPath(key), kModelMagic, payload.data())) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  ++stats_.model_writes;
+}
+
+PersistentCacheStats PersistentCache::stats() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace reds::engine

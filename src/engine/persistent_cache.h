@@ -1,0 +1,87 @@
+// PersistentCache: the engine's on-disk cache tier. BinnedIndexes and
+// trained metamodels are serialized to a cache directory keyed by dataset
+// fingerprint, so a second engine process (or a restarted one) skips both
+// quantization and metamodel training -- the cross-engine persistence the
+// ROADMAP names. Files are self-validating: a magic tag and version,
+// the full cache key echoed in the header (guarding against 64-bit key
+// collisions mapping to the same file name), an FNV-64 checksum over the
+// payload, and structural validation in the deserializers. Anything that
+// fails any check is rejected and counted, never trusted. Writes go to a
+// temp file first and rename into place, so readers only ever observe
+// complete files.
+#ifndef REDS_ENGINE_PERSISTENT_CACHE_H_
+#define REDS_ENGINE_PERSISTENT_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/binned_index.h"
+#include "engine/metamodel_cache.h"
+#include "ml/model.h"
+
+namespace reds::engine {
+
+/// Point-in-time counters of the disk tier.
+struct PersistentCacheStats {
+  int index_hits = 0;     // BinnedIndexes loaded from disk
+  int index_misses = 0;   // lookups with no (valid) file
+  int index_writes = 0;
+  int model_hits = 0;     // metamodels loaded from disk
+  int model_misses = 0;
+  int model_writes = 0;
+  int rejected = 0;       // corrupt/truncated/mismatched files refused
+};
+
+class PersistentCache {
+ public:
+  /// Creates `dir` (and parents) if missing.
+  explicit PersistentCache(std::string dir);
+
+  PersistentCache(const PersistentCache&) = delete;
+  PersistentCache& operator=(const PersistentCache&) = delete;
+
+  const std::string& dir() const { return dir_; }
+
+  /// Loads the cached quantization of the dataset identified by
+  /// `input_fingerprint`, or null on miss/rejection. `expect_rows` and
+  /// `expect_cols` guard against fingerprint collisions across shapes;
+  /// `kind` separates exact-pack and sketch-binned indexes, which must
+  /// never share entries.
+  std::shared_ptr<const BinnedIndex> LoadBinnedIndex(
+      uint64_t input_fingerprint, BinnedIndex::BuildKind kind,
+      int expect_rows, int expect_cols);
+
+  void StoreBinnedIndex(uint64_t input_fingerprint, const BinnedIndex& index);
+
+  /// Loads the trained metamodel for `key`, or null on miss/rejection.
+  std::shared_ptr<const ml::Metamodel> LoadMetamodel(const MetamodelKey& key);
+
+  void StoreMetamodel(const MetamodelKey& key, const ml::Metamodel& model);
+
+  PersistentCacheStats stats() const;
+
+ private:
+  std::string IndexPath(uint64_t input_fingerprint,
+                        BinnedIndex::BuildKind kind) const;
+  std::string ModelPath(const MetamodelKey& key) const;
+  /// Reads and validates a cache file. On success `raw` holds the whole
+  /// file and [*payload_begin, *payload_begin + *payload_size) delimits
+  /// the checksummed payload in place -- no second copy of the O(N x M)
+  /// bytes on the warm-start path.
+  bool ReadPayload(const std::string& path, uint64_t expected_magic,
+                   std::string* raw, size_t* payload_begin,
+                   size_t* payload_size);
+  /// True only when the file was fully written and renamed into place.
+  bool WritePayload(const std::string& path, uint64_t magic,
+                    const std::string& payload);
+
+  std::string dir_;
+  mutable std::mutex mutex_;
+  PersistentCacheStats stats_;
+};
+
+}  // namespace reds::engine
+
+#endif  // REDS_ENGINE_PERSISTENT_CACHE_H_

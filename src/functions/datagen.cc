@@ -1,5 +1,6 @@
 #include "functions/datagen.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace reds::fun {
@@ -50,6 +51,46 @@ Dataset LabelDesign(const TestFunction& f, const std::vector<double>& design,
 Dataset MakeScenarioDataset(const TestFunction& f, int n, DesignKind kind,
                             uint64_t seed) {
   return LabelDesign(f, MakeDesign(kind, n, f.dim(), seed), seed);
+}
+
+FunctionSource::FunctionSource(const TestFunction& f, int64_t n,
+                               uint64_t seed, sampling::PointSampler sampler)
+    : f_(f), n_(n), seed_(seed), sampler_(std::move(sampler)) {
+  assert(n >= 0);
+  if (!sampler_) sampler_ = sampling::MakeUniformSampler();
+}
+
+int FunctionSource::num_cols() const { return f_.dim(); }
+
+Status FunctionSource::Reset() {
+  cursor_ = 0;
+  return Status::OK();
+}
+
+Result<RowBlock> FunctionSource::NextBlock(int max_rows) {
+  if (max_rows <= 0) {
+    return Status::InvalidArgument("NextBlock needs max_rows >= 1");
+  }
+  RowBlock block;
+  const int dim = f_.dim();
+  const int take = static_cast<int>(
+      std::min<int64_t>(max_rows, n_ - cursor_));
+  if (take <= 0) return block;
+  x_buf_.resize(static_cast<size_t>(take) * dim);
+  y_buf_.resize(static_cast<size_t>(take));
+  for (int r = 0; r < take; ++r) {
+    // One derived stream per row: the sequence is independent of block
+    // boundaries, so both build passes (and any chunk size) see identical
+    // rows.
+    Rng rng(DeriveSeed(seed_, static_cast<uint64_t>(cursor_ + r)));
+    double* x = x_buf_.data() + static_cast<size_t>(r) * dim;
+    sampler_(&rng, dim, x);
+    y_buf_[static_cast<size_t>(r)] = f_.Label(x, &rng);
+  }
+  cursor_ += take;
+  block.x = la::ConstMatrixView(x_buf_.data(), take, dim);
+  block.y = y_buf_.data();
+  return block;
 }
 
 sampling::PointSampler SamplerFor(DesignKind kind) {

@@ -4,8 +4,10 @@
 #define REDS_FUNCTIONS_DATAGEN_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "core/dataset.h"
+#include "core/dataset_source.h"
 #include "functions/function.h"
 #include "sampling/design.h"
 
@@ -37,6 +39,35 @@ Dataset MakeScenarioDataset(const TestFunction& f, int n, DesignKind kind,
 /// Point sampler matching the input distribution of a design kind; REDS must
 /// draw its L fresh points from the same p(x).
 sampling::PointSampler SamplerFor(DesignKind kind);
+
+/// Generator-backed DatasetSource: streams `n` sampled points labeled by a
+/// test function in blocks, so arbitrarily large labeled samples flow into
+/// the streaming data plane without ever being materialized. Each row is
+/// generated from a seed derived from (seed, row index), making the stream
+/// deterministic across Reset() passes and independent of the block sizes
+/// callers request. Points are drawn from `sampler` (the same p(x) REDS
+/// uses for its L fresh points; default uniform), so stratified designs
+/// (LHS/Halton), which need the full sample upfront, stay on the
+/// materialized MakeDesign path.
+class FunctionSource : public DatasetSource {
+ public:
+  FunctionSource(const TestFunction& f, int64_t n, uint64_t seed,
+                 sampling::PointSampler sampler = {});
+
+  int num_cols() const override;
+  int64_t num_rows_hint() const override { return n_; }
+  Status Reset() override;
+  Result<RowBlock> NextBlock(int max_rows) override;
+
+ private:
+  const TestFunction& f_;
+  int64_t n_;
+  uint64_t seed_;
+  sampling::PointSampler sampler_;
+  int64_t cursor_ = 0;
+  std::vector<double> x_buf_;
+  std::vector<double> y_buf_;
+};
 
 }  // namespace reds::fun
 

@@ -13,6 +13,42 @@
 
 namespace reds::la {
 
+/// Non-owning row-major view of an R x C block of doubles: the matrix-free
+/// counterpart of Matrix for code that consumes data in streamed chunks
+/// (core::DatasetSource hands out blocks as views into reusable buffers, so
+/// no per-block Matrix is ever materialized). The viewed storage must
+/// outlive the view.
+class ConstMatrixView {
+ public:
+  ConstMatrixView() : data_(nullptr), rows_(0), cols_(0) {}
+  ConstMatrixView(const double* data, int rows, int cols)
+      : data_(data), rows_(rows), cols_(cols) {
+    assert(rows >= 0 && cols >= 0);
+    assert(data != nullptr || rows == 0);
+  }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  double operator()(int r, int c) const {
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r) * static_cast<size_t>(cols_) +
+                 static_cast<size_t>(c)];
+  }
+
+  /// Pointer to the start of row r (contiguous, cols() doubles).
+  const double* row(int r) const {
+    assert(r >= 0 && r < rows_);
+    return data_ + static_cast<size_t>(r) * static_cast<size_t>(cols_);
+  }
+
+  const double* data() const { return data_; }
+
+ private:
+  const double* data_;
+  int rows_, cols_;
+};
+
 /// Dense row-major matrix of doubles.
 class Matrix {
  public:
@@ -49,6 +85,11 @@ class Matrix {
 
   /// Maximum absolute entry.
   double MaxAbs() const;
+
+  /// Matrix-free view of the full storage.
+  ConstMatrixView View() const {
+    return ConstMatrixView(data_.data(), rows_, cols_);
+  }
 
  private:
   int rows_, cols_;

@@ -7,6 +7,7 @@
 #include <numeric>
 
 #include "ml/order_partition.h"
+#include "ml/tree_wire.h"
 #include "util/thread_pool.h"
 
 namespace reds::ml {
@@ -565,5 +566,15 @@ int RegressionTree::DepthOf(int node) const {
 }
 
 int RegressionTree::depth() const { return nodes_.empty() ? 0 : DepthOf(0); }
+
+void RegressionTree::SerializeTo(util::ByteWriter* out) const {
+  SerializeTreeNodes(nodes_, &Node::value, out);
+}
+
+Status RegressionTree::DeserializeFrom(util::ByteReader* in,
+                                       int num_features) {
+  return DeserializeTreeNodes(in, num_features, "tree", &Node::value,
+                              &nodes_);
+}
 
 }  // namespace reds::ml

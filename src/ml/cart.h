@@ -20,6 +20,8 @@
 #include "core/dataset.h"
 #include "ml/histogram.h"
 #include "util/rng.h"
+#include "util/serialize.h"
+#include "util/status.h"
 
 namespace reds::ml {
 
@@ -61,6 +63,17 @@ class RegressionTree {
   int num_leaves() const;
   int depth() const;
   bool fitted() const { return !nodes_.empty(); }
+
+  /// Appends the fitted tree (flat node array) to `out` in the stable
+  /// little-endian cache layout.
+  void SerializeTo(util::ByteWriter* out) const;
+
+  /// Restores a tree written by SerializeTo. Validates that split features
+  /// lie in [0, num_features), and that children point strictly forward in
+  /// the node array (true of every fitted tree, which appends children
+  /// after their parent) -- so even a checksum-valid but hostile payload
+  /// cannot produce out-of-bounds reads or a non-terminating Predict.
+  Status DeserializeFrom(util::ByteReader* in, int num_features);
 
  private:
   struct Node {

@@ -7,6 +7,7 @@
 #include <numeric>
 
 #include "ml/order_partition.h"
+#include "ml/tree_wire.h"
 #include "util/thread_pool.h"
 
 namespace reds::ml {
@@ -522,6 +523,35 @@ double GradientBoostedTrees::PredictMargin(const double* x) const {
 
 double GradientBoostedTrees::PredictProb(const double* x) const {
   return Sigmoid(PredictMargin(x));
+}
+
+void GradientBoostedTrees::SerializeTo(util::ByteWriter* out) const {
+  out->I32(num_features_);
+  out->F64(base_margin_);
+  out->U64(trees_.size());
+  for (const Tree& tree : trees_) {
+    SerializeTreeNodes(tree.nodes, &Node::weight, out);
+  }
+}
+
+Status GradientBoostedTrees::DeserializeFrom(util::ByteReader* in) {
+  num_features_ = in->I32();
+  base_margin_ = in->F64();
+  const uint64_t num_trees = in->U64();
+  if (!in->ok() || num_features_ <= 0 || num_trees > in->remaining() / 8) {
+    return Status::InvalidArgument("corrupt GBT: header");
+  }
+  trees_.clear();
+  trees_.reserve(static_cast<size_t>(num_trees));
+  for (uint64_t t = 0; t < num_trees; ++t) {
+    Tree tree;
+    const Status s = DeserializeTreeNodes(in, num_features_, "GBT",
+                                          &Node::weight, &tree.nodes);
+    if (!s.ok()) return s;
+    trees_.push_back(std::move(tree));
+  }
+  if (!in->ok()) return Status::InvalidArgument("corrupt GBT: truncated");
+  return Status::OK();
 }
 
 }  // namespace reds::ml

@@ -19,6 +19,8 @@
 #include "ml/histogram.h"
 #include "ml/model.h"
 #include "util/rng.h"
+#include "util/serialize.h"
+#include "util/status.h"
 
 namespace reds::ml {
 
@@ -56,6 +58,14 @@ class GradientBoostedTrees : public Metamodel {
 
   int num_trees() const { return static_cast<int>(trees_.size()); }
   const GbtConfig& config() const { return config_; }
+
+  /// Appends the fitted ensemble (base margin + flat tree arrays) to `out`
+  /// in the stable little-endian cache layout; everything PredictProb needs
+  /// and nothing else (the fit-time config is not persisted).
+  void SerializeTo(util::ByteWriter* out) const;
+
+  /// Restores an ensemble written by SerializeTo, validating node indexes.
+  Status DeserializeFrom(util::ByteReader* in);
 
  private:
   struct Node {

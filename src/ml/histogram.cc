@@ -16,6 +16,28 @@ const char* SplitBackendName(SplitBackend backend) {
   return "?";
 }
 
+void AccumulateHistogramReference(const uint8_t* codes, const int* ids, int n,
+                                  const double* g, HistBin* bins) {
+  for (int i = 0; i < n; ++i) {
+    const int id = ids[i];
+    HistBin& bin = bins[codes[id]];
+    bin.g += g[id];
+    ++bin.count;
+  }
+}
+
+void AccumulateHistogramReference(const uint8_t* codes, const int* ids, int n,
+                                  const double* g, const double* h,
+                                  HistBin* bins) {
+  for (int i = 0; i < n; ++i) {
+    const int id = ids[i];
+    HistBin& bin = bins[codes[id]];
+    bin.g += g[id];
+    bin.h += h[id];
+    ++bin.count;
+  }
+}
+
 void SubtractHistogram(const HistBin* parent, const HistBin* child,
                        HistBin* out, int num_bins) {
   for (int b = 0; b < num_bins; ++b) {

@@ -45,12 +45,33 @@ struct HistBin {
 };
 
 /// Accumulates the g-sums and counts of `ids` (positions or row ids,
-/// whatever `codes`/`g` are indexed by) into `bins`. The codes array is
-/// contiguous uint8_t, so the loop is a tight gather-and-bump that modern
-/// compilers unroll well.
+/// whatever `codes`/`g` are indexed by) into `bins`. The loop is unrolled
+/// four rows deep with all gathers (two dependent loads per row: id, then
+/// code/gradient) issued before any bin is bumped, so the loads of the next
+/// rows pipeline instead of stalling behind the previous row's
+/// read-modify-write; the bumps stay in row order, so the per-bin sums are
+/// bit-identical to the scalar loop's. Rows sharing a bin within one
+/// unrolled group are handled correctly: each bump is a separate
+/// load-modify-store in program order.
 inline void AccumulateHistogram(const uint8_t* codes, const int* ids, int n,
                                 const double* g, HistBin* bins) {
-  for (int i = 0; i < n; ++i) {
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const int id0 = ids[i], id1 = ids[i + 1], id2 = ids[i + 2],
+              id3 = ids[i + 3];
+    const uint8_t c0 = codes[id0], c1 = codes[id1], c2 = codes[id2],
+                  c3 = codes[id3];
+    const double g0 = g[id0], g1 = g[id1], g2 = g[id2], g3 = g[id3];
+    bins[c0].g += g0;
+    ++bins[c0].count;
+    bins[c1].g += g1;
+    ++bins[c1].count;
+    bins[c2].g += g2;
+    ++bins[c2].count;
+    bins[c3].g += g3;
+    ++bins[c3].count;
+  }
+  for (; i < n; ++i) {
     const int id = ids[i];
     HistBin& bin = bins[codes[id]];
     bin.g += g[id];
@@ -58,11 +79,33 @@ inline void AccumulateHistogram(const uint8_t* codes, const int* ids, int n,
   }
 }
 
-/// As above with hessian sums (the GBT variant).
+/// As above with hessian sums (the GBT variant), same 4-row unrolled
+/// gather.
 inline void AccumulateHistogram(const uint8_t* codes, const int* ids, int n,
                                 const double* g, const double* h,
                                 HistBin* bins) {
-  for (int i = 0; i < n; ++i) {
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const int id0 = ids[i], id1 = ids[i + 1], id2 = ids[i + 2],
+              id3 = ids[i + 3];
+    const uint8_t c0 = codes[id0], c1 = codes[id1], c2 = codes[id2],
+                  c3 = codes[id3];
+    const double g0 = g[id0], g1 = g[id1], g2 = g[id2], g3 = g[id3];
+    const double h0 = h[id0], h1 = h[id1], h2 = h[id2], h3 = h[id3];
+    bins[c0].g += g0;
+    bins[c0].h += h0;
+    ++bins[c0].count;
+    bins[c1].g += g1;
+    bins[c1].h += h1;
+    ++bins[c1].count;
+    bins[c2].g += g2;
+    bins[c2].h += h2;
+    ++bins[c2].count;
+    bins[c3].g += g3;
+    bins[c3].h += h3;
+    ++bins[c3].count;
+  }
+  for (; i < n; ++i) {
     const int id = ids[i];
     HistBin& bin = bins[codes[id]];
     bin.g += g[id];
@@ -70,6 +113,15 @@ inline void AccumulateHistogram(const uint8_t* codes, const int* ids, int n,
     ++bin.count;
   }
 }
+
+/// The plain scalar loops, kept as the equivalence/benchmark reference for
+/// the unrolled kernels above (tests assert bit-identical bins;
+/// bench_perf_kernels reports the measured speedup).
+void AccumulateHistogramReference(const uint8_t* codes, const int* ids, int n,
+                                  const double* g, HistBin* bins);
+void AccumulateHistogramReference(const uint8_t* codes, const int* ids, int n,
+                                  const double* g, const double* h,
+                                  HistBin* bins);
 
 /// out[b] = parent[b] - child[b]. `out` may alias `parent` (the common
 /// in-place use: the parent's buffer becomes the larger child's).

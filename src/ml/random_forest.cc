@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 #include <memory>
 
 #include "util/thread_pool.h"
@@ -82,9 +83,24 @@ void RandomForest::Fit(const Dataset& d, uint64_t seed,
   }
 }
 
+bool RandomForest::OobStateMatches(const Dataset& d) const {
+  return in_bag_counts_.size() == trees_.size() && !in_bag_counts_.empty() &&
+         in_bag_counts_.front().size() == static_cast<size_t>(d.num_rows());
+}
+
 std::vector<double> RandomForest::OobPredictions(const Dataset& d) const {
   assert(!trees_.empty());
-  assert(in_bag_counts_.front().size() == static_cast<size_t>(d.num_rows()));
+  // Hard check (not just an assert): `d` must be the training dataset the
+  // bag counts were recorded for. On mismatch -- wrong dataset, or a
+  // cache-loaded model paired with other data -- fall back to full-forest
+  // predictions instead of indexing past the count vectors.
+  if (!OobStateMatches(d)) {
+    std::vector<double> out(static_cast<size_t>(d.num_rows()));
+    for (int i = 0; i < d.num_rows(); ++i) {
+      out[static_cast<size_t>(i)] = PredictProb(d.row(i));
+    }
+    return out;
+  }
   std::vector<double> sum(static_cast<size_t>(d.num_rows()), 0.0);
   std::vector<int> votes(static_cast<size_t>(d.num_rows()), 0);
   for (size_t t = 0; t < trees_.size(); ++t) {
@@ -106,6 +122,11 @@ std::vector<double> RandomForest::OobPredictions(const Dataset& d) const {
 }
 
 double RandomForest::OobError(const Dataset& d) const {
+  // OobPredictions degrades to full-forest (in-bag) predictions when the
+  // bag counts don't match `d`; reporting those as an "OOB" error would be
+  // an optimistically biased resubstitution estimate, so make the mismatch
+  // visible instead of silently flattering the model.
+  if (!OobStateMatches(d)) return std::numeric_limits<double>::quiet_NaN();
   const std::vector<double> prob = OobPredictions(d);
   int wrong = 0;
   for (int i = 0; i < d.num_rows(); ++i) {
@@ -116,6 +137,12 @@ double RandomForest::OobError(const Dataset& d) const {
 
 std::vector<double> RandomForest::PermutationImportance(const Dataset& d,
                                                         uint64_t seed) const {
+  // Same hard check as OobPredictions: without matching bag counts there
+  // is no out-of-bag signal to permute against, so report zero importance
+  // instead of indexing past the count vectors.
+  if (!OobStateMatches(d)) {
+    return std::vector<double>(static_cast<size_t>(d.num_cols()), 0.0);
+  }
   const double baseline = OobError(d);
   std::vector<double> importance(static_cast<size_t>(d.num_cols()), 0.0);
   Rng rng(DeriveSeed(seed, 0x19f0));
@@ -157,6 +184,48 @@ double RandomForest::PredictProb(const double* x) const {
   for (const auto& tree : trees_) sum += tree.Predict(x);
   const double p = sum / static_cast<double>(trees_.size());
   return std::clamp(p, 0.0, 1.0);
+}
+
+void RandomForest::SerializeTo(util::ByteWriter* out) const {
+  out->I32(num_features_);
+  out->U64(trees_.size());
+  for (const RegressionTree& tree : trees_) tree.SerializeTo(out);
+  out->U64(in_bag_counts_.size());
+  for (const std::vector<int>& counts : in_bag_counts_) out->VecI32(counts);
+}
+
+Status RandomForest::DeserializeFrom(util::ByteReader* in) {
+  num_features_ = in->I32();
+  const uint64_t num_trees = in->U64();
+  // Zero trees would make PredictProb average over nothing (NaN); every
+  // fitted forest has at least one.
+  if (!in->ok() || num_features_ <= 0 || num_trees == 0 ||
+      num_trees > in->remaining() / 8) {
+    return Status::InvalidArgument("corrupt forest: header");
+  }
+  trees_.assign(static_cast<size_t>(num_trees), RegressionTree());
+  for (RegressionTree& tree : trees_) {
+    const Status s = tree.DeserializeFrom(in, num_features_);
+    if (!s.ok()) return s;
+  }
+  const uint64_t num_bags = in->U64();
+  if (!in->ok() || num_bags != num_trees) {
+    return Status::InvalidArgument("corrupt forest: bag counts");
+  }
+  in_bag_counts_.assign(static_cast<size_t>(num_bags), {});
+  for (std::vector<int>& counts : in_bag_counts_) {
+    counts = in->VecI32();
+    // Every fitted tree records one count per training row: uniform
+    // lengths and non-negative entries, or the payload is hostile.
+    if (counts.size() != in_bag_counts_.front().size()) {
+      return Status::InvalidArgument("corrupt forest: bag count shape");
+    }
+    for (int c : counts) {
+      if (c < 0) return Status::InvalidArgument("corrupt forest: bag count");
+    }
+  }
+  if (!in->ok()) return Status::InvalidArgument("corrupt forest: truncated");
+  return Status::OK();
 }
 
 }  // namespace reds::ml

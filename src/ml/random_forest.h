@@ -8,6 +8,8 @@
 
 #include "ml/cart.h"
 #include "ml/model.h"
+#include "util/serialize.h"
+#include "util/status.h"
 
 namespace reds::ml {
 
@@ -43,10 +45,14 @@ class RandomForest : public Metamodel {
   /// Out-of-bag probability estimates for the training rows: row i is
   /// averaged over the trees whose bootstrap sample missed i. Rows that were
   /// in every bag get the full-forest prediction. `d` must be the training
-  /// dataset passed to Fit.
+  /// dataset passed to Fit; when the recorded bag counts don't match `d`
+  /// (wrong dataset, cache-loaded model paired with other data) every row
+  /// falls back to the full-forest prediction.
   std::vector<double> OobPredictions(const Dataset& d) const;
 
-  /// Out-of-bag misclassification rate (targets binarized at 0.5).
+  /// Out-of-bag misclassification rate (targets binarized at 0.5). NaN
+  /// when the bag counts don't match `d` -- a full-forest fallback here
+  /// would masquerade as an (optimistic) OOB estimate.
   double OobError(const Dataset& d) const;
 
   /// Permutation importance: mean increase in out-of-bag misclassification
@@ -55,7 +61,19 @@ class RandomForest : public Metamodel {
   std::vector<double> PermutationImportance(const Dataset& d,
                                             uint64_t seed) const;
 
+  /// Appends the fitted forest (trees + in-bag counts, so the OOB metrics
+  /// survive a reload) to `out` in the stable little-endian cache layout.
+  void SerializeTo(util::ByteWriter* out) const;
+
+  /// Restores a forest written by SerializeTo.
+  Status DeserializeFrom(util::ByteReader* in);
+
  private:
+  /// True when the recorded bag counts line up with `d` (one count per
+  /// training row per tree) -- the single validity rule behind every OOB
+  /// accessor.
+  bool OobStateMatches(const Dataset& d) const;
+
   RandomForestConfig config_;
   std::vector<RegressionTree> trees_;
   std::vector<std::vector<int>> in_bag_counts_;  // per tree, per training row

@@ -1,0 +1,54 @@
+#include "ml/serialize.h"
+
+#include "ml/gbt.h"
+#include "ml/random_forest.h"
+#include "ml/svm.h"
+
+namespace reds::ml {
+
+void SerializeMetamodel(const Metamodel& model, MetamodelKind kind,
+                        util::ByteWriter* out) {
+  out->U8(static_cast<uint8_t>(kind));
+  switch (kind) {
+    case MetamodelKind::kRandomForest:
+      dynamic_cast<const RandomForest&>(model).SerializeTo(out);
+      return;
+    case MetamodelKind::kGbt:
+      dynamic_cast<const GradientBoostedTrees&>(model).SerializeTo(out);
+      return;
+    case MetamodelKind::kSvm:
+      dynamic_cast<const SvmRbf&>(model).SerializeTo(out);
+      return;
+  }
+}
+
+Result<std::shared_ptr<const Metamodel>> DeserializeMetamodel(
+    util::ByteReader* in, MetamodelKind expected_kind) {
+  const uint8_t tag = in->U8();
+  if (!in->ok() || tag != static_cast<uint8_t>(expected_kind)) {
+    return Status::InvalidArgument("corrupt metamodel: kind tag");
+  }
+  switch (expected_kind) {
+    case MetamodelKind::kRandomForest: {
+      auto model = std::make_shared<RandomForest>();
+      const Status s = model->DeserializeFrom(in);
+      if (!s.ok()) return s;
+      return std::shared_ptr<const Metamodel>(std::move(model));
+    }
+    case MetamodelKind::kGbt: {
+      auto model = std::make_shared<GradientBoostedTrees>();
+      const Status s = model->DeserializeFrom(in);
+      if (!s.ok()) return s;
+      return std::shared_ptr<const Metamodel>(std::move(model));
+    }
+    case MetamodelKind::kSvm: {
+      auto model = std::make_shared<SvmRbf>();
+      const Status s = model->DeserializeFrom(in);
+      if (!s.ok()) return s;
+      return std::shared_ptr<const Metamodel>(std::move(model));
+    }
+  }
+  return Status::InvalidArgument("corrupt metamodel: unknown kind");
+}
+
+}  // namespace reds::ml

@@ -1,0 +1,34 @@
+// Kind-dispatched metamodel (de)serialization for the engine's persistent
+// cache tier: one tagged little-endian payload per trained model, so a warm
+// engine process reloads the models a cold one trained. All four families
+// round-trip bit-exactly -- reloaded models predict identically to the
+// originals. Integrity (checksums, atomic writes) lives one layer up in
+// engine/persistent_cache; this layer validates structure (tags, counts,
+// node indexes) so even a payload that passes the checksum cannot produce
+// out-of-bounds traversals.
+#ifndef REDS_ML_SERIALIZE_H_
+#define REDS_ML_SERIALIZE_H_
+
+#include <memory>
+
+#include "ml/model.h"
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace reds::ml {
+
+/// Appends a kind tag plus the model's payload. `model` must actually be
+/// the implementation class MetamodelKind names (the library's FitMetamodel
+/// guarantees this).
+void SerializeMetamodel(const Metamodel& model, MetamodelKind kind,
+                        util::ByteWriter* out);
+
+/// Parses a model written by SerializeMetamodel. Fails (never crashes) on
+/// truncated or corrupted payloads and on a kind tag mismatch with
+/// `expected_kind`.
+Result<std::shared_ptr<const Metamodel>> DeserializeMetamodel(
+    util::ByteReader* in, MetamodelKind expected_kind);
+
+}  // namespace reds::ml
+
+#endif  // REDS_ML_SERIALIZE_H_

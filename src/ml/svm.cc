@@ -163,4 +163,35 @@ double SvmRbf::PredictProb(const double* x) const {
   return 1.0 / (1.0 + std::exp(-3.0 * Decision(x)));
 }
 
+void SvmRbf::SerializeTo(util::ByteWriter* out) const {
+  out->I32(num_features_);
+  out->F64(gamma_);
+  out->F64(bias_);
+  out->U64(sv_x_.size());
+  for (const std::vector<double>& sv : sv_x_) out->VecF64(sv);
+  out->VecF64(sv_coef_);
+}
+
+Status SvmRbf::DeserializeFrom(util::ByteReader* in) {
+  num_features_ = in->I32();
+  gamma_ = in->F64();
+  bias_ = in->F64();
+  const uint64_t num_sv = in->U64();
+  if (!in->ok() || num_features_ <= 0 || num_sv > in->remaining() / 8) {
+    return Status::InvalidArgument("corrupt SVM: header");
+  }
+  sv_x_.assign(static_cast<size_t>(num_sv), {});
+  for (std::vector<double>& sv : sv_x_) {
+    sv = in->VecF64();
+    if (!in->ok() || sv.size() != static_cast<size_t>(num_features_)) {
+      return Status::InvalidArgument("corrupt SVM: support vector");
+    }
+  }
+  sv_coef_ = in->VecF64();
+  if (!in->ok() || sv_coef_.size() != sv_x_.size()) {
+    return Status::InvalidArgument("corrupt SVM: coefficients");
+  }
+  return Status::OK();
+}
+
 }  // namespace reds::ml

@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "ml/model.h"
+#include "util/serialize.h"
+#include "util/status.h"
 
 namespace reds::ml {
 
@@ -32,6 +34,13 @@ class SvmRbf : public Metamodel {
 
   int num_support_vectors() const { return static_cast<int>(sv_x_.size()); }
   double gamma() const { return gamma_; }
+
+  /// Appends the fitted machine (gamma, bias, support vectors and
+  /// coefficients) to `out` in the stable little-endian cache layout.
+  void SerializeTo(util::ByteWriter* out) const;
+
+  /// Restores a machine written by SerializeTo.
+  Status DeserializeFrom(util::ByteReader* in);
 
  private:
   double Kernel(const double* a, const double* b) const;

@@ -1,0 +1,76 @@
+// Shared wire format for flat tree-node arrays: RegressionTree (CART / the
+// forest) and GradientBoostedTrees store nodes of the same shape --
+// {feature, threshold, left, right} plus one leaf payload double (value
+// resp. weight) -- so one helper defines the 28-byte-per-node layout and,
+// on the way back in, the hostile-payload validation both loaders must
+// agree on: split features in [0, num_features) and strictly-forward
+// children (every fit path appends children after their parent), which
+// makes Predict provably terminating and in bounds even on checksum-valid
+// forged cache files.
+#ifndef REDS_ML_TREE_WIRE_H_
+#define REDS_ML_TREE_WIRE_H_
+
+#include <string>
+#include <vector>
+
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace reds::ml {
+
+template <typename Node>
+void SerializeTreeNodes(const std::vector<Node>& nodes, double Node::*leaf,
+                        util::ByteWriter* out) {
+  out->U64(nodes.size());
+  for (const Node& nd : nodes) {
+    out->I32(nd.feature);
+    out->F64(nd.threshold);
+    out->I32(nd.left);
+    out->I32(nd.right);
+    out->F64(nd.*leaf);
+  }
+}
+
+template <typename Node>
+Status DeserializeTreeNodes(util::ByteReader* in, int num_features,
+                            const char* what, double Node::*leaf,
+                            std::vector<Node>* nodes) {
+  const auto corrupt = [what](const char* detail) {
+    return Status::InvalidArgument(std::string("corrupt ") + what + ": " +
+                                   detail);
+  };
+  const uint64_t count = in->U64();
+  // A node costs 28 bytes on the wire (i32 + f64 + i32 + i32 + f64); an
+  // impossible count means a corrupted length, not a huge allocation. A
+  // zero count is equally hostile: every fitted tree has at least its
+  // root, and Predict unconditionally reads node 0.
+  if (!in->ok() || count == 0 || count > in->remaining() / 28) {
+    return corrupt("node count");
+  }
+  nodes->clear();
+  nodes->reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    Node nd;
+    nd.feature = in->I32();
+    nd.threshold = in->F64();
+    nd.left = in->I32();
+    nd.right = in->I32();
+    nd.*leaf = in->F64();
+    nodes->push_back(nd);
+  }
+  if (!in->ok()) return corrupt("truncated");
+  const int n = static_cast<int>(nodes->size());
+  for (int i = 0; i < n; ++i) {
+    const Node& nd = (*nodes)[static_cast<size_t>(i)];
+    if (nd.feature < 0) continue;  // leaf
+    if (nd.feature >= num_features) return corrupt("feature index");
+    if (nd.left <= i || nd.left >= n || nd.right <= i || nd.right >= n) {
+      return corrupt("child index");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace reds::ml
+
+#endif  // REDS_ML_TREE_WIRE_H_

@@ -1,0 +1,56 @@
+#include "util/fingerprint.h"
+
+#include <cstring>
+
+#include "util/serialize.h"
+
+namespace reds::util {
+
+namespace {
+
+// Salts keep the two scopes from colliding on datasets that happen to
+// serialize identically (e.g. a 1-column dataset whose x column equals
+// another's y column).
+constexpr uint64_t kInputsSalt = 0x785f6f6e6c79ULL;  // "x_only"
+constexpr uint64_t kFullSalt = 0x78795f66756c6cULL;  // "xy_full"
+
+// One FNV definition lives in util/serialize.h; this folds a u64 through
+// it as the documented little-endian byte sequence.
+inline void HashValue(uint64_t* h, uint64_t v) {
+  char bytes[8];
+  for (int byte = 0; byte < 8; ++byte) {
+    bytes[byte] = static_cast<char>((v >> (8 * byte)) & 0xffULL);
+  }
+  *h = Fnv64(bytes, sizeof(bytes), *h);
+}
+
+inline void HashDouble(uint64_t* h, double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  HashValue(h, bits);
+}
+
+}  // namespace
+
+DatasetHasher::DatasetHasher(Scope scope, int num_cols)
+    : scope_(scope), num_cols_(num_cols), h_(1469598103934665603ULL) {
+  HashValue(&h_, scope == Scope::kInputs ? kInputsSalt : kFullSalt);
+  HashValue(&h_, static_cast<uint64_t>(num_cols));
+}
+
+void DatasetHasher::AddRows(const double* x, const double* y, int rows) {
+  for (int r = 0; r < rows; ++r) {
+    const double* row = x + static_cast<size_t>(r) * num_cols_;
+    for (int c = 0; c < num_cols_; ++c) HashDouble(&h_, row[c]);
+    if (scope_ == Scope::kFull) HashDouble(&h_, y[r]);
+  }
+  rows_ += rows;
+}
+
+uint64_t DatasetHasher::Finalize() const {
+  uint64_t h = h_;
+  HashValue(&h, static_cast<uint64_t>(rows_));
+  return h;
+}
+
+}  // namespace reds::util

@@ -1,0 +1,57 @@
+// Incremental dataset fingerprinting with a stable, documented byte layout.
+// The engine keys every cache tier -- metamodels, column/binned indexes, and
+// the on-disk persistence directory -- by these 64-bit hashes, and the
+// streaming ingestion path must produce the same key chunk-at-a-time that
+// the in-memory path produces from a materialized Dataset. Both therefore
+// hash the identical byte stream:
+//
+//   u64  scope salt            (kInputsSalt or kFullSalt)
+//   u64  num_cols
+//   per row, in stream order:  num_cols doubles (IEEE-754 bit patterns);
+//                              the kFull scope appends the row's target
+//   u64  num_rows              (hashed at Finalize, so one-pass streams need
+//                               not know the row count upfront)
+//
+// every value serialized little-endian and folded through FNV-1a 64. Equal
+// datasets (bitwise) always agree; distinct ones collide with probability
+// ~2^-64.
+#ifndef REDS_UTIL_FINGERPRINT_H_
+#define REDS_UTIL_FINGERPRINT_H_
+
+#include <cstdint>
+
+namespace reds::util {
+
+/// One-pass FNV-1a dataset hasher. Feed rows in stream order, then
+/// Finalize(); chunk boundaries never affect the result.
+class DatasetHasher {
+ public:
+  enum class Scope {
+    kInputs,  // x only: the identity of a ColumnIndex / BinnedIndex
+    kFull,    // x and y: the identity of a trained metamodel's data
+  };
+
+  DatasetHasher(Scope scope, int num_cols);
+
+  /// Hashes `rows` row-major rows of num_cols inputs each; `y` holds one
+  /// target per row and may be null under Scope::kInputs.
+  void AddRows(const double* x, const double* y, int rows);
+
+  void AddRow(const double* x, double y) { AddRows(x, &y, 1); }
+
+  int64_t rows() const { return rows_; }
+
+  /// The fingerprint of everything added so far (appends the row count
+  /// without mutating the running state, so it may be called repeatedly).
+  uint64_t Finalize() const;
+
+ private:
+  Scope scope_;
+  int num_cols_;
+  int64_t rows_ = 0;
+  uint64_t h_;
+};
+
+}  // namespace reds::util
+
+#endif  // REDS_UTIL_FINGERPRINT_H_

@@ -66,31 +66,36 @@ std::string TablePrinter::ToString() const {
 
 void TablePrinter::Print() const { std::fputs(ToString().c_str(), stdout); }
 
+void SplitCsvLine(const std::string& line, std::vector<std::string>* cells) {
+  cells->clear();
+  size_t begin = 0;
+  while (begin <= line.size()) {
+    size_t end = line.find(',', begin);
+    if (end == std::string::npos) end = line.size();
+    cells->push_back(line.substr(begin, end - begin));
+    begin = end + 1;
+  }
+}
+
+void StripTrailingCr(std::string* line) {
+  if (!line->empty() && line->back() == '\r') line->pop_back();
+}
+
 Result<CsvTable> ReadCsvFile(const std::string& path) {
   std::ifstream f(path);
   if (!f) return Status::IoError("cannot open " + path);
   CsvTable table;
   std::string line;
-  auto split = [](const std::string& s) {
-    std::vector<std::string> cells;
-    size_t begin = 0;
-    while (begin <= s.size()) {
-      size_t end = s.find(',', begin);
-      if (end == std::string::npos) end = s.size();
-      cells.push_back(s.substr(begin, end - begin));
-      begin = end + 1;
-    }
-    return cells;
-  };
   if (!std::getline(f, line)) return Status::IoError("empty file: " + path);
-  if (!line.empty() && line.back() == '\r') line.pop_back();
-  table.header = split(line);
+  StripTrailingCr(&line);
+  SplitCsvLine(line, &table.header);
   int line_no = 1;
+  std::vector<std::string> cells;
   while (std::getline(f, line)) {
     ++line_no;
-    if (!line.empty() && line.back() == '\r') line.pop_back();
+    StripTrailingCr(&line);
     if (line.empty()) continue;
-    const auto cells = split(line);
+    SplitCsvLine(line, &cells);
     if (cells.size() != table.header.size()) {
       return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
                                      ": ragged row");

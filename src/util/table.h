@@ -38,6 +38,14 @@ class TablePrinter {
   std::vector<std::vector<std::string>> rows_;
 };
 
+/// Splits one CSV line on commas (no quoting); always yields at least one
+/// cell. Shared by the materialized reader below and the streaming
+/// CsvFileSource so the grammar cannot drift between the two paths.
+void SplitCsvLine(const std::string& line, std::vector<std::string>* cells);
+
+/// Drops a trailing '\r' (CRLF files read through getline).
+void StripTrailingCr(std::string* line);
+
 /// Parsed CSV contents: a header line plus numeric rows.
 struct CsvTable {
   std::vector<std::string> header;

@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -16,6 +17,13 @@
 
 namespace reds::engine {
 namespace {
+
+// Keep these engines hermetic: a developer's REDS_CACHE_DIR must not leak
+// persistent-cache state into shutdown/robustness behavior.
+const bool kHermetic = [] {
+  unsetenv("REDS_CACHE_DIR");
+  return true;
+}();
 
 std::shared_ptr<const Dataset> MakeData(int n, int dim, uint64_t seed) {
   Rng rng(seed);

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "engine/discovery_engine.h"
 #include "engine/fingerprint.h"
@@ -11,6 +12,13 @@
 
 namespace reds::engine {
 namespace {
+
+// These tests assert exact fit/hit accounting; a developer's persistent
+// cache directory must not leak in through the environment.
+const bool kHermetic = [] {
+  unsetenv("REDS_CACHE_DIR");
+  return true;
+}();
 
 std::shared_ptr<const Dataset> MakeData(int n, int dim, uint64_t seed) {
   Rng rng(seed);

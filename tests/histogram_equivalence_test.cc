@@ -252,5 +252,50 @@ TEST(HistogramTuningTest, GridTuningRunsOnTheHistogramBackend) {
   EXPECT_GT(correct, d.num_rows() / 2);
 }
 
+// The 4-row unrolled accumulation gathers must produce bit-identical bins
+// to the scalar reference -- bumps stay in row order -- for every length
+// (covering the remainder loop) and under shared bins within one group.
+TEST(HistogramAccumulateTest, UnrolledMatchesReferenceBitForBit) {
+  Rng rng(99);
+  const int n = 1037;
+  std::vector<uint8_t> codes(static_cast<size_t>(n));
+  std::vector<double> g(static_cast<size_t>(n)), h(static_cast<size_t>(n));
+  std::vector<int> ids;
+  for (int i = 0; i < n; ++i) {
+    codes[static_cast<size_t>(i)] =
+        static_cast<uint8_t>(rng.UniformInt(7));  // few bins: many clashes
+    g[static_cast<size_t>(i)] = rng.Normal();
+    h[static_cast<size_t>(i)] = rng.Uniform();
+    if (rng.Bernoulli(0.7)) ids.push_back(i);
+  }
+  for (const int len : {0, 1, 2, 3, 4, 5, 7, 8, static_cast<int>(ids.size())}) {
+    std::vector<ml::HistBin> unrolled(16), reference(16);
+    ml::AccumulateHistogram(codes.data(), ids.data(), len, g.data(),
+                            h.data(), unrolled.data());
+    ml::AccumulateHistogramReference(codes.data(), ids.data(), len, g.data(),
+                                     h.data(), reference.data());
+    for (int b = 0; b < 16; ++b) {
+      EXPECT_EQ(unrolled[static_cast<size_t>(b)].g,
+                reference[static_cast<size_t>(b)].g);
+      EXPECT_EQ(unrolled[static_cast<size_t>(b)].h,
+                reference[static_cast<size_t>(b)].h);
+      EXPECT_EQ(unrolled[static_cast<size_t>(b)].count,
+                reference[static_cast<size_t>(b)].count);
+    }
+    // The g-only (CART) variant too.
+    std::vector<ml::HistBin> unrolled_g(16), reference_g(16);
+    ml::AccumulateHistogram(codes.data(), ids.data(), len, g.data(),
+                            unrolled_g.data());
+    ml::AccumulateHistogramReference(codes.data(), ids.data(), len, g.data(),
+                                     reference_g.data());
+    for (int b = 0; b < 16; ++b) {
+      EXPECT_EQ(unrolled_g[static_cast<size_t>(b)].g,
+                reference_g[static_cast<size_t>(b)].g);
+      EXPECT_EQ(unrolled_g[static_cast<size_t>(b)].count,
+                reference_g[static_cast<size_t>(b)].count);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace reds

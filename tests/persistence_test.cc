@@ -1,0 +1,266 @@
+// The on-disk cache tier: serialized BinnedIndexes reload bit-identical
+// (and re-serialize to identical bytes), all metamodel families predict
+// identically after a reload, corrupted/truncated/mismatched cache files
+// are rejected -- never trusted -- and a warm engine run over the same
+// data skips both index building and metamodel training, producing
+// bit-identical results (the warm-vs-cold smoke the CI job drives through
+// examples/streaming_discovery as two separate processes).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/binned_index.h"
+#include "core/dataset_source.h"
+#include "engine/discovery_engine.h"
+#include "engine/persistent_cache.h"
+#include "ml/gbt.h"
+#include "ml/random_forest.h"
+#include "ml/serialize.h"
+#include "ml/svm.h"
+#include "ml/tuning.h"
+#include "util/rng.h"
+
+namespace reds {
+namespace {
+
+Dataset MakeData(int n, int dim, uint64_t seed) {
+  Rng rng(seed);
+  Dataset d(dim);
+  std::vector<double> x(static_cast<size_t>(dim));
+  for (int i = 0; i < n; ++i) {
+    for (auto& v : x) v = rng.Uniform();
+    const double p = (x[0] < 0.45 && x[1] > 0.3) ? 0.8 : 0.15;
+    d.AddRow(x, rng.Bernoulli(p) ? 1.0 : 0.0);
+  }
+  return d;
+}
+
+std::string FreshCacheDir(const char* name) {
+  const std::string dir = ::testing::TempDir() + "reds_cache_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+TEST(BinnedIndexSerializationTest, RoundTripsBitIdentical) {
+  const Dataset d = MakeData(700, 4, 1);
+  const auto original = BinnedIndex::Build(d);
+  util::ByteWriter bytes;
+  original->Serialize(&bytes);
+
+  util::ByteReader reader(bytes.data());
+  auto loaded = BinnedIndex::Deserialize(&reader);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(reader.AtEnd());
+  ASSERT_EQ((*loaded)->num_rows(), original->num_rows());
+  ASSERT_EQ((*loaded)->num_cols(), original->num_cols());
+  EXPECT_EQ((*loaded)->kind(), original->kind());
+  for (int j = 0; j < original->num_cols(); ++j) {
+    EXPECT_EQ((*loaded)->codes(j), original->codes(j));
+    ASSERT_EQ((*loaded)->num_bins(j), original->num_bins(j));
+    for (int b = 0; b < original->num_bins(j); ++b) {
+      EXPECT_EQ((*loaded)->bin_first(j, b), original->bin_first(j, b));
+      EXPECT_EQ((*loaded)->bin_last(j, b), original->bin_last(j, b));
+      EXPECT_EQ((*loaded)->bin_begin_rank(j, b),
+                original->bin_begin_rank(j, b));
+    }
+  }
+  // Re-serializing the reload produces identical bytes.
+  util::ByteWriter again;
+  (*loaded)->Serialize(&again);
+  EXPECT_EQ(bytes.data(), again.data());
+}
+
+TEST(BinnedIndexSerializationTest, StreamedIndexKeepsItsPermutation) {
+  const auto data = std::make_shared<Dataset>(MakeData(400, 3, 2));
+  MatrixSource source(data);
+  auto streamed = BinnedIndex::BuildStreamed(&source);
+  ASSERT_TRUE(streamed.ok());
+  util::ByteWriter bytes;
+  streamed->index->Serialize(&bytes);
+  util::ByteReader reader(bytes.data());
+  auto loaded = BinnedIndex::Deserialize(&reader);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_TRUE((*loaded)->has_sorted_rows());
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_EQ((*loaded)->sorted_rows(j), streamed->index->sorted_rows(j));
+  }
+}
+
+TEST(BinnedIndexSerializationTest, RejectsCorruptionAndTruncation) {
+  const Dataset d = MakeData(300, 3, 3);
+  const auto original = BinnedIndex::Build(d);
+  util::ByteWriter bytes;
+  original->Serialize(&bytes);
+  const std::string& good = bytes.data();
+
+  // Truncations at every granularity fail cleanly.
+  for (size_t keep : {size_t{0}, size_t{3}, size_t{20}, good.size() / 2,
+                      good.size() - 1}) {
+    util::ByteReader reader(good.data(), keep);
+    EXPECT_FALSE(BinnedIndex::Deserialize(&reader).ok()) << keep;
+  }
+  // A flipped byte in the middle of the payload is caught by the
+  // structural / count validation.
+  std::string corrupt = good;
+  corrupt[corrupt.size() / 2] = static_cast<char>(
+      static_cast<uint8_t>(corrupt[corrupt.size() / 2]) ^ 0x5a);
+  util::ByteReader reader(corrupt);
+  // Either rejected outright, or -- if the flip landed in a value field --
+  // it must still parse into a structurally valid index; both are safe.
+  auto result = BinnedIndex::Deserialize(&reader);
+  if (result.ok()) {
+    EXPECT_EQ((*result)->num_rows(), original->num_rows());
+    EXPECT_EQ((*result)->num_cols(), original->num_cols());
+  }
+}
+
+TEST(MetamodelSerializationTest, AllFamiliesPredictIdenticallyAfterReload) {
+  const Dataset train = MakeData(300, 4, 4);
+  const Dataset probe = MakeData(64, 4, 5);
+  const ml::MetamodelKind kinds[] = {ml::MetamodelKind::kRandomForest,
+                                     ml::MetamodelKind::kGbt,
+                                     ml::MetamodelKind::kSvm};
+  for (const ml::MetamodelKind kind : kinds) {
+    const auto model = ml::FitDefault(kind, train, 42);
+    util::ByteWriter bytes;
+    ml::SerializeMetamodel(*model, kind, &bytes);
+    util::ByteReader reader(bytes.data());
+    auto loaded = ml::DeserializeMetamodel(&reader, kind);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    for (int i = 0; i < probe.num_rows(); ++i) {
+      EXPECT_EQ(model->PredictProb(probe.row(i)),
+                (*loaded)->PredictProb(probe.row(i)))
+          << ml::MetamodelSuffix(kind) << " row " << i;
+    }
+    // A kind mismatch is rejected.
+    util::ByteReader wrong(bytes.data());
+    EXPECT_FALSE(ml::DeserializeMetamodel(
+                     &wrong, kind == ml::MetamodelKind::kSvm
+                                 ? ml::MetamodelKind::kGbt
+                                 : ml::MetamodelKind::kSvm)
+                     .ok());
+  }
+}
+
+TEST(PersistentCacheTest, StoresAndReloadsAcrossInstances) {
+  const std::string dir = FreshCacheDir("roundtrip");
+  const Dataset d = MakeData(250, 3, 6);
+  const auto index = BinnedIndex::Build(d);
+
+  {
+    engine::PersistentCache cache(dir);
+    EXPECT_EQ(cache.LoadBinnedIndex(99, BinnedIndex::BuildKind::kExactPack,
+                                    250, 3),
+              nullptr);
+    cache.StoreBinnedIndex(99, *index);
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.index_misses, 1);
+    EXPECT_EQ(stats.index_writes, 1);
+  }
+  {
+    // A second instance (a "second process") sees the file.
+    engine::PersistentCache cache(dir);
+    const auto loaded = cache.LoadBinnedIndex(
+        99, BinnedIndex::BuildKind::kExactPack, 250, 3);
+    ASSERT_NE(loaded, nullptr);
+    EXPECT_EQ(loaded->codes(0), index->codes(0));
+    EXPECT_EQ(cache.stats().index_hits, 1);
+    // Shape or kind mismatches miss instead of returning the wrong index.
+    EXPECT_EQ(cache.LoadBinnedIndex(99, BinnedIndex::BuildKind::kSketch, 250,
+                                    3),
+              nullptr);
+    EXPECT_EQ(cache.LoadBinnedIndex(99, BinnedIndex::BuildKind::kExactPack,
+                                    251, 3),
+              nullptr);
+  }
+}
+
+TEST(PersistentCacheTest, RejectsTamperedFiles) {
+  const std::string dir = FreshCacheDir("tamper");
+  const Dataset d = MakeData(200, 3, 7);
+  const auto index = BinnedIndex::Build(d);
+  engine::PersistentCache cache(dir);
+  cache.StoreBinnedIndex(7, *index);
+
+  // Find the written file and flip a payload byte.
+  std::string file;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    file = entry.path().string();
+  }
+  ASSERT_FALSE(file.empty());
+  {
+    std::fstream f(file, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(0, std::ios::end);
+    const auto size = f.tellg();
+    f.seekp(static_cast<std::streamoff>(size) / 2);
+    f.put('\x7f');
+  }
+  EXPECT_EQ(cache.LoadBinnedIndex(7, BinnedIndex::BuildKind::kExactPack, 200,
+                                  3),
+            nullptr);
+  EXPECT_GE(cache.stats().rejected, 1);
+
+  // Truncation is also rejected.
+  std::filesystem::resize_file(file, 10);
+  EXPECT_EQ(cache.LoadBinnedIndex(7, BinnedIndex::BuildKind::kExactPack, 200,
+                                  3),
+            nullptr);
+  EXPECT_GE(cache.stats().rejected, 2);
+}
+
+// The warm-vs-cold contract, in process: a second engine over the same
+// cache directory reloads the quantization and the trained metamodel
+// instead of rebuilding them, and produces bit-identical results.
+TEST(PersistenceSmokeTest, WarmEngineSkipsIndexBuildAndTraining) {
+  const std::string dir = FreshCacheDir("warmcold");
+  const auto train = std::make_shared<Dataset>(MakeData(400, 4, 8));
+
+  auto run = [&](std::vector<Box>* boxes) -> engine::PersistentCacheStats {
+    engine::EngineConfig config;
+    config.threads = 2;
+    config.cache_dir = dir;
+    engine::DiscoveryEngine engine(config);
+    // "RPx" exercises the metamodel tier (REDS + GBT trains on a miss);
+    // "P" exercises the index tier (binned PRIM on `train` goes through
+    // the engine's BinnedIndex provider).
+    for (const char* method : {"RPx", "P"}) {
+      engine::DiscoveryRequest request;
+      request.train = train;
+      request.method = method;
+      request.options.l_prim = 3000;
+      request.options.tune_metamodel = false;
+      const auto job = engine.Submit(request);
+      job->Wait();
+      EXPECT_EQ(job->state(), engine::JobState::kDone);
+      boxes->push_back(job->output().last_box);
+    }
+    const auto stats = engine.persistent_cache_stats();
+    engine.Shutdown();
+    return stats;
+  };
+
+  std::vector<Box> boxes;
+  const auto cold = run(&boxes);
+  EXPECT_TRUE(std::filesystem::exists(dir));
+  EXPECT_EQ(cold.model_hits, 0);
+  EXPECT_GE(cold.model_writes, 1);
+  EXPECT_GE(cold.index_writes, 1);
+
+  const auto warm = run(&boxes);
+  EXPECT_GE(warm.model_hits, 1) << "warm run must reload, not retrain";
+  EXPECT_EQ(warm.model_misses, 0);
+  EXPECT_GE(warm.index_hits, 1) << "warm run must reload the quantization";
+  ASSERT_EQ(boxes.size(), 4u);
+  EXPECT_TRUE(boxes[0] == boxes[2])
+      << "cold and warm REDS runs must produce bit-identical boxes";
+  EXPECT_TRUE(boxes[1] == boxes[3])
+      << "cold and warm PRIM runs must produce bit-identical boxes";
+}
+
+}  // namespace
+}  // namespace reds
