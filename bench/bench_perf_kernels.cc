@@ -27,6 +27,7 @@
 
 #include "core/best_interval.h"
 #include "core/dataset_source.h"
+#include "core/method.h"
 #include "core/prim.h"
 #include "ml/gbt.h"
 #include "ml/histogram.h"
@@ -473,6 +474,97 @@ KernelResult BenchPrimStreamed(const PerfFlags& flags) {
   return result;
 }
 
+// Grid-valued sampler: every sampled column has `distinct` values, keeping
+// the REDS streamed-vs-materialized pair in the exact-pack regime where
+// the results must match bit for bit.
+sampling::PointSampler GridSampler(int distinct) {
+  return [distinct](Rng* rng, int dim, double* out) {
+    for (int j = 0; j < dim; ++j) {
+      out[j] = static_cast<double>(rng->UniformInt(
+                   static_cast<uint64_t>(distinct))) /
+               distinct;
+    }
+  };
+}
+
+// --- REDS relabeling: materialize L labeled points + exact quantization ---
+// vs the streamed pipeline (generator source -> two-pass sketch build).
+// The metamodel is prefit and shared through the provider hook, so the
+// timing isolates sampling + labeling + indexing -- the part the streamed
+// plan restructures. Codes must match bit for bit (128-distinct grid).
+KernelResult BenchRedsRelabelStreamed(const PerfFlags& flags) {
+  KernelResult result;
+  result.name = "reds_relabel_streamed";
+  const Dataset train = RandomData(flags.n_train / 4, flags.dims,
+                                   flags.seed + 10, /*distinct=*/64);
+  const auto prefit = std::shared_ptr<const ml::Metamodel>(
+      ml::FitDefault(ml::MetamodelKind::kGbt, train, flags.seed + 11));
+  RedsConfig config;
+  config.tune_metamodel = false;
+  config.num_new_points = flags.l_points;
+  config.sampler = GridSampler(128);
+  config.metamodel_provider = [prefit](const Dataset&, ml::MetamodelKind,
+                                       bool, ml::TuningBudget,
+                                       ml::SplitBackend, uint64_t) {
+    return prefit;
+  };
+  result.detail = "L=" + std::to_string(flags.l_points) +
+                  " d=" + std::to_string(flags.dims) + " 128-distinct";
+
+  std::shared_ptr<const BinnedIndex> exact;
+  result.reference_seconds = TimeBest(flags.reps, [&] {
+    const RedsRelabeling r = RedsRelabel(train, config, flags.seed + 12);
+    exact = BinnedIndex::Build(r.new_data);
+  });
+  Result<StreamedDataset> streamed = Status::RuntimeError("not run");
+  result.optimized_seconds = TimeBest(flags.reps, [&] {
+    RedsStreamedRelabeling r =
+        RedsRelabelStreamed(train, config, flags.seed + 12);
+    streamed = BinnedIndex::BuildStreamed(r.new_data.get());
+  });
+  result.identical = streamed.ok();
+  for (int j = 0; j < flags.dims && result.identical; ++j) {
+    result.identical = exact->codes(j) == streamed->index->codes(j);
+  }
+  return result;
+}
+
+// --- End-to-end REDS discovery ("RPx"): the materialized data plan vs ----
+// the streamed one inside RunMethod itself (metamodel fit + relabel +
+// index + peel). On grid-sampled points both plans must discover the
+// identical box sequence.
+KernelResult BenchMethodRedsStreamed(const PerfFlags& flags) {
+  KernelResult result;
+  result.name = "method_reds_streamed_e2e";
+  const Dataset train = RandomData(flags.n_train / 4, flags.dims,
+                                   flags.seed + 13, /*distinct=*/64);
+  RunOptions options;
+  options.l_prim = flags.l_points;
+  options.tune_metamodel = false;
+  options.sampler = GridSampler(128);
+  options.seed = flags.seed + 14;
+  result.detail = "RPx N=" + std::to_string(flags.n_train / 4) +
+                  " L=" + std::to_string(flags.l_points) +
+                  " d=" + std::to_string(flags.dims) + " 128-distinct";
+  const auto spec = MethodSpec::Parse("RPx");
+
+  MethodOutput ref, opt;
+  RunOptions materialized = options;
+  materialized.data_plan = MethodDataPlan::kMaterialized;
+  result.reference_seconds = TimeBest(
+      flags.reps, [&] { ref = RunMethod(*spec, train, materialized); });
+  RunOptions streamed = options;
+  streamed.data_plan = MethodDataPlan::kStreamed;
+  result.optimized_seconds = TimeBest(
+      flags.reps, [&] { opt = RunMethod(*spec, train, streamed); });
+  result.identical = ref.trajectory.size() == opt.trajectory.size() &&
+                     ref.last_box == opt.last_box;
+  for (size_t i = 0; i < ref.trajectory.size() && result.identical; ++i) {
+    result.identical = ref.trajectory[i] == opt.trajectory[i];
+  }
+  return result;
+}
+
 KernelResult BenchBi(const PerfFlags& flags) {
   KernelResult result;
   result.name = "bi_search";
@@ -622,6 +714,8 @@ int main(int argc, char** argv) {
   run(BenchStreamedBuild(flags, /*threads=*/1));
   run(BenchStreamedBuild(flags, flags.threads));
   run(BenchPrimStreamed(flags));
+  run(BenchRedsRelabelStreamed(flags));
+  run(BenchMethodRedsStreamed(flags));
 
   bool all_ok = true;
   for (const auto& r : results) all_ok = all_ok && r.Ok();

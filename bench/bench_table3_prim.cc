@@ -70,6 +70,7 @@ int Main(int argc, char** argv) {
   config.reps = PickReps(flags, 3, 50);
   config.test_size = flags.full ? 20000 : 8000;
   config.options.l_prim = flags.full ? 100000 : 20000;
+  config.options.data_plan = flags.data_plan;
   config.options.bumping_q = flags.full ? 50 : 20;
   config.options.tune_metamodel = flags.full;
   config.options.budget =

@@ -2,6 +2,8 @@
 //
 //   ./build/examples/streaming_discovery [data.csv]
 //       [--block N] [--alpha A] [--cache-dir DIR] [--expect-warm]
+//       [--reds-smoke L] [--data-plan streamed|materialized]
+//       [--function NAME] [--n N0]
 //
 // The CSV must have a header, numeric cells, and the *last* column as the
 // outcome. Without a path the tool writes a demo CSV from the lake model.
@@ -10,18 +12,32 @@
 // passes (mergeable quantile sketches, then uint8 bin codes) build a
 // BinnedIndex without ever materializing the double matrix, and PRIM peels
 // on the quantized codes alone. With --cache-dir the engine's persistent
-// tier is exercised on the same data: a REDS request trains (cold) or
-// reloads (warm) its metamodel there, and --expect-warm makes the process
-// fail unless the run was served from the cache -- the CI warm-vs-cold
-// smoke runs this binary twice with one temp directory.
+// tier is exercised on the same data through *source-based* requests
+// (DiscoveryRequest::make_train_source): a REDS request trains (cold) or
+// reloads (warm) its metamodel there, a plain PRIM request runs fully
+// streamed against the cached quantization, and --expect-warm makes the
+// process fail unless both tiers served hits -- the CI warm-vs-cold smoke
+// runs this binary twice with one temp directory.
+//
+// --reds-smoke L runs an end-to-end REDS discovery ("RPx") with L
+// metamodel-labeled points on a generated dataset and prints the peak RSS:
+// under --data-plan streamed the relabeled points never materialize
+// (O(block) doubles + L x M uint8 codes resident), so the run fits a hard
+// memory cap (ulimit) that the materialized plan cannot -- the CI
+// memory-ceiling smoke asserts exactly that.
+#include <sys/resource.h>
+
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
 
 #include "core/dataset_source.h"
+#include "core/method.h"
 #include "core/prim.h"
 #include "engine/discovery_engine.h"
+#include "functions/datagen.h"
+#include "functions/registry.h"
 #include "functions/thirdparty.h"
 #include "util/table.h"
 
@@ -38,6 +54,41 @@ reds::Status WriteDemoCsv(const std::string& path) {
   return csv.WriteFile(path);
 }
 
+double PeakRssMb() {
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // Linux: KiB
+}
+
+// End-to-end REDS under a chosen data plan, for the memory-ceiling smoke.
+int RunRedsSmoke(const std::string& function_name, int n, int l,
+                 reds::MethodDataPlan plan) {
+  using namespace reds;
+  auto function = fun::MakeFunction(function_name);
+  if (!function.ok()) {
+    std::fprintf(stderr, "%s\n", function.status().ToString().c_str());
+    return 1;
+  }
+  const Dataset train = fun::MakeScenarioDataset(
+      **function, n, fun::DesignKind::kLatinHypercube, /*seed=*/1);
+  RunOptions options;
+  options.l_prim = l;
+  options.tune_metamodel = false;
+  options.data_plan = plan;
+  options.seed = 7;
+  const MethodOutput out =
+      RunMethod(*MethodSpec::Parse("RPx"), train, options);
+  std::printf(
+      "reds-smoke: %s, N=%d, L=%d, plan=%s\n"
+      "  trajectory %zu boxes, last box restricts %d of %d inputs\n"
+      "  runtime %.2fs, peak RSS %.1f MB\n",
+      function_name.c_str(), n, l,
+      plan == MethodDataPlan::kStreamed ? "streamed" : "materialized",
+      out.trajectory.size(), out.last_box.NumRestricted(),
+      (*function)->dim(), out.runtime_seconds, PeakRssMb());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -45,6 +96,10 @@ int main(int argc, char** argv) {
 
   std::string path;
   std::string cache_dir;
+  std::string smoke_function = "morris";
+  int smoke_n = 300;
+  int reds_smoke_l = 0;
+  MethodDataPlan data_plan = MethodDataPlan::kStreamed;
   bool expect_warm = false;
   StreamedBuildOptions build_options;
   build_options.threads = 2;
@@ -66,6 +121,22 @@ int main(int argc, char** argv) {
       cache_dir = next();
     } else if (arg == "--expect-warm") {
       expect_warm = true;
+    } else if (arg == "--reds-smoke") {
+      reds_smoke_l = std::atoi(next());
+    } else if (arg == "--data-plan") {
+      const std::string plan = next();
+      if (plan == "streamed") {
+        data_plan = MethodDataPlan::kStreamed;
+      } else if (plan == "materialized") {
+        data_plan = MethodDataPlan::kMaterialized;
+      } else {
+        std::fprintf(stderr, "--data-plan must be streamed or materialized\n");
+        return 2;
+      }
+    } else if (arg == "--function") {
+      smoke_function = next();
+    } else if (arg == "--n") {
+      smoke_n = std::atoi(next());
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
       return 2;
@@ -73,6 +144,11 @@ int main(int argc, char** argv) {
       path = arg;
     }
   }
+
+  if (reds_smoke_l > 0) {
+    return RunRedsSmoke(smoke_function, smoke_n, reds_smoke_l, data_plan);
+  }
+
   if (path.empty()) {
     path = "/tmp/reds_demo_lake.csv";
     const Status s = WriteDemoCsv(path);
@@ -120,33 +196,46 @@ int main(int argc, char** argv) {
   std::printf("  training precision %.3f, recall %.3f\n", best.precision,
               best.recall);
 
-  // --- Persistent cache tier (optional). ---------------------------------
+  // --- Persistent cache tier (optional), driven by source requests. ------
+  // Both jobs hand the engine a DatasetSource factory instead of a
+  // materialized Dataset: "RPx" exercises the metamodel tier (the engine
+  // fingerprints the stream, then trains cold / reloads warm), "P" runs
+  // fully streamed against the streamed-index tier (BuildStreamed cold,
+  // LoadStreamedIndex warm).
   if (!cache_dir.empty()) {
-    auto all = ReadAll(source->get());  // small demo data fits in memory
-    if (!all.ok()) {
-      std::fprintf(stderr, "%s\n", all.status().ToString().c_str());
-      return 1;
-    }
-    const auto data = std::make_shared<Dataset>(*std::move(all));
     engine::EngineConfig config;
     config.cache_dir = cache_dir;
     engine::DiscoveryEngine engine(config);
     for (const char* method : {"RPx", "P"}) {
       engine::DiscoveryRequest request;
-      request.train = data;
+      request.make_train_source = [path]() -> std::unique_ptr<DatasetSource> {
+        auto csv = CsvFileSource::Open(path);
+        if (!csv.ok()) {
+          std::fprintf(stderr, "cannot open training stream: %s\n",
+                       csv.status().ToString().c_str());
+          return nullptr;
+        }
+        return std::unique_ptr<DatasetSource>(std::move(*csv));
+      };
       request.method = method;
       request.options.l_prim = 20000;
       request.options.tune_metamodel = false;
-      engine.Submit(request)->Wait();
+      const engine::JobHandle job = engine.Submit(request);
+      job->Wait();
+      if (job->state() == engine::JobState::kFailed) {
+        std::fprintf(stderr, "job %s failed: %s\n", method,
+                     job->error().c_str());
+        return 1;
+      }
     }
     const engine::PersistentCacheStats stats = engine.persistent_cache_stats();
     engine.Shutdown();
     std::printf(
         "\npersistent cache (%s):\n  index  hits %d  misses %d  writes %d\n"
-        "  model  hits %d  misses %d  writes %d\n  rejected %d\n",
+        "  model  hits %d  misses %d  writes %d\n  rejected %d  evicted %d\n",
         cache_dir.c_str(), stats.index_hits, stats.index_misses,
         stats.index_writes, stats.model_hits, stats.model_misses,
-        stats.model_writes, stats.rejected);
+        stats.model_writes, stats.rejected, stats.evictions);
     if (expect_warm && (stats.model_hits < 1 || stats.index_hits < 1)) {
       std::fprintf(stderr,
                    "ERROR: --expect-warm but the cache served no hits "

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <chrono>
 #include <cmath>
+#include <stdexcept>
 
 #include "core/quality.h"
 #include "util/rng.h"
@@ -209,18 +210,41 @@ double CrossValidateAlpha(const Dataset& d, const RunOptions& options,
   return best_alpha;
 }
 
-MethodOutput RunMethod(const MethodSpec& spec, const Dataset& train,
-                       const RunOptions& options) {
-  const auto start = std::chrono::steady_clock::now();
-  MethodOutput out;
+namespace {
+
+// REDS configuration of one run, shared by the materialized and streamed
+// relabeling paths (identical seeds in, identical metamodels and point
+// streams out).
+RedsConfig RedsConfigFor(const MethodSpec& spec, const RunOptions& options) {
+  RedsConfig config;
+  config.metamodel = spec.metamodel;
+  config.tune_metamodel = options.tune_metamodel;
+  config.budget = options.budget;
+  config.probability_labels = spec.probability_labels;
+  config.num_new_points = spec.family == MethodSpec::Family::kBi
+                              ? options.l_bi
+                              : options.l_prim;
+  config.split_backend = options.split_backend;
+  config.sampler = options.sampler;
+  config.metamodel_provider = options.metamodel_provider;
+  return config;
+}
+
+}  // namespace
+
+MethodPlan PlanMethod(const MethodSpec& spec, const Dataset& train,
+                      const RunOptions& options) {
+  MethodPlan plan;
+  plan.spec = spec;
   const int dims = train.num_cols();
 
   // Hyperparameters of the SD algorithm are always optimized on the original
   // data D, not on REDS's relabeled D_new (paper Section 8.4.3).
-  double alpha = options.default_alpha;
-  int m = dims;
+  plan.alpha = options.default_alpha;
+  plan.m = dims;
   if (spec.tuned && spec.IsPrimFamily()) {
-    alpha = CrossValidateAlpha(train, options, DeriveSeed(options.seed, 11));
+    plan.alpha =
+        CrossValidateAlpha(train, options, DeriveSeed(options.seed, 11));
   }
   if (spec.tuned && spec.family == MethodSpec::Family::kBi) {
     // Folds (and their indexes) are identical for every m candidate: build
@@ -234,14 +258,14 @@ MethodOutput RunMethod(const MethodSpec& spec, const Dataset& train,
           CvWraccForM(splits, indexes, candidate, spec.beam_size);
       if (score > best_score) {
         best_score = score;
-        m = candidate;
+        plan.m = candidate;
       }
     }
   }
   if (spec.tuned && spec.family == MethodSpec::Family::kPrimBumping) {
     BumpingConfig base;
     base.q = options.bumping_q;
-    base.prim.alpha = alpha;
+    base.prim.alpha = plan.alpha;
     base.prim.min_points = options.min_points;
     double best_score = -1e300;
     for (int candidate : MGrid(dims)) {
@@ -249,12 +273,54 @@ MethodOutput RunMethod(const MethodSpec& spec, const Dataset& train,
           train, candidate, base, options.cv_folds, DeriveSeed(options.seed, 17));
       if (score > best_score) {
         best_score = score;
-        m = candidate;
+        plan.m = candidate;
       }
     }
   }
-  out.chosen_alpha = alpha;
-  out.chosen_m = m;
+
+  // Data plan: only REDS + plain PRIM has a streamed discovery kernel
+  // (RunPrimStreamed); BI's beam refinement and bumping's per-replicate
+  // subsets need raw doubles and keep the materializing fallback.
+  plan.streamed_relabel = options.data_plan == MethodDataPlan::kStreamed &&
+                          spec.reds &&
+                          spec.family == MethodSpec::Family::kPrim;
+  return plan;
+}
+
+MethodOutput ExecuteMethodPlan(const MethodPlan& plan, const Dataset& train,
+                               const RunOptions& options) {
+  const MethodSpec& spec = plan.spec;
+  MethodOutput out;
+  out.chosen_alpha = plan.alpha;
+  out.chosen_m = plan.m;
+
+  // Streamed REDS + PRIM: the L relabeled points flow sampler ->
+  // metamodel labeling -> sketch binning -> binned peeling as a chunked
+  // stream. Only O(stream_block_rows x M) relabeled doubles are ever
+  // resident (plus the L x M uint8 codes of the quantization); the dense
+  // relabeled Dataset of the materialized path below never exists. The
+  // original simulated sample stays on as validation data either way, so
+  // box selection is grounded in real labels.
+  if (plan.streamed_relabel) {
+    RedsStreamedRelabeling relabeling = RedsRelabelStreamed(
+        train, RedsConfigFor(spec, options), DeriveSeed(options.seed, 23));
+    StreamedBuildOptions build;
+    build.block_rows = options.stream_block_rows;
+    Result<StreamedDataset> streamed =
+        BinnedIndex::BuildStreamed(relabeling.new_data.get(), build);
+    if (!streamed.ok()) {
+      throw std::runtime_error("streamed REDS relabeling failed: " +
+                               streamed.status().ToString());
+    }
+    PrimConfig config;
+    config.alpha = plan.alpha;
+    config.min_points = options.min_points;
+    const PrimResult r =
+        RunPrimStreamed(*streamed->index, streamed->y, config, &train);
+    out.trajectory = r.ReturnedBoxes();
+    out.last_box = r.BestBox();
+    return out;
+  }
 
   // REDS: replace the data the SD algorithm sees. The original simulated
   // examples stay on as validation data, so box selection (and bumping's
@@ -264,19 +330,8 @@ MethodOutput RunMethod(const MethodSpec& spec, const Dataset& train,
   const Dataset* sd_val = &train;
   Dataset relabeled;
   if (spec.reds) {
-    RedsConfig config;
-    config.metamodel = spec.metamodel;
-    config.tune_metamodel = options.tune_metamodel;
-    config.budget = options.budget;
-    config.probability_labels = spec.probability_labels;
-    config.num_new_points = spec.family == MethodSpec::Family::kBi
-                                ? options.l_bi
-                                : options.l_prim;
-    config.split_backend = options.split_backend;
-    config.sampler = options.sampler;
-    config.metamodel_provider = options.metamodel_provider;
-    RedsRelabeling relabeling =
-        RedsRelabel(train, config, DeriveSeed(options.seed, 23));
+    RedsRelabeling relabeling = RedsRelabel(train, RedsConfigFor(spec, options),
+                                            DeriveSeed(options.seed, 23));
     relabeled = std::move(relabeling.new_data);
     sd_data = &relabeled;
   }
@@ -301,7 +356,7 @@ MethodOutput RunMethod(const MethodSpec& spec, const Dataset& train,
   switch (spec.family) {
     case MethodSpec::Family::kPrim: {
       PrimConfig config;
-      config.alpha = alpha;
+      config.alpha = plan.alpha;
       config.min_points = options.min_points;
       const PrimResult r =
           RunPrim(*sd_data, *sd_val, config, sd_index.get(), sd_binned.get());
@@ -312,8 +367,8 @@ MethodOutput RunMethod(const MethodSpec& spec, const Dataset& train,
     case MethodSpec::Family::kPrimBumping: {
       BumpingConfig config;
       config.q = options.bumping_q;
-      config.m = m;
-      config.prim.alpha = alpha;
+      config.m = plan.m;
+      config.prim.alpha = plan.alpha;
       config.prim.min_points = options.min_points;
       const BumpingResult r = RunPrimBumping(*sd_data, *sd_val, config,
                                              DeriveSeed(options.seed, 29));
@@ -324,14 +379,47 @@ MethodOutput RunMethod(const MethodSpec& spec, const Dataset& train,
     case MethodSpec::Family::kBi: {
       BiConfig config;
       config.beam_size = spec.beam_size;
-      config.max_restricted = m;
+      config.max_restricted = plan.m;
       const BiResult r = RunBi(*sd_data, config, sd_index.get());
       out.trajectory = {r.box};
       out.last_box = r.box;
       break;
     }
   }
+  return out;
+}
 
+MethodOutput RunMethod(const MethodSpec& spec, const Dataset& train,
+                       const RunOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  const MethodPlan plan = PlanMethod(spec, train, options);
+  MethodOutput out = ExecuteMethodPlan(plan, train, options);
+  out.runtime_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return out;
+}
+
+MethodOutput RunMethodOnStream(const MethodSpec& spec,
+                               const BinnedIndex& binned,
+                               const std::vector<double>& y,
+                               const RunOptions& options) {
+  if (spec.reds || spec.tuned || spec.family != MethodSpec::Family::kPrim) {
+    throw std::invalid_argument(
+        "RunMethodOnStream supports only untuned plain PRIM (\"" +
+        spec.ToName() +
+        "\" needs raw doubles; materialize the source and use RunMethod)");
+  }
+  const auto start = std::chrono::steady_clock::now();
+  MethodOutput out;
+  out.chosen_alpha = options.default_alpha;
+  out.chosen_m = binned.num_cols();
+  PrimConfig config;
+  config.alpha = options.default_alpha;
+  config.min_points = options.min_points;
+  const PrimResult r = RunPrimStreamed(binned, y, config);
+  out.trajectory = r.ReturnedBoxes();
+  out.last_box = r.BestBox();
   out.runtime_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();

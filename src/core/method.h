@@ -41,6 +41,21 @@ struct MethodSpec {
   bool IsPrimFamily() const { return family != Family::kBi; }
 };
 
+/// How the method layer ingests the data its SD algorithm scans.
+///   kMaterialized: REDS relabeling produces a dense L x M double Dataset
+///                  (the pre-PR 5 behavior), indexed and peeled in memory.
+///   kStreamed:     REDS + PRIM flows RedsRelabelStreamed ->
+///                  BinnedIndex::BuildStreamed -> RunPrimStreamed: the L
+///                  relabeled points exist only as O(block) doubles in
+///                  flight plus L x M uint8 codes, never as a double
+///                  matrix. Bit-identical boxes to kMaterialized in the
+///                  exact-pack regime (every sampled column <= 256 distinct
+///                  values); within the sketch's rank-error bound
+///                  otherwise. Methods without a streamed kernel (BI,
+///                  bumping, and every non-REDS family) always materialize
+///                  regardless of this knob.
+enum class MethodDataPlan { kMaterialized, kStreamed };
+
 /// Knobs shared by all methods in one experiment (paper Table 2 defaults).
 struct RunOptions {
   double default_alpha = 0.05;  // peeling fraction when not tuned
@@ -70,6 +85,13 @@ struct RunOptions {
   /// ColumnIndex cache) so a batch quantizes once. When empty, kernels
   /// quantize privately.
   BinnedIndexProvider binned_index_provider;
+  /// Data plan of the relabeled dataset; see MethodDataPlan. The default
+  /// streams REDS + PRIM.
+  MethodDataPlan data_plan = MethodDataPlan::kStreamed;
+  /// Rows per block on the streamed plan (both the relabeling generator
+  /// and BuildStreamed pull this granularity). Peak relabeled-double
+  /// residency is O(stream_block_rows x M).
+  int stream_block_rows = 8192;
 };
 
 /// What a method run produces: a trajectory of boxes to assess (nested
@@ -83,9 +105,50 @@ struct MethodOutput {
   double runtime_seconds = 0.0;
 };
 
-/// Runs the method on `train` (D_val = D as in the paper's experiments).
+/// A method run, resolved: hyperparameters tuned on the original data and
+/// the data plan decided. PlanMethod performs the tune step (always on D,
+/// never on the relabeled D_new -- paper Section 8.4.3); ExecuteMethodPlan
+/// performs relabel -> index -> discover. RunMethod is the composition;
+/// the split lets callers (and tests) run the expensive tuning once and
+/// execute the same plan under different data plans.
+struct MethodPlan {
+  MethodSpec spec;
+  double alpha = 0.05;  // PRIM family peeling fraction (tuned or default)
+  int m = 0;            // bumping / BI restriction budget (tuned or M)
+  /// True when execution streams the relabeled data (REDS + plain PRIM
+  /// under MethodDataPlan::kStreamed); everything else materializes.
+  bool streamed_relabel = false;
+};
+
+/// Tune step: resolves hyperparameters (CV on D for the "c" variants) and
+/// the data plan.
+MethodPlan PlanMethod(const MethodSpec& spec, const Dataset& train,
+                      const RunOptions& options);
+
+/// Relabel -> index -> discover for a resolved plan. On the streamed plan
+/// the relabeled points flow RedsRelabelStreamed -> BuildStreamed ->
+/// RunPrimStreamed (validated on `train`, exactly like the materialized
+/// path's RunPrim(D_new, D)) and the dense relabeled matrix never exists.
+MethodOutput ExecuteMethodPlan(const MethodPlan& plan, const Dataset& train,
+                               const RunOptions& options);
+
+/// Runs the method on `train` (D_val = D as in the paper's experiments):
+/// PlanMethod + ExecuteMethodPlan + wall-time accounting.
 MethodOutput RunMethod(const MethodSpec& spec, const Dataset& train,
                        const RunOptions& options);
+
+/// Runs a method directly on streamed, already-quantized training data --
+/// the fully streamed entry point for sources too large to materialize
+/// (the engine uses it for DatasetSource requests). Supported specs: the
+/// untuned plain PRIM family ("P"); everything else needs raw doubles
+/// (tuning folds, metamodel training, BI/bumping scans) and must go
+/// through RunMethod on a materialized dataset. Throws
+/// std::invalid_argument for unsupported specs. `binned` must carry its
+/// own permutation (BuildStreamed output); `y` holds one label per row.
+MethodOutput RunMethodOnStream(const MethodSpec& spec,
+                               const BinnedIndex& binned,
+                               const std::vector<double>& y,
+                               const RunOptions& options);
 
 /// Cross-validates the peeling fraction for plain PRIM over the paper's grid
 /// {0.03, 0.05, 0.07, 0.1, 0.13, 0.16, 0.2}, maximizing held-out PR AUC.

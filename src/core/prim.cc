@@ -838,35 +838,49 @@ std::vector<Box> PrimResult::ReturnedBoxes() const {
 
 namespace {
 
-// The peeling loop, generic over the peel-state backend (both expose the
-// same MakeCandidate/Apply interface and produce bit-identical Peels).
+// The peeling loop, generic over the peel-state backend (all three expose
+// the same MakeCandidate/Apply interface and produce bit-identical Peels).
+// The training data lives entirely inside the state -- this loop only
+// needs its shape and label mass -- so the same code runs materialized
+// (PeelState/BinnedPeelState) and streamed (CodePeelState) datasets.
+// `val` may be null (the streamed D_val = D case): validation stats then
+// mirror the training stats and the geometric validation cut is exactly
+// the applied peel, so there is nothing separate to track.
 template <typename State>
-PrimResult RunPeelingPhase(const Dataset& train, const Dataset& val,
+PrimResult RunPeelingPhase(int dims, double train_rows,
+                           double total_train_pos, const Dataset* val,
                            const PrimConfig& config, State* state) {
-  const int dims = train.num_cols();
-  const double total_train_pos = train.TotalPositive();
-  const double total_val_pos = val.TotalPositive();
+  const bool external_val = val != nullptr;
+  const double total_val_pos =
+      external_val ? val->TotalPositive() : total_train_pos;
 
   PrimResult result;
   Box box = Box::Unbounded(dims);
 
-  std::vector<int> val_rows(static_cast<size_t>(val.num_rows()));
-  for (int i = 0; i < val.num_rows(); ++i) val_rows[static_cast<size_t>(i)] = i;
-  BoxStats train_stats{static_cast<double>(train.num_rows()), total_train_pos};
-  BoxStats val_stats{static_cast<double>(val.num_rows()), total_val_pos};
+  std::vector<int> val_rows;
+  BoxStats train_stats{train_rows, total_train_pos};
+  BoxStats val_stats = train_stats;
+  if (external_val) {
+    val_rows.resize(static_cast<size_t>(val->num_rows()));
+    for (int i = 0; i < val->num_rows(); ++i) {
+      val_rows[static_cast<size_t>(i)] = i;
+    }
+    val_stats = {static_cast<double>(val->num_rows()), total_val_pos};
+  }
 
   auto record = [&]() {
     result.boxes.push_back(box);
     result.train_curve.push_back(
         {Recall(train_stats, total_train_pos), Precision(train_stats)});
-    result.val_curve.push_back(
-        {Recall(val_stats, total_val_pos), Precision(val_stats)});
+    const BoxStats& v = external_val ? val_stats : train_stats;
+    result.val_curve.push_back({Recall(v, total_val_pos), Precision(v)});
   };
   record();
 
   std::unique_ptr<ThreadPool> pool;
   std::vector<Peel> candidates;
-  while (train_stats.n >= config.min_points && val_stats.n >= config.min_points) {
+  while (train_stats.n >= config.min_points &&
+         (!external_val || val_stats.n >= config.min_points)) {
     Peel best;
     // Highest precision wins; break ties patiently (remove fewer points).
     auto consider = [&best](const Peel& cand) {
@@ -911,23 +925,23 @@ PrimResult RunPeelingPhase(const Dataset& train, const Dataset& val,
     }
     state->Apply(best, &train_stats);
     // Apply the same geometric cut to the validation points.
-    {
+    if (external_val) {
       size_t kept = 0;
       for (size_t i = 0; i < val_rows.size(); ++i) {
         const int r = val_rows[i];
-        const double x = val.x(r, best.dim);
+        const double x = val->x(r, best.dim);
         const bool removed = best.low_side ? x < best.bound : x > best.bound;
         if (removed) {
           val_stats.n -= 1.0;
-          val_stats.n_pos -= val.y(r);
+          val_stats.n_pos -= val->y(r);
         } else {
           val_rows[kept++] = r;
         }
       }
       val_rows.resize(kept);
     }
-    if (train_stats.n == 0.0 || val_stats.n == 0.0) {
-      // Validation support vanished; the last recorded box stands.
+    if (train_stats.n == 0.0 || (external_val && val_stats.n == 0.0)) {
+      // Support vanished; the last recorded box stands.
       break;
     }
     record();
@@ -972,10 +986,14 @@ PrimResult RunPrim(const Dataset& train, const Dataset& val,
     assert(train_binned->num_rows() == train.num_rows());
     assert(train_binned->num_cols() == train.num_cols());
     BinnedPeelState state(train, *train_index, *train_binned);
-    result = RunPeelingPhase(train, val, config, &state);
+    result = RunPeelingPhase(train.num_cols(),
+                             static_cast<double>(train.num_rows()),
+                             train.TotalPositive(), &val, config, &state);
   } else {
     PeelState state(train, *train_index);
-    result = RunPeelingPhase(train, val, config, &state);
+    result = RunPeelingPhase(train.num_cols(),
+                             static_cast<double>(train.num_rows()),
+                             train.TotalPositive(), &val, config, &state);
   }
 
   if (config.paste) {
@@ -987,68 +1005,26 @@ PrimResult RunPrim(const Dataset& train, const Dataset& val,
 
 PrimResult RunPrimStreamed(const BinnedIndex& binned,
                            const std::vector<double>& y,
-                           const PrimConfig& config) {
+                           const PrimConfig& config, const Dataset* val) {
   assert(binned.has_sorted_rows() &&
          "RunPrimStreamed needs a streamed/deserialized index with its own "
          "permutation");
   assert(static_cast<int>(y.size()) == binned.num_rows());
   assert(binned.num_rows() > 0);
-  const int dims = binned.num_cols();
+  assert(val == nullptr || val->num_cols() == binned.num_cols());
+  assert(val == nullptr || val->num_rows() > 0);
   double total_pos = 0.0;
   for (double v : y) total_pos += v;
 
-  // The peeling loop of RunPeelingPhase with D_val = D: validation stats
-  // are the training stats, and the geometric validation cut is exactly
-  // the applied peel. Pasting needs raw values, so it is skipped.
+  // The shared peeling loop on the quantized plane: CodePeelState is just
+  // another peel-state backend, so the loop -- candidate selection,
+  // validation tracking, box selection -- is the exact code the
+  // materialized kernels run. Pasting needs raw training values, so it is
+  // skipped.
   CodePeelState state(binned, y);
-  PrimResult result;
-  Box box = Box::Unbounded(dims);
-  BoxStats stats{static_cast<double>(binned.num_rows()), total_pos};
-
-  auto record = [&]() {
-    result.boxes.push_back(box);
-    result.train_curve.push_back(
-        {Recall(stats, total_pos), Precision(stats)});
-    result.val_curve.push_back({Recall(stats, total_pos), Precision(stats)});
-  };
-  record();
-
-  while (stats.n >= config.min_points) {
-    Peel best;
-    // Highest precision wins; break ties patiently (remove fewer points).
-    for (int j = 0; j < dims; ++j) {
-      for (bool low : {true, false}) {
-        const Peel cand = state.MakeCandidate(j, low, config.alpha, stats);
-        if (cand.dim < 0) continue;
-        if (cand.precision_after > best.precision_after ||
-            (cand.precision_after == best.precision_after && best.dim >= 0 &&
-             cand.removed_n < best.removed_n)) {
-          best = cand;
-        }
-      }
-    }
-    if (best.dim < 0) break;  // box is a single bin block in every dimension
-
-    if (best.low_side) {
-      box.set_lo(best.dim, std::max(box.lo(best.dim), best.bound));
-    } else {
-      box.set_hi(best.dim, std::min(box.hi(best.dim), best.bound));
-    }
-    state.Apply(best, &stats);
-    if (stats.n == 0.0) break;  // support vanished; last recorded box stands
-    record();
-  }
-
-  int best_index = 0;
-  double best_precision = -1.0;
-  for (size_t i = 0; i < result.val_curve.size(); ++i) {
-    if (result.val_curve[i].precision > best_precision) {
-      best_precision = result.val_curve[i].precision;
-      best_index = static_cast<int>(i);
-    }
-  }
-  result.best_val_index = best_index;
-  return result;
+  return RunPeelingPhase(binned.num_cols(),
+                         static_cast<double>(binned.num_rows()), total_pos,
+                         val, config, &state);
 }
 
 }  // namespace reds

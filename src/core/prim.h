@@ -85,13 +85,22 @@ PrimResult RunPrimReference(const Dataset& train, const Dataset& val,
 /// boundaries (bin_first for lower bounds, bin_last for upper bounds):
 /// bit-identical to RunPrim whenever every feature has at most max_bins
 /// distinct values (each bin is one value), within the sketch's rank-error
-/// bound otherwise. `y` holds one label per row. Validation data is the
-/// training data (the paper's D_val = D); the pasting phase and
-/// PrimConfig::threads are not supported on this path. Requires
-/// binned.has_sorted_rows().
+/// bound otherwise. `y` holds one label per row.
+///
+/// `val` selects the box exactly as RunPrim's validation data does: it
+/// limits the peeling depth (min_points) and picks the returned box by
+/// validation precision. Null means D_val = D (the paper's default, and
+/// the only option when nothing but the stream exists); the streamed REDS
+/// driver passes the original simulated sample here, so box selection is
+/// grounded in real labels just like the materialized path's
+/// RunPrim(D_new, D). It runs the same peeling loop as RunPrim (including
+/// block-parallel candidate evaluation under PrimConfig::threads); only
+/// the pasting phase, which needs raw training values, is unsupported.
+/// Requires binned.has_sorted_rows().
 PrimResult RunPrimStreamed(const BinnedIndex& binned,
                            const std::vector<double>& y,
-                           const PrimConfig& config);
+                           const PrimConfig& config,
+                           const Dataset* val = nullptr);
 
 }  // namespace reds
 

@@ -1,6 +1,8 @@
 #include "core/reds.h"
 
+#include <algorithm>
 #include <cassert>
+#include <utility>
 
 #include "util/rng.h"
 
@@ -29,13 +31,82 @@ Dataset LabelPoints(const ml::Metamodel& model, const std::vector<double>& x,
   out.Reserve(n);
   for (int i = 0; i < n; ++i) {
     const double* row = x.data() + static_cast<size_t>(i) * num_cols;
-    const double p = model.PredictProb(row);
-    out.AddRow(row, probability_labels ? p : (p > 0.5 ? 1.0 : 0.0));
+    out.AddRow(row, MetamodelLabel(model, row, probability_labels));
   }
   return out;
 }
 
+// D_new as a stream: one sequential sampler RNG draws the points in row
+// order and the metamodel labels each block in place. Replaying the RNG
+// from the same derived seed on Reset() makes both build passes (and any
+// block size) see the identical row sequence -- and, because the seed
+// derivation and the per-row sampler/label calls are exactly RedsRelabel's,
+// the stream is bit-identical to the materialized new_data.
+class RedsRelabelSource : public DatasetSource {
+ public:
+  RedsRelabelSource(std::shared_ptr<const ml::Metamodel> metamodel,
+                    sampling::PointSampler sampler, int num_cols,
+                    int64_t num_rows, uint64_t sampler_seed,
+                    bool probability_labels)
+      : metamodel_(std::move(metamodel)),
+        sampler_(std::move(sampler)),
+        num_cols_(num_cols),
+        num_rows_(num_rows),
+        sampler_seed_(sampler_seed),
+        probability_labels_(probability_labels),
+        rng_(sampler_seed) {}
+
+  int num_cols() const override { return num_cols_; }
+  int64_t num_rows_hint() const override { return num_rows_; }
+
+  Status Reset() override {
+    rng_ = Rng(sampler_seed_);
+    cursor_ = 0;
+    return Status::OK();
+  }
+
+  Result<RowBlock> NextBlock(int max_rows) override {
+    if (max_rows <= 0) {
+      return Status::InvalidArgument("NextBlock needs max_rows >= 1");
+    }
+    RowBlock block;
+    const int take =
+        static_cast<int>(std::min<int64_t>(max_rows, num_rows_ - cursor_));
+    if (take <= 0) return block;
+    x_buf_.resize(static_cast<size_t>(take) * num_cols_);
+    y_buf_.resize(static_cast<size_t>(take));
+    for (int r = 0; r < take; ++r) {
+      double* x = x_buf_.data() + static_cast<size_t>(r) * num_cols_;
+      sampler_(&rng_, num_cols_, x);
+      y_buf_[static_cast<size_t>(r)] =
+          MetamodelLabel(*metamodel_, x, probability_labels_);
+    }
+    cursor_ += take;
+    block.x = la::ConstMatrixView(x_buf_.data(), take, num_cols_);
+    block.y = y_buf_.data();
+    return block;
+  }
+
+ private:
+  std::shared_ptr<const ml::Metamodel> metamodel_;
+  sampling::PointSampler sampler_;
+  int num_cols_;
+  int64_t num_rows_;
+  uint64_t sampler_seed_;
+  bool probability_labels_;
+  Rng rng_;
+  int64_t cursor_ = 0;
+  std::vector<double> x_buf_;
+  std::vector<double> y_buf_;
+};
+
 }  // namespace
+
+double MetamodelLabel(const ml::Metamodel& model, const double* x,
+                      bool probability_labels) {
+  const double p = model.PredictProb(x);
+  return probability_labels ? p : (p > 0.5 ? 1.0 : 0.0);
+}
 
 RedsRelabeling RedsRelabel(const Dataset& d, const RedsConfig& config,
                            uint64_t seed) {
@@ -65,6 +136,23 @@ RedsRelabeling RedsRelabelPoints(const Dataset& d,
   out.metamodel = FitMetamodel(d, config, DeriveSeed(seed, 1));
   out.new_data = LabelPoints(*out.metamodel, unlabeled_x, d.num_cols(),
                              config.probability_labels);
+  return out;
+}
+
+RedsStreamedRelabeling RedsRelabelStreamed(const Dataset& d,
+                                           const RedsConfig& config,
+                                           uint64_t seed) {
+  assert(d.num_rows() > 0 && config.num_new_points > 0);
+  RedsStreamedRelabeling out;
+  // Shared seed derivation with RedsRelabel: sub-stream 1 trains the
+  // metamodel, sub-stream 2 drives the sampler, so the two paths produce
+  // the identical metamodel and the identical point sequence.
+  out.metamodel = FitMetamodel(d, config, DeriveSeed(seed, 1));
+  sampling::PointSampler sampler =
+      config.sampler ? config.sampler : sampling::MakeUniformSampler();
+  out.new_data = std::make_unique<RedsRelabelSource>(
+      out.metamodel, std::move(sampler), d.num_cols(), config.num_new_points,
+      DeriveSeed(seed, 2), config.probability_labels);
   return out;
 }
 

@@ -10,6 +10,7 @@
 #include <memory>
 
 #include "core/dataset.h"
+#include "core/dataset_source.h"
 #include "ml/histogram.h"
 #include "ml/model.h"
 #include "ml/tuning.h"
@@ -58,6 +59,30 @@ RedsRelabeling RedsRelabel(const Dataset& d, const RedsConfig& config,
 RedsRelabeling RedsRelabelPoints(const Dataset& d,
                                  const std::vector<double>& unlabeled_x,
                                  const RedsConfig& config, uint64_t seed);
+
+/// The one place REDS label semantics live: probability labels ("p"
+/// variants) return f_am(x) in [0,1]; hard labels threshold at 0.5. Every
+/// relabeling path -- materialized, point-wise, and streamed -- labels
+/// through this helper, so the paths cannot drift apart.
+double MetamodelLabel(const ml::Metamodel& model, const double* x,
+                      bool probability_labels);
+
+/// Streamed REDS relabeling: the metamodel is obtained exactly as in
+/// RedsRelabel (provider hook or inline fit, same seed derivation), but
+/// D_new is returned as a DatasetSource that samples fresh points and
+/// labels them with the metamodel block by block. The row stream is
+/// bit-identical to RedsRelabel's materialized new_data -- one sequential
+/// sampler RNG seeded from the shared derivation, replayed on Reset() --
+/// so streamed and in-memory REDS quantize to identical bins in the
+/// exact-pack regime while only O(block) relabeled doubles ever exist.
+struct RedsStreamedRelabeling {
+  std::unique_ptr<DatasetSource> new_data;  // owns sampler state + labeling
+  std::shared_ptr<const ml::Metamodel> metamodel;
+};
+
+RedsStreamedRelabeling RedsRelabelStreamed(const Dataset& d,
+                                           const RedsConfig& config,
+                                           uint64_t seed);
 
 }  // namespace reds
 

@@ -5,6 +5,7 @@
 
 #include "core/quality.h"
 #include "engine/fingerprint.h"
+#include "util/fingerprint.h"
 #include "util/rng.h"
 
 namespace reds::engine {
@@ -105,10 +106,13 @@ DiscoveryEngine::DiscoveryEngine(EngineConfig config)
       cache_(config.metamodel_cache_capacity),
       column_indexes_(config.column_index_cache_capacity),
       binned_indexes_(config.binned_index_cache_capacity),
+      streamed_indexes_(config.binned_index_cache_capacity),
       pool_(config.threads) {
   if (config.enable_persistent_cache) {
     const std::string dir = ResolveCacheDir(config.cache_dir);
-    if (!dir.empty()) disk_ = std::make_unique<PersistentCache>(dir);
+    if (!dir.empty()) {
+      disk_ = std::make_unique<PersistentCache>(dir, config.cache_max_bytes);
+    }
   }
 }
 
@@ -180,6 +184,85 @@ std::shared_ptr<const BinnedIndex> DiscoveryEngine::GetBinnedIndex(
   return binned;
 }
 
+StreamedTrainData DiscoveryEngine::IngestSource(DatasetSource* source) {
+  // Pass 1 -- identity: incremental fingerprints over the chunk stream
+  // (the same byte layout the in-memory path hashes, so eager and
+  // streamed requests share cache keys by construction). The labels ride
+  // along: O(N) doubles, needed by every consumer of the stream.
+  const Status reset = source->Reset();
+  if (!reset.ok()) {
+    throw std::runtime_error("streamed request source failed to reset: " +
+                             reset.ToString());
+  }
+  const int cols = source->num_cols();
+  util::DatasetHasher input_hasher(util::DatasetHasher::Scope::kInputs, cols);
+  util::DatasetHasher full_hasher(util::DatasetHasher::Scope::kFull, cols);
+  StreamedTrainData data;
+  auto y = std::make_shared<std::vector<double>>();
+  const int64_t hint = source->num_rows_hint();
+  if (hint > 0) y->reserve(static_cast<size_t>(hint));
+  for (;;) {
+    Result<RowBlock> block = source->NextBlock(config_.stream_block_rows);
+    if (!block.ok()) {
+      throw std::runtime_error("streamed request source failed: " +
+                               block.status().ToString());
+    }
+    if (block->empty()) break;
+    input_hasher.AddRows(block->x.data(), nullptr, block->num_rows());
+    full_hasher.AddRows(block->x.data(), block->y, block->num_rows());
+    y->insert(y->end(), block->y, block->y + block->num_rows());
+  }
+  if (y->empty()) {
+    throw std::invalid_argument("streamed request source yielded no rows");
+  }
+  data.y = std::move(y);
+  data.input_fingerprint = input_hasher.Finalize();
+  data.fingerprint = full_hasher.Finalize();
+  const int rows = static_cast<int>(data.y->size());
+
+  // Index: memory LRU, then the persistent tier, then a cold build.
+  {
+    std::unique_lock<std::mutex> lock(streamed_index_mutex_);
+    if (auto* found = streamed_indexes_.Get(data.input_fingerprint)) {
+      data.index = *found;
+      return data;
+    }
+  }
+  std::shared_ptr<const BinnedIndex> index;
+  if (disk_ != nullptr) {
+    index = disk_->LoadStreamedIndex(data.input_fingerprint, rows, cols);
+  }
+  if (index == nullptr) {
+    StreamedBuildOptions options;
+    options.block_rows = config_.stream_block_rows;
+    Result<StreamedDataset> built =
+        BinnedIndex::BuildStreamed(source, options);
+    if (!built.ok()) {
+      throw std::runtime_error("streamed index build failed: " +
+                               built.status().ToString());
+    }
+    // A source that does not replay the identical rows poisons every
+    // cache tier keyed by its first pass; refuse it loudly.
+    if (built->input_fingerprint != data.input_fingerprint ||
+        built->fingerprint != data.fingerprint) {
+      throw std::invalid_argument(
+          "streamed request source is not deterministic across Reset()");
+    }
+    index = built->index;
+    if (disk_ != nullptr) {
+      disk_->StoreStreamedIndex(data.input_fingerprint, *index);
+    }
+  }
+  std::unique_lock<std::mutex> lock(streamed_index_mutex_);
+  if (auto* found = streamed_indexes_.Get(data.input_fingerprint)) {
+    data.index = *found;
+    return data;
+  }
+  streamed_indexes_.Put(data.input_fingerprint, index);
+  data.index = std::move(index);
+  return data;
+}
+
 PersistentCacheStats DiscoveryEngine::persistent_cache_stats() const {
   return disk_ != nullptr ? disk_->stats() : PersistentCacheStats();
 }
@@ -192,6 +275,11 @@ int DiscoveryEngine::column_index_cache_size() const {
 int DiscoveryEngine::binned_index_cache_size() const {
   std::unique_lock<std::mutex> lock(binned_index_mutex_);
   return static_cast<int>(binned_indexes_.size());
+}
+
+int DiscoveryEngine::streamed_index_cache_size() const {
+  std::unique_lock<std::mutex> lock(streamed_index_mutex_);
+  return static_cast<int>(streamed_indexes_.size());
 }
 
 ColumnIndexProvider DiscoveryEngine::MakeColumnIndexProvider() {
@@ -251,20 +339,24 @@ void DiscoveryEngine::Execute(const JobHandle& job) {
   job->MarkRunning();
   try {
     const DiscoveryRequest& req = job->request();
-    if (!req.train && !req.make_train) {
+    const int sources_set = (req.train ? 1 : 0) + (req.make_train ? 1 : 0) +
+                            (req.make_train_source ? 1 : 0);
+    if (sources_set == 0) {
       throw std::invalid_argument("discovery request has no training data");
     }
-    if (req.train && req.make_train) {
+    if (sources_set > 1) {
       throw std::invalid_argument(
-          "discovery request sets both train and make_train");
+          "discovery request sets more than one of train / make_train / "
+          "make_train_source");
     }
     const auto spec = MethodSpec::Parse(req.method);
     if (!spec.ok()) throw std::invalid_argument(spec.status().ToString());
 
-    Dataset generated;
-    if (!req.train) generated = req.make_train();
-    const Dataset& train = req.train ? *req.train : generated;
-
+    // The request's RunOptions (including stream_block_rows, which bounds
+    // the job's relabeled-double residency) pass through untouched;
+    // EngineConfig::stream_block_rows governs only IngestSource, whose
+    // results land in the shared cache tiers and must be
+    // engine-consistent.
     RunOptions options = req.options;
     if (config_.cache_metamodels && spec->reds && !options.metamodel_provider) {
       options.metamodel_provider = MakeCachingProvider();
@@ -275,7 +367,40 @@ void DiscoveryEngine::Execute(const JobHandle& job) {
     if (config_.cache_binned_indexes && !options.binned_index_provider) {
       options.binned_index_provider = MakeBinnedIndexProvider();
     }
-    MethodOutput out = RunMethod(*spec, train, options);
+
+    MethodOutput out;
+    Dataset generated;
+    if (req.make_train_source) {
+      std::unique_ptr<DatasetSource> source = req.make_train_source();
+      if (source == nullptr) {
+        throw std::invalid_argument("make_train_source returned null");
+      }
+      if (!spec->reds && !spec->tuned &&
+          spec->family == MethodSpec::Family::kPrim) {
+        // Fully streamed: the double matrix never materializes. Warm
+        // engines serve the index from the LRU / persistent tiers.
+        const StreamedTrainData data = IngestSource(source.get());
+        out = RunMethodOnStream(*spec, *data.index, *data.y, options);
+      } else {
+        // Tuning folds, metamodel training, and the BI/bumping scans need
+        // raw doubles: materialize the stream (one pass, the original
+        // sample -- REDS's L relabeled points still stream inside
+        // RunMethod). Fingerprints of the materialized data agree with
+        // the streamed hashes by construction, so the metamodel and index
+        // tiers warm across ingestion paths.
+        Result<Dataset> all = ReadAll(source.get(), config_.stream_block_rows);
+        if (!all.ok()) {
+          throw std::runtime_error("streamed request source failed: " +
+                                   all.status().ToString());
+        }
+        generated = *std::move(all);
+        out = RunMethod(*spec, generated, options);
+      }
+    } else {
+      if (!req.train) generated = req.make_train();
+      const Dataset& train = req.train ? *req.train : generated;
+      out = RunMethod(*spec, train, options);
+    }
 
     MetricSet metrics;
     metrics.restricted = out.last_box.NumRestricted();

@@ -18,6 +18,7 @@
 
 #include "core/binned_index.h"
 #include "core/column_index.h"
+#include "core/dataset_source.h"
 #include "core/method.h"
 #include "engine/metamodel_cache.h"
 #include "engine/persistent_cache.h"
@@ -58,18 +59,46 @@ struct EngineConfig {
   /// e.g. tests and benchmarks that must measure real fits, not warm
   /// loads from whatever a developer's REDS_CACHE_DIR holds.
   bool enable_persistent_cache = true;
+  /// Byte budget of the disk tier (0 = unlimited). When a store pushes the
+  /// cache directory past this cap, the oldest entries by modification
+  /// time are evicted until it fits again (counted in
+  /// persistent_cache_stats().evictions).
+  uint64_t cache_max_bytes = 0;
+  /// Rows per block when the engine itself ingests a DatasetSource
+  /// request (IngestSource), whose indexes land in the shared cache
+  /// tiers and must be engine-consistent. Part of the sketch-binned
+  /// result's identity: change it together with a fresh cache_dir, or
+  /// warm streamed indexes may differ from a cold rebuild on
+  /// beyond-bin-budget columns. Per-request streaming inside RunMethod
+  /// (the REDS relabeled data, which is never cached) is governed by the
+  /// request's own RunOptions::stream_block_rows instead.
+  int stream_block_rows = 8192;
 };
 
 /// One unit of work: run `method` on `train` (or on the dataset produced by
 /// `make_train`), optionally evaluating the discovered scenario on `test`.
 struct DiscoveryRequest {
-  /// Training data. Exactly one of `train` / `make_train` must be set:
-  /// `make_train` is invoked lazily on the worker thread, keeping peak
-  /// memory bounded for large matrices. Factories must be deterministic --
-  /// requests producing bitwise-equal datasets share metamodel cache
-  /// entries.
+  /// Training data. Exactly one of `train` / `make_train` /
+  /// `make_train_source` must be set: `make_train` is invoked lazily on the
+  /// worker thread, keeping peak memory bounded for large matrices.
+  /// Factories must be deterministic -- requests producing bitwise-equal
+  /// datasets share metamodel cache entries.
   std::shared_ptr<const Dataset> train;
   std::function<Dataset()> make_train;
+  /// Streaming alternative: yields a fresh DatasetSource over the training
+  /// data, invoked lazily on the worker thread. The engine ingests it
+  /// through the streaming data plane -- incremental util::DatasetHasher
+  /// fingerprints, BinnedIndex lookup through the in-memory LRU and the
+  /// persistent tier, BuildStreamed only on a cold miss -- so warm engines
+  /// index and train nothing. Untuned plain PRIM runs entirely on the
+  /// quantized stream (the double matrix never materializes); every other
+  /// method materializes the source with ReadAll (tuning folds, metamodel
+  /// training and BI/bumping scans need raw doubles) and then follows its
+  /// usual path, REDS + PRIM still streaming its relabeled points. The
+  /// source must be deterministic across Reset() passes; its fingerprints
+  /// agree with the in-memory path's by construction, so eager, lazy, and
+  /// streamed requests over bitwise-equal data share every cache tier.
+  std::function<std::unique_ptr<DatasetSource>()> make_train_source;
 
   std::string method;  // MethodSpec grammar, e.g. "Pc", "RPxp", "RBIcxp"
   RunOptions options;
@@ -132,6 +161,17 @@ class Job {
 
 using JobHandle = std::shared_ptr<Job>;
 
+/// What streamed ingestion of a training source yields: the quantized
+/// index (with its own permutation), the labels, and both fingerprints --
+/// the dataset's identity in every cache tier -- computed incrementally
+/// from the chunk stream.
+struct StreamedTrainData {
+  std::shared_ptr<const BinnedIndex> index;
+  std::shared_ptr<const std::vector<double>> y;
+  uint64_t input_fingerprint = 0;  // == engine::FingerprintInputs
+  uint64_t fingerprint = 0;        // == engine::FingerprintDataset
+};
+
 class DiscoveryEngine {
  public:
   explicit DiscoveryEngine(EngineConfig config = {});
@@ -171,6 +211,16 @@ class DiscoveryEngine {
   /// Number of distinct binned indexes currently cached.
   int binned_index_cache_size() const;
 
+  /// Number of distinct streamed-build indexes currently cached.
+  int streamed_index_cache_size() const;
+
+  /// Ingests a training source through the streaming data plane: one
+  /// hashing pass for the fingerprints and labels, then the index from the
+  /// in-memory LRU, the persistent tier, or (cold) a BuildStreamed over
+  /// the source. Warm calls touch the source exactly once and build
+  /// nothing. Throws on undrainable or non-deterministic sources.
+  StreamedTrainData IngestSource(DatasetSource* source);
+
   /// The engine's shared per-dataset index (building and caching it on
   /// demand); also exposed to jobs through RunOptions.
   std::shared_ptr<const ColumnIndex> GetColumnIndex(const Dataset& d);
@@ -204,6 +254,11 @@ class DiscoveryEngine {
   LruMap<uint64_t, std::shared_ptr<const ColumnIndex>> column_indexes_;
   mutable std::mutex binned_index_mutex_;
   LruMap<uint64_t, std::shared_ptr<const BinnedIndex>> binned_indexes_;
+  // Streamed-build indexes, keyed by input fingerprint. A separate map
+  // from binned_indexes_: beyond the bin budget the two packings differ,
+  // and streamed requests must always see streamed bins (warm == cold).
+  mutable std::mutex streamed_index_mutex_;
+  LruMap<uint64_t, std::shared_ptr<const BinnedIndex>> streamed_indexes_;
   ResultStore store_;
   ThreadPool pool_;  // last member: drains before the fields above die
 };

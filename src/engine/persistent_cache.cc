@@ -2,10 +2,13 @@
 
 #include <unistd.h>
 
+#include <algorithm>
+#include <cassert>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <thread>
+#include <vector>
 
 #include "ml/serialize.h"
 
@@ -70,7 +73,8 @@ bool ReadKeyEchoMatches(const MetamodelKey& key, util::ByteReader* in) {
 
 }  // namespace
 
-PersistentCache::PersistentCache(std::string dir) : dir_(std::move(dir)) {
+PersistentCache::PersistentCache(std::string dir, uint64_t max_bytes)
+    : dir_(std::move(dir)), max_bytes_(max_bytes) {
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);
   // Best-effort: an unwritable directory just makes every lookup miss and
@@ -82,6 +86,11 @@ std::string PersistentCache::IndexPath(uint64_t input_fingerprint,
   const char* tag =
       kind == BinnedIndex::BuildKind::kExactPack ? "exact" : "sketch";
   return dir_ + "/bidx-" + tag + "-" + Hex16(input_fingerprint) + ".bin";
+}
+
+std::string PersistentCache::StreamedIndexPath(
+    uint64_t input_fingerprint) const {
+  return dir_ + "/bidx-stream-" + Hex16(input_fingerprint) + ".bin";
 }
 
 std::string PersistentCache::ModelPath(const MetamodelKey& key) const {
@@ -171,13 +180,13 @@ bool PersistentCache::WritePayload(const std::string& path, uint64_t magic,
   return true;
 }
 
-std::shared_ptr<const BinnedIndex> PersistentCache::LoadBinnedIndex(
-    uint64_t input_fingerprint, BinnedIndex::BuildKind kind, int expect_rows,
-    int expect_cols) {
+std::shared_ptr<const BinnedIndex> PersistentCache::LoadIndexFile(
+    const std::string& path, uint64_t input_fingerprint, int expect_rows,
+    int expect_cols, bool require_sorted_rows,
+    const BinnedIndex::BuildKind* expect_kind) {
   std::string raw;
   size_t begin = 0, size = 0;
-  if (!ReadPayload(IndexPath(input_fingerprint, kind), kIndexMagic, &raw,
-                   &begin, &size)) {
+  if (!ReadPayload(path, kIndexMagic, &raw, &begin, &size)) {
     std::unique_lock<std::mutex> lock(mutex_);
     ++stats_.index_misses;
     return nullptr;
@@ -187,7 +196,9 @@ std::shared_ptr<const BinnedIndex> PersistentCache::LoadBinnedIndex(
   Result<std::shared_ptr<const BinnedIndex>> index =
       BinnedIndex::Deserialize(&in);
   const bool valid = in.ok() && index.ok() && echoed == input_fingerprint &&
-                     (*index)->kind() == kind &&
+                     (expect_kind == nullptr ||
+                      (*index)->kind() == *expect_kind) &&
+                     (!require_sorted_rows || (*index)->has_sorted_rows()) &&
                      (*index)->num_rows() == expect_rows &&
                      (*index)->num_cols() == expect_cols;
   std::unique_lock<std::mutex> lock(mutex_);
@@ -200,6 +211,24 @@ std::shared_ptr<const BinnedIndex> PersistentCache::LoadBinnedIndex(
   return *std::move(index);
 }
 
+std::shared_ptr<const BinnedIndex> PersistentCache::LoadBinnedIndex(
+    uint64_t input_fingerprint, BinnedIndex::BuildKind kind, int expect_rows,
+    int expect_cols) {
+  return LoadIndexFile(IndexPath(input_fingerprint, kind), input_fingerprint,
+                       expect_rows, expect_cols,
+                       /*require_sorted_rows=*/false, &kind);
+}
+
+std::shared_ptr<const BinnedIndex> PersistentCache::LoadStreamedIndex(
+    uint64_t input_fingerprint, int expect_rows, int expect_cols) {
+  // Either build kind is valid (whatever the stream's distinct-value
+  // profile produced), but the entry must carry its own permutation --
+  // streamed consumers peel on it.
+  return LoadIndexFile(StreamedIndexPath(input_fingerprint),
+                       input_fingerprint, expect_rows, expect_cols,
+                       /*require_sorted_rows=*/true, nullptr);
+}
+
 void PersistentCache::StoreBinnedIndex(uint64_t input_fingerprint,
                                        const BinnedIndex& index) {
   util::ByteWriter payload;
@@ -207,12 +236,28 @@ void PersistentCache::StoreBinnedIndex(uint64_t input_fingerprint,
   index.Serialize(&payload);
   // Only completed writes count: an unwritable directory or full disk
   // must read as "nothing stored", not as a populated cache.
-  if (!WritePayload(IndexPath(input_fingerprint, index.kind()), kIndexMagic,
-                    payload.data())) {
-    return;
+  const std::string path = IndexPath(input_fingerprint, index.kind());
+  if (!WritePayload(path, kIndexMagic, payload.data())) return;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ++stats_.index_writes;
   }
-  std::unique_lock<std::mutex> lock(mutex_);
-  ++stats_.index_writes;
+  EvictOverCap(path);
+}
+
+void PersistentCache::StoreStreamedIndex(uint64_t input_fingerprint,
+                                         const BinnedIndex& index) {
+  assert(index.has_sorted_rows());
+  util::ByteWriter payload;
+  payload.U64(input_fingerprint);
+  index.Serialize(&payload);
+  const std::string path = StreamedIndexPath(input_fingerprint);
+  if (!WritePayload(path, kIndexMagic, payload.data())) return;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ++stats_.index_writes;
+  }
+  EvictOverCap(path);
 }
 
 std::shared_ptr<const ml::Metamodel> PersistentCache::LoadMetamodel(
@@ -248,9 +293,76 @@ void PersistentCache::StoreMetamodel(const MetamodelKey& key,
   util::ByteWriter payload;
   WriteKeyEcho(key, &payload);
   ml::SerializeMetamodel(model, key.kind, &payload);
-  if (!WritePayload(ModelPath(key), kModelMagic, payload.data())) return;
-  std::unique_lock<std::mutex> lock(mutex_);
-  ++stats_.model_writes;
+  const std::string path = ModelPath(key);
+  if (!WritePayload(path, kModelMagic, payload.data())) return;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ++stats_.model_writes;
+  }
+  EvictOverCap(path);
+}
+
+void PersistentCache::EvictOverCap(const std::string& just_written) {
+  if (max_bytes_ == 0) return;
+  namespace fs = std::filesystem;
+  // Snapshot our cache entries (".bin" suffix; temp files are mid-write
+  // and carry ".tmp-" suffixes, so they never match) with size and mtime.
+  struct Entry {
+    fs::file_time_type mtime;
+    std::string path;
+    uint64_t size = 0;
+  };
+  std::vector<Entry> entries;
+  uint64_t total = 0;
+  try {
+    for (const auto& item : fs::directory_iterator(dir_)) {
+      // Fresh error codes per call: a concurrent engine process may
+      // remove files mid-scan, and one vanished entry must not abort the
+      // whole eviction pass.
+      std::error_code ec;
+      if (!item.is_regular_file(ec) || ec) continue;
+      const std::string path = item.path().string();
+      if (path.size() < 4 || path.compare(path.size() - 4, 4, ".bin") != 0) {
+        continue;
+      }
+      Entry e;
+      e.path = path;
+      e.size = static_cast<uint64_t>(item.file_size(ec));
+      if (ec) continue;
+      e.mtime = fs::last_write_time(item.path(), ec);
+      if (ec) continue;
+      total += e.size;
+      entries.push_back(std::move(e));
+    }
+  } catch (const fs::filesystem_error&) {
+    return;  // unreadable directory: leave the cache alone
+  }
+  if (total <= max_bytes_) return;
+  // Oldest first; ties (filesystem mtime granularity) break by path so
+  // concurrent writers converge on the same eviction order.
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    return a.mtime != b.mtime ? a.mtime < b.mtime : a.path < b.path;
+  });
+  int evicted = 0;
+  // Cache files are uniquely named within the directory, so filename
+  // equality is the robust comparison (dir_ spellings -- trailing slashes,
+  // relative prefixes -- must not defeat the sparing below).
+  const fs::path spared = fs::path(just_written).filename();
+  for (const Entry& e : entries) {
+    if (total <= max_bytes_) break;
+    // The entry just written survives even when it alone exceeds the cap:
+    // evicting it would make the store a silent no-op.
+    if (fs::path(e.path).filename() == spared) continue;
+    std::error_code remove_ec;
+    if (std::filesystem::remove(e.path, remove_ec) && !remove_ec) {
+      total -= e.size;
+      ++evicted;
+    }
+  }
+  if (evicted > 0) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    stats_.evictions += evicted;
+  }
 }
 
 PersistentCacheStats PersistentCache::stats() const {

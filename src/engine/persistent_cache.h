@@ -32,12 +32,18 @@ struct PersistentCacheStats {
   int model_misses = 0;
   int model_writes = 0;
   int rejected = 0;       // corrupt/truncated/mismatched files refused
+  int evictions = 0;      // entries dropped to respect the byte cap
 };
 
 class PersistentCache {
  public:
-  /// Creates `dir` (and parents) if missing.
-  explicit PersistentCache(std::string dir);
+  /// Creates `dir` (and parents) if missing. `max_bytes` caps the summed
+  /// size of the cache files (0 = unlimited, the historical grow-only
+  /// behavior): after every store that pushes the directory past the cap,
+  /// the oldest entries by modification time are deleted until the
+  /// remainder fits. The entry just written is never evicted, so the cap
+  /// is approximate by at most one entry.
+  explicit PersistentCache(std::string dir, uint64_t max_bytes = 0);
 
   PersistentCache(const PersistentCache&) = delete;
   PersistentCache& operator=(const PersistentCache&) = delete;
@@ -55,6 +61,18 @@ class PersistentCache {
 
   void StoreBinnedIndex(uint64_t input_fingerprint, const BinnedIndex& index);
 
+  /// Streamed-ingestion namespace: indexes produced by
+  /// BinnedIndex::BuildStreamed (either build kind, always carrying their
+  /// own permutation). Kept apart from the exact-pack entries above so a
+  /// streamed request is only ever served bins a streamed build would have
+  /// produced -- warm and cold runs stay bit-identical. Entries lacking
+  /// the permutation are rejected.
+  std::shared_ptr<const BinnedIndex> LoadStreamedIndex(
+      uint64_t input_fingerprint, int expect_rows, int expect_cols);
+
+  void StoreStreamedIndex(uint64_t input_fingerprint,
+                          const BinnedIndex& index);
+
   /// Loads the trained metamodel for `key`, or null on miss/rejection.
   std::shared_ptr<const ml::Metamodel> LoadMetamodel(const MetamodelKey& key);
 
@@ -65,7 +83,16 @@ class PersistentCache {
  private:
   std::string IndexPath(uint64_t input_fingerprint,
                         BinnedIndex::BuildKind kind) const;
+  std::string StreamedIndexPath(uint64_t input_fingerprint) const;
   std::string ModelPath(const MetamodelKey& key) const;
+  /// Shared load path of the exact-pack and streamed index namespaces.
+  std::shared_ptr<const BinnedIndex> LoadIndexFile(
+      const std::string& path, uint64_t input_fingerprint, int expect_rows,
+      int expect_cols, bool require_sorted_rows,
+      const BinnedIndex::BuildKind* expect_kind);
+  /// Deletes oldest-mtime cache entries until the directory fits
+  /// max_bytes_ again, sparing `just_written`. No-op when max_bytes_ == 0.
+  void EvictOverCap(const std::string& just_written);
   /// Reads and validates a cache file. On success `raw` holds the whole
   /// file and [*payload_begin, *payload_begin + *payload_size) delimits
   /// the checksummed payload in place -- no second copy of the O(N x M)
@@ -78,6 +105,7 @@ class PersistentCache {
                     const std::string& payload);
 
   std::string dir_;
+  uint64_t max_bytes_ = 0;  // 0: unlimited
   mutable std::mutex mutex_;
   PersistentCacheStats stats_;
 };

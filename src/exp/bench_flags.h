@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "core/method.h"
+
 namespace reds::exp {
 
 struct BenchFlags {
@@ -16,6 +18,10 @@ struct BenchFlags {
   uint64_t seed = 42;        // --seed s
   std::vector<std::string> functions;  // --functions a,b,c
   std::string out_dir;       // --out dir: write figure CSVs here
+  /// --data-plan streamed|materialized: how REDS methods ingest their L
+  /// relabeled points (default: streamed, the PR 5 data plane; materialized
+  /// reproduces the historical dense-matrix path for A/B comparisons).
+  MethodDataPlan data_plan = MethodDataPlan::kStreamed;
 };
 
 /// Parses argv; prints usage and exits on --help or unknown flags.

@@ -1,0 +1,229 @@
+// DatasetSource requests end to end: the engine fingerprints streams
+// incrementally, shares every cache tier with the in-memory ingestion path
+// (eager, lazy, and streamed requests over bitwise-equal data train once),
+// runs untuned plain PRIM without ever materializing the matrix, and --
+// with a persistent tier -- serves a warm streamed REDS request with zero
+// training and zero index builds.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dataset_source.h"
+#include "engine/discovery_engine.h"
+#include "util/rng.h"
+
+namespace reds::engine {
+namespace {
+
+// Grid-valued data: streamed quantization packs exactly, so streamed and
+// materialized runs of the same method agree bit for bit.
+std::shared_ptr<const Dataset> MakeGridData(int n, int dim, uint64_t seed,
+                                            int distinct = 48) {
+  Rng rng(seed);
+  auto d = std::make_shared<Dataset>(dim);
+  std::vector<double> x(static_cast<size_t>(dim));
+  for (int i = 0; i < n; ++i) {
+    for (auto& v : x) {
+      v = static_cast<double>(rng.UniformInt(
+              static_cast<uint64_t>(distinct))) /
+          distinct;
+    }
+    const double p = (x[0] < 0.45 && x[1 % dim] > 0.3) ? 0.85 : 0.1;
+    d->AddRow(x, rng.Bernoulli(p) ? 1.0 : 0.0);
+  }
+  return d;
+}
+
+RunOptions FastOptions() {
+  RunOptions options;
+  options.l_prim = 1200;
+  options.tune_metamodel = false;
+  options.seed = 5;
+  return options;
+}
+
+DiscoveryRequest SourceRequest(std::shared_ptr<const Dataset> data,
+                               std::string method) {
+  DiscoveryRequest request;
+  request.make_train_source =
+      [data]() -> std::unique_ptr<DatasetSource> {
+    return std::make_unique<MatrixSource>(data);
+  };
+  request.method = std::move(method);
+  request.options = FastOptions();
+  return request;
+}
+
+DiscoveryRequest EagerRequest(std::shared_ptr<const Dataset> data,
+                              std::string method) {
+  DiscoveryRequest request;
+  request.train = std::move(data);
+  request.method = std::move(method);
+  request.options = FastOptions();
+  return request;
+}
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "reds_stream_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+TEST(EngineStreamedTest, PlainPrimSourceMatchesEagerOnGridData) {
+  const auto data = MakeGridData(1000, 4, 1);
+  DiscoveryEngine engine({/*threads=*/2});
+  const auto streamed = engine.Submit(SourceRequest(data, "P"));
+  const auto eager = engine.Submit(EagerRequest(data, "P"));
+  engine.WaitAll();
+  ASSERT_EQ(streamed->state(), JobState::kDone)
+      << (streamed->state() == JobState::kFailed ? streamed->error() : "");
+  ASSERT_EQ(eager->state(), JobState::kDone);
+  EXPECT_TRUE(streamed->output().last_box == eager->output().last_box);
+  // The streamed job quantized through its own tier; it never touched the
+  // eager path's column index.
+  EXPECT_EQ(engine.streamed_index_cache_size(), 1);
+}
+
+TEST(EngineStreamedTest, StreamedAndEagerRedsShareOneMetamodelFit) {
+  // Identical bytes through different ingestion paths must land on one
+  // cache key: the incremental stream hash equals the in-memory hash.
+  const auto data = MakeGridData(250, 4, 2);
+  DiscoveryEngine engine({/*threads=*/2});
+  const auto streamed = engine.Submit(SourceRequest(data, "RPx"));
+  const auto eager = engine.Submit(EagerRequest(data, "RPx"));
+  engine.WaitAll();
+  ASSERT_EQ(streamed->state(), JobState::kDone)
+      << (streamed->state() == JobState::kFailed ? streamed->error() : "");
+  ASSERT_EQ(eager->state(), JobState::kDone);
+  EXPECT_EQ(engine.metamodel_cache().fit_count(), 1);
+  EXPECT_EQ(engine.metamodel_cache().hit_count(), 1);
+  EXPECT_TRUE(streamed->output().last_box == eager->output().last_box);
+}
+
+TEST(EngineStreamedTest, RepeatSourceIngestIndexesOnce) {
+  const auto data = MakeGridData(800, 3, 3);
+  DiscoveryEngine engine({/*threads=*/2});
+  MatrixSource first(data);
+  const StreamedTrainData a = engine.IngestSource(&first);
+  MatrixSource second(data);
+  const StreamedTrainData b = engine.IngestSource(&second);
+  // Same fingerprints, same shared index object (LRU hit, no rebuild).
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.input_fingerprint, b.input_fingerprint);
+  EXPECT_EQ(a.index.get(), b.index.get());
+  EXPECT_EQ(*a.y, *b.y);
+  EXPECT_EQ(engine.streamed_index_cache_size(), 1);
+}
+
+TEST(EngineStreamedTest, WarmEngineServesStreamedRedsWithZeroWork) {
+  const auto data = MakeGridData(250, 4, 4);
+  const std::string dir = FreshDir("warm_reds");
+
+  EngineConfig config;
+  config.threads = 2;
+  config.cache_dir = dir;
+
+  // Cold engine: trains the metamodel and builds + persists the streamed
+  // index.
+  Box cold_box;
+  {
+    DiscoveryEngine cold(config);
+    const auto reds_job = cold.Submit(SourceRequest(data, "RPx"));
+    const auto prim_job = cold.Submit(SourceRequest(data, "P"));
+    cold.WaitAll();
+    ASSERT_EQ(reds_job->state(), JobState::kDone)
+        << (reds_job->state() == JobState::kFailed ? reds_job->error() : "");
+    ASSERT_EQ(prim_job->state(), JobState::kDone);
+    cold_box = reds_job->output().last_box;
+    EXPECT_EQ(cold.metamodel_cache().fit_count(), 1);
+    const PersistentCacheStats stats = cold.persistent_cache_stats();
+    EXPECT_GE(stats.model_writes, 1);
+    EXPECT_GE(stats.index_writes, 1);
+    cold.Shutdown();
+  }
+
+  // Warm engine (fresh process stand-in): the same streamed requests are
+  // served from the persistent tier -- zero training, zero index builds,
+  // bit-identical result.
+  {
+    DiscoveryEngine warm(config);
+    const auto reds_job = warm.Submit(SourceRequest(data, "RPx"));
+    const auto prim_job = warm.Submit(SourceRequest(data, "P"));
+    warm.WaitAll();
+    ASSERT_EQ(reds_job->state(), JobState::kDone)
+        << (reds_job->state() == JobState::kFailed ? reds_job->error() : "");
+    ASSERT_EQ(prim_job->state(), JobState::kDone);
+    EXPECT_TRUE(reds_job->output().last_box == cold_box);
+    const PersistentCacheStats stats = warm.persistent_cache_stats();
+    // Zero training: every metamodel lookup was served from disk (the
+    // in-memory fit lambda ran only to reload it).
+    EXPECT_GE(stats.model_hits, 1);
+    EXPECT_EQ(stats.model_misses, 0);
+    EXPECT_EQ(stats.model_writes, 0);
+    // Zero index builds: the streamed index came from disk too.
+    EXPECT_GE(stats.index_hits, 1);
+    EXPECT_EQ(stats.index_writes, 0);
+    warm.Shutdown();
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(EngineStreamedTest, NonDeterministicSourceFailsLoudly) {
+  // A source that yields different rows on every pass would poison the
+  // caches keyed by its first pass; the engine must reject it.
+  class FlakySource : public DatasetSource {
+   public:
+    int num_cols() const override { return 2; }
+    Status Reset() override { return Status::OK(); }
+    Result<RowBlock> NextBlock(int max_rows) override {
+      if (emitted_) {
+        RowBlock done;
+        return done;
+      }
+      emitted_ = true;
+      x_.clear();
+      y_.clear();
+      for (int i = 0; i < 64; ++i) {
+        x_.push_back(rng_.Uniform());  // new draws on every pass
+        x_.push_back(rng_.Uniform());
+        y_.push_back(i % 2 == 0 ? 1.0 : 0.0);
+      }
+      (void)max_rows;
+      RowBlock block;
+      block.x = la::ConstMatrixView(x_.data(), 64, 2);
+      block.y = y_.data();
+      emitted_ = true;
+      return block;
+    }
+    Status ResetCounter() {
+      emitted_ = false;
+      return Status::OK();
+    }
+
+   private:
+    Rng rng_{99};
+    bool emitted_ = false;
+    std::vector<double> x_, y_;
+  };
+
+  DiscoveryEngine engine({/*threads=*/2});
+  DiscoveryRequest request;
+  request.method = "P";
+  request.options = FastOptions();
+  request.make_train_source = []() -> std::unique_ptr<DatasetSource> {
+    struct Wrapper : FlakySource {
+      Status Reset() override { return ResetCounter(); }
+    };
+    return std::make_unique<Wrapper>();
+  };
+  const auto job = engine.Submit(std::move(request));
+  job->Wait();
+  ASSERT_EQ(job->state(), JobState::kFailed);
+  EXPECT_NE(job->error().find("deterministic"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace reds::engine

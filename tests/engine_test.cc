@@ -240,7 +240,7 @@ TEST(DiscoveryEngineTest, InvalidRequestsFailCleanly) {
   EXPECT_EQ(no_data_job->state(), JobState::kFailed);
   EXPECT_FALSE(no_data_job->error().empty());
   EXPECT_EQ(both_data_job->state(), JobState::kFailed);
-  EXPECT_NE(both_data_job->error().find("both"), std::string::npos);
+  EXPECT_NE(both_data_job->error().find("more than one"), std::string::npos);
 }
 
 TEST(FingerprintTest, SensitiveToEveryValue) {

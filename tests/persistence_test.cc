@@ -7,11 +7,13 @@
 // examples/streaming_discovery as two separate processes).
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/binned_index.h"
@@ -260,6 +262,109 @@ TEST(PersistenceSmokeTest, WarmEngineSkipsIndexBuildAndTraining) {
       << "cold and warm REDS runs must produce bit-identical boxes";
   EXPECT_TRUE(boxes[1] == boxes[3])
       << "cold and warm PRIM runs must produce bit-identical boxes";
+}
+
+TEST(PersistentCacheTest, StreamedNamespaceIsSeparateAndKeepsPermutation) {
+  const std::string dir = FreshCacheDir("streamns");
+  const auto data = std::make_shared<Dataset>(MakeData(300, 3, 9));
+  MatrixSource source(data);
+  auto streamed = BinnedIndex::BuildStreamed(&source);
+  ASSERT_TRUE(streamed.ok());
+
+  engine::PersistentCache cache(dir);
+  cache.StoreStreamedIndex(17, *streamed->index);
+  // The exact-pack namespace does not see the streamed entry (and vice
+  // versa): streamed requests are only ever served streamed bins.
+  EXPECT_EQ(cache.LoadBinnedIndex(17, streamed->index->kind(), 300, 3),
+            nullptr);
+  const auto loaded = cache.LoadStreamedIndex(17, 300, 3);
+  ASSERT_NE(loaded, nullptr);
+  ASSERT_TRUE(loaded->has_sorted_rows());
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_EQ(loaded->sorted_rows(j), streamed->index->sorted_rows(j));
+    EXPECT_EQ(loaded->codes(j), streamed->index->codes(j));
+  }
+  // Shape mismatches miss.
+  EXPECT_EQ(cache.LoadStreamedIndex(17, 299, 3), nullptr);
+  EXPECT_EQ(cache.LoadStreamedIndex(18, 300, 3), nullptr);
+}
+
+// The disk tier's byte cap: filling a tiny cache drops the oldest entries
+// (by mtime) first, never the entry just written, and counts every
+// eviction.
+TEST(PersistentCacheTest, ByteCapEvictsOldestEntries) {
+  const std::string dir = FreshCacheDir("evict");
+  const Dataset d = MakeData(400, 3, 10);
+  const auto index = BinnedIndex::Build(d);
+
+  // Size one entry, then cap the cache at just over two of them.
+  uint64_t entry_bytes = 0;
+  {
+    engine::PersistentCache probe(dir);
+    probe.StoreBinnedIndex(1, *index);
+    for (const auto& f : std::filesystem::directory_iterator(dir)) {
+      entry_bytes = static_cast<uint64_t>(f.file_size());
+    }
+    ASSERT_GT(entry_bytes, 0u);
+    std::filesystem::remove_all(dir);
+  }
+
+  engine::PersistentCache cache(dir, /*max_bytes=*/entry_bytes * 2 +
+                                         entry_bytes / 2);
+  for (uint64_t fp : {1ULL, 2ULL, 3ULL}) {
+    cache.StoreBinnedIndex(fp, *index);
+    // Distinct mtimes even on coarse-granularity filesystems.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  // Three entries never fit: the oldest (fp 1) was dropped, the newer two
+  // survive, and the eviction is counted.
+  EXPECT_EQ(cache.LoadBinnedIndex(1, BinnedIndex::BuildKind::kExactPack,
+                                  400, 3),
+            nullptr);
+  EXPECT_NE(cache.LoadBinnedIndex(2, BinnedIndex::BuildKind::kExactPack,
+                                  400, 3),
+            nullptr);
+  EXPECT_NE(cache.LoadBinnedIndex(3, BinnedIndex::BuildKind::kExactPack,
+                                  400, 3),
+            nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1);
+  EXPECT_EQ(cache.stats().index_writes, 3);
+
+  // A store that alone exceeds the cap still lands (the cap spares the
+  // entry just written) but evicts everything else. The trailing slash is
+  // deliberate: dir spelling must not defeat the sparing.
+  engine::PersistentCache tiny(dir + "/", /*max_bytes=*/1);
+  tiny.StoreBinnedIndex(4, *index);
+  EXPECT_NE(tiny.LoadBinnedIndex(4, BinnedIndex::BuildKind::kExactPack,
+                                 400, 3),
+            nullptr);
+  EXPECT_EQ(tiny.LoadBinnedIndex(2, BinnedIndex::BuildKind::kExactPack,
+                                 400, 3),
+            nullptr);
+  EXPECT_EQ(tiny.stats().evictions, 2);
+}
+
+// EngineConfig::cache_max_bytes reaches the tier: two datasets through a
+// one-byte cap leave only the newest entry and surface the eviction in
+// the engine's stats.
+TEST(PersistentCacheTest, EngineExposesEvictionCounter) {
+  const std::string dir = FreshCacheDir("engine_evict");
+  engine::EngineConfig config;
+  config.threads = 1;
+  config.cache_dir = dir;
+  config.cache_max_bytes = 1;  // everything but the newest entry evicts
+  engine::DiscoveryEngine engine(config);
+  for (uint64_t seed : {11ULL, 12ULL}) {
+    engine::DiscoveryRequest request;
+    request.train = std::make_shared<Dataset>(MakeData(200, 3, seed));
+    request.method = "P";
+    request.options.tune_metamodel = false;
+    engine.Submit(request)->Wait();
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  engine.Shutdown();
+  EXPECT_EQ(engine.persistent_cache_stats().index_writes, 2);
+  EXPECT_GE(engine.persistent_cache_stats().evictions, 1);
 }
 
 }  // namespace

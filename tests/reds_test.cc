@@ -91,6 +91,55 @@ TEST(RedsTest, CustomSamplerIsUsed) {
   }
 }
 
+TEST(RedsTest, StreamedRelabelingMatchesMaterializedRows) {
+  auto f = fun::MakeFunction("ellipse");
+  const Dataset d =
+      fun::MakeScenarioDataset(**f, 150, fun::DesignKind::kLatinHypercube, 12);
+  for (const bool prob : {false, true}) {
+    const RedsConfig config =
+        QuickConfig(ml::MetamodelKind::kGbt, prob, 900);
+    const RedsRelabeling materialized = RedsRelabel(d, config, 13);
+    RedsStreamedRelabeling streamed = RedsRelabelStreamed(d, config, 13);
+    ASSERT_NE(streamed.new_data, nullptr);
+    EXPECT_EQ(streamed.new_data->num_rows_hint(), 900);
+    // Odd block size: rows must not depend on block boundaries.
+    auto drained = ReadAll(streamed.new_data.get(), /*block_rows=*/77);
+    ASSERT_TRUE(drained.ok());
+    ASSERT_EQ(drained->num_rows(), materialized.new_data.num_rows());
+    for (int i = 0; i < drained->num_rows(); ++i) {
+      for (int j = 0; j < drained->num_cols(); ++j) {
+        ASSERT_EQ(drained->x(i, j), materialized.new_data.x(i, j))
+            << "prob=" << prob << " row " << i;
+      }
+      ASSERT_EQ(drained->y(i), materialized.new_data.y(i))
+          << "prob=" << prob << " row " << i;
+    }
+    // A second pass (Reset) replays the identical stream.
+    auto again = ReadAll(streamed.new_data.get(), /*block_rows=*/901);
+    ASSERT_TRUE(again.ok());
+    ASSERT_EQ(again->num_rows(), drained->num_rows());
+    for (int i = 0; i < again->num_rows(); ++i) {
+      ASSERT_EQ(again->y(i), drained->y(i));
+    }
+  }
+}
+
+TEST(RedsTest, MetamodelLabelIsTheSingleSourceOfTruth) {
+  auto f = fun::MakeFunction("ellipse");
+  const Dataset d =
+      fun::MakeScenarioDataset(**f, 150, fun::DesignKind::kLatinHypercube, 14);
+  const RedsRelabeling hard =
+      RedsRelabel(d, QuickConfig(ml::MetamodelKind::kGbt, false, 300), 15);
+  const RedsRelabeling soft =
+      RedsRelabel(d, QuickConfig(ml::MetamodelKind::kGbt, true, 300), 15);
+  for (int i = 0; i < hard.new_data.num_rows(); ++i) {
+    EXPECT_EQ(hard.new_data.y(i),
+              MetamodelLabel(*hard.metamodel, hard.new_data.row(i), false));
+    EXPECT_EQ(soft.new_data.y(i),
+              MetamodelLabel(*soft.metamodel, soft.new_data.row(i), true));
+  }
+}
+
 // The headline claim (Figure 2 / Section 9): at small N, PRIM on
 // metamodel-relabeled data beats PRIM on the raw data. We check PR AUC on an
 // independent test set, averaged over repetitions, on a function where the
