@@ -33,6 +33,8 @@
 #include "ml/histogram.h"
 #include "ml/metrics.h"
 #include "ml/random_forest.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 
 namespace reds {
@@ -47,6 +49,7 @@ struct PerfFlags {
   int threads = 4;       // for the *_parallel kernels
   uint64_t seed = 42;
   std::string out;           // JSON path; empty: stdout only
+  std::string metrics_out;   // MetricsRegistry JSON path; empty: none
   std::string check_against; // reference JSON; empty: no regression gate
   double check_tolerance = 3.0;
 };
@@ -80,6 +83,8 @@ PerfFlags ParseFlags(int argc, char** argv) {
       flags.seed = static_cast<uint64_t>(std::atoll(next_value(&i)));
     } else if (arg == "--out") {
       flags.out = next_value(&i);
+    } else if (arg == "--metrics-out") {
+      flags.metrics_out = next_value(&i);
     } else if (arg == "--check-against") {
       flags.check_against = next_value(&i);
     } else if (arg == "--check-tolerance") {
@@ -88,7 +93,8 @@ PerfFlags ParseFlags(int argc, char** argv) {
       std::printf(
           "usage: bench_perf_kernels [--quick|--full] [--n N] [--l L] "
           "[--d D] [--reps R] [--threads T] [--seed S] [--out file.json] "
-          "[--check-against ref.json] [--check-tolerance X]\n");
+          "[--metrics-out metrics.json] [--check-against ref.json] "
+          "[--check-tolerance X]\n");
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown flag %s (see --help)\n", arg.c_str());
@@ -131,16 +137,16 @@ struct KernelResult {
   bool identical = true;      // optimized output matched the reference
   bool approximate = false;   // histogram kernels: identity not required
   double quality_delta = 0.0; // |train quality gap| for approximate kernels
-
-  /// Training-quality tolerance (log-loss gap) for approximate kernels.
-  static constexpr double kQualityTolerance = 0.05;
+  /// Per-kernel bound on quality_delta: log-loss gap for the histogram
+  /// kernels, relative slowdown for metrics_overhead (the <1% budget).
+  double quality_tolerance = 0.05;
 
   double Speedup() const {
     return optimized_seconds > 0.0 ? reference_seconds / optimized_seconds
                                    : 0.0;
   }
   bool Ok() const {
-    return approximate ? quality_delta <= kQualityTolerance : identical;
+    return approximate ? quality_delta <= quality_tolerance : identical;
   }
 };
 
@@ -565,6 +571,57 @@ KernelResult BenchMethodRedsStreamed(const PerfFlags& flags) {
   return result;
 }
 
+// --- Observability overhead: the streamed PRIM peel loop undecorated vs --
+// the identical loop under a bound Trace + MetricsRegistry (every span it
+// opens is recorded and fed into stage histograms -- the engine's traced
+// configuration). The delta is what instrumentation costs; the budget is
+// 1% of kernel time, with sub-2ms deltas written off as timer jitter.
+// Results must stay bit-identical: observation must never perturb the
+// computation.
+KernelResult BenchMetricsOverhead(const PerfFlags& flags) {
+  KernelResult result;
+  result.name = "metrics_overhead";
+  result.approximate = true;
+  result.quality_tolerance = 0.01;
+  const auto data = std::make_shared<Dataset>(
+      RandomData(flags.l_points, flags.dims, flags.seed, /*distinct=*/128));
+  MatrixSource source(data);
+  auto streamed = BinnedIndex::BuildStreamed(&source);
+  PrimConfig config;
+  config.alpha = 0.05;
+  config.backend = PrimPeelBackend::kSorted;
+  const int passes = flags.quick ? 4 : 6;
+  result.detail = "L=" + std::to_string(flags.l_points) +
+                  " d=" + std::to_string(flags.dims) + " passes=" +
+                  std::to_string(passes) + " traced-vs-untraced";
+  if (!streamed.ok()) {
+    result.identical = false;
+    result.quality_delta = 1.0;
+    return result;
+  }
+
+  PrimResult ref, opt;
+  result.reference_seconds = TimeBest(flags.reps, [&] {
+    for (int p = 0; p < passes; ++p) {
+      ref = RunPrimStreamed(*streamed->index, streamed->y, config);
+    }
+  });
+  obs::MetricsRegistry registry;
+  result.optimized_seconds = TimeBest(flags.reps, [&] {
+    obs::Trace trace("bench-metrics-overhead", &registry);
+    obs::TraceBinding binding(&trace);
+    for (int p = 0; p < passes; ++p) {
+      opt = RunPrimStreamed(*streamed->index, streamed->y, config);
+    }
+  });
+  result.identical = SamePrimResult(ref, opt);
+  const double delta = result.optimized_seconds - result.reference_seconds;
+  result.quality_delta = delta <= 0.002 || result.reference_seconds <= 0.0
+                             ? 0.0
+                             : delta / result.reference_seconds;
+  return result;
+}
+
 KernelResult BenchBi(const PerfFlags& flags) {
   KernelResult result;
   result.name = "bi_search";
@@ -601,12 +658,13 @@ void WriteJson(const PerfFlags& flags, const std::vector<KernelResult>& results,
                  "    {\"name\": \"%s\", \"detail\": \"%s\", "
                  "\"reference_seconds\": %.6f, \"optimized_seconds\": %.6f, "
                  "\"speedup\": %.3f, \"identical\": %s, \"approximate\": %s, "
-                 "\"quality_delta\": %.6f, \"ok\": %s}%s\n",
+                 "\"quality_delta\": %.6f, \"quality_tolerance\": %.3f, "
+                 "\"ok\": %s}%s\n",
                  r.name.c_str(), r.detail.c_str(), r.reference_seconds,
                  r.optimized_seconds, r.Speedup(),
                  r.identical ? "true" : "false",
                  r.approximate ? "true" : "false", r.quality_delta,
-                 r.Ok() ? "true" : "false",
+                 r.quality_tolerance, r.Ok() ? "true" : "false",
                  i + 1 < results.size() ? "," : "");
   }
   std::fprintf(stream, "  ]\n}\n");
@@ -716,9 +774,34 @@ int main(int argc, char** argv) {
   run(BenchPrimStreamed(flags));
   run(BenchRedsRelabelStreamed(flags));
   run(BenchMethodRedsStreamed(flags));
+  run(BenchMetricsOverhead(flags));
 
   bool all_ok = true;
   for (const auto& r : results) all_ok = all_ok && r.Ok();
+
+  if (!flags.metrics_out.empty()) {
+    // The run as a MetricsRegistry dump: per-kernel latency histograms plus
+    // pass/fail counters, in the same JSON shape DiscoveryEngine::
+    // DumpMetrics emits -- one parser serves both.
+    obs::MetricsRegistry registry;
+    for (const auto& r : results) {
+      registry.histogram("bench." + r.name + ".reference_ns")
+          ->Observe(static_cast<uint64_t>(r.reference_seconds * 1e9));
+      registry.histogram("bench." + r.name + ".optimized_ns")
+          ->Observe(static_cast<uint64_t>(r.optimized_seconds * 1e9));
+      registry.counter("bench.kernels.total")->Add(1);
+      if (r.Ok()) registry.counter("bench.kernels.ok")->Add(1);
+    }
+    std::FILE* f = std::fopen(flags.metrics_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", flags.metrics_out.c_str());
+      return 1;
+    }
+    const std::string json = registry.ToJson();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", flags.metrics_out.c_str());
+  }
 
   if (!flags.out.empty()) {
     std::FILE* f = std::fopen(flags.out.c_str(), "w");

@@ -2,6 +2,7 @@
 //
 //   ./build/examples/streaming_discovery [data.csv]
 //       [--block N] [--alpha A] [--cache-dir DIR] [--expect-warm]
+//       [--trace-dir DIR] [--metrics-out FILE]
 //       [--reds-smoke L] [--data-plan streamed|materialized]
 //       [--function NAME] [--n N0]
 //
@@ -25,6 +26,12 @@
 // (O(block) doubles + L x M uint8 codes resident), so the run fits a hard
 // memory cap (ulimit) that the materialized plan cannot -- the CI
 // memory-ceiling smoke asserts exactly that.
+//
+// --trace-dir makes every engine job write a Chrome trace-event JSON of
+// its pipeline stages there (open in chrome://tracing or Perfetto);
+// --metrics-out dumps the engine's full metrics registry (cache tiers,
+// pool, job latency quantiles) as JSON after the jobs finish. Both only
+// apply to the --cache-dir engine section.
 #include <sys/resource.h>
 
 #include <cstdio>
@@ -96,6 +103,8 @@ int main(int argc, char** argv) {
 
   std::string path;
   std::string cache_dir;
+  std::string trace_dir;
+  std::string metrics_out;
   std::string smoke_function = "morris";
   int smoke_n = 300;
   int reds_smoke_l = 0;
@@ -119,6 +128,10 @@ int main(int argc, char** argv) {
       prim_config.alpha = std::atof(next());
     } else if (arg == "--cache-dir") {
       cache_dir = next();
+    } else if (arg == "--trace-dir") {
+      trace_dir = next();
+    } else if (arg == "--metrics-out") {
+      metrics_out = next();
     } else if (arg == "--expect-warm") {
       expect_warm = true;
     } else if (arg == "--reds-smoke") {
@@ -205,6 +218,7 @@ int main(int argc, char** argv) {
   if (!cache_dir.empty()) {
     engine::EngineConfig config;
     config.cache_dir = cache_dir;
+    config.trace_dir = trace_dir;
     engine::DiscoveryEngine engine(config);
     for (const char* method : {"RPx", "P"}) {
       engine::DiscoveryRequest request;
@@ -230,6 +244,20 @@ int main(int argc, char** argv) {
     }
     const engine::PersistentCacheStats stats = engine.persistent_cache_stats();
     engine.Shutdown();
+    if (!trace_dir.empty()) {
+      std::printf("\nwrote per-job traces to %s\n", engine.trace_dir().c_str());
+    }
+    if (!metrics_out.empty()) {
+      const std::string dump = engine.DumpMetrics();
+      std::FILE* f = std::fopen(metrics_out.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot open %s\n", metrics_out.c_str());
+        return 1;
+      }
+      std::fwrite(dump.data(), 1, dump.size(), f);
+      std::fclose(f);
+      std::printf("wrote engine metrics to %s\n", metrics_out.c_str());
+    }
     std::printf(
         "\npersistent cache (%s):\n  index  hits %d  misses %d  writes %d\n"
         "  model  hits %d  misses %d  writes %d\n  rejected %d  evicted %d\n",

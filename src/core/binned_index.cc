@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "core/quantile_sketch.h"
+#include "obs/trace.h"
 #include "util/fingerprint.h"
 #include "util/thread_pool.h"
 
@@ -212,6 +213,7 @@ Result<StreamedDataset> BinnedIndex::BuildStreamed(
   // accumulator in block order. Thread count therefore cannot change the
   // result; only block_rows can move sketch boundaries.
   {
+    obs::Span span("index.sketch_pass");
     std::unique_ptr<ThreadPool> pool;
     if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
     struct Slot {
@@ -318,6 +320,7 @@ Result<StreamedDataset> BinnedIndex::BuildStreamed(
         bins, -std::numeric_limits<double>::infinity());
   }
 
+  auto code_span = std::make_unique<obs::Span>("index.code_pass");
   std::unique_ptr<ThreadPool> code_pool;
   if (threads > 1 && m > 1) code_pool = std::make_unique<ThreadPool>(threads);
   int64_t seen = 0;
@@ -362,6 +365,7 @@ Result<StreamedDataset> BinnedIndex::BuildStreamed(
     return Status::FailedPrecondition(
         "dataset source yielded fewer rows on the second pass");
   }
+  code_span.reset();  // the assemble below is not part of the coding pass
 
   // --- Assemble: drop empty bins, exact bounds, rank offsets, own perm. --
   binned->num_bins_.resize(static_cast<size_t>(m));

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "core/quality.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 
 namespace reds {
@@ -242,38 +243,42 @@ MethodPlan PlanMethod(const MethodSpec& spec, const Dataset& train,
   // data D, not on REDS's relabeled D_new (paper Section 8.4.3).
   plan.alpha = options.default_alpha;
   plan.m = dims;
-  if (spec.tuned && spec.IsPrimFamily()) {
-    plan.alpha =
-        CrossValidateAlpha(train, options, DeriveSeed(options.seed, 11));
-  }
-  if (spec.tuned && spec.family == MethodSpec::Family::kBi) {
-    // Folds (and their indexes) are identical for every m candidate: build
-    // them once for the whole grid.
-    const auto splits =
-        MakeFolds(train, options.cv_folds, DeriveSeed(options.seed, 13));
-    const auto indexes = IndexFolds(splits, /*binned=*/false);
-    double best_score = -1e300;
-    for (int candidate : MGrid(dims)) {
-      const double score =
-          CvWraccForM(splits, indexes, candidate, spec.beam_size);
-      if (score > best_score) {
-        best_score = score;
-        plan.m = candidate;
+  if (spec.tuned) {
+    obs::Span span("plan.tune");
+    if (spec.IsPrimFamily()) {
+      plan.alpha =
+          CrossValidateAlpha(train, options, DeriveSeed(options.seed, 11));
+    }
+    if (spec.family == MethodSpec::Family::kBi) {
+      // Folds (and their indexes) are identical for every m candidate:
+      // build them once for the whole grid.
+      const auto splits =
+          MakeFolds(train, options.cv_folds, DeriveSeed(options.seed, 13));
+      const auto indexes = IndexFolds(splits, /*binned=*/false);
+      double best_score = -1e300;
+      for (int candidate : MGrid(dims)) {
+        const double score =
+            CvWraccForM(splits, indexes, candidate, spec.beam_size);
+        if (score > best_score) {
+          best_score = score;
+          plan.m = candidate;
+        }
       }
     }
-  }
-  if (spec.tuned && spec.family == MethodSpec::Family::kPrimBumping) {
-    BumpingConfig base;
-    base.q = options.bumping_q;
-    base.prim.alpha = plan.alpha;
-    base.prim.min_points = options.min_points;
-    double best_score = -1e300;
-    for (int candidate : MGrid(dims)) {
-      const double score = CvPrAucForBumpingM(
-          train, candidate, base, options.cv_folds, DeriveSeed(options.seed, 17));
-      if (score > best_score) {
-        best_score = score;
-        plan.m = candidate;
+    if (spec.family == MethodSpec::Family::kPrimBumping) {
+      BumpingConfig base;
+      base.q = options.bumping_q;
+      base.prim.alpha = plan.alpha;
+      base.prim.min_points = options.min_points;
+      double best_score = -1e300;
+      for (int candidate : MGrid(dims)) {
+        const double score =
+            CvPrAucForBumpingM(train, candidate, base, options.cv_folds,
+                               DeriveSeed(options.seed, 17));
+        if (score > best_score) {
+          best_score = score;
+          plan.m = candidate;
+        }
       }
     }
   }
@@ -302,12 +307,19 @@ MethodOutput ExecuteMethodPlan(const MethodPlan& plan, const Dataset& train,
   // original simulated sample stays on as validation data either way, so
   // box selection is grounded in real labels.
   if (plan.streamed_relabel) {
-    RedsStreamedRelabeling relabeling = RedsRelabelStreamed(
-        train, RedsConfigFor(spec, options), DeriveSeed(options.seed, 23));
-    StreamedBuildOptions build;
-    build.block_rows = options.stream_block_rows;
-    Result<StreamedDataset> streamed =
-        BinnedIndex::BuildStreamed(relabeling.new_data.get(), build);
+    // One relabel.stream span covers sampling, metamodel labeling, and the
+    // sketch/code passes: the relabeled points only exist inside this
+    // chunked pipeline. Deliberately NOT index.build -- this is per-job
+    // REDS work that runs warm or cold, while index.build marks engine-side
+    // training-index construction that a warm engine skips entirely.
+    Result<StreamedDataset> streamed = [&] {
+      obs::Span span("relabel.stream");
+      RedsStreamedRelabeling relabeling = RedsRelabelStreamed(
+          train, RedsConfigFor(spec, options), DeriveSeed(options.seed, 23));
+      StreamedBuildOptions build;
+      build.block_rows = options.stream_block_rows;
+      return BinnedIndex::BuildStreamed(relabeling.new_data.get(), build);
+    }();
     if (!streamed.ok()) {
       throw std::runtime_error("streamed REDS relabeling failed: " +
                                streamed.status().ToString());
@@ -330,6 +342,7 @@ MethodOutput ExecuteMethodPlan(const MethodPlan& plan, const Dataset& train,
   const Dataset* sd_val = &train;
   Dataset relabeled;
   if (spec.reds) {
+    obs::Span span("relabel.materialize");
     RedsRelabeling relabeling = RedsRelabel(train, RedsConfigFor(spec, options),
                                             DeriveSeed(options.seed, 23));
     relabeled = std::move(relabeling.new_data);
@@ -365,6 +378,7 @@ MethodOutput ExecuteMethodPlan(const MethodPlan& plan, const Dataset& train,
       break;
     }
     case MethodSpec::Family::kPrimBumping: {
+      obs::Span span("discover.bumping");
       BumpingConfig config;
       config.q = options.bumping_q;
       config.m = plan.m;
@@ -377,6 +391,7 @@ MethodOutput ExecuteMethodPlan(const MethodPlan& plan, const Dataset& train,
       break;
     }
     case MethodSpec::Family::kBi: {
+      obs::Span span("discover.bi");
       BiConfig config;
       config.beam_size = spec.beam_size;
       config.max_restricted = plan.m;

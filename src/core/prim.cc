@@ -15,6 +15,7 @@
 #include <memory>
 #include <utility>
 
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace reds {
@@ -986,17 +987,20 @@ PrimResult RunPrim(const Dataset& train, const Dataset& val,
     assert(train_binned->num_rows() == train.num_rows());
     assert(train_binned->num_cols() == train.num_cols());
     BinnedPeelState state(train, *train_index, *train_binned);
+    obs::Span span("prim.peel");
     result = RunPeelingPhase(train.num_cols(),
                              static_cast<double>(train.num_rows()),
                              train.TotalPositive(), &val, config, &state);
   } else {
     PeelState state(train, *train_index);
+    obs::Span span("prim.peel");
     result = RunPeelingPhase(train.num_cols(),
                              static_cast<double>(train.num_rows()),
                              train.TotalPositive(), &val, config, &state);
   }
 
   if (config.paste) {
+    obs::Span span("prim.paste");
     RunPastePhase(train, val, *train_index, config, train.TotalPositive(),
                   val.TotalPositive(), &result);
   }
@@ -1022,6 +1026,7 @@ PrimResult RunPrimStreamed(const BinnedIndex& binned,
   // materialized kernels run. Pasting needs raw training values, so it is
   // skipped.
   CodePeelState state(binned, y);
+  obs::Span span("prim.peel");
   return RunPeelingPhase(binned.num_cols(),
                          static_cast<double>(binned.num_rows()), total_pos,
                          val, config, &state);

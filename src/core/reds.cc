@@ -4,6 +4,7 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/trace.h"
 #include "util/rng.h"
 
 namespace reds {
@@ -14,10 +15,12 @@ std::shared_ptr<const ml::Metamodel> FitMetamodel(const Dataset& d,
                                                   const RedsConfig& config,
                                                   uint64_t seed) {
   if (config.metamodel_provider) {
+    // The provider (engine cache) traces its own hit/load/fit breakdown.
     return config.metamodel_provider(d, config.metamodel,
                                      config.tune_metamodel, config.budget,
                                      config.split_backend, seed);
   }
+  obs::Span span("metamodel.fit");
   return ml::FitMetamodel(config.metamodel, d, seed, config.tune_metamodel,
                           config.budget, nullptr, nullptr,
                           config.split_backend);

@@ -1,6 +1,8 @@
 #include "engine/discovery_engine.h"
 
+#include <chrono>
 #include <cstdlib>
+#include <filesystem>
 #include <stdexcept>
 
 #include "core/quality.h"
@@ -93,9 +95,9 @@ void Job::MarkFailed(std::string error) {
 
 namespace {
 
-std::string ResolveCacheDir(const std::string& configured) {
+std::string ResolveDir(const std::string& configured, const char* env_var) {
   if (!configured.empty()) return configured;
-  const char* env = std::getenv("REDS_CACHE_DIR");
+  const char* env = std::getenv(env_var);
   return env != nullptr ? std::string(env) : std::string();
 }
 
@@ -103,21 +105,48 @@ std::string ResolveCacheDir(const std::string& configured) {
 
 DiscoveryEngine::DiscoveryEngine(EngineConfig config)
     : config_(config),
-      cache_(config.metamodel_cache_capacity),
+      trace_dir_(ResolveDir(config.trace_dir, "REDS_TRACE_DIR")),
+      cache_(config.metamodel_cache_capacity, &metrics_),
       column_indexes_(config.column_index_cache_capacity),
       binned_indexes_(config.binned_index_cache_capacity),
       streamed_indexes_(config.binned_index_cache_capacity),
-      pool_(config.threads) {
+      pool_(config.threads, &metrics_, "engine.pool") {
+  jobs_submitted_ = metrics_.counter("engine.jobs.submitted");
+  jobs_completed_ = metrics_.counter("engine.jobs.completed");
+  jobs_failed_ = metrics_.counter("engine.jobs.failed");
+  job_latency_ = metrics_.histogram("engine.job.latency_ns");
+  column_index_hits_ = metrics_.counter("cache.index.column.hits");
+  column_index_misses_ = metrics_.counter("cache.index.column.misses");
+  binned_index_hits_ = metrics_.counter("cache.index.binned.hits");
+  binned_index_misses_ = metrics_.counter("cache.index.binned.misses");
+  streamed_index_hits_ = metrics_.counter("cache.index.streamed.hits");
+  streamed_index_misses_ = metrics_.counter("cache.index.streamed.misses");
   if (config.enable_persistent_cache) {
-    const std::string dir = ResolveCacheDir(config.cache_dir);
+    const std::string dir = ResolveDir(config.cache_dir, "REDS_CACHE_DIR");
     if (!dir.empty()) {
-      disk_ = std::make_unique<PersistentCache>(dir, config.cache_max_bytes);
+      disk_ = std::make_unique<PersistentCache>(dir, config.cache_max_bytes,
+                                                &metrics_);
     }
+  }
+  if (!trace_dir_.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(trace_dir_, ec);
+    if (ec) trace_dir_.clear();  // unwritable: run untraced, don't fail jobs
   }
 }
 
 JobHandle DiscoveryEngine::Submit(DiscoveryRequest request) {
   auto job = std::make_shared<Job>(std::move(request));
+  jobs_submitted_->Add(1);
+  if (!trace_dir_.empty()) {
+    // Process-wide, not per-engine: a warm engine sharing the trace_dir of
+    // the cold one that seeded its caches must not overwrite its files.
+    static std::atomic<uint64_t> g_job_seq{0};
+    const uint64_t seq = g_job_seq.fetch_add(1, std::memory_order_relaxed);
+    job->trace_ = std::make_shared<obs::Trace>(
+        "job-" + std::to_string(seq) + ":" + job->request().method,
+        &metrics_);
+  }
   pool_.Submit([this, job] { Execute(job); });
   return job;
 }
@@ -143,12 +172,20 @@ std::shared_ptr<const ColumnIndex> DiscoveryEngine::GetColumnIndex(
     const Dataset& d, uint64_t fingerprint) {
   {
     std::unique_lock<std::mutex> lock(column_index_mutex_);
-    if (auto* found = column_indexes_.Get(fingerprint)) return *found;
+    if (auto* found = column_indexes_.Get(fingerprint)) {
+      column_index_hits_->Add(1);
+      return *found;
+    }
   }
+  column_index_misses_->Add(1);
   // Build outside the lock: indexing a large relabeled matrix takes long
   // enough that serializing it would stall unrelated jobs. A rare race
   // builds twice and keeps one.
-  std::shared_ptr<const ColumnIndex> index = ColumnIndex::Build(d);
+  std::shared_ptr<const ColumnIndex> index;
+  {
+    obs::Span span("index.build");
+    index = ColumnIndex::Build(d);
+  }
   std::unique_lock<std::mutex> lock(column_index_mutex_);
   if (auto* found = column_indexes_.Get(fingerprint)) return *found;
   column_indexes_.Put(fingerprint, index);
@@ -160,8 +197,12 @@ std::shared_ptr<const BinnedIndex> DiscoveryEngine::GetBinnedIndex(
   const uint64_t fingerprint = FingerprintInputs(d);
   {
     std::unique_lock<std::mutex> lock(binned_index_mutex_);
-    if (auto* found = binned_indexes_.Get(fingerprint)) return *found;
+    if (auto* found = binned_indexes_.Get(fingerprint)) {
+      binned_index_hits_->Add(1);
+      return *found;
+    }
   }
+  binned_index_misses_->Add(1);
   // Memory miss: try the disk tier, then build. Both happen outside the
   // lock -- quantizing a large relabeled matrix takes long enough that
   // serializing it would stall unrelated jobs. A rare race builds twice
@@ -170,11 +211,13 @@ std::shared_ptr<const BinnedIndex> DiscoveryEngine::GetBinnedIndex(
   // here, so cold and warm runs see identical bins.
   std::shared_ptr<const BinnedIndex> binned;
   if (disk_ != nullptr) {
+    obs::Span span("index.load");
     binned = disk_->LoadBinnedIndex(fingerprint,
                                     BinnedIndex::BuildKind::kExactPack,
                                     d.num_rows(), d.num_cols());
   }
   if (binned == nullptr) {
+    obs::Span span("index.build");
     binned = BinnedIndex::Build(*GetColumnIndex(d, fingerprint));
     if (disk_ != nullptr) disk_->StoreBinnedIndex(fingerprint, *binned);
   }
@@ -185,6 +228,7 @@ std::shared_ptr<const BinnedIndex> DiscoveryEngine::GetBinnedIndex(
 }
 
 StreamedTrainData DiscoveryEngine::IngestSource(DatasetSource* source) {
+  obs::Span ingest_span("ingest.source");
   // Pass 1 -- identity: incremental fingerprints over the chunk stream
   // (the same byte layout the in-memory path hashes, so eager and
   // streamed requests share cache keys by construction). The labels ride
@@ -201,16 +245,19 @@ StreamedTrainData DiscoveryEngine::IngestSource(DatasetSource* source) {
   auto y = std::make_shared<std::vector<double>>();
   const int64_t hint = source->num_rows_hint();
   if (hint > 0) y->reserve(static_cast<size_t>(hint));
-  for (;;) {
-    Result<RowBlock> block = source->NextBlock(config_.stream_block_rows);
-    if (!block.ok()) {
-      throw std::runtime_error("streamed request source failed: " +
-                               block.status().ToString());
+  {
+    obs::Span span("ingest.fingerprint");
+    for (;;) {
+      Result<RowBlock> block = source->NextBlock(config_.stream_block_rows);
+      if (!block.ok()) {
+        throw std::runtime_error("streamed request source failed: " +
+                                 block.status().ToString());
+      }
+      if (block->empty()) break;
+      input_hasher.AddRows(block->x.data(), nullptr, block->num_rows());
+      full_hasher.AddRows(block->x.data(), block->y, block->num_rows());
+      y->insert(y->end(), block->y, block->y + block->num_rows());
     }
-    if (block->empty()) break;
-    input_hasher.AddRows(block->x.data(), nullptr, block->num_rows());
-    full_hasher.AddRows(block->x.data(), block->y, block->num_rows());
-    y->insert(y->end(), block->y, block->y + block->num_rows());
   }
   if (y->empty()) {
     throw std::invalid_argument("streamed request source yielded no rows");
@@ -224,15 +271,23 @@ StreamedTrainData DiscoveryEngine::IngestSource(DatasetSource* source) {
   {
     std::unique_lock<std::mutex> lock(streamed_index_mutex_);
     if (auto* found = streamed_indexes_.Get(data.input_fingerprint)) {
+      streamed_index_hits_->Add(1);
       data.index = *found;
       return data;
     }
   }
+  streamed_index_misses_->Add(1);  // LRU miss; the disk tier counts its own
   std::shared_ptr<const BinnedIndex> index;
   if (disk_ != nullptr) {
+    obs::Span span("index.load");
     index = disk_->LoadStreamedIndex(data.input_fingerprint, rows, cols);
   }
   if (index == nullptr) {
+    // The cold build: Chrome traces show its two passes as
+    // index.sketch_pass / index.code_pass children (emitted inside
+    // BuildStreamed), all under this index.build span -- the one the
+    // warm-trace test asserts is absent on a warm engine.
+    obs::Span span("index.build");
     StreamedBuildOptions options;
     options.block_rows = config_.stream_block_rows;
     Result<StreamedDataset> built =
@@ -308,6 +363,7 @@ MetamodelProvider DiscoveryEngine::MakeCachingProvider() {
       // canonical seed in the key makes the reloaded model bit-identical
       // to what this fit would have produced.
       if (disk_ != nullptr) {
+        obs::Span span("metamodel.load");
         if (std::shared_ptr<const ml::Metamodel> loaded =
                 disk_->LoadMetamodel(key)) {
           return loaded;
@@ -326,6 +382,7 @@ MetamodelProvider DiscoveryEngine::MakeCachingProvider() {
           binned = GetBinnedIndex(train);
         }
       }
+      obs::Span span("metamodel.fit");
       std::shared_ptr<const ml::Metamodel> model(
           ml::FitMetamodel(kind, train, key.seed, tune, budget, index.get(),
                            binned.get(), backend));
@@ -335,9 +392,31 @@ MetamodelProvider DiscoveryEngine::MakeCachingProvider() {
   };
 }
 
+namespace {
+
+// Trace names ("job-0:RPxp") become file names; keep them portable.
+std::string SanitizeFileName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                    c == '.';
+    if (!ok) c = '-';
+  }
+  return out;
+}
+
+}  // namespace
+
 void DiscoveryEngine::Execute(const JobHandle& job) {
   job->MarkRunning();
+  // Bind the job's trace (when tracing is on) to this worker thread, so
+  // every Span opened anywhere below -- method dispatch, REDS, PRIM,
+  // index builds, cache fits -- lands in it without signature changes.
+  obs::TraceBinding binding(job->trace_.get());
+  const auto job_start = std::chrono::steady_clock::now();
   try {
+    obs::Span root_span("job");
     const DiscoveryRequest& req = job->request();
     const int sources_set = (req.train ? 1 : 0) + (req.make_train ? 1 : 0) +
                             (req.make_train_source ? 1 : 0);
@@ -388,12 +467,16 @@ void DiscoveryEngine::Execute(const JobHandle& job) {
         // RunMethod). Fingerprints of the materialized data agree with
         // the streamed hashes by construction, so the metamodel and index
         // tiers warm across ingestion paths.
-        Result<Dataset> all = ReadAll(source.get(), config_.stream_block_rows);
-        if (!all.ok()) {
-          throw std::runtime_error("streamed request source failed: " +
-                                   all.status().ToString());
+        {
+          obs::Span span("ingest.materialize");
+          Result<Dataset> all =
+              ReadAll(source.get(), config_.stream_block_rows);
+          if (!all.ok()) {
+            throw std::runtime_error("streamed request source failed: " +
+                                     all.status().ToString());
+          }
+          generated = *std::move(all);
         }
-        generated = *std::move(all);
         out = RunMethod(*spec, generated, options);
       }
     } else {
@@ -403,18 +486,21 @@ void DiscoveryEngine::Execute(const JobHandle& job) {
     }
 
     MetricSet metrics;
-    metrics.restricted = out.last_box.NumRestricted();
-    metrics.runtime_seconds = out.runtime_seconds;
-    if (req.test) {
-      metrics.pr_auc = 100.0 * PrAucOnData(out.trajectory, *req.test);
-      const BoxStats stats = ComputeBoxStats(*req.test, out.last_box);
-      metrics.precision = 100.0 * Precision(stats);
-      metrics.recall = 100.0 * Recall(stats, req.test->TotalPositive());
-      metrics.wracc = 100.0 * WRAcc(stats, req.test->num_rows(),
-                                    req.test->TotalPositive());
-    }
-    if (req.relevant) {
-      metrics.irrel = NumIrrelevantRestricted(out.last_box, *req.relevant);
+    {
+      obs::Span span("validate");
+      metrics.restricted = out.last_box.NumRestricted();
+      metrics.runtime_seconds = out.runtime_seconds;
+      if (req.test) {
+        metrics.pr_auc = 100.0 * PrAucOnData(out.trajectory, *req.test);
+        const BoxStats stats = ComputeBoxStats(*req.test, out.last_box);
+        metrics.precision = 100.0 * Precision(stats);
+        metrics.recall = 100.0 * Recall(stats, req.test->TotalPositive());
+        metrics.wracc = 100.0 * WRAcc(stats, req.test->num_rows(),
+                                      req.test->TotalPositive());
+      }
+      if (req.relevant) {
+        metrics.irrel = NumIrrelevantRestricted(out.last_box, *req.relevant);
+      }
     }
     store_.Record(req.cell.empty() ? req.method : req.cell, req.rep, metrics,
                   out.last_box);
@@ -423,10 +509,24 @@ void DiscoveryEngine::Execute(const JobHandle& job) {
       out.trajectory.shrink_to_fit();
     }
     job->MarkDone(std::move(out), metrics);
+    jobs_completed_->Add(1);
   } catch (const std::exception& e) {
     job->MarkFailed(e.what());
+    jobs_failed_->Add(1);
   } catch (...) {
     job->MarkFailed("unknown error in discovery job");
+    jobs_failed_->Add(1);
+  }
+  job_latency_->Observe(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - job_start)
+          .count()));
+  if (job->trace_ != nullptr && !trace_dir_.empty()) {
+    // The root span has closed; persist the finished trace. Best-effort:
+    // a full disk must not fail the job.
+    job->trace_->WriteFile(trace_dir_ + "/" +
+                           SanitizeFileName(job->trace_->name()) +
+                           ".trace.json");
   }
 }
 

@@ -8,6 +8,7 @@
 #ifndef REDS_ENGINE_DISCOVERY_ENGINE_H_
 #define REDS_ENGINE_DISCOVERY_ENGINE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -23,6 +24,8 @@
 #include "engine/metamodel_cache.h"
 #include "engine/persistent_cache.h"
 #include "engine/result_store.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/lru_map.h"
 #include "util/thread_pool.h"
 
@@ -64,6 +67,16 @@ struct EngineConfig {
   /// time are evicted until it fits again (counted in
   /// persistent_cache_stats().evictions).
   uint64_t cache_max_bytes = 0;
+  /// Directory for per-job Chrome trace-event JSON files. Empty: the
+  /// REDS_TRACE_DIR environment variable is consulted; still empty
+  /// disables tracing (jobs carry no Trace and pay nothing). When active,
+  /// every job records a span tree of its pipeline stages -- ingest,
+  /// index build/load, metamodel fit vs cache hit, relabel stream,
+  /// tuning, peel/paste, validation -- written as
+  /// `<trace_dir>/job-<seq>-<method>.trace.json`, loadable in
+  /// chrome://tracing or
+  /// Perfetto, and also reachable via Job::trace().
+  std::string trace_dir;
   /// Rows per block when the engine itself ingests a DatasetSource
   /// request (IngestSource), whose indexes land in the shared cache
   /// tiers and must be engine-consistent. Part of the sketch-binned
@@ -143,6 +156,10 @@ class Job {
 
   const DiscoveryRequest& request() const { return request_; }
 
+  /// The job's pipeline trace, or null when the engine runs without a
+  /// trace_dir. Stable (and complete) once Finished().
+  const obs::Trace* trace() const { return trace_.get(); }
+
  private:
   friend class DiscoveryEngine;
 
@@ -151,6 +168,7 @@ class Job {
   void MarkFailed(std::string error);
 
   DiscoveryRequest request_;
+  std::shared_ptr<obs::Trace> trace_;  // set by the engine before running
   mutable std::mutex mutex_;
   mutable std::condition_variable done_;
   JobState state_ = JobState::kQueued;
@@ -239,6 +257,21 @@ class DiscoveryEngine {
   /// proves an index build was skipped.
   PersistentCacheStats persistent_cache_stats() const;
 
+  /// The engine-wide metrics registry: every cache tier, the worker pool,
+  /// job counters/latency, and per-stage span histograms report here.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+  /// One-page export of every metric: stable JSON (default) or Prometheus
+  /// text exposition.
+  std::string DumpMetrics(
+      obs::ExportFormat format = obs::ExportFormat::kJson) const {
+    return metrics_.Dump(format);
+  }
+
+  /// Directory per-job traces are written to; empty when tracing is off.
+  const std::string& trace_dir() const { return trace_dir_; }
+
  private:
   void Execute(const JobHandle& job);
   MetamodelProvider MakeCachingProvider();
@@ -248,6 +281,21 @@ class DiscoveryEngine {
                                                     uint64_t fingerprint);
 
   EngineConfig config_;
+  // First member: every other subsystem (caches, pool) holds pointers into
+  // this registry, so it must outlive them all.
+  obs::MetricsRegistry metrics_;
+  std::string trace_dir_;  // resolved from config/env; empty = tracing off
+  // Job/engine-level metrics, resolved once at construction.
+  obs::Counter* jobs_submitted_ = nullptr;
+  obs::Counter* jobs_completed_ = nullptr;
+  obs::Counter* jobs_failed_ = nullptr;
+  obs::Histogram* job_latency_ = nullptr;  // ns, per finished job
+  obs::Counter* column_index_hits_ = nullptr;
+  obs::Counter* column_index_misses_ = nullptr;
+  obs::Counter* binned_index_hits_ = nullptr;
+  obs::Counter* binned_index_misses_ = nullptr;
+  obs::Counter* streamed_index_hits_ = nullptr;
+  obs::Counter* streamed_index_misses_ = nullptr;
   MetamodelCache cache_;
   std::unique_ptr<PersistentCache> disk_;  // null: tier disabled
   mutable std::mutex column_index_mutex_;

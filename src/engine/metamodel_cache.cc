@@ -1,6 +1,25 @@
 #include "engine/metamodel_cache.h"
 
+#include "obs/trace.h"
+
 namespace reds::engine {
+
+MetamodelCache::MetamodelCache(size_t capacity, obs::MetricsRegistry* metrics)
+    : entries_(capacity) {
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  fits_ = metrics->counter("cache.metamodel.fits");
+  hits_ = metrics->counter("cache.metamodel.hits");
+  evictions_ = metrics->counter("cache.metamodel.evictions");
+  size_gauge_ = metrics->gauge("cache.metamodel.size");
+}
+
+void MetamodelCache::UpdateSizeGauge() {
+  size_gauge_->Set(
+      static_cast<int64_t>(entries_.size() + in_flight_.size()));
+}
 
 std::shared_ptr<const ml::Metamodel> MetamodelCache::GetOrFit(
     const MetamodelKey& key, const FitFn& fit) {
@@ -9,19 +28,22 @@ std::shared_ptr<const ml::Metamodel> MetamodelCache::GetOrFit(
   {
     std::unique_lock<std::mutex> lock(mutex_);
     if (std::shared_ptr<Entry>* found = entries_.Get(key)) {
-      hits_.fetch_add(1);
+      hits_->Add(1);
+      obs::TraceInstant("metamodel.cache_hit");
       return (*found)->get();  // completed: no blocking under the lock
     }
     const auto running = in_flight_.find(key);
     if (running != in_flight_.end()) {
-      hits_.fetch_add(1);
+      hits_->Add(1);
+      obs::TraceInstant("metamodel.cache_hit");
       const std::shared_ptr<Entry> entry = running->second;
       lock.unlock();
       return entry->get();  // blocks until the owning fit finishes
     }
     mine = std::make_shared<Entry>(promise.get_future().share());
     in_flight_.emplace(key, mine);
-    fits_.fetch_add(1);
+    fits_->Add(1);
+    UpdateSizeGauge();
   }
   try {
     std::shared_ptr<const ml::Metamodel> model = fit();
@@ -34,7 +56,11 @@ std::shared_ptr<const ml::Metamodel> MetamodelCache::GetOrFit(
       const auto it = in_flight_.find(key);
       if (it != in_flight_.end() && it->second == mine) {
         in_flight_.erase(it);
+        const uint64_t before = entries_.evictions();
         entries_.Put(key, mine);
+        const uint64_t delta = entries_.evictions() - before;
+        if (delta > 0) evictions_->Add(delta);
+        UpdateSizeGauge();
       }
     }
     return model;
@@ -44,6 +70,7 @@ std::shared_ptr<const ml::Metamodel> MetamodelCache::GetOrFit(
       std::unique_lock<std::mutex> lock(mutex_);
       const auto it = in_flight_.find(key);
       if (it != in_flight_.end() && it->second == mine) in_flight_.erase(it);
+      UpdateSizeGauge();
     }
     promise.set_exception(std::current_exception());
     throw;
@@ -68,8 +95,8 @@ size_t MetamodelCache::capacity() const {
 MetamodelCacheStats MetamodelCache::stats() const {
   std::unique_lock<std::mutex> lock(mutex_);
   MetamodelCacheStats s;
-  s.fits = fits_.load();
-  s.hits = hits_.load();
+  s.fits = static_cast<int>(fits_->Value());
+  s.hits = static_cast<int>(hits_->Value());
   s.evictions = entries_.evictions();
   s.size = static_cast<int>(entries_.size() + in_flight_.size());
   s.capacity = entries_.capacity();
@@ -80,6 +107,7 @@ void MetamodelCache::Clear() {
   std::unique_lock<std::mutex> lock(mutex_);
   entries_.Clear();
   in_flight_.clear();
+  UpdateSizeGauge();
 }
 
 }  // namespace reds::engine

@@ -23,6 +23,7 @@
 
 #include "ml/model.h"
 #include "ml/tuning.h"
+#include "obs/metrics.h"
 #include "util/lru_map.h"
 
 namespace reds::engine {
@@ -63,7 +64,12 @@ class MetamodelCache {
   using FitFn = std::function<std::shared_ptr<const ml::Metamodel>()>;
 
   /// `capacity` bounds the number of cached models (LRU); 0 = unbounded.
-  explicit MetamodelCache(size_t capacity = 0) : entries_(capacity) {}
+  /// Counters live in `metrics` under `cache.metamodel.{fits,hits,
+  /// evictions}` plus a `cache.metamodel.size` gauge; when null the cache
+  /// owns a private registry, so standalone construction keeps working and
+  /// the accessors below stay exact either way.
+  explicit MetamodelCache(size_t capacity = 0,
+                          obs::MetricsRegistry* metrics = nullptr);
 
   /// Returns the cached model for `key`, running `fit` (at most once per
   /// key) on a miss. A `fit` that throws is not cached; the exception
@@ -73,11 +79,12 @@ class MetamodelCache {
                                                 const FitFn& fit);
 
   /// Number of fits actually executed (cache misses that ran training).
-  int fit_count() const { return fits_.load(); }
+  /// A thin view over the `cache.metamodel.fits` registry counter.
+  int fit_count() const { return static_cast<int>(fits_->Value()); }
 
   /// Number of requests served without training (including waits on an
   /// in-flight fit for the same key).
-  int hit_count() const { return hits_.load(); }
+  int hit_count() const { return static_cast<int>(hits_->Value()); }
 
   /// Number of entries dropped by LRU eviction.
   uint64_t eviction_count() const;
@@ -100,14 +107,21 @@ class MetamodelCache {
   // inserted after a concurrent Clear().
   using Entry = std::shared_future<std::shared_ptr<const ml::Metamodel>>;
 
+  void UpdateSizeGauge();  // requires mutex_ held
+
   mutable std::mutex mutex_;
   // Fits currently running: pinned (never evicted) so racing requests for
   // the same key always find and wait on the one in-flight attempt.
   std::map<MetamodelKey, std::shared_ptr<Entry>> in_flight_;
   // Completed models, LRU-bounded.
   LruMap<MetamodelKey, std::shared_ptr<Entry>> entries_;
-  std::atomic<int> fits_{0};
-  std::atomic<int> hits_{0};
+  // Fallback registry when none is shared in; declared before the metric
+  // pointers it backs.
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::Counter* fits_ = nullptr;
+  obs::Counter* hits_ = nullptr;
+  obs::Counter* evictions_ = nullptr;  // mirrors LruMap deltas
+  obs::Gauge* size_gauge_ = nullptr;
 };
 
 }  // namespace reds::engine

@@ -73,12 +73,26 @@ bool ReadKeyEchoMatches(const MetamodelKey& key, util::ByteReader* in) {
 
 }  // namespace
 
-PersistentCache::PersistentCache(std::string dir, uint64_t max_bytes)
+PersistentCache::PersistentCache(std::string dir, uint64_t max_bytes,
+                                 obs::MetricsRegistry* metrics)
     : dir_(std::move(dir)), max_bytes_(max_bytes) {
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);
   // Best-effort: an unwritable directory just makes every lookup miss and
   // every store a no-op; the engine falls back to building/fitting.
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  index_hits_ = metrics->counter("cache.persistent.index_hits");
+  index_misses_ = metrics->counter("cache.persistent.index_misses");
+  index_writes_ = metrics->counter("cache.persistent.index_writes");
+  model_hits_ = metrics->counter("cache.persistent.model_hits");
+  model_misses_ = metrics->counter("cache.persistent.model_misses");
+  model_writes_ = metrics->counter("cache.persistent.model_writes");
+  rejected_ = metrics->counter("cache.persistent.rejected");
+  evictions_ = metrics->counter("cache.persistent.evictions");
+  bytes_evicted_ = metrics->counter("cache.persistent.bytes_evicted");
 }
 
 std::string PersistentCache::IndexPath(uint64_t input_fingerprint,
@@ -128,10 +142,7 @@ bool PersistentCache::ReadPayload(const std::string& path,
     util::ByteReader trailer(raw->data() + *payload_begin + *payload_size, 8);
     valid = checksum == trailer.U64();
   }
-  if (!valid) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    ++stats_.rejected;
-  }
+  if (!valid) rejected_->Add(1);
   return valid;
 }
 
@@ -187,8 +198,7 @@ std::shared_ptr<const BinnedIndex> PersistentCache::LoadIndexFile(
   std::string raw;
   size_t begin = 0, size = 0;
   if (!ReadPayload(path, kIndexMagic, &raw, &begin, &size)) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    ++stats_.index_misses;
+    index_misses_->Add(1);
     return nullptr;
   }
   util::ByteReader in(raw.data() + begin, size);
@@ -201,13 +211,12 @@ std::shared_ptr<const BinnedIndex> PersistentCache::LoadIndexFile(
                      (!require_sorted_rows || (*index)->has_sorted_rows()) &&
                      (*index)->num_rows() == expect_rows &&
                      (*index)->num_cols() == expect_cols;
-  std::unique_lock<std::mutex> lock(mutex_);
   if (!valid) {
-    ++stats_.rejected;
-    ++stats_.index_misses;
+    rejected_->Add(1);
+    index_misses_->Add(1);
     return nullptr;
   }
-  ++stats_.index_hits;
+  index_hits_->Add(1);
   return *std::move(index);
 }
 
@@ -238,10 +247,7 @@ void PersistentCache::StoreBinnedIndex(uint64_t input_fingerprint,
   // must read as "nothing stored", not as a populated cache.
   const std::string path = IndexPath(input_fingerprint, index.kind());
   if (!WritePayload(path, kIndexMagic, payload.data())) return;
-  {
-    std::unique_lock<std::mutex> lock(mutex_);
-    ++stats_.index_writes;
-  }
+  index_writes_->Add(1);
   EvictOverCap(path);
 }
 
@@ -253,10 +259,7 @@ void PersistentCache::StoreStreamedIndex(uint64_t input_fingerprint,
   index.Serialize(&payload);
   const std::string path = StreamedIndexPath(input_fingerprint);
   if (!WritePayload(path, kIndexMagic, payload.data())) return;
-  {
-    std::unique_lock<std::mutex> lock(mutex_);
-    ++stats_.index_writes;
-  }
+  index_writes_->Add(1);
   EvictOverCap(path);
 }
 
@@ -265,26 +268,23 @@ std::shared_ptr<const ml::Metamodel> PersistentCache::LoadMetamodel(
   std::string raw;
   size_t begin = 0, size = 0;
   if (!ReadPayload(ModelPath(key), kModelMagic, &raw, &begin, &size)) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    ++stats_.model_misses;
+    model_misses_->Add(1);
     return nullptr;
   }
   util::ByteReader in(raw.data() + begin, size);
   if (!ReadKeyEchoMatches(key, &in)) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    ++stats_.rejected;
-    ++stats_.model_misses;
+    rejected_->Add(1);
+    model_misses_->Add(1);
     return nullptr;
   }
   Result<std::shared_ptr<const ml::Metamodel>> model =
       ml::DeserializeMetamodel(&in, key.kind);
-  std::unique_lock<std::mutex> lock(mutex_);
   if (!model.ok()) {
-    ++stats_.rejected;
-    ++stats_.model_misses;
+    rejected_->Add(1);
+    model_misses_->Add(1);
     return nullptr;
   }
-  ++stats_.model_hits;
+  model_hits_->Add(1);
   return *std::move(model);
 }
 
@@ -295,10 +295,7 @@ void PersistentCache::StoreMetamodel(const MetamodelKey& key,
   ml::SerializeMetamodel(model, key.kind, &payload);
   const std::string path = ModelPath(key);
   if (!WritePayload(path, kModelMagic, payload.data())) return;
-  {
-    std::unique_lock<std::mutex> lock(mutex_);
-    ++stats_.model_writes;
-  }
+  model_writes_->Add(1);
   EvictOverCap(path);
 }
 
@@ -344,6 +341,7 @@ void PersistentCache::EvictOverCap(const std::string& just_written) {
     return a.mtime != b.mtime ? a.mtime < b.mtime : a.path < b.path;
   });
   int evicted = 0;
+  uint64_t bytes_freed = 0;
   // Cache files are uniquely named within the directory, so filename
   // equality is the robust comparison (dir_ spellings -- trailing slashes,
   // relative prefixes -- must not defeat the sparing below).
@@ -356,18 +354,28 @@ void PersistentCache::EvictOverCap(const std::string& just_written) {
     std::error_code remove_ec;
     if (std::filesystem::remove(e.path, remove_ec) && !remove_ec) {
       total -= e.size;
+      bytes_freed += e.size;
       ++evicted;
     }
   }
   if (evicted > 0) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    stats_.evictions += evicted;
+    evictions_->Add(static_cast<uint64_t>(evicted));
+    bytes_evicted_->Add(bytes_freed);
   }
 }
 
 PersistentCacheStats PersistentCache::stats() const {
-  std::unique_lock<std::mutex> lock(mutex_);
-  return stats_;
+  PersistentCacheStats s;
+  s.index_hits = static_cast<int>(index_hits_->Value());
+  s.index_misses = static_cast<int>(index_misses_->Value());
+  s.index_writes = static_cast<int>(index_writes_->Value());
+  s.model_hits = static_cast<int>(model_hits_->Value());
+  s.model_misses = static_cast<int>(model_misses_->Value());
+  s.model_writes = static_cast<int>(model_writes_->Value());
+  s.rejected = static_cast<int>(rejected_->Value());
+  s.evictions = static_cast<int>(evictions_->Value());
+  s.bytes_evicted = bytes_evicted_->Value();
+  return s;
 }
 
 }  // namespace reds::engine

@@ -14,16 +14,18 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "core/binned_index.h"
 #include "engine/metamodel_cache.h"
 #include "ml/model.h"
+#include "obs/metrics.h"
 
 namespace reds::engine {
 
-/// Point-in-time counters of the disk tier.
+/// Point-in-time counters of the disk tier. A view assembled from the
+/// `cache.persistent.*` registry counters, which are the single source of
+/// truth (see PersistentCache's constructor).
 struct PersistentCacheStats {
   int index_hits = 0;     // BinnedIndexes loaded from disk
   int index_misses = 0;   // lookups with no (valid) file
@@ -33,6 +35,7 @@ struct PersistentCacheStats {
   int model_writes = 0;
   int rejected = 0;       // corrupt/truncated/mismatched files refused
   int evictions = 0;      // entries dropped to respect the byte cap
+  uint64_t bytes_evicted = 0;  // summed size of the entries dropped
 };
 
 class PersistentCache {
@@ -42,8 +45,13 @@ class PersistentCache {
   /// behavior): after every store that pushes the directory past the cap,
   /// the oldest entries by modification time are deleted until the
   /// remainder fits. The entry just written is never evicted, so the cap
-  /// is approximate by at most one entry.
-  explicit PersistentCache(std::string dir, uint64_t max_bytes = 0);
+  /// is approximate by at most one entry. Counters live in `metrics` under
+  /// `cache.persistent.{index_hits,index_misses,index_writes,model_hits,
+  /// model_misses,model_writes,rejected,evictions,bytes_evicted}`; when
+  /// null the cache owns a private registry so standalone construction
+  /// keeps working.
+  explicit PersistentCache(std::string dir, uint64_t max_bytes = 0,
+                           obs::MetricsRegistry* metrics = nullptr);
 
   PersistentCache(const PersistentCache&) = delete;
   PersistentCache& operator=(const PersistentCache&) = delete;
@@ -106,8 +114,19 @@ class PersistentCache {
 
   std::string dir_;
   uint64_t max_bytes_ = 0;  // 0: unlimited
-  mutable std::mutex mutex_;
-  PersistentCacheStats stats_;
+  // Fallback registry when none is shared in; declared before the metric
+  // pointers it backs. Counters are thread-safe on their own, so the disk
+  // tier needs no stats mutex.
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::Counter* index_hits_ = nullptr;
+  obs::Counter* index_misses_ = nullptr;
+  obs::Counter* index_writes_ = nullptr;
+  obs::Counter* model_hits_ = nullptr;
+  obs::Counter* model_misses_ = nullptr;
+  obs::Counter* model_writes_ = nullptr;
+  obs::Counter* rejected_ = nullptr;
+  obs::Counter* evictions_ = nullptr;
+  obs::Counter* bytes_evicted_ = nullptr;
 };
 
 }  // namespace reds::engine

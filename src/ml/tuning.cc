@@ -10,6 +10,7 @@
 #include "ml/metrics.h"
 #include "ml/random_forest.h"
 #include "ml/svm.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 
 namespace reds::ml {
@@ -156,6 +157,7 @@ std::unique_ptr<Metamodel> FitDefault(MetamodelKind kind, const Dataset& d,
 std::unique_ptr<Metamodel> TuneAndFit(MetamodelKind kind, const Dataset& d,
                                       uint64_t seed,
                                       const TuningConfig& config) {
+  obs::Span span("metamodel.tune");
   const bool full = config.budget == TuningBudget::kFull;
   const int m = d.num_cols();
   std::vector<ModelFactory> grid;

@@ -1,0 +1,283 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace reds::obs {
+
+size_t Counter::ShardIndex() noexcept {
+  // Each thread claims one shard slot on first use; round-robin assignment
+  // spreads unrelated threads across the lines.
+  static std::atomic<size_t> next{0};
+  thread_local const size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) %
+      static_cast<size_t>(kShards);
+  return slot;
+}
+
+Histogram::Histogram() : buckets_(static_cast<size_t>(kNumBuckets)) {}
+
+int Histogram::BucketIndex(uint64_t value) noexcept {
+  if (value < static_cast<uint64_t>(kSubBuckets)) {
+    return static_cast<int>(value);
+  }
+  const int exponent = std::bit_width(value) - 1;  // >= kSubShift
+  const int sub = static_cast<int>((value - (uint64_t{1} << exponent)) >>
+                                   (exponent - kSubShift));
+  return kSubBuckets + (exponent - kSubShift) * kSubBuckets + sub;
+}
+
+uint64_t Histogram::BucketLowerBound(int index) noexcept {
+  if (index < kSubBuckets) return static_cast<uint64_t>(index);
+  const int group = (index - kSubBuckets) / kSubBuckets;
+  const int sub = (index - kSubBuckets) % kSubBuckets;
+  const int exponent = group + kSubShift;
+  return (uint64_t{1} << exponent) +
+         (static_cast<uint64_t>(sub) << (exponent - kSubShift));
+}
+
+double Histogram::BucketRepresentative(int index) noexcept {
+  if (index < kSubBuckets) return static_cast<double>(index);  // exact
+  const int group = (index - kSubBuckets) / kSubBuckets;
+  const int exponent = group + kSubShift;
+  const uint64_t width = uint64_t{1} << (exponent - kSubShift);
+  return static_cast<double>(BucketLowerBound(index)) +
+         static_cast<double>(width - 1) * 0.5;
+}
+
+void Histogram::Observe(uint64_t value) noexcept {
+#ifndef REDS_OBS_NOOP
+  buckets_[static_cast<size_t>(BucketIndex(value))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+#else
+  (void)value;
+#endif
+}
+
+HistogramSnapshot Histogram::TakeSnapshot() const {
+  HistogramSnapshot out;
+  out.buckets.resize(static_cast<size_t>(kNumBuckets));
+  for (int b = 0; b < kNumBuckets; ++b) {
+    out.buckets[static_cast<size_t>(b)] =
+        buckets_[static_cast<size_t>(b)].load(std::memory_order_relaxed);
+  }
+  out.count = count_.load(std::memory_order_relaxed);
+  out.sum = sum_.load(std::memory_order_relaxed);
+  const uint64_t lo = min_.load(std::memory_order_relaxed);
+  out.min = out.count > 0 && lo != UINT64_MAX ? lo : 0;
+  out.max = max_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void Histogram::MergeFrom(const HistogramSnapshot& snapshot) {
+#ifndef REDS_OBS_NOOP
+  const size_t n = std::min(snapshot.buckets.size(),
+                            static_cast<size_t>(kNumBuckets));
+  for (size_t b = 0; b < n; ++b) {
+    if (snapshot.buckets[b] > 0) {
+      buckets_[b].fetch_add(snapshot.buckets[b], std::memory_order_relaxed);
+    }
+  }
+  count_.fetch_add(snapshot.count, std::memory_order_relaxed);
+  sum_.fetch_add(snapshot.sum, std::memory_order_relaxed);
+  if (snapshot.count > 0) {
+    uint64_t seen = min_.load(std::memory_order_relaxed);
+    while (snapshot.min < seen &&
+           !min_.compare_exchange_weak(seen, snapshot.min,
+                                       std::memory_order_relaxed)) {
+    }
+    seen = max_.load(std::memory_order_relaxed);
+    while (snapshot.max > seen &&
+           !max_.compare_exchange_weak(seen, snapshot.max,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+#else
+  (void)snapshot;
+#endif
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  if (buckets.size() < other.buckets.size()) {
+    buckets.resize(other.buckets.size(), 0);
+  }
+  for (size_t b = 0; b < other.buckets.size(); ++b) {
+    buckets[b] += other.buckets[b];
+  }
+  if (other.count > 0) {
+    min = count > 0 ? std::min(min, other.min) : other.min;
+    max = count > 0 ? std::max(max, other.max) : other.max;
+  }
+  count += other.count;
+  sum += other.sum;
+}
+
+double HistogramSnapshot::Quantile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  // Nearest rank: the smallest bucket whose cumulative count reaches
+  // ceil(p * count), with rank 1 for p == 0 (the minimum).
+  uint64_t rank = static_cast<uint64_t>(
+      std::max(1.0, std::ceil(p * static_cast<double>(count))));
+  rank = std::min(rank, count);
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    cumulative += buckets[b];
+    if (cumulative >= rank) {
+      double value = Histogram::BucketRepresentative(static_cast<int>(b));
+      // The recorded extremes tighten the outermost buckets.
+      value = std::max(value, static_cast<double>(min));
+      value = std::min(value, static_cast<double>(max));
+      return value;
+    }
+  }
+  return static_cast<double>(max);
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+uint64_t MetricsRegistry::CounterValue(const std::string& name) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->Value();
+}
+
+int64_t MetricsRegistry::GaugeValue(const std::string& name) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second->Value();
+}
+
+HistogramSnapshot MetricsRegistry::HistogramData(
+    const std::string& name) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? HistogramSnapshot() :
+                                   it->second->TakeSnapshot();
+}
+
+namespace {
+
+void AppendJsonNumber(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  *out += buf;
+}
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == '.' || c == '-') c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToJson() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + name + "\": " + std::to_string(counter->Value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + name + "\": " + std::to_string(gauge->Value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    const HistogramSnapshot s = histogram->TakeSnapshot();
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + name + "\": {\"count\": " + std::to_string(s.count) +
+           ", \"sum\": " + std::to_string(s.sum) + ", \"mean\": ";
+    AppendJsonNumber(&out, s.MeanValue());
+    out += ", \"min\": " + std::to_string(s.min) +
+           ", \"max\": " + std::to_string(s.max);
+    for (const auto& [label, p] :
+         {std::pair<const char*, double>{"p50", 0.50},
+          {"p90", 0.90},
+          {"p95", 0.95},
+          {"p99", 0.99}}) {
+      out += std::string(", \"") + label + "\": ";
+      AppendJsonNumber(&out, s.Quantile(p));
+    }
+    out += "}";
+  }
+  out += first ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+std::string MetricsRegistry::ToPrometheusText() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    const std::string p = PrometheusName(name);
+    out += "# TYPE " + p + " counter\n";
+    out += p + " " + std::to_string(counter->Value()) + "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    const std::string p = PrometheusName(name);
+    out += "# TYPE " + p + " gauge\n";
+    out += p + " " + std::to_string(gauge->Value()) + "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const std::string p = PrometheusName(name);
+    const HistogramSnapshot s = histogram->TakeSnapshot();
+    out += "# TYPE " + p + " summary\n";
+    for (const auto& [label, q] :
+         {std::pair<const char*, double>{"0.5", 0.50},
+          {"0.9", 0.90},
+          {"0.95", 0.95},
+          {"0.99", 0.99}}) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.6g", s.Quantile(q));
+      out += p + "{quantile=\"" + label + "\"} " + buf + "\n";
+    }
+    out += p + "_sum " + std::to_string(s.sum) + "\n";
+    out += p + "_count " + std::to_string(s.count) + "\n";
+  }
+  return out;
+}
+
+}  // namespace reds::obs

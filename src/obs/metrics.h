@@ -1,0 +1,230 @@
+// Engine-wide metrics: a registry of named counters, gauges, and mergeable
+// log-bucket latency histograms. Instrumentation sites resolve their metric
+// once (pointers are stable for the registry's lifetime) and then record
+// lock-free: counters are thread-sharded, gauges are single atomics, and
+// histogram buckets are relaxed atomic adds. The registry exports two ways
+// -- stable JSON and Prometheus text exposition -- so the same numbers feed
+// tests, BENCH_*.json records, and a scrape endpoint once the network
+// service lands.
+//
+// Compiled-in no-op mode: building with -DREDS_OBS_NOOP compiles out every
+// timed path -- Histogram::Observe, ScopedTimer, trace spans/instants --
+// measuring the instrumentation floor with zero clock reads. Counters and
+// gauges stay live in every mode: they are one relaxed atomic add on rare
+// events, and the cache stat views (hit/miss/write counts) are thin reads
+// over them, so disabling them would change observable engine behavior.
+#ifndef REDS_OBS_METRICS_H_
+#define REDS_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace reds::obs {
+
+/// Monotonic counter, sharded across cache lines so concurrent writers on
+/// different threads do not bounce one hot line. Value() sums the shards.
+class Counter {
+ public:
+  static constexpr int kShards = 16;
+
+  void Add(uint64_t delta = 1) noexcept {
+    // Live even under REDS_OBS_NOOP: cache stat views read these.
+    shards_[ShardIndex()].value.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const noexcept {
+    uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+
+  static size_t ShardIndex() noexcept;
+
+  std::array<Shard, kShards> shards_;
+};
+
+/// Point-in-time signed value (queue depth, cache size, active workers).
+class Gauge {
+ public:
+  void Set(int64_t value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+
+  void Add(int64_t delta) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  int64_t Value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Value-type histogram contents: bucket counts plus count/sum/min/max.
+/// Merge adds bucket-wise, so merging is associative and commutative --
+/// per-thread, per-job, or per-process histograms fold into one without
+/// loss (the basis for the sharded-discovery and service PRs).
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;  // 0 when count == 0
+  uint64_t max = 0;
+  std::vector<uint64_t> buckets;
+
+  void Merge(const HistogramSnapshot& other);
+
+  /// Quantile by nearest rank: the representative value (bucket midpoint)
+  /// of the bucket holding the ceil(p * count)-th smallest observation.
+  /// Within the histogram's relative error bound (see Histogram) of the
+  /// exact sample quantile. Returns 0 when empty; p in [0, 1].
+  double Quantile(double p) const;
+
+  double MeanValue() const {
+    return count > 0 ? static_cast<double>(sum) / static_cast<double>(count)
+                     : 0.0;
+  }
+};
+
+/// Mergeable log-bucket latency histogram over uint64 values (convention:
+/// record durations in nanoseconds). Layout: values below kSubBuckets are
+/// recorded exactly (unit-width buckets); above, each power-of-two octave
+/// splits into kSubBuckets linear sub-buckets, so the relative error of any
+/// reported quantile is at most 1/kSubBuckets (3.125%). Observe() is two
+/// relaxed atomic adds plus min/max updates -- safe and cheap from any
+/// thread.
+class Histogram {
+ public:
+  static constexpr int kSubBuckets = 32;       // power of two
+  static constexpr int kSubShift = 5;          // log2(kSubBuckets)
+  static constexpr int kNumBuckets = kSubBuckets * (64 - kSubShift + 1);
+
+  Histogram();
+
+  void Observe(uint64_t value) noexcept;
+
+  /// Records the duration of `fn` in nanoseconds.
+  template <typename Fn>
+  void Time(Fn&& fn) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    Observe(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count()));
+  }
+
+  uint64_t Count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  uint64_t Sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  double Quantile(double p) const { return TakeSnapshot().Quantile(p); }
+
+  HistogramSnapshot TakeSnapshot() const;
+
+  /// Folds a snapshot (e.g. from another process) into this histogram.
+  void MergeFrom(const HistogramSnapshot& snapshot);
+
+  /// Index of the bucket holding `value` (exposed for tests).
+  static int BucketIndex(uint64_t value) noexcept;
+  /// Inclusive lower bound of bucket `index`.
+  static uint64_t BucketLowerBound(int index) noexcept;
+  /// Representative (midpoint) value reported for bucket `index`.
+  static double BucketRepresentative(int index) noexcept;
+
+ private:
+  std::vector<std::atomic<uint64_t>> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// Records the wall time of a scope into a histogram, in nanoseconds.
+/// A null histogram makes the timer free of clock calls.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram) : histogram_(histogram) {
+#ifndef REDS_OBS_NOOP
+    if (histogram_ != nullptr) start_ = std::chrono::steady_clock::now();
+#endif
+  }
+  ~ScopedTimer() {
+#ifndef REDS_OBS_NOOP
+    if (histogram_ != nullptr) {
+      histogram_->Observe(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - start_)
+              .count()));
+    }
+#endif
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+enum class ExportFormat { kJson, kPrometheus };
+
+/// Named metrics, one namespace per kind. counter()/gauge()/histogram()
+/// get-or-create and return pointers that stay valid for the registry's
+/// lifetime, so instrumentation sites resolve once at construction and
+/// record without further lookups. Thread-safe.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name);
+
+  /// Counter value by name; 0 when absent (test/assertion convenience).
+  uint64_t CounterValue(const std::string& name) const;
+  int64_t GaugeValue(const std::string& name) const;
+  /// Snapshot of a histogram by name; empty when absent.
+  HistogramSnapshot HistogramData(const std::string& name) const;
+
+  /// Stable JSON: {"counters": {...}, "gauges": {...}, "histograms":
+  /// {name: {count, sum, mean, min, max, p50, p90, p95, p99}}}. Keys are
+  /// sorted (std::map order) so repeated dumps diff cleanly.
+  std::string ToJson() const;
+
+  /// Prometheus text exposition (one scrape page): counters and gauges as
+  /// their native types, histograms as summaries with quantile labels.
+  /// Metric names are sanitized ('.' and '-' become '_').
+  std::string ToPrometheusText() const;
+
+  std::string Dump(ExportFormat format) const {
+    return format == ExportFormat::kJson ? ToJson() : ToPrometheusText();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace reds::obs
+
+#endif  // REDS_OBS_METRICS_H_

@@ -1,0 +1,151 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace reds::obs {
+
+namespace {
+
+thread_local Trace* g_current_trace = nullptr;
+
+double MicrosSince(std::chrono::steady_clock::time_point epoch,
+                   std::chrono::steady_clock::time_point t) {
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(t - epoch)
+                 .count()) /
+         1000.0;
+}
+
+// Minimal JSON string escaping; span names are identifiers but job labels
+// may carry method grammars with arbitrary characters.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Trace* CurrentTrace() noexcept { return g_current_trace; }
+
+#ifndef REDS_OBS_NOOP
+TraceBinding::TraceBinding(Trace* trace) noexcept
+    : previous_(g_current_trace) {
+  g_current_trace = trace;
+}
+
+TraceBinding::~TraceBinding() { g_current_trace = previous_; }
+#endif
+
+Trace::Trace(std::string name, MetricsRegistry* metrics)
+    : name_(std::move(name)),
+      metrics_(metrics),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+int Trace::TidForCurrentThread() {
+  const auto id = std::this_thread::get_id();
+  const auto it = tids_.find(id);
+  if (it != tids_.end()) return it->second;
+  const int tid = static_cast<int>(tids_.size()) + 1;
+  tids_.emplace(id, tid);
+  return tid;
+}
+
+void Trace::AddSpan(const std::string& name,
+                    std::chrono::steady_clock::time_point start,
+                    std::chrono::steady_clock::time_point end) {
+  TraceEvent ev;
+  ev.name = name;
+  ev.phase = 'X';
+  ev.ts_us = MicrosSince(epoch_, start);
+  ev.dur_us = MicrosSince(start, end);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ev.tid = TidForCurrentThread();
+    events_.push_back(ev);
+  }
+  if (metrics_ != nullptr) {
+    metrics_->histogram("stage." + name)
+        ->Observe(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+                .count()));
+  }
+}
+
+void Trace::AddInstant(const std::string& name) {
+  TraceEvent ev;
+  ev.name = name;
+  ev.phase = 'i';
+  ev.ts_us = MicrosSince(epoch_, std::chrono::steady_clock::now());
+  std::unique_lock<std::mutex> lock(mutex_);
+  ev.tid = TidForCurrentThread();
+  events_.push_back(std::move(ev));
+}
+
+std::vector<TraceEvent> Trace::events() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return events_;
+}
+
+int Trace::CountEvents(const std::string& name) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  int n = 0;
+  for (const TraceEvent& ev : events_) {
+    if (ev.name == name) ++n;
+  }
+  return n;
+}
+
+std::string Trace::ToChromeJson() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  std::string out = "{\n\"traceEvents\": [\n";
+  bool first = true;
+  for (const TraceEvent& ev : events_) {
+    if (!first) out += ",\n";
+    first = false;
+    char buf[160];
+    if (ev.phase == 'X') {
+      std::snprintf(buf, sizeof(buf),
+                    "\"ph\": \"X\", \"ts\": %.3f, \"dur\": %.3f, "
+                    "\"pid\": 1, \"tid\": %d",
+                    ev.ts_us, ev.dur_us, ev.tid);
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "\"ph\": \"i\", \"ts\": %.3f, \"s\": \"t\", "
+                    "\"pid\": 1, \"tid\": %d",
+                    ev.ts_us, ev.tid);
+    }
+    out += "{\"name\": \"" + JsonEscape(ev.name) + "\", \"cat\": \"reds\", " +
+           buf + "}";
+  }
+  out += "\n],\n\"displayTimeUnit\": \"ms\",\n\"otherData\": {\"trace\": \"" +
+         JsonEscape(name_) + "\"}\n}\n";
+  return out;
+}
+
+bool Trace::WriteFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << ToChromeJson();
+  return static_cast<bool>(out);
+}
+
+}  // namespace reds::obs

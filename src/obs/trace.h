@@ -1,0 +1,165 @@
+// Per-job pipeline tracing: a Trace collects thread-safe spans covering the
+// discovery pipeline (ingest/fingerprint, sketch pass, bin/code build,
+// metamodel fit vs cache hit, relabel stream, tuning, peel/paste,
+// validation) and exports Chrome trace-event JSON loadable in
+// chrome://tracing or Perfetto.
+//
+// Deep layers (method.cc, reds.cc, prim.cc, binned_index.cc) never see a
+// Trace in their signatures. The engine worker binds the job's trace to the
+// current thread with a TraceBinding, and instrumentation sites open spans
+// against whatever trace is bound:
+//
+//   obs::Span span("prim.peel");        // no-op when no trace is bound
+//   obs::TraceInstant("metamodel.cache_hit");
+//
+// Spans are recorded as Chrome 'X' (complete) events; nesting is implicit
+// via time containment per thread, which Perfetto renders as a flame graph.
+// When the trace holds a MetricsRegistry, each completed span also feeds
+// the `stage.<name>` latency histogram, so stage-level quantiles accumulate
+// across jobs without a separate instrumentation pass.
+//
+// Building with -DREDS_OBS_NOOP compiles Span/TraceBinding/TraceInstant to
+// empty inlines (see obs/metrics.h).
+#ifndef REDS_OBS_TRACE_H_
+#define REDS_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace reds::obs {
+
+/// One Chrome trace event. phase 'X' = complete span (ts + dur), 'i' =
+/// instant. Timestamps and durations are microseconds relative to the
+/// trace's construction.
+struct TraceEvent {
+  std::string name;
+  char phase = 'X';
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  int tid = 0;
+};
+
+/// Thread-safe per-job event collection. Create one per job, bind it to
+/// each worker thread that executes the job (TraceBinding), and dump with
+/// ToChromeJson()/WriteFile() once the job finishes.
+class Trace {
+ public:
+  /// `name` labels the trace (job id / method); `metrics`, when non-null,
+  /// receives a `stage.<span-name>` histogram observation (nanoseconds)
+  /// for every completed span.
+  explicit Trace(std::string name, MetricsRegistry* metrics = nullptr);
+
+  Trace(const Trace&) = delete;
+  Trace& operator=(const Trace&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Appends a completed span; thread-safe. `start`/`end` come from
+  /// std::chrono::steady_clock (Span handles this).
+  void AddSpan(const std::string& name,
+               std::chrono::steady_clock::time_point start,
+               std::chrono::steady_clock::time_point end);
+
+  /// Appends an instant event at now; thread-safe.
+  void AddInstant(const std::string& name);
+
+  /// Snapshot of the recorded events (test convenience).
+  std::vector<TraceEvent> events() const;
+
+  /// Number of recorded events whose name equals `name`.
+  int CountEvents(const std::string& name) const;
+
+  /// Chrome trace-event JSON: {"traceEvents": [...], ...}. Valid for
+  /// chrome://tracing and Perfetto.
+  std::string ToChromeJson() const;
+
+  /// Writes ToChromeJson() to `path`; returns false on I/O failure.
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  int TidForCurrentThread();  // requires mutex_ held
+
+  const std::string name_;
+  MetricsRegistry* const metrics_;
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::unordered_map<std::thread::id, int> tids_;
+};
+
+/// The trace bound to the current thread (null when none).
+Trace* CurrentTrace() noexcept;
+
+/// Binds a trace to the current thread for the binding's lifetime,
+/// restoring the previous binding on destruction. The engine worker wraps
+/// each job body in one of these so every Span opened below lands in the
+/// job's trace.
+class TraceBinding {
+ public:
+#ifndef REDS_OBS_NOOP
+  explicit TraceBinding(Trace* trace) noexcept;
+  ~TraceBinding();
+#else
+  explicit TraceBinding(Trace*) noexcept {}
+  ~TraceBinding() = default;
+#endif
+  TraceBinding(const TraceBinding&) = delete;
+  TraceBinding& operator=(const TraceBinding&) = delete;
+
+ private:
+#ifndef REDS_OBS_NOOP
+  Trace* previous_;
+#endif
+};
+
+/// RAII span against the currently bound trace. Free (no clock call) when
+/// no trace is bound.
+class Span {
+ public:
+#ifndef REDS_OBS_NOOP
+  explicit Span(const char* name) noexcept : trace_(CurrentTrace()) {
+    if (trace_ != nullptr) {
+      name_ = name;
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+  ~Span() {
+    if (trace_ != nullptr) {
+      trace_->AddSpan(name_, start_, std::chrono::steady_clock::now());
+    }
+  }
+#else
+  explicit Span(const char*) noexcept {}
+  ~Span() = default;
+#endif
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+#ifndef REDS_OBS_NOOP
+  Trace* trace_;
+  const char* name_ = "";
+  std::chrono::steady_clock::time_point start_;
+#endif
+};
+
+/// Records an instant event in the currently bound trace (no-op when none).
+#ifndef REDS_OBS_NOOP
+inline void TraceInstant(const char* name) {
+  Trace* t = CurrentTrace();
+  if (t != nullptr) t->AddInstant(name);
+}
+#else
+inline void TraceInstant(const char*) {}
+#endif
+
+}  // namespace reds::obs
+
+#endif  // REDS_OBS_TRACE_H_

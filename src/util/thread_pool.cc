@@ -5,11 +5,18 @@
 
 namespace reds {
 
-ThreadPool::ThreadPool(int num_threads) {
+ThreadPool::ThreadPool(int num_threads, obs::MetricsRegistry* metrics,
+                       const std::string& metric_prefix) {
   if (num_threads <= 0) {
     num_threads = static_cast<int>(std::thread::hardware_concurrency());
   }
   num_threads = std::max(num_threads, 1);
+  if (metrics != nullptr) {
+    queue_depth_ = metrics->gauge(metric_prefix + ".queue_depth");
+    active_workers_ = metrics->gauge(metric_prefix + ".active_workers");
+    task_wait_ = metrics->histogram(metric_prefix + ".task_wait_ns");
+    tasks_completed_ = metrics->counter(metric_prefix + ".tasks_completed");
+  }
   workers_.reserve(static_cast<size_t>(num_threads));
   for (int i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -31,13 +38,18 @@ void ThreadPool::Shutdown() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  Task entry{std::move(task), {}};
+  if (task_wait_ != nullptr) {
+    entry.enqueued = std::chrono::steady_clock::now();
+  }
   {
     std::unique_lock<std::mutex> lock(mutex_);
     if (stop_) {
       throw std::logic_error("ThreadPool::Submit after Shutdown");
     }
-    tasks_.push(std::move(task));
+    tasks_.push(std::move(entry));
   }
+  if (queue_depth_ != nullptr) queue_depth_->Add(1);
   task_available_.notify_one();
 }
 
@@ -48,7 +60,7 @@ void ThreadPool::Wait() {
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       task_available_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
@@ -57,7 +69,17 @@ void ThreadPool::WorkerLoop() {
       tasks_.pop();
       ++active_;
     }
-    task();
+    if (queue_depth_ != nullptr) queue_depth_->Add(-1);
+    if (active_workers_ != nullptr) active_workers_->Add(1);
+    if (task_wait_ != nullptr) {
+      task_wait_->Observe(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - task.enqueued)
+              .count()));
+    }
+    task.fn();
+    if (active_workers_ != nullptr) active_workers_->Add(-1);
+    if (tasks_completed_ != nullptr) tasks_completed_->Add(1);
     {
       std::unique_lock<std::mutex> lock(mutex_);
       --active_;

@@ -4,12 +4,16 @@
 #define REDS_UTIL_THREAD_POOL_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <functional>
 #include <mutex>
 #include <queue>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace reds {
 
@@ -18,8 +22,15 @@ namespace reds {
 class ThreadPool {
  public:
   /// Creates a pool with `num_threads` workers (defaults to hardware
-  /// concurrency; always at least one).
-  explicit ThreadPool(int num_threads = 0);
+  /// concurrency; always at least one). When `metrics` is non-null the
+  /// pool maintains `<prefix>.queue_depth` / `<prefix>.active_workers`
+  /// gauges, a `<prefix>.task_wait_ns` histogram (submit-to-start latency,
+  /// the backpressure signal), and a `<prefix>.tasks_completed` counter.
+  /// Short-lived private pools (ParallelFor, PRIM backends) pass null and
+  /// pay nothing.
+  explicit ThreadPool(int num_threads = 0,
+                      obs::MetricsRegistry* metrics = nullptr,
+                      const std::string& metric_prefix = "engine.pool");
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -40,15 +51,25 @@ class ThreadPool {
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
  private:
+  struct Task {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;  // set when instrumented
+  };
+
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
+  std::queue<Task> tasks_;
   std::mutex mutex_;
   std::condition_variable task_available_;
   std::condition_variable all_done_;
   int active_ = 0;
   bool stop_ = false;
+  // Resolved once at construction; all null when no registry is attached.
+  obs::Gauge* queue_depth_ = nullptr;
+  obs::Gauge* active_workers_ = nullptr;
+  obs::Histogram* task_wait_ = nullptr;
+  obs::Counter* tasks_completed_ = nullptr;
 };
 
 /// Runs body(i) for i in [begin, end) across `num_threads` workers. Spawns a

@@ -1,0 +1,278 @@
+// MetricsRegistry: multi-threaded counter exactness, histogram bucket math
+// and merge associativity, quantile accuracy against stats/descriptive, and
+// the JSON / Prometheus exporters.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "stats/descriptive.h"
+#include "util/rng.h"
+
+namespace reds::obs {
+namespace {
+
+// Counters and gauges stay live under REDS_OBS_NOOP (stat views depend on
+// them); only the timed paths -- histogram observations, scoped timers --
+// compile out, so only those tests skip.
+#ifdef REDS_OBS_NOOP
+#define SKIP_UNDER_NOOP() \
+  GTEST_SKIP() << "timed instrumentation compiled out (REDS_OBS_NOOP)"
+#else
+#define SKIP_UNDER_NOOP()
+#endif
+
+TEST(CounterTest, ConcurrentIncrementsSumExactly) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 200000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kIncrements; ++i) counter.Add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.Value(),
+            static_cast<uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(CounterTest, DeltasAccumulate) {
+  Counter counter;
+  counter.Add(5);
+  counter.Add();  // default delta 1
+  counter.Add(94);
+  EXPECT_EQ(counter.Value(), 100u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.Value(), 0);
+  gauge.Set(7);
+  gauge.Add(-10);
+  EXPECT_EQ(gauge.Value(), -3);
+}
+
+TEST(HistogramTest, SmallValuesAreExact) {
+  SKIP_UNDER_NOOP();
+  // Values below kSubBuckets get unit-width buckets: quantiles are exact.
+  Histogram h;
+  for (uint64_t v = 0; v < 32; ++v) h.Observe(v);
+  EXPECT_EQ(h.Count(), 32u);
+  EXPECT_EQ(h.Sum(), 31u * 32u / 2u);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 31.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 15.0);  // nearest rank: 16th of 32
+}
+
+TEST(HistogramTest, BucketIndexRoundTrips) {
+  // Every bucket's lower bound must map back to that bucket, and bucket
+  // indexes must be monotone in the value.
+  for (int idx = 0; idx < Histogram::kNumBuckets; ++idx) {
+    const uint64_t lb = Histogram::BucketLowerBound(idx);
+    if (idx > 0 && lb == Histogram::BucketLowerBound(idx - 1)) {
+      continue;  // top-of-range saturation
+    }
+    EXPECT_EQ(Histogram::BucketIndex(lb), idx) << "lower bound " << lb;
+  }
+  uint64_t probe = 1;
+  int last = -1;
+  for (int i = 0; i < 63; ++i, probe <<= 1) {
+    const int idx = Histogram::BucketIndex(probe);
+    EXPECT_GT(idx, last);
+    last = idx;
+  }
+}
+
+TEST(HistogramTest, RelativeErrorBounded) {
+  SKIP_UNDER_NOOP();
+  // A single large value: its bucket representative must be within
+  // 1/kSubBuckets of the true value.
+  for (uint64_t v : {37ull, 1000ull, 123456ull, 99999999ull,
+                     123456789123ull}) {
+    Histogram h;
+    h.Observe(v);
+    const double q = h.Quantile(0.5);
+    const double rel = std::abs(q - static_cast<double>(v)) /
+                       static_cast<double>(v);
+    EXPECT_LE(rel, 1.0 / Histogram::kSubBuckets) << "value " << v;
+  }
+}
+
+TEST(HistogramTest, QuantilesTrackDescriptiveStats) {
+  SKIP_UNDER_NOOP();
+  // Heavy-tailed sample (exponentiated uniforms): histogram quantiles must
+  // stay within the log-bucket relative error of the exact type-7
+  // quantiles from stats/descriptive (plus a tiny slack for the
+  // nearest-rank vs interpolation difference).
+  Rng rng(42);
+  Histogram h;
+  std::vector<double> values;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = std::exp(rng.Uniform() * 12.0) + 100.0;
+    const uint64_t u = static_cast<uint64_t>(v);
+    values.push_back(static_cast<double>(u));
+    h.Observe(u);
+  }
+  for (double p : {0.5, 0.9, 0.95, 0.99}) {
+    const double exact = stats::Quantile(values, p);
+    const double approx = h.Quantile(p);
+    const double rel = std::abs(approx - exact) / exact;
+    EXPECT_LE(rel, 1.0 / Histogram::kSubBuckets + 0.01)
+        << "p=" << p << " exact=" << exact << " approx=" << approx;
+  }
+}
+
+TEST(HistogramTest, ConcurrentObserveCountsExactly) {
+  SKIP_UNDER_NOOP();
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kObservations = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kObservations; ++i) {
+        h.Observe(static_cast<uint64_t>(t * 1000 + i % 997));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.Count(), static_cast<uint64_t>(kThreads) * kObservations);
+  const HistogramSnapshot s = h.TakeSnapshot();
+  uint64_t bucket_total = 0;
+  for (uint64_t b : s.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, h.Count());
+}
+
+HistogramSnapshot SnapshotOf(std::initializer_list<uint64_t> values) {
+  Histogram h;
+  for (uint64_t v : values) h.Observe(v);
+  return h.TakeSnapshot();
+}
+
+bool SnapshotsEqual(const HistogramSnapshot& a, const HistogramSnapshot& b) {
+  return a.count == b.count && a.sum == b.sum && a.min == b.min &&
+         a.max == b.max && a.buckets == b.buckets;
+}
+
+TEST(HistogramTest, MergeIsAssociativeAndCommutative) {
+  SKIP_UNDER_NOOP();
+  const HistogramSnapshot a = SnapshotOf({1, 5, 100000});
+  const HistogramSnapshot b = SnapshotOf({7, 7, 7, 90});
+  const HistogramSnapshot c = SnapshotOf({123456789, 3});
+
+  HistogramSnapshot ab_c = a;   // (a + b) + c
+  ab_c.Merge(b);
+  ab_c.Merge(c);
+  HistogramSnapshot bc = b;     // a + (b + c)
+  bc.Merge(c);
+  HistogramSnapshot a_bc = a;
+  a_bc.Merge(bc);
+  EXPECT_TRUE(SnapshotsEqual(ab_c, a_bc));
+
+  HistogramSnapshot ba = b;     // commutativity
+  ba.Merge(a);
+  HistogramSnapshot ab = a;
+  ab.Merge(b);
+  EXPECT_TRUE(SnapshotsEqual(ab, ba));
+
+  // Folding the merged snapshot back into a live histogram preserves the
+  // totals (the cross-process aggregation path).
+  Histogram h;
+  h.MergeFrom(ab_c);
+  EXPECT_EQ(h.Count(), 9u);
+  EXPECT_EQ(h.Sum(), a.sum + b.sum + c.sum);
+}
+
+TEST(HistogramTest, MergeIntoEmptyTakesOtherExtremes) {
+  SKIP_UNDER_NOOP();
+  HistogramSnapshot empty;
+  const HistogramSnapshot other = SnapshotOf({10, 500});
+  empty.Merge(other);
+  EXPECT_EQ(empty.min, 10u);
+  EXPECT_EQ(empty.max, 500u);
+  EXPECT_EQ(empty.count, 2u);
+}
+
+TEST(MetricsRegistryTest, GetOrCreateReturnsStablePointers) {
+  MetricsRegistry registry;
+  Counter* c1 = registry.counter("a.b");
+  Counter* c2 = registry.counter("a.b");
+  EXPECT_EQ(c1, c2);
+  EXPECT_NE(registry.counter("a.c"), c1);
+  EXPECT_EQ(registry.gauge("g"), registry.gauge("g"));
+  EXPECT_EQ(registry.histogram("h"), registry.histogram("h"));
+}
+
+TEST(MetricsRegistryTest, ConcurrentRegistrationAndRecording) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      Counter* c = registry.counter("shared");  // get-or-create race
+      for (int i = 0; i < kIncrements; ++i) c->Add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(registry.CounterValue("shared"),
+            static_cast<uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(MetricsRegistryTest, ReadersReturnZeroForAbsentNames) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.CounterValue("nope"), 0u);
+  EXPECT_EQ(registry.GaugeValue("nope"), 0);
+  EXPECT_EQ(registry.HistogramData("nope").count, 0u);
+}
+
+TEST(MetricsRegistryTest, JsonExportRoundTripsValues) {
+  SKIP_UNDER_NOOP();
+  MetricsRegistry registry;
+  registry.counter("cache.hits")->Add(3);
+  registry.gauge("pool.queue_depth")->Set(-2);
+  for (int i = 1; i <= 100; ++i) {
+    registry.histogram("job.latency_ns")->Observe(static_cast<uint64_t>(i));
+  }
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"cache.hits\": 3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"pool.queue_depth\": -2"), std::string::npos);
+  EXPECT_NE(json.find("\"job.latency_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 100"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\": 50"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\": 98.5"), std::string::npos);  // bucket midpoint
+  // Stable output: two dumps of the same state are bytewise identical.
+  EXPECT_EQ(json, registry.ToJson());
+  EXPECT_EQ(json, registry.Dump(ExportFormat::kJson));
+}
+
+TEST(MetricsRegistryTest, PrometheusExportSanitizesNames) {
+  SKIP_UNDER_NOOP();
+  MetricsRegistry registry;
+  registry.counter("cache.persistent.index-hits")->Add(7);
+  registry.histogram("stage.prim.peel")->Observe(42);
+  const std::string text = registry.ToPrometheusText();
+  EXPECT_NE(text.find("# TYPE cache_persistent_index_hits counter"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("cache_persistent_index_hits 7"), std::string::npos);
+  EXPECT_NE(text.find("stage_prim_peel{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("stage_prim_peel_count 1"), std::string::npos);
+  EXPECT_EQ(text, registry.Dump(ExportFormat::kPrometheus));
+}
+
+TEST(ScopedTimerTest, RecordsIntoHistogram) {
+  SKIP_UNDER_NOOP();
+  Histogram h;
+  { ScopedTimer timer(&h); }
+  { ScopedTimer timer(nullptr); }  // null histogram: free, no crash
+  EXPECT_EQ(h.Count(), 1u);
+}
+
+}  // namespace
+}  // namespace reds::obs

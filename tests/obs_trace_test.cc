@@ -1,0 +1,161 @@
+// Trace: span recording via the thread-local binding, nesting across
+// threads, binding save/restore, Chrome JSON export, and the stage.<name>
+// histogram feed.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace reds::obs {
+namespace {
+
+#ifdef REDS_OBS_NOOP
+#define SKIP_UNDER_NOOP() \
+  GTEST_SKIP() << "instrumentation compiled out (REDS_OBS_NOOP)"
+#else
+#define SKIP_UNDER_NOOP()
+#endif
+
+TEST(TraceTest, SpanWithoutBindingIsFree) {
+  SKIP_UNDER_NOOP();
+  EXPECT_EQ(CurrentTrace(), nullptr);
+  { Span span("unbound"); }     // must not crash or record anywhere
+  TraceInstant("unbound too");
+  EXPECT_EQ(CurrentTrace(), nullptr);
+}
+
+TEST(TraceTest, BoundSpansRecordInOrder) {
+  SKIP_UNDER_NOOP();
+  Trace trace("job-test");
+  {
+    TraceBinding binding(&trace);
+    EXPECT_EQ(CurrentTrace(), &trace);
+    {
+      Span outer("outer");
+      { Span inner("inner"); }
+      TraceInstant("tick");
+    }
+  }
+  EXPECT_EQ(CurrentTrace(), nullptr);
+  const std::vector<TraceEvent> events = trace.events();
+  ASSERT_EQ(events.size(), 3u);
+  // Spans close inner-first; the instant fires before outer closes.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[0].phase, 'X');
+  EXPECT_EQ(events[1].name, "tick");
+  EXPECT_EQ(events[1].phase, 'i');
+  EXPECT_EQ(events[2].name, "outer");
+  // Nesting is expressed by time containment.
+  EXPECT_LE(events[2].ts_us, events[0].ts_us);
+  EXPECT_GE(events[2].ts_us + events[2].dur_us,
+            events[0].ts_us + events[0].dur_us);
+  EXPECT_EQ(trace.CountEvents("inner"), 1);
+  EXPECT_EQ(trace.CountEvents("absent"), 0);
+}
+
+TEST(TraceTest, BindingRestoresPreviousTrace) {
+  SKIP_UNDER_NOOP();
+  Trace a("a");
+  Trace b("b");
+  {
+    TraceBinding bind_a(&a);
+    {
+      TraceBinding bind_b(&b);
+      Span span("in-b");
+    }
+    EXPECT_EQ(CurrentTrace(), &a);
+    Span span("in-a");
+  }
+  EXPECT_EQ(a.CountEvents("in-a"), 1);
+  EXPECT_EQ(a.CountEvents("in-b"), 0);
+  EXPECT_EQ(b.CountEvents("in-b"), 1);
+}
+
+TEST(TraceTest, ThreadsGetDistinctTids) {
+  SKIP_UNDER_NOOP();
+  Trace trace("mt");
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&trace] {
+      TraceBinding binding(&trace);
+      for (int i = 0; i < kSpansPerThread; ++i) Span span("work");
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(trace.CountEvents("work"), kThreads * kSpansPerThread);
+  std::vector<bool> seen_tid;
+  for (const TraceEvent& e : trace.events()) {
+    ASSERT_GE(e.tid, 1);
+    if (e.tid >= static_cast<int>(seen_tid.size())) {
+      seen_tid.resize(static_cast<size_t>(e.tid) + 1, false);
+    }
+    seen_tid[static_cast<size_t>(e.tid)] = true;
+  }
+  int distinct = 0;
+  for (bool s : seen_tid) distinct += s ? 1 : 0;
+  EXPECT_EQ(distinct, kThreads);
+}
+
+TEST(TraceTest, FeedsStageHistograms) {
+  SKIP_UNDER_NOOP();
+  MetricsRegistry registry;
+  Trace trace("with-metrics", &registry);
+  {
+    TraceBinding binding(&trace);
+    { Span span("prim.peel"); }
+    { Span span("prim.peel"); }
+    { Span span("validate"); }
+  }
+  EXPECT_EQ(registry.HistogramData("stage.prim.peel").count, 2u);
+  EXPECT_EQ(registry.HistogramData("stage.validate").count, 1u);
+}
+
+TEST(TraceTest, ChromeJsonNamesEveryEvent) {
+  SKIP_UNDER_NOOP();
+  Trace trace("json \"quoted\" job");
+  {
+    TraceBinding binding(&trace);
+    { Span span("metamodel.fit"); }
+    TraceInstant("metamodel.cache_hit");
+  }
+  const std::string json = trace.ToChromeJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\": \"metamodel.fit\""), std::string::npos);
+  EXPECT_NE(json.find("\"metamodel.cache_hit\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+  // The trace name is escaped, not emitted raw.
+  EXPECT_NE(json.find("json \\\"quoted\\\" job"), std::string::npos);
+  EXPECT_EQ(json.find("json \"quoted\" job"), std::string::npos);
+}
+
+TEST(TraceTest, WriteFileDumpsJson) {
+  SKIP_UNDER_NOOP();
+  Trace trace("file-job");
+  {
+    TraceBinding binding(&trace);
+    Span span("ingest.source");
+  }
+  const std::string path =
+      (std::filesystem::path(::testing::TempDir()) / "obs_trace_test.json")
+          .string();
+  ASSERT_TRUE(trace.WriteFile(path));
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), trace.ToChromeJson());
+  EXPECT_FALSE(trace.WriteFile("/nonexistent-dir/trace.json"));
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace reds::obs
