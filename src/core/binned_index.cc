@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <limits>
 
 #include "core/quantile_sketch.h"
@@ -59,48 +61,90 @@ std::vector<int> PackRuns(const std::vector<ValueRun>& runs, int n,
 // sketch plus exact distinct-value tracking up to the bin budget, so
 // columns with few distinct values get exactly one bin per value (the
 // equivalence case) without consulting the sketch at all.
+// While a column stays within the distinct cap, its sorted (value, count)
+// pairs ARE a lossless summary, and the GK sketch sees nothing -- per-value
+// sketch inserts plus the per-block buffer sort/merge used to be the single
+// largest cost of the streamed build on low-cardinality (exact-pack) data.
+// The sketch is seeded lazily via weighted inserts the moment the cap
+// breaks, which summarizes the exact same multiset the eager feed would
+// have -- with an exactly-known prefix.
 struct ColumnSketch {
   QuantileSketch sketch;
   std::vector<double> distinct;  // sorted unique; valid until overflow
+  std::vector<int64_t> count;    // parallel occurrence counts
   bool overflow = false;
 
   explicit ColumnSketch(double eps) : sketch(eps) {}
 
+  // One-time spill of the exact pairs into the sketch on cap overflow.
+  void SpillToSketch() {
+    for (size_t i = 0; i < distinct.size(); ++i) {
+      sketch.AddWeighted(distinct[i], count[i]);
+    }
+    distinct.clear();
+    distinct.shrink_to_fit();
+    count.clear();
+    count.shrink_to_fit();
+    overflow = true;
+  }
+
   void AddValue(double v, int cap) {
-    sketch.Add(v);
-    if (overflow) return;
-    const auto it = std::lower_bound(distinct.begin(), distinct.end(), v);
-    if (it != distinct.end() && *it == v) return;
-    if (static_cast<int>(distinct.size()) >= cap) {
-      overflow = true;
-      distinct.clear();
-      distinct.shrink_to_fit();
+    if (overflow) {
+      sketch.Add(v);
       return;
     }
+    const auto it = std::lower_bound(distinct.begin(), distinct.end(), v);
+    if (it != distinct.end() && *it == v) {
+      ++count[static_cast<size_t>(it - distinct.begin())];
+      return;
+    }
+    if (static_cast<int>(distinct.size()) >= cap) {
+      SpillToSketch();
+      sketch.Add(v);
+      return;
+    }
+    count.insert(count.begin() + (it - distinct.begin()), 1);
     distinct.insert(it, v);
   }
 
   void MergeFrom(const ColumnSketch& other, int cap) {
-    sketch.Merge(other.sketch);
-    if (overflow) return;
+    if (!overflow && !other.overflow) {
+      std::vector<double> mv;
+      std::vector<int64_t> mc;
+      mv.reserve(distinct.size() + other.distinct.size());
+      mc.reserve(mv.capacity());
+      size_t i = 0, j = 0;
+      while (i < distinct.size() || j < other.distinct.size()) {
+        if (j >= other.distinct.size() ||
+            (i < distinct.size() && distinct[i] < other.distinct[j])) {
+          mv.push_back(distinct[i]);
+          mc.push_back(count[i]);
+          ++i;
+        } else if (i >= distinct.size() ||
+                   other.distinct[j] < distinct[i]) {
+          mv.push_back(other.distinct[j]);
+          mc.push_back(other.count[j]);
+          ++j;
+        } else {
+          mv.push_back(distinct[i]);
+          mc.push_back(count[i] + other.count[j]);
+          ++i;
+          ++j;
+        }
+      }
+      distinct = std::move(mv);
+      count = std::move(mc);
+      if (static_cast<int>(distinct.size()) > cap) SpillToSketch();
+      return;
+    }
+    if (!overflow) SpillToSketch();
     if (other.overflow) {
-      overflow = true;
-      distinct.clear();
-      distinct.shrink_to_fit();
-      return;
+      sketch.Merge(other.sketch);
+    } else {
+      for (size_t k = 0; k < other.distinct.size(); ++k) {
+        sketch.AddWeighted(other.distinct[k], other.count[k]);
+      }
     }
-    std::vector<double> merged;
-    merged.reserve(distinct.size() + other.distinct.size());
-    std::merge(distinct.begin(), distinct.end(), other.distinct.begin(),
-               other.distinct.end(), std::back_inserter(merged));
-    merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
-    if (static_cast<int>(merged.size()) > cap) {
-      overflow = true;
-      distinct.clear();
-      distinct.shrink_to_fit();
-      return;
-    }
-    distinct = std::move(merged);
   }
 };
 
@@ -172,6 +216,7 @@ std::shared_ptr<const BinnedIndex> BinnedIndex::Build(const ColumnIndex& index,
       }
     }
   }
+  binned->RefreshViews();
   return binned;
 }
 
@@ -212,56 +257,81 @@ Result<StreamedDataset> BinnedIndex::BuildStreamed(
   // when a pool exists, inline otherwise -- and folded into the
   // accumulator in block order. Thread count therefore cannot change the
   // result; only block_rows can move sketch boundaries.
+  // One worker pool shared by both passes. Spawning a second pool for the
+  // coding pass cost more than its parallelism bought back at bench block
+  // sizes (the parallel streamed build measured slower than serial);
+  // threads are now created once per build.
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+
   {
     obs::Span span("index.sketch_pass");
-    std::unique_ptr<ThreadPool> pool;
-    if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
-    struct Slot {
-      std::vector<double> x, y;
-      int rows = 0;
+    if (pool == nullptr) {
+      // Serial: sketch each block straight off the source's view (valid
+      // until the next NextBlock call) -- no slot copies. The per-block
+      // local sketch folded in block order is kept so the summary state
+      // matches the threaded path exactly: thread count cannot change the
+      // result, only block_rows can move sketch boundaries.
       std::vector<ColumnSketch> local;
-    };
-    std::vector<Slot> slots(static_cast<size_t>(threads));
-    bool done = false;
-    while (!done) {
-      int filled = 0;
-      while (filled < threads) {
+      for (;;) {
         Result<RowBlock> block = source->NextBlock(options.block_rows);
         if (!block.ok()) return block.status();
-        if (block->empty()) {
-          done = true;
-          break;
-        }
-        Slot& slot = slots[static_cast<size_t>(filled)];
+        if (block->empty()) break;
         const int rows = block->num_rows();
-        slot.rows = rows;
-        slot.x.assign(block->x.data(),
-                      block->x.data() + static_cast<size_t>(rows) * m);
-        slot.y.assign(block->y, block->y + rows);
-        input_hasher.AddRows(slot.x.data(), nullptr, rows);
-        full_hasher.AddRows(slot.x.data(), slot.y.data(), rows);
-        y.insert(y.end(), slot.y.begin(), slot.y.end());
-        ++filled;
-      }
-      for (int s = 0; s < filled; ++s) {
-        Slot& slot = slots[static_cast<size_t>(s)];
-        slot.local.assign(static_cast<size_t>(m),
-                          ColumnSketch(options.sketch_eps));
-        auto sketch_slot = [&slot, m, cap] {
-          SketchBlock(slot.x.data(), slot.rows, m, cap, &slot.local);
-        };
-        if (pool != nullptr) {
-          pool->Submit(sketch_slot);
-        } else {
-          sketch_slot();
+        input_hasher.AddRows(block->x.data(), nullptr, rows);
+        full_hasher.AddRows(block->x.data(), block->y, rows);
+        y.insert(y.end(), block->y, block->y + rows);
+        local.assign(static_cast<size_t>(m),
+                     ColumnSketch(options.sketch_eps));
+        SketchBlock(block->x.data(), rows, m, cap, &local);
+        for (int j = 0; j < m; ++j) {
+          acc[static_cast<size_t>(j)].MergeFrom(local[static_cast<size_t>(j)],
+                                                cap);
         }
       }
-      if (pool != nullptr) pool->Wait();
-      for (int s = 0; s < filled; ++s) {
-        for (int j = 0; j < m; ++j) {
-          acc[static_cast<size_t>(j)].MergeFrom(
-              slots[static_cast<size_t>(s)].local[static_cast<size_t>(j)],
-              cap);
+    } else {
+      struct Slot {
+        std::vector<double> x, y;
+        int rows = 0;
+        std::vector<ColumnSketch> local;
+      };
+      std::vector<Slot> slots(static_cast<size_t>(threads));
+      bool done = false;
+      while (!done) {
+        int filled = 0;
+        while (filled < threads) {
+          Result<RowBlock> block = source->NextBlock(options.block_rows);
+          if (!block.ok()) return block.status();
+          if (block->empty()) {
+            done = true;
+            break;
+          }
+          Slot& slot = slots[static_cast<size_t>(filled)];
+          const int rows = block->num_rows();
+          slot.rows = rows;
+          slot.x.assign(block->x.data(),
+                        block->x.data() + static_cast<size_t>(rows) * m);
+          slot.y.assign(block->y, block->y + rows);
+          input_hasher.AddRows(slot.x.data(), nullptr, rows);
+          full_hasher.AddRows(slot.x.data(), slot.y.data(), rows);
+          y.insert(y.end(), slot.y.begin(), slot.y.end());
+          ++filled;
+        }
+        for (int s = 0; s < filled; ++s) {
+          Slot& slot = slots[static_cast<size_t>(s)];
+          slot.local.assign(static_cast<size_t>(m),
+                            ColumnSketch(options.sketch_eps));
+          pool->Submit([&slot, m, cap] {
+            SketchBlock(slot.x.data(), slot.rows, m, cap, &slot.local);
+          });
+        }
+        pool->Wait();
+        for (int s = 0; s < filled; ++s) {
+          for (int j = 0; j < m; ++j) {
+            acc[static_cast<size_t>(j)].MergeFrom(
+                slots[static_cast<size_t>(s)].local[static_cast<size_t>(j)],
+                cap);
+          }
         }
       }
     }
@@ -321,8 +391,7 @@ Result<StreamedDataset> BinnedIndex::BuildStreamed(
   }
 
   auto code_span = std::make_unique<obs::Span>("index.code_pass");
-  std::unique_ptr<ThreadPool> code_pool;
-  if (threads > 1 && m > 1) code_pool = std::make_unique<ThreadPool>(threads);
+  ThreadPool* code_pool = (pool != nullptr && m > 1) ? pool.get() : nullptr;
   int64_t seen = 0;
   for (;;) {
     Result<RowBlock> block = source->NextBlock(options.block_rows);
@@ -402,6 +471,7 @@ Result<StreamedDataset> BinnedIndex::BuildStreamed(
     }
   }
   binned->BuildOwnPermutation();
+  binned->RefreshViews();
 
   StreamedDataset out;
   out.index = binned;
@@ -428,6 +498,22 @@ void BinnedIndex::BuildOwnPermutation() {
   }
 }
 
+void BinnedIndex::RefreshViews() {
+  code_view_.resize(static_cast<size_t>(num_cols_));
+  for (int j = 0; j < num_cols_; ++j) {
+    const std::vector<uint8_t>& c = codes_[static_cast<size_t>(j)];
+    code_view_[static_cast<size_t>(j)] = ColumnView<uint8_t>(c.data(), c.size());
+  }
+  sorted_view_.clear();
+  if (!sorted_.empty()) {
+    sorted_view_.resize(static_cast<size_t>(num_cols_));
+    for (int j = 0; j < num_cols_; ++j) {
+      const std::vector<int>& s = sorted_[static_cast<size_t>(j)];
+      sorted_view_[static_cast<size_t>(j)] = ColumnView<int>(s.data(), s.size());
+    }
+  }
+}
+
 int BinnedIndex::BinOf(int j, double v) const {
   const std::vector<double>& last = bin_last_[static_cast<size_t>(j)];
   const auto it = std::lower_bound(last.begin(), last.end(), v);
@@ -447,7 +533,11 @@ void BinnedIndex::Serialize(util::ByteWriter* out) const {
   out->I32(num_cols_);
   out->I32(max_bins_);
   for (int j = 0; j < num_cols_; ++j) {
-    out->VecU8(codes_[static_cast<size_t>(j)]);
+    // Through the view, not codes_: a mapped index serializes its mmap'd
+    // columns just as an in-memory one does its vectors.
+    const ColumnView<uint8_t> codes = code_view_[static_cast<size_t>(j)];
+    out->U64(codes.size());
+    for (uint8_t c : codes) out->U8(c);
     out->VecF64(bin_first_[static_cast<size_t>(j)]);
     out->VecF64(bin_last_[static_cast<size_t>(j)]);
     out->VecI32(bin_begin_rank_[static_cast<size_t>(j)]);
@@ -528,6 +618,177 @@ Result<std::shared_ptr<const BinnedIndex>> BinnedIndex::Deserialize(
     }
   }
   if (has_sorted) binned->BuildOwnPermutation();
+  binned->RefreshViews();
+  return std::shared_ptr<const BinnedIndex>(std::move(binned));
+}
+
+namespace {
+
+// "REDSBMAP": the write-once mapped index format. Little-endian throughout.
+// Layout: header blob (ByteWriter: magic, version, key echo, dims, per-bin
+// metadata), zero-padding to 8 bytes, the raw column-major uint8 codes
+// (m x n bytes), padding to 8, the raw column-major int32 permutation
+// (m x n x 4 bytes), and a trailing FNV-1a 64 over every preceding byte.
+// The bulk regions are exactly the in-memory arrays, so readers alias the
+// mapping instead of copying.
+constexpr uint64_t kMappedMagic = 0x52454453424d4150ULL;  // "REDSBMAP"
+
+size_t AlignUp8(size_t v) { return (v + 7) & ~static_cast<size_t>(7); }
+
+}  // namespace
+
+Status BinnedIndex::WriteMapped(const std::string& path,
+                                uint64_t key_echo) const {
+  assert(has_sorted_rows());
+  util::ByteWriter head;
+  head.U64(kMappedMagic);
+  head.U32(kBinnedIndexVersion);
+  head.U64(key_echo);
+  head.U8(static_cast<uint8_t>(kind_));
+  head.I32(num_rows_);
+  head.I32(num_cols_);
+  head.I32(max_bins_);
+  for (int j = 0; j < num_cols_; ++j) {
+    head.VecF64(bin_first_[static_cast<size_t>(j)]);
+    head.VecF64(bin_last_[static_cast<size_t>(j)]);
+    head.VecI32(bin_begin_rank_[static_cast<size_t>(j)]);
+  }
+
+  const size_t col_bytes = static_cast<size_t>(num_rows_);
+  const size_t codes_begin = AlignUp8(head.size());
+  const size_t codes_bytes = static_cast<size_t>(num_cols_) * col_bytes;
+  const size_t perm_begin = AlignUp8(codes_begin + codes_bytes);
+  const size_t perm_bytes = codes_bytes * sizeof(int32_t);
+  const size_t checksum_begin = perm_begin + perm_bytes;
+
+  std::string buf(checksum_begin + 8, '\0');
+  std::memcpy(buf.data(), head.data().data(), head.size());
+  for (int j = 0; j < num_cols_; ++j) {
+    const ColumnView<uint8_t> codes = code_view_[static_cast<size_t>(j)];
+    std::memcpy(buf.data() + codes_begin + static_cast<size_t>(j) * col_bytes,
+                codes.data(), col_bytes);
+    const ColumnView<int> sorted = sorted_view_[static_cast<size_t>(j)];
+    std::memcpy(buf.data() + perm_begin +
+                    static_cast<size_t>(j) * col_bytes * sizeof(int32_t),
+                sorted.data(), col_bytes * sizeof(int32_t));
+  }
+  const uint64_t checksum = util::Fnv64(buf.data(), checksum_begin);
+  util::ByteWriter trailer;
+  trailer.U64(checksum);
+  std::memcpy(buf.data() + checksum_begin, trailer.data().data(), 8);
+
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return Status::IoError("cannot open " + path + " for writing");
+  f.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+  if (!f) {
+    f.close();
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    return Status::IoError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const BinnedIndex>> BinnedIndex::OpenMapped(
+    const std::string& path, uint64_t key_echo, int expect_rows,
+    int expect_cols) {
+  const auto corrupt = [&path](const char* what) {
+    return Status::InvalidArgument(std::string("corrupt mapped index ") +
+                                   path + ": " + what);
+  };
+  Result<util::MappedFile> mapped = util::MappedFile::OpenReadOnly(path);
+  if (!mapped.ok()) return mapped.status();
+  const char* base = mapped->data();
+  const size_t file_size = mapped->size();
+  if (file_size < 8 + 4 + 8 + 1 + 12 + 8) return corrupt("truncated header");
+
+  // The trailing checksum covers everything before it: one sequential scan
+  // at open rejects bit flips anywhere in the file, including the bulk
+  // regions the structural checks below never touch.
+  util::ByteReader trailer(base + file_size - 8, 8);
+  if (util::Fnv64(base, file_size - 8) != trailer.U64()) {
+    return corrupt("checksum");
+  }
+
+  util::ByteReader in(base, file_size - 8);
+  if (in.U64() != kMappedMagic) return corrupt("magic");
+  if (in.U32() != kBinnedIndexVersion) return corrupt("version");
+  if (in.U64() != key_echo) return corrupt("key echo");
+  const uint8_t kind = in.U8();
+  if (kind > static_cast<uint8_t>(BuildKind::kSketch)) return corrupt("kind");
+  auto binned = std::shared_ptr<BinnedIndex>(new BinnedIndex());
+  binned->kind_ = static_cast<BuildKind>(kind);
+  binned->num_rows_ = in.I32();
+  binned->num_cols_ = in.I32();
+  binned->max_bins_ = in.I32();
+  if (!in.ok() || binned->num_rows_ != expect_rows ||
+      binned->num_cols_ != expect_cols || binned->num_rows_ <= 0 ||
+      binned->num_cols_ <= 0 || binned->max_bins_ < 1 ||
+      binned->max_bins_ > kMaxBins) {
+    return corrupt("header");
+  }
+  const int n = binned->num_rows_;
+  const int m = binned->num_cols_;
+  binned->num_bins_.resize(static_cast<size_t>(m));
+  binned->bin_first_.resize(static_cast<size_t>(m));
+  binned->bin_last_.resize(static_cast<size_t>(m));
+  binned->bin_begin_rank_.resize(static_cast<size_t>(m));
+  for (int j = 0; j < m; ++j) {
+    std::vector<double>& first = binned->bin_first_[static_cast<size_t>(j)];
+    std::vector<double>& last = binned->bin_last_[static_cast<size_t>(j)];
+    std::vector<int>& begins = binned->bin_begin_rank_[static_cast<size_t>(j)];
+    first = in.VecF64();
+    last = in.VecF64();
+    begins = in.VecI32();
+    if (!in.ok()) return corrupt("truncated bin metadata");
+    const int bins = static_cast<int>(first.size());
+    binned->num_bins_[static_cast<size_t>(j)] = bins;
+    if (bins < 1 || bins > binned->max_bins_ ||
+        last.size() != static_cast<size_t>(bins) ||
+        begins.size() != static_cast<size_t>(bins) + 1) {
+      return corrupt("column shape");
+    }
+    if (begins.front() != 0 || begins.back() != n) return corrupt("bin ranks");
+    for (int b = 0; b < bins; ++b) {
+      if (begins[static_cast<size_t>(b)] >=
+          begins[static_cast<size_t>(b) + 1]) {
+        return corrupt("bin ranks");
+      }
+      if (first[static_cast<size_t>(b)] > last[static_cast<size_t>(b)]) {
+        return corrupt("bin bounds");
+      }
+      if (b > 0 && !(first[static_cast<size_t>(b)] >
+                     last[static_cast<size_t>(b) - 1])) {
+        return corrupt("bin bounds");
+      }
+    }
+  }
+
+  // Bulk regions: views alias the mapping; nothing is copied. Per-element
+  // validation (code ranges, permutation consistency) is intentionally
+  // skipped here -- it would fault in the whole payload, and the checksum
+  // above already vouches for the bytes.
+  const size_t head_size = file_size - 8 - in.remaining();
+  const size_t col_bytes = static_cast<size_t>(n);
+  const size_t codes_begin = AlignUp8(head_size);
+  const size_t codes_bytes = static_cast<size_t>(m) * col_bytes;
+  const size_t perm_begin = AlignUp8(codes_begin + codes_bytes);
+  const size_t perm_bytes = codes_bytes * sizeof(int32_t);
+  if (perm_begin + perm_bytes + 8 != file_size) return corrupt("file size");
+  binned->code_view_.resize(static_cast<size_t>(m));
+  binned->sorted_view_.resize(static_cast<size_t>(m));
+  for (int j = 0; j < m; ++j) {
+    binned->code_view_[static_cast<size_t>(j)] = ColumnView<uint8_t>(
+        reinterpret_cast<const uint8_t*>(base + codes_begin +
+                                         static_cast<size_t>(j) * col_bytes),
+        col_bytes);
+    binned->sorted_view_[static_cast<size_t>(j)] = ColumnView<int>(
+        reinterpret_cast<const int*>(base + perm_begin +
+                                     static_cast<size_t>(j) * col_bytes *
+                                         sizeof(int32_t)),
+        col_bytes);
+  }
+  binned->mapped_ = std::move(mapped).value();
   return std::shared_ptr<const BinnedIndex>(std::move(binned));
 }
 

@@ -36,10 +36,51 @@
 #include "core/column_index.h"
 #include "core/dataset.h"
 #include "core/dataset_source.h"
+#include "util/mmap_file.h"
 #include "util/serialize.h"
 #include "util/status.h"
 
 namespace reds {
+
+/// Borrowed view of one column's per-row data (codes or permutation).
+/// Vector-like surface (data/size/operator[]/iteration/==) over storage the
+/// BinnedIndex owns -- heap vectors for in-memory builds, a read-only mmap
+/// region for out-of-core opens. Valid exactly as long as the index it came
+/// from; copy freely, it is two words.
+template <typename T>
+class ColumnView {
+ public:
+  ColumnView() = default;
+  ColumnView(const T* data, size_t size) : data_(data), size_(size) {}
+
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  friend bool operator==(const ColumnView& a, const ColumnView& b) {
+    if (a.size_ != b.size_) return false;
+    for (size_t i = 0; i < a.size_; ++i) {
+      if (a.data_[i] != b.data_[i]) return false;
+    }
+    return true;
+  }
+  friend bool operator!=(const ColumnView& a, const ColumnView& b) {
+    return !(a == b);
+  }
+  friend bool operator==(const ColumnView& a, const std::vector<T>& b) {
+    return a == ColumnView(b.data(), b.size());
+  }
+  friend bool operator==(const std::vector<T>& a, const ColumnView& b) {
+    return b == a;
+  }
+
+ private:
+  const T* data_ = nullptr;
+  size_t size_ = 0;
+};
 
 /// Knobs of the streaming build.
 struct StreamedBuildOptions {
@@ -114,10 +155,12 @@ class BinnedIndex {
     return num_bins_[static_cast<size_t>(j)];
   }
 
-  /// Bin codes of column j, indexed by row id.
-  const std::vector<uint8_t>& codes(int j) const {
+  /// Bin codes of column j, indexed by row id. The view aliases either the
+  /// index's heap vectors or, for OpenMapped indexes, the mmap'd file --
+  /// rows page in on first touch.
+  ColumnView<uint8_t> codes(int j) const {
     assert(j >= 0 && j < num_cols_);
-    return codes_[static_cast<size_t>(j)];
+    return code_view_[static_cast<size_t>(j)];
   }
 
   /// Bin of row r in column j.
@@ -148,15 +191,16 @@ class BinnedIndex {
   /// True when the index carries its own code-ordered permutation
   /// (streamed builds do; ColumnIndex-derived builds share the
   /// ColumnIndex's instead).
-  bool has_sorted_rows() const { return !sorted_.empty(); }
+  bool has_sorted_rows() const { return !sorted_view_.empty(); }
 
   /// Row ids ascending by (bin code, row id) -- identical to
   /// ColumnIndex::sorted_rows whenever bins are single values. Only valid
-  /// when has_sorted_rows().
-  const std::vector<int>& sorted_rows(int j) const {
+  /// when has_sorted_rows(). Mmap-backed for OpenMapped indexes, like
+  /// codes().
+  ColumnView<int> sorted_rows(int j) const {
     assert(has_sorted_rows());
     assert(j >= 0 && j < num_cols_);
-    return sorted_[static_cast<size_t>(j)];
+    return sorted_view_[static_cast<size_t>(j)];
   }
 
   /// Bin of an arbitrary value: the first bin whose largest value is >= v,
@@ -176,10 +220,33 @@ class BinnedIndex {
   static Result<std::shared_ptr<const BinnedIndex>> Deserialize(
       util::ByteReader* in);
 
+  /// Writes the index as a write-once mapped file ("REDSBMAP"): a small
+  /// serialized header (magic, version, `key_echo`, dims, per-bin
+  /// metadata), then 8-byte-aligned regions holding the raw column-major
+  /// uint8 codes and int32 permutation, then a trailing FNV-1a 64 checksum
+  /// over everything before it. The bulk regions are byte-for-byte the
+  /// in-memory arrays, so OpenMapped can point views straight into the
+  /// mapping. Requires has_sorted_rows().
+  Status WriteMapped(const std::string& path, uint64_t key_echo) const;
+
+  /// Maps a WriteMapped file read-only and wraps it as an index whose code
+  /// and permutation views alias the mapping: the O(n x m) payload is never
+  /// copied to the heap and pages in on demand. Validates magic, version,
+  /// key echo, expected shape, the full-file checksum, and the same bin
+  /// structure Deserialize checks; rejects truncated or corrupted files.
+  static Result<std::shared_ptr<const BinnedIndex>> OpenMapped(
+      const std::string& path, uint64_t key_echo, int expect_rows,
+      int expect_cols);
+
  private:
   BinnedIndex() = default;
 
   void BuildOwnPermutation();
+
+  /// Points code_view_/sorted_view_ at the heap vectors. Every in-memory
+  /// build/deserialize path ends with this; OpenMapped instead aims the
+  /// views into mapped_.
+  void RefreshViews();
 
   int num_rows_ = 0;
   int num_cols_ = 0;
@@ -192,6 +259,12 @@ class BinnedIndex {
   std::vector<std::vector<int>> bin_begin_rank_; // [col][bin] perm offset
   std::vector<std::vector<int>> sorted_;         // [col][rank] -> row; may
                                                  // be empty (see above)
+  /// Accessor views: one per column, aliasing either the vectors above or
+  /// the mapping below. sorted_view_ is empty iff the index carries no
+  /// permutation.
+  std::vector<ColumnView<uint8_t>> code_view_;
+  std::vector<ColumnView<int>> sorted_view_;
+  util::MappedFile mapped_;  // backing store of OpenMapped indexes
 };
 
 /// Supplies a (possibly cached) BinnedIndex for a dataset. The discovery

@@ -8,7 +8,9 @@
 
 #include "core/quality.h"
 #include "obs/trace.h"
+#include "util/fingerprint.h"
 #include "util/rng.h"
+#include "util/serialize.h"
 
 namespace reds {
 
@@ -231,6 +233,33 @@ RedsConfig RedsConfigFor(const MethodSpec& spec, const RunOptions& options) {
   return config;
 }
 
+// Cache key of a streamed REDS relabeling: everything that shapes the
+// finished (index, labels) product. Training bytes (full scope: x AND y,
+// both feed the metamodel), the metamodel recipe, label semantics, stream
+// length and seed, the sampler identity, and block_rows -- block size moves
+// sketch-binned boundaries, so differently-blocked builds are distinct
+// products. Callers must gate on a keyable sampler (default uniform, or a
+// custom one with a sampler_id) before trusting this.
+uint64_t StreamedRelabelKey(const Dataset& train, const MethodSpec& spec,
+                            const RunOptions& options, int num_new_points) {
+  util::ByteWriter w;
+  util::DatasetHasher hasher(util::DatasetHasher::Scope::kFull,
+                             train.num_cols());
+  hasher.AddRows(train.row(0), train.y_data(), train.num_rows());
+  w.U64(hasher.Finalize());
+  w.U8(static_cast<uint8_t>(spec.metamodel));
+  w.U8(spec.probability_labels ? 1 : 0);
+  w.U8(options.tune_metamodel ? 1 : 0);
+  w.U8(static_cast<uint8_t>(options.budget));
+  w.U8(static_cast<uint8_t>(options.split_backend));
+  w.I32(num_new_points);
+  w.I32(options.stream_block_rows);
+  w.U64(options.seed);
+  w.U64(options.sampler_id.size());
+  for (char c : options.sampler_id) w.U8(static_cast<uint8_t>(c));
+  return util::Fnv64(w.data().data(), w.size());
+}
+
 }  // namespace
 
 MethodPlan PlanMethod(const MethodSpec& spec, const Dataset& train,
@@ -307,28 +336,58 @@ MethodOutput ExecuteMethodPlan(const MethodPlan& plan, const Dataset& train,
   // original simulated sample stays on as validation data either way, so
   // box selection is grounded in real labels.
   if (plan.streamed_relabel) {
-    // One relabel.stream span covers sampling, metamodel labeling, and the
-    // sketch/code passes: the relabeled points only exist inside this
-    // chunked pipeline. Deliberately NOT index.build -- this is per-job
-    // REDS work that runs warm or cold, while index.build marks engine-side
-    // training-index construction that a warm engine skips entirely.
-    Result<StreamedDataset> streamed = [&] {
-      obs::Span span("relabel.stream");
-      RedsStreamedRelabeling relabeling = RedsRelabelStreamed(
-          train, RedsConfigFor(spec, options), DeriveSeed(options.seed, 23));
-      StreamedBuildOptions build;
-      build.block_rows = options.stream_block_rows;
-      return BinnedIndex::BuildStreamed(relabeling.new_data.get(), build);
-    }();
-    if (!streamed.ok()) {
-      throw std::runtime_error("streamed REDS relabeling failed: " +
-                               streamed.status().ToString());
+    // The finished product of the stream -- quantized index + O(L) labels
+    // -- is cacheable: consult the engine's relabel-stream hooks first. A
+    // custom sampler is an opaque function, so caching needs a sampler_id
+    // naming it; the default uniform sampler is always keyable.
+    const RedsConfig rconfig = RedsConfigFor(spec, options);
+    const bool keyable = !options.sampler || !options.sampler_id.empty();
+    const bool has_hooks =
+        options.streamed_relabel_lookup || options.streamed_relabel_store;
+    const uint64_t key =
+        keyable && has_hooks
+            ? StreamedRelabelKey(train, spec, options, rconfig.num_new_points)
+            : 0;
+    std::shared_ptr<const StreamedDataset> data;
+    if (keyable && options.streamed_relabel_lookup) {
+      data = options.streamed_relabel_lookup(key, rconfig.num_new_points,
+                                             train.num_cols());
+      if (data != nullptr) {
+        // Warm path: zero labeling passes, zero code rebuilds. The marker
+        // lets tests assert the job did neither.
+        obs::TraceInstant("relabel.cached");
+      }
+    }
+    if (data == nullptr) {
+      // One relabel.stream span covers sampling, metamodel labeling, and
+      // the sketch/code passes: the relabeled points only exist inside this
+      // chunked pipeline. Deliberately NOT index.build -- this is per-job
+      // REDS work that runs warm or cold, while index.build marks
+      // engine-side training-index construction that a warm engine skips
+      // entirely.
+      Result<StreamedDataset> streamed = [&] {
+        obs::Span span("relabel.stream");
+        RedsStreamedRelabeling relabeling =
+            RedsRelabelStreamed(train, rconfig, DeriveSeed(options.seed, 23));
+        StreamedBuildOptions build;
+        build.block_rows = options.stream_block_rows;
+        return BinnedIndex::BuildStreamed(relabeling.new_data.get(), build);
+      }();
+      if (!streamed.ok()) {
+        throw std::runtime_error("streamed REDS relabeling failed: " +
+                                 streamed.status().ToString());
+      }
+      auto owned =
+          std::make_shared<StreamedDataset>(std::move(streamed).value());
+      if (keyable && options.streamed_relabel_store) {
+        options.streamed_relabel_store(key, owned);
+      }
+      data = std::move(owned);
     }
     PrimConfig config;
     config.alpha = plan.alpha;
     config.min_points = options.min_points;
-    const PrimResult r =
-        RunPrimStreamed(*streamed->index, streamed->y, config, &train);
+    const PrimResult r = RunPrimStreamed(*data->index, data->y, config, &train);
     out.trajectory = r.ReturnedBoxes();
     out.last_box = r.BestBox();
     return out;

@@ -92,6 +92,22 @@ struct RunOptions {
   /// and BuildStreamed pull this granularity). Peak relabeled-double
   /// residency is O(stream_block_rows x M).
   int stream_block_rows = 8192;
+  /// Identity of a custom `sampler` for the relabel-stream cache key. A
+  /// custom sampler is an opaque function, so the streamed relabel cache
+  /// is disabled for it unless this names it; the default uniform sampler
+  /// needs no id. Two different samplers must never share an id.
+  std::string sampler_id;
+  /// Optional engine hook: looks up a finished streamed REDS relabeling
+  /// (quantized index + labels) by cache key. A hit means the job replays
+  /// neither the sampler nor the metamodel nor the quantization -- zero
+  /// labeling passes, zero code rebuilds. Null on miss.
+  std::function<std::shared_ptr<const StreamedDataset>(
+      uint64_t key, int expect_rows, int expect_cols)>
+      streamed_relabel_lookup;
+  /// Optional engine hook: stores a cold run's streamed relabeling under
+  /// its cache key once built.
+  std::function<void(uint64_t key, std::shared_ptr<const StreamedDataset>)>
+      streamed_relabel_store;
 };
 
 /// What a method run produces: a trajectory of boxes to assess (nested

@@ -16,6 +16,7 @@
 #include <utility>
 
 #include "obs/trace.h"
+#include "util/simd.h"
 #include "util/thread_pool.h"
 
 namespace reds {
@@ -194,12 +195,19 @@ class BinnedPeelState {
       pos.assign(static_cast<size_t>(binned.num_bins(j)), 0.0);
       const std::vector<int>& sorted = index.sorted_rows(j);
       for (int b = 0; b < binned.num_bins(j); ++b) {
-        counts[static_cast<size_t>(b)] =
-            binned.bin_begin_rank(j, b + 1) - binned.bin_begin_rank(j, b);
-        for (int rank = binned.bin_begin_rank(j, b);
-             rank < binned.bin_begin_rank(j, b + 1); ++rank) {
-          pos[static_cast<size_t>(b)] +=
-              train.y(sorted[static_cast<size_t>(rank)]);
+        const int begin = binned.bin_begin_rank(j, b);
+        const int len = binned.bin_begin_rank(j, b + 1) - begin;
+        counts[static_cast<size_t>(b)] = len;
+        if (integral_labels_) {
+          // Integer-valued sums are exact in any association, so the
+          // dispatched gather-sum (which may reorder) is legal here.
+          pos[static_cast<size_t>(b)] =
+              util::GatherSum(train.y_data(), sorted.data() + begin, len);
+        } else {
+          for (int rank = begin; rank < begin + len; ++rank) {
+            pos[static_cast<size_t>(b)] +=
+                train.y(sorted[static_cast<size_t>(rank)]);
+          }
         }
       }
     }
@@ -536,14 +544,20 @@ class CodePeelState {
       std::vector<double>& pos = bin_pos_[static_cast<size_t>(j)];
       counts.resize(static_cast<size_t>(binned.num_bins(j)));
       pos.assign(static_cast<size_t>(binned.num_bins(j)), 0.0);
-      const std::vector<int>& sorted = binned.sorted_rows(j);
+      const ColumnView<int> sorted = binned.sorted_rows(j);
       for (int b = 0; b < binned.num_bins(j); ++b) {
-        counts[static_cast<size_t>(b)] =
-            binned.bin_begin_rank(j, b + 1) - binned.bin_begin_rank(j, b);
-        for (int rank = binned.bin_begin_rank(j, b);
-             rank < binned.bin_begin_rank(j, b + 1); ++rank) {
-          pos[static_cast<size_t>(b)] +=
-              y[static_cast<size_t>(sorted[static_cast<size_t>(rank)])];
+        const int begin = binned.bin_begin_rank(j, b);
+        const int len = binned.bin_begin_rank(j, b + 1) - begin;
+        counts[static_cast<size_t>(b)] = len;
+        if (integral_labels_) {
+          // Reordering the gather-sum is exact for integer-valued labels.
+          pos[static_cast<size_t>(b)] =
+              util::GatherSum(y.data(), sorted.data() + begin, len);
+        } else {
+          for (int rank = begin; rank < begin + len; ++rank) {
+            pos[static_cast<size_t>(b)] +=
+                y[static_cast<size_t>(sorted[static_cast<size_t>(rank)])];
+          }
         }
       }
     }
@@ -607,7 +621,7 @@ class CodePeelState {
   }
 
   void Apply(const Peel& peel, BoxStats* stats) {
-    const std::vector<int>& sorted = binned_.sorted_rows(peel.dim);
+    const ColumnView<int> sorted = binned_.sorted_rows(peel.dim);
     if (peel.low_side) {
       const int new_lo = binned_.bin_begin_rank(peel.dim, peel.bin);
       for (int pos = lo_rank_[static_cast<size_t>(peel.dim)]; pos < new_lo;
@@ -626,7 +640,7 @@ class CodePeelState {
     stats->n -= peel.removed_n;
     stats->n_pos -= peel.removed_pos;
     for (size_t j = 0; j < bin_count_.size(); ++j) {
-      const std::vector<int>& s = binned_.sorted_rows(static_cast<int>(j));
+      const ColumnView<int> s = binned_.sorted_rows(static_cast<int>(j));
       int& lo = lo_rank_[j];
       int& hi = hi_rank_[j];
       while (lo < hi && !in_box_[static_cast<size_t>(
@@ -686,7 +700,7 @@ class CodePeelState {
   // order -- the sorted kernel's exact accumulation order for single-value
   // bins. Fractional-label path only.
   double SumYFirst(int dim, int count) const {
-    const std::vector<int>& sorted = binned_.sorted_rows(dim);
+    const ColumnView<int> sorted = binned_.sorted_rows(dim);
     double sum = 0.0;
     int seen = 0;
     for (int pos = lo_rank_[static_cast<size_t>(dim)]; seen < count; ++pos) {
@@ -701,7 +715,7 @@ class CodePeelState {
   // Sum of y over in-box rows of `dim` from in-box rank `from_rank` up,
   // accumulated ascending. Fractional-label path only.
   double SumYTail(int dim, int from_rank) const {
-    const std::vector<int>& sorted = binned_.sorted_rows(dim);
+    const ColumnView<int> sorted = binned_.sorted_rows(dim);
     double sum = 0.0;
     int seen = 0;
     for (int pos = lo_rank_[static_cast<size_t>(dim)];

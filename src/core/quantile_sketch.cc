@@ -25,6 +25,39 @@ void QuantileSketch::Add(double v) {
   }
 }
 
+void QuantileSketch::AddWeighted(double v, int64_t w) {
+  if (w <= 0) return;
+  Flush();
+  const auto it = std::lower_bound(
+      tuples_.begin(), tuples_.end(), v,
+      [](const Tuple& t, double x) { return t.v < x; });
+  if (it != tuples_.end() && it->v == v) {
+    // w more copies of an already-summarized value: every rank at or past
+    // this tuple shifts by exactly w, so growing its g keeps the summary
+    // valid with no new uncertainty.
+    it->g += w;
+  } else {
+    Tuple t;
+    t.v = v;
+    t.g = w;
+    // A brand-new value inherits the classic GK insertion uncertainty from
+    // its successor -- unless the successor is pure (its mass is all copies
+    // of a larger value, so none of it can precede v) in which case only
+    // the predecessor's own uncertainty remains. At either extreme it is
+    // exact.
+    if (it == tuples_.end() || it == tuples_.begin()) {
+      t.delta = 0;
+    } else if (it->pure) {
+      t.delta = std::prev(it)->delta;
+    } else {
+      t.delta = it->g + it->delta - 1;
+    }
+    tuples_.insert(it, t);
+  }
+  n_ += w;
+  Compress();
+}
+
 // Folds the sorted insert buffer into the tuple list. Equivalent to
 // inserting the buffered values one at a time in ascending order: each
 // lands as (v, g=1, delta) where delta is its successor's g + delta - 1
@@ -47,9 +80,17 @@ void QuantileSketch::Flush() const {
       Tuple t;
       t.v = buffer_[j];
       t.g = 1;
-      t.delta = i < tuples_.size()
-                    ? tuples_[i].g + tuples_[i].delta - 1
-                    : 0;  // running maximum (everything seen so far is <= v)
+      if (i >= tuples_.size()) {
+        t.delta = 0;  // running maximum (everything seen so far is <= v)
+      } else if (tuples_[i].pure) {
+        // The successor's mass is all copies of its own (strictly larger)
+        // value, so none of it precedes v: only the predecessor's
+        // uncertainty carries over. Essential next to heavy weighted
+        // tuples, whose g would otherwise poison every nearby insert.
+        t.delta = merged.empty() ? 0 : merged.back().delta;
+      } else {
+        t.delta = tuples_[i].g + tuples_[i].delta - 1;
+      }
       if (merged.empty()) t.delta = 0;  // running minimum
       merged.push_back(t);
       ++j;
@@ -73,7 +114,11 @@ void QuantileSketch::Compress() const {
   for (size_t i = 2; i < tuples_.size(); ++i) {
     Tuple next = tuples_[i];
     if (pending.g + next.g + next.delta <= budget) {
-      next.g += pending.g;  // absorb: next keeps its value and delta
+      // Absorb: next keeps its value and delta. Its mass now includes
+      // pending's observations, so purity only survives when both tuples
+      // carried copies of the same value.
+      next.pure = next.pure && pending.pure && pending.v == next.v;
+      next.g += pending.g;
       pending = next;
     } else {
       out.push_back(pending);
@@ -112,7 +157,14 @@ void QuantileSketch::Merge(const QuantileSketch& other) {
     const size_t peer_k = take_a ? j : i;
     Tuple t = self[k];
     if (peer_k < peer.size()) {
-      t.delta += peer[peer_k].g + peer[peer_k].delta - 1;
+      if (peer[peer_k].pure) {
+        // The peer successor's mass is all copies of its own (>= t.v)
+        // value, so it cannot interleave below t.v; the uncertainty in how
+        // many peer values precede t.v is the peer predecessor's delta.
+        t.delta += peer_k > 0 ? peer[peer_k - 1].delta : 0;
+      } else {
+        t.delta += peer[peer_k].g + peer[peer_k].delta - 1;
+      }
     }
     merged.push_back(t);
     ++k;
@@ -137,6 +189,13 @@ double QuantileSketch::QueryRank(int64_t rank) const {
   for (const Tuple& t : tuples_) {
     rmin += t.g;
     const int64_t rmax = rmin + t.delta;
+    // A pure tuple's g observations are all copies of t.v occupying g
+    // consecutive ranks whose last lands in [rmin, rmax]; ranks in
+    // (rmin - g + delta, rmin] are therefore covered no matter where the
+    // run actually sits, and answering them with t.v is error-free. This
+    // matters for weighted inserts, whose g can exceed the gap budget --
+    // the generic bound below does not hold for them.
+    if (t.pure && r1 > rmin - t.g + t.delta && r1 <= rmin) return t.v;
     if (static_cast<double>(rmax) > static_cast<double>(r1) + allowed) {
       return prev;
     }

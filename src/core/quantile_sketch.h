@@ -31,6 +31,14 @@ class QuantileSketch {
 
   void Add(double v);
 
+  /// Adds `w` copies of `v` in O(summary) instead of O(w): the copies land
+  /// as one exact tuple (g = w, delta = 0), the summary state an
+  /// uncompressed sketch reaches after w consecutive equal inserts. Lets a
+  /// caller that tracked exact (value, count) pairs spill them into the
+  /// sketch only when its distinct budget overflows, skipping per-value
+  /// sketch work on low-cardinality streams entirely.
+  void AddWeighted(double v, int64_t w);
+
   /// Folds `other` (a summary of a disjoint stream) into this sketch.
   /// Both must share the same eps.
   void Merge(const QuantileSketch& other);
@@ -56,6 +64,14 @@ class QuantileSketch {
     double v = 0.0;
     int64_t g = 0;      // rmin(i) = sum of g_j for j <= i
     int64_t delta = 0;  // rmax(i) = rmin(i) + delta
+    // True while every observation counted in g is a copy of v itself --
+    // holds for fresh inserts (g = 1) and weighted inserts, and survives
+    // Merge (g keeps counting the same observations). Compress clears it
+    // when it folds a differently-valued neighbor's mass into g. Pure
+    // tuples let QueryRank answer ranks inside the mass exactly, which is
+    // what keeps heavy weighted tuples (g beyond the gap budget) within
+    // the eps bound.
+    bool pure = true;
   };
 
   int64_t GapBudget(int64_t n) const;

@@ -45,19 +45,44 @@ Dataset LabelPoints(const ml::Metamodel& model, const std::vector<double>& x,
 // block size) see the identical row sequence -- and, because the seed
 // derivation and the per-row sampler/label calls are exactly RedsRelabel's,
 // the stream is bit-identical to the materialized new_data.
+//
+// Labeling is the expensive half of a pass (a metamodel prediction per row
+// vs. a handful of RNG draws), so the labels of pass 1 are cached in an
+// O(L) vector (cache_stream_labels, default on): every later pass replays
+// the RNG for x and serves y from the cache -- the historical
+// labels-twice cost of the two-pass streamed build collapses to one
+// labeling pass. With preset labels (an engine relabel-stream cache hit)
+// even the first pass never consults a metamodel. The L x M point matrix
+// is never cached on any path. A "relabel.label_pass" trace instant marks
+// each pass that performs fresh metamodel labeling.
 class RedsRelabelSource : public DatasetSource {
  public:
   RedsRelabelSource(std::shared_ptr<const ml::Metamodel> metamodel,
                     sampling::PointSampler sampler, int num_cols,
                     int64_t num_rows, uint64_t sampler_seed,
-                    bool probability_labels)
+                    bool probability_labels, bool cache_labels,
+                    std::shared_ptr<const std::vector<double>> preset_labels,
+                    std::function<void(
+                        std::shared_ptr<const std::vector<double>>)>
+                        labels_sink)
       : metamodel_(std::move(metamodel)),
         sampler_(std::move(sampler)),
         num_cols_(num_cols),
         num_rows_(num_rows),
         sampler_seed_(sampler_seed),
         probability_labels_(probability_labels),
-        rng_(sampler_seed) {}
+        labels_sink_(std::move(labels_sink)),
+        rng_(sampler_seed) {
+    if (preset_labels != nullptr &&
+        preset_labels->size() == static_cast<size_t>(num_rows)) {
+      preset_ = std::move(preset_labels);
+      labeled_ = num_rows_;
+    } else if (cache_labels) {
+      building_ = std::make_shared<std::vector<double>>();
+      building_->reserve(static_cast<size_t>(num_rows));
+    }
+    assert(preset_ != nullptr || metamodel_ != nullptr);
+  }
 
   int num_cols() const override { return num_cols_; }
   int64_t num_rows_hint() const override { return num_rows_; }
@@ -65,6 +90,7 @@ class RedsRelabelSource : public DatasetSource {
   Status Reset() override {
     rng_ = Rng(sampler_seed_);
     cursor_ = 0;
+    labeled_this_pass_ = false;
     return Status::OK();
   }
 
@@ -78,13 +104,32 @@ class RedsRelabelSource : public DatasetSource {
     if (take <= 0) return block;
     x_buf_.resize(static_cast<size_t>(take) * num_cols_);
     y_buf_.resize(static_cast<size_t>(take));
+    const std::vector<double>* known =
+        preset_ != nullptr ? preset_.get() : building_.get();
     for (int r = 0; r < take; ++r) {
       double* x = x_buf_.data() + static_cast<size_t>(r) * num_cols_;
       sampler_(&rng_, num_cols_, x);
-      y_buf_[static_cast<size_t>(r)] =
-          MetamodelLabel(*metamodel_, x, probability_labels_);
+      const int64_t row = cursor_ + r;
+      if (row < labeled_) {
+        y_buf_[static_cast<size_t>(r)] = (*known)[static_cast<size_t>(row)];
+        continue;
+      }
+      if (!labeled_this_pass_) {
+        labeled_this_pass_ = true;
+        obs::TraceInstant("relabel.label_pass");
+      }
+      const double y = MetamodelLabel(*metamodel_, x, probability_labels_);
+      y_buf_[static_cast<size_t>(r)] = y;
+      if (building_ != nullptr) {
+        building_->push_back(y);
+        labeled_ = row + 1;
+      }
     }
     cursor_ += take;
+    if (building_ != nullptr && labeled_ == num_rows_ && labels_sink_) {
+      labels_sink_(building_);
+      labels_sink_ = nullptr;  // fire once
+    }
     block.x = la::ConstMatrixView(x_buf_.data(), take, num_cols_);
     block.y = y_buf_.data();
     return block;
@@ -97,8 +142,13 @@ class RedsRelabelSource : public DatasetSource {
   int64_t num_rows_;
   uint64_t sampler_seed_;
   bool probability_labels_;
+  std::shared_ptr<const std::vector<double>> preset_;   // cache-hit labels
+  std::shared_ptr<std::vector<double>> building_;       // pass-1 label cache
+  int64_t labeled_ = 0;  // rows [0, labeled_) have known labels
+  std::function<void(std::shared_ptr<const std::vector<double>>)> labels_sink_;
   Rng rng_;
   int64_t cursor_ = 0;
+  bool labeled_this_pass_ = false;
   std::vector<double> x_buf_;
   std::vector<double> y_buf_;
 };
@@ -149,13 +199,25 @@ RedsStreamedRelabeling RedsRelabelStreamed(const Dataset& d,
   RedsStreamedRelabeling out;
   // Shared seed derivation with RedsRelabel: sub-stream 1 trains the
   // metamodel, sub-stream 2 drives the sampler, so the two paths produce
-  // the identical metamodel and the identical point sequence.
-  out.metamodel = FitMetamodel(d, config, DeriveSeed(seed, 1));
+  // the identical metamodel and the identical point sequence. With preset
+  // labels (an engine relabel-stream cache hit covering every row) the
+  // metamodel is never consulted, so the fit is skipped outright and
+  // out.metamodel stays null.
+  const bool labels_preset =
+      config.preset_stream_labels != nullptr &&
+      config.preset_stream_labels->size() ==
+          static_cast<size_t>(config.num_new_points);
+  if (!labels_preset) {
+    out.metamodel = FitMetamodel(d, config, DeriveSeed(seed, 1));
+  }
   sampling::PointSampler sampler =
       config.sampler ? config.sampler : sampling::MakeUniformSampler();
   out.new_data = std::make_unique<RedsRelabelSource>(
       out.metamodel, std::move(sampler), d.num_cols(), config.num_new_points,
-      DeriveSeed(seed, 2), config.probability_labels);
+      DeriveSeed(seed, 2), config.probability_labels,
+      config.cache_stream_labels,
+      labels_preset ? config.preset_stream_labels : nullptr,
+      config.stream_labels_sink);
   return out;
 }
 

@@ -38,6 +38,24 @@ struct RedsConfig {
   int num_new_points = 100000;        // L
   sampling::PointSampler sampler;     // defaults to i.i.d. uniform
   MetamodelProvider metamodel_provider;  // optional engine cache hook
+  /// Streamed path only: cache the O(L) label vector produced by the
+  /// stream's first pass so every later pass (BuildStreamed's coding pass)
+  /// replays the sampler RNG for x but never re-runs the metamodel -- the
+  /// two labeling passes fuse into one. Never caches the L x M point
+  /// matrix. Off restores the pure replay behavior (each pass labels).
+  bool cache_stream_labels = true;
+  /// Streamed path only: labels of this exact stream computed by an
+  /// earlier run (engine relabel-stream cache). When set, the stream
+  /// serves these labels directly -- zero labeling passes -- and
+  /// RedsRelabelStreamed skips the metamodel fit entirely (its result
+  /// carries a null metamodel).
+  std::shared_ptr<const std::vector<double>> preset_stream_labels;
+  /// Streamed path only: invoked once, with the complete label vector,
+  /// when a cold stream finishes labeling all num_new_points rows (the
+  /// engine stores it under the relabel-stream cache key). Requires
+  /// cache_stream_labels.
+  std::function<void(std::shared_ptr<const std::vector<double>>)>
+      stream_labels_sink;
 };
 
 /// The relabeled dataset plus the trained metamodel (kept for inspection /
@@ -75,6 +93,8 @@ double MetamodelLabel(const ml::Metamodel& model, const double* x,
 /// sampler RNG seeded from the shared derivation, replayed on Reset() --
 /// so streamed and in-memory REDS quantize to identical bins in the
 /// exact-pack regime while only O(block) relabeled doubles ever exist.
+/// `metamodel` is null when preset_stream_labels covered the whole stream:
+/// the labels were served from cache, so no model was fit or consulted.
 struct RedsStreamedRelabeling {
   std::unique_ptr<DatasetSource> new_data;  // owns sampler state + labeling
   std::shared_ptr<const ml::Metamodel> metamodel;

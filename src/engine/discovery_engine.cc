@@ -9,6 +9,7 @@
 #include "engine/fingerprint.h"
 #include "util/fingerprint.h"
 #include "util/rng.h"
+#include "util/simd.h"
 
 namespace reds::engine {
 
@@ -110,6 +111,7 @@ DiscoveryEngine::DiscoveryEngine(EngineConfig config)
       column_indexes_(config.column_index_cache_capacity),
       binned_indexes_(config.binned_index_cache_capacity),
       streamed_indexes_(config.binned_index_cache_capacity),
+      relabel_streams_(config.relabel_stream_cache_capacity),
       pool_(config.threads, &metrics_, "engine.pool") {
   jobs_submitted_ = metrics_.counter("engine.jobs.submitted");
   jobs_completed_ = metrics_.counter("engine.jobs.completed");
@@ -121,6 +123,13 @@ DiscoveryEngine::DiscoveryEngine(EngineConfig config)
   binned_index_misses_ = metrics_.counter("cache.index.binned.misses");
   streamed_index_hits_ = metrics_.counter("cache.index.streamed.hits");
   streamed_index_misses_ = metrics_.counter("cache.index.streamed.misses");
+  relabel_stream_hits_ = metrics_.counter("cache.relabel.hits");
+  relabel_stream_misses_ = metrics_.counter("cache.relabel.misses");
+  // Which kernel tier this process dispatches to (0 = scalar, 1 = AVX2);
+  // surfaces the REDS_SIMD override and the host's CPU features in
+  // DumpMetrics so perf numbers are attributable.
+  metrics_.gauge("engine.build.simd")
+      ->Set(static_cast<int64_t>(util::ActiveSimdLevel()));
   if (config.enable_persistent_cache) {
     const std::string dir = ResolveDir(config.cache_dir, "REDS_CACHE_DIR");
     if (!dir.empty()) {
@@ -337,6 +346,58 @@ int DiscoveryEngine::streamed_index_cache_size() const {
   return static_cast<int>(streamed_indexes_.size());
 }
 
+int DiscoveryEngine::relabel_stream_cache_size() const {
+  std::unique_lock<std::mutex> lock(relabel_stream_mutex_);
+  return static_cast<int>(relabel_streams_.size());
+}
+
+void DiscoveryEngine::InstallRelabelStreamHooks(RunOptions* options) {
+  // The method layer's key covers the request recipe (training bytes,
+  // metamodel recipe, seed, stream length, block size, sampler identity)
+  // but not how this engine actually labels: with cache_metamodels on, the
+  // metamodel is seeded canonically from config_.seed, not from the
+  // request seed, so the labels depend on both knobs. Fold them in so two
+  // engines configured differently never share an entry.
+  const uint64_t engine_salt =
+      DeriveSeed(config_.seed, config_.cache_metamodels ? 1 : 2);
+  const auto fold = [engine_salt](uint64_t key) {
+    return DeriveSeed(engine_salt, key);
+  };
+  options->streamed_relabel_lookup =
+      [this, fold](uint64_t key, int expect_rows,
+                   int expect_cols) -> std::shared_ptr<const StreamedDataset> {
+    const uint64_t k = fold(key);
+    {
+      std::unique_lock<std::mutex> lock(relabel_stream_mutex_);
+      if (auto* found = relabel_streams_.Get(k)) {
+        relabel_stream_hits_->Add(1);
+        return *found;
+      }
+    }
+    relabel_stream_misses_->Add(1);  // LRU miss; the disk tier counts its own
+    if (disk_ == nullptr) return nullptr;
+    std::shared_ptr<const StreamedDataset> data;
+    {
+      obs::Span span("relabel.load");
+      data = disk_->LoadRelabelStream(k, expect_rows, expect_cols);
+    }
+    if (data != nullptr) {
+      std::unique_lock<std::mutex> lock(relabel_stream_mutex_);
+      relabel_streams_.Put(k, data);
+    }
+    return data;
+  };
+  options->streamed_relabel_store =
+      [this, fold](uint64_t key, std::shared_ptr<const StreamedDataset> data) {
+        const uint64_t k = fold(key);
+        {
+          std::unique_lock<std::mutex> lock(relabel_stream_mutex_);
+          relabel_streams_.Put(k, data);
+        }
+        if (disk_ != nullptr) disk_->StoreRelabelStream(k, *data);
+      };
+}
+
 ColumnIndexProvider DiscoveryEngine::MakeColumnIndexProvider() {
   return [this](const Dataset& d) { return GetColumnIndex(d); };
 }
@@ -445,6 +506,10 @@ void DiscoveryEngine::Execute(const JobHandle& job) {
     }
     if (config_.cache_binned_indexes && !options.binned_index_provider) {
       options.binned_index_provider = MakeBinnedIndexProvider();
+    }
+    if (config_.cache_relabel_streams && spec->reds &&
+        !options.streamed_relabel_lookup && !options.streamed_relabel_store) {
+      InstallRelabelStreamHooks(&options);
     }
 
     MethodOutput out;

@@ -46,6 +46,14 @@ struct EngineConfig {
   /// quantize once. Keyed by the same input-only fingerprint.
   bool cache_binned_indexes = true;
   size_t binned_index_cache_capacity = 32;  // LRU bound; 0 = unbounded
+  /// Shared relabel-stream cache: the finished product of a streamed REDS
+  /// relabeling (quantized index + O(L) labels), keyed by everything that
+  /// shapes it (training bytes, metamodel recipe, seed, stream length,
+  /// block size) folded with the engine seed. A hit serves the job with
+  /// zero labeling passes and zero code rebuilds; entries persist to the
+  /// disk tier when it is active, so a warm engine process skips them too.
+  bool cache_relabel_streams = true;
+  size_t relabel_stream_cache_capacity = 8;  // LRU bound; 0 = unbounded
   /// Root seed for the canonical metamodel fits. The engine re-seeds each
   /// metamodel from (this seed, cache key) instead of the per-request seed,
   /// so results are bit-identical whether a request hits or misses the
@@ -232,6 +240,9 @@ class DiscoveryEngine {
   /// Number of distinct streamed-build indexes currently cached.
   int streamed_index_cache_size() const;
 
+  /// Number of distinct streamed REDS relabelings currently cached.
+  int relabel_stream_cache_size() const;
+
   /// Ingests a training source through the streaming data plane: one
   /// hashing pass for the fingerprints and labels, then the index from the
   /// in-memory LRU, the persistent tier, or (cold) a BuildStreamed over
@@ -277,6 +288,9 @@ class DiscoveryEngine {
   MetamodelProvider MakeCachingProvider();
   ColumnIndexProvider MakeColumnIndexProvider();
   BinnedIndexProvider MakeBinnedIndexProvider();
+  /// Installs streamed_relabel_lookup/store on `options`, closing over the
+  /// engine's relabel-stream LRU and disk tier.
+  void InstallRelabelStreamHooks(RunOptions* options);
   std::shared_ptr<const ColumnIndex> GetColumnIndex(const Dataset& d,
                                                     uint64_t fingerprint);
 
@@ -296,6 +310,8 @@ class DiscoveryEngine {
   obs::Counter* binned_index_misses_ = nullptr;
   obs::Counter* streamed_index_hits_ = nullptr;
   obs::Counter* streamed_index_misses_ = nullptr;
+  obs::Counter* relabel_stream_hits_ = nullptr;
+  obs::Counter* relabel_stream_misses_ = nullptr;
   MetamodelCache cache_;
   std::unique_ptr<PersistentCache> disk_;  // null: tier disabled
   mutable std::mutex column_index_mutex_;
@@ -307,6 +323,12 @@ class DiscoveryEngine {
   // and streamed requests must always see streamed bins (warm == cold).
   mutable std::mutex streamed_index_mutex_;
   LruMap<uint64_t, std::shared_ptr<const BinnedIndex>> streamed_indexes_;
+  // Finished streamed REDS relabelings, keyed by the engine-folded relabel
+  // cache key (see InstallRelabelStreamHooks). Entries share their index's
+  // bytes with nothing else: the relabeled stream is request-recipe-keyed,
+  // not dataset-keyed.
+  mutable std::mutex relabel_stream_mutex_;
+  LruMap<uint64_t, std::shared_ptr<const StreamedDataset>> relabel_streams_;
   ResultStore store_;
   ThreadPool pool_;  // last member: drains before the fields above die
 };

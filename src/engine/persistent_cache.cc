@@ -21,6 +21,7 @@ namespace {
 // the cache key.
 constexpr uint64_t kIndexMagic = 0x5245445342494458ULL;   // "REDSBIDX"
 constexpr uint64_t kModelMagic = 0x524544534d4f444cULL;   // "REDSMODL"
+constexpr uint64_t kRelabelMagic = 0x52454453524c4253ULL; // "REDSRLBS"
 constexpr uint32_t kFormatVersion = 1;
 
 // Revision of the *producing algorithms* (quantile packing, metamodel
@@ -90,6 +91,9 @@ PersistentCache::PersistentCache(std::string dir, uint64_t max_bytes,
   model_hits_ = metrics->counter("cache.persistent.model_hits");
   model_misses_ = metrics->counter("cache.persistent.model_misses");
   model_writes_ = metrics->counter("cache.persistent.model_writes");
+  relabel_hits_ = metrics->counter("cache.persistent.relabel_hits");
+  relabel_misses_ = metrics->counter("cache.persistent.relabel_misses");
+  relabel_writes_ = metrics->counter("cache.persistent.relabel_writes");
   rejected_ = metrics->counter("cache.persistent.rejected");
   evictions_ = metrics->counter("cache.persistent.evictions");
   bytes_evicted_ = metrics->counter("cache.persistent.bytes_evicted");
@@ -104,7 +108,14 @@ std::string PersistentCache::IndexPath(uint64_t input_fingerprint,
 
 std::string PersistentCache::StreamedIndexPath(
     uint64_t input_fingerprint) const {
-  return dir_ + "/bidx-stream-" + Hex16(input_fingerprint) + ".bin";
+  // "bmap": the mapped REDSBMAP format. The name changed with the format,
+  // so pre-mapped "bidx-stream-*" entries simply plain-miss and rebuild
+  // (then age out under the byte cap) instead of being misparsed.
+  return dir_ + "/bmap-stream-" + Hex16(input_fingerprint) + ".bin";
+}
+
+std::string PersistentCache::RelabelStreamPath(uint64_t key) const {
+  return dir_ + "/reds-stream-" + Hex16(key) + ".bin";
 }
 
 std::string PersistentCache::ModelPath(const MetamodelKey& key) const {
@@ -231,11 +242,26 @@ std::shared_ptr<const BinnedIndex> PersistentCache::LoadBinnedIndex(
 std::shared_ptr<const BinnedIndex> PersistentCache::LoadStreamedIndex(
     uint64_t input_fingerprint, int expect_rows, int expect_cols) {
   // Either build kind is valid (whatever the stream's distinct-value
-  // profile produced), but the entry must carry its own permutation --
-  // streamed consumers peel on it.
-  return LoadIndexFile(StreamedIndexPath(input_fingerprint),
-                       input_fingerprint, expect_rows, expect_cols,
-                       /*require_sorted_rows=*/true, nullptr);
+  // profile produced); mapped entries always carry their permutation.
+  // OpenMapped validates magic, version, key echo, shape, and the
+  // full-file checksum; an absent file is a plain miss, anything else
+  // invalid is a rejection.
+  const std::string path = StreamedIndexPath(input_fingerprint);
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec) || ec) {
+    index_misses_->Add(1);
+    return nullptr;
+  }
+  Result<std::shared_ptr<const BinnedIndex>> index =
+      BinnedIndex::OpenMapped(path, input_fingerprint, expect_rows,
+                              expect_cols);
+  if (!index.ok()) {
+    rejected_->Add(1);
+    index_misses_->Add(1);
+    return nullptr;
+  }
+  index_hits_->Add(1);
+  return *std::move(index);
 }
 
 void PersistentCache::StoreBinnedIndex(uint64_t input_fingerprint,
@@ -254,12 +280,86 @@ void PersistentCache::StoreBinnedIndex(uint64_t input_fingerprint,
 void PersistentCache::StoreStreamedIndex(uint64_t input_fingerprint,
                                          const BinnedIndex& index) {
   assert(index.has_sorted_rows());
-  util::ByteWriter payload;
-  payload.U64(input_fingerprint);
-  index.Serialize(&payload);
+  // Same write-then-rename discipline as WritePayload, but through the
+  // mapped writer: readers only ever mmap complete files.
   const std::string path = StreamedIndexPath(input_fingerprint);
-  if (!WritePayload(path, kIndexMagic, payload.data())) return;
+  const std::string tmp =
+      path + ".tmp-" + std::to_string(static_cast<long long>(::getpid())) +
+      "-" + std::to_string(static_cast<long long>(
+                std::hash<std::thread::id>{}(std::this_thread::get_id()) &
+                0xffffffULL));
+  if (!index.WriteMapped(tmp, input_fingerprint).ok()) {
+    std::error_code cleanup;
+    std::filesystem::remove(tmp, cleanup);
+    return;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return;
+  }
   index_writes_->Add(1);
+  EvictOverCap(path);
+}
+
+std::shared_ptr<const StreamedDataset> PersistentCache::LoadRelabelStream(
+    uint64_t key, int expect_rows, int expect_cols) {
+  std::string raw;
+  size_t begin = 0, size = 0;
+  if (!ReadPayload(RelabelStreamPath(key), kRelabelMagic, &raw, &begin,
+                   &size)) {
+    relabel_misses_->Add(1);
+    return nullptr;
+  }
+  util::ByteReader in(raw.data() + begin, size);
+  const uint64_t echoed_key = in.U64();
+  const uint64_t input_fp = in.U64();
+  const uint64_t full_fp = in.U64();
+  const int32_t cols = in.I32();
+  std::vector<double> y = in.VecF64();
+  const bool valid = in.ok() && in.AtEnd() && echoed_key == key &&
+                     cols == expect_cols &&
+                     y.size() == static_cast<size_t>(expect_rows);
+  if (!valid) {
+    rejected_->Add(1);
+    relabel_misses_->Add(1);
+    return nullptr;
+  }
+  // The quantized index lives in the shared streamed-index namespace
+  // (mapped, per input fingerprint); without it the labels alone cannot
+  // serve a request, so a missing/invalid index file is a relabel miss.
+  std::shared_ptr<const BinnedIndex> index =
+      LoadStreamedIndex(input_fp, expect_rows, expect_cols);
+  if (index == nullptr) {
+    relabel_misses_->Add(1);
+    return nullptr;
+  }
+  auto data = std::make_shared<StreamedDataset>();
+  data->index = std::move(index);
+  data->y = std::move(y);
+  data->input_fingerprint = input_fp;
+  data->fingerprint = full_fp;
+  relabel_hits_->Add(1);
+  return data;
+}
+
+void PersistentCache::StoreRelabelStream(uint64_t key,
+                                         const StreamedDataset& data) {
+  assert(data.index != nullptr && data.index->has_sorted_rows());
+  // Index first: if its write fails, the labels entry must not exist
+  // either (a labels file pointing at a missing index would always miss
+  // anyway, but would waste a read on every lookup).
+  StoreStreamedIndex(data.input_fingerprint, *data.index);
+  util::ByteWriter payload;
+  payload.U64(key);
+  payload.U64(data.input_fingerprint);
+  payload.U64(data.fingerprint);
+  payload.I32(static_cast<int32_t>(data.index->num_cols()));
+  payload.VecF64(data.y);
+  const std::string path = RelabelStreamPath(key);
+  if (!WritePayload(path, kRelabelMagic, payload.data())) return;
+  relabel_writes_->Add(1);
   EvictOverCap(path);
 }
 
@@ -372,6 +472,9 @@ PersistentCacheStats PersistentCache::stats() const {
   s.model_hits = static_cast<int>(model_hits_->Value());
   s.model_misses = static_cast<int>(model_misses_->Value());
   s.model_writes = static_cast<int>(model_writes_->Value());
+  s.relabel_hits = static_cast<int>(relabel_hits_->Value());
+  s.relabel_misses = static_cast<int>(relabel_misses_->Value());
+  s.relabel_writes = static_cast<int>(relabel_writes_->Value());
   s.rejected = static_cast<int>(rejected_->Value());
   s.evictions = static_cast<int>(evictions_->Value());
   s.bytes_evicted = bytes_evicted_->Value();

@@ -33,6 +33,9 @@ struct PersistentCacheStats {
   int model_hits = 0;     // metamodels loaded from disk
   int model_misses = 0;
   int model_writes = 0;
+  int relabel_hits = 0;   // streamed relabelings (labels + index) loaded
+  int relabel_misses = 0;
+  int relabel_writes = 0;
   int rejected = 0;       // corrupt/truncated/mismatched files refused
   int evictions = 0;      // entries dropped to respect the byte cap
   uint64_t bytes_evicted = 0;  // summed size of the entries dropped
@@ -73,13 +76,29 @@ class PersistentCache {
   /// BinnedIndex::BuildStreamed (either build kind, always carrying their
   /// own permutation). Kept apart from the exact-pack entries above so a
   /// streamed request is only ever served bins a streamed build would have
-  /// produced -- warm and cold runs stay bit-identical. Entries lacking
-  /// the permutation are rejected.
+  /// produced -- warm and cold runs stay bit-identical. Stored in the
+  /// write-once mapped format ("REDSBMAP"): loads alias the mmap'd file,
+  /// so the O(N x M) code/permutation payload pages in on demand instead
+  /// of being copied to the heap, and warm starts skip the code rebuild
+  /// outright. Entries lacking the permutation are rejected.
   std::shared_ptr<const BinnedIndex> LoadStreamedIndex(
       uint64_t input_fingerprint, int expect_rows, int expect_cols);
 
   void StoreStreamedIndex(uint64_t input_fingerprint,
                           const BinnedIndex& index);
+
+  /// Relabel-stream namespace: the finished product of a streamed REDS
+  /// relabeling -- the O(L) label vector in its own checksummed file plus
+  /// the quantized index shared with the streamed-index namespace above
+  /// (mapped, per input fingerprint). A hit hands back a complete
+  /// StreamedDataset, so a warm engine replays neither the sampler nor the
+  /// metamodel nor the quantization. `key` is the engine-folded relabel
+  /// cache key; returns null when either file is missing or invalid.
+  std::shared_ptr<const StreamedDataset> LoadRelabelStream(uint64_t key,
+                                                           int expect_rows,
+                                                           int expect_cols);
+
+  void StoreRelabelStream(uint64_t key, const StreamedDataset& data);
 
   /// Loads the trained metamodel for `key`, or null on miss/rejection.
   std::shared_ptr<const ml::Metamodel> LoadMetamodel(const MetamodelKey& key);
@@ -92,6 +111,7 @@ class PersistentCache {
   std::string IndexPath(uint64_t input_fingerprint,
                         BinnedIndex::BuildKind kind) const;
   std::string StreamedIndexPath(uint64_t input_fingerprint) const;
+  std::string RelabelStreamPath(uint64_t key) const;
   std::string ModelPath(const MetamodelKey& key) const;
   /// Shared load path of the exact-pack and streamed index namespaces.
   std::shared_ptr<const BinnedIndex> LoadIndexFile(
@@ -124,6 +144,9 @@ class PersistentCache {
   obs::Counter* model_hits_ = nullptr;
   obs::Counter* model_misses_ = nullptr;
   obs::Counter* model_writes_ = nullptr;
+  obs::Counter* relabel_hits_ = nullptr;
+  obs::Counter* relabel_misses_ = nullptr;
+  obs::Counter* relabel_writes_ = nullptr;
   obs::Counter* rejected_ = nullptr;
   obs::Counter* evictions_ = nullptr;
   obs::Counter* bytes_evicted_ = nullptr;

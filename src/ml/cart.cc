@@ -101,7 +101,7 @@ void RegressionTree::Fit(const Dataset& d, const std::vector<int>& rows,
                      static_cast<size_t>(n));
     for (int f = 0; f < ctx.num_features; ++f) {
       uint8_t* col = &ctx.codes[static_cast<size_t>(f) * static_cast<size_t>(n)];
-      const std::vector<uint8_t>& src = binned->codes(f);
+      const ColumnView<uint8_t> src = binned->codes(f);
       for (int p = 0; p < n; ++p) {
         col[p] = src[static_cast<size_t>(rows[static_cast<size_t>(p)])];
       }

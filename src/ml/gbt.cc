@@ -8,6 +8,7 @@
 
 #include "ml/order_partition.h"
 #include "ml/tree_wire.h"
+#include "util/simd.h"
 #include "util/thread_pool.h"
 
 namespace reds::ml {
@@ -49,6 +50,9 @@ struct GradientBoostedTrees::RoundContext {
   const BinnedIndex* binned = nullptr;
   int hist_stride = 0;         // bins reserved per candidate slot
   HistogramPool* hist_pool = nullptr;
+  // Interleaved (grad, hess) pairs, packed once per round: the node
+  // accumulations then touch one random cache line per row instead of two.
+  const double* gh = nullptr;
 };
 
 double GradientBoostedTrees::Tree::Predict(const double* x) const {
@@ -178,8 +182,8 @@ int GradientBoostedTrees::BuildNodeHistogram(RoundContext* ctx, int begin,
     for (size_t fi = 0; fi < features.size(); ++fi) {
       HistBin* slot = hist.data() + fi * stride;
       std::fill_n(slot, ctx->binned->num_bins(features[fi]), HistBin{});
-      AccumulateHistogram(ctx->binned->codes(features[fi]).data(), ids, n,
-                          grad.data(), hess.data(), slot);
+      AccumulateHistogramPairs(ctx->binned->codes(features[fi]).data(), ids,
+                               n, ctx->gh, slot);
     }
   }
 
@@ -262,8 +266,8 @@ int GradientBoostedTrees::BuildNodeHistogram(RoundContext* ctx, int begin,
   for (size_t fi = 0; fi < features.size(); ++fi) {
     HistBin* slot = small.data() + fi * stride;
     std::fill_n(slot, ctx->binned->num_bins(features[fi]), HistBin{});
-    AccumulateHistogram(ctx->binned->codes(features[fi]).data(), ids, small_n,
-                        grad.data(), hess.data(), slot);
+    AccumulateHistogramPairs(ctx->binned->codes(features[fi]).data(), ids,
+                             small_n, ctx->gh, slot);
   }
   for (size_t fi = 0; fi < features.size(); ++fi) {
     HistBin* parent = hist.data() + fi * stride;
@@ -429,6 +433,7 @@ void GradientBoostedTrees::Fit(const Dataset& d, uint64_t seed,
         static_cast<size_t>(binned->max_bins()));
   }
   std::vector<uint8_t> in_bag;  // reused per round
+  util::PackedDoubleBuffer gh_pairs;  // reused per round (histogram backend)
 
   Rng rng(DeriveSeed(seed, 0x67627400ULL));
   for (int round = 0; round < config_.num_rounds; ++round) {
@@ -436,6 +441,11 @@ void GradientBoostedTrees::Fit(const Dataset& d, uint64_t seed,
       const double p = Sigmoid(margin[static_cast<size_t>(i)]);
       grad[static_cast<size_t>(i)] = p - d.y(i);
       hess[static_cast<size_t>(i)] = std::max(p * (1.0 - p), 1e-16);
+    }
+    if (config_.backend == SplitBackend::kHistogram) {
+      // One O(n) sequential pack, amortized over every node x feature
+      // accumulation of the round.
+      PackGradientPairs(grad.data(), hess.data(), n, &gh_pairs);
     }
 
     // Row subsample for this round.
@@ -482,6 +492,7 @@ void GradientBoostedTrees::Fit(const Dataset& d, uint64_t seed,
         ctx.binned = binned;
         ctx.hist_stride = binned->max_bins();
         ctx.hist_pool = hist_pool.get();
+        ctx.gh = gh_pairs.data();
         ctx.rows = std::move(rows);
         ctx.goes_left.resize(static_cast<size_t>(n));
         BuildNodeHistogram(&ctx, 0, in_round, 0, {}, &tree);

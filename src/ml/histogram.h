@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/binned_index.h"
+#include "util/simd.h"
 
 namespace reds::ml {
 
@@ -45,74 +46,66 @@ struct HistBin {
 };
 
 /// Accumulates the g-sums and counts of `ids` (positions or row ids,
-/// whatever `codes`/`g` are indexed by) into `bins`. The loop is unrolled
-/// four rows deep with all gathers (two dependent loads per row: id, then
-/// code/gradient) issued before any bin is bumped, so the loads of the next
-/// rows pipeline instead of stalling behind the previous row's
-/// read-modify-write; the bumps stay in row order, so the per-bin sums are
-/// bit-identical to the scalar loop's. Rows sharing a bin within one
-/// unrolled group are handled correctly: each bump is a separate
-/// load-modify-store in program order.
-inline void AccumulateHistogram(const uint8_t* codes, const int* ids, int n,
-                                const double* g, HistBin* bins) {
-  int i = 0;
-  for (; i + 4 <= n; i += 4) {
-    const int id0 = ids[i], id1 = ids[i + 1], id2 = ids[i + 2],
-              id3 = ids[i + 3];
-    const uint8_t c0 = codes[id0], c1 = codes[id1], c2 = codes[id2],
-                  c3 = codes[id3];
-    const double g0 = g[id0], g1 = g[id1], g2 = g[id2], g3 = g[id3];
-    bins[c0].g += g0;
-    ++bins[c0].count;
-    bins[c1].g += g1;
-    ++bins[c1].count;
-    bins[c2].g += g2;
-    ++bins[c2].count;
-    bins[c3].g += g3;
-    ++bins[c3].count;
-  }
-  for (; i < n; ++i) {
-    const int id = ids[i];
-    HistBin& bin = bins[codes[id]];
-    bin.g += g[id];
-    ++bin.count;
-  }
-}
+/// whatever `codes`/`g` are indexed by) into `bins`. Dispatched on
+/// util::ActiveSimdLevel(): the scalar path is the 4-row unrolled gather
+/// (all loads issued before any bin is bumped so rows pipeline); the AVX2
+/// path adds software prefetch of the gradient and code streams. Bin bumps
+/// always stay in row order, so every path is bit-identical to
+/// AccumulateHistogramReference. Rows sharing a bin within one unrolled
+/// group are handled correctly: each bump is a separate load-modify-store
+/// in program order.
+void AccumulateHistogram(const uint8_t* codes, const int* ids, int n,
+                         const double* g, HistBin* bins);
 
-/// As above with hessian sums (the GBT variant), same 4-row unrolled
-/// gather.
-inline void AccumulateHistogram(const uint8_t* codes, const int* ids, int n,
-                                const double* g, const double* h,
-                                HistBin* bins) {
-  int i = 0;
-  for (; i + 4 <= n; i += 4) {
-    const int id0 = ids[i], id1 = ids[i + 1], id2 = ids[i + 2],
-              id3 = ids[i + 3];
-    const uint8_t c0 = codes[id0], c1 = codes[id1], c2 = codes[id2],
-                  c3 = codes[id3];
-    const double g0 = g[id0], g1 = g[id1], g2 = g[id2], g3 = g[id3];
-    const double h0 = h[id0], h1 = h[id1], h2 = h[id2], h3 = h[id3];
-    bins[c0].g += g0;
-    bins[c0].h += h0;
-    ++bins[c0].count;
-    bins[c1].g += g1;
-    bins[c1].h += h1;
-    ++bins[c1].count;
-    bins[c2].g += g2;
-    bins[c2].h += h2;
-    ++bins[c2].count;
-    bins[c3].g += g3;
-    bins[c3].h += h3;
-    ++bins[c3].count;
-  }
-  for (; i < n; ++i) {
-    const int id = ids[i];
-    HistBin& bin = bins[codes[id]];
-    bin.g += g[id];
-    bin.h += h[id];
-    ++bin.count;
-  }
-}
+/// As above with hessian sums (the GBT variant). The AVX2 path fuses each
+/// bin's g/h update into one 128-bit add (independent lanes, so still
+/// bit-identical) and prefetches both gradient streams.
+void AccumulateHistogram(const uint8_t* codes, const int* ids, int n,
+                         const double* g, const double* h, HistBin* bins);
+
+/// The g+h variant on a packed pair layout: gh[2*id] = g, gh[2*id+1] = h.
+/// One random cache line per row instead of two, which is what lets the
+/// AVX2 path clear 2x over the scalar reference at node sizes that spill
+/// L1/L2 -- the hot GBT path packs once per boosting round (see
+/// PackGradientPairs) and runs every node/feature accumulation on the
+/// pairs. Bit-identical to AccumulateHistogramReference on the unpacked
+/// arrays.
+void AccumulateHistogramPairs(const uint8_t* codes, const int* ids, int n,
+                              const double* gh, HistBin* bins);
+
+/// Interleaves g/h into `out` (resized to 2n doubles; hugepage-advised when
+/// large, see util::PackedDoubleBuffer). The pack is O(n) sequential and is
+/// amortized over the depth x features accumulation passes of one round.
+void PackGradientPairs(const double* g, const double* h, int n,
+                       util::PackedDoubleBuffer* out);
+
+/// Quantized-gradient histogram bin: int64 sums of int16-quantized g/h.
+/// int64 because int32 overflows at realistic node sizes (1e5 rows x 32767
+/// quantized magnitude ~ 3.3e9 > 2^31). Integer sums are associative, so
+/// every dispatch path of the Q16 kernel produces exactly equal bins.
+struct HistBinQ16 {
+  int64_t g = 0;
+  int64_t h = 0;
+  int32_t count = 0;
+};
+
+/// Quantizes g/h to int16 pairs packed as gh16[2*i] = q(g[i]),
+/// gh16[2*i+1] = q(h[i]) with one shared symmetric scale per array:
+/// q(v) = round(v / scale), scale = max(|g|,|h|) / 32767 (1.0 when the
+/// inputs are all zero). Returns the scale; dequantize sums as
+/// bin.g * scale. 4 bytes per row makes the random gradient stream 4x
+/// denser per cache line than the double pair layout.
+double QuantizeGradientPairs(const double* g, const double* h, int n,
+                             int16_t* gh16);
+
+/// Accumulates quantized pair sums + counts per bin, dispatched like the
+/// double kernels. Exactly equal (not just bit-close) to the reference on
+/// every path: integer addition is associative.
+void AccumulateHistogramQ16(const uint8_t* codes, const int* ids, int n,
+                            const int16_t* gh16, HistBinQ16* bins);
+void AccumulateHistogramQ16Reference(const uint8_t* codes, const int* ids,
+                                     int n, const int16_t* gh16,
+                                     HistBinQ16* bins);
 
 /// The plain scalar loops, kept as the equivalence/benchmark reference for
 /// the unrolled kernels above (tests assert bit-identical bins;

@@ -12,9 +12,9 @@
 //   u64  num_rows              (hashed at Finalize, so one-pass streams need
 //                               not know the row count upfront)
 //
-// every value serialized little-endian and folded through FNV-1a 64. Equal
-// datasets (bitwise) always agree; distinct ones collide with probability
-// ~2^-64.
+// every value folded through FNV-1a 64 one 64-bit word at a time (xor with
+// the IEEE-754 bit pattern, multiply by the FNV prime). Equal datasets
+// (bitwise) always agree; distinct ones collide with probability ~2^-64.
 #ifndef REDS_UTIL_FINGERPRINT_H_
 #define REDS_UTIL_FINGERPRINT_H_
 

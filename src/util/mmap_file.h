@@ -1,0 +1,44 @@
+// Read-only memory-mapped files: the out-of-core backing of the binned
+// data plane. A MappedFile maps a whole file MAP_PRIVATE/PROT_READ, so
+// consumers index straight into the page cache -- bytes fault in on first
+// touch and clean pages are reclaimable under memory pressure, which keeps
+// resident size bounded for code columns far larger than RAM.
+#ifndef REDS_UTIL_MMAP_FILE_H_
+#define REDS_UTIL_MMAP_FILE_H_
+
+#include <cstddef>
+#include <string>
+
+#include "util/status.h"
+
+namespace reds::util {
+
+/// RAII read-only mapping of one file. Movable, not copyable; unmaps on
+/// destruction. The mapping stays valid for the object's lifetime even if
+/// the file is unlinked (standard mmap semantics), so cache eviction of the
+/// underlying file cannot invalidate live readers.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Maps `path` read-only. Fails (Status) on missing/unreadable files and
+  /// on empty files (an empty mapping is never a valid cache artifact).
+  static Result<MappedFile> OpenReadOnly(const std::string& path);
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool valid() const { return data_ != nullptr; }
+
+ private:
+  char* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace reds::util
+
+#endif  // REDS_UTIL_MMAP_FILE_H_

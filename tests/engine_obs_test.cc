@@ -141,8 +141,9 @@ TEST(EngineObsTest, ColdAndWarmStreamedRedsTracesNameThePipeline) {
 
   // Warm engine: the same requests served from the persistent tier. The
   // traces must prove it -- zero fits, zero engine index builds, loads
-  // instead. (The REDS job still sketches its own relabeled stream: that
-  // work is per-job by design and must keep appearing.)
+  // instead. The REDS job is served its finished relabeled stream from
+  // the relabel tier: zero labeling passes, zero sketch/code passes, and
+  // the metamodel is never even loaded.
   {
     DiscoveryEngine warm(config);
     const auto reds_job = warm.Submit(SourceRequest(data, "RPx"));
@@ -153,11 +154,14 @@ TEST(EngineObsTest, ColdAndWarmStreamedRedsTracesNameThePipeline) {
     ASSERT_EQ(prim_job->state(), JobState::kDone)
         << (prim_job->state() == JobState::kFailed ? prim_job->error() : "");
     ASSERT_NE(reds_job->trace(), nullptr);
-    EXPECT_EQ(reds_job->trace()->CountEvents("metamodel.fit"), 0);
-    EXPECT_EQ(reds_job->trace()->CountEvents("index.build"), 0);
+    for (const char* absent :
+         {"metamodel.fit", "metamodel.load", "index.build", "relabel.stream",
+          "relabel.label_pass", "index.sketch_pass", "index.code_pass"}) {
+      EXPECT_EQ(reds_job->trace()->CountEvents(absent), 0)
+          << "warm REDS must skip " << absent;
+    }
     for (const char* stage :
-         {"job", "metamodel.load", "relabel.stream", "prim.peel",
-          "validate"}) {
+         {"job", "relabel.load", "relabel.cached", "prim.peel", "validate"}) {
       EXPECT_GE(reds_job->trace()->CountEvents(stage), 1)
           << "warm REDS stage " << stage;
     }
@@ -234,7 +238,8 @@ TEST(EngineObsTest, DumpMetricsCoversEverySubsystem) {
   for (const char* needle :
        {"\"engine.jobs.submitted\": 4", "\"engine.job.latency_ns\"",
         "\"cache.metamodel.fits\": 1", "\"engine.pool.queue_depth\"",
-        "\"cache.metamodel.size\""}) {
+        "\"cache.metamodel.size\"", "\"engine.build.simd\"",
+        "\"cache.relabel.hits\""}) {
     EXPECT_NE(json.find(needle), std::string::npos) << needle;
   }
   const std::string prom = engine.DumpMetrics(obs::ExportFormat::kPrometheus);

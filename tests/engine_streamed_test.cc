@@ -90,8 +90,14 @@ TEST(EngineStreamedTest, PlainPrimSourceMatchesEagerOnGridData) {
 TEST(EngineStreamedTest, StreamedAndEagerRedsShareOneMetamodelFit) {
   // Identical bytes through different ingestion paths must land on one
   // cache key: the incremental stream hash equals the in-memory hash.
+  // The relabel-stream cache is off so both jobs are guaranteed to reach
+  // the metamodel cache (it keys on the same full fingerprint and would
+  // otherwise serve whichever job runs second, timing-dependent).
   const auto data = MakeGridData(250, 4, 2);
-  DiscoveryEngine engine({/*threads=*/2});
+  EngineConfig count_config;
+  count_config.threads = 2;
+  count_config.cache_relabel_streams = false;
+  DiscoveryEngine engine(count_config);
   const auto streamed = engine.Submit(SourceRequest(data, "RPx"));
   const auto eager = engine.Submit(EagerRequest(data, "RPx"));
   engine.WaitAll();
@@ -142,6 +148,7 @@ TEST(EngineStreamedTest, WarmEngineServesStreamedRedsWithZeroWork) {
     const PersistentCacheStats stats = cold.persistent_cache_stats();
     EXPECT_GE(stats.model_writes, 1);
     EXPECT_GE(stats.index_writes, 1);
+    EXPECT_GE(stats.relabel_writes, 1);
     cold.Shutdown();
   }
 
@@ -158,11 +165,15 @@ TEST(EngineStreamedTest, WarmEngineServesStreamedRedsWithZeroWork) {
     ASSERT_EQ(prim_job->state(), JobState::kDone);
     EXPECT_TRUE(reds_job->output().last_box == cold_box);
     const PersistentCacheStats stats = warm.persistent_cache_stats();
-    // Zero training: every metamodel lookup was served from disk (the
-    // in-memory fit lambda ran only to reload it).
-    EXPECT_GE(stats.model_hits, 1);
+    // Zero labeling: the finished relabeled stream (labels + mapped
+    // index) came straight from disk, so the metamodel was never even
+    // consulted -- no hits, no misses, certainly no retraining.
+    EXPECT_GE(stats.relabel_hits, 1);
+    EXPECT_EQ(stats.relabel_misses, 0);
+    EXPECT_EQ(stats.model_hits, 0);
     EXPECT_EQ(stats.model_misses, 0);
     EXPECT_EQ(stats.model_writes, 0);
+    EXPECT_EQ(warm.metamodel_cache().fit_count(), 0);
     // Zero index builds: the streamed index came from disk too.
     EXPECT_GE(stats.index_hits, 1);
     EXPECT_EQ(stats.index_writes, 0);

@@ -41,6 +41,18 @@ RunOptions FastOptions() {
   return options;
 }
 
+// Engine config for the metamodel-accounting tests below. The
+// relabel-stream cache serves a repeat REDS job its finished relabeled
+// stream before the metamodel cache is ever consulted -- and whether a
+// concurrent repeat hits it depends on job timing -- so these tests turn
+// it off to count every metamodel lookup deterministically.
+EngineConfig CountEveryLookupConfig(int threads) {
+  EngineConfig config;
+  config.threads = threads;
+  config.cache_relabel_streams = false;
+  return config;
+}
+
 DiscoveryRequest MakeRequest(std::shared_ptr<const Dataset> train,
                              std::string method,
                              std::shared_ptr<const Dataset> test = nullptr) {
@@ -54,7 +66,7 @@ DiscoveryRequest MakeRequest(std::shared_ptr<const Dataset> train,
 
 TEST(MetamodelCacheTest, FitCountIsOneForKSameDatasetRedsRequests) {
   const auto train = MakeData(200, 4, 1);
-  DiscoveryEngine engine({/*threads=*/4});
+  DiscoveryEngine engine(CountEveryLookupConfig(/*threads=*/4));
   // Three REDS variants, all with the GBT metamodel: the relabeling (hard
   // vs. probability labels) differs but the metamodel is shared.
   std::vector<JobHandle> jobs;
@@ -88,7 +100,7 @@ TEST(MetamodelCacheTest, BitwiseEqualDatasetObjectsShareOneFit) {
   const auto train_a = MakeData(150, 3, 7);
   const auto train_b = MakeData(150, 3, 7);
   ASSERT_NE(train_a.get(), train_b.get());
-  DiscoveryEngine engine({/*threads=*/2});
+  DiscoveryEngine engine(CountEveryLookupConfig(/*threads=*/2));
   engine.Submit(MakeRequest(train_a, "RPx"));
   engine.Submit(MakeRequest(train_b, "RPx"));
   engine.WaitAll();
@@ -137,7 +149,7 @@ TEST(DiscoveryEngineTest, ConcurrentSubmissionStress) {
   const auto train_a = MakeData(180, 4, 3);
   const auto train_b = MakeData(180, 4, 4);
   const auto test = MakeData(2000, 4, 5);
-  DiscoveryEngine engine({/*threads=*/8});
+  DiscoveryEngine engine(CountEveryLookupConfig(/*threads=*/8));
   std::vector<JobHandle> jobs;
   const char* methods[] = {"P", "RPx", "BI", "RPxp"};
   for (int i = 0; i < 32; ++i) {

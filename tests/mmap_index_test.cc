@@ -1,0 +1,184 @@
+// The mmap'd out-of-core index format ("REDSBMAP"): WriteMapped /
+// OpenMapped must round-trip a streamed BinnedIndex so that every
+// accessor -- codes, permutation, bin metadata -- reads identically
+// through the mapping, and the opener must reject truncation, bit flips
+// anywhere in the file, key mismatches, and shape mismatches rather than
+// trust the bytes. The payload regions alias the mapping (no heap copy),
+// which is exactly why the validation has to be airtight.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/binned_index.h"
+#include "core/dataset_source.h"
+#include "util/rng.h"
+
+namespace reds {
+namespace {
+
+std::shared_ptr<const Dataset> MakeData(int n, int dim, uint64_t seed) {
+  Rng rng(seed);
+  auto d = std::make_shared<Dataset>(dim);
+  std::vector<double> x(static_cast<size_t>(dim));
+  for (int i = 0; i < n; ++i) {
+    for (auto& v : x) v = rng.Uniform();
+    d->AddRow(x, (x[0] < 0.45 && x[1] > 0.3) ? 1.0 : 0.0);
+  }
+  return d;
+}
+
+StreamedDataset BuildStreamedIndex(int n, int dim, uint64_t seed) {
+  MatrixSource source(MakeData(n, dim, seed));
+  Result<StreamedDataset> built = BinnedIndex::BuildStreamed(&source);
+  EXPECT_TRUE(built.ok()) << built.status().ToString();
+  return std::move(built).value();
+}
+
+std::string TempPath(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "bmap_" + name + ".bin";
+  std::filesystem::remove(path);
+  return path;
+}
+
+void ExpectIndexesIdentical(const BinnedIndex& a, const BinnedIndex& b) {
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  ASSERT_EQ(a.num_cols(), b.num_cols());
+  EXPECT_EQ(a.max_bins(), b.max_bins());
+  EXPECT_EQ(a.kind(), b.kind());
+  ASSERT_TRUE(b.has_sorted_rows());
+  for (int j = 0; j < a.num_cols(); ++j) {
+    ASSERT_EQ(a.num_bins(j), b.num_bins(j)) << "col " << j;
+    for (int bin = 0; bin < a.num_bins(j); ++bin) {
+      EXPECT_EQ(a.bin_first(j, bin), b.bin_first(j, bin));
+      EXPECT_EQ(a.bin_last(j, bin), b.bin_last(j, bin));
+      EXPECT_EQ(a.bin_begin_rank(j, bin), b.bin_begin_rank(j, bin));
+    }
+    EXPECT_EQ(a.bin_begin_rank(j, a.num_bins(j)),
+              b.bin_begin_rank(j, b.num_bins(j)));
+    EXPECT_TRUE(a.codes(j) == b.codes(j)) << "codes col " << j;
+    EXPECT_TRUE(a.sorted_rows(j) == b.sorted_rows(j)) << "perm col " << j;
+  }
+}
+
+TEST(MmapIndexTest, RoundTripReadsIdenticallyThroughTheMapping) {
+  const StreamedDataset built = BuildStreamedIndex(500, 4, 3);
+  const std::string path = TempPath("roundtrip");
+  ASSERT_TRUE(built.index->WriteMapped(path, /*key_echo=*/99).ok());
+
+  auto opened = BinnedIndex::OpenMapped(path, /*key_echo=*/99,
+                                        /*expect_rows=*/500,
+                                        /*expect_cols=*/4);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  ExpectIndexesIdentical(*built.index, **opened);
+
+  // BinOf inverts the mapped codes just like the in-memory ones.
+  const BinnedIndex& mapped = **opened;
+  for (int j = 0; j < 4; ++j) {
+    for (int r = 0; r < 500; r += 37) {
+      EXPECT_EQ(mapped.code(j, r), built.index->code(j, r));
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(MmapIndexTest, MappedIndexOutlivesNothingItNeeds) {
+  // The opened index owns the mapping: the original index and even the
+  // file path string can go away while views stay readable.
+  const std::string path = TempPath("lifetime");
+  int rows = 0;
+  std::shared_ptr<const BinnedIndex> mapped;
+  {
+    const StreamedDataset built = BuildStreamedIndex(300, 3, 5);
+    rows = built.index->num_rows();
+    ASSERT_TRUE(built.index->WriteMapped(path, 1).ok());
+    auto opened = BinnedIndex::OpenMapped(path, 1, rows, 3);
+    ASSERT_TRUE(opened.ok());
+    mapped = std::move(opened).value();
+  }
+  // Deleting the file does not invalidate an open mapping on POSIX.
+  std::filesystem::remove(path);
+  int count = 0;
+  for (uint8_t c : mapped->codes(0)) count += c < BinnedIndex::kMaxBins;
+  EXPECT_EQ(count, rows);
+}
+
+TEST(MmapIndexTest, WrongKeyEchoIsRejected) {
+  const StreamedDataset built = BuildStreamedIndex(200, 3, 7);
+  const std::string path = TempPath("key");
+  ASSERT_TRUE(built.index->WriteMapped(path, 42).ok());
+  auto opened = BinnedIndex::OpenMapped(path, 43, 200, 3);
+  EXPECT_FALSE(opened.ok());
+  std::filesystem::remove(path);
+}
+
+TEST(MmapIndexTest, WrongShapeIsRejected) {
+  const StreamedDataset built = BuildStreamedIndex(200, 3, 8);
+  const std::string path = TempPath("shape");
+  ASSERT_TRUE(built.index->WriteMapped(path, 5).ok());
+  EXPECT_FALSE(BinnedIndex::OpenMapped(path, 5, 201, 3).ok());
+  EXPECT_FALSE(BinnedIndex::OpenMapped(path, 5, 200, 4).ok());
+  EXPECT_TRUE(BinnedIndex::OpenMapped(path, 5, 200, 3).ok());
+  std::filesystem::remove(path);
+}
+
+TEST(MmapIndexTest, TruncationIsRejectedAtAnyLength) {
+  const StreamedDataset built = BuildStreamedIndex(200, 3, 9);
+  const std::string path = TempPath("trunc");
+  ASSERT_TRUE(built.index->WriteMapped(path, 6).ok());
+  const auto full = std::filesystem::file_size(path);
+  // Cut at several depths: inside the trailer, inside the permutation,
+  // inside the codes, inside the header, and to a sliver.
+  for (uintmax_t cut :
+       {full - 1, full - 9, full / 2, full / 8, uintmax_t{16}, uintmax_t{1}}) {
+    std::filesystem::resize_file(path, cut);
+    EXPECT_FALSE(BinnedIndex::OpenMapped(path, 6, 200, 3).ok())
+        << "accepted a file truncated to " << cut << " of " << full;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(MmapIndexTest, BitFlipAnywhereIsRejected) {
+  const StreamedDataset built = BuildStreamedIndex(200, 3, 10);
+  const std::string path = TempPath("flip");
+  ASSERT_TRUE(built.index->WriteMapped(path, 7).ok());
+  const auto size = std::filesystem::file_size(path);
+  // Flip one bit at several offsets spanning header, codes, permutation,
+  // and the checksum itself; restore after each probe.
+  for (uintmax_t offset :
+       {uintmax_t{0}, uintmax_t{21}, size / 3, size / 2, size - 20,
+        size - 1}) {
+    char byte = 0;
+    {
+      std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+      f.seekg(static_cast<std::streamoff>(offset));
+      f.get(byte);
+      f.seekp(static_cast<std::streamoff>(offset));
+      f.put(static_cast<char>(byte ^ 0x10));
+    }
+    EXPECT_FALSE(BinnedIndex::OpenMapped(path, 7, 200, 3).ok())
+        << "accepted a bit flip at offset " << offset;
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(offset));
+    f.put(byte);
+  }
+  // The restored file is valid again.
+  EXPECT_TRUE(BinnedIndex::OpenMapped(path, 7, 200, 3).ok());
+  std::filesystem::remove(path);
+}
+
+TEST(MmapIndexTest, MissingAndEmptyFilesAreRejected) {
+  EXPECT_FALSE(
+      BinnedIndex::OpenMapped(TempPath("missing"), 1, 10, 2).ok());
+  const std::string path = TempPath("empty");
+  std::ofstream(path).close();
+  EXPECT_FALSE(BinnedIndex::OpenMapped(path, 1, 10, 2).ok());
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace reds

@@ -252,10 +252,16 @@ TEST(PersistenceSmokeTest, WarmEngineSkipsIndexBuildAndTraining) {
   EXPECT_EQ(cold.model_hits, 0);
   EXPECT_GE(cold.model_writes, 1);
   EXPECT_GE(cold.index_writes, 1);
+  EXPECT_GE(cold.relabel_writes, 1);
 
   const auto warm = run(&boxes);
-  EXPECT_GE(warm.model_hits, 1) << "warm run must reload, not retrain";
-  EXPECT_EQ(warm.model_misses, 0);
+  // The relabel-stream tier serves the REDS job its finished relabeled
+  // stream, so the warm run neither retrains nor even reloads the
+  // metamodel -- the model tier is never consulted.
+  EXPECT_GE(warm.relabel_hits, 1) << "warm run must reuse the relabeling";
+  EXPECT_EQ(warm.relabel_misses, 0);
+  EXPECT_EQ(warm.model_hits, 0);
+  EXPECT_EQ(warm.model_misses, 0) << "warm run must not retrain";
   EXPECT_GE(warm.index_hits, 1) << "warm run must reload the quantization";
   ASSERT_EQ(boxes.size(), 4u);
   EXPECT_TRUE(boxes[0] == boxes[2])

@@ -137,6 +137,34 @@ TEST(QuantileSketchTest, DeterministicAcrossRuns) {
   }
 }
 
+TEST(QuantileSketchTest, AddWeightedMatchesRepeatedAdds) {
+  // Spilling exact (value, count) pairs through AddWeighted must satisfy
+  // the same bound as inserting every copy -- including heavy values whose
+  // weight dwarfs the gap budget, where ranks inside the mass are exact.
+  Rng rng(23);
+  std::vector<std::pair<double, int64_t>> pairs;
+  std::vector<double> data;
+  for (int i = 0; i < 40; ++i) {
+    const double v = rng.Uniform() * 100.0;
+    const int64_t w = (i % 7 == 0) ? 4000 : 1 + rng.UniformInt(20);
+    pairs.emplace_back(v, w);
+    for (int64_t k = 0; k < w; ++k) data.push_back(v);
+  }
+  std::sort(pairs.begin(), pairs.end());
+  QuantileSketch sketch(1.0 / 512.0);
+  for (const auto& [v, w] : pairs) sketch.AddWeighted(v, w);
+  ExpectWithinBound(sketch, data, "weighted");
+
+  // Per-value sketch work afterward (the post-spill regime) keeps the
+  // bound too.
+  std::vector<double> tail = AdversarialStream(5, 5000, 29);
+  for (double v : tail) {
+    sketch.Add(v * 100.0);
+    data.push_back(v * 100.0);
+  }
+  ExpectWithinBound(sketch, data, "weighted+stream");
+}
+
 TEST(QuantileSketchTest, QueryQuantileMatchesQueryRank) {
   QuantileSketch sketch(1.0 / 128.0);
   for (int i = 0; i < 1000; ++i) sketch.Add(static_cast<double>(i));

@@ -3,11 +3,13 @@
 // entry point.
 #include <gtest/gtest.h>
 
+#include "core/binned_index.h"
 #include "core/prim.h"
 #include "core/quality.h"
 #include "core/reds.h"
 #include "functions/datagen.h"
 #include "functions/registry.h"
+#include "obs/trace.h"
 
 namespace reds {
 namespace {
@@ -122,6 +124,52 @@ TEST(RedsTest, StreamedRelabelingMatchesMaterializedRows) {
       ASSERT_EQ(again->y(i), drained->y(i));
     }
   }
+}
+
+TEST(RedsTest, SinglePassLabelCacheIsBitIdenticalToPureReplay) {
+  // The fused single-pass stream (labels computed once in the sketch pass
+  // and served from the O(L) cache in the coding pass) must be invisible
+  // to everything downstream: identical bins, identical labels, identical
+  // PRIM boxes -- only the labeling-pass count may differ.
+  auto f = fun::MakeFunction("ellipse");
+  const Dataset d =
+      fun::MakeScenarioDataset(**f, 150, fun::DesignKind::kLatinHypercube, 40);
+  StreamedDataset results[2];
+  int label_passes[2] = {0, 0};
+  for (const bool fused : {false, true}) {
+    RedsConfig config = QuickConfig(ml::MetamodelKind::kGbt, false, 1200);
+    config.cache_stream_labels = fused;
+    obs::Trace trace(fused ? "fused" : "replay");
+    obs::TraceBinding binding(&trace);
+    RedsStreamedRelabeling streamed = RedsRelabelStreamed(d, config, 41);
+    Result<StreamedDataset> built =
+        BinnedIndex::BuildStreamed(streamed.new_data.get());
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    results[fused ? 1 : 0] = std::move(built).value();
+    label_passes[fused ? 1 : 0] = trace.CountEvents("relabel.label_pass");
+  }
+#ifndef REDS_OBS_NOOP
+  // Pure replay labels once per pass (sketch + coding); the fused stream
+  // labels exactly once in total.
+  EXPECT_EQ(label_passes[0], 2);
+  EXPECT_EQ(label_passes[1], 1);
+#endif
+  EXPECT_EQ(results[0].y, results[1].y);
+  EXPECT_EQ(results[0].fingerprint, results[1].fingerprint);
+  EXPECT_EQ(results[0].input_fingerprint, results[1].input_fingerprint);
+  const BinnedIndex& replay = *results[0].index;
+  const BinnedIndex& fused = *results[1].index;
+  ASSERT_EQ(replay.num_cols(), fused.num_cols());
+  for (int j = 0; j < replay.num_cols(); ++j) {
+    ASSERT_EQ(replay.num_bins(j), fused.num_bins(j));
+    EXPECT_TRUE(replay.codes(j) == fused.codes(j)) << "col " << j;
+  }
+  PrimConfig prim;
+  const PrimResult a = RunPrimStreamed(replay, results[0].y, prim, &d);
+  const PrimResult b = RunPrimStreamed(fused, results[1].y, prim, &d);
+  ASSERT_EQ(a.ReturnedBoxes().size(), b.ReturnedBoxes().size());
+  EXPECT_TRUE(a.BestBox() == b.BestBox())
+      << "single-pass and two-pass streamed REDS must peel identical boxes";
 }
 
 TEST(RedsTest, MetamodelLabelIsTheSingleSourceOfTruth) {
