@@ -29,10 +29,12 @@
 #include "core/dataset_source.h"
 #include "core/method.h"
 #include "core/prim.h"
+#include "engine/discovery_engine.h"
 #include "ml/gbt.h"
 #include "ml/histogram.h"
 #include "ml/metrics.h"
 #include "ml/random_forest.h"
+#include "ml/tuning.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/rng.h"
@@ -577,7 +579,8 @@ KernelResult BenchRedsRelabelStreamed(const PerfFlags& flags) {
   config.sampler = GridSampler(128);
   config.metamodel_provider = [prefit](const Dataset&, ml::MetamodelKind,
                                        bool, ml::TuningBudget,
-                                       ml::SplitBackend, uint64_t) {
+                                       ml::SplitBackend, ml::GrowthPolicy,
+                                       int, uint64_t) {
     return prefit;
   };
   result.detail = "L=" + std::to_string(flags.l_points) +
@@ -704,6 +707,140 @@ KernelResult BenchBi(const PerfFlags& flags) {
   result.optimized_seconds =
       TimeBest(flags.reps, [&] { opt = RunBi(d, config); });
   result.identical = ref.box == opt.box;
+  return result;
+}
+
+// --- CV tuning fold plans: the materialized reference (SubsetRows copies --
+// one training matrix + one fold index per grid evaluation) vs the
+// streamed plan (row views over a single shared full-data index, O(one
+// fold) extra residency). Presorted backend keeps the fold views exact, so
+// the winning cell, the refit model, and every probe prediction must be
+// bit-identical -- the speedup is a bonus on top of the residency win the
+// memory smoke asserts separately.
+KernelResult BenchTuningStreamedFolds(const PerfFlags& flags) {
+  KernelResult result;
+  result.name = "tuning_streamed_folds";
+  const int n = flags.quick ? flags.n_train : 2500;
+  const Dataset d = RandomData(n, flags.dims, flags.seed + 15);
+  const Dataset probe = RandomData(256, flags.dims, flags.seed + 16);
+  ml::TuningConfig materialized;
+  materialized.folds = 3;
+  materialized.fold_plan = ml::CvFoldPlan::kMaterialized;
+  ml::TuningConfig streamed = materialized;
+  streamed.fold_plan = ml::CvFoldPlan::kStreamed;
+  result.detail = "gbt n=" + std::to_string(n) +
+                  " d=" + std::to_string(flags.dims) + " folds=3 grid=4";
+
+  std::unique_ptr<ml::Metamodel> ref, opt;
+  result.reference_seconds = TimeBest(flags.reps, [&] {
+    ref = ml::TuneAndFit(ml::MetamodelKind::kGbt, d, flags.seed + 17,
+                         materialized);
+  });
+  result.optimized_seconds = TimeBest(flags.reps, [&] {
+    opt = ml::TuneAndFit(ml::MetamodelKind::kGbt, d, flags.seed + 17,
+                         streamed);
+  });
+  result.identical = ref != nullptr && opt != nullptr;
+  for (int i = 0; i < probe.num_rows() && result.identical; ++i) {
+    result.identical =
+        ref->PredictProb(probe.row(i)) == opt->PredictProb(probe.row(i));
+  }
+  return result;
+}
+
+// --- GBT growth policies: depth-wise depth-8 trees (up to 255 leaves per --
+// round) vs leaf-wise growth capped at 64 best-gain leaves. Best-first
+// expansion spends its leaf budget where the gain is, so the capped tree
+// matches the deeper one on held-out loss while expanding ~4x fewer
+// nodes -- the quality delta is measured on a held-out probe, not the
+// training set, precisely because the extra depth-wise leaves buy mostly
+// memorization.
+KernelResult BenchGbtLeafwise(const PerfFlags& flags) {
+  KernelResult result;
+  result.name = "gbt_leafwise";
+  result.approximate = true;
+  result.quality_tolerance = 0.1;
+  const int n = flags.quick ? flags.l_points : 100000;
+  const Dataset d = RandomData(n, flags.dims, flags.seed + 18);
+  const Dataset probe = RandomData(4096, flags.dims, flags.seed + 19);
+  ml::GbtConfig depth_wise;
+  depth_wise.num_rounds = flags.quick ? 20 : 50;
+  depth_wise.max_depth = 8;
+  depth_wise.backend = ml::SplitBackend::kHistogram;
+  ml::GbtConfig leaf_wise = depth_wise;
+  leaf_wise.growth = ml::GrowthPolicy::kLeafWise;
+  leaf_wise.max_leaves = 64;
+  result.detail = "n=" + std::to_string(n) +
+                  " d=" + std::to_string(flags.dims) +
+                  " rounds=" + std::to_string(depth_wise.num_rounds) +
+                  " depth8-vs-64leaf";
+
+  const auto index = ColumnIndex::Build(d);
+  const auto binned = BinnedIndex::Build(*index);
+  ml::GradientBoostedTrees ref(depth_wise), opt(leaf_wise);
+  result.reference_seconds = TimeBest(flags.reps, [&] {
+    ref.Fit(d, flags.seed + 20, index.get(), binned.get());
+  });
+  result.optimized_seconds = TimeBest(flags.reps, [&] {
+    opt.Fit(d, flags.seed + 20, index.get(), binned.get());
+  });
+  result.quality_delta =
+      std::fabs(TrainLogLoss(ref, probe) - TrainLogLoss(opt, probe));
+  result.identical = result.quality_delta == 0.0;
+  return result;
+}
+
+// --- Engine serving path: a burst of identical REDS requests against a ----
+// cold engine with single-flight coalescing off (every duplicate re-walks
+// the cache tiers and re-runs its own discovery) vs on (one leader does
+// the work once; duplicates only re-evaluate their own metrics against the
+// shared output). Every handle in both runs must report the same final
+// box.
+KernelResult BenchEngineCoalescedBatch(const PerfFlags& flags) {
+  KernelResult result;
+  result.name = "engine_coalesced_batch";
+  const int burst = 8;
+  const auto train = std::make_shared<const Dataset>(
+      RandomData(flags.n_train / 4, flags.dims, flags.seed + 21));
+  RunOptions options;
+  options.l_prim = flags.l_points;
+  options.tune_metamodel = false;
+  options.seed = flags.seed + 22;
+  result.detail = "RPx x" + std::to_string(burst) +
+                  " L=" + std::to_string(flags.l_points) +
+                  " threads=" + std::to_string(flags.threads);
+
+  const auto run_burst = [&](bool coalesce, Box* last_box) {
+    engine::EngineConfig config;
+    config.threads = flags.threads;
+    config.enable_persistent_cache = false;
+    config.coalesce_requests = coalesce;
+    engine::DiscoveryEngine engine(config);
+    std::vector<engine::JobHandle> jobs;
+    for (int i = 0; i < burst; ++i) {
+      engine::DiscoveryRequest request;
+      request.train = train;
+      request.method = "RPx";
+      request.options = options;
+      jobs.push_back(engine.Submit(std::move(request)));
+    }
+    engine.WaitAll();
+    bool same = true;
+    for (const engine::JobHandle& job : jobs) {
+      same = same && job->state() == engine::JobState::kDone &&
+             job->output().last_box == jobs.front()->output().last_box;
+    }
+    *last_box = jobs.front()->output().last_box;
+    return same;
+  };
+
+  Box ref_box, opt_box;
+  bool agree = true;
+  result.reference_seconds = TimeBest(
+      flags.reps, [&] { agree = run_burst(false, &ref_box) && agree; });
+  result.optimized_seconds = TimeBest(
+      flags.reps, [&] { agree = run_burst(true, &opt_box) && agree; });
+  result.identical = agree && ref_box == opt_box;
   return result;
 }
 
@@ -860,6 +997,11 @@ int main(int argc, char** argv) {
   maybe("method_reds_streamed_e2e",
         [&] { return BenchMethodRedsStreamed(flags); });
   maybe("metrics_overhead", [&] { return BenchMetricsOverhead(flags); });
+  maybe("tuning_streamed_folds",
+        [&] { return BenchTuningStreamedFolds(flags); });
+  maybe("gbt_leafwise", [&] { return BenchGbtLeafwise(flags); });
+  maybe("engine_coalesced_batch",
+        [&] { return BenchEngineCoalescedBatch(flags); });
 
   bool all_ok = true;
   for (const auto& r : results) all_ok = all_ok && r.Ok();

@@ -3,7 +3,8 @@
 //   ./build/examples/streaming_discovery [data.csv]
 //       [--block N] [--alpha A] [--cache-dir DIR] [--expect-warm]
 //       [--trace-dir DIR] [--metrics-out FILE]
-//       [--reds-smoke L] [--data-plan streamed|materialized]
+//       [--reds-smoke L] [--tuning-smoke N]
+//       [--data-plan streamed|materialized]
 //       [--function NAME] [--n N0]
 //
 // The CSV must have a header, numeric cells, and the *last* column as the
@@ -27,6 +28,13 @@
 // memory cap (ulimit) that the materialized plan cannot -- the CI
 // memory-ceiling smoke asserts exactly that.
 //
+// --tuning-smoke N grid-tunes a GBT metamodel on an N-row generated
+// dataset and prints the peak RSS. --data-plan picks the CV fold plan:
+// `streamed` evaluates every grid cell through row views over one shared
+// full-data index (O(one fold) extra residency), `materialized` copies a
+// training matrix + private index per fold -- the tuning-residency CI
+// smoke caps the address space so only the streamed plan fits.
+//
 // --trace-dir makes every engine job write a Chrome trace-event JSON of
 // its pipeline stages there (open in chrome://tracing or Perfetto);
 // --metrics-out dumps the engine's full metrics registry (cache tiers,
@@ -46,6 +54,7 @@
 #include "functions/datagen.h"
 #include "functions/registry.h"
 #include "functions/thirdparty.h"
+#include "ml/tuning.h"
 #include "util/table.h"
 
 namespace {
@@ -96,6 +105,37 @@ int RunRedsSmoke(const std::string& function_name, int n, int l,
   return 0;
 }
 
+// Grid-tuned metamodel fit under a chosen CV fold plan, for the
+// tuning-residency smoke.
+int RunTuningSmoke(const std::string& function_name, int n,
+                   reds::ml::CvFoldPlan plan) {
+  using namespace reds;
+  auto function = fun::MakeFunction(function_name);
+  if (!function.ok()) {
+    std::fprintf(stderr, "%s\n", function.status().ToString().c_str());
+    return 1;
+  }
+  const Dataset train = fun::MakeScenarioDataset(
+      **function, n, fun::DesignKind::kLatinHypercube, /*seed=*/1);
+  ml::TuningConfig config;
+  config.folds = 3;
+  config.backend = ml::SplitBackend::kHistogram;
+  config.fold_plan = plan;
+  const auto model =
+      ml::TuneAndFit(ml::MetamodelKind::kGbt, train, /*seed=*/7, config);
+  if (model == nullptr) {
+    std::fprintf(stderr, "tuning produced no model\n");
+    return 1;
+  }
+  std::printf(
+      "tuning-smoke: %s, n=%d x %d inputs, folds=%d, plan=%s\n"
+      "  peak RSS %.1f MB\n",
+      function_name.c_str(), n, train.num_cols(), config.folds,
+      plan == ml::CvFoldPlan::kStreamed ? "streamed" : "materialized",
+      PeakRssMb());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -108,6 +148,7 @@ int main(int argc, char** argv) {
   std::string smoke_function = "morris";
   int smoke_n = 300;
   int reds_smoke_l = 0;
+  int tuning_smoke_n = 0;
   MethodDataPlan data_plan = MethodDataPlan::kStreamed;
   bool expect_warm = false;
   StreamedBuildOptions build_options;
@@ -136,6 +177,8 @@ int main(int argc, char** argv) {
       expect_warm = true;
     } else if (arg == "--reds-smoke") {
       reds_smoke_l = std::atoi(next());
+    } else if (arg == "--tuning-smoke") {
+      tuning_smoke_n = std::atoi(next());
     } else if (arg == "--data-plan") {
       const std::string plan = next();
       if (plan == "streamed") {
@@ -160,6 +203,14 @@ int main(int argc, char** argv) {
 
   if (reds_smoke_l > 0) {
     return RunRedsSmoke(smoke_function, smoke_n, reds_smoke_l, data_plan);
+  }
+  if (tuning_smoke_n > 0) {
+    // --data-plan doubles as the fold-plan switch: streamed fold views vs
+    // per-fold matrix copies.
+    return RunTuningSmoke(smoke_function, tuning_smoke_n,
+                          data_plan == MethodDataPlan::kStreamed
+                              ? ml::CvFoldPlan::kStreamed
+                              : ml::CvFoldPlan::kMaterialized);
   }
 
   if (path.empty()) {

@@ -17,84 +17,40 @@ namespace reds {
 namespace {
 
 const double kAlphaGrid[] = {0.03, 0.05, 0.07, 0.1, 0.13, 0.16, 0.2};
+constexpr size_t kNumAlphas = sizeof(kAlphaGrid) / sizeof(kAlphaGrid[0]);
 
-// Train/holdout split pairs for k-fold CV, skipping degenerate folds.
-struct FoldSplit {
-  Dataset train;
-  Dataset holdout;
+// Row-id views of one valid (non-degenerate, positives on both sides)
+// train/holdout fold. The CV loops run fold-outer over these, so exactly
+// one fold's materialized matrices and indexes are resident at a time;
+// the fold geometry is identical to the historical all-folds-up-front
+// split (same FoldAssignment, same skip rules).
+struct FoldRows {
+  std::vector<int> train_rows;
+  std::vector<int> test_rows;
 };
 
-std::vector<FoldSplit> MakeFolds(const Dataset& d, int folds, uint64_t seed) {
+std::vector<FoldRows> MakeFoldRows(const Dataset& d, int folds,
+                                   uint64_t seed) {
   const std::vector<int> fold = ml::FoldAssignment(d.num_rows(), folds, seed);
-  std::vector<FoldSplit> out;
+  std::vector<FoldRows> out;
   for (int f = 0; f < folds; ++f) {
-    std::vector<int> train_rows, test_rows;
+    FoldRows rows;
     for (int i = 0; i < d.num_rows(); ++i) {
-      (fold[static_cast<size_t>(i)] == f ? test_rows : train_rows).push_back(i);
+      (fold[static_cast<size_t>(i)] == f ? rows.test_rows : rows.train_rows)
+          .push_back(i);
     }
-    if (train_rows.empty() || test_rows.empty()) continue;
-    FoldSplit split{d.SubsetRows(train_rows), d.SubsetRows(test_rows)};
-    if (split.train.TotalPositive() <= 0.0 ||
-        split.holdout.TotalPositive() <= 0.0) {
-      continue;
-    }
-    out.push_back(std::move(split));
+    if (rows.train_rows.empty() || rows.test_rows.empty()) continue;
+    // Same validity rule as Dataset::TotalPositive() > 0 on the subsets,
+    // computed off the row ids so nothing is copied for skipped folds.
+    const auto positive = [&d](const std::vector<int>& ids) {
+      double total = 0.0;
+      for (int r : ids) total += d.y(r);
+      return total > 0.0;
+    };
+    if (!positive(rows.train_rows) || !positive(rows.test_rows)) continue;
+    out.push_back(std::move(rows));
   }
   return out;
-}
-
-// Per-fold shared views of the training data: the columnar index (and, for
-// PRIM's binned peeling, the quantization derived from it), built once and
-// shared across every grid candidate the CV loops evaluate on that fold.
-struct FoldIndexes {
-  std::shared_ptr<const ColumnIndex> index;
-  std::shared_ptr<const BinnedIndex> binned;
-};
-
-std::vector<FoldIndexes> IndexFolds(const std::vector<FoldSplit>& splits,
-                                    bool binned) {
-  std::vector<FoldIndexes> indexes;
-  indexes.reserve(splits.size());
-  for (const auto& split : splits) {
-    FoldIndexes fold;
-    fold.index = ColumnIndex::Build(split.train);
-    if (binned) fold.binned = BinnedIndex::Build(*fold.index);
-    indexes.push_back(std::move(fold));
-  }
-  return indexes;
-}
-
-// Held-out WRAcc of the BI box, averaged over folds, for a given m.
-double CvWraccForM(const std::vector<FoldSplit>& splits,
-                   const std::vector<FoldIndexes>& indexes,
-                   int m, int beam_size) {
-  if (splits.empty()) return 0.0;
-  double total = 0.0;
-  for (size_t f = 0; f < splits.size(); ++f) {
-    BiConfig config;
-    config.beam_size = beam_size;
-    config.max_restricted = m;
-    const BiResult r = RunBi(splits[f].train, config, indexes[f].index.get());
-    total += BoxWRAcc(splits[f].holdout, r.box);
-  }
-  return total / static_cast<double>(splits.size());
-}
-
-// Held-out PR AUC of the bumping Pareto set for a given m.
-double CvPrAucForBumpingM(const Dataset& d, int m, const BumpingConfig& base,
-                          int folds, uint64_t seed) {
-  const auto splits = MakeFolds(d, folds, seed);
-  if (splits.empty()) return 0.0;
-  double total = 0.0;
-  for (size_t f = 0; f < splits.size(); ++f) {
-    BumpingConfig config = base;
-    config.m = m;
-    const BumpingResult r =
-        RunPrimBumping(splits[f].train, splits[f].train, config,
-                       DeriveSeed(seed, 7000 + f));
-    total += PrAucOnData(r.boxes, splits[f].holdout);
-  }
-  return total / static_cast<double>(splits.size());
 }
 
 }  // namespace
@@ -187,27 +143,34 @@ std::vector<int> MGrid(int num_inputs) {
 double CrossValidateAlpha(const Dataset& d, const RunOptions& options,
                           uint64_t seed) {
   double best_alpha = options.default_alpha;
-  double best_score = -1.0;
-  const auto splits = MakeFolds(d, options.cv_folds, seed);
-  if (splits.empty()) return best_alpha;
-  // Each fold is peeled once per alpha candidate: index and quantize it
-  // once for the whole grid.
-  const auto indexes = IndexFolds(splits, /*binned=*/true);
-  for (double alpha : kAlphaGrid) {
-    double total = 0.0;
-    for (size_t f = 0; f < splits.size(); ++f) {
+  const auto folds = MakeFoldRows(d, options.cv_folds, seed);
+  if (folds.empty()) return best_alpha;
+  // Fold-outer, candidate-inner: one fold at a time is materialized,
+  // indexed, and quantized once for the whole alpha grid, then freed --
+  // peak CV residency is a single fold instead of all k. Per-candidate
+  // totals still accumulate in fold order, so every score (and the winning
+  // alpha) is bit-identical to the historical candidate-outer loop.
+  std::vector<double> totals(kNumAlphas, 0.0);
+  for (const FoldRows& rows : folds) {
+    const Dataset train = d.SubsetRows(rows.train_rows);
+    const Dataset holdout = d.SubsetRows(rows.test_rows);
+    const auto index = ColumnIndex::Build(train);
+    const auto binned = BinnedIndex::Build(*index);
+    for (size_t a = 0; a < kNumAlphas; ++a) {
       PrimConfig config;
-      config.alpha = alpha;
+      config.alpha = kAlphaGrid[a];
       config.min_points = options.min_points;
-      const PrimResult r = RunPrim(splits[f].train, splits[f].train, config,
-                                   indexes[f].index.get(),
-                                   indexes[f].binned.get());
-      total += PrAucOnData(r.ReturnedBoxes(), splits[f].holdout);
+      const PrimResult r =
+          RunPrim(train, train, config, index.get(), binned.get());
+      totals[a] += PrAucOnData(r.ReturnedBoxes(), holdout);
     }
-    const double score = total / static_cast<double>(splits.size());
+  }
+  double best_score = -1.0;
+  for (size_t a = 0; a < kNumAlphas; ++a) {
+    const double score = totals[a] / static_cast<double>(folds.size());
     if (score > best_score) {
       best_score = score;
-      best_alpha = alpha;
+      best_alpha = kAlphaGrid[a];
     }
   }
   return best_alpha;
@@ -228,6 +191,8 @@ RedsConfig RedsConfigFor(const MethodSpec& spec, const RunOptions& options) {
                               ? options.l_bi
                               : options.l_prim;
   config.split_backend = options.split_backend;
+  config.tree_growth = options.tree_growth;
+  config.tree_max_leaves = options.tree_max_leaves;
   config.sampler = options.sampler;
   config.metamodel_provider = options.metamodel_provider;
   return config;
@@ -252,6 +217,8 @@ uint64_t StreamedRelabelKey(const Dataset& train, const MethodSpec& spec,
   w.U8(options.tune_metamodel ? 1 : 0);
   w.U8(static_cast<uint8_t>(options.budget));
   w.U8(static_cast<uint8_t>(options.split_backend));
+  w.U8(static_cast<uint8_t>(options.tree_growth));
+  w.I32(options.tree_max_leaves);
   w.I32(num_new_points);
   w.I32(options.stream_block_rows);
   w.U64(options.seed);
@@ -279,18 +246,35 @@ MethodPlan PlanMethod(const MethodSpec& spec, const Dataset& train,
           CrossValidateAlpha(train, options, DeriveSeed(options.seed, 11));
     }
     if (spec.family == MethodSpec::Family::kBi) {
-      // Folds (and their indexes) are identical for every m candidate:
-      // build them once for the whole grid.
-      const auto splits =
-          MakeFolds(train, options.cv_folds, DeriveSeed(options.seed, 13));
-      const auto indexes = IndexFolds(splits, /*binned=*/false);
+      // Fold-outer, candidate-inner (same shape as CrossValidateAlpha):
+      // each fold is materialized and indexed once for the whole m grid,
+      // and only one fold is ever resident. Per-candidate WRAcc totals
+      // accumulate in fold order, matching the historical loop bit for
+      // bit.
+      const auto folds =
+          MakeFoldRows(train, options.cv_folds, DeriveSeed(options.seed, 13));
+      const std::vector<int> grid = MGrid(dims);
+      std::vector<double> totals(grid.size(), 0.0);
+      for (const FoldRows& rows : folds) {
+        const Dataset fold_train = train.SubsetRows(rows.train_rows);
+        const Dataset fold_holdout = train.SubsetRows(rows.test_rows);
+        const auto index = ColumnIndex::Build(fold_train);
+        for (size_t g = 0; g < grid.size(); ++g) {
+          BiConfig config;
+          config.beam_size = spec.beam_size;
+          config.max_restricted = grid[g];
+          const BiResult r = RunBi(fold_train, config, index.get());
+          totals[static_cast<size_t>(g)] += BoxWRAcc(fold_holdout, r.box);
+        }
+      }
       double best_score = -1e300;
-      for (int candidate : MGrid(dims)) {
+      for (size_t g = 0; g < grid.size(); ++g) {
         const double score =
-            CvWraccForM(splits, indexes, candidate, spec.beam_size);
+            folds.empty() ? 0.0
+                          : totals[g] / static_cast<double>(folds.size());
         if (score > best_score) {
           best_score = score;
-          plan.m = candidate;
+          plan.m = grid[g];
         }
       }
     }
@@ -299,14 +283,33 @@ MethodPlan PlanMethod(const MethodSpec& spec, const Dataset& train,
       base.q = options.bumping_q;
       base.prim.alpha = plan.alpha;
       base.prim.min_points = options.min_points;
+      // The historical loop re-derived identical folds for every m (same
+      // seed); fold-outer keeps the fold geometry and the per-fold bumping
+      // seeds (7000 + f) while materializing each fold once for the whole
+      // grid.
+      const uint64_t cv_seed = DeriveSeed(options.seed, 17);
+      const auto folds = MakeFoldRows(train, options.cv_folds, cv_seed);
+      const std::vector<int> grid = MGrid(dims);
+      std::vector<double> totals(grid.size(), 0.0);
+      for (size_t f = 0; f < folds.size(); ++f) {
+        const Dataset fold_train = train.SubsetRows(folds[f].train_rows);
+        const Dataset fold_holdout = train.SubsetRows(folds[f].test_rows);
+        for (size_t g = 0; g < grid.size(); ++g) {
+          BumpingConfig config = base;
+          config.m = grid[g];
+          const BumpingResult r = RunPrimBumping(
+              fold_train, fold_train, config, DeriveSeed(cv_seed, 7000 + f));
+          totals[g] += PrAucOnData(r.boxes, fold_holdout);
+        }
+      }
       double best_score = -1e300;
-      for (int candidate : MGrid(dims)) {
+      for (size_t g = 0; g < grid.size(); ++g) {
         const double score =
-            CvPrAucForBumpingM(train, candidate, base, options.cv_folds,
-                               DeriveSeed(options.seed, 17));
+            folds.empty() ? 0.0
+                          : totals[g] / static_cast<double>(folds.size());
         if (score > best_score) {
           best_score = score;
-          plan.m = candidate;
+          plan.m = grid[g];
         }
       }
     }

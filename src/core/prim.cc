@@ -170,7 +170,11 @@ class BinnedPeelState {
       : train_(train),
         index_(index),
         binned_(binned),
-        in_box_(static_cast<size_t>(train.num_rows()), 1),
+        // +3 padding bytes: the dispatched masked kernels gather mask bytes
+        // with 32-bit loads (see util/simd.h), so the bitmask must stay
+        // readable 3 bytes past the last row. Padding rows are never
+        // indexed; their value is irrelevant.
+        in_box_(static_cast<size_t>(train.num_rows()) + 3, 1),
         n_(train.num_rows()) {
     const int m = train.num_cols();
     const int n = train.num_rows();
@@ -337,16 +341,18 @@ class BinnedPeelState {
         if (cum == count) return sum;
         continue;
       }
-      int need = count - cum;
+      const int need = count - cum;
       const int begin =
           std::max(binned_.bin_begin_rank(dim, static_cast<int>(b)),
                    lo_rank_[static_cast<size_t>(dim)]);
-      for (int pos = begin; need > 0; ++pos) {
-        const int r = sorted[static_cast<size_t>(pos)];
-        if (!in_box_[static_cast<size_t>(r)]) continue;
-        sum += train_.y(r);
-        --need;
-      }
+      const int end =
+          std::min(binned_.bin_begin_rank(dim, static_cast<int>(b) + 1),
+                   hi_rank_[static_cast<size_t>(dim)]);
+      // need < counts[b], so the boundary bin's segment holds every row the
+      // masked prefix walk takes; integral labels make the dispatched sum
+      // exact (util/simd.h).
+      sum += util::MaskedPrefixSum(train_.y_data(), in_box_.data(),
+                                   sorted.data() + begin, end - begin, need);
       return sum;
     }
     return sum;
@@ -402,11 +408,11 @@ class BinnedPeelState {
         const int end =
             std::min(binned_.bin_begin_rank(dim, static_cast<int>(b) + 1),
                      hi_rank_[static_cast<size_t>(dim)]);
-        for (int pos = begin; pos < end; ++pos) {
-          const int r = sorted[static_cast<size_t>(pos)];
-          if (col[static_cast<size_t>(r)] >= v) break;  // segment is sorted
-          if (in_box_[static_cast<size_t>(r)]) ++cum;
-        }
+        // The segment is value-sorted, so a full-segment masked count
+        // equals the early-break walk; dispatched (util/simd.h).
+        cum += util::MaskedCountBelow(col.data(), in_box_.data(),
+                                      sorted.data() + begin, end - begin, v,
+                                      /*strict=*/true);
         return cum;
       }
       cum += counts[b];
@@ -429,11 +435,11 @@ class BinnedPeelState {
         const int end =
             std::min(binned_.bin_begin_rank(dim, static_cast<int>(b) + 1),
                      hi_rank_[static_cast<size_t>(dim)]);
-        for (int pos = begin; pos < end; ++pos) {
-          const int r = sorted[static_cast<size_t>(pos)];
-          if (col[static_cast<size_t>(r)] > v) break;  // segment is sorted
-          if (in_box_[static_cast<size_t>(r)]) ++cum;
-        }
+        // Value-sorted segment: full-segment masked count == early-break
+        // walk, as in CountLess.
+        cum += util::MaskedCountBelow(col.data(), in_box_.data(),
+                                      sorted.data() + begin, end - begin, v,
+                                      /*strict=*/false);
         return cum;
       }
       cum += counts[b];

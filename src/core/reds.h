@@ -21,10 +21,12 @@ namespace reds {
 /// Supplies the trained metamodel for a REDS run. The discovery engine
 /// installs one backed by its cross-request cache; when empty, REDS fits
 /// inline with TuneAndFit/FitDefault. `backend` selects the tree learners'
-/// split-search kernel and is part of the trained model's identity.
+/// split-search kernel and -- like `growth`/`max_leaves`, the tree growth
+/// order -- is part of the trained model's identity.
 using MetamodelProvider = std::function<std::shared_ptr<const ml::Metamodel>(
     const Dataset& train, ml::MetamodelKind kind, bool tune,
-    ml::TuningBudget budget, ml::SplitBackend backend, uint64_t seed)>;
+    ml::TuningBudget budget, ml::SplitBackend backend,
+    ml::GrowthPolicy growth, int max_leaves, uint64_t seed)>;
 
 struct RedsConfig {
   ml::MetamodelKind metamodel = ml::MetamodelKind::kGbt;
@@ -34,6 +36,10 @@ struct RedsConfig {
   /// histogram trades exactness beyond 256 distinct values per feature for
   /// O(bins) split scans.
   ml::SplitBackend split_backend = ml::SplitBackend::kPresorted;
+  /// Tree growth order of the tree metamodels (histogram backend only; see
+  /// ml/histogram.h). Part of the trained model's identity.
+  ml::GrowthPolicy tree_growth = ml::GrowthPolicy::kDepthWise;
+  int tree_max_leaves = 0;  // leaf-wise cap per tree; 0 = unlimited
   bool probability_labels = false;    // "p": y_new = f_am(x) in [0,1]
   int num_new_points = 100000;        // L
   sampling::PointSampler sampler;     // defaults to i.i.d. uniform

@@ -24,8 +24,22 @@ uint64_t CanonicalSeed(uint64_t engine_seed, const MetamodelKey& key) {
   stream = DeriveSeed(stream, 0x23ULL + (key.tuned ? 1ULL : 0ULL));
   stream = DeriveSeed(stream, 0x31ULL + static_cast<uint64_t>(key.budget));
   stream = DeriveSeed(stream, 0x41ULL + static_cast<uint64_t>(key.backend));
+  // Growth fields joined the key after seeds shipped: mix them in only
+  // when non-default, so every depth-wise model keeps the exact seed (and
+  // therefore the exact bits) it had before leaf-wise growth existed.
+  if (key.growth != ml::GrowthPolicy::kDepthWise || key.max_leaves != 0) {
+    stream = DeriveSeed(stream, 0x51ULL + static_cast<uint64_t>(key.growth));
+    stream = DeriveSeed(stream, 0x61ULL + static_cast<uint64_t>(key.max_leaves));
+  }
   return DeriveSeed(engine_seed, stream);
 }
+
+// True while the current worker thread's job has performed cold work --
+// a metamodel fit or disk load, an index build or load, a streamed ingest
+// build, or a relabel-stream build. Execute() clears it at job start and
+// classifies the job's latency into the warm or cold histogram at the
+// end; coalesced followers never run a worker, so they are always warm.
+thread_local bool t_cold_work = false;
 
 }  // namespace
 
@@ -116,7 +130,10 @@ DiscoveryEngine::DiscoveryEngine(EngineConfig config)
   jobs_submitted_ = metrics_.counter("engine.jobs.submitted");
   jobs_completed_ = metrics_.counter("engine.jobs.completed");
   jobs_failed_ = metrics_.counter("engine.jobs.failed");
+  jobs_coalesced_ = metrics_.counter("engine.jobs.coalesced");
   job_latency_ = metrics_.histogram("engine.job.latency_ns");
+  job_warm_latency_ = metrics_.histogram("engine.job.warm_latency_ns");
+  job_cold_latency_ = metrics_.histogram("engine.job.cold_latency_ns");
   column_index_hits_ = metrics_.counter("cache.index.column.hits");
   column_index_misses_ = metrics_.counter("cache.index.column.misses");
   binned_index_hits_ = metrics_.counter("cache.index.binned.hits");
@@ -146,6 +163,7 @@ DiscoveryEngine::DiscoveryEngine(EngineConfig config)
 
 JobHandle DiscoveryEngine::Submit(DiscoveryRequest request) {
   auto job = std::make_shared<Job>(std::move(request));
+  job->submit_time_ = std::chrono::steady_clock::now();
   jobs_submitted_->Add(1);
   if (!trace_dir_.empty()) {
     // Process-wide, not per-engine: a warm engine sharing the trace_dir of
@@ -156,8 +174,76 @@ JobHandle DiscoveryEngine::Submit(DiscoveryRequest request) {
         "job-" + std::to_string(seq) + ":" + job->request().method,
         &metrics_);
   }
+  if (config_.coalesce_requests && TryCoalesce(job)) return job;
   pool_.Submit([this, job] { Execute(job); });
   return job;
+}
+
+bool DiscoveryEngine::TryCoalesce(const JobHandle& job) {
+  const DiscoveryRequest& req = job->request();
+  // Eligible requests are those whose MethodOutput is a pure function of
+  // (training bytes, method, the options below): eagerly supplied data
+  // only (factories and sources may be stateful and are invoked lazily),
+  // no caller-supplied providers/hooks (theirs may differ even when ours
+  // would not), and no anonymous custom sampler. test / relevant / cell /
+  // rep / keep_output shape each follower's own metrics and bookkeeping,
+  // not the shared output, so they stay out of the key.
+  if (!req.train) return false;
+  const RunOptions& o = req.options;
+  if (o.metamodel_provider || o.column_index_provider ||
+      o.binned_index_provider || o.streamed_relabel_lookup ||
+      o.streamed_relabel_store) {
+    return false;
+  }
+  if (o.sampler && o.sampler_id.empty()) return false;
+
+  util::ByteWriter w;
+  w.U64(FingerprintDataset(*req.train));
+  w.U64(req.method.size());
+  for (char c : req.method) w.U8(static_cast<uint8_t>(c));
+  w.F64(o.default_alpha);
+  w.I32(o.min_points);
+  w.I32(o.bumping_q);
+  w.I32(o.l_prim);
+  w.I32(o.l_bi);
+  w.I32(o.cv_folds);
+  w.U8(o.tune_metamodel ? 1 : 0);
+  w.U8(static_cast<uint8_t>(o.budget));
+  w.U8(static_cast<uint8_t>(o.split_backend));
+  w.U8(static_cast<uint8_t>(o.tree_growth));
+  w.I32(o.tree_max_leaves);
+  w.U8(o.sampler ? 1 : 0);
+  w.U64(o.seed);
+  w.U8(static_cast<uint8_t>(o.data_plan));
+  w.I32(o.stream_block_rows);
+  w.U64(o.sampler_id.size());
+  for (char c : o.sampler_id) w.U8(static_cast<uint8_t>(c));
+  const uint64_t key = util::Fnv64(w.data().data(), w.size());
+
+  std::unique_lock<std::mutex> lock(coalesce_mutex_);
+  const auto it = coalescing_.find(key);
+  if (it != coalescing_.end()) {
+    // Identical request in flight: ride its job. No pool task is ever
+    // scheduled for this handle; the leader fans out on completion.
+    it->second.push_back(job);
+    jobs_coalesced_->Add(1);
+    if (job->trace_ != nullptr) job->trace_->AddInstant("job.coalesced");
+    return true;
+  }
+  job->coalesce_key_ = key;
+  job->coalesce_leader_ = true;
+  coalescing_.emplace(key, std::vector<JobHandle>());
+  return false;
+}
+
+std::vector<JobHandle> DiscoveryEngine::TakeCoalesced(const JobHandle& job) {
+  if (!job->coalesce_leader_) return {};
+  std::unique_lock<std::mutex> lock(coalesce_mutex_);
+  const auto it = coalescing_.find(job->coalesce_key_);
+  if (it == coalescing_.end()) return {};
+  std::vector<JobHandle> followers = std::move(it->second);
+  coalescing_.erase(it);
+  return followers;
 }
 
 std::vector<JobHandle> DiscoveryEngine::SubmitBatch(
@@ -187,6 +273,7 @@ std::shared_ptr<const ColumnIndex> DiscoveryEngine::GetColumnIndex(
     }
   }
   column_index_misses_->Add(1);
+  t_cold_work = true;
   // Build outside the lock: indexing a large relabeled matrix takes long
   // enough that serializing it would stall unrelated jobs. A rare race
   // builds twice and keeps one.
@@ -212,6 +299,7 @@ std::shared_ptr<const BinnedIndex> DiscoveryEngine::GetBinnedIndex(
     }
   }
   binned_index_misses_->Add(1);
+  t_cold_work = true;
   // Memory miss: try the disk tier, then build. Both happen outside the
   // lock -- quantizing a large relabeled matrix takes long enough that
   // serializing it would stall unrelated jobs. A rare race builds twice
@@ -286,6 +374,7 @@ StreamedTrainData DiscoveryEngine::IngestSource(DatasetSource* source) {
     }
   }
   streamed_index_misses_->Add(1);  // LRU miss; the disk tier counts its own
+  t_cold_work = true;
   std::shared_ptr<const BinnedIndex> index;
   if (disk_ != nullptr) {
     obs::Span span("index.load");
@@ -375,6 +464,8 @@ void DiscoveryEngine::InstallRelabelStreamHooks(RunOptions* options) {
       }
     }
     relabel_stream_misses_->Add(1);  // LRU miss; the disk tier counts its own
+    // Either a disk load or a fresh stream build follows -- cold work both.
+    t_cold_work = true;
     if (disk_ == nullptr) return nullptr;
     std::shared_ptr<const StreamedDataset> data;
     {
@@ -409,6 +500,7 @@ BinnedIndexProvider DiscoveryEngine::MakeBinnedIndexProvider() {
 MetamodelProvider DiscoveryEngine::MakeCachingProvider() {
   return [this](const Dataset& train, ml::MetamodelKind kind, bool tune,
                 ml::TuningBudget budget, ml::SplitBackend backend,
+                ml::GrowthPolicy growth, int max_leaves,
                 uint64_t /*request_seed*/) -> std::shared_ptr<const ml::Metamodel> {
     MetamodelKey key;
     key.fingerprint = FingerprintDataset(train);
@@ -416,9 +508,13 @@ MetamodelProvider DiscoveryEngine::MakeCachingProvider() {
     key.tuned = tune;
     key.budget = budget;
     key.backend = backend;
+    key.growth = growth;
+    key.max_leaves = max_leaves;
     key.seed = CanonicalSeed(config_.seed, key);
     return cache_.GetOrFit(key, [this, &train, kind, tune, budget, backend,
-                                 &key] {
+                                 growth, max_leaves, &key] {
+      // Fit or disk load, either way this job did real metamodel work.
+      t_cold_work = true;
       // Disk tier first: a model trained by an earlier engine process (or
       // a previous run of this one) reloads instead of refitting. The
       // canonical seed in the key makes the reloaded model bit-identical
@@ -430,13 +526,14 @@ MetamodelProvider DiscoveryEngine::MakeCachingProvider() {
           return loaded;
         }
       }
-      // Untuned tree metamodels reuse the engine's shared columnar index
-      // (and quantization, under the histogram backend) of the training
-      // data for their split search.
+      // Tree metamodels reuse the engine's shared columnar index (and
+      // quantization, under the histogram backend) of the training data:
+      // untuned fits feed them straight to the split search, tuned fits
+      // stream their CV folds as row views over them (ml/tuning.h) --
+      // identical results to privately built views either way.
       std::shared_ptr<const ColumnIndex> index;
       std::shared_ptr<const BinnedIndex> binned;
-      if (config_.cache_column_indexes && !tune &&
-          kind != ml::MetamodelKind::kSvm) {
+      if (config_.cache_column_indexes && kind != ml::MetamodelKind::kSvm) {
         index = GetColumnIndex(train);
         if (config_.cache_binned_indexes &&
             backend == ml::SplitBackend::kHistogram) {
@@ -446,7 +543,7 @@ MetamodelProvider DiscoveryEngine::MakeCachingProvider() {
       obs::Span span("metamodel.fit");
       std::shared_ptr<const ml::Metamodel> model(
           ml::FitMetamodel(kind, train, key.seed, tune, budget, index.get(),
-                           binned.get(), backend));
+                           binned.get(), backend, growth, max_leaves));
       if (disk_ != nullptr) disk_->StoreMetamodel(key, *model);
       return model;
     });
@@ -467,15 +564,51 @@ std::string SanitizeFileName(const std::string& name) {
   return out;
 }
 
+// Metric evaluation of one request against a finished MethodOutput. The
+// output is request-key-shaped only; test data and relevance masks are
+// follower-local, so each coalesced handle evaluates its own.
+MetricSet EvaluateRequest(const DiscoveryRequest& req,
+                          const MethodOutput& out) {
+  obs::Span span("validate");
+  MetricSet metrics;
+  metrics.restricted = out.last_box.NumRestricted();
+  metrics.runtime_seconds = out.runtime_seconds;
+  if (req.test) {
+    metrics.pr_auc = 100.0 * PrAucOnData(out.trajectory, *req.test);
+    const BoxStats stats = ComputeBoxStats(*req.test, out.last_box);
+    metrics.precision = 100.0 * Precision(stats);
+    metrics.recall = 100.0 * Recall(stats, req.test->TotalPositive());
+    metrics.wracc = 100.0 * WRAcc(stats, req.test->num_rows(),
+                                  req.test->TotalPositive());
+  }
+  if (req.relevant) {
+    metrics.irrel = NumIrrelevantRestricted(out.last_box, *req.relevant);
+  }
+  return metrics;
+}
+
 }  // namespace
 
 void DiscoveryEngine::Execute(const JobHandle& job) {
   job->MarkRunning();
+  t_cold_work = false;
   // Bind the job's trace (when tracing is on) to this worker thread, so
   // every Span opened anywhere below -- method dispatch, REDS, PRIM,
   // index builds, cache fits -- lands in it without signature changes.
   obs::TraceBinding binding(job->trace_.get());
   const auto job_start = std::chrono::steady_clock::now();
+  std::vector<JobHandle> followers;
+  // Coalesced followers never run a worker: they complete here, on the
+  // leader's thread, from the leader's output. Warm by definition, and
+  // their latency runs from their own submit time.
+  const auto follower_latency = [this](const JobHandle& f) {
+    const uint64_t ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - f->submit_time_)
+            .count());
+    job_latency_->Observe(ns);
+    job_warm_latency_->Observe(ns);
+  };
   try {
     obs::Span root_span("job");
     const DiscoveryRequest& req = job->request();
@@ -550,25 +683,33 @@ void DiscoveryEngine::Execute(const JobHandle& job) {
       out = RunMethod(*spec, train, options);
     }
 
-    MetricSet metrics;
-    {
-      obs::Span span("validate");
-      metrics.restricted = out.last_box.NumRestricted();
-      metrics.runtime_seconds = out.runtime_seconds;
-      if (req.test) {
-        metrics.pr_auc = 100.0 * PrAucOnData(out.trajectory, *req.test);
-        const BoxStats stats = ComputeBoxStats(*req.test, out.last_box);
-        metrics.precision = 100.0 * Precision(stats);
-        metrics.recall = 100.0 * Recall(stats, req.test->TotalPositive());
-        metrics.wracc = 100.0 * WRAcc(stats, req.test->num_rows(),
-                                      req.test->TotalPositive());
-      }
-      if (req.relevant) {
-        metrics.irrel = NumIrrelevantRestricted(out.last_box, *req.relevant);
-      }
-    }
+    // Close the coalesce window before evaluation: any identical request
+    // arriving from here on starts fresh (and completes instantly off the
+    // now-warm caches) instead of attaching to an almost-finished leader.
+    followers = TakeCoalesced(job);
+
+    const MetricSet metrics = EvaluateRequest(req, out);
     store_.Record(req.cell.empty() ? req.method : req.cell, req.rep, metrics,
                   out.last_box);
+    // Fan the leader's output out to every coalesced follower. The method
+    // output is request-key-shaped (it depends only on what the coalesce
+    // key hashes), so a copy is correct for all of them; metrics, store
+    // cell, and keep_output remain per-follower.
+    for (const JobHandle& f : followers) {
+      f->MarkRunning();
+      const DiscoveryRequest& freq = f->request();
+      const MetricSet fm = EvaluateRequest(freq, out);
+      store_.Record(freq.cell.empty() ? freq.method : freq.cell, freq.rep,
+                    fm, out.last_box);
+      MethodOutput fout = out;
+      if (!freq.keep_output) {
+        fout.trajectory.clear();
+        fout.trajectory.shrink_to_fit();
+      }
+      f->MarkDone(std::move(fout), fm);
+      jobs_completed_->Add(1);
+      follower_latency(f);
+    }
     if (!req.keep_output) {
       out.trajectory.clear();
       out.trajectory.shrink_to_fit();
@@ -582,16 +723,39 @@ void DiscoveryEngine::Execute(const JobHandle& job) {
     job->MarkFailed("unknown error in discovery job");
     jobs_failed_->Add(1);
   }
-  job_latency_->Observe(static_cast<uint64_t>(
+  // A leader that threw before (or while) fanning out takes its followers
+  // down with it: re-drain the window (idempotent; a no-op after the
+  // success path above) and fail whatever never completed.
+  if (job->state() == JobState::kFailed) {
+    for (const JobHandle& f : TakeCoalesced(job)) followers.push_back(f);
+    for (const JobHandle& f : followers) {
+      if (f->Finished()) continue;
+      f->MarkFailed("coalesced leader job failed: " + job->error());
+      jobs_failed_->Add(1);
+      follower_latency(f);
+    }
+  }
+  const uint64_t leader_ns = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - job_start)
-          .count()));
-  if (job->trace_ != nullptr && !trace_dir_.empty()) {
-    // The root span has closed; persist the finished trace. Best-effort:
-    // a full disk must not fail the job.
-    job->trace_->WriteFile(trace_dir_ + "/" +
-                           SanitizeFileName(job->trace_->name()) +
+          .count());
+  job_latency_->Observe(leader_ns);
+  (t_cold_work ? job_cold_latency_ : job_warm_latency_)->Observe(leader_ns);
+  if (!trace_dir_.empty()) {
+    // The root span has closed; persist the finished traces (followers
+    // carry only the job.coalesced marker -- the proof they did no work).
+    // Best-effort: a full disk must not fail the job.
+    if (job->trace_ != nullptr) {
+      job->trace_->WriteFile(trace_dir_ + "/" +
+                             SanitizeFileName(job->trace_->name()) +
+                             ".trace.json");
+    }
+    for (const JobHandle& f : followers) {
+      if (f->trace_ == nullptr) continue;
+      f->trace_->WriteFile(trace_dir_ + "/" +
+                           SanitizeFileName(f->trace_->name()) +
                            ".trace.json");
+    }
   }
 }
 

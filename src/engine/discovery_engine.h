@@ -9,9 +9,11 @@
 #define REDS_ENGINE_DISCOVERY_ENGINE_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -34,6 +36,16 @@ namespace reds::engine {
 struct EngineConfig {
   int threads = 0;              // 0: hardware concurrency
   bool cache_metamodels = true;
+  /// Single-flight job coalescing: identical in-flight requests (same
+  /// training bytes, method, and result-shaping options) attach to the
+  /// first one's job instead of taking a worker -- N concurrent identical
+  /// submissions perform exactly one fit/index build/discovery, and the
+  /// leader fans its output out to every handle. Followers still get their
+  /// own metrics (test data, relevance masks, result-store cells, and
+  /// keep_output are follower-local). Requests with custom providers/hooks
+  /// or an unnamed custom sampler are never coalesced. Counted in
+  /// `engine.jobs.coalesced`.
+  bool coalesce_requests = true;
   /// Max metamodels kept resident (LRU eviction beyond it); 0 = unbounded.
   size_t metamodel_cache_capacity = 128;
   /// Shared per-dataset ColumnIndex cache: a batch of method variants over
@@ -177,6 +189,12 @@ class Job {
 
   DiscoveryRequest request_;
   std::shared_ptr<obs::Trace> trace_;  // set by the engine before running
+  // Coalescing bookkeeping, written by the engine at submit time only:
+  // leaders own an entry in the engine's in-flight map under
+  // coalesce_key_; followers never reach a worker thread at all.
+  std::chrono::steady_clock::time_point submit_time_{};
+  uint64_t coalesce_key_ = 0;
+  bool coalesce_leader_ = false;
   mutable std::mutex mutex_;
   mutable std::condition_variable done_;
   JobState state_ = JobState::kQueued;
@@ -285,6 +303,13 @@ class DiscoveryEngine {
 
  private:
   void Execute(const JobHandle& job);
+  /// Attaches `job` to an identical in-flight leader (true: the caller
+  /// must not schedule it) or registers it as the new leader of its key
+  /// (false: schedule normally). False for coalescing-ineligible requests.
+  bool TryCoalesce(const JobHandle& job);
+  /// Closes the leader's coalesce window and returns every follower that
+  /// attached; idempotent (second call returns nothing).
+  std::vector<JobHandle> TakeCoalesced(const JobHandle& job);
   MetamodelProvider MakeCachingProvider();
   ColumnIndexProvider MakeColumnIndexProvider();
   BinnedIndexProvider MakeBinnedIndexProvider();
@@ -303,7 +328,15 @@ class DiscoveryEngine {
   obs::Counter* jobs_submitted_ = nullptr;
   obs::Counter* jobs_completed_ = nullptr;
   obs::Counter* jobs_failed_ = nullptr;
+  obs::Counter* jobs_coalesced_ = nullptr;  // followers attached to a leader
   obs::Histogram* job_latency_ = nullptr;  // ns, per finished job
+  // Warm/cold split of job latency: a job is cold when its worker thread
+  // performed any cold work (metamodel fit or disk load, index build or
+  // load, streamed ingest build, relabel-stream build); everything served
+  // from in-memory caches -- and every coalesced follower -- lands in the
+  // warm series, so warm p50/p99 is scrapeable on its own.
+  obs::Histogram* job_warm_latency_ = nullptr;
+  obs::Histogram* job_cold_latency_ = nullptr;
   obs::Counter* column_index_hits_ = nullptr;
   obs::Counter* column_index_misses_ = nullptr;
   obs::Counter* binned_index_hits_ = nullptr;
@@ -329,6 +362,11 @@ class DiscoveryEngine {
   // not dataset-keyed.
   mutable std::mutex relabel_stream_mutex_;
   LruMap<uint64_t, std::shared_ptr<const StreamedDataset>> relabel_streams_;
+  // Single-flight request coalescing: one entry per in-flight leader,
+  // holding the followers that attached while it ran (mirrors the
+  // metamodel cache's in_flight_ map, at job granularity).
+  mutable std::mutex coalesce_mutex_;
+  std::map<uint64_t, std::vector<JobHandle>> coalescing_;
   ResultStore store_;
   ThreadPool pool_;  // last member: drains before the fields above die
 };

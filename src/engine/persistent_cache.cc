@@ -46,6 +46,8 @@ void WriteKeyEcho(const MetamodelKey& key, util::ByteWriter* out) {
   out->U8(key.tuned ? 1 : 0);
   out->U8(static_cast<uint8_t>(key.budget));
   out->U8(static_cast<uint8_t>(key.backend));
+  out->U8(static_cast<uint8_t>(key.growth));
+  out->I32(key.max_leaves);
   out->U64(key.seed);
 }
 
@@ -64,12 +66,16 @@ bool ReadKeyEchoMatches(const MetamodelKey& key, util::ByteReader* in) {
   const uint8_t tuned = in->U8();
   const uint8_t budget = in->U8();
   const uint8_t backend = in->U8();
+  const uint8_t growth = in->U8();
+  const int32_t max_leaves = in->I32();
   const uint64_t seed = in->U64();
   return in->ok() && fingerprint == key.fingerprint &&
          kind == static_cast<uint8_t>(key.kind) &&
          tuned == (key.tuned ? 1 : 0) &&
          budget == static_cast<uint8_t>(key.budget) &&
-         backend == static_cast<uint8_t>(key.backend) && seed == key.seed;
+         backend == static_cast<uint8_t>(key.backend) &&
+         growth == static_cast<uint8_t>(key.growth) &&
+         max_leaves == key.max_leaves && seed == key.seed;
 }
 
 }  // namespace

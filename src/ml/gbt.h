@@ -36,6 +36,13 @@ struct GbtConfig {
   double base_score = 0.5;       // initial probability
   SplitBackend backend = SplitBackend::kPresorted;
   int threads = 1;               // feature-parallel split search when > 1
+  // Frontier order. kLeafWise takes effect on the histogram backend only
+  // (the other backends grow depth-wise regardless): a max-gain priority
+  // queue over open leaves, bounded by max_leaves when > 0. max_depth still
+  // applies. With max_leaves == 0 and untied gains the fitted function is
+  // identical to depth-wise (node order differs).
+  GrowthPolicy growth = GrowthPolicy::kDepthWise;
+  int max_leaves = 0;            // leaf-wise cap per tree; 0 = unlimited
 };
 
 class GradientBoostedTrees : public Metamodel {
@@ -49,6 +56,19 @@ class GradientBoostedTrees : public Metamodel {
   /// histogram backend uses `binned`; the presorted backend uses `index`.
   void Fit(const Dataset& d, uint64_t seed, const ColumnIndex* index,
            const BinnedIndex* binned = nullptr) override;
+
+  /// Subset fit on *views*: trains on `rows` only, reading values, sorted
+  /// orders, and bin codes through the full-data indexes instead of
+  /// materializing a row-subset Dataset + private indexes (the CV-fold hot
+  /// path). Bit-identical to the materializing default whenever the
+  /// backend's index carries exact value order (presorted always; histogram
+  /// in the exact-pack regime), because the subset positions are an
+  /// order-preserving renumbering of the rows: every RNG draw, accumulation
+  /// order, and candidate scan matches the subset fit's. Falls back to the
+  /// materializing default when the backend's index is missing.
+  void FitOnRows(const Dataset& d, const std::vector<int>& rows,
+                 uint64_t seed, const ColumnIndex* index,
+                 const BinnedIndex* binned) override;
 
   double PredictProb(const double* x) const override;
   int num_features() const override { return num_features_; }
@@ -89,6 +109,10 @@ class GradientBoostedTrees : public Metamodel {
                       Tree* tree) const;
   int BuildNodeHistogram(RoundContext* ctx, int begin, int end, int depth,
                          std::vector<HistBin> hist, Tree* tree) const;
+  int BuildLeafWise(RoundContext* ctx, int begin, int end, Tree* tree) const;
+  void FitImpl(const Dataset& d, const std::vector<int>* fit_rows,
+               uint64_t seed, const ColumnIndex* index,
+               const BinnedIndex* binned);
 
   GbtConfig config_;
   std::vector<Tree> trees_;

@@ -36,6 +36,24 @@ enum class SplitBackend { kExact, kPresorted, kHistogram };
 /// Returns "exact"/"presorted"/"histogram".
 const char* SplitBackendName(SplitBackend backend);
 
+/// How a tree expands its frontier.
+///   kDepthWise: recursive expansion, every node split until the depth /
+///               size stops fire (the reference order; all backends).
+///   kLeafWise:  best-first expansion a la LightGBM -- a max-gain priority
+///               queue over the open leaves, so under a `max_leaves` cap
+///               the tree spends its leaf budget where the gain is, which
+///               reaches a given training loss with far fewer nodes than
+///               depth-wise at the same cap. Histogram backend only (the
+///               other backends silently grow depth-wise); with no cap and
+///               the same stopping rules it expands exactly the nodes
+///               depth-wise expands, in a different order, so the resulting
+///               tree *function* is identical whenever split gains are
+///               untied (asserted by the equivalence tests).
+enum class GrowthPolicy { kDepthWise, kLeafWise };
+
+/// Returns "depthwise"/"leafwise".
+const char* GrowthPolicyName(GrowthPolicy growth);
+
 /// One histogram bin: gradient-like and hessian-like sums plus a count.
 /// CART uses g = sum of targets (h unused); GBT uses g/h = gradient and
 /// hessian sums.

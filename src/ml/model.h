@@ -49,6 +49,22 @@ class Metamodel {
     Fit(d, seed);
   }
 
+  /// Fits on the given row subset of d. The default materializes the
+  /// subset (d.SubsetRows) and runs the plain Fit; learners with columnar
+  /// kernels override it to train on *views* through the full-data indexes
+  /// instead, which is what keeps k-fold tuning at O(1 fold) extra
+  /// residency (see ml/tuning.h). `rows` must be non-empty and ascending
+  /// (fold row lists are); overrides rely on that to renumber positions
+  /// order-preservingly so their result matches this default bit for bit
+  /// where the backend index is exact.
+  virtual void FitOnRows(const Dataset& d, const std::vector<int>& rows,
+                         uint64_t seed, const ColumnIndex* index,
+                         const BinnedIndex* binned) {
+    (void)index;
+    (void)binned;
+    Fit(d.SubsetRows(rows), seed);
+  }
+
   /// Estimated P(y = 1 | x); always in [0, 1]. `x` holds num_features()
   /// doubles.
   virtual double PredictProb(const double* x) const = 0;

@@ -26,19 +26,26 @@ void RandomForest::Fit(const Dataset& d, uint64_t seed) {
   Fit(d, seed, nullptr, nullptr);
 }
 
-void RandomForest::Fit(const Dataset& d, uint64_t seed,
-                       const ColumnIndex* index, const BinnedIndex* binned) {
-  assert(d.num_rows() > 0);
-  num_features_ = d.num_cols();
+TreeConfig RandomForest::MakeTreeConfig(int num_cols) const {
   TreeConfig tree_config;
   tree_config.mtry = config_.mtry > 0
                          ? config_.mtry
                          : std::max(1, static_cast<int>(std::sqrt(
-                                           static_cast<double>(d.num_cols()))));
+                                           static_cast<double>(num_cols))));
   tree_config.min_samples_leaf = config_.min_samples_leaf;
   tree_config.min_samples_split = std::max(2, 2 * config_.min_samples_leaf);
   tree_config.max_depth = config_.max_depth;
   tree_config.backend = config_.backend;
+  tree_config.growth = config_.growth;
+  tree_config.max_leaves = config_.max_leaves;
+  return tree_config;
+}
+
+void RandomForest::Fit(const Dataset& d, uint64_t seed,
+                       const ColumnIndex* index, const BinnedIndex* binned) {
+  assert(d.num_rows() > 0);
+  num_features_ = d.num_cols();
+  const TreeConfig tree_config = MakeTreeConfig(d.num_cols());
 
   // One columnar index (and, for the histogram backend, one quantization)
   // serves every tree; each derives its bootstrap sample's views from the
@@ -77,6 +84,53 @@ void RandomForest::Fit(const Dataset& d, uint64_t seed,
   if (config_.fit_threads > 1) {
     // Trees are seeded independently, so the parallel fit is deterministic
     // and identical to the serial one.
+    ParallelFor(0, config_.num_trees, fit_tree, config_.fit_threads);
+  } else {
+    for (int t = 0; t < config_.num_trees; ++t) fit_tree(t);
+  }
+}
+
+void RandomForest::FitOnRows(const Dataset& d, const std::vector<int>& rows,
+                             uint64_t seed, const ColumnIndex* index,
+                             const BinnedIndex* binned) {
+  const bool have_views =
+      (config_.backend == SplitBackend::kPresorted && index != nullptr) ||
+      (config_.backend == SplitBackend::kHistogram && index != nullptr &&
+       binned != nullptr);
+  if (!have_views) {
+    Metamodel::FitOnRows(d, rows, seed, index, binned);
+    return;
+  }
+  assert(!rows.empty());
+  num_features_ = d.num_cols();
+  const TreeConfig tree_config = MakeTreeConfig(d.num_cols());
+
+  // Bootstrap draws index into `rows`, so each bag is a sample of the
+  // subset; RegressionTree::Fit already handles arbitrary row lists with
+  // duplicates against the shared full-data index (that is how ordinary
+  // bootstrap fits work), so no fold dataset or index is materialized.
+  // The draw sequence matches the materializing default's draws over the
+  // renumbered subset position for position.
+  const int n_fit = static_cast<int>(rows.size());
+  const int bag_size = std::max(
+      1, static_cast<int>(std::lround(config_.sample_fraction * n_fit)));
+
+  trees_.assign(static_cast<size_t>(config_.num_trees), RegressionTree());
+  // Bag counts are recorded at full-data row ids so OobStateMatches pairs
+  // the fitted model with `d`; out-of-fold rows read as never-in-bag.
+  in_bag_counts_.assign(static_cast<size_t>(config_.num_trees),
+                        std::vector<int>(static_cast<size_t>(d.num_rows()), 0));
+  auto fit_tree = [&](int t) {
+    Rng rng(DeriveSeed(seed, static_cast<uint64_t>(t)));
+    std::vector<int> bag(static_cast<size_t>(bag_size));
+    for (auto& r : bag) {
+      r = rows[rng.UniformInt(static_cast<uint64_t>(n_fit))];
+      in_bag_counts_[static_cast<size_t>(t)][static_cast<size_t>(r)]++;
+    }
+    trees_[static_cast<size_t>(t)].Fit(d, bag, tree_config, &rng, index,
+                                       binned);
+  };
+  if (config_.fit_threads > 1) {
     ParallelFor(0, config_.num_trees, fit_tree, config_.fit_threads);
   } else {
     for (int t = 0; t < config_.num_trees; ++t) fit_tree(t);

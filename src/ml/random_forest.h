@@ -22,6 +22,9 @@ struct RandomForestConfig {
   SplitBackend backend = SplitBackend::kPresorted;
   int fit_threads = 1;       // trees fit in parallel when > 1 (each tree has
                              // its own seed stream, so results are identical)
+  // Per-tree frontier order; histogram backend only (see ml/cart.h).
+  GrowthPolicy growth = GrowthPolicy::kDepthWise;
+  int max_leaves = 0;        // leaf-wise cap per tree; 0 = unlimited
 };
 
 class RandomForest : public Metamodel {
@@ -36,6 +39,19 @@ class RandomForest : public Metamodel {
   /// `binned` quantization under the histogram backend.
   void Fit(const Dataset& d, uint64_t seed, const ColumnIndex* index,
            const BinnedIndex* binned = nullptr) override;
+
+  /// Subset fit on views: bootstrap draws map into `rows`, and every tree
+  /// derives its orders/codes from the full-data indexes (the same
+  /// mechanism ordinary bootstrap fits already use), so no fold dataset or
+  /// fold index is ever materialized. Trees are bit-identical to the
+  /// materializing default where the backend index is exact (presorted
+  /// always; histogram in the exact-pack regime). In-bag counts are
+  /// recorded at full-data row ids, so OOB accessors pair with `d`, not
+  /// the subset. Falls back to the default when the index is missing.
+  void FitOnRows(const Dataset& d, const std::vector<int>& rows,
+                 uint64_t seed, const ColumnIndex* index,
+                 const BinnedIndex* binned) override;
+
   double PredictProb(const double* x) const override;
   int num_features() const override { return num_features_; }
 
@@ -73,6 +89,10 @@ class RandomForest : public Metamodel {
   /// training row per tree) -- the single validity rule behind every OOB
   /// accessor.
   bool OobStateMatches(const Dataset& d) const;
+
+  /// The per-tree config derived from config_ for a dataset with
+  /// `num_cols` features (mtry default = floor(sqrt(M))).
+  TreeConfig MakeTreeConfig(int num_cols) const;
 
   RandomForestConfig config_;
   std::vector<RegressionTree> trees_;

@@ -31,9 +31,38 @@ namespace {
 
 using ModelFactory = std::function<std::unique_ptr<Metamodel>()>;
 
-// One CV fold, prepared once per tuning run: the training subset, the
-// held-out row ids, and the subset's columnar (and, under the histogram
-// backend, binned) views shared by every grid candidate fit on the fold.
+// Row-id views of one CV fold: the ascending training rows and the
+// held-out rows. The streamed plan fits candidates through these plus the
+// shared full-data indexes; the materialized plan copies `train_rows` into
+// a fold dataset.
+struct CvFoldRows {
+  std::vector<int> train_rows;
+  std::vector<int> test_rows;
+};
+
+// The fold membership is computed once per tuning run so every grid
+// candidate is scored on identical folds (caret's protocol). Degenerate
+// folds (empty train or test side) are dropped, matching the historical
+// materialized behavior.
+std::vector<CvFoldRows> BuildFoldRows(int n, int folds, uint64_t seed) {
+  const std::vector<int> fold = FoldAssignment(n, folds, seed);
+  std::vector<CvFoldRows> out;
+  for (int f = 0; f < folds; ++f) {
+    CvFoldRows rows;
+    for (int i = 0; i < n; ++i) {
+      (fold[static_cast<size_t>(i)] == f ? rows.test_rows : rows.train_rows)
+          .push_back(i);
+    }
+    if (rows.train_rows.empty() || rows.test_rows.empty()) continue;
+    out.push_back(std::move(rows));
+  }
+  return out;
+}
+
+// One materialized CV fold: the copied training subset and its columnar
+// (and, under the histogram backend, binned) views shared by every grid
+// candidate fit on the fold. Reference plan only -- residency scales with
+// k fold-matrix copies.
 struct CvFold {
   Dataset train;
   std::vector<int> test_rows;
@@ -41,24 +70,13 @@ struct CvFold {
   std::shared_ptr<const BinnedIndex> binned;
 };
 
-// Builds the fold datasets and their indexes. The fold membership mask,
-// subset copies, and per-fold views used to be re-derived for every grid
-// point; sharing them also means every candidate is scored on identical
-// folds (caret's protocol), making the grid comparison apples-to-apples.
 std::vector<CvFold> BuildCvFolds(const Dataset& d, int folds, uint64_t seed,
                                  SplitBackend backend, bool tree_family) {
-  const int n = d.num_rows();
-  const std::vector<int> fold = FoldAssignment(n, folds, seed);
   std::vector<CvFold> out;
-  for (int f = 0; f < folds; ++f) {
+  for (CvFoldRows& rows : BuildFoldRows(d.num_rows(), folds, seed)) {
     CvFold cv;
-    std::vector<int> train_rows;
-    for (int i = 0; i < n; ++i) {
-      (fold[static_cast<size_t>(i)] == f ? cv.test_rows : train_rows)
-          .push_back(i);
-    }
-    if (train_rows.empty() || cv.test_rows.empty()) continue;
-    cv.train = d.SubsetRows(train_rows);
+    cv.train = d.SubsetRows(rows.train_rows);
+    cv.test_rows = std::move(rows.test_rows);
     if (tree_family) {
       cv.index = ColumnIndex::Build(cv.train);
       if (backend == SplitBackend::kHistogram) {
@@ -70,20 +88,21 @@ std::vector<CvFold> BuildCvFolds(const Dataset& d, int folds, uint64_t seed,
   return out;
 }
 
-// Mean CV log-loss of a model configuration over the shared folds.
-double CrossValidate(const ModelFactory& factory, const Dataset& d,
-                     const std::vector<CvFold>& folds, int num_folds,
-                     uint64_t seed) {
+// Mean held-out log-loss over the fitted per-fold models. `fit_fold`
+// returns the model for fold f; scoring (and the per-fold seed stream) is
+// shared by both fold plans so their losses can only differ through the
+// fits themselves.
+double FoldLoss(const Dataset& d, size_t num_built, int num_folds,
+                const std::function<std::unique_ptr<Metamodel>(size_t)>& fit_fold,
+                const std::function<const std::vector<int>&(size_t)>& test_rows) {
   double total = 0.0;
-  for (size_t f = 0; f < folds.size(); ++f) {
-    const CvFold& cv = folds[f];
-    auto model = factory();
-    model->Fit(cv.train, DeriveSeed(seed, static_cast<uint64_t>(f) + 101),
-               cv.index.get(), cv.binned.get());
+  for (size_t f = 0; f < num_built; ++f) {
+    const std::unique_ptr<Metamodel> model = fit_fold(f);
+    const std::vector<int>& held_out = test_rows(f);
     std::vector<double> prob, y;
-    prob.reserve(cv.test_rows.size());
-    y.reserve(cv.test_rows.size());
-    for (int r : cv.test_rows) {
+    prob.reserve(held_out.size());
+    y.reserve(held_out.size());
+    for (int r : held_out) {
       prob.push_back(model->PredictProb(d.row(r)));
       y.push_back(d.y(r) > 0.5 ? 1.0 : 0.0);
     }
@@ -92,24 +111,92 @@ double CrossValidate(const ModelFactory& factory, const Dataset& d,
   return total / num_folds;
 }
 
+// Mean CV log-loss of a candidate on the materialized folds.
+double CrossValidate(const ModelFactory& factory, const Dataset& d,
+                     const std::vector<CvFold>& folds, int num_folds,
+                     uint64_t seed) {
+  return FoldLoss(
+      d, folds.size(), num_folds,
+      [&](size_t f) {
+        auto model = factory();
+        model->Fit(folds[f].train,
+                   DeriveSeed(seed, static_cast<uint64_t>(f) + 101),
+                   folds[f].index.get(), folds[f].binned.get());
+        return model;
+      },
+      [&](size_t f) -> const std::vector<int>& { return folds[f].test_rows; });
+}
+
+// Mean CV log-loss of a candidate fit through per-fold row views over the
+// shared full-data indexes: nothing fold-sized is ever copied, so peak
+// tuning residency is the one transient fit working set, not k fold
+// matrices. Bit-identical to CrossValidate wherever FitOnRows is (see
+// ml/model.h).
+double CrossValidateStreamed(const ModelFactory& factory, const Dataset& d,
+                             const std::vector<CvFoldRows>& folds,
+                             int num_folds, uint64_t seed,
+                             const ColumnIndex* index,
+                             const BinnedIndex* binned) {
+  return FoldLoss(
+      d, folds.size(), num_folds,
+      [&](size_t f) {
+        auto model = factory();
+        model->FitOnRows(d, folds[f].train_rows,
+                         DeriveSeed(seed, static_cast<uint64_t>(f) + 101),
+                         index, binned);
+        return model;
+      },
+      [&](size_t f) -> const std::vector<int>& { return folds[f].test_rows; });
+}
+
 std::unique_ptr<Metamodel> PickBest(const std::vector<ModelFactory>& grid,
                                     const Dataset& d, uint64_t seed,
                                     const TuningConfig& config,
-                                    bool tree_family) {
-  const std::vector<CvFold> folds =
-      BuildCvFolds(d, config.folds, seed, config.backend, tree_family);
+                                    bool tree_family,
+                                    const ColumnIndex* index,
+                                    const BinnedIndex* binned) {
+  const bool streamed = config.fold_plan == CvFoldPlan::kStreamed;
+  std::vector<CvFoldRows> fold_rows;
+  std::vector<CvFold> folds;
+  std::shared_ptr<const ColumnIndex> owned_index;
+  std::shared_ptr<const BinnedIndex> owned_binned;
+  if (streamed) {
+    fold_rows = BuildFoldRows(d.num_rows(), config.folds, seed);
+    if (tree_family) {
+      // One full-data view pair serves every fold of every candidate
+      // (reusing the caller's prebuilt indexes when given). Building the
+      // full index here is still strictly smaller than the materialized
+      // plan's k fold indexes of ~(k-1)/k rows each.
+      if (index == nullptr) {
+        owned_index = ColumnIndex::Build(d);
+        index = owned_index.get();
+      }
+      if (config.backend == SplitBackend::kHistogram && binned == nullptr) {
+        owned_binned = BinnedIndex::Build(*index);
+        binned = owned_binned.get();
+      }
+    }
+  } else {
+    folds = BuildCvFolds(d, config.folds, seed, config.backend, tree_family);
+  }
   double best_loss = std::numeric_limits<double>::infinity();
   size_t best = 0;
   for (size_t g = 0; g < grid.size(); ++g) {
-    const double loss = CrossValidate(grid[g], d, folds, config.folds,
-                                      DeriveSeed(seed, static_cast<uint64_t>(g)));
+    const uint64_t g_seed = DeriveSeed(seed, static_cast<uint64_t>(g));
+    const double loss =
+        streamed ? CrossValidateStreamed(grid[g], d, fold_rows, config.folds,
+                                         g_seed, index, binned)
+                 : CrossValidate(grid[g], d, folds, config.folds, g_seed);
     if (loss < best_loss) {
       best_loss = loss;
       best = g;
     }
   }
   auto model = grid[best]();
-  model->Fit(d, DeriveSeed(seed, 0xf17ULL));
+  // The winner refits on all of d; passing the shared full-data views is
+  // bit-identical to letting Fit build its own (they are constructed the
+  // same way), so the refit matches across fold plans.
+  model->Fit(d, DeriveSeed(seed, 0xf17ULL), index, binned);
   return model;
 }
 
@@ -123,13 +210,16 @@ std::unique_ptr<Metamodel> FitDefault(MetamodelKind kind, const Dataset& d,
                                       uint64_t seed, TuningBudget budget,
                                       const ColumnIndex* index,
                                       const BinnedIndex* binned,
-                                      SplitBackend backend) {
+                                      SplitBackend backend,
+                                      GrowthPolicy growth, int max_leaves) {
   const bool full = budget == TuningBudget::kFull;
   switch (kind) {
     case MetamodelKind::kRandomForest: {
       RandomForestConfig config;
       config.num_trees = full ? 500 : 100;
       config.backend = backend;
+      config.growth = growth;
+      config.max_leaves = max_leaves;
       auto model = std::make_unique<RandomForest>(config);
       model->Fit(d, seed, index, binned);
       return model;
@@ -140,6 +230,8 @@ std::unique_ptr<Metamodel> FitDefault(MetamodelKind kind, const Dataset& d,
       config.max_depth = 4;
       config.eta = 0.3;
       config.backend = backend;
+      config.growth = growth;
+      config.max_leaves = max_leaves;
       auto model = std::make_unique<GradientBoostedTrees>(config);
       model->Fit(d, seed, index, binned);
       return model;
@@ -156,7 +248,9 @@ std::unique_ptr<Metamodel> FitDefault(MetamodelKind kind, const Dataset& d,
 
 std::unique_ptr<Metamodel> TuneAndFit(MetamodelKind kind, const Dataset& d,
                                       uint64_t seed,
-                                      const TuningConfig& config) {
+                                      const TuningConfig& config,
+                                      const ColumnIndex* index,
+                                      const BinnedIndex* binned) {
   obs::Span span("metamodel.tune");
   const bool full = config.budget == TuningBudget::kFull;
   const int m = d.num_cols();
@@ -173,6 +267,8 @@ std::unique_ptr<Metamodel> TuneAndFit(MetamodelKind kind, const Dataset& d,
         c.num_trees = full ? 500 : 100;
         c.mtry = mtry;
         c.backend = config.backend;
+        c.growth = config.growth;
+        c.max_leaves = config.max_leaves;
         grid.push_back([c] { return std::make_unique<RandomForest>(c); });
       }
       break;
@@ -192,6 +288,8 @@ std::unique_ptr<Metamodel> TuneAndFit(MetamodelKind kind, const Dataset& d,
             c.num_rounds = nr;
             c.eta = eta;
             c.backend = config.backend;
+            c.growth = config.growth;
+            c.max_leaves = config.max_leaves;
             grid.push_back(
                 [c] { return std::make_unique<GradientBoostedTrees>(c); });
           }
@@ -211,7 +309,8 @@ std::unique_ptr<Metamodel> TuneAndFit(MetamodelKind kind, const Dataset& d,
       break;
     }
   }
-  return PickBest(grid, d, seed, config, kind != MetamodelKind::kSvm);
+  return PickBest(grid, d, seed, config, kind != MetamodelKind::kSvm, index,
+                  binned);
 }
 
 std::unique_ptr<Metamodel> FitMetamodel(MetamodelKind kind, const Dataset& d,
@@ -219,14 +318,18 @@ std::unique_ptr<Metamodel> FitMetamodel(MetamodelKind kind, const Dataset& d,
                                         TuningBudget budget,
                                         const ColumnIndex* index,
                                         const BinnedIndex* binned,
-                                        SplitBackend backend) {
+                                        SplitBackend backend,
+                                        GrowthPolicy growth, int max_leaves) {
   if (tune) {
     TuningConfig config;
     config.budget = budget;
     config.backend = backend;
-    return TuneAndFit(kind, d, seed, config);
+    config.growth = growth;
+    config.max_leaves = max_leaves;
+    return TuneAndFit(kind, d, seed, config, index, binned);
   }
-  return FitDefault(kind, d, seed, budget, index, binned, backend);
+  return FitDefault(kind, d, seed, budget, index, binned, backend, growth,
+                    max_leaves);
 }
 
 }  // namespace reds::ml

@@ -21,11 +21,26 @@ namespace reds::ml {
 /// default bench runs stay fast; kFull approximates the paper's setting.
 enum class TuningBudget { kQuick, kFull };
 
+/// How the k-fold grid search holds its folds. kStreamed (default) fits
+/// every candidate through per-fold row views over one shared full-data
+/// index, so tuning residency stays O(1 fold) regardless of k; it is
+/// bit-identical to kMaterialized wherever the backend index is exact
+/// (presorted always; histogram under exact packing), and picks the same
+/// grid cell. kMaterialized copies and re-indexes every fold's training
+/// matrix up front -- retained as the reference plan the streamed one is
+/// equivalence-tested against.
+enum class CvFoldPlan { kStreamed, kMaterialized };
+
 struct TuningConfig {
   TuningBudget budget = TuningBudget::kQuick;
   int folds = 5;
   /// Split-search kernel every tree candidate in the grid runs on.
   SplitBackend backend = SplitBackend::kPresorted;
+  CvFoldPlan fold_plan = CvFoldPlan::kStreamed;
+  /// Tree growth order for the tree families (see ml/histogram.h); applied
+  /// to every grid candidate and to the final refit.
+  GrowthPolicy growth = GrowthPolicy::kDepthWise;
+  int max_leaves = 0;  // leaf-wise cap per tree; 0 = unlimited
 };
 
 /// Splits rows into k folds (round-robin over a shuffled permutation) and
@@ -34,12 +49,16 @@ std::vector<int> FoldAssignment(int n, int k, uint64_t seed);
 
 /// Tunes the given metamodel family by grid search with k-fold CV on
 /// log-loss, then refits the winning configuration on all of d. Every grid
-/// candidate is evaluated on the same folds, whose training subsets are
-/// indexed (ColumnIndex, plus BinnedIndex under the histogram backend)
-/// exactly once.
+/// candidate is evaluated on the same folds. Under the default streamed
+/// fold plan the candidates fit through row views over one shared
+/// full-data index (prebuilt `index`/`binned` of d are reused when given);
+/// under the materialized plan each fold's training subset is copied and
+/// indexed exactly once, grid-wide.
 std::unique_ptr<Metamodel> TuneAndFit(MetamodelKind kind, const Dataset& d,
                                       uint64_t seed,
-                                      const TuningConfig& config = {});
+                                      const TuningConfig& config = {},
+                                      const ColumnIndex* index = nullptr,
+                                      const BinnedIndex* binned = nullptr);
 
 /// Fits the family with library defaults (no tuning). Prebuilt indexes of d
 /// (e.g. the engine's shared per-dataset caches) feed the tree learners'
@@ -50,19 +69,25 @@ std::unique_ptr<Metamodel> FitDefault(MetamodelKind kind, const Dataset& d,
                                       const ColumnIndex* index = nullptr,
                                       const BinnedIndex* binned = nullptr,
                                       SplitBackend backend =
-                                          SplitBackend::kPresorted);
+                                          SplitBackend::kPresorted,
+                                      GrowthPolicy growth =
+                                          GrowthPolicy::kDepthWise,
+                                      int max_leaves = 0);
 
 /// TuneAndFit when `tune`, else FitDefault: the single dispatch both the
 /// inline REDS path and the engine's metamodel cache use, so cached and
-/// uncached fits cannot drift apart. `index`/`binned` are used on the
-/// untuned path; tuned fits run on CV-fold subsets with their own indexes.
+/// uncached fits cannot drift apart. `index`/`binned` feed the untuned fit
+/// and the tuned path's streamed fold views alike.
 std::unique_ptr<Metamodel> FitMetamodel(MetamodelKind kind, const Dataset& d,
                                         uint64_t seed, bool tune,
                                         TuningBudget budget,
                                         const ColumnIndex* index = nullptr,
                                         const BinnedIndex* binned = nullptr,
                                         SplitBackend backend =
-                                            SplitBackend::kPresorted);
+                                            SplitBackend::kPresorted,
+                                        GrowthPolicy growth =
+                                            GrowthPolicy::kDepthWise,
+                                        int max_leaves = 0);
 
 }  // namespace reds::ml
 

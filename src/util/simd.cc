@@ -67,8 +67,43 @@ double GatherSumReference(const double* v, const int* ids, int n) {
   return sum;
 }
 
+int MaskedCountBelowReference(const double* col, const unsigned char* mask,
+                              const int* ids, int n, double bound,
+                              bool strict) {
+  int count = 0;
+  if (strict) {
+    for (int i = 0; i < n; ++i) {
+      const int r = ids[i];
+      if (col[r] < bound && mask[r] != 0) ++count;
+    }
+  } else {
+    for (int i = 0; i < n; ++i) {
+      const int r = ids[i];
+      if (col[r] <= bound && mask[r] != 0) ++count;
+    }
+  }
+  return count;
+}
+
+double MaskedPrefixSumReference(const double* y, const unsigned char* mask,
+                                const int* ids, int n, int count) {
+  double sum = 0.0;
+  int taken = 0;
+  for (int i = 0; i < n && taken < count; ++i) {
+    const int r = ids[i];
+    if (mask[r] == 0) continue;
+    sum += y[r];
+    ++taken;
+  }
+  return sum;
+}
+
 #if defined(REDS_HAVE_AVX2)
 double GatherSumAvx2(const double* v, const int* ids, int n);
+int MaskedCountBelowAvx2(const double* col, const unsigned char* mask,
+                         const int* ids, int n, double bound, bool strict);
+double MaskedPrefixSumAvx2(const double* y, const unsigned char* mask,
+                           const int* ids, int n, int count);
 #endif
 
 double GatherSum(const double* v, const int* ids, int n) {
@@ -78,6 +113,26 @@ double GatherSum(const double* v, const int* ids, int n) {
   }
 #endif
   return GatherSumReference(v, ids, n);
+}
+
+int MaskedCountBelow(const double* col, const unsigned char* mask,
+                     const int* ids, int n, double bound, bool strict) {
+#if defined(REDS_HAVE_AVX2)
+  if (ActiveSimdLevel() == SimdLevel::kAvx2) {
+    return MaskedCountBelowAvx2(col, mask, ids, n, bound, strict);
+  }
+#endif
+  return MaskedCountBelowReference(col, mask, ids, n, bound, strict);
+}
+
+double MaskedPrefixSum(const double* y, const unsigned char* mask,
+                       const int* ids, int n, int count) {
+#if defined(REDS_HAVE_AVX2)
+  if (ActiveSimdLevel() == SimdLevel::kAvx2) {
+    return MaskedPrefixSumAvx2(y, mask, ids, n, count);
+  }
+#endif
+  return MaskedPrefixSumReference(y, mask, ids, n, count);
 }
 
 double* AllocPackedDoubles(size_t n) {

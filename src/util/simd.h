@@ -48,6 +48,31 @@ bool Avx2Available();
 double GatherSum(const double* v, const int* ids, int n);
 double GatherSumReference(const double* v, const int* ids, int n);
 
+/// Number of i in [0, n) with (strict ? col[ids[i]] < bound
+///                                    : col[ids[i]] <= bound) && mask[ids[i]].
+/// The boundary-bin scan of PRIM's binned peel kernel: ids is a value-sorted
+/// permutation segment and mask the in-box bitmask, so a full-segment masked
+/// count equals the early-break scalar walk. Counts are integers, so the
+/// dispatched path is exact by construction. The AVX2 body gathers mask
+/// bytes 4 at a time with 32-bit loads: `mask` must stay readable for 3
+/// bytes past the largest id (callers pad their bitmask allocation).
+int MaskedCountBelow(const double* col, const unsigned char* mask,
+                     const int* ids, int n, double bound, bool strict);
+int MaskedCountBelowReference(const double* col, const unsigned char* mask,
+                              const int* ids, int n, double bound,
+                              bool strict);
+
+/// Sum of y[ids[i]] over the first `count` i in [0, n) with mask[ids[i]]
+/// set, scanning i ascending; ids must hold at least `count` masked rows.
+/// The AVX2 path reorders the additions, so -- like GatherSum -- it is only
+/// invoked by callers whose y values are integer-valued doubles (PRIM's
+/// hard {0,1} relabels), where any association below 2^53 is exact. Same
+/// 3-byte mask padding requirement as MaskedCountBelow.
+double MaskedPrefixSum(const double* y, const unsigned char* mask,
+                       const int* ids, int n, int count);
+double MaskedPrefixSumReference(const double* y, const unsigned char* mask,
+                                const int* ids, int n, int count);
+
 /// Allocates an n-double buffer, 2 MiB-aligned and advised onto
 /// transparent huge pages when the size warrants it (a random-index walk
 /// over a multi-megabyte buffer otherwise pays an STLB lookup per access).

@@ -45,11 +45,15 @@ RunOptions FastOptions() {
 // relabel-stream cache serves a repeat REDS job its finished relabeled
 // stream before the metamodel cache is ever consulted -- and whether a
 // concurrent repeat hits it depends on job timing -- so these tests turn
-// it off to count every metamodel lookup deterministically.
+// it off to count every metamodel lookup deterministically. Job-level
+// coalescing is off for the same reason: a coalesced follower never
+// consults any cache at all (that layer has its own accounting test,
+// engine_coalesce_test).
 EngineConfig CountEveryLookupConfig(int threads) {
   EngineConfig config;
   config.threads = threads;
   config.cache_relabel_streams = false;
+  config.coalesce_requests = false;
   return config;
 }
 

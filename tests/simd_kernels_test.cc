@@ -7,6 +7,7 @@
 // the tail handling is where a SIMD kernel goes wrong first.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -198,6 +199,102 @@ TEST(SimdKernelsTest, GatherSumExactForIntegralLabels) {
       ScopedSimdLevel pin(level);
       EXPECT_EQ(util::GatherSum(v.data(), ids.data(), n), reference)
           << "n=" << n;
+    }
+  }
+}
+
+// Masked-kernel fixture: a value-sorted permutation segment over a padded
+// in-box bitmask, the exact shape of PRIM's binned boundary-bin scans.
+struct MaskedInput {
+  std::vector<double> col, y;
+  std::vector<uint8_t> mask;  // 3 padding bytes past the last row
+  std::vector<int> ids;       // value-sorted segment over masked rows
+};
+
+MaskedInput MakeMaskedInput(int n, uint64_t seed) {
+  MaskedInput in;
+  Rng rng(seed);
+  in.col.resize(static_cast<size_t>(n));
+  in.y.resize(static_cast<size_t>(n));
+  in.mask.resize(static_cast<size_t>(n) + 3, 0xEE);  // poisoned padding
+  in.ids.resize(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    // Few distinct values so bound comparisons hit ties at every size.
+    in.col[static_cast<size_t>(i)] = static_cast<double>(rng.UniformInt(8));
+    in.y[static_cast<size_t>(i)] = rng.Bernoulli(0.4) ? 1.0 : 0.0;
+    in.mask[static_cast<size_t>(i)] = rng.Bernoulli(0.7) ? 1 : 0;
+    in.ids[static_cast<size_t>(i)] = i;
+  }
+  // ids in value order (ties by row id), as ColumnIndex delivers them.
+  std::stable_sort(in.ids.begin(), in.ids.end(), [&](int a, int b) {
+    return in.col[static_cast<size_t>(a)] < in.col[static_cast<size_t>(b)];
+  });
+  return in;
+}
+
+TEST(SimdKernelsTest, MaskedCountBelowMatchesReferenceAtAdversarialSizes) {
+  for (int n : kSizes) {
+    const MaskedInput in = MakeMaskedInput(n, 7000 + static_cast<uint64_t>(n));
+    for (double bound : {-1.0, 0.0, 3.0, 3.5, 7.0, 100.0}) {
+      for (bool strict : {true, false}) {
+        const int reference = util::MaskedCountBelowReference(
+            in.col.data(), in.mask.data(), in.ids.data(), n, bound, strict);
+        for (SimdLevel level : {SimdLevel::kScalar, SimdLevel::kAvx2}) {
+          ScopedSimdLevel pin(level);
+          EXPECT_EQ(util::MaskedCountBelow(in.col.data(), in.mask.data(),
+                                           in.ids.data(), n, bound, strict),
+                    reference)
+              << "n=" << n << " bound=" << bound << " strict=" << strict;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, MaskedPrefixSumExactForIntegralLabels) {
+  for (int n : kSizes) {
+    const MaskedInput in = MakeMaskedInput(n, 8000 + static_cast<uint64_t>(n));
+    int masked = 0;
+    for (int i = 0; i < n; ++i) {
+      masked += in.mask[static_cast<size_t>(i)] != 0 ? 1 : 0;
+    }
+    // Every legal take count, including 0, 1, all, and just-short-of-all:
+    // the vector/scalar handoff point moves across the whole segment.
+    for (int count : {0, 1, masked / 2, masked - 1, masked}) {
+      if (count < 0) continue;
+      const double reference = util::MaskedPrefixSumReference(
+          in.y.data(), in.mask.data(), in.ids.data(), n, count);
+      for (SimdLevel level : {SimdLevel::kScalar, SimdLevel::kAvx2}) {
+        ScopedSimdLevel pin(level);
+        EXPECT_EQ(util::MaskedPrefixSum(in.y.data(), in.mask.data(),
+                                        in.ids.data(), n, count),
+                  reference)
+            << "n=" << n << " count=" << count;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, MaskedKernelsAllRowsMaskedOrNone) {
+  // Degenerate masks: all-in (the first peel) and all-out tails.
+  for (int n : {1, 4, 5, 16, 17, 127}) {
+    MaskedInput in = MakeMaskedInput(n, 9000 + static_cast<uint64_t>(n));
+    for (uint8_t fill : {uint8_t{1}, uint8_t{0}}) {
+      for (int i = 0; i < n; ++i) in.mask[static_cast<size_t>(i)] = fill;
+      const int ref_count = util::MaskedCountBelowReference(
+          in.col.data(), in.mask.data(), in.ids.data(), n, 3.0, true);
+      const int take = fill ? n : 0;
+      const double ref_sum = util::MaskedPrefixSumReference(
+          in.y.data(), in.mask.data(), in.ids.data(), n, take);
+      for (SimdLevel level : {SimdLevel::kScalar, SimdLevel::kAvx2}) {
+        ScopedSimdLevel pin(level);
+        EXPECT_EQ(util::MaskedCountBelow(in.col.data(), in.mask.data(),
+                                         in.ids.data(), n, 3.0, true),
+                  ref_count);
+        EXPECT_EQ(util::MaskedPrefixSum(in.y.data(), in.mask.data(),
+                                        in.ids.data(), n, take),
+                  ref_sum);
+      }
     }
   }
 }
