@@ -1,0 +1,270 @@
+// Multi-process sharded discovery driver: one binary, three roles.
+//
+//   # single-process reference run
+//   ./build/examples/shard_worker --single --rows 200000 --dims 4
+//
+//   # coordinator + 2 worker processes over a UNIX domain socket
+//   ./build/examples/shard_worker --coordinator --workers 2 \
+//       --socket /tmp/reds_shard.sock --rows 200000 --dims 4 &
+//   ./build/examples/shard_worker --worker --shard 0 --workers 2 \
+//       --socket /tmp/reds_shard.sock --rows 200000 --dims 4 &
+//   ./build/examples/shard_worker --worker --shard 1 --workers 2 \
+//       --socket /tmp/reds_shard.sock --rows 200000 --dims 4
+//
+// Every role derives the same deterministic SyntheticBlockSource from the
+// shared geometry flags (--rows --dims --distinct --seed --block-rows), so
+// the coordinator's boxes are directly comparable to the --single run: in
+// the exact-pack regime they are bit-identical, which is what the CI smoke
+// asserts. The coordinator prints the returned box sequence as JSON on
+// stdout and the merged fleet metrics dump to --metrics-out (or stderr).
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/binned_index.h"
+#include "core/prim.h"
+#include "obs/metrics.h"
+#include "shard/coordinator.h"
+#include "shard/source_spec.h"
+#include "shard/worker.h"
+
+namespace {
+
+using namespace reds;
+
+struct Args {
+  bool coordinator = false;
+  bool worker = false;
+  bool single = false;
+  int workers = 2;
+  int shard = -1;
+  std::string socket_path = "/tmp/reds_shard.sock";
+  std::string metrics_out;
+  int64_t rows = 200000;
+  int dims = 4;
+  int distinct = 48;
+  uint64_t seed = 7;
+  int block_rows = 8192;
+  double alpha = 0.05;
+  int min_points = 20;
+};
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--coordinator") {
+      args->coordinator = true;
+    } else if (flag == "--worker") {
+      args->worker = true;
+    } else if (flag == "--single") {
+      args->single = true;
+    } else if (flag == "--workers") {
+      args->workers = std::atoi(next());
+    } else if (flag == "--shard") {
+      args->shard = std::atoi(next());
+    } else if (flag == "--socket") {
+      args->socket_path = next();
+    } else if (flag == "--metrics-out") {
+      args->metrics_out = next();
+    } else if (flag == "--rows") {
+      args->rows = std::atoll(next());
+    } else if (flag == "--dims") {
+      args->dims = std::atoi(next());
+    } else if (flag == "--distinct") {
+      args->distinct = std::atoi(next());
+    } else if (flag == "--seed") {
+      args->seed = static_cast<uint64_t>(std::atoll(next()));
+    } else if (flag == "--block-rows") {
+      args->block_rows = std::atoi(next());
+    } else if (flag == "--alpha") {
+      args->alpha = std::atof(next());
+    } else if (flag == "--min-points") {
+      args->min_points = std::atoi(next());
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  const int roles = (args->coordinator ? 1 : 0) + (args->worker ? 1 : 0) +
+                    (args->single ? 1 : 0);
+  if (roles != 1) {
+    std::fprintf(stderr,
+                 "pick exactly one of --coordinator / --worker / --single\n");
+    return false;
+  }
+  if (args->worker &&
+      (args->shard < 0 || args->shard >= args->workers)) {
+    std::fprintf(stderr, "--worker needs --shard in [0, --workers)\n");
+    return false;
+  }
+  return true;
+}
+
+shard::SourceSpec SpecFromArgs(const Args& args) {
+  shard::SourceSpec spec;
+  spec.kind = shard::SourceSpec::Kind::kSynthetic;
+  spec.block_rows = args.block_rows;
+  spec.rows = args.rows;
+  spec.dims = args.dims;
+  spec.distinct = args.distinct;
+  spec.seed = args.seed;
+  return spec;
+}
+
+void PrintBoxesJson(const std::vector<Box>& boxes, int dims) {
+  std::printf("{\"boxes\":[");
+  for (size_t i = 0; i < boxes.size(); ++i) {
+    if (i > 0) std::printf(",");
+    std::printf("[");
+    for (int j = 0; j < dims; ++j) {
+      if (j > 0) std::printf(",");
+      // %.17g: round-trippable doubles, so bit-identical boxes print
+      // byte-identical JSON and the CI smoke can diff the text.
+      std::printf("[%.17g,%.17g]", boxes[i].lo(j), boxes[i].hi(j));
+    }
+    std::printf("]");
+  }
+  std::printf("]}\n");
+}
+
+int RunSingle(const Args& args) {
+  shard::SyntheticBlockSource source(SpecFromArgs(args), 1, 0);
+  StreamedBuildOptions options;
+  options.block_rows = args.block_rows;
+  const Result<StreamedDataset> data =
+      BinnedIndex::BuildStreamed(&source, options);
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  PrimConfig config;
+  config.alpha = args.alpha;
+  config.min_points = args.min_points;
+  const PrimResult r = RunPrimStreamed(*data->index, data->y, config);
+  PrintBoxesJson(r.ReturnedBoxes(), args.dims);
+  return 0;
+}
+
+int RunWorker(const Args& args) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s",
+                args.socket_path.c_str());
+  // The coordinator may still be binding; retry briefly.
+  int rc = -1;
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    if (rc == 0) break;
+    ::usleep(100 * 1000);
+  }
+  if (rc != 0) {
+    std::perror("connect");
+    ::close(fd);
+    return 1;
+  }
+  shard::SyntheticBlockSource source(SpecFromArgs(args), args.workers,
+                                     args.shard);
+  const Status s = shard::RunShardWorker(fd, &source);
+  ::close(fd);
+  if (!s.ok()) {
+    std::fprintf(stderr, "worker %d: %s\n", args.shard, s.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int RunCoordinator(const Args& args) {
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  ::unlink(args.socket_path.c_str());
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s",
+                args.socket_path.c_str());
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listener, args.workers) != 0) {
+    std::perror("bind/listen");
+    ::close(listener);
+    return 1;
+  }
+
+  std::vector<int> fds;
+  for (int w = 0; w < args.workers; ++w) {
+    const int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) {
+      std::perror("accept");
+      for (int f : fds) ::close(f);
+      ::close(listener);
+      return 1;
+    }
+    fds.push_back(fd);
+  }
+  ::close(listener);
+  ::unlink(args.socket_path.c_str());
+
+  StreamedBuildOptions options;
+  options.block_rows = args.block_rows;
+  shard::ShardCoordinator coordinator(fds, options);
+  Status s = coordinator.BuildGlobalBins();
+  if (s.ok()) {
+    PrimConfig config;
+    config.alpha = args.alpha;
+    config.min_points = args.min_points;
+    const Result<PrimResult> r = coordinator.RunPrim(config);
+    if (r.ok()) {
+      PrintBoxesJson(r->ReturnedBoxes(), args.dims);
+    } else {
+      s = r.status();
+    }
+  }
+  if (s.ok()) {
+    obs::MetricsRegistry fleet;
+    s = coordinator.CollectMetrics(&fleet);
+    if (s.ok()) {
+      const std::string dump = fleet.Dump(obs::ExportFormat::kJson);
+      if (args.metrics_out.empty()) {
+        std::fprintf(stderr, "%s\n", dump.c_str());
+      } else if (std::FILE* f = std::fopen(args.metrics_out.c_str(), "w")) {
+        std::fputs(dump.c_str(), f);
+        std::fclose(f);
+      } else {
+        std::fprintf(stderr, "cannot write %s\n", args.metrics_out.c_str());
+      }
+    }
+  }
+  coordinator.Shutdown();
+  for (int fd : fds) ::close(fd);
+  if (!s.ok()) {
+    std::fprintf(stderr, "coordinator: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return 2;
+  if (args.single) return RunSingle(args);
+  if (args.worker) return RunWorker(args);
+  return RunCoordinator(args);
+}

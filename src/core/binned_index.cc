@@ -57,97 +57,6 @@ std::vector<int> PackRuns(const std::vector<ValueRun>& runs, int n,
   return begins;
 }
 
-// Per-column accumulator of the streaming sketch pass: a mergeable quantile
-// sketch plus exact distinct-value tracking up to the bin budget, so
-// columns with few distinct values get exactly one bin per value (the
-// equivalence case) without consulting the sketch at all.
-// While a column stays within the distinct cap, its sorted (value, count)
-// pairs ARE a lossless summary, and the GK sketch sees nothing -- per-value
-// sketch inserts plus the per-block buffer sort/merge used to be the single
-// largest cost of the streamed build on low-cardinality (exact-pack) data.
-// The sketch is seeded lazily via weighted inserts the moment the cap
-// breaks, which summarizes the exact same multiset the eager feed would
-// have -- with an exactly-known prefix.
-struct ColumnSketch {
-  QuantileSketch sketch;
-  std::vector<double> distinct;  // sorted unique; valid until overflow
-  std::vector<int64_t> count;    // parallel occurrence counts
-  bool overflow = false;
-
-  explicit ColumnSketch(double eps) : sketch(eps) {}
-
-  // One-time spill of the exact pairs into the sketch on cap overflow.
-  void SpillToSketch() {
-    for (size_t i = 0; i < distinct.size(); ++i) {
-      sketch.AddWeighted(distinct[i], count[i]);
-    }
-    distinct.clear();
-    distinct.shrink_to_fit();
-    count.clear();
-    count.shrink_to_fit();
-    overflow = true;
-  }
-
-  void AddValue(double v, int cap) {
-    if (overflow) {
-      sketch.Add(v);
-      return;
-    }
-    const auto it = std::lower_bound(distinct.begin(), distinct.end(), v);
-    if (it != distinct.end() && *it == v) {
-      ++count[static_cast<size_t>(it - distinct.begin())];
-      return;
-    }
-    if (static_cast<int>(distinct.size()) >= cap) {
-      SpillToSketch();
-      sketch.Add(v);
-      return;
-    }
-    count.insert(count.begin() + (it - distinct.begin()), 1);
-    distinct.insert(it, v);
-  }
-
-  void MergeFrom(const ColumnSketch& other, int cap) {
-    if (!overflow && !other.overflow) {
-      std::vector<double> mv;
-      std::vector<int64_t> mc;
-      mv.reserve(distinct.size() + other.distinct.size());
-      mc.reserve(mv.capacity());
-      size_t i = 0, j = 0;
-      while (i < distinct.size() || j < other.distinct.size()) {
-        if (j >= other.distinct.size() ||
-            (i < distinct.size() && distinct[i] < other.distinct[j])) {
-          mv.push_back(distinct[i]);
-          mc.push_back(count[i]);
-          ++i;
-        } else if (i >= distinct.size() ||
-                   other.distinct[j] < distinct[i]) {
-          mv.push_back(other.distinct[j]);
-          mc.push_back(other.count[j]);
-          ++j;
-        } else {
-          mv.push_back(distinct[i]);
-          mc.push_back(count[i] + other.count[j]);
-          ++i;
-          ++j;
-        }
-      }
-      distinct = std::move(mv);
-      count = std::move(mc);
-      if (static_cast<int>(distinct.size()) > cap) SpillToSketch();
-      return;
-    }
-    if (!overflow) SpillToSketch();
-    if (other.overflow) {
-      sketch.Merge(other.sketch);
-    } else {
-      for (size_t k = 0; k < other.distinct.size(); ++k) {
-        sketch.AddWeighted(other.distinct[k], other.count[k]);
-      }
-    }
-  }
-};
-
 void SketchBlock(const double* x, int rows, int m, int cap,
                  std::vector<ColumnSketch>* cols) {
   for (int j = 0; j < m; ++j) {
@@ -159,6 +68,189 @@ void SketchBlock(const double* x, int rows, int m, int cap,
 }
 
 }  // namespace
+
+// One-time spill of the exact pairs into the sketch on cap overflow. The
+// sketch is seeded lazily via weighted inserts the moment the cap breaks,
+// which summarizes the exact same multiset the eager feed would have --
+// with an exactly-known prefix.
+void ColumnSketch::SpillToSketch() {
+  for (size_t i = 0; i < distinct.size(); ++i) {
+    sketch.AddWeighted(distinct[i], count[i]);
+  }
+  distinct.clear();
+  distinct.shrink_to_fit();
+  count.clear();
+  count.shrink_to_fit();
+  overflow = true;
+}
+
+void ColumnSketch::AddValue(double v, int cap) {
+  if (overflow) {
+    sketch.Add(v);
+    return;
+  }
+  const auto it = std::lower_bound(distinct.begin(), distinct.end(), v);
+  if (it != distinct.end() && *it == v) {
+    ++count[static_cast<size_t>(it - distinct.begin())];
+    return;
+  }
+  if (static_cast<int>(distinct.size()) >= cap) {
+    SpillToSketch();
+    sketch.Add(v);
+    return;
+  }
+  count.insert(count.begin() + (it - distinct.begin()), 1);
+  distinct.insert(it, v);
+}
+
+void ColumnSketch::MergeFrom(const ColumnSketch& other, int cap) {
+  if (!overflow && !other.overflow) {
+    std::vector<double> mv;
+    std::vector<int64_t> mc;
+    mv.reserve(distinct.size() + other.distinct.size());
+    mc.reserve(mv.capacity());
+    size_t i = 0, j = 0;
+    while (i < distinct.size() || j < other.distinct.size()) {
+      if (j >= other.distinct.size() ||
+          (i < distinct.size() && distinct[i] < other.distinct[j])) {
+        mv.push_back(distinct[i]);
+        mc.push_back(count[i]);
+        ++i;
+      } else if (i >= distinct.size() ||
+                 other.distinct[j] < distinct[i]) {
+        mv.push_back(other.distinct[j]);
+        mc.push_back(other.count[j]);
+        ++j;
+      } else {
+        mv.push_back(distinct[i]);
+        mc.push_back(count[i] + other.count[j]);
+        ++i;
+        ++j;
+      }
+    }
+    distinct = std::move(mv);
+    count = std::move(mc);
+    if (static_cast<int>(distinct.size()) > cap) SpillToSketch();
+    return;
+  }
+  if (!overflow) SpillToSketch();
+  if (other.overflow) {
+    sketch.Merge(other.sketch);
+  } else {
+    for (size_t k = 0; k < other.distinct.size(); ++k) {
+      sketch.AddWeighted(other.distinct[k], other.count[k]);
+    }
+  }
+}
+
+void ColumnSketch::SerializeTo(util::ByteWriter* out) const {
+  out->U8(overflow ? 1 : 0);
+  if (overflow) {
+    sketch.SerializeTo(out);
+    return;
+  }
+  out->F64(sketch.eps());
+  out->U64(static_cast<uint64_t>(distinct.size()));
+  for (double v : distinct) out->F64(v);
+  for (int64_t c : count) out->U64(static_cast<uint64_t>(c));
+}
+
+Result<ColumnSketch> ColumnSketch::DeserializeFrom(util::ByteReader* in) {
+  const uint8_t overflow = in->U8();
+  if (!in->ok() || overflow > 1) {
+    return Status::InvalidArgument("column summary: corrupt flag");
+  }
+  if (overflow) {
+    Result<QuantileSketch> sketch = QuantileSketch::DeserializeFrom(in);
+    if (!sketch.ok()) return sketch.status();
+    ColumnSketch out(sketch->eps());
+    out.sketch = *std::move(sketch);
+    out.overflow = true;
+    return out;
+  }
+  const double eps = in->F64();
+  const uint64_t size = in->U64();
+  if (!in->ok() || !(eps > 0.0) || eps >= 1.0 ||
+      size > in->remaining() / 16) {  // 8 value + 8 count bytes per pair
+    return Status::InvalidArgument("column summary: corrupt pair list");
+  }
+  ColumnSketch out(eps);
+  out.distinct.resize(static_cast<size_t>(size));
+  out.count.resize(static_cast<size_t>(size));
+  for (size_t i = 0; i < out.distinct.size(); ++i) {
+    out.distinct[i] = in->F64();
+    if (i > 0 && !(out.distinct[i] > out.distinct[i - 1])) {
+      return Status::InvalidArgument("column summary: unsorted values");
+    }
+  }
+  for (size_t i = 0; i < out.count.size(); ++i) {
+    out.count[i] = static_cast<int64_t>(in->U64());
+    if (out.count[i] <= 0) {
+      return Status::InvalidArgument("column summary: non-positive count");
+    }
+  }
+  if (!in->ok()) {
+    return Status::InvalidArgument("column summary: truncated");
+  }
+  return out;
+}
+
+std::vector<double> StreamedBinUpperBounds(ColumnSketch* summary, int64_t n,
+                                           int cap) {
+  std::vector<double> ub;
+  if (!summary->overflow) {
+    ub = std::move(summary->distinct);
+    return ub;
+  }
+  for (int b = 1; b < cap; ++b) {
+    const int64_t rank = static_cast<int64_t>(b) * n / cap;
+    const double v = summary->sketch.QueryRank(rank);
+    if (ub.empty() || v > ub.back()) ub.push_back(v);
+  }
+  // Catch-all last bin; its recorded bounds come from the coding pass.
+  ub.push_back(std::numeric_limits<double>::infinity());
+  return ub;
+}
+
+void BinCodingStats::Reset(size_t bins) {
+  count.assign(bins, 0);
+  vmin.assign(bins, std::numeric_limits<double>::infinity());
+  vmax.assign(bins, -std::numeric_limits<double>::infinity());
+}
+
+void BinCodingStats::MergeFrom(const BinCodingStats& other) {
+  assert(count.size() == other.count.size());
+  for (size_t b = 0; b < count.size(); ++b) {
+    count[b] += other.count[b];
+    vmin[b] = std::min(vmin[b], other.vmin[b]);
+    vmax[b] = std::max(vmax[b], other.vmax[b]);
+  }
+}
+
+ColumnBinLayout AssembleColumnBins(const BinCodingStats& stats, int n) {
+  ColumnBinLayout out;
+  out.remap.assign(stats.count.size(), 0);
+  int live = 0;
+  for (size_t b = 0; b < stats.count.size(); ++b) {
+    out.remap[b] = static_cast<uint8_t>(live);
+    if (stats.count[b] > 0) ++live;
+  }
+  out.live = live;
+  out.first.reserve(static_cast<size_t>(live));
+  out.last.reserve(static_cast<size_t>(live));
+  out.begins.assign(static_cast<size_t>(live) + 1, 0);
+  int rank = 0, slot = 0;
+  for (size_t b = 0; b < stats.count.size(); ++b) {
+    if (stats.count[b] == 0) continue;
+    out.first.push_back(stats.vmin[b]);
+    out.last.push_back(stats.vmax[b]);
+    out.begins[static_cast<size_t>(slot)] = rank;
+    rank += stats.count[b];
+    ++slot;
+  }
+  out.begins[static_cast<size_t>(live)] = n;
+  return out;
+}
 
 std::shared_ptr<const BinnedIndex> BinnedIndex::Build(const ColumnIndex& index,
                                                       int max_bins) {
@@ -351,19 +443,8 @@ Result<StreamedDataset> BinnedIndex::BuildStreamed(
   bool any_sketch = false;
   for (int j = 0; j < m; ++j) {
     ColumnSketch& cs = acc[static_cast<size_t>(j)];
-    std::vector<double>& ub = upper[static_cast<size_t>(j)];
-    if (!cs.overflow) {
-      ub = std::move(cs.distinct);
-      continue;
-    }
-    any_sketch = true;
-    for (int b = 1; b < cap; ++b) {
-      const int64_t rank = static_cast<int64_t>(b) * n / cap;
-      const double v = cs.sketch.QueryRank(rank);
-      if (ub.empty() || v > ub.back()) ub.push_back(v);
-    }
-    // Catch-all last bin; its recorded bounds come from the coding pass.
-    ub.push_back(std::numeric_limits<double>::infinity());
+    any_sketch = any_sketch || cs.overflow;
+    upper[static_cast<size_t>(j)] = StreamedBinUpperBounds(&cs, n, cap);
   }
 
   // --- Pass 2: code every row chunk by chunk, tracking per-bin counts ----
@@ -377,17 +458,10 @@ Result<StreamedDataset> BinnedIndex::BuildStreamed(
   binned->max_bins_ = cap;
   binned->kind_ = any_sketch ? BuildKind::kSketch : BuildKind::kExactPack;
   binned->codes_.resize(static_cast<size_t>(m));
-  std::vector<std::vector<int>> counts(static_cast<size_t>(m));
-  std::vector<std::vector<double>> vmin(static_cast<size_t>(m));
-  std::vector<std::vector<double>> vmax(static_cast<size_t>(m));
+  std::vector<BinCodingStats> stats(static_cast<size_t>(m));
   for (int j = 0; j < m; ++j) {
-    const size_t bins = upper[static_cast<size_t>(j)].size();
     binned->codes_[static_cast<size_t>(j)].reserve(static_cast<size_t>(n));
-    counts[static_cast<size_t>(j)].assign(bins, 0);
-    vmin[static_cast<size_t>(j)].assign(
-        bins, std::numeric_limits<double>::infinity());
-    vmax[static_cast<size_t>(j)].assign(
-        bins, -std::numeric_limits<double>::infinity());
+    stats[static_cast<size_t>(j)].Reset(upper[static_cast<size_t>(j)].size());
   }
 
   auto code_span = std::make_unique<obs::Span>("index.code_pass");
@@ -407,18 +481,12 @@ Result<StreamedDataset> BinnedIndex::BuildStreamed(
     auto code_column = [&, x, rows](int j) {
       const std::vector<double>& ub = upper[static_cast<size_t>(j)];
       std::vector<uint8_t>& codes = binned->codes_[static_cast<size_t>(j)];
-      std::vector<int>& count = counts[static_cast<size_t>(j)];
-      std::vector<double>& lo = vmin[static_cast<size_t>(j)];
-      std::vector<double>& hi = vmax[static_cast<size_t>(j)];
+      BinCodingStats& cs = stats[static_cast<size_t>(j)];
       for (int r = 0; r < rows; ++r) {
         const double v = x[static_cast<size_t>(r) * m + j];
-        size_t b = static_cast<size_t>(
-            std::lower_bound(ub.begin(), ub.end(), v) - ub.begin());
-        if (b == ub.size()) --b;  // non-deterministic source; clamp
-        codes.push_back(static_cast<uint8_t>(b));
-        ++count[b];
-        lo[b] = std::min(lo[b], v);
-        hi[b] = std::max(hi[b], v);
+        const uint8_t b = StreamedCodeOf(ub, v);
+        codes.push_back(b);
+        cs.Observe(b, v);
       }
     };
     if (code_pool != nullptr) {
@@ -442,33 +510,17 @@ Result<StreamedDataset> BinnedIndex::BuildStreamed(
   binned->bin_last_.resize(static_cast<size_t>(m));
   binned->bin_begin_rank_.resize(static_cast<size_t>(m));
   for (int j = 0; j < m; ++j) {
-    const std::vector<int>& count = counts[static_cast<size_t>(j)];
-    std::vector<uint8_t> remap(count.size(), 0);
-    int live = 0;
-    for (size_t b = 0; b < count.size(); ++b) {
-      remap[b] = static_cast<uint8_t>(live);
-      if (count[b] > 0) ++live;
+    ColumnBinLayout layout =
+        AssembleColumnBins(stats[static_cast<size_t>(j)], n);
+    binned->num_bins_[static_cast<size_t>(j)] = layout.live;
+    if (layout.live != static_cast<int>(layout.remap.size())) {
+      for (uint8_t& c : binned->codes_[static_cast<size_t>(j)]) {
+        c = layout.remap[c];
+      }
     }
-    binned->num_bins_[static_cast<size_t>(j)] = live;
-    std::vector<double>& first = binned->bin_first_[static_cast<size_t>(j)];
-    std::vector<double>& last = binned->bin_last_[static_cast<size_t>(j)];
-    std::vector<int>& begins = binned->bin_begin_rank_[static_cast<size_t>(j)];
-    first.reserve(static_cast<size_t>(live));
-    last.reserve(static_cast<size_t>(live));
-    begins.assign(static_cast<size_t>(live) + 1, 0);
-    int rank = 0, out = 0;
-    for (size_t b = 0; b < count.size(); ++b) {
-      if (count[b] == 0) continue;
-      first.push_back(vmin[static_cast<size_t>(j)][b]);
-      last.push_back(vmax[static_cast<size_t>(j)][b]);
-      begins[static_cast<size_t>(out)] = rank;
-      rank += count[b];
-      ++out;
-    }
-    begins[static_cast<size_t>(live)] = n;
-    if (live != static_cast<int>(count.size())) {
-      for (uint8_t& c : binned->codes_[static_cast<size_t>(j)]) c = remap[c];
-    }
+    binned->bin_first_[static_cast<size_t>(j)] = std::move(layout.first);
+    binned->bin_last_[static_cast<size_t>(j)] = std::move(layout.last);
+    binned->bin_begin_rank_[static_cast<size_t>(j)] = std::move(layout.begins);
   }
   binned->BuildOwnPermutation();
   binned->RefreshViews();

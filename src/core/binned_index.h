@@ -27,6 +27,7 @@
 #ifndef REDS_CORE_BINNED_INDEX_H_
 #define REDS_CORE_BINNED_INDEX_H_
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <functional>
@@ -36,6 +37,7 @@
 #include "core/column_index.h"
 #include "core/dataset.h"
 #include "core/dataset_source.h"
+#include "core/quantile_sketch.h"
 #include "util/mmap_file.h"
 #include "util/serialize.h"
 #include "util/status.h"
@@ -100,6 +102,94 @@ struct StreamedBuildOptions {
 };
 
 class BinnedIndex;
+
+/// Per-column accumulator of the streaming sketch pass: a mergeable quantile
+/// sketch plus exact distinct-value tracking up to the bin budget, so
+/// columns with few distinct values get exactly one bin per value (the
+/// equivalence case) without consulting the sketch at all.
+/// While a column stays within the distinct cap, its sorted (value, count)
+/// pairs ARE a lossless summary, and the GK sketch sees nothing. Exact-pair
+/// merges are a sorted multiset union -- commutative and associative -- so
+/// in the exact-pack regime the folded summary (and hence the bins) is
+/// invariant to how rows were split into blocks or shards. Once any side
+/// overflowed, merges go through QuantileSketch::Merge, which is
+/// deterministic in merge order (the shard coordinator folds worker
+/// summaries in worker-index order for reproducibility).
+/// Public (rather than a build-internal detail) because shard workers run
+/// the sketch pass over their block subset and ship the summary to the
+/// coordinator.
+struct ColumnSketch {
+  QuantileSketch sketch;
+  std::vector<double> distinct;  // sorted unique; valid until overflow
+  std::vector<int64_t> count;    // parallel occurrence counts
+  bool overflow = false;
+
+  explicit ColumnSketch(double eps) : sketch(eps) {}
+
+  /// One-time spill of the exact pairs into the sketch on cap overflow.
+  void SpillToSketch();
+
+  void AddValue(double v, int cap);
+
+  void MergeFrom(const ColumnSketch& other, int cap);
+
+  /// Wire form for the shard transport; round-trips the summary state
+  /// exactly (exact pairs or flushed sketch tuples).
+  void SerializeTo(util::ByteWriter* out) const;
+  static Result<ColumnSketch> DeserializeFrom(util::ByteReader* in);
+};
+
+/// Bin upper bounds derived from a finished pass-1 column summary: the
+/// distinct values themselves below the cap, equal-share sketch quantiles
+/// plus a +inf catch-all above it. Consumes the summary's distinct list.
+/// Shared verbatim by BuildStreamed and the shard coordinator so global
+/// bins are derived by the same code in both topologies.
+std::vector<double> StreamedBinUpperBounds(ColumnSketch* summary, int64_t n,
+                                           int cap);
+
+/// One column's pass-2 coding aggregates over the raw-bin space (counts and
+/// exact value ranges per bin). Additive across disjoint row sets: counts
+/// sum, mins min, maxes max -- the property the sharded build rests on.
+struct BinCodingStats {
+  std::vector<int> count;
+  std::vector<double> vmin;
+  std::vector<double> vmax;
+
+  void Reset(size_t bins);
+  void MergeFrom(const BinCodingStats& other);
+  void Observe(size_t bin, double v) {
+    ++count[bin];
+    vmin[bin] = std::min(vmin[bin], v);
+    vmax[bin] = std::max(vmax[bin], v);
+  }
+};
+
+/// Raw-bin code of value `v` against ascending upper bounds: the first bin
+/// whose upper bound is >= v, clamped into range for values beyond the last
+/// bound (non-deterministic sources only).
+inline uint8_t StreamedCodeOf(const std::vector<double>& upper, double v) {
+  size_t b = static_cast<size_t>(
+      std::lower_bound(upper.begin(), upper.end(), v) - upper.begin());
+  if (b == upper.size()) --b;
+  return static_cast<uint8_t>(b);
+}
+
+/// Final per-column bin layout: empty raw bins dropped, exact first/last
+/// bounds, cumulative rank offsets (size live + 1), and the raw-bin ->
+/// final-bin remap. Deterministic function of the coding stats, so shards
+/// that agree on global stats agree on the layout.
+struct ColumnBinLayout {
+  int live = 0;
+  std::vector<uint8_t> remap;   // [raw bin] -> final bin (valid where count>0)
+  std::vector<double> first;    // [final bin]
+  std::vector<double> last;     // [final bin]
+  std::vector<int> begins;      // [final bin] cumulative ranks; size live+1
+};
+
+/// Assembles the final layout from (possibly shard-merged) coding stats over
+/// n total rows. BuildStreamed uses this per column; the shard coordinator
+/// applies it to the fleet-summed stats and gets the identical layout.
+ColumnBinLayout AssembleColumnBins(const BinCodingStats& stats, int n);
 
 /// What streaming ingestion yields: the quantized index, the label vector,
 /// and both fingerprints hashed incrementally over the chunk stream --

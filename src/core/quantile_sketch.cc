@@ -217,4 +217,50 @@ size_t QuantileSketch::SummarySize() const {
   return tuples_.size();
 }
 
+void QuantileSketch::SerializeTo(util::ByteWriter* out) const {
+  Flush();
+  out->F64(eps_);
+  out->U64(static_cast<uint64_t>(n_));
+  out->U64(static_cast<uint64_t>(tuples_.size()));
+  for (const Tuple& t : tuples_) {
+    out->F64(t.v);
+    out->U64(static_cast<uint64_t>(t.g));
+    out->U64(static_cast<uint64_t>(t.delta));
+    out->U8(t.pure ? 1 : 0);
+  }
+}
+
+Result<QuantileSketch> QuantileSketch::DeserializeFrom(util::ByteReader* in) {
+  const double eps = in->F64();
+  const int64_t n = static_cast<int64_t>(in->U64());
+  const uint64_t num_tuples = in->U64();
+  if (!in->ok() || !(eps > 0.0) || eps >= 1.0 || n < 0) {
+    return Status::InvalidArgument("quantile sketch: corrupt header");
+  }
+  if (num_tuples > in->remaining() / 25) {  // 8 + 8 + 8 + 1 bytes per tuple
+    return Status::InvalidArgument("quantile sketch: truncated tuple list");
+  }
+  QuantileSketch sketch(eps);
+  sketch.n_ = n;
+  sketch.tuples_.resize(static_cast<size_t>(num_tuples));
+  int64_t total_g = 0;
+  double prev_v = 0.0;
+  for (size_t i = 0; i < sketch.tuples_.size(); ++i) {
+    Tuple& t = sketch.tuples_[i];
+    t.v = in->F64();
+    t.g = static_cast<int64_t>(in->U64());
+    t.delta = static_cast<int64_t>(in->U64());
+    t.pure = in->U8() != 0;
+    if (t.g < 0 || t.delta < 0 || (i > 0 && t.v < prev_v)) {
+      return Status::InvalidArgument("quantile sketch: invalid tuple");
+    }
+    prev_v = t.v;
+    total_g += t.g;
+  }
+  if (!in->ok() || total_g != n) {
+    return Status::InvalidArgument("quantile sketch: tuple mass mismatch");
+  }
+  return sketch;
+}
+
 }  // namespace reds

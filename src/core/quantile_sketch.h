@@ -20,6 +20,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/serialize.h"
+#include "util/status.h"
+
 namespace reds {
 
 class QuantileSketch {
@@ -58,6 +61,13 @@ class QuantileSketch {
   /// Tuples currently retained (after flushing the insert buffer);
   /// sub-linear in count() -- the whole point.
   size_t SummarySize() const;
+
+  /// Wire form for the shard transport: eps, n and the flushed tuple list.
+  /// Deserialize(Serialize(s)) reproduces the summary state exactly, so a
+  /// coordinator merging shipped worker sketches gets the same result as
+  /// merging the in-process originals in the same order.
+  void SerializeTo(util::ByteWriter* out) const;
+  static Result<QuantileSketch> DeserializeFrom(util::ByteReader* in);
 
  private:
   struct Tuple {

@@ -1,12 +1,19 @@
 #include "engine/discovery_engine.h"
 
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <stdexcept>
+#include <thread>
 
 #include "core/quality.h"
 #include "engine/fingerprint.h"
+#include "shard/coordinator.h"
+#include "shard/source_spec.h"
+#include "shard/worker.h"
 #include "util/fingerprint.h"
 #include "util/rng.h"
 #include "util/simd.h"
@@ -40,6 +47,101 @@ uint64_t CanonicalSeed(uint64_t engine_seed, const MetamodelKey& key) {
 // classifies the job's latency into the warm or cold histogram at the
 // end; coalesced followers never run a worker, so they are always warm.
 thread_local bool t_cold_work = false;
+
+// Sharded execution of a streamed untuned plain-PRIM request: W in-process
+// workers (socketpair transport, one thread each) each ingest a
+// block-stride slice of their own DatasetSource instance; the coordinator
+// merges their sketch summaries into one global bin set and drives the
+// shared peeling loop with one round trip per applied peel. Worker
+// registries fold into the engine registry at the end, so DumpMetrics()
+// reports the whole fleet.
+MethodOutput RunShardedPrimOnSource(const DiscoveryRequest& req,
+                                    const RunOptions& options, int block_rows,
+                                    obs::MetricsRegistry* metrics) {
+  const int workers = req.shard.workers;
+  const auto start = std::chrono::steady_clock::now();
+
+  std::vector<int> coordinator_fds(static_cast<size_t>(workers), -1);
+  std::vector<int> worker_fds(static_cast<size_t>(workers), -1);
+  const auto close_all = [&] {
+    for (int& fd : coordinator_fds) {
+      if (fd >= 0) ::close(fd);
+      fd = -1;
+    }
+    for (int& fd : worker_fds) {
+      if (fd >= 0) ::close(fd);
+      fd = -1;
+    }
+  };
+  for (int w = 0; w < workers; ++w) {
+    int sv[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+      close_all();
+      throw std::runtime_error("sharded request: socketpair failed");
+    }
+    coordinator_fds[static_cast<size_t>(w)] = sv[0];
+    worker_fds[static_cast<size_t>(w)] = sv[1];
+  }
+
+  std::vector<Status> worker_status(static_cast<size_t>(workers),
+                                    Status::OK());
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      std::unique_ptr<DatasetSource> source = req.make_train_source();
+      if (source == nullptr) {
+        worker_status[static_cast<size_t>(w)] = Status::InvalidArgument(
+            "make_train_source returned null in a shard worker");
+        // Closing the fd unblocks the coordinator with an IoError.
+        ::close(worker_fds[static_cast<size_t>(w)]);
+        worker_fds[static_cast<size_t>(w)] = -1;
+        return;
+      }
+      shard::BlockStrideSource strided(std::move(source), block_rows, workers,
+                                       w);
+      worker_status[static_cast<size_t>(w)] =
+          shard::RunShardWorker(worker_fds[static_cast<size_t>(w)], &strided);
+    });
+  }
+
+  StreamedBuildOptions build_options;
+  build_options.block_rows = block_rows;
+  shard::ShardCoordinator coordinator(coordinator_fds, build_options);
+  Status s = coordinator.BuildGlobalBins();
+  Result<PrimResult> r = Status::OK();
+  if (s.ok()) {
+    PrimConfig config;
+    config.alpha = options.default_alpha;
+    config.min_points = options.min_points;
+    r = coordinator.RunPrim(config);
+    s = r.ok() ? Status::OK() : r.status();
+  }
+  if (s.ok()) s = coordinator.CollectMetrics(metrics);
+  coordinator.Shutdown();  // best effort when the protocol already failed
+  for (std::thread& t : threads) t.join();
+  close_all();
+
+  if (!s.ok()) {
+    throw std::runtime_error("sharded discovery failed: " + s.ToString());
+  }
+  for (const Status& ws : worker_status) {
+    if (!ws.ok()) {
+      throw std::runtime_error("shard worker failed: " + ws.ToString());
+    }
+  }
+
+  // The same output shape RunMethodOnStream produces for this method.
+  MethodOutput out;
+  out.chosen_alpha = options.default_alpha;
+  out.chosen_m = coordinator.bins().num_cols;
+  out.trajectory = r->ReturnedBoxes();
+  out.last_box = r->BestBox();
+  out.runtime_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return out;
+}
 
 }  // namespace
 
@@ -654,10 +756,20 @@ void DiscoveryEngine::Execute(const JobHandle& job) {
       }
       if (!spec->reds && !spec->tuned &&
           spec->family == MethodSpec::Family::kPrim) {
-        // Fully streamed: the double matrix never materializes. Warm
-        // engines serve the index from the LRU / persistent tiers.
-        const StreamedTrainData data = IngestSource(source.get());
-        out = RunMethodOnStream(*spec, *data.index, *data.y, options);
+        if (req.shard.workers > 1) {
+          // Sharded: the source's blocks fan out across an in-process
+          // worker fleet; no single thread ever holds the stream.
+          obs::Span span("shard.discovery");
+          source.reset();  // workers pull their own instances
+          out = RunShardedPrimOnSource(req, options,
+                                       config_.stream_block_rows, &metrics_);
+          t_cold_work = true;  // a fleet run never serves from a cache
+        } else {
+          // Fully streamed: the double matrix never materializes. Warm
+          // engines serve the index from the LRU / persistent tiers.
+          const StreamedTrainData data = IngestSource(source.get());
+          out = RunMethodOnStream(*spec, *data.index, *data.y, options);
+        }
       } else {
         // Tuning folds, metamodel training, and the BI/bumping scans need
         // raw doubles: materialize the stream (one pass, the original

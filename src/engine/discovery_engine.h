@@ -108,6 +108,20 @@ struct EngineConfig {
   int stream_block_rows = 8192;
 };
 
+/// Sharded execution plan for a streamed request. With workers > 1, the
+/// engine partitions the source's blocks across that many in-process shard
+/// workers (each pulls its own DatasetSource from make_train_source behind
+/// a block-stride filter) and runs one discovery over the union via the
+/// shard coordinator: global bins from merged quantile sketches, one
+/// round trip per applied PRIM peel, per-worker metrics folded into the
+/// engine registry. Applies to untuned plain-PRIM streamed requests (the
+/// path that never materializes the matrix); other methods ignore it.
+/// Boxes are bit-identical to the single-process streamed run in the
+/// exact-pack regime. Sharded requests are never coalesced.
+struct ShardPlan {
+  int workers = 0;  // <= 1: single-process streaming
+};
+
 /// One unit of work: run `method` on `train` (or on the dataset produced by
 /// `make_train`), optionally evaluating the discovered scenario on `test`.
 struct DiscoveryRequest {
@@ -132,6 +146,9 @@ struct DiscoveryRequest {
   /// agree with the in-memory path's by construction, so eager, lazy, and
   /// streamed requests over bitwise-equal data share every cache tier.
   std::function<std::unique_ptr<DatasetSource>()> make_train_source;
+
+  /// Sharded execution of a make_train_source request (see ShardPlan).
+  ShardPlan shard;
 
   std::string method;  // MethodSpec grammar, e.g. "Pc", "RPxp", "RBIcxp"
   RunOptions options;

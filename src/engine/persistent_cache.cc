@@ -3,6 +3,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cstdio>
 #include <filesystem>
@@ -32,6 +33,22 @@ constexpr uint32_t kFormatVersion = 1;
 // (as PR 2's presorted and PR 3's histogram rework did) -- every stale
 // cache entry is then rejected and rebuilt instead of silently served.
 constexpr uint32_t kAlgorithmRevision = 1;
+
+// Temp-file names: pid + thread-id hash + a process-wide sequence number.
+// The sequence makes every temp name unique even when thread ids recycle
+// or two threads' id hashes collide, so concurrent writers (threads or
+// whole processes, as in a sharded fleet) can never interleave bytes into
+// one temp file.
+std::atomic<uint64_t> g_tmp_seq{0};
+
+std::string TmpName(const std::string& path) {
+  return path + ".tmp-" +
+         std::to_string(static_cast<long long>(::getpid())) + "-" +
+         std::to_string(static_cast<long long>(
+             std::hash<std::thread::id>{}(std::this_thread::get_id()) &
+             0xffffffULL)) +
+         "-" + std::to_string(g_tmp_seq.fetch_add(1));
+}
 
 std::string Hex16(uint64_t v) {
   char buf[17];
@@ -103,6 +120,7 @@ PersistentCache::PersistentCache(std::string dir, uint64_t max_bytes,
   rejected_ = metrics->counter("cache.persistent.rejected");
   evictions_ = metrics->counter("cache.persistent.evictions");
   bytes_evicted_ = metrics->counter("cache.persistent.bytes_evicted");
+  concurrent_wins_ = metrics->counter("cache.persistent.concurrent_wins");
 }
 
 std::string PersistentCache::IndexPath(uint64_t input_fingerprint,
@@ -174,14 +192,12 @@ bool PersistentCache::WritePayload(const std::string& path, uint64_t magic,
   trailer.U64(util::Fnv64(payload.data(), payload.size()));
 
   // Write-then-rename: concurrent readers (and other engine processes)
-  // only ever see complete files. The temp name carries both the pid and
-  // the thread id so two processes (or threads) racing on one entry never
-  // interleave writes into the same temp file.
-  const std::string tmp =
-      path + ".tmp-" + std::to_string(static_cast<long long>(::getpid())) +
-      "-" + std::to_string(static_cast<long long>(
-                std::hash<std::thread::id>{}(std::this_thread::get_id()) &
-                0xffffffULL));
+  // only ever see complete files. The temp name (pid, thread-id hash,
+  // sequence) is unique per write attempt.
+  std::error_code probe;
+  const bool existed_at_start =
+      std::filesystem::exists(path, probe) && !probe;
+  const std::string tmp = TmpName(path);
   {
     std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
     if (!f) return false;
@@ -199,10 +215,30 @@ bool PersistentCache::WritePayload(const std::string& path, uint64_t magic,
       return false;
     }
   }
+  // Multi-process race on one key: a destination that APPEARED while we
+  // were writing is another process's complete entry for the same key --
+  // same bytes (the tier caches deterministic artifacts) -- so keep
+  // theirs, drop ours, and count a win rather than a failure. A file that
+  // already existed when the store began is different: we are refreshing
+  // an entry whose load was just rejected (stale revision, corruption),
+  // and the rename below must replace it.
   std::error_code ec;
+  if (!existed_at_start && std::filesystem::exists(path, ec) && !ec) {
+    concurrent_wins_->Add(1);
+    std::filesystem::remove(tmp, ec);
+    return true;
+  }
   std::filesystem::rename(tmp, path, ec);
   if (ec) {
+    // rename itself lost a race (e.g. directory mutation under us): if the
+    // destination now exists, the entry is in place regardless of whose
+    // bytes won.
+    const bool winner_exists = std::filesystem::exists(path, probe) && !probe;
     std::filesystem::remove(tmp, ec);
+    if (winner_exists) {
+      concurrent_wins_->Add(1);
+      return true;
+    }
     return false;
   }
   return true;
@@ -289,20 +325,29 @@ void PersistentCache::StoreStreamedIndex(uint64_t input_fingerprint,
   // Same write-then-rename discipline as WritePayload, but through the
   // mapped writer: readers only ever mmap complete files.
   const std::string path = StreamedIndexPath(input_fingerprint);
-  const std::string tmp =
-      path + ".tmp-" + std::to_string(static_cast<long long>(::getpid())) +
-      "-" + std::to_string(static_cast<long long>(
-                std::hash<std::thread::id>{}(std::this_thread::get_id()) &
-                0xffffffULL));
+  std::error_code probe;
+  const bool existed_at_start =
+      std::filesystem::exists(path, probe) && !probe;
+  const std::string tmp = TmpName(path);
   if (!index.WriteMapped(tmp, input_fingerprint).ok()) {
     std::error_code cleanup;
     std::filesystem::remove(tmp, cleanup);
     return;
   }
+  // Same concurrent-winner tolerance as WritePayload: an entry that
+  // appeared during our write is another process's win; one that existed
+  // at the start is stale and gets replaced by the rename.
   std::error_code ec;
+  if (!existed_at_start && std::filesystem::exists(path, ec) && !ec) {
+    concurrent_wins_->Add(1);
+    std::filesystem::remove(tmp, ec);
+    return;
+  }
   std::filesystem::rename(tmp, path, ec);
   if (ec) {
+    const bool winner_exists = std::filesystem::exists(path, probe) && !probe;
     std::filesystem::remove(tmp, ec);
+    if (winner_exists) concurrent_wins_->Add(1);
     return;
   }
   index_writes_->Add(1);
@@ -484,6 +529,7 @@ PersistentCacheStats PersistentCache::stats() const {
   s.rejected = static_cast<int>(rejected_->Value());
   s.evictions = static_cast<int>(evictions_->Value());
   s.bytes_evicted = bytes_evicted_->Value();
+  s.concurrent_wins = static_cast<int>(concurrent_wins_->Value());
   return s;
 }
 

@@ -39,6 +39,10 @@ struct PersistentCacheStats {
   int rejected = 0;       // corrupt/truncated/mismatched files refused
   int evictions = 0;      // entries dropped to respect the byte cap
   uint64_t bytes_evicted = 0;  // summed size of the entries dropped
+  /// Stores that found another process's complete entry already in place
+  /// (multi-process races on one key). Counted as a successful store, not
+  /// a failure: the bytes on disk are the same bytes we computed.
+  int concurrent_wins = 0;
 };
 
 class PersistentCache {
@@ -150,6 +154,7 @@ class PersistentCache {
   obs::Counter* rejected_ = nullptr;
   obs::Counter* evictions_ = nullptr;
   obs::Counter* bytes_evicted_ = nullptr;
+  obs::Counter* concurrent_wins_ = nullptr;
 };
 
 }  // namespace reds::engine

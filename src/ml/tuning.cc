@@ -204,56 +204,13 @@ int DefaultMtry(int m) {
   return std::max(1, static_cast<int>(std::sqrt(static_cast<double>(m))));
 }
 
-}  // namespace
-
-std::unique_ptr<Metamodel> FitDefault(MetamodelKind kind, const Dataset& d,
-                                      uint64_t seed, TuningBudget budget,
-                                      const ColumnIndex* index,
-                                      const BinnedIndex* binned,
-                                      SplitBackend backend,
-                                      GrowthPolicy growth, int max_leaves) {
-  const bool full = budget == TuningBudget::kFull;
-  switch (kind) {
-    case MetamodelKind::kRandomForest: {
-      RandomForestConfig config;
-      config.num_trees = full ? 500 : 100;
-      config.backend = backend;
-      config.growth = growth;
-      config.max_leaves = max_leaves;
-      auto model = std::make_unique<RandomForest>(config);
-      model->Fit(d, seed, index, binned);
-      return model;
-    }
-    case MetamodelKind::kGbt: {
-      GbtConfig config;
-      config.num_rounds = full ? 150 : 80;
-      config.max_depth = 4;
-      config.eta = 0.3;
-      config.backend = backend;
-      config.growth = growth;
-      config.max_leaves = max_leaves;
-      auto model = std::make_unique<GradientBoostedTrees>(config);
-      model->Fit(d, seed, index, binned);
-      return model;
-    }
-    case MetamodelKind::kSvm: {
-      SvmConfig config;
-      auto model = std::make_unique<SvmRbf>(config);
-      model->Fit(d, seed);
-      return model;
-    }
-  }
-  return nullptr;
-}
-
-std::unique_ptr<Metamodel> TuneAndFit(MetamodelKind kind, const Dataset& d,
-                                      uint64_t seed,
-                                      const TuningConfig& config,
-                                      const ColumnIndex* index,
-                                      const BinnedIndex* binned) {
-  obs::Span span("metamodel.tune");
+// The deterministic grid enumeration shared by TuneAndFit and the
+// per-cell API (TuningGridSize/TuningCellLoss/TuningCellFit). Cell order
+// is part of the contract: a sharded tuner that evaluates cells remotely
+// and argmins first-wins in cell index order reproduces PickBest exactly.
+std::vector<ModelFactory> BuildTuningGrid(MetamodelKind kind, int m,
+                                          const TuningConfig& config) {
   const bool full = config.budget == TuningBudget::kFull;
-  const int m = d.num_cols();
   std::vector<ModelFactory> grid;
   switch (kind) {
     case MetamodelKind::kRandomForest: {
@@ -309,8 +266,106 @@ std::unique_ptr<Metamodel> TuneAndFit(MetamodelKind kind, const Dataset& d,
       break;
     }
   }
+  return grid;
+}
+
+}  // namespace
+
+std::unique_ptr<Metamodel> FitDefault(MetamodelKind kind, const Dataset& d,
+                                      uint64_t seed, TuningBudget budget,
+                                      const ColumnIndex* index,
+                                      const BinnedIndex* binned,
+                                      SplitBackend backend,
+                                      GrowthPolicy growth, int max_leaves) {
+  const bool full = budget == TuningBudget::kFull;
+  switch (kind) {
+    case MetamodelKind::kRandomForest: {
+      RandomForestConfig config;
+      config.num_trees = full ? 500 : 100;
+      config.backend = backend;
+      config.growth = growth;
+      config.max_leaves = max_leaves;
+      auto model = std::make_unique<RandomForest>(config);
+      model->Fit(d, seed, index, binned);
+      return model;
+    }
+    case MetamodelKind::kGbt: {
+      GbtConfig config;
+      config.num_rounds = full ? 150 : 80;
+      config.max_depth = 4;
+      config.eta = 0.3;
+      config.backend = backend;
+      config.growth = growth;
+      config.max_leaves = max_leaves;
+      auto model = std::make_unique<GradientBoostedTrees>(config);
+      model->Fit(d, seed, index, binned);
+      return model;
+    }
+    case MetamodelKind::kSvm: {
+      SvmConfig config;
+      auto model = std::make_unique<SvmRbf>(config);
+      model->Fit(d, seed);
+      return model;
+    }
+  }
+  return nullptr;
+}
+
+std::unique_ptr<Metamodel> TuneAndFit(MetamodelKind kind, const Dataset& d,
+                                      uint64_t seed,
+                                      const TuningConfig& config,
+                                      const ColumnIndex* index,
+                                      const BinnedIndex* binned) {
+  obs::Span span("metamodel.tune");
+  const std::vector<ModelFactory> grid =
+      BuildTuningGrid(kind, d.num_cols(), config);
   return PickBest(grid, d, seed, config, kind != MetamodelKind::kSvm, index,
                   binned);
+}
+
+int TuningGridSize(MetamodelKind kind, int num_features,
+                   const TuningConfig& config) {
+  return static_cast<int>(BuildTuningGrid(kind, num_features, config).size());
+}
+
+double TuningCellLoss(MetamodelKind kind, int cell, const Dataset& d,
+                      uint64_t seed, const TuningConfig& config,
+                      const ColumnIndex* index, const BinnedIndex* binned) {
+  const std::vector<ModelFactory> grid =
+      BuildTuningGrid(kind, d.num_cols(), config);
+  const bool tree_family = kind != MetamodelKind::kSvm;
+  const std::vector<CvFoldRows> fold_rows =
+      BuildFoldRows(d.num_rows(), config.folds, seed);
+  std::shared_ptr<const ColumnIndex> owned_index;
+  std::shared_ptr<const BinnedIndex> owned_binned;
+  if (tree_family) {
+    if (index == nullptr) {
+      owned_index = ColumnIndex::Build(d);
+      index = owned_index.get();
+    }
+    if (config.backend == SplitBackend::kHistogram && binned == nullptr) {
+      owned_binned = BinnedIndex::Build(*index);
+      binned = owned_binned.get();
+    }
+  }
+  // Same per-cell seed stream as PickBest's grid loop, so a cell's loss is
+  // the same whether it is evaluated here (a shard worker) or inline.
+  return CrossValidateStreamed(grid[static_cast<size_t>(cell)], d, fold_rows,
+                               config.folds,
+                               DeriveSeed(seed, static_cast<uint64_t>(cell)),
+                               index, binned);
+}
+
+std::unique_ptr<Metamodel> TuningCellFit(MetamodelKind kind, int cell,
+                                         const Dataset& d, uint64_t seed,
+                                         const TuningConfig& config,
+                                         const ColumnIndex* index,
+                                         const BinnedIndex* binned) {
+  const std::vector<ModelFactory> grid =
+      BuildTuningGrid(kind, d.num_cols(), config);
+  auto model = grid[static_cast<size_t>(cell)]();
+  model->Fit(d, DeriveSeed(seed, 0xf17ULL), index, binned);
+  return model;
 }
 
 std::unique_ptr<Metamodel> FitMetamodel(MetamodelKind kind, const Dataset& d,

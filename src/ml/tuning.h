@@ -60,6 +60,32 @@ std::unique_ptr<Metamodel> TuneAndFit(MetamodelKind kind, const Dataset& d,
                                       const ColumnIndex* index = nullptr,
                                       const BinnedIndex* binned = nullptr);
 
+/// Cell-level view of TuneAndFit's hyperparameter grid, for sharding the
+/// CV search across workers. The grid enumeration is deterministic in
+/// (kind, num_features, config) with a contractual cell order, so a
+/// coordinator that shards cell indices, collects per-cell losses, and
+/// argmins first-wins in cell order picks exactly PickBest's winner.
+int TuningGridSize(MetamodelKind kind, int num_features,
+                   const TuningConfig& config);
+
+/// Mean CV log-loss of grid cell `cell` under the streamed fold plan, with
+/// the same folds (seed-derived) and per-cell seed stream as TuneAndFit --
+/// evaluating a cell here (e.g. on a shard worker) or inline gives the
+/// same double. Prebuilt full-data indexes of d are reused when given.
+double TuningCellLoss(MetamodelKind kind, int cell, const Dataset& d,
+                      uint64_t seed, const TuningConfig& config,
+                      const ColumnIndex* index = nullptr,
+                      const BinnedIndex* binned = nullptr);
+
+/// Refits grid cell `cell`'s configuration on all of d with TuneAndFit's
+/// refit seed stream: TuningCellFit(kind, winner, ...) reproduces the model
+/// TuneAndFit returns, bit for bit.
+std::unique_ptr<Metamodel> TuningCellFit(MetamodelKind kind, int cell,
+                                         const Dataset& d, uint64_t seed,
+                                         const TuningConfig& config,
+                                         const ColumnIndex* index = nullptr,
+                                         const BinnedIndex* binned = nullptr);
+
 /// Fits the family with library defaults (no tuning). Prebuilt indexes of d
 /// (e.g. the engine's shared per-dataset caches) feed the tree learners'
 /// presorted/histogram split search; when null they build their own.

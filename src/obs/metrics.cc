@@ -187,6 +187,100 @@ HistogramSnapshot MetricsRegistry::HistogramData(
                                    it->second->TakeSnapshot();
 }
 
+void RegistrySnapshot::Merge(const RegistrySnapshot& other) {
+  for (const auto& [name, value] : other.counters) counters[name] += value;
+  for (const auto& [name, value] : other.gauges) gauges[name] = value;
+  for (const auto& [name, snapshot] : other.histograms) {
+    auto [it, inserted] = histograms.try_emplace(name, snapshot);
+    if (!inserted) it->second.Merge(snapshot);
+  }
+}
+
+void RegistrySnapshot::SerializeTo(util::ByteWriter* out) const {
+  out->U64(counters.size());
+  for (const auto& [name, value] : counters) {
+    out->Str(name);
+    out->U64(value);
+  }
+  out->U64(gauges.size());
+  for (const auto& [name, value] : gauges) {
+    out->Str(name);
+    out->U64(static_cast<uint64_t>(value));
+  }
+  out->U64(histograms.size());
+  for (const auto& [name, h] : histograms) {
+    out->Str(name);
+    out->U64(h.count);
+    out->U64(h.sum);
+    out->U64(h.min);
+    out->U64(h.max);
+    out->U64(h.buckets.size());
+    for (uint64_t b : h.buckets) out->U64(b);
+  }
+}
+
+bool RegistrySnapshot::DeserializeFrom(util::ByteReader* in,
+                                       RegistrySnapshot* out) {
+  out->counters.clear();
+  out->gauges.clear();
+  out->histograms.clear();
+  const uint64_t num_counters = in->U64();
+  if (num_counters > in->remaining()) return false;
+  for (uint64_t i = 0; i < num_counters && in->ok(); ++i) {
+    const std::string name = in->Str();
+    out->counters[name] = in->U64();
+  }
+  const uint64_t num_gauges = in->U64();
+  if (num_gauges > in->remaining()) return false;
+  for (uint64_t i = 0; i < num_gauges && in->ok(); ++i) {
+    const std::string name = in->Str();
+    out->gauges[name] = static_cast<int64_t>(in->U64());
+  }
+  const uint64_t num_histograms = in->U64();
+  if (num_histograms > in->remaining()) return false;
+  for (uint64_t i = 0; i < num_histograms && in->ok(); ++i) {
+    const std::string name = in->Str();
+    HistogramSnapshot h;
+    h.count = in->U64();
+    h.sum = in->U64();
+    h.min = in->U64();
+    h.max = in->U64();
+    const uint64_t num_buckets = in->U64();
+    if (!in->ok() || num_buckets > in->remaining() / 8) return false;
+    h.buckets.reserve(static_cast<size_t>(num_buckets));
+    for (uint64_t b = 0; b < num_buckets; ++b) h.buckets.push_back(in->U64());
+    out->histograms[name] = std::move(h);
+  }
+  return in->ok();
+}
+
+RegistrySnapshot MetricsRegistry::TakeSnapshot() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  RegistrySnapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters[name] = counter->Value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges[name] = gauge->Value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms[name] = histogram->TakeSnapshot();
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::MergeSnapshot(const RegistrySnapshot& snapshot) {
+  for (const auto& [name, value] : snapshot.counters) {
+    if (value > 0) counter(name)->Add(value);
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    gauge(name)->Set(value);
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    histogram(name)->MergeFrom(h);
+  }
+}
+
 namespace {
 
 void AppendJsonNumber(std::string* out, double v) {

@@ -26,6 +26,8 @@
 #include <string>
 #include <vector>
 
+#include "util/serialize.h"
+
 namespace reds::obs {
 
 /// Monotonic counter, sharded across cache lines so concurrent writers on
@@ -184,6 +186,23 @@ class ScopedTimer {
 
 enum class ExportFormat { kJson, kPrometheus };
 
+/// Value-type snapshot of a whole registry: every counter/gauge/histogram
+/// by name. Merge folds another snapshot in (counters and histograms add,
+/// gauges take the other side's value when present -- last writer wins,
+/// matching their point-in-time semantics), so per-worker snapshots from a
+/// sharded fleet fold into one associative fleet view. Serialize/
+/// Deserialize round-trip the snapshot through util/serialize for the
+/// shard transport.
+struct RegistrySnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  void Merge(const RegistrySnapshot& other);
+  void SerializeTo(util::ByteWriter* out) const;
+  static bool DeserializeFrom(util::ByteReader* in, RegistrySnapshot* out);
+};
+
 /// Named metrics, one namespace per kind. counter()/gauge()/histogram()
 /// get-or-create and return pointers that stay valid for the registry's
 /// lifetime, so instrumentation sites resolve once at construction and
@@ -203,6 +222,15 @@ class MetricsRegistry {
   int64_t GaugeValue(const std::string& name) const;
   /// Snapshot of a histogram by name; empty when absent.
   HistogramSnapshot HistogramData(const std::string& name) const;
+
+  /// Consistent-enough snapshot of every metric (each metric is read
+  /// atomically; the set is whatever is registered at call time).
+  RegistrySnapshot TakeSnapshot() const;
+
+  /// Folds a snapshot from another registry (typically another process's
+  /// worker registry) into this one: counters Add the delta, gauges Set,
+  /// histograms MergeFrom. Metrics absent here are created.
+  void MergeSnapshot(const RegistrySnapshot& snapshot);
 
   /// Stable JSON: {"counters": {...}, "gauges": {...}, "histograms":
   /// {name: {count, sum, mean, min, max, p50, p90, p95, p99}}}. Keys are

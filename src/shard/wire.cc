@@ -1,0 +1,95 @@
+#include "shard/wire.h"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace reds::shard {
+
+namespace {
+
+Status WriteAll(int fd, const char* data, size_t size) {
+  size_t done = 0;
+  while (done < size) {
+    // MSG_NOSIGNAL: a worker that died mid-protocol must surface as an
+    // IoError (EPIPE), not a process-killing SIGPIPE. Falls back to
+    // write() for non-socket transports (pipes).
+    ssize_t w = ::send(fd, data + done, size - done, MSG_NOSIGNAL);
+    if (w < 0 && errno == ENOTSOCK) {
+      w = ::write(fd, data + done, size - done);
+    }
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("shard wire write: ") +
+                             std::strerror(errno));
+    }
+    if (w == 0) return Status::IoError("shard wire write: zero-byte write");
+    done += static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+Status ReadAllBytes(int fd, char* data, size_t size) {
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t r = ::read(fd, data + done, size - done);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("shard wire read: ") +
+                             std::strerror(errno));
+    }
+    if (r == 0) {
+      return Status::IoError("shard wire read: unexpected end of stream");
+    }
+    done += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteFrame(int fd, MsgType type, const std::string& payload) {
+  util::ByteWriter header;
+  header.U32(static_cast<uint32_t>(payload.size()));
+  header.U8(static_cast<uint8_t>(type));
+  Status s = WriteAll(fd, header.data().data(), header.size());
+  if (!s.ok()) return s;
+  if (payload.empty()) return Status::OK();
+  return WriteAll(fd, payload.data(), payload.size());
+}
+
+Result<Frame> ReadFrame(int fd, size_t max_payload) {
+  char header[5];
+  Status s = ReadAllBytes(fd, header, sizeof(header));
+  if (!s.ok()) return s;
+  util::ByteReader reader(header, sizeof(header));
+  const uint32_t length = reader.U32();
+  const uint8_t type = reader.U8();
+  if (length > max_payload) {
+    return Status::IoError("shard wire read: oversized frame (" +
+                           std::to_string(length) + " bytes)");
+  }
+  Frame frame;
+  frame.type = static_cast<MsgType>(type);
+  frame.payload.resize(length);
+  if (length > 0) {
+    s = ReadAllBytes(fd, frame.payload.data(), length);
+    if (!s.ok()) return s;
+  }
+  return frame;
+}
+
+Result<Frame> ExpectFrame(int fd, MsgType expected, size_t max_payload) {
+  Result<Frame> frame = ReadFrame(fd, max_payload);
+  if (!frame.ok()) return frame;
+  if (frame->type != expected) {
+    return Status::IoError(
+        "shard protocol: expected message type " +
+        std::to_string(static_cast<int>(expected)) + ", got " +
+        std::to_string(static_cast<int>(frame->type)));
+  }
+  return frame;
+}
+
+}  // namespace reds::shard

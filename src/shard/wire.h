@@ -1,0 +1,82 @@
+// Length-prefixed message framing for the shard transport. One frame is
+//   u32 payload length (little endian) | u8 message type | payload bytes
+// written to / read from a plain file descriptor -- a socketpair between
+// coordinator and in-process worker threads, a pipe to a forked worker, or
+// a UNIX domain socket to a separate worker process all look the same
+// here. Payloads are util/serialize byte streams, so everything that
+// crosses the wire reuses the cache tier's (de)serializers and their
+// bounds-checked parsing.
+#ifndef REDS_SHARD_WIRE_H_
+#define REDS_SHARD_WIRE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace reds::shard {
+
+/// Shard protocol message types. The coordinator speaks first; every
+/// request type has one reply type so the protocol is a strict sequence of
+/// (broadcast, gather) rounds and cannot deadlock.
+enum class MsgType : uint8_t {
+  // Binning rounds.
+  kSketchRequest = 1,   // -> worker: run the sketch pass over your shard
+  kSketchReply = 2,     // <- worker: per-column ColumnSketch summaries
+  kBins = 3,            // -> worker: global per-column bin upper bounds
+  kCodingReply = 4,     // <- worker: per-column BinCodingStats
+  kLayout = 5,          // -> worker: final per-column bin layout (remap)
+  kLayoutAck = 6,       // <- worker: local permutation built
+
+  // PRIM rounds.
+  kPeelInit = 7,        // -> worker: build the local peel state
+  kPeelInitReply = 8,   // <- worker: initial local per-bin aggregates
+  kPeel = 9,            // -> worker: apply (dim, side, boundary bin)
+  kPeelReply = 10,      // <- worker: full updated local aggregates
+
+  // Distributed tree-fit rounds.
+  kTreeStart = 11,      // -> worker: init node 0 = all local rows
+  kTreeStartReply = 12, // <- worker: local root moments (sum, sum_sq, n)
+  kTreeHist = 13,       // -> worker: histogram the given node's segment
+  kTreeHistReply = 14,  // <- worker: per-feature local histograms
+  kTreeSplit = 15,      // -> worker: partition a node into two children
+  kTreeSplitReply = 16, // <- worker: both children's local moments
+  kTreeFinish = 17,     // -> worker: drop tree-fit state
+
+  // Sharded CV tuning.
+  kTuneCells = 18,      // -> worker: evaluate these grid cells on D
+  kTuneReply = 19,      // <- worker: per-cell CV losses
+
+  // Fleet observability + teardown.
+  kMetricsRequest = 20, // -> worker: snapshot your registry
+  kMetricsReply = 21,   // <- worker: serialized RegistrySnapshot
+  kShutdown = 22,       // -> worker: exit the serve loop
+};
+
+/// One parsed frame: the type byte plus the raw payload bytes.
+struct Frame {
+  MsgType type = MsgType::kShutdown;
+  std::string payload;
+};
+
+/// Writes one frame to `fd`, looping over partial writes / EINTR.
+Status WriteFrame(int fd, MsgType type, const std::string& payload);
+
+inline Status WriteFrame(int fd, MsgType type, const util::ByteWriter& w) {
+  return WriteFrame(fd, type, w.data());
+}
+
+/// Reads one frame from `fd` (blocking), looping over partial reads /
+/// EINTR. Fails on EOF, short frames, or a declared payload above
+/// `max_payload` (64 MiB default -- far above any real shard message, so a
+/// corrupted length cannot trigger an absurd allocation).
+Result<Frame> ReadFrame(int fd, size_t max_payload = 64ull << 20);
+
+/// Reads one frame and checks its type.
+Result<Frame> ExpectFrame(int fd, MsgType expected,
+                          size_t max_payload = 64ull << 20);
+
+}  // namespace reds::shard
+
+#endif  // REDS_SHARD_WIRE_H_

@@ -50,6 +50,11 @@ class ByteWriter {
     for (uint8_t x : v) U8(x);
   }
 
+  void Str(const std::string& s) {
+    U64(s.size());
+    buf_.append(s);
+  }
+
   const std::string& data() const { return buf_; }
   size_t size() const { return buf_.size(); }
 
@@ -98,6 +103,17 @@ class ByteReader {
   std::vector<double> VecF64() { return Vec<double>(8, [this] { return F64(); }); }
   std::vector<int> VecI32() { return Vec<int>(4, [this] { return I32(); }); }
   std::vector<uint8_t> VecU8() { return Vec<uint8_t>(1, [this] { return U8(); }); }
+
+  std::string Str() {
+    const uint64_t n = U64();
+    if (!ok_ || n > remaining()) {
+      ok_ = false;
+      return {};
+    }
+    std::string s(p_ + pos_, static_cast<size_t>(n));
+    pos_ += static_cast<size_t>(n);
+    return s;
+  }
 
   bool ok() const { return ok_; }
   bool AtEnd() const { return pos_ == size_; }

@@ -109,6 +109,34 @@ TEST(EngineStreamedTest, StreamedAndEagerRedsShareOneMetamodelFit) {
   EXPECT_TRUE(streamed->output().last_box == eager->output().last_box);
 }
 
+TEST(EngineStreamedTest, ShardedPrimMatchesSingleProcessStreamed) {
+  // The same plain-PRIM source request, once through the single-process
+  // streamed path and once fanned out across an in-process worker fleet
+  // (ShardPlan): exact-pack data must yield the identical box, and the
+  // fleet's worker metrics must fold into the engine registry.
+  const auto data = MakeGridData(1200, 4, 8);
+  DiscoveryEngine engine({/*threads=*/2});
+  const auto single = engine.Submit(SourceRequest(data, "P"));
+  DiscoveryRequest sharded_request = SourceRequest(data, "P");
+  sharded_request.shard.workers = 2;
+  const auto sharded = engine.Submit(std::move(sharded_request));
+  engine.WaitAll();
+  ASSERT_EQ(single->state(), JobState::kDone)
+      << (single->state() == JobState::kFailed ? single->error() : "");
+  ASSERT_EQ(sharded->state(), JobState::kDone)
+      << (sharded->state() == JobState::kFailed ? sharded->error() : "");
+  EXPECT_TRUE(sharded->output().last_box == single->output().last_box);
+  ASSERT_EQ(sharded->output().trajectory.size(),
+            single->output().trajectory.size());
+  // The fleet pulled its own source instances; only the single-process job
+  // went through the streamed index tier.
+  EXPECT_EQ(engine.streamed_index_cache_size(), 1);
+  // Worker registries folded into the engine's.
+  const std::string dump = engine.DumpMetrics(obs::ExportFormat::kJson);
+  EXPECT_NE(dump.find("shard.worker.rows"), std::string::npos);
+  EXPECT_NE(dump.find("shard.coordinator.workers"), std::string::npos);
+}
+
 TEST(EngineStreamedTest, RepeatSourceIngestIndexesOnce) {
   const auto data = MakeGridData(800, 3, 3);
   DiscoveryEngine engine({/*threads=*/2});

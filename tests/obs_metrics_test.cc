@@ -4,11 +4,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "util/serialize.h"
 #include "stats/descriptive.h"
 #include "util/rng.h"
 
@@ -272,6 +274,133 @@ TEST(ScopedTimerTest, RecordsIntoHistogram) {
   { ScopedTimer timer(&h); }
   { ScopedTimer timer(nullptr); }  // null histogram: free, no crash
   EXPECT_EQ(h.Count(), 1u);
+}
+
+// --- Cross-registry folding: the shard-fleet aggregation contract. A
+// coordinator folds per-worker RegistrySnapshots into its own registry;
+// counters must fold exactly, histogram quantiles within the bucket bound.
+
+TEST(RegistrySnapshotTest, SerializationRoundTrips) {
+  SKIP_UNDER_NOOP();
+  MetricsRegistry registry;
+  registry.counter("work.items")->Add(12345);
+  registry.counter("work.errors")->Add(2);
+  registry.gauge("pool.size")->Set(-7);
+  Histogram* h = registry.histogram("latency.ns");
+  for (uint64_t v : {3u, 99u, 4096u, 123456789u}) h->Observe(v);
+
+  const RegistrySnapshot snapshot = registry.TakeSnapshot();
+  util::ByteWriter out;
+  snapshot.SerializeTo(&out);
+  util::ByteReader in(out.data());
+  RegistrySnapshot parsed;
+  ASSERT_TRUE(RegistrySnapshot::DeserializeFrom(&in, &parsed));
+  EXPECT_EQ(parsed.counters, snapshot.counters);
+  EXPECT_EQ(parsed.gauges, snapshot.gauges);
+  ASSERT_EQ(parsed.histograms.size(), snapshot.histograms.size());
+  for (const auto& [name, hs] : snapshot.histograms) {
+    ASSERT_TRUE(parsed.histograms.count(name)) << name;
+    EXPECT_TRUE(SnapshotsEqual(parsed.histograms.at(name), hs)) << name;
+  }
+
+  // Truncated wire bytes are rejected, not misparsed.
+  util::ByteReader truncated(out.data().substr(0, out.data().size() / 2));
+  RegistrySnapshot ignored;
+  EXPECT_FALSE(RegistrySnapshot::DeserializeFrom(&truncated, &ignored));
+}
+
+TEST(RegistrySnapshotTest, CrossRegistryCounterFoldIsExact) {
+  // Simulate W worker registries doing disjoint shares of one workload and
+  // fold them into a coordinator registry; totals must equal a
+  // single-process registry doing the whole workload.
+  constexpr int kWorkers = 4;
+  constexpr uint64_t kItems = 1000;
+  MetricsRegistry single;
+  MetricsRegistry coordinator;
+  for (int w = 0; w < kWorkers; ++w) {
+    MetricsRegistry worker;
+    for (uint64_t i = w; i < kItems; i += kWorkers) {
+      worker.counter("work.items")->Add(1);
+      single.counter("work.items")->Add(1);
+      if (i % 97 == 0) {
+        worker.counter("work.retries")->Add(3);
+        single.counter("work.retries")->Add(3);
+      }
+    }
+    worker.gauge("worker.shard")->Set(w);
+    coordinator.MergeSnapshot(worker.TakeSnapshot());
+  }
+  EXPECT_EQ(coordinator.CounterValue("work.items"),
+            single.CounterValue("work.items"));
+  EXPECT_EQ(coordinator.CounterValue("work.retries"),
+            single.CounterValue("work.retries"));
+  // Gauges are last-writer-wins: the final worker's value survives.
+  EXPECT_EQ(coordinator.GaugeValue("worker.shard"), kWorkers - 1);
+}
+
+TEST(RegistrySnapshotTest, FoldedHistogramQuantilesMatchSingleProcess) {
+  SKIP_UNDER_NOOP();
+  // The same observation stream, recorded whole in one registry and
+  // striped across worker registries that fold into a coordinator: the
+  // folded histogram must be bucket-identical, so its quantiles agree with
+  // the single-process ones exactly -- and both sit within the histogram's
+  // 1/kSubBuckets relative bound of the exact sample quantile.
+  constexpr int kWorkers = 3;
+  Rng rng(42);
+  std::vector<double> values;
+  MetricsRegistry single;
+  std::vector<std::unique_ptr<MetricsRegistry>> workers;
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.push_back(std::make_unique<MetricsRegistry>());
+  }
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t v = 1 + rng.UniformInt(10'000'000);
+    values.push_back(static_cast<double>(v));
+    single.histogram("latency.ns")->Observe(v);
+    workers[static_cast<size_t>(i % kWorkers)]
+        ->histogram("latency.ns")
+        ->Observe(v);
+  }
+  MetricsRegistry coordinator;
+  for (const auto& w : workers) {
+    coordinator.MergeSnapshot(w->TakeSnapshot());
+  }
+  const HistogramSnapshot folded = coordinator.HistogramData("latency.ns");
+  const HistogramSnapshot whole = single.HistogramData("latency.ns");
+  EXPECT_TRUE(SnapshotsEqual(folded, whole));
+  for (double p : {0.5, 0.9, 0.95, 0.99}) {
+    EXPECT_EQ(folded.Quantile(p), whole.Quantile(p)) << "p=" << p;
+    const double exact = stats::Quantile(values, p);
+    EXPECT_LE(std::abs(folded.Quantile(p) - exact) / exact,
+              1.0 / Histogram::kSubBuckets + 0.01)
+        << "p=" << p;
+  }
+}
+
+TEST(RegistrySnapshotTest, MergeIsAssociative) {
+  SKIP_UNDER_NOOP();
+  auto make = [](uint64_t c, uint64_t v) {
+    MetricsRegistry r;
+    r.counter("c")->Add(c);
+    r.histogram("h")->Observe(v);
+    return r.TakeSnapshot();
+  };
+  const RegistrySnapshot a = make(1, 10);
+  const RegistrySnapshot b = make(2, 2000);
+  const RegistrySnapshot c = make(4, 300000);
+
+  RegistrySnapshot left = a;   // (a + b) + c
+  left.Merge(b);
+  left.Merge(c);
+  RegistrySnapshot bc = b;     // a + (b + c)
+  bc.Merge(c);
+  RegistrySnapshot right = a;
+  right.Merge(bc);
+  EXPECT_EQ(left.counters, right.counters);
+  EXPECT_EQ(left.gauges, right.gauges);
+  ASSERT_EQ(left.histograms.size(), right.histograms.size());
+  EXPECT_TRUE(SnapshotsEqual(left.histograms.at("h"),
+                             right.histograms.at("h")));
 }
 
 }  // namespace

@@ -7,6 +7,9 @@
 // examples/streaming_discovery as two separate processes).
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
@@ -371,6 +374,132 @@ TEST(PersistentCacheTest, EngineExposesEvictionCounter) {
   engine.Shutdown();
   EXPECT_EQ(engine.persistent_cache_stats().index_writes, 2);
   EXPECT_GE(engine.persistent_cache_stats().evictions, 1);
+}
+
+// --- Multi-process hardening: several processes sharing one cache
+// directory must never corrupt it, whatever the interleaving.
+
+// Counts files in `dir` whose name contains `needle`.
+int CountFilesContaining(const std::string& dir, const std::string& needle) {
+  int n = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().filename().string().find(needle) != std::string::npos) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+// Four processes hammer the same two cache keys (an exact-pack entry and a
+// streamed entry) with identical bytes while also loading them back. Temp
+// files carry a pid/seq suffix so writers never clobber each other's
+// in-progress file; renames are atomic so readers only ever observe a
+// complete entry. Every load in every process must return valid data, and
+// the directory must end clean: one file per entry, no orphaned temps.
+TEST(PersistentCacheMultiProcessTest, ConcurrentSameKeyStoresStayValid) {
+  const std::string dir = FreshCacheDir("mproc");
+  const auto data = std::make_shared<Dataset>(MakeData(300, 3, 21));
+  const auto index = BinnedIndex::Build(*data);
+  MatrixSource source(data);
+  const auto streamed = BinnedIndex::BuildStreamed(&source);
+  ASSERT_TRUE(streamed.ok());
+
+  constexpr int kProcesses = 4;
+  constexpr int kIters = 30;
+  constexpr uint64_t kPackKey = 101;
+  constexpr uint64_t kStreamKey = 202;
+
+  std::vector<pid_t> children;
+  for (int p = 0; p < kProcesses; ++p) {
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      // Child: its own cache instance over the shared directory. Exit
+      // codes signal the first failed check; _exit avoids running gtest
+      // teardown in the forked copy.
+      engine::PersistentCache cache(dir);
+      for (int i = 0; i < kIters; ++i) {
+        cache.StoreBinnedIndex(kPackKey, *index);
+        cache.StoreStreamedIndex(kStreamKey, *streamed->index);
+        const auto pack = cache.LoadBinnedIndex(
+            kPackKey, BinnedIndex::BuildKind::kExactPack, 300, 3);
+        if (pack == nullptr || pack->codes(0) != index->codes(0)) _exit(2);
+        const auto stream = cache.LoadStreamedIndex(kStreamKey, 300, 3);
+        if (stream == nullptr ||
+            stream->codes(0) != streamed->index->codes(0)) {
+          _exit(3);
+        }
+      }
+      // Rejections would mean a reader observed a torn file.
+      _exit(cache.stats().rejected == 0 ? 0 : 4);
+    }
+    children.push_back(pid);
+  }
+  for (const pid_t pid : children) {
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0);
+  }
+
+  // The directory ends clean: the two entries, no .tmp- orphans.
+  EXPECT_EQ(CountFilesContaining(dir, ".tmp-"), 0);
+  EXPECT_EQ(CountFilesContaining(dir, ""), 2);
+
+  // And a fresh instance (a later process) still loads both.
+  engine::PersistentCache after(dir);
+  EXPECT_NE(after.LoadBinnedIndex(kPackKey,
+                                  BinnedIndex::BuildKind::kExactPack, 300, 3),
+            nullptr);
+  EXPECT_NE(after.LoadStreamedIndex(kStreamKey, 300, 3), nullptr);
+  EXPECT_EQ(after.stats().rejected, 0);
+}
+
+// A pre-existing entry that fails validation must be REPLACED by the next
+// store -- never preserved as a "concurrent winner". (The win heuristic
+// only applies to files that appear while our own write is in flight;
+// files already present when the store starts are stale by definition:
+// the engine only stores after a load missed.)
+TEST(PersistentCacheMultiProcessTest, StaleEntryIsReplacedNotPreserved) {
+  const std::string dir = FreshCacheDir("stale");
+  const Dataset d = MakeData(250, 3, 22);
+  const auto index = BinnedIndex::Build(d);
+  engine::PersistentCache cache(dir);
+  cache.StoreBinnedIndex(55, *index);
+
+  // Another "process revision" left garbage under the same name.
+  std::string file;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    file = entry.path().string();
+  }
+  ASSERT_FALSE(file.empty());
+  {
+    std::ofstream f(file, std::ios::binary | std::ios::trunc);
+    f << "not a cache entry";
+  }
+  EXPECT_EQ(cache.LoadBinnedIndex(55, BinnedIndex::BuildKind::kExactPack,
+                                  250, 3),
+            nullptr);
+  EXPECT_GE(cache.stats().rejected, 1);
+
+  // The re-store must overwrite the garbage, and the next load must hit.
+  cache.StoreBinnedIndex(55, *index);
+  EXPECT_EQ(cache.stats().concurrent_wins, 0);
+  const auto reloaded = cache.LoadBinnedIndex(
+      55, BinnedIndex::BuildKind::kExactPack, 250, 3);
+  ASSERT_NE(reloaded, nullptr);
+  EXPECT_EQ(reloaded->codes(0), index->codes(0));
+}
+
+// The concurrent-win counter surfaces through stats() and the engine's
+// metric registry name.
+TEST(PersistentCacheMultiProcessTest, ConcurrentWinCounterIsExposed) {
+  const std::string dir = FreshCacheDir("winctr");
+  obs::MetricsRegistry metrics;
+  engine::PersistentCache cache(dir, 0, &metrics);
+  EXPECT_EQ(cache.stats().concurrent_wins, 0);
+  metrics.counter("cache.persistent.concurrent_wins")->Add(3);
+  EXPECT_EQ(cache.stats().concurrent_wins, 3);
 }
 
 }  // namespace
