@@ -17,6 +17,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
@@ -40,6 +41,8 @@
 #include "ml/metrics.h"
 #include "ml/random_forest.h"
 #include "ml/tuning.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "shard/coordinator.h"
@@ -852,6 +855,203 @@ KernelResult BenchEngineCoalescedBatch(const PerfFlags& flags) {
   return result;
 }
 
+// --- Serving over the wire: the socket tax on a warm request. The same ---
+// warm eager RPx request submitted straight into the engine (reference)
+// vs through DiscoveryServer's epoll loop over a unix socket (optimized
+// column = full wire roundtrip: encode, decode pool, admission, epoll
+// write-back). Speedup < 1 IS the measurement -- it bounds the serving
+// overhead -- and the wire answer must match the in-process box exactly.
+KernelResult BenchNetWarmRoundtrip(const PerfFlags& flags) {
+  KernelResult result;
+  result.name = "net_warm_roundtrip";
+  result.detail = "RPx warm L=" + std::to_string(flags.l_points) +
+                  " d=" + std::to_string(flags.dims) + " unix-socket";
+
+  engine::EngineConfig engine_config;
+  engine_config.threads = flags.threads;
+  engine_config.enable_persistent_cache = false;
+  engine::DiscoveryEngine engine(engine_config);
+  net::ServerConfig server_config;
+  server_config.address =
+      "unix:/tmp/reds_bench_warm_" + std::to_string(::getpid()) + ".sock";
+  // Result cache off: this kernel bounds the socket tax on a real warm
+  // *engine* run, so the repeats must reach the engine, not replay.
+  server_config.result_cache_entries = 0;
+  net::DiscoveryServer server(&engine, server_config);
+  if (!server.Start().ok()) {
+    result.identical = false;
+    return result;
+  }
+  net::NetClient client;
+  if (!client.Connect(server.address()).ok() ||
+      !client.Hello("bench_perf_kernels").ok()) {
+    result.identical = false;
+    return result;
+  }
+
+  uint64_t next_id = 1;
+  net::SubmitRequest wire =
+      net::MakeSubmit(0, "RPx", net::DataMode::kEager, flags.n_train,
+                      flags.dims, flags.seed + 23, 0.05, flags.l_points);
+  const auto wire_once = [&]() -> Box {
+    net::SubmitRequest request = wire;
+    request.request_id = next_id++;
+    auto outcome = client.Submit(request);
+    auto reply = client.WaitResult(request.request_id);
+    if (!outcome.ok() || !reply.ok() || reply->done.failed) return Box();
+    return reply->done.last_box;
+  };
+
+  // The exact dataset the server materializes from the spec, for the
+  // in-process run.
+  auto source = shard::MakeSource(wire.source, 1, 0);
+  const auto train = std::make_shared<const Dataset>(
+      std::move(ReadAll(source->get(), wire.source.block_rows).value()));
+  const auto direct_once = [&]() -> Box {
+    engine::DiscoveryRequest request;
+    request.train = train;
+    request.method = wire.method;
+    request.options.default_alpha = wire.alpha;
+    request.options.min_points = wire.min_points;
+    request.options.l_prim = wire.l_prim;
+    request.options.seed = wire.options_seed;
+    request.options.tune_metamodel = false;
+    engine::JobHandle job = engine.Submit(std::move(request));
+    job->Wait();
+    return job->state() == engine::JobState::kDone ? job->output().last_box
+                                                   : Box();
+  };
+
+  Box warm_box = wire_once();  // cold pass: warm every cache, untimed
+  Box direct_box = warm_box, wire_box = warm_box;
+  result.reference_seconds =
+      TimeBest(flags.reps, [&] { direct_box = direct_once(); });
+  result.optimized_seconds =
+      TimeBest(flags.reps, [&] { wire_box = wire_once(); });
+  result.identical = wire_box.dim() > 0 && wire_box == direct_box &&
+                     wire_box == warm_box;
+  return result;
+}
+
+// --- Serving over the wire: concurrency past one connection. The same ----
+// warm request set issued one-at-a-time on a single connection
+// (reference) vs pipelined from several client threads at once
+// (optimized). Identical completed specs replay from the result cache and
+// identical in-flight specs coalesce, so concurrent clients scale
+// throughput instead of re-running discoveries; every reply must carry
+// the serial run's box.
+KernelResult BenchNetSaturationThroughput(const PerfFlags& flags) {
+  KernelResult result;
+  result.name = "net_saturation_throughput";
+  const int total = flags.quick ? 24 : 64;
+  const int clients = std::min(8, std::max(2, flags.threads));
+  const int pool = 4;  // distinct specs cycled through the request stream
+  result.detail = "RPx x" + std::to_string(total) + " pool=" +
+                  std::to_string(pool) + " conns=" + std::to_string(clients);
+
+  engine::EngineConfig engine_config;
+  engine_config.threads = flags.threads;
+  engine_config.enable_persistent_cache = false;
+  engine::DiscoveryEngine engine(engine_config);
+  net::ServerConfig server_config;
+  server_config.address =
+      "unix:/tmp/reds_bench_sat_" + std::to_string(::getpid()) + ".sock";
+  net::DiscoveryServer server(&engine, server_config);
+  if (!server.Start().ok()) {
+    result.identical = false;
+    return result;
+  }
+
+  const auto spec_for = [&](int slot) {
+    return net::MakeSubmit(0, "RPx", net::DataMode::kEager,
+                           flags.n_train / 2, flags.dims,
+                           flags.seed + 31 + static_cast<uint64_t>(slot),
+                           0.05, flags.l_points);
+  };
+
+  // Warm pass, untimed: one run per distinct spec fills every cache and
+  // records the reference box each later reply must reproduce.
+  std::vector<Box> expected;
+  {
+    net::NetClient client;
+    if (!client.Connect(server.address()).ok() ||
+        !client.Hello("warmup").ok()) {
+      result.identical = false;
+      return result;
+    }
+    for (int slot = 0; slot < pool; ++slot) {
+      net::SubmitRequest request = spec_for(slot);
+      request.request_id = static_cast<uint64_t>(slot) + 1;
+      if (!client.Submit(request).ok()) {
+        result.identical = false;
+        return result;
+      }
+      auto reply = client.WaitResult(request.request_id);
+      if (!reply.ok() || reply->done.failed) {
+        result.identical = false;
+        return result;
+      }
+      expected.push_back(reply->done.last_box);
+    }
+  }
+
+  std::atomic<bool> agree{true};
+  const auto run_span = [&](net::NetClient* client, uint64_t id_base,
+                            int begin, int end) {
+    // Pipelined: submit the whole span, then collect -- in-flight depth is
+    // the span length, which is what saturates the loop.
+    for (int i = begin; i < end; ++i) {
+      net::SubmitRequest request = spec_for(i % pool);
+      request.request_id = id_base + static_cast<uint64_t>(i);
+      auto outcome = client->Submit(request);
+      if (!outcome.ok() ||
+          outcome->kind != net::SubmitOutcome::Kind::kAdmitted) {
+        agree = false;
+        return;
+      }
+    }
+    for (int i = begin; i < end; ++i) {
+      auto reply = client->WaitResult(id_base + static_cast<uint64_t>(i));
+      if (!reply.ok() || reply->done.failed ||
+          !(reply->done.last_box == expected[i % pool])) {
+        agree = false;
+        return;
+      }
+    }
+  };
+
+  result.reference_seconds = TimeBest(flags.reps, [&] {
+    net::NetClient client;
+    if (!client.Connect(server.address()).ok() ||
+        !client.Hello("serial").ok()) {
+      agree = false;
+      return;
+    }
+    for (int i = 0; i < total; ++i) {  // strictly one in flight
+      run_span(&client, 1000, i, i + 1);
+    }
+  });
+  result.optimized_seconds = TimeBest(flags.reps, [&] {
+    std::vector<std::thread> threads;
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        net::NetClient client;
+        if (!client.Connect(server.address()).ok() ||
+            !client.Hello("conn" + std::to_string(c)).ok()) {
+          agree = false;
+          return;
+        }
+        const int per = (total + clients - 1) / clients;
+        run_span(&client, 100000ull * static_cast<uint64_t>(c + 1),
+                 c * per, std::min(total, (c + 1) * per));
+      });
+    }
+    for (auto& t : threads) t.join();
+  });
+  result.identical = agree.load();
+  return result;
+}
+
 void WriteJson(const PerfFlags& flags, const std::vector<KernelResult>& results,
                std::FILE* stream) {
   std::fprintf(stream, "{\n");
@@ -1131,6 +1331,9 @@ int main(int argc, char** argv) {
   maybe("engine_coalesced_batch",
         [&] { return BenchEngineCoalescedBatch(flags); });
   maybe("shard_scaling", [&] { return BenchShardScaling(flags); });
+  maybe("net_warm_roundtrip", [&] { return BenchNetWarmRoundtrip(flags); });
+  maybe("net_saturation_throughput",
+        [&] { return BenchNetSaturationThroughput(flags); });
 
   bool all_ok = true;
   for (const auto& r : results) all_ok = all_ok && r.Ok();

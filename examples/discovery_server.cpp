@@ -1,0 +1,145 @@
+// Standalone discovery server: DiscoveryEngine + DiscoveryServer behind
+// one binary, the deployable shape of the engine. Clients speak the
+// length-prefixed frame protocol (src/net/protocol.h) over a unix or TCP
+// socket; admission control is set from the command line.
+//
+//   ./build/examples/discovery_server --listen unix:/tmp/reds.sock
+//   ./build/examples/discovery_server --listen tcp:127.0.0.1:7433 \
+//       --threads 8 --queue-depth 16 --client-quota 8 --keepalive-ms 30000
+//
+// SIGINT/SIGTERM (or --max-seconds) stop it gracefully: the listener
+// closes, admitted jobs finish, and --metrics-out receives a final
+// MetricsRegistry JSON dump covering both the engine and the net layer.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "engine/discovery_engine.h"
+#include "net/server.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void HandleSignal(int) { g_stop.store(true); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace reds;
+
+  std::string listen = "tcp:127.0.0.1:7433";
+  int threads = 0;  // hardware concurrency
+  int decode_threads = 2;
+  int queue_depth = 0;
+  int client_quota = 0;
+  int keepalive_ms = 0;
+  int retry_after_ms = 50;
+  int result_cache = 32;
+  double max_seconds = 0.0;
+  std::string metrics_out;
+
+  auto next_value = [&](int* i) -> const char* {
+    if (*i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", argv[*i]);
+      std::exit(2);
+    }
+    return argv[++*i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--listen") {
+      listen = next_value(&i);
+    } else if (arg == "--threads") {
+      threads = std::atoi(next_value(&i));
+    } else if (arg == "--decode-threads") {
+      decode_threads = std::atoi(next_value(&i));
+    } else if (arg == "--queue-depth") {
+      queue_depth = std::atoi(next_value(&i));
+    } else if (arg == "--client-quota") {
+      client_quota = std::atoi(next_value(&i));
+    } else if (arg == "--keepalive-ms") {
+      keepalive_ms = std::atoi(next_value(&i));
+    } else if (arg == "--retry-after-ms") {
+      retry_after_ms = std::atoi(next_value(&i));
+    } else if (arg == "--result-cache") {
+      result_cache = std::atoi(next_value(&i));
+    } else if (arg == "--max-seconds") {
+      max_seconds = std::atof(next_value(&i));
+    } else if (arg == "--metrics-out") {
+      metrics_out = next_value(&i);
+    } else if (arg == "--help") {
+      std::printf(
+          "usage: discovery_server [--listen unix:PATH|tcp:host:port] "
+          "[--threads N] [--decode-threads N] [--queue-depth N] "
+          "[--client-quota N] [--keepalive-ms MS] [--retry-after-ms MS] "
+          "[--result-cache N] [--max-seconds S] "
+          "[--metrics-out metrics.json]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag %s (see --help)\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  engine::EngineConfig engine_config;
+  engine_config.threads = threads;
+  engine::DiscoveryEngine engine(engine_config);
+
+  net::ServerConfig server_config;
+  server_config.address = listen;
+  server_config.decode_threads = decode_threads;
+  server_config.max_queue_depth = queue_depth;
+  server_config.max_inflight_per_client = client_quota;
+  server_config.keepalive_ms = keepalive_ms;
+  server_config.retry_after_ms = static_cast<uint32_t>(retry_after_ms);
+  server_config.result_cache_entries =
+      static_cast<size_t>(std::max(0, result_cache));
+  net::DiscoveryServer server(&engine, server_config);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "cannot start: %s\n", started.ToString().c_str());
+    return 1;
+  }
+
+  struct sigaction sa {};
+  sa.sa_handler = HandleSignal;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+
+  std::printf("discovery server listening on %s (%d engine threads",
+              server.address().c_str(), engine.threads());
+  if (queue_depth > 0) std::printf(", queue depth %d", queue_depth);
+  if (client_quota > 0) std::printf(", client quota %d", client_quota);
+  std::printf(")\n");
+  std::fflush(stdout);
+
+  const auto start = std::chrono::steady_clock::now();
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (max_seconds > 0.0 &&
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+                .count() >= max_seconds) {
+      break;
+    }
+  }
+
+  std::printf("shutting down\n");
+  server.Stop();
+  engine.WaitAll();
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out);
+    out << engine.metrics().ToJson();
+    std::printf("wrote %s\n", metrics_out.c_str());
+  }
+  return 0;
+}

@@ -192,22 +192,39 @@ void Job::MarkRunning() {
 }
 
 void Job::MarkDone(MethodOutput output, MetricSet metrics) {
+  std::vector<std::function<void()>> callbacks;
   {
     std::unique_lock<std::mutex> lock(mutex_);
     output_ = std::move(output);
     metrics_ = metrics;
     state_ = JobState::kDone;
+    callbacks.swap(on_finish_);
   }
   done_.notify_all();
+  for (const auto& fn : callbacks) fn();
 }
 
 void Job::MarkFailed(std::string error) {
+  std::vector<std::function<void()>> callbacks;
   {
     std::unique_lock<std::mutex> lock(mutex_);
     error_ = std::move(error);
     state_ = JobState::kFailed;
+    callbacks.swap(on_finish_);
   }
   done_.notify_all();
+  for (const auto& fn : callbacks) fn();
+}
+
+void Job::NotifyOnFinish(std::function<void()> fn) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (state_ != JobState::kDone && state_ != JobState::kFailed) {
+      on_finish_.push_back(std::move(fn));
+      return;
+    }
+  }
+  fn();  // already finished: run on the caller, outside the lock
 }
 
 namespace {
@@ -233,6 +250,7 @@ DiscoveryEngine::DiscoveryEngine(EngineConfig config)
   jobs_completed_ = metrics_.counter("engine.jobs.completed");
   jobs_failed_ = metrics_.counter("engine.jobs.failed");
   jobs_coalesced_ = metrics_.counter("engine.jobs.coalesced");
+  inflight_leaders_ = metrics_.gauge("engine.jobs.inflight_leaders");
   job_latency_ = metrics_.histogram("engine.job.latency_ns");
   job_warm_latency_ = metrics_.histogram("engine.job.warm_latency_ns");
   job_cold_latency_ = metrics_.histogram("engine.job.cold_latency_ns");
@@ -277,12 +295,15 @@ JobHandle DiscoveryEngine::Submit(DiscoveryRequest request) {
         &metrics_);
   }
   if (config_.coalesce_requests && TryCoalesce(job)) return job;
+  // Leader (or coalescing-ineligible) job: it owns a pool slot from here
+  // until its Execute returns. Coalesced followers never touch the gauge.
+  inflight_leaders_->Add(1);
   pool_.Submit([this, job] { Execute(job); });
   return job;
 }
 
-bool DiscoveryEngine::TryCoalesce(const JobHandle& job) {
-  const DiscoveryRequest& req = job->request();
+bool DiscoveryEngine::ComputeCoalesceKey(const DiscoveryRequest& req,
+                                         uint64_t* key) {
   // Eligible requests are those whose MethodOutput is a pure function of
   // (training bytes, method, the options below): eagerly supplied data
   // only (factories and sources may be stateful and are invoked lazily),
@@ -320,7 +341,13 @@ bool DiscoveryEngine::TryCoalesce(const JobHandle& job) {
   w.I32(o.stream_block_rows);
   w.U64(o.sampler_id.size());
   for (char c : o.sampler_id) w.U8(static_cast<uint8_t>(c));
-  const uint64_t key = util::Fnv64(w.data().data(), w.size());
+  *key = util::Fnv64(w.data().data(), w.size());
+  return true;
+}
+
+bool DiscoveryEngine::TryCoalesce(const JobHandle& job) {
+  uint64_t key = 0;
+  if (!ComputeCoalesceKey(job->request(), &key)) return false;
 
   std::unique_lock<std::mutex> lock(coalesce_mutex_);
   const auto it = coalescing_.find(key);
@@ -346,6 +373,18 @@ std::vector<JobHandle> DiscoveryEngine::TakeCoalesced(const JobHandle& job) {
   std::vector<JobHandle> followers = std::move(it->second);
   coalescing_.erase(it);
   return followers;
+}
+
+bool DiscoveryEngine::WouldCoalesce(const DiscoveryRequest& request) const {
+  if (!config_.coalesce_requests) return false;
+  uint64_t key = 0;
+  if (!ComputeCoalesceKey(request, &key)) return false;
+  std::unique_lock<std::mutex> lock(coalesce_mutex_);
+  return coalescing_.find(key) != coalescing_.end();
+}
+
+int DiscoveryEngine::inflight_leader_jobs() const {
+  return static_cast<int>(inflight_leaders_->Value());
 }
 
 std::vector<JobHandle> DiscoveryEngine::SubmitBatch(
@@ -853,6 +892,7 @@ void DiscoveryEngine::Execute(const JobHandle& job) {
           .count());
   job_latency_->Observe(leader_ns);
   (t_cold_work ? job_cold_latency_ : job_warm_latency_)->Observe(leader_ns);
+  inflight_leaders_->Add(-1);  // the pool slot is free again
   if (!trace_dir_.empty()) {
     // The root span has closed; persist the finished traces (followers
     // carry only the job.coalesced marker -- the proof they did no work).

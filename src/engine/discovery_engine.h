@@ -197,6 +197,14 @@ class Job {
   /// trace_dir. Stable (and complete) once Finished().
   const obs::Trace* trace() const { return trace_.get(); }
 
+  /// Registers `fn` to run exactly once when the job reaches kDone or
+  /// kFailed -- immediately, on the calling thread, when it already has;
+  /// otherwise on whichever worker thread completes it (for coalesced
+  /// followers, the leader's). The net service's completion fan-in: the
+  /// callback writes a wakeup byte, so keep it cheap and never let it
+  /// block or re-enter the engine.
+  void NotifyOnFinish(std::function<void()> fn);
+
  private:
   friend class DiscoveryEngine;
 
@@ -218,6 +226,7 @@ class Job {
   MethodOutput output_;
   MetricSet metrics_;
   std::string error_;
+  std::vector<std::function<void()>> on_finish_;  // drained at completion
 };
 
 using JobHandle = std::shared_ptr<Job>;
@@ -265,6 +274,22 @@ class DiscoveryEngine {
   void ClearMetamodelCache() { cache_.Clear(); }
   const EngineConfig& config() const { return config_; }
   int threads() const { return pool_.num_threads(); }
+
+  /// Jobs currently holding (or queued for) a worker-pool slot: every
+  /// scheduled leader and non-coalescible job from Submit until its
+  /// Execute returns. Coalesced followers never appear -- they ride their
+  /// leader's slot -- which makes this the admission-control signal for
+  /// the net front end: a coalesced burst of N admits with one slot.
+  /// Mirrored in the `engine.jobs.inflight_leaders` gauge.
+  int inflight_leader_jobs() const;
+
+  /// True when an identical coalescing-eligible request is in flight
+  /// right now, i.e. submitting `request` would attach it to a leader
+  /// instead of taking a pool slot. Advisory: the window can close
+  /// between this call and Submit (the request then becomes a fresh
+  /// leader against warm caches), so callers must treat it as a hint --
+  /// the net service uses it to exempt followers from queue-depth caps.
+  bool WouldCoalesce(const DiscoveryRequest& request) const;
 
   /// Number of distinct column indexes currently cached.
   int column_index_cache_size() const;
@@ -320,6 +345,10 @@ class DiscoveryEngine {
 
  private:
   void Execute(const JobHandle& job);
+  /// The single-flight identity of an eligible request (see TryCoalesce
+  /// for the eligibility rules); false when the request can never coalesce.
+  static bool ComputeCoalesceKey(const DiscoveryRequest& request,
+                                 uint64_t* key);
   /// Attaches `job` to an identical in-flight leader (true: the caller
   /// must not schedule it) or registers it as the new leader of its key
   /// (false: schedule normally). False for coalescing-ineligible requests.
@@ -346,6 +375,7 @@ class DiscoveryEngine {
   obs::Counter* jobs_completed_ = nullptr;
   obs::Counter* jobs_failed_ = nullptr;
   obs::Counter* jobs_coalesced_ = nullptr;  // followers attached to a leader
+  obs::Gauge* inflight_leaders_ = nullptr;  // pool-slot holders right now
   obs::Histogram* job_latency_ = nullptr;  // ns, per finished job
   // Warm/cold split of job latency: a job is cold when its worker thread
   // performed any cold work (metamodel fit or disk load, index build or

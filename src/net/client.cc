@@ -1,0 +1,352 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <functional>
+
+namespace reds::net {
+
+namespace {
+
+std::string Encode(const std::function<void(util::ByteWriter*)>& fn) {
+  util::ByteWriter w;
+  fn(&w);
+  return w.data();
+}
+
+}  // namespace
+
+Status NetClient::Connect(const std::string& address) {
+  if (fd_ >= 0) return Status::FailedPrecondition("net client: already connected");
+  if (address.rfind("unix:", 0) == 0) {
+    const std::string path = address.substr(5);
+    sockaddr_un sa{};
+    if (path.empty() || path.size() >= sizeof(sa.sun_path)) {
+      return Status::InvalidArgument("net client: bad unix socket path: " +
+                                     path);
+    }
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) {
+      return Status::IoError(std::string("net client: socket: ") +
+                             std::strerror(errno));
+    }
+    sa.sun_family = AF_UNIX;
+    std::memcpy(sa.sun_path, path.c_str(), path.size());
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+      const std::string err = std::strerror(errno);
+      Close();
+      return Status::IoError("net client: connect " + path + ": " + err);
+    }
+    return Status::OK();
+  }
+  if (address.rfind("tcp:", 0) == 0) {
+    const std::string rest = address.substr(4);
+    const size_t colon = rest.rfind(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("net client: tcp address needs a port: " +
+                                     address);
+    }
+    const std::string host = rest.substr(0, colon);
+    const int port = std::atoi(rest.c_str() + colon + 1);
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) {
+      return Status::IoError(std::string("net client: socket: ") +
+                             std::strerror(errno));
+    }
+    sockaddr_in sa{};
+    sa.sin_family = AF_INET;
+    sa.sin_port = htons(static_cast<uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &sa.sin_addr) != 1) {
+      Close();
+      return Status::InvalidArgument("net client: bad tcp host in " + address);
+    }
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+      const std::string err = std::strerror(errno);
+      Close();
+      return Status::IoError("net client: connect " + address + ": " + err);
+    }
+    // Request/reply framing benefits from immediate small writes.
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return Status::OK();
+  }
+  return Status::InvalidArgument(
+      "net client: address must be unix:PATH or tcp:host:port, got " +
+      address);
+}
+
+void NetClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  stash_.clear();
+}
+
+Status NetClient::FinishWrites() {
+  if (fd_ < 0) return Status::FailedPrecondition("net client: not connected");
+  if (::shutdown(fd_, SHUT_WR) != 0) {
+    return Status::IoError(std::string("net client: shutdown: ") +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Result<shard::Frame> NetClient::NextReply(
+    std::initializer_list<shard::MsgType> wanted) {
+  for (auto it = stash_.begin(); it != stash_.end(); ++it) {
+    for (shard::MsgType type : wanted) {
+      if (it->type == type) {
+        shard::Frame frame = std::move(*it);
+        stash_.erase(it);
+        return frame;
+      }
+    }
+  }
+  if (fd_ < 0) return Status::FailedPrecondition("net client: not connected");
+  return shard::ReadFrame(fd_, max_frame_bytes_);
+}
+
+Result<HelloAck> NetClient::Hello(const std::string& client_name) {
+  HelloRequest hello;
+  hello.client_name = client_name;
+  Status s = shard::WriteFrame(
+      fd_, shard::MsgType::kHello,
+      Encode([&](util::ByteWriter* w) { hello.SerializeTo(w); }));
+  if (!s.ok()) return s;
+  Result<shard::Frame> frame = NextReply(
+      {shard::MsgType::kHelloAck, shard::MsgType::kError});
+  if (!frame.ok()) return frame.status();
+  if (frame->type == shard::MsgType::kError) {
+    Result<ErrorReply> err = ErrorReply::Parse(frame->payload);
+    return Status::IoError("net client: hello rejected: " +
+                           (err.ok() ? err->message : std::string("?")));
+  }
+  if (frame->type != shard::MsgType::kHelloAck) {
+    return Status::IoError("net client: expected hello-ack, got type " +
+                           std::to_string(static_cast<int>(frame->type)));
+  }
+  return HelloAck::Parse(frame->payload);
+}
+
+Result<SubmitOutcome> NetClient::Submit(const SubmitRequest& request) {
+  Status s = shard::WriteFrame(
+      fd_, shard::MsgType::kSubmit,
+      Encode([&](util::ByteWriter* w) { request.SerializeTo(w); }));
+  if (!s.ok()) return s;
+  for (;;) {
+    Result<shard::Frame> frame =
+        NextReply({shard::MsgType::kSubmitAck, shard::MsgType::kShed,
+                   shard::MsgType::kError});
+    if (!frame.ok()) return frame.status();
+    switch (frame->type) {
+      case shard::MsgType::kSubmitAck: {
+        Result<SubmitAck> ack = SubmitAck::Parse(frame->payload);
+        if (!ack.ok()) return ack.status();
+        if (ack->request_id != request.request_id) {
+          return Status::IoError("net client: submit-ack for unexpected id");
+        }
+        SubmitOutcome outcome;
+        outcome.kind = SubmitOutcome::Kind::kAdmitted;
+        outcome.flags = ack->flags;
+        return outcome;
+      }
+      case shard::MsgType::kShed: {
+        Result<ShedReply> shed = ShedReply::Parse(frame->payload);
+        if (!shed.ok()) return shed.status();
+        if (shed->request_id != request.request_id) {
+          return Status::IoError("net client: shed for unexpected id");
+        }
+        SubmitOutcome outcome;
+        outcome.kind = SubmitOutcome::Kind::kShed;
+        outcome.retry_after_ms = shed->retry_after_ms;
+        outcome.message = shed->reason;
+        return outcome;
+      }
+      case shard::MsgType::kError: {
+        Result<ErrorReply> err = ErrorReply::Parse(frame->payload);
+        if (!err.ok()) return err.status();
+        SubmitOutcome outcome;
+        outcome.kind = SubmitOutcome::Kind::kRejected;
+        outcome.message = err->message;
+        return outcome;
+      }
+      case shard::MsgType::kResultBoxes:
+      case shard::MsgType::kResultDone:
+        // Completion of an earlier request racing ahead of this admission
+        // reply; keep it for its WaitResult.
+        stash_.push_back(std::move(*frame));
+        continue;
+      default:
+        return Status::IoError(
+            "net client: unexpected frame type " +
+            std::to_string(static_cast<int>(frame->type)) +
+            " while awaiting submit reply");
+    }
+  }
+}
+
+Result<RequestResult> NetClient::WaitResult(uint64_t request_id) {
+  RequestResult result;
+  // Serve stashed frames for this id first, in arrival order.
+  for (;;) {
+    bool progressed = false;
+    for (auto it = stash_.begin(); it != stash_.end();) {
+      if (it->type == shard::MsgType::kResultBoxes) {
+        Result<ResultBoxes> boxes = ResultBoxes::Parse(it->payload);
+        if (boxes.ok() && boxes->request_id == request_id) {
+          for (Box& box : boxes->boxes) result.boxes.push_back(std::move(box));
+          it = stash_.erase(it);
+          progressed = true;
+          continue;
+        }
+      } else if (it->type == shard::MsgType::kResultDone) {
+        Result<ResultDone> done = ResultDone::Parse(it->payload);
+        if (done.ok() && done->request_id == request_id) {
+          result.done = std::move(*done);
+          stash_.erase(it);
+          return result;
+        }
+      }
+      ++it;
+    }
+    if (!progressed) break;
+  }
+  for (;;) {
+    if (fd_ < 0) return Status::FailedPrecondition("net client: not connected");
+    Result<shard::Frame> frame = shard::ReadFrame(fd_, max_frame_bytes_);
+    if (!frame.ok()) return frame.status();
+    if (frame->type == shard::MsgType::kResultBoxes) {
+      Result<ResultBoxes> boxes = ResultBoxes::Parse(frame->payload);
+      if (!boxes.ok()) return boxes.status();
+      if (boxes->request_id == request_id) {
+        for (Box& box : boxes->boxes) result.boxes.push_back(std::move(box));
+      } else {
+        stash_.push_back(std::move(*frame));
+      }
+      continue;
+    }
+    if (frame->type == shard::MsgType::kResultDone) {
+      Result<ResultDone> done = ResultDone::Parse(frame->payload);
+      if (!done.ok()) return done.status();
+      if (done->request_id == request_id) {
+        result.done = std::move(*done);
+        return result;
+      }
+      stash_.push_back(std::move(*frame));
+      continue;
+    }
+    if (frame->type == shard::MsgType::kError) {
+      Result<ErrorReply> err = ErrorReply::Parse(frame->payload);
+      return Status::IoError("net client: server error: " +
+                             (err.ok() ? err->message : std::string("?")));
+    }
+    // Anything else (pong, status replies) belongs to interleaved calls
+    // this client does not make while waiting; stash defensively.
+    stash_.push_back(std::move(*frame));
+  }
+}
+
+Result<StatusReply> NetClient::PollStatus(uint64_t request_id) {
+  StatusPoll poll;
+  poll.request_id = request_id;
+  Status s = shard::WriteFrame(
+      fd_, shard::MsgType::kStatusPoll,
+      Encode([&](util::ByteWriter* w) { poll.SerializeTo(w); }));
+  if (!s.ok()) return s;
+  for (;;) {
+    Result<shard::Frame> frame =
+        NextReply({shard::MsgType::kStatusReply, shard::MsgType::kError});
+    if (!frame.ok()) return frame.status();
+    if (frame->type == shard::MsgType::kStatusReply) {
+      Result<StatusReply> reply = StatusReply::Parse(frame->payload);
+      if (!reply.ok()) return reply.status();
+      if (reply->request_id == request_id) return reply;
+      continue;  // stale reply for an older poll; keep reading
+    }
+    if (frame->type == shard::MsgType::kResultBoxes ||
+        frame->type == shard::MsgType::kResultDone) {
+      stash_.push_back(std::move(*frame));
+      continue;
+    }
+    return Status::IoError("net client: unexpected frame type " +
+                           std::to_string(static_cast<int>(frame->type)) +
+                           " while awaiting status reply");
+  }
+}
+
+Result<std::string> NetClient::Scrape(ScrapeFormat format) {
+  MetricsScrape scrape;
+  scrape.format = format;
+  Status s = shard::WriteFrame(
+      fd_, shard::MsgType::kMetricsScrape,
+      Encode([&](util::ByteWriter* w) { scrape.SerializeTo(w); }));
+  if (!s.ok()) return s;
+  for (;;) {
+    Result<shard::Frame> frame =
+        NextReply({shard::MsgType::kMetricsDump, shard::MsgType::kError});
+    if (!frame.ok()) return frame.status();
+    if (frame->type == shard::MsgType::kMetricsDump) {
+      Result<MetricsDump> dump = MetricsDump::Parse(frame->payload);
+      if (!dump.ok()) return dump.status();
+      return dump->body;
+    }
+    if (frame->type == shard::MsgType::kResultBoxes ||
+        frame->type == shard::MsgType::kResultDone) {
+      stash_.push_back(std::move(*frame));
+      continue;
+    }
+    if (frame->type == shard::MsgType::kError) {
+      Result<ErrorReply> err = ErrorReply::Parse(frame->payload);
+      return Status::IoError("net client: scrape rejected: " +
+                             (err.ok() ? err->message : std::string("?")));
+    }
+    return Status::IoError("net client: unexpected frame type " +
+                           std::to_string(static_cast<int>(frame->type)) +
+                           " while awaiting metrics dump");
+  }
+}
+
+Status NetClient::Ping() {
+  Status s = shard::WriteFrame(fd_, shard::MsgType::kPing, std::string());
+  if (!s.ok()) return s;
+  for (;;) {
+    Result<shard::Frame> frame =
+        NextReply({shard::MsgType::kPong, shard::MsgType::kError});
+    if (!frame.ok()) return frame.status();
+    if (frame->type == shard::MsgType::kPong) return Status::OK();
+    if (frame->type == shard::MsgType::kResultBoxes ||
+        frame->type == shard::MsgType::kResultDone) {
+      stash_.push_back(std::move(*frame));
+      continue;
+    }
+    return Status::IoError("net client: unexpected frame type " +
+                           std::to_string(static_cast<int>(frame->type)) +
+                           " while awaiting pong");
+  }
+}
+
+SubmitRequest MakeSubmit(uint64_t request_id, const std::string& method,
+                         DataMode mode, int64_t rows, int dims, uint64_t seed,
+                         double alpha, int l_prim) {
+  SubmitRequest request;
+  request.request_id = request_id;
+  request.method = method;
+  request.data_mode = mode;
+  request.source.kind = shard::SourceSpec::Kind::kSynthetic;
+  request.source.rows = rows;
+  request.source.dims = dims;
+  request.source.seed = seed;
+  request.alpha = alpha;
+  request.l_prim = l_prim;
+  return request;
+}
+
+}  // namespace reds::net

@@ -1,0 +1,99 @@
+// NetClient: a blocking discovery-service client over the frame protocol.
+// One connection, any number of requests in flight -- the server
+// interleaves reply frames for different request ids on the same socket,
+// so the client demultiplexes: frames for the id a caller is waiting on
+// are consumed, frames for other ids are stashed and served to their own
+// waiters later. Single-threaded by design (the load harness runs one
+// NetClient per simulated client thread); not thread-safe.
+#ifndef REDS_NET_CLIENT_H_
+#define REDS_NET_CLIENT_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "net/protocol.h"
+#include "shard/wire.h"
+#include "util/status.h"
+
+namespace reds::net {
+
+/// What Submit() came back with: admitted (ack + flags), shed (retry
+/// hint), or rejected in-band (error message; the connection survives).
+struct SubmitOutcome {
+  enum class Kind { kAdmitted, kShed, kRejected };
+
+  Kind kind = Kind::kRejected;
+  uint8_t flags = 0;          // kAdmitted: SubmitAck flags
+  uint32_t retry_after_ms = 0;  // kShed
+  std::string message;          // kShed reason / kRejected error
+};
+
+/// A request's terminal reply plus any streamed trajectory chunks.
+struct RequestResult {
+  ResultDone done;
+  std::vector<Box> boxes;  // in trajectory order; empty unless requested
+};
+
+class NetClient {
+ public:
+  NetClient() = default;
+  ~NetClient() { Close(); }
+
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  /// Connects to "unix:PATH" or "tcp:host:port" (blocking socket).
+  Status Connect(const std::string& address);
+
+  /// Performs the version handshake; must be the first exchange.
+  Result<HelloAck> Hello(const std::string& client_name);
+
+  /// Sends one submit and waits for its admission reply (ack, shed, or
+  /// in-band error). Result frames of other in-flight ids arriving first
+  /// are stashed, not lost.
+  Result<SubmitOutcome> Submit(const SubmitRequest& request);
+
+  /// Blocks until `request_id`'s kResultDone arrives, collecting its
+  /// streamed box chunks on the way.
+  Result<RequestResult> WaitResult(uint64_t request_id);
+
+  Result<StatusReply> PollStatus(uint64_t request_id);
+
+  /// Fetches the server's metrics registry in the requested format.
+  Result<std::string> Scrape(ScrapeFormat format);
+
+  Status Ping();
+
+  /// Half-closes the write side, letting the server drain pending results
+  /// before it hangs up. Readers (WaitResult) still work afterwards.
+  Status FinishWrites();
+
+  void Close();
+
+  bool connected() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+ private:
+  /// Next frame a reply-wait loop should examine: the first stashed frame
+  /// whose type is in `wanted`, else a fresh read from the socket. Reply
+  /// loops re-stash unmatched result frames, so they must never be handed
+  /// a frame the same call already stashed -- popping the stash blindly
+  /// would cycle those frames forever without touching the socket.
+  Result<shard::Frame> NextReply(std::initializer_list<shard::MsgType> wanted);
+
+  int fd_ = -1;
+  std::deque<shard::Frame> stash_;  // frames read while waiting for others
+  size_t max_frame_bytes_ = 64ull << 20;
+};
+
+/// Fills the wire options of a SubmitRequest from the common knobs; the
+/// harness and tests share it so requests stay comparable.
+SubmitRequest MakeSubmit(uint64_t request_id, const std::string& method,
+                         DataMode mode, int64_t rows, int dims, uint64_t seed,
+                         double alpha, int l_prim);
+
+}  // namespace reds::net
+
+#endif  // REDS_NET_CLIENT_H_

@@ -1,0 +1,269 @@
+#include "net/protocol.h"
+
+namespace reds::net {
+
+namespace {
+
+Status Malformed(const char* what) {
+  return Status::IoError(std::string("net protocol: malformed ") + what +
+                         " payload");
+}
+
+}  // namespace
+
+void WriteBox(util::ByteWriter* out, const Box& box) {
+  out->U32(static_cast<uint32_t>(box.dim()));
+  for (int j = 0; j < box.dim(); ++j) {
+    out->F64(box.lo(j));
+    out->F64(box.hi(j));
+  }
+}
+
+Result<Box> ReadBox(util::ByteReader* in) {
+  const uint32_t dim = in->U32();
+  // Each dimension costs 16 bytes; reject declared dims the remaining
+  // bytes cannot possibly back before allocating anything.
+  if (!in->ok() || dim > in->remaining() / 16) {
+    return Status::IoError("net protocol: malformed box");
+  }
+  Box box = Box::Unbounded(static_cast<int>(dim));
+  for (uint32_t j = 0; j < dim; ++j) {
+    box.set_lo(static_cast<int>(j), in->F64());
+    box.set_hi(static_cast<int>(j), in->F64());
+  }
+  if (!in->ok()) return Status::IoError("net protocol: malformed box");
+  return box;
+}
+
+void HelloRequest::SerializeTo(util::ByteWriter* out) const {
+  out->U32(version);
+  out->Str(client_name);
+}
+
+Result<HelloRequest> HelloRequest::Parse(const std::string& payload) {
+  util::ByteReader in(payload);
+  HelloRequest msg;
+  msg.version = in.U32();
+  msg.client_name = in.Str();
+  if (!in.ok()) return Malformed("hello");
+  return msg;
+}
+
+void HelloAck::SerializeTo(util::ByteWriter* out) const {
+  out->U32(version);
+  out->U32(max_inflight_per_client);
+  out->U32(max_queue_depth);
+  out->U64(max_frame_bytes);
+  out->I32(engine_threads);
+}
+
+Result<HelloAck> HelloAck::Parse(const std::string& payload) {
+  util::ByteReader in(payload);
+  HelloAck msg;
+  msg.version = in.U32();
+  msg.max_inflight_per_client = in.U32();
+  msg.max_queue_depth = in.U32();
+  msg.max_frame_bytes = in.U64();
+  msg.engine_threads = in.I32();
+  if (!in.ok()) return Malformed("hello-ack");
+  return msg;
+}
+
+void SubmitRequest::SerializeTo(util::ByteWriter* out) const {
+  out->U64(request_id);
+  out->Str(method);
+  out->U8(static_cast<uint8_t>(data_mode));
+  source.SerializeTo(out);
+  out->F64(alpha);
+  out->I32(min_points);
+  out->I32(l_prim);
+  out->U64(options_seed);
+  out->U8(tune_metamodel ? 1 : 0);
+  out->U8(want_boxes ? 1 : 0);
+}
+
+Result<SubmitRequest> SubmitRequest::Parse(const std::string& payload) {
+  util::ByteReader in(payload);
+  SubmitRequest msg;
+  msg.request_id = in.U64();
+  msg.method = in.Str();
+  const uint8_t mode = in.U8();
+  if (mode > static_cast<uint8_t>(DataMode::kStreamedSource)) {
+    return Malformed("submit (data mode)");
+  }
+  msg.data_mode = static_cast<DataMode>(mode);
+  Result<shard::SourceSpec> spec = shard::SourceSpec::DeserializeFrom(&in);
+  if (!spec.ok()) return spec.status();
+  msg.source = *spec;
+  msg.alpha = in.F64();
+  msg.min_points = in.I32();
+  msg.l_prim = in.I32();
+  msg.options_seed = in.U64();
+  msg.tune_metamodel = in.U8() != 0;
+  msg.want_boxes = in.U8() != 0;
+  if (!in.ok()) return Malformed("submit");
+  return msg;
+}
+
+void SubmitAck::SerializeTo(util::ByteWriter* out) const {
+  out->U64(request_id);
+  out->U8(flags);
+}
+
+Result<SubmitAck> SubmitAck::Parse(const std::string& payload) {
+  util::ByteReader in(payload);
+  SubmitAck msg;
+  msg.request_id = in.U64();
+  msg.flags = in.U8();
+  if (!in.ok()) return Malformed("submit-ack");
+  return msg;
+}
+
+void ShedReply::SerializeTo(util::ByteWriter* out) const {
+  out->U64(request_id);
+  out->U32(retry_after_ms);
+  out->Str(reason);
+}
+
+Result<ShedReply> ShedReply::Parse(const std::string& payload) {
+  util::ByteReader in(payload);
+  ShedReply msg;
+  msg.request_id = in.U64();
+  msg.retry_after_ms = in.U32();
+  msg.reason = in.Str();
+  if (!in.ok()) return Malformed("shed");
+  return msg;
+}
+
+void StatusPoll::SerializeTo(util::ByteWriter* out) const {
+  out->U64(request_id);
+}
+
+Result<StatusPoll> StatusPoll::Parse(const std::string& payload) {
+  util::ByteReader in(payload);
+  StatusPoll msg;
+  msg.request_id = in.U64();
+  if (!in.ok()) return Malformed("status-poll");
+  return msg;
+}
+
+void StatusReply::SerializeTo(util::ByteWriter* out) const {
+  out->U64(request_id);
+  out->U8(static_cast<uint8_t>(state));
+  out->Str(error);
+}
+
+Result<StatusReply> StatusReply::Parse(const std::string& payload) {
+  util::ByteReader in(payload);
+  StatusReply msg;
+  msg.request_id = in.U64();
+  const uint8_t state = in.U8();
+  if (state > static_cast<uint8_t>(WireJobState::kUnknown)) {
+    return Malformed("status-reply (state)");
+  }
+  msg.state = static_cast<WireJobState>(state);
+  msg.error = in.Str();
+  if (!in.ok()) return Malformed("status-reply");
+  return msg;
+}
+
+void ResultBoxes::SerializeTo(util::ByteWriter* out) const {
+  out->U64(request_id);
+  out->U32(first_index);
+  out->U32(static_cast<uint32_t>(boxes.size()));
+  for (const Box& box : boxes) WriteBox(out, box);
+}
+
+Result<ResultBoxes> ResultBoxes::Parse(const std::string& payload) {
+  util::ByteReader in(payload);
+  ResultBoxes msg;
+  msg.request_id = in.U64();
+  msg.first_index = in.U32();
+  const uint32_t count = in.U32();
+  // A box is at least 4 bytes (its dim header); bound the reserve.
+  if (!in.ok() || count > in.remaining() / 4) {
+    return Malformed("result-boxes (count)");
+  }
+  msg.boxes.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Result<Box> box = ReadBox(&in);
+    if (!box.ok()) return box.status();
+    msg.boxes.push_back(std::move(*box));
+  }
+  if (!in.ok()) return Malformed("result-boxes");
+  return msg;
+}
+
+void ResultDone::SerializeTo(util::ByteWriter* out) const {
+  out->U64(request_id);
+  out->U8(failed ? 1 : 0);
+  out->Str(error);
+  WriteBox(out, last_box);
+  out->U32(trajectory_len);
+  out->I32(restricted);
+  out->F64(runtime_seconds);
+  out->U64(server_latency_ns);
+  out->U8(flags);
+}
+
+Result<ResultDone> ResultDone::Parse(const std::string& payload) {
+  util::ByteReader in(payload);
+  ResultDone msg;
+  msg.request_id = in.U64();
+  msg.failed = in.U8() != 0;
+  msg.error = in.Str();
+  Result<Box> box = ReadBox(&in);
+  if (!box.ok()) return box.status();
+  msg.last_box = std::move(*box);
+  msg.trajectory_len = in.U32();
+  msg.restricted = in.I32();
+  msg.runtime_seconds = in.F64();
+  msg.server_latency_ns = in.U64();
+  msg.flags = in.U8();
+  if (!in.ok()) return Malformed("result-done");
+  return msg;
+}
+
+void MetricsScrape::SerializeTo(util::ByteWriter* out) const {
+  out->U8(static_cast<uint8_t>(format));
+}
+
+Result<MetricsScrape> MetricsScrape::Parse(const std::string& payload) {
+  util::ByteReader in(payload);
+  MetricsScrape msg;
+  const uint8_t format = in.U8();
+  if (format > static_cast<uint8_t>(ScrapeFormat::kPrometheus)) {
+    return Malformed("metrics-scrape (format)");
+  }
+  msg.format = static_cast<ScrapeFormat>(format);
+  if (!in.ok()) return Malformed("metrics-scrape");
+  return msg;
+}
+
+void MetricsDump::SerializeTo(util::ByteWriter* out) const {
+  out->Str(body);
+}
+
+Result<MetricsDump> MetricsDump::Parse(const std::string& payload) {
+  util::ByteReader in(payload);
+  MetricsDump msg;
+  msg.body = in.Str();
+  if (!in.ok()) return Malformed("metrics-dump");
+  return msg;
+}
+
+void ErrorReply::SerializeTo(util::ByteWriter* out) const {
+  out->U64(request_id);
+  out->Str(message);
+}
+
+Result<ErrorReply> ErrorReply::Parse(const std::string& payload) {
+  util::ByteReader in(payload);
+  ErrorReply msg;
+  msg.request_id = in.U64();
+  msg.message = in.Str();
+  if (!in.ok()) return Malformed("error");
+  return msg;
+}
+
+}  // namespace reds::net

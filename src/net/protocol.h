@@ -1,0 +1,199 @@
+// Payload layouts of the client-facing discovery service (frame types
+// shard::MsgType 64+; framing itself lives in shard/wire.h). Every payload
+// is a util/serialize byte stream parsed with the same bounds-checked
+// ByteReader the cache tier uses, so a hostile peer's truncated or
+// corrupted payload fails parsing softly instead of crashing or
+// over-allocating. The request model is deliberately declarative: a client
+// names a deterministic synthetic dataset (shard::SourceSpec) plus a
+// method and a few knobs, never ships raw bytes to execute -- the server
+// materializes or streams the data itself, which is what lets identical
+// requests share every engine cache tier and coalesce across connections.
+#ifndef REDS_NET_PROTOCOL_H_
+#define REDS_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/box.h"
+#include "shard/source_spec.h"
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace reds::net {
+
+/// Bumped on any incompatible payload change; the handshake rejects
+/// mismatches before any request is interpreted.
+constexpr uint32_t kProtocolVersion = 1;
+
+/// How the server ingests the request's dataset.
+enum class DataMode : uint8_t {
+  /// Materialize the spec into an in-memory Dataset (server-side LRU, one
+  /// materialization per distinct spec). Eager requests are coalescing-
+  /// eligible: identical concurrent submissions ride one engine job.
+  kEager = 0,
+  /// Hand the engine a DatasetSource factory: the streaming data plane
+  /// ingests it (O(block) residency, streamed-index + relabel-stream
+  /// caches). Never coalesced, but warm repeats skip all cold work.
+  kStreamedSource = 1,
+};
+
+struct HelloRequest {
+  uint32_t version = kProtocolVersion;
+  std::string client_name;
+
+  void SerializeTo(util::ByteWriter* out) const;
+  static Result<HelloRequest> Parse(const std::string& payload);
+};
+
+struct HelloAck {
+  uint32_t version = kProtocolVersion;
+  uint32_t max_inflight_per_client = 0;  // 0 = unlimited
+  uint32_t max_queue_depth = 0;          // 0 = unlimited
+  uint64_t max_frame_bytes = 0;
+  int32_t engine_threads = 0;
+
+  void SerializeTo(util::ByteWriter* out) const;
+  static Result<HelloAck> Parse(const std::string& payload);
+};
+
+/// One discovery submission. `request_id` is chosen by the client (unique
+/// per connection) and echoed on every reply frame, so one connection can
+/// keep several requests in flight and demultiplex the interleaved
+/// responses.
+struct SubmitRequest {
+  uint64_t request_id = 0;
+  std::string method;  // MethodSpec grammar, e.g. "P", "RPx"
+  DataMode data_mode = DataMode::kEager;
+  shard::SourceSpec source;  // kSynthetic only; the server rejects kCsv
+  double alpha = 0.05;
+  int32_t min_points = 20;
+  int32_t l_prim = 10000;  // REDS relabeled-point budget
+  uint64_t options_seed = 0;
+  bool tune_metamodel = false;
+  bool want_boxes = false;  // stream the trajectory, not just the last box
+
+  void SerializeTo(util::ByteWriter* out) const;
+  static Result<SubmitRequest> Parse(const std::string& payload);
+};
+
+/// SubmitAck flag bit: the request was admitted as a coalesced follower of
+/// an identical in-flight job -- it burns no pool slot and was therefore
+/// exempt from the queue-depth cap.
+constexpr uint8_t kAdmitCoalescedExempt = 1;
+
+/// SubmitAck flag bit: an identical request already completed and the
+/// reply was replayed from the server's result cache. Requests are fully
+/// declarative and deterministic, so the replay is the answer the engine
+/// would recompute; no pool slot is burned and admission caps are
+/// bypassed.
+constexpr uint8_t kAdmitResultCached = 2;
+
+struct SubmitAck {
+  uint64_t request_id = 0;
+  uint8_t flags = 0;
+
+  void SerializeTo(util::ByteWriter* out) const;
+  static Result<SubmitAck> Parse(const std::string& payload);
+};
+
+/// Admission refused: the pool is saturated past the queue-depth cap or
+/// the client is over its in-flight quota. The client owns the retry.
+struct ShedReply {
+  uint64_t request_id = 0;
+  uint32_t retry_after_ms = 0;
+  std::string reason;
+
+  void SerializeTo(util::ByteWriter* out) const;
+  static Result<ShedReply> Parse(const std::string& payload);
+};
+
+struct StatusPoll {
+  uint64_t request_id = 0;
+
+  void SerializeTo(util::ByteWriter* out) const;
+  static Result<StatusPoll> Parse(const std::string& payload);
+};
+
+/// Wire encoding of a job's lifecycle state.
+enum class WireJobState : uint8_t {
+  kQueued = 0,
+  kRunning = 1,
+  kDone = 2,
+  kFailed = 3,
+  kUnknown = 4,  // request id this connection never admitted (or long gone)
+};
+
+struct StatusReply {
+  uint64_t request_id = 0;
+  WireJobState state = WireJobState::kUnknown;
+  std::string error;  // non-empty only for kFailed
+
+  void SerializeTo(util::ByteWriter* out) const;
+  static Result<StatusReply> Parse(const std::string& payload);
+};
+
+/// One chunk of the trajectory, streamed in order before kResultDone when
+/// the request asked for boxes. `first_index` is the trajectory position
+/// of boxes.front().
+struct ResultBoxes {
+  uint64_t request_id = 0;
+  uint32_t first_index = 0;
+  std::vector<Box> boxes;
+
+  void SerializeTo(util::ByteWriter* out) const;
+  static Result<ResultBoxes> Parse(const std::string& payload);
+};
+
+/// Final frame of a request: the selected box plus the scalar metrics.
+/// `failed` carries engine-side job failures in-band (the connection
+/// stays usable); kError frames are reserved for protocol violations.
+struct ResultDone {
+  uint64_t request_id = 0;
+  bool failed = false;
+  std::string error;
+  Box last_box;
+  uint32_t trajectory_len = 0;
+  int32_t restricted = 0;
+  double runtime_seconds = 0.0;   // engine-measured method runtime
+  uint64_t server_latency_ns = 0; // submit-frame decode to result encode
+  uint8_t flags = 0;              // kAdmit* admission-path bits
+
+  void SerializeTo(util::ByteWriter* out) const;
+  static Result<ResultDone> Parse(const std::string& payload);
+};
+
+enum class ScrapeFormat : uint8_t { kJson = 0, kPrometheus = 1 };
+
+struct MetricsScrape {
+  ScrapeFormat format = ScrapeFormat::kPrometheus;
+
+  void SerializeTo(util::ByteWriter* out) const;
+  static Result<MetricsScrape> Parse(const std::string& payload);
+};
+
+struct MetricsDump {
+  std::string body;
+
+  void SerializeTo(util::ByteWriter* out) const;
+  static Result<MetricsDump> Parse(const std::string& payload);
+};
+
+/// Protocol-violation reply (malformed payload, unknown frame type, bad
+/// handshake). `request_id` is 0 when the error is not request-bound.
+/// Fatal errors close the connection right after the frame flushes.
+struct ErrorReply {
+  uint64_t request_id = 0;
+  std::string message;
+
+  void SerializeTo(util::ByteWriter* out) const;
+  static Result<ErrorReply> Parse(const std::string& payload);
+};
+
+/// Box <-> bytes helpers shared by the result frames.
+void WriteBox(util::ByteWriter* out, const Box& box);
+Result<Box> ReadBox(util::ByteReader* in);
+
+}  // namespace reds::net
+
+#endif  // REDS_NET_PROTOCOL_H_

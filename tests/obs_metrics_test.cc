@@ -303,8 +303,11 @@ TEST(RegistrySnapshotTest, SerializationRoundTrips) {
     EXPECT_TRUE(SnapshotsEqual(parsed.histograms.at(name), hs)) << name;
   }
 
-  // Truncated wire bytes are rejected, not misparsed.
-  util::ByteReader truncated(out.data().substr(0, out.data().size() / 2));
+  // Truncated wire bytes are rejected, not misparsed. (The reader borrows
+  // the buffer, so the substring must outlive it.)
+  const std::string truncated_bytes =
+      out.data().substr(0, out.data().size() / 2);
+  util::ByteReader truncated(truncated_bytes);
   RegistrySnapshot ignored;
   EXPECT_FALSE(RegistrySnapshot::DeserializeFrom(&truncated, &ignored));
 }

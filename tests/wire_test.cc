@@ -1,0 +1,368 @@
+// Frame-layer hardening against hostile peers and nonblocking transports:
+// the incremental FrameDecoder must extract frames fed a byte at a time,
+// reject an oversized declared length from the header alone (before any
+// payload is buffered), and stay failed once the stream is garbage; the
+// FrameWriteQueue must survive short writes / EAGAIN on a full socket and
+// deliver byte-identical frames once the reader drains. The net protocol
+// payloads round-trip and fail softly on truncation and corrupted lengths.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "net/protocol.h"
+#include "shard/wire.h"
+
+namespace reds::shard {
+namespace {
+
+std::string Payload(size_t n, char fill) { return std::string(n, fill); }
+
+TEST(FrameDecoderTest, ExtractsFramesFedByteByByte) {
+  const std::string wire = EncodeFrame(MsgType::kPing, "") +
+                           EncodeFrame(MsgType::kSubmit, Payload(1000, 'a')) +
+                           EncodeFrame(MsgType::kError, "oops");
+  FrameDecoder decoder;
+  std::vector<Frame> frames;
+  Frame frame;
+  for (char byte : wire) {
+    ASSERT_TRUE(decoder.Feed(&byte, 1).ok());
+    while (decoder.Next(&frame)) frames.push_back(frame);
+  }
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0].type, MsgType::kPing);
+  EXPECT_TRUE(frames[0].payload.empty());
+  EXPECT_EQ(frames[1].type, MsgType::kSubmit);
+  EXPECT_EQ(frames[1].payload, Payload(1000, 'a'));
+  EXPECT_EQ(frames[2].type, MsgType::kError);
+  EXPECT_EQ(frames[2].payload, "oops");
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+TEST(FrameDecoderTest, ExtractsFramesFromOneBigFeed) {
+  std::string wire;
+  for (int i = 0; i < 50; ++i) {
+    wire += EncodeFrame(MsgType::kPong, Payload(static_cast<size_t>(i), 'x'));
+  }
+  FrameDecoder decoder;
+  ASSERT_TRUE(decoder.Feed(wire.data(), wire.size()).ok());
+  Frame frame;
+  int count = 0;
+  while (decoder.Next(&frame)) {
+    EXPECT_EQ(frame.payload.size(), static_cast<size_t>(count));
+    ++count;
+  }
+  EXPECT_EQ(count, 50);
+}
+
+TEST(FrameDecoderTest, RejectsOversizedLengthFromHeaderAlone) {
+  // Declare 1 GiB against a 1 KiB cap: the decoder must fail as soon as
+  // the 5 header bytes are in -- a hostile peer cannot stage a huge
+  // allocation by declaring a length it never sends.
+  util::ByteWriter header;
+  header.U32(1u << 30);
+  header.U8(static_cast<uint8_t>(MsgType::kSubmit));
+  FrameDecoder decoder(/*max_payload=*/1024);
+  Status s = decoder.Feed(header.data().data(), header.data().size());
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("oversized"), std::string::npos);
+  // Failed means failed: even valid bytes are rejected from here on.
+  Frame frame;
+  EXPECT_FALSE(decoder.Next(&frame));
+  const std::string good = EncodeFrame(MsgType::kPing, "");
+  EXPECT_FALSE(decoder.Feed(good.data(), good.size()).ok());
+  EXPECT_FALSE(decoder.Next(&frame));
+}
+
+TEST(FrameDecoderTest, OversizeAfterAValidFrameStillRejects) {
+  const std::string good = EncodeFrame(MsgType::kPing, "ok");
+  util::ByteWriter bad;
+  bad.U32(1u << 31);
+  bad.U8(7);
+  FrameDecoder decoder(/*max_payload=*/4096);
+  std::string wire = good + bad.data();
+  // The valid frame parses; the next header fails eagerly inside Next().
+  Status s = decoder.Feed(wire.data(), wire.size());
+  Frame frame;
+  if (s.ok()) {
+    EXPECT_TRUE(decoder.Next(&frame));
+    EXPECT_EQ(frame.payload, "ok");
+    EXPECT_FALSE(decoder.Next(&frame));
+    // The poisoned header is now at the front; any further feed fails.
+    EXPECT_FALSE(decoder.Feed("", 0).ok());
+  } else {
+    EXPECT_NE(s.message().find("oversized"), std::string::npos);
+  }
+}
+
+TEST(FrameDecoderTest, TruncatedFrameNeverSurfaces) {
+  const std::string wire = EncodeFrame(MsgType::kSubmit, Payload(64, 'z'));
+  FrameDecoder decoder;
+  ASSERT_TRUE(decoder.Feed(wire.data(), wire.size() - 1).ok());
+  Frame frame;
+  EXPECT_FALSE(decoder.Next(&frame));
+  EXPECT_EQ(decoder.buffered_bytes(), wire.size() - 1);
+  // The missing byte completes it.
+  ASSERT_TRUE(decoder.Feed(wire.data() + wire.size() - 1, 1).ok());
+  ASSERT_TRUE(decoder.Next(&frame));
+  EXPECT_EQ(frame.payload, Payload(64, 'z'));
+}
+
+TEST(FrameDecoderTest, CompactionKeepsLongLivedConnectionsBounded) {
+  FrameDecoder decoder;
+  const std::string wire = EncodeFrame(MsgType::kPong, Payload(512, 'b'));
+  Frame frame;
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(decoder.Feed(wire.data(), wire.size()).ok());
+    ASSERT_TRUE(decoder.Next(&frame));
+    EXPECT_FALSE(decoder.Next(&frame));
+  }
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+class WriteQueueTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds_), 0);
+    // Nonblocking writer with the smallest buffer the kernel allows, so a
+    // modest frame reliably hits EAGAIN mid-frame.
+    const int flags = ::fcntl(fds_[0], F_GETFL, 0);
+    ASSERT_EQ(::fcntl(fds_[0], F_SETFL, flags | O_NONBLOCK), 0);
+    const int small = 1;  // clamped up to SOCK_MIN_SNDBUF by the kernel
+    ::setsockopt(fds_[0], SOL_SOCKET, SO_SNDBUF, &small, sizeof(small));
+  }
+  void TearDown() override {
+    ::close(fds_[0]);
+    ::close(fds_[1]);
+  }
+
+  int fds_[2];  // [0] = nonblocking writer, [1] = blocking reader
+};
+
+TEST_F(WriteQueueTest, ShortWritesAndEagainDeliverFramesIntact) {
+  FrameWriteQueue queue;
+  std::vector<std::string> payloads;
+  for (int i = 0; i < 4; ++i) {
+    payloads.push_back(std::string(150000 + i, static_cast<char>('a' + i)));
+    queue.Push(MsgType::kResultBoxes, payloads.back());
+  }
+  const size_t total = queue.pending_bytes();
+  ASSERT_GT(total, 500000u);
+
+  // Interleave blocked flushes with reader drains until everything lands.
+  FrameDecoder decoder;
+  std::vector<Frame> received;
+  char buf[8192];
+  bool saw_block = false;
+  int spins = 0;
+  while (!queue.empty()) {
+    bool blocked = false;
+    ASSERT_TRUE(queue.Flush(fds_[0], &blocked).ok());
+    if (blocked) {
+      saw_block = true;
+      const ssize_t r = ::read(fds_[1], buf, sizeof(buf));
+      ASSERT_GT(r, 0);
+      ASSERT_TRUE(decoder.Feed(buf, static_cast<size_t>(r)).ok());
+      Frame frame;
+      while (decoder.Next(&frame)) received.push_back(std::move(frame));
+    }
+    ASSERT_LT(++spins, 1000000);
+  }
+  EXPECT_TRUE(saw_block) << "frames fit the socket buffer; EAGAIN untested";
+  EXPECT_EQ(queue.pending_bytes(), 0u);
+
+  // Drain the tail.
+  ::close(fds_[0]);
+  fds_[0] = ::open("/dev/null", O_WRONLY);  // keep TearDown's close valid
+  ssize_t r;
+  while ((r = ::read(fds_[1], buf, sizeof(buf))) > 0) {
+    ASSERT_TRUE(decoder.Feed(buf, static_cast<size_t>(r)).ok());
+  }
+  Frame frame;
+  while (decoder.Next(&frame)) received.push_back(std::move(frame));
+
+  ASSERT_EQ(received.size(), payloads.size());
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    EXPECT_EQ(received[i].type, MsgType::kResultBoxes);
+    EXPECT_EQ(received[i].payload, payloads[i]) << i;
+  }
+}
+
+TEST_F(WriteQueueTest, PeerGoneSurfacesAsIoErrorNotSigpipe) {
+  ::close(fds_[1]);
+  fds_[1] = ::open("/dev/null", O_RDONLY);
+  FrameWriteQueue queue;
+  queue.Push(MsgType::kPong, std::string(100000, 'q'));
+  bool blocked = false;
+  Status s = Status::OK();
+  for (int i = 0; i < 64 && s.ok() && !queue.empty(); ++i) {
+    s = queue.Flush(fds_[0], &blocked);
+  }
+  EXPECT_FALSE(s.ok());
+}
+
+}  // namespace
+}  // namespace reds::shard
+
+namespace reds::net {
+namespace {
+
+template <typename T>
+std::string Bytes(const T& msg) {
+  util::ByteWriter w;
+  msg.SerializeTo(&w);
+  return w.data();
+}
+
+Box MakeBox(int dim, double base) {
+  Box box = Box::Unbounded(dim);
+  for (int j = 0; j < dim; ++j) {
+    box.set_lo(j, base + j);
+    if (j % 2 == 0) box.set_hi(j, base + j + 0.5);
+  }
+  return box;
+}
+
+TEST(NetProtocolTest, SubmitRoundTrip) {
+  SubmitRequest msg;
+  msg.request_id = 77;
+  msg.method = "RPx";
+  msg.data_mode = DataMode::kStreamedSource;
+  msg.source.rows = 12345;
+  msg.source.dims = 7;
+  msg.source.distinct = 64;
+  msg.source.seed = 99;
+  msg.alpha = 0.07;
+  msg.min_points = 25;
+  msg.l_prim = 20000;
+  msg.options_seed = 5;
+  msg.tune_metamodel = true;
+  msg.want_boxes = true;
+  Result<SubmitRequest> back = SubmitRequest::Parse(Bytes(msg));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->request_id, 77u);
+  EXPECT_EQ(back->method, "RPx");
+  EXPECT_EQ(back->data_mode, DataMode::kStreamedSource);
+  EXPECT_EQ(back->source.rows, 12345);
+  EXPECT_EQ(back->source.dims, 7);
+  EXPECT_EQ(back->source.seed, 99u);
+  EXPECT_EQ(back->alpha, 0.07);
+  EXPECT_EQ(back->min_points, 25);
+  EXPECT_EQ(back->l_prim, 20000);
+  EXPECT_TRUE(back->tune_metamodel);
+  EXPECT_TRUE(back->want_boxes);
+}
+
+TEST(NetProtocolTest, ResultFramesRoundTripBoxesExactly) {
+  ResultBoxes boxes;
+  boxes.request_id = 3;
+  boxes.first_index = 40;
+  for (int i = 0; i < 5; ++i) boxes.boxes.push_back(MakeBox(4, i * 0.1));
+  Result<ResultBoxes> rb = ResultBoxes::Parse(Bytes(boxes));
+  ASSERT_TRUE(rb.ok());
+  ASSERT_EQ(rb->boxes.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(rb->boxes[i] == boxes.boxes[i]);
+
+  ResultDone done;
+  done.request_id = 3;
+  done.last_box = MakeBox(6, 0.25);  // has infinite sides: must survive
+  done.trajectory_len = 45;
+  done.restricted = done.last_box.NumRestricted();
+  done.runtime_seconds = 0.125;
+  done.server_latency_ns = 1234567;
+  done.flags = kAdmitCoalescedExempt;
+  Result<ResultDone> rd = ResultDone::Parse(Bytes(done));
+  ASSERT_TRUE(rd.ok());
+  EXPECT_TRUE(rd->last_box == done.last_box);
+  EXPECT_EQ(rd->trajectory_len, 45u);
+  EXPECT_EQ(rd->flags, kAdmitCoalescedExempt);
+  EXPECT_FALSE(rd->failed);
+  for (int j = 0; j < 6; ++j) {
+    if (j % 2 != 0) EXPECT_TRUE(std::isinf(rd->last_box.hi(j))) << j;
+  }
+}
+
+TEST(NetProtocolTest, AdmissionFramesRoundTrip) {
+  HelloRequest hello;
+  hello.client_name = "bench-client-42";
+  Result<HelloRequest> h = HelloRequest::Parse(Bytes(hello));
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->version, kProtocolVersion);
+  EXPECT_EQ(h->client_name, "bench-client-42");
+
+  ShedReply shed;
+  shed.request_id = 9;
+  shed.retry_after_ms = 75;
+  shed.reason = "engine queue depth at cap";
+  Result<ShedReply> sr = ShedReply::Parse(Bytes(shed));
+  ASSERT_TRUE(sr.ok());
+  EXPECT_EQ(sr->retry_after_ms, 75u);
+  EXPECT_EQ(sr->reason, shed.reason);
+
+  StatusReply status;
+  status.request_id = 9;
+  status.state = WireJobState::kRunning;
+  Result<StatusReply> st = StatusReply::Parse(Bytes(status));
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->state, WireJobState::kRunning);
+}
+
+TEST(NetProtocolTest, TruncatedPayloadsFailSoftly) {
+  SubmitRequest msg;
+  msg.request_id = 1;
+  msg.method = "P";
+  msg.source.rows = 100;
+  msg.source.dims = 3;
+  const std::string bytes = Bytes(msg);
+  for (size_t cut = 0; cut < bytes.size(); cut += 3) {
+    Result<SubmitRequest> r = SubmitRequest::Parse(bytes.substr(0, cut));
+    EXPECT_FALSE(r.ok()) << "accepted a " << cut << "-byte prefix";
+  }
+}
+
+TEST(NetProtocolTest, CorruptedLengthsCannotForceHugeAllocations) {
+  // A ResultBoxes claiming 2^31 boxes in a 40-byte payload must be
+  // rejected by the count-vs-remaining bound, not attempted.
+  util::ByteWriter w;
+  w.U64(1);                 // request id
+  w.U32(0);                 // first index
+  w.U32(0x7fffffffu);       // box count
+  w.U32(12);                // one bogus box header
+  Result<ResultBoxes> rb = ResultBoxes::Parse(w.data());
+  EXPECT_FALSE(rb.ok());
+
+  // A box claiming 2^30 dimensions inside a tiny payload: same story.
+  util::ByteWriter w2;
+  w2.U64(1);
+  w2.U8(0);
+  w2.Str("");
+  w2.U32(1u << 30);  // "last box" with an absurd dim count
+  Result<ResultDone> rd = ResultDone::Parse(w2.data());
+  EXPECT_FALSE(rd.ok());
+}
+
+TEST(NetProtocolTest, UnknownEnumValuesRejected) {
+  {
+    util::ByteWriter w;
+    w.U64(1);
+    w.Str("P");
+    w.U8(9);  // data mode out of range
+    Result<SubmitRequest> r = SubmitRequest::Parse(w.data());
+    EXPECT_FALSE(r.ok());
+  }
+  {
+    util::ByteWriter w;
+    w.U8(7);  // scrape format out of range
+    Result<MetricsScrape> r = MetricsScrape::Parse(w.data());
+    EXPECT_FALSE(r.ok());
+  }
+}
+
+}  // namespace
+}  // namespace reds::net
